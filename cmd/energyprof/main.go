@@ -1,0 +1,83 @@
+// Command energyprof prints the platform energy model (the paper's
+// Fig 1 and Fig 2 constants plus derived quantities) and, with -app,
+// profiles one benchmark application: per-mode energy/time curves,
+// serialized payload sizes, and compilation costs per level.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"greenvm/internal/apps"
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+	"greenvm/internal/experiments"
+	"greenvm/internal/jit"
+	"greenvm/internal/radio"
+)
+
+func main() {
+	app := flag.String("app", "", "profile one benchmark (fe, pf, mf, hpf, ed, sort, jess, db)")
+	seed := flag.Uint64("seed", 2003, "profiling seed")
+	flag.Parse()
+
+	if *app == "" {
+		experiments.RenderFig1(os.Stdout)
+		fmt.Println()
+		experiments.RenderFig2(os.Stdout)
+		fmt.Println()
+		model := energy.MicroSPARCIIep()
+		fmt.Printf("compiler-classes load/init: %v per execution that compiles locally\n",
+			jit.CompilerLoadEnergy(model))
+		chip := radio.WCDMA()
+		fmt.Printf("per-KB transfer at Class 4: tx %v, rx %v\n",
+			chip.TxEnergy(1024, radio.Class4), chip.RxEnergy(1024, radio.Class4))
+		fmt.Printf("per-KB transfer at Class 1: tx %v, rx %v\n",
+			chip.TxEnergy(1024, radio.Class1), chip.RxEnergy(1024, radio.Class1))
+		return
+	}
+
+	a := apps.ByName(*app)
+	if a == nil {
+		fmt.Fprintf(os.Stderr, "energyprof: unknown app %q\n", *app)
+		os.Exit(1)
+	}
+	prog, err := a.FreshProgram()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "energyprof:", err)
+		os.Exit(1)
+	}
+	pr := &core.Profiler{
+		Prog:        prog,
+		ClientModel: energy.MicroSPARCIIep(),
+		ServerModel: energy.ServerSPARC(),
+		Seed:        *seed,
+	}
+	t := a.Target()
+	prof, err := pr.ProfileTarget(t)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "energyprof:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s — %s (size parameter: %s)\n\n", a.Name, a.Desc, a.SizeDesc)
+	fmt.Printf("%8s | %11s %11s %11s %11s | %9s %9s | %10s\n",
+		"size", "I", "L1", "L2", "L3", "tx B", "rx B", "server t")
+	for _, s := range a.ProfileSizes {
+		x := float64(s)
+		fmt.Printf("%8d | %11v %11v %11v %11v | %9.0f %9.0f | %8.2f ms\n",
+			s,
+			energy.Joules(prof.EnergyOf[core.ModeInterp].Eval(x)),
+			energy.Joules(prof.EnergyOf[core.ModeL1].Eval(x)),
+			energy.Joules(prof.EnergyOf[core.ModeL2].Eval(x)),
+			energy.Joules(prof.EnergyOf[core.ModeL3].Eval(x)),
+			prof.TxBytes.Eval(x), prof.RxBytes.Eval(x),
+			prof.ServerTime.Eval(x)*1e3)
+	}
+	fmt.Println()
+	for lv := 0; lv < 3; lv++ {
+		fmt.Printf("compile plan at L%d: %v, %d B native code\n",
+			lv+1, prof.CompileEnergy[lv], prof.PlanCodeBytes[lv])
+	}
+	fmt.Printf("worst training-fit error: %.2f%%\n", prof.MaxFitErr*100)
+}

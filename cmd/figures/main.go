@@ -1,0 +1,161 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section on the simulated platform.
+//
+// Usage:
+//
+//	figures [-fig N] [-claims] [-runs N] [-detail] [-seed N]
+//
+// Without flags it regenerates everything (Figs 1, 2, 3, 5, 6, 7, 8
+// and the §3 claims). -runs scales the per-scenario execution count
+// (the paper uses 300).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"greenvm/internal/apps"
+	"greenvm/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one figure (1, 2, 3, 5, 6, 7, 8); 0 = all")
+	claims := flag.Bool("claims", false, "regenerate only the §3 claims")
+	ext := flag.Bool("ext", false, "run the extension experiments (Markov channel, tracker error, breakdown)")
+	runs := flag.Int("runs", 300, "application executions per Fig 7 scenario")
+	detail := flag.Bool("detail", false, "print per-app Fig 7 tables")
+	seed := flag.Uint64("seed", 2003, "experiment seed")
+	flag.Parse()
+
+	if err := run(*fig, *claims, *ext, *runs, *detail, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64) error {
+	w := os.Stdout
+	all := fig == 0 && !claimsOnly && !ext
+
+	if all || fig == 1 {
+		experiments.RenderFig1(w)
+		fmt.Fprintln(w)
+	}
+	if all || fig == 2 {
+		experiments.RenderFig2(w)
+		fmt.Fprintln(w)
+	}
+	if all || fig == 3 {
+		experiments.RenderFig3(w)
+		fmt.Fprintln(w)
+	}
+	if all || fig == 5 {
+		experiments.RenderFig5(w)
+		fmt.Fprintln(w)
+	}
+
+	needEnvs := all || claimsOnly || ext || fig == 6 || fig == 7 || fig == 8
+	if !needEnvs {
+		return nil
+	}
+	fmt.Fprintln(w, "preparing applications (compile + profile)...")
+	envs, err := experiments.PrepareAll(apps.All(), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	if all || fig == 6 {
+		// The paper shows three benchmarks in Fig 6.
+		var three []*experiments.Env
+		for _, e := range envs {
+			switch e.App.Name {
+			case "mf", "hpf", "fe":
+				three = append(three, e)
+			}
+		}
+		bars, err := experiments.RunFig6(three, seed)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig6(w, bars)
+		fmt.Fprintln(w)
+	}
+
+	var fig7 *experiments.Fig7Result
+	if all || claimsOnly || fig == 7 {
+		fig7, err = experiments.RunFig7(envs, runs, seed)
+		if err != nil {
+			return err
+		}
+	}
+	if all || fig == 7 {
+		experiments.RenderFig7(w, fig7)
+		fmt.Fprintln(w)
+		if detail {
+			for sit := experiments.Situation(0); sit < experiments.NumSituations; sit++ {
+				experiments.RenderFig7PerApp(w, fig7, sit)
+				fmt.Fprintln(w)
+			}
+		}
+	}
+
+	if all || fig == 8 {
+		rows, err := experiments.RunFig8(envs)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFig8(w, rows)
+		fmt.Fprintln(w)
+	}
+
+	if all || claimsOnly {
+		c, err := experiments.MeasureClaims(envs, fig7, seed+7)
+		if err != nil {
+			return err
+		}
+		experiments.RenderClaims(w, c)
+	}
+
+	if ext {
+		// Extension experiments run on one compute-heavy app (fe) and
+		// one data-heavy app (mf).
+		for _, name := range []string{"fe", "mf"} {
+			var env *experiments.Env
+			for _, e := range envs {
+				if e.App.Name == name {
+					env = e
+				}
+			}
+			if env == nil {
+				continue
+			}
+			pts, err := experiments.RunMarkovSweep(env, runs, seed)
+			if err != nil {
+				return err
+			}
+			experiments.RenderMarkovSweep(w, name, pts)
+			fmt.Fprintln(w)
+			tps, err := experiments.RunTrackerErrorSweep(env, runs, seed)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTrackerErrorSweep(w, name, tps)
+			fmt.Fprintln(w)
+			rows, err := experiments.RunBreakdown(env, runs, seed)
+			if err != nil {
+				return err
+			}
+			experiments.RenderBreakdown(w, name, rows)
+			fmt.Fprintln(w)
+			cps, err := experiments.RunCodeCacheSweep(env, runs, seed)
+			if err != nil {
+				return err
+			}
+			experiments.RenderCodeCacheSweep(w, name, cps)
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// The parameter tables render without preparing applications; the
+// heavier figures are covered by internal/experiments tests.
+func TestStaticTables(t *testing.T) {
+	for _, fig := range []int{1, 2, 3, 5} {
+		if err := run(fig, false, false, 10, false, 1); err != nil {
+			t.Errorf("fig %d: %v", fig, err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command mjc compiles MJ source files to MJVM class files and
+// inspects existing class files.
+//
+// Usage:
+//
+//	mjc file.mj                 compile to file.mjc
+//	mjc -o out.mjc file.mj      compile to a chosen path
+//	mjc -list file.mjc          list classes and methods
+//	mjc -disasm file.mjc        disassemble every method
+//	mjc -disasm file.mj         compile in memory and disassemble
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/lang"
+)
+
+func main() {
+	out := flag.String("o", "", "output class file (default: input with .mjc)")
+	list := flag.Bool("list", false, "list classes and methods")
+	disasm := flag.Bool("disasm", false, "disassemble methods")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mjc [-o out.mjc] [-list] [-disasm] file.{mj,mjc}")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *out, *list, *disasm); err != nil {
+		fmt.Fprintln(os.Stderr, "mjc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, out string, list, disasm bool) error {
+	prog, err := load(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case list:
+		for _, c := range prog.Classes {
+			ext := ""
+			if c.SuperName != "" {
+				ext = " extends " + c.SuperName
+			}
+			fmt.Printf("class %s%s (%d fields)\n", c.Name, ext, len(c.Fields))
+			for _, m := range c.Methods {
+				tag := ""
+				if m.Potential {
+					tag = " [potential]"
+				}
+				if m.Static {
+					tag += " [static]"
+				}
+				fmt.Printf("  %s%s  (%d bytecodes, %d B)\n",
+					bytecode.Signature(m.Name, m.Params, m.Ret), tag, len(m.Code), m.CodeSize())
+			}
+		}
+		return nil
+	case disasm:
+		for _, m := range prog.Methods {
+			fmt.Println(bytecode.Disassemble(m))
+		}
+		return nil
+	default:
+		if strings.HasSuffix(path, ".mjc") {
+			return fmt.Errorf("%s is already a class file", path)
+		}
+		if out == "" {
+			out = strings.TrimSuffix(path, ".mj") + ".mjc"
+		}
+		b, err := prog.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d classes, %d methods, %d bytes)\n",
+			out, len(prog.Classes), len(prog.Methods), len(b))
+		return nil
+	}
+}
+
+// load reads either MJ source or a binary class file.
+func load(path string) (*bytecode.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".mjc") {
+		prog, err := bytecode.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := prog.Link(); err != nil {
+			return nil, err
+		}
+		if err := prog.Verify(); err != nil {
+			return nil, err
+		}
+		return prog, nil
+	}
+	return lang.Compile(string(data))
+}

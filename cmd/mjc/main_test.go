@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testSrc = `
+class T {
+  static int twice(int x) { return x * 2; }
+  potential static int heavy(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + i; }
+    return s;
+  }
+}
+`
+
+func TestCompileListDisasm(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "t.mj")
+	if err := os.WriteFile(src, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "t.mjc")
+	if err := run(src, out, false, false); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("output missing: %v", err)
+	}
+	// The class file loads, lists and disassembles.
+	if err := run(out, "", true, false); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if err := run(out, "", false, true); err != nil {
+		t.Fatalf("disasm: %v", err)
+	}
+	// Compiling a .mjc is rejected.
+	if err := run(out, "", false, false); err == nil {
+		t.Error("recompiling a class file should error")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := load("/nonexistent/x.mj"); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.mj")
+	os.WriteFile(bad, []byte("class {"), 0o644)
+	if _, err := load(bad); err == nil {
+		t.Error("bad source should error")
+	}
+	corrupt := filepath.Join(dir, "bad.mjc")
+	os.WriteFile(corrupt, []byte("not a class file"), 0o644)
+	if _, err := load(corrupt); err == nil {
+		t.Error("corrupt class file should error")
+	}
+}

@@ -1,0 +1,78 @@
+// Command mjserver runs the resource-rich execution and compilation
+// server for an MJ application, speaking the core TCP protocol. A
+// client in another process connects with core.DialServer and offloads
+// potential methods to it — the paper's two-workstation prototype.
+//
+// Usage:
+//
+//	mjserver -listen :7033 app.{mj,mjc}
+//	mjserver -listen :7033 -app mf          # serve a built-in benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"greenvm/internal/apps"
+	"greenvm/internal/bytecode"
+	"greenvm/internal/core"
+	"greenvm/internal/lang"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7033", "address to listen on")
+	app := flag.String("app", "", "serve a built-in benchmark instead of a file")
+	flag.Parse()
+	if err := run(*listen, *app, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "mjserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, app string, args []string) error {
+	var prog *bytecode.Program
+	var err error
+	switch {
+	case app != "":
+		a := apps.ByName(app)
+		if a == nil {
+			return fmt.Errorf("unknown benchmark %q", app)
+		}
+		prog, err = a.FreshProgram()
+	case len(args) == 1:
+		var data []byte
+		if data, err = os.ReadFile(args[0]); err != nil {
+			return err
+		}
+		if strings.HasSuffix(args[0], ".mjc") {
+			if prog, err = bytecode.Decode(data); err != nil {
+				return err
+			}
+			if err = prog.Link(); err != nil {
+				return err
+			}
+			err = prog.Verify()
+		} else {
+			prog, err = lang.Compile(string(data))
+		}
+	default:
+		return fmt.Errorf("usage: mjserver [-listen addr] (-app NAME | file.{mj,mjc})")
+	}
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mjserver: serving %d classes, %d methods on %s\n",
+		len(prog.Classes), len(prog.Methods), l.Addr())
+	for _, m := range prog.PotentialMethods() {
+		fmt.Printf("  potential: %s\n", m.QName())
+	}
+	return core.Serve(l, core.NewServer(prog))
+}

@@ -1,0 +1,162 @@
+// Command mjvm runs a static method of an MJ program on the simulated
+// mobile client and reports the energy consumed, per execution mode.
+//
+// Usage:
+//
+//	mjvm -call Class.method -args 1,2.5,3 [-mode I|L1|L2|L3|all] file.{mj,mjc}
+//
+// Scalar int and float arguments are supported on the command line;
+// the examples/ directory shows the full offloading API, including
+// reference arguments and the adaptive strategies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+	"greenvm/internal/isa"
+	"greenvm/internal/jit"
+	"greenvm/internal/lang"
+	"greenvm/internal/vm"
+)
+
+func main() {
+	call := flag.String("call", "", "Class.method to invoke")
+	argList := flag.String("args", "", "comma-separated int/float arguments")
+	mode := flag.String("mode", "all", "execution mode: I, L1, L2, L3 or all")
+	flag.Parse()
+	if flag.NArg() != 1 || *call == "" {
+		fmt.Fprintln(os.Stderr, "usage: mjvm -call Class.method [-args 1,2,3] [-mode all] file.{mj,mjc}")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *call, *argList, *mode); err != nil {
+		fmt.Fprintln(os.Stderr, "mjvm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, call, argList, mode string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prog *bytecode.Program
+	if strings.HasSuffix(path, ".mjc") {
+		if prog, err = bytecode.Decode(data); err != nil {
+			return err
+		}
+		if err := prog.Link(); err != nil {
+			return err
+		}
+		if err := prog.Verify(); err != nil {
+			return err
+		}
+	} else if prog, err = lang.Compile(string(data)); err != nil {
+		return err
+	}
+
+	dot := strings.LastIndex(call, ".")
+	if dot < 0 {
+		return fmt.Errorf("-call must be Class.method, got %q", call)
+	}
+	m := prog.FindMethod(call[:dot], call[dot+1:])
+	if m == nil {
+		return fmt.Errorf("no method %s", call)
+	}
+	if !m.Static {
+		return fmt.Errorf("%s is an instance method; the CLI invokes statics", call)
+	}
+
+	args, err := parseArgs(m, argList)
+	if err != nil {
+		return err
+	}
+
+	modes := []string{"I", "L1", "L2", "L3"}
+	if mode != "all" {
+		modes = []string{mode}
+	}
+	for _, md := range modes {
+		v := vm.New(prog, energy.MicroSPARCIIep())
+		label := md
+		switch md {
+		case "I":
+		case "L1", "L2", "L3":
+			lv := jit.Level(md[1] - '0')
+			bodies := map[*bytecode.Method]*isa.Code{}
+			compileAcct := energy.NewAccount(v.Model)
+			for _, mm := range prog.Methods {
+				if len(mm.Code) == 0 {
+					continue
+				}
+				code, st, err := jit.Compile(prog, mm, lv)
+				if err != nil {
+					return err
+				}
+				st.Charge(compileAcct)
+				bodies[mm] = v.InstallCode(code)
+			}
+			v.Dispatch = vm.DispatchFunc(func(mm *bytecode.Method) *isa.Code { return bodies[mm] })
+			label = fmt.Sprintf("%s (compile cost %v)", md, compileAcct.Total())
+		default:
+			return fmt.Errorf("unknown mode %q", md)
+		}
+		res, err := v.Invoke(m, args)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mode %-28s result=%s\n", label, formatResult(m, res))
+		fmt.Printf("  energy: %v\n", v.Acct)
+	}
+	return nil
+}
+
+func parseArgs(m *bytecode.Method, list string) ([]vm.Slot, error) {
+	var parts []string
+	if list != "" {
+		parts = strings.Split(list, ",")
+	}
+	kinds := m.ArgKinds()
+	if len(parts) != len(kinds) {
+		return nil, fmt.Errorf("%s takes %d arguments, got %d", m.QName(), len(kinds), len(parts))
+	}
+	args := make([]vm.Slot, len(parts))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		switch kinds[i] {
+		case bytecode.KInt:
+			v, err := strconv.ParseInt(p, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("argument %d: %v", i, err)
+			}
+			args[i] = vm.IntSlot(int32(v))
+		case bytecode.KFloat:
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, fmt.Errorf("argument %d: %v", i, err)
+			}
+			args[i] = vm.FloatSlot(v)
+		default:
+			return nil, fmt.Errorf("argument %d is a reference; use the library API", i)
+		}
+	}
+	return args, nil
+}
+
+func formatResult(m *bytecode.Method, res vm.Slot) string {
+	switch m.Ret.Kind {
+	case bytecode.KVoid:
+		return "(void)"
+	case bytecode.KFloat:
+		return fmt.Sprintf("%g", res.F)
+	case bytecode.KRef:
+		return fmt.Sprintf("ref#%d", res.I)
+	default:
+		return fmt.Sprintf("%d", res.I)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testSrc = `
+class T {
+  static int add(int a, int b) { return a + b; }
+  static float scale(float x) { return x * 2.0; }
+  int inst() { return 1; }
+}
+`
+
+func writeSrc(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "t.mj")
+	if err := os.WriteFile(p, []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunAllModes(t *testing.T) {
+	p := writeSrc(t)
+	if err := run(p, "T.add", "3,4", "all"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(p, "T.scale", "1.5", "L2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	p := writeSrc(t)
+	cases := []struct {
+		call, args, mode string
+	}{
+		{"Nope.add", "1,2", "I"},
+		{"T.add", "1", "I"},    // arity
+		{"T.add", "x,y", "I"},  // parse
+		{"T.add", "1,2", "L9"}, // mode
+		{"T.inst", "", "I"},    // instance method
+		{"noDot", "", "I"},     // malformed call
+	}
+	for _, c := range cases {
+		if err := run(p, c.call, c.args, c.mode); err == nil {
+			t.Errorf("run(%q,%q,%q) should error", c.call, c.args, c.mode)
+		}
+	}
+}

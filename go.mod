@@ -1,0 +1,3 @@
+module greenvm
+
+go 1.22

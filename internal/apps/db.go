@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// DB stands in for the SpecJVM98 database query system: a table of
+// fixed-width records (id, a, b, c — id-sorted) and a batch of
+// queries. Query types: point lookup by id (binary search on the
+// primary index), range count over column a, and aggregate sum of b
+// grouped by an exact match on c (a full scan). This keeps the
+// original's core logic — index probes plus scans over an in-memory
+// table.
+const dbSource = `
+class DB {
+  potential static int[] query(int[] table, int nrec, int[] queries) {
+    int nq = queries.length / 4;
+    int[] out = new int[nq];
+    for (int q = 0; q < nq; q = q + 1) {
+      int kind = queries[q * 4];
+      int key = queries[q * 4 + 1];
+      int lo = queries[q * 4 + 2];
+      int hi = queries[q * 4 + 3];
+      if (kind == 0) {
+        out[q] = lookup(table, nrec, key);
+      } else if (kind == 1) {
+        out[q] = rangeCount(table, nrec, lo, hi);
+      } else {
+        out[q] = sumWhere(table, nrec, key);
+      }
+    }
+    return out;
+  }
+
+  // lookup returns the "a" column of the record with the given id, or
+  // -1 when absent (binary search over the id-sorted table).
+  static int lookup(int[] table, int nrec, int id) {
+    int lo = 0;
+    int hi = nrec - 1;
+    while (lo <= hi) {
+      int mid = (lo + hi) / 2;
+      int v = table[mid * 4];
+      if (v == id) { return table[mid * 4 + 1]; }
+      if (v < id) { lo = mid + 1; } else { hi = mid - 1; }
+    }
+    return 0 - 1;
+  }
+
+  // rangeCount counts records whose "a" column lies in [lo, hi].
+  static int rangeCount(int[] table, int nrec, int lo, int hi) {
+    int cnt = 0;
+    for (int i = 0; i < nrec; i = i + 1) {
+      int a = table[i * 4 + 1];
+      if (a >= lo && a <= hi) { cnt = cnt + 1; }
+    }
+    return cnt;
+  }
+
+  // sumWhere sums the "b" column of records whose "c" column equals
+  // the key.
+  static int sumWhere(int[] table, int nrec, int key) {
+    int sum = 0;
+    for (int i = 0; i < nrec; i = i + 1) {
+      if (table[i * 4 + 3] == key) {
+        sum = sum + table[i * 4 + 2];
+      }
+    }
+    return sum;
+  }
+}
+`
+
+const dbQueries = 48
+
+type dbInput struct {
+	table   []int
+	nrec    int
+	queries []int
+}
+
+func dbMake(size int, seed uint64) Input {
+	r := rng.New(seed)
+	nrec := size
+	table := make([]int, 0, nrec*4)
+	id := 0
+	for i := 0; i < nrec; i++ {
+		id += 1 + r.Intn(3) // sorted, sparse ids
+		table = append(table, id, r.Intn(10000), r.Intn(1000), r.Intn(32))
+	}
+	// The query stream is drawn independently of the table stream so
+	// that the scan/lookup mix — and hence the cost per record — does
+	// not drift with the table size.
+	r = rng.New(seed ^ 0xD1B54A32D192ED03)
+	queries := make([]int, 0, dbQueries*4)
+	for q := 0; q < dbQueries; q++ {
+		kind := r.Intn(3)
+		switch kind {
+		case 0:
+			queries = append(queries, 0, 1+r.Intn(id), 0, 0)
+		case 1:
+			lo := r.Intn(9000)
+			queries = append(queries, 1, 0, lo, lo+r.Intn(1000))
+		default:
+			queries = append(queries, 2, r.Intn(32), 0, 0)
+		}
+	}
+	return &dbInput{table: table, nrec: nrec, queries: queries}
+}
+
+// reference mirrors DB.query.
+func (in *dbInput) reference() []int {
+	nq := len(in.queries) / 4
+	out := make([]int, nq)
+	for q := 0; q < nq; q++ {
+		kind, key, lo, hi := in.queries[q*4], in.queries[q*4+1], in.queries[q*4+2], in.queries[q*4+3]
+		switch kind {
+		case 0:
+			out[q] = -1
+			l, h := 0, in.nrec-1
+			for l <= h {
+				mid := (l + h) / 2
+				v := in.table[mid*4]
+				if v == key {
+					out[q] = in.table[mid*4+1]
+					break
+				}
+				if v < key {
+					l = mid + 1
+				} else {
+					h = mid - 1
+				}
+			}
+		case 1:
+			cnt := 0
+			for i := 0; i < in.nrec; i++ {
+				if a := in.table[i*4+1]; a >= lo && a <= hi {
+					cnt++
+				}
+			}
+			out[q] = cnt
+		default:
+			sum := 0
+			for i := 0; i < in.nrec; i++ {
+				if in.table[i*4+3] == key {
+					sum += in.table[i*4+2]
+				}
+			}
+			out[q] = sum
+		}
+	}
+	return out
+}
+
+func (in *dbInput) Args(v *vm.VM) ([]vm.Slot, error) {
+	th, err := intArrayToHeap(v, in.table)
+	if err != nil {
+		return nil, err
+	}
+	qh, err := intArrayToHeap(v, in.queries)
+	if err != nil {
+		return nil, err
+	}
+	return []vm.Slot{vm.RefSlot(th), vm.IntSlot(int32(in.nrec)), vm.RefSlot(qh)}, nil
+}
+
+func (in *dbInput) Check(v *vm.VM, res vm.Slot) error {
+	return checkIntArray(v, res, in.reference(), "db")
+}
+
+// DB returns the database query benchmark. The size parameter is the
+// number of records.
+func DB() *App {
+	return &App{
+		Name:          "db",
+		Desc:          "indexed lookups, range counts and aggregates over a table",
+		SizeDesc:      "records in the table; fixed 48-query batch",
+		Source:        dbSource,
+		Class:         "DB",
+		Method:        "query",
+		SizeArg:       1, // nrec argument
+		ProfileSizes:  []int{512, 768, 1024, 1536, 2048, 3072, 4096, 6144, 8192},
+		SmallSize:     768,
+		LargeSize:     7500,
+		ScenarioSizes: []int{768, 1500, 3000, 5000, 7500},
+		MakeInput:     dbMake,
+	}
+}

@@ -1,0 +1,237 @@
+package apps
+
+import (
+	"greenvm/internal/pgm"
+	"greenvm/internal/vm"
+)
+
+// ED is the Edge-Detector: Canny's algorithm in its integer embedded
+// form — Gaussian smoothing, Sobel gradients, gradient-direction
+// quantization, non-maximum suppression and double thresholding with
+// hysteresis reduced to a single strong/weak pass.
+const edSource = `
+class ED {
+  potential static int[] detect(int[] pix, int w, int h) {
+    int[] blur = smooth(pix, w, h);
+    int[] mag = new int[w * h];
+    int[] dir = new int[w * h];
+    gradients(blur, w, h, mag, dir);
+    return suppress(mag, dir, w, h);
+  }
+
+  // 3x3 Gaussian (1 2 1 / 2 4 2 / 1 2 1) / 16 with edge clamping.
+  static int[] smooth(int[] pix, int w, int h) {
+    int[] out = new int[w * h];
+    for (int y = 0; y < h; y = y + 1) {
+      for (int x = 0; x < w; x = x + 1) {
+        int sum = 0;
+        for (int dy = 0 - 1; dy <= 1; dy = dy + 1) {
+          for (int dx = 0 - 1; dx <= 1; dx = dx + 1) {
+            int yy = y + dy;
+            int xx = x + dx;
+            if (yy < 0) { yy = 0; }
+            if (yy >= h) { yy = h - 1; }
+            if (xx < 0) { xx = 0; }
+            if (xx >= w) { xx = w - 1; }
+            int k = 1;
+            if (dx == 0) { k = 2; }
+            if (dy == 0) { k = k * 2; }
+            sum = sum + pix[yy * w + xx] * k;
+          }
+        }
+        out[y * w + x] = sum / 16;
+      }
+    }
+    return out;
+  }
+
+  // Sobel gradients; direction quantized to 0..3 (E, NE, N, NW).
+  static void gradients(int[] img, int w, int h, int[] mag, int[] dir) {
+    for (int y = 1; y < h - 1; y = y + 1) {
+      for (int x = 1; x < w - 1; x = x + 1) {
+        int i = y * w + x;
+        int gx = img[i - w + 1] + 2 * img[i + 1] + img[i + w + 1]
+               - img[i - w - 1] - 2 * img[i - 1] - img[i + w - 1];
+        int gy = img[i + w - 1] + 2 * img[i + w] + img[i + w + 1]
+               - img[i - w - 1] - 2 * img[i - w] - img[i - w + 1];
+        int ax = gx; if (ax < 0) { ax = 0 - ax; }
+        int ay = gy; if (ay < 0) { ay = 0 - ay; }
+        mag[i] = ax + ay;
+        // Quantize direction by comparing |gy| to |gx| scaled.
+        int d = 0;
+        if (2 * ay > ax) {
+          if (2 * ax > ay) {
+            if ((gx > 0 && gy > 0) || (gx < 0 && gy < 0)) { d = 1; } else { d = 3; }
+          } else {
+            d = 2;
+          }
+        }
+        dir[i] = d;
+      }
+    }
+  }
+
+  // Non-maximum suppression plus double threshold.
+  static int[] suppress(int[] mag, int[] dir, int w, int h) {
+    int[] out = new int[w * h];
+    int hi = 160;
+    int lo = 80;
+    for (int y = 1; y < h - 1; y = y + 1) {
+      for (int x = 1; x < w - 1; x = x + 1) {
+        int i = y * w + x;
+        int m = mag[i];
+        if (m < lo) { out[i] = 0; }
+        else {
+          int a = 0;
+          int b = 0;
+          int d = dir[i];
+          if (d == 0) { a = mag[i - 1]; b = mag[i + 1]; }
+          if (d == 1) { a = mag[i - w + 1]; b = mag[i + w - 1]; }
+          if (d == 2) { a = mag[i - w]; b = mag[i + w]; }
+          if (d == 3) { a = mag[i - w - 1]; b = mag[i + w + 1]; }
+          if (m >= a && m >= b) {
+            if (m >= hi) { out[i] = 255; } else { out[i] = 128; }
+          }
+        }
+      }
+    }
+    return out;
+  }
+}
+`
+
+type edInput struct {
+	img *pgm.Image
+}
+
+func edMake(size int, seed uint64) Input {
+	return &edInput{img: pgm.Synthetic(size, size, seed)}
+}
+
+// reference mirrors ED.detect.
+func (in *edInput) reference() []int {
+	w, h := in.img.W, in.img.H
+	pix := in.img.Pix
+	blur := make([]int, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sum := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					yy, xx := y+dy, x+dx
+					if yy < 0 {
+						yy = 0
+					}
+					if yy >= h {
+						yy = h - 1
+					}
+					if xx < 0 {
+						xx = 0
+					}
+					if xx >= w {
+						xx = w - 1
+					}
+					k := 1
+					if dx == 0 {
+						k = 2
+					}
+					if dy == 0 {
+						k *= 2
+					}
+					sum += pix[yy*w+xx] * k
+				}
+			}
+			blur[y*w+x] = sum / 16
+		}
+	}
+	mag := make([]int, w*h)
+	dir := make([]int, w*h)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			i := y*w + x
+			gx := blur[i-w+1] + 2*blur[i+1] + blur[i+w+1] - blur[i-w-1] - 2*blur[i-1] - blur[i+w-1]
+			gy := blur[i+w-1] + 2*blur[i+w] + blur[i+w+1] - blur[i-w-1] - 2*blur[i-w] - blur[i-w+1]
+			ax, ay := gx, gy
+			if ax < 0 {
+				ax = -ax
+			}
+			if ay < 0 {
+				ay = -ay
+			}
+			mag[i] = ax + ay
+			d := 0
+			if 2*ay > ax {
+				if 2*ax > ay {
+					if (gx > 0 && gy > 0) || (gx < 0 && gy < 0) {
+						d = 1
+					} else {
+						d = 3
+					}
+				} else {
+					d = 2
+				}
+			}
+			dir[i] = d
+		}
+	}
+	out := make([]int, w*h)
+	hi, lo := 160, 80
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			i := y*w + x
+			m := mag[i]
+			if m < lo {
+				continue
+			}
+			var a, b int
+			switch dir[i] {
+			case 0:
+				a, b = mag[i-1], mag[i+1]
+			case 1:
+				a, b = mag[i-w+1], mag[i+w-1]
+			case 2:
+				a, b = mag[i-w], mag[i+w]
+			case 3:
+				a, b = mag[i-w-1], mag[i+w+1]
+			}
+			if m >= a && m >= b {
+				if m >= hi {
+					out[i] = 255
+				} else {
+					out[i] = 128
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (in *edInput) Args(v *vm.VM) ([]vm.Slot, error) {
+	h, err := intArrayToHeap(v, in.img.Pix)
+	if err != nil {
+		return nil, err
+	}
+	return []vm.Slot{vm.RefSlot(h), vm.IntSlot(int32(in.img.W)), vm.IntSlot(int32(in.img.H))}, nil
+}
+
+func (in *edInput) Check(v *vm.VM, res vm.Slot) error {
+	return checkIntArray(v, res, in.reference(), "ed")
+}
+
+// ED returns the Edge-Detector benchmark.
+func ED() *App {
+	return &App{
+		Name:          "ed",
+		Desc:          "detects edges with Canny's algorithm",
+		SizeDesc:      "image width (square image)",
+		Source:        edSource,
+		Class:         "ED",
+		Method:        "detect",
+		SizeArg:       1,
+		ProfileSizes:  []int{12, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96},
+		SmallSize:     16,
+		LargeSize:     88,
+		ScenarioSizes: []int{16, 32, 48, 64, 88},
+		MakeInput:     edMake,
+	}
+}

@@ -1,0 +1,150 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// FE is the Function-Evaluator: given a function f, a range, and a
+// step count, it integrates f over the range by the trapezoid rule.
+// The function is an object with a virtual eval method — cubic
+// polynomials and rational functions — so the benchmark exercises
+// virtual dispatch in the hot loop (inlining fodder for Level3).
+const feSource = `
+class Func {
+  float eval(float x) { return x; }
+}
+class PolyFunc extends Func {
+  float a0; float a1; float a2; float a3;
+  float eval(float x) { return a0 + x * (a1 + x * (a2 + x * a3)); }
+}
+class RationalFunc extends Func {
+  float num; float den;
+  float eval(float x) { return num / (x * x + den); }
+}
+class FE {
+  potential static float integrate(Func f, float lo, float hi, int steps) {
+    float h = (hi - lo) / steps;
+    float sum = (f.eval(lo) + f.eval(hi)) * 0.5;
+    for (int i = 1; i < steps; i = i + 1) {
+      sum = sum + f.eval(lo + h * i);
+    }
+    return sum * h;
+  }
+}
+`
+
+type feInput struct {
+	poly           bool
+	a0, a1, a2, a3 float64
+	num, den       float64
+	lo, hi         float64
+	steps          int
+}
+
+func feMake(size int, seed uint64) Input {
+	r := rng.New(seed)
+	// Always a polynomial: evaluation cost is then independent of the
+	// drawn coefficients, keeping cost a stable function of the step
+	// count (rational functions cost differently per step, which would
+	// defeat size-based estimation; RationalFunc remains for the
+	// language-level virtual-dispatch tests and examples).
+	in := &feInput{
+		poly:  true,
+		a0:    r.Float64()*4 - 2,
+		a1:    r.Float64()*4 - 2,
+		a2:    r.Float64()*2 - 1,
+		a3:    r.Float64() - 0.5,
+		num:   1 + r.Float64()*3,
+		den:   1 + r.Float64()*2,
+		lo:    -1 - r.Float64(),
+		hi:    1 + r.Float64(),
+		steps: size,
+	}
+	return in
+}
+
+func (in *feInput) eval(x float64) float64 {
+	if in.poly {
+		return in.a0 + x*(in.a1+x*(in.a2+x*in.a3))
+	}
+	return in.num / (x*x + in.den)
+}
+
+// reference mirrors FE.integrate operation-for-operation so float64
+// results are bit-identical.
+func (in *feInput) reference() float64 {
+	h := (in.hi - in.lo) / float64(int32(in.steps))
+	sum := (in.eval(in.lo) + in.eval(in.hi)) * 0.5
+	for i := 1; i < in.steps; i++ {
+		sum = sum + in.eval(in.lo+h*float64(int32(i)))
+	}
+	return sum * h
+}
+
+func (in *feInput) Args(v *vm.VM) ([]vm.Slot, error) {
+	prog := v.Prog
+	var h int64
+	var err error
+	if in.poly {
+		cls := prog.Class("PolyFunc")
+		if h, err = v.Heap.NewObject(int32(cls.ID)); err != nil {
+			return nil, err
+		}
+		fields := []struct {
+			name string
+			val  float64
+		}{{"a0", in.a0}, {"a1", in.a1}, {"a2", in.a2}, {"a3", in.a3}}
+		for _, f := range fields {
+			if err := v.Heap.SetFieldF(h, cls.FieldSlot(f.name).Slot, f.val); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		cls := prog.Class("RationalFunc")
+		if h, err = v.Heap.NewObject(int32(cls.ID)); err != nil {
+			return nil, err
+		}
+		if err := v.Heap.SetFieldF(h, cls.FieldSlot("num").Slot, in.num); err != nil {
+			return nil, err
+		}
+		if err := v.Heap.SetFieldF(h, cls.FieldSlot("den").Slot, in.den); err != nil {
+			return nil, err
+		}
+	}
+	return []vm.Slot{
+		vm.RefSlot(h),
+		vm.FloatSlot(in.lo),
+		vm.FloatSlot(in.hi),
+		vm.IntSlot(int32(in.steps)),
+	}, nil
+}
+
+func (in *feInput) Check(v *vm.VM, res vm.Slot) error {
+	want := in.reference()
+	if math.Abs(res.F-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		return fmt.Errorf("apps: fe integrate = %g, want %g", res.F, want)
+	}
+	return nil
+}
+
+// FE returns the Function-Evaluator benchmark.
+func FE() *App {
+	return &App{
+		Name:          "fe",
+		Desc:          "integrates f(x) over a range with a given step count",
+		SizeDesc:      "step count",
+		Source:        feSource,
+		Class:         "FE",
+		Method:        "integrate",
+		SizeArg:       3,
+		ProfileSizes:  []int{1000, 4000, 10000, 20000, 40000, 60000},
+		SmallSize:     2000,
+		LargeSize:     56000,
+		ScenarioSizes: []int{2000, 8000, 20000, 40000, 56000},
+		MakeInput:     feMake,
+	}
+}

@@ -1,0 +1,152 @@
+package apps
+
+import (
+	"greenvm/internal/pgm"
+	"greenvm/internal/vm"
+)
+
+// HPF is the High-Pass-Filter: given an image and a threshold, it
+// returns the image with low-frequency content removed. The paper's
+// frequency-domain formulation is realized spatially (the standard
+// embedded-systems trick): high-pass = original - box-blur, where the
+// threshold controls the blur radius (a lower cut-off frequency means
+// a larger radius). The separable two-pass blur keeps the kernel
+// O(n) per pixel.
+const hpfSource = `
+class HPF {
+  potential static int[] filter(int[] pix, int w, int h, int threshold) {
+    int radius = 256 / (threshold + 1);
+    if (radius < 1) { radius = 1; }
+    if (radius > 7) { radius = 7; }
+    int[] tmp = new int[w * h];
+    int[] out = new int[w * h];
+    // Horizontal pass.
+    for (int y = 0; y < h; y = y + 1) {
+      for (int x = 0; x < w; x = x + 1) {
+        int sum = 0;
+        int cnt = 0;
+        for (int d = 0 - radius; d <= radius; d = d + 1) {
+          int xx = x + d;
+          if (xx >= 0 && xx < w) {
+            sum = sum + pix[y * w + xx];
+            cnt = cnt + 1;
+          }
+        }
+        tmp[y * w + x] = sum / cnt;
+      }
+    }
+    // Vertical pass, subtract, re-center at 128 and clamp.
+    for (int y = 0; y < h; y = y + 1) {
+      for (int x = 0; x < w; x = x + 1) {
+        int sum = 0;
+        int cnt = 0;
+        for (int d = 0 - radius; d <= radius; d = d + 1) {
+          int yy = y + d;
+          if (yy >= 0 && yy < h) {
+            sum = sum + tmp[yy * w + x];
+            cnt = cnt + 1;
+          }
+        }
+        int hp = pix[y * w + x] - sum / cnt + 128;
+        if (hp < 0) { hp = 0; }
+        if (hp > 255) { hp = 255; }
+        out[y * w + x] = hp;
+      }
+    }
+    return out;
+  }
+}
+`
+
+type hpfInput struct {
+	img       *pgm.Image
+	threshold int
+}
+
+func hpfMake(size int, seed uint64) Input {
+	// The threshold is held fixed so that cost is a stable function of
+	// the size parameter alone (the paper notes its estimators assume
+	// parameter sizes are representative of execution cost).
+	return &hpfInput{img: pgm.Synthetic(size, size, seed), threshold: 50}
+}
+
+// reference mirrors HPF.filter.
+func (in *hpfInput) reference() []int {
+	w, h := in.img.W, in.img.H
+	radius := 256 / (in.threshold + 1)
+	if radius < 1 {
+		radius = 1
+	}
+	if radius > 7 {
+		radius = 7
+	}
+	tmp := make([]int, w*h)
+	out := make([]int, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sum, cnt := 0, 0
+			for d := -radius; d <= radius; d++ {
+				if xx := x + d; xx >= 0 && xx < w {
+					sum += in.img.Pix[y*w+xx]
+					cnt++
+				}
+			}
+			tmp[y*w+x] = sum / cnt
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sum, cnt := 0, 0
+			for d := -radius; d <= radius; d++ {
+				if yy := y + d; yy >= 0 && yy < h {
+					sum += tmp[yy*w+x]
+					cnt++
+				}
+			}
+			hp := in.img.Pix[y*w+x] - sum/cnt + 128
+			if hp < 0 {
+				hp = 0
+			}
+			if hp > 255 {
+				hp = 255
+			}
+			out[y*w+x] = hp
+		}
+	}
+	return out
+}
+
+func (in *hpfInput) Args(v *vm.VM) ([]vm.Slot, error) {
+	h, err := intArrayToHeap(v, in.img.Pix)
+	if err != nil {
+		return nil, err
+	}
+	return []vm.Slot{
+		vm.RefSlot(h),
+		vm.IntSlot(int32(in.img.W)),
+		vm.IntSlot(int32(in.img.H)),
+		vm.IntSlot(int32(in.threshold)),
+	}, nil
+}
+
+func (in *hpfInput) Check(v *vm.VM, res vm.Slot) error {
+	return checkIntArray(v, res, in.reference(), "hpf")
+}
+
+// HPF returns the High-Pass-Filter benchmark.
+func HPF() *App {
+	return &App{
+		Name:          "hpf",
+		Desc:          "removes frequencies below a threshold from an image",
+		SizeDesc:      "image width (square image), threshold frequency",
+		Source:        hpfSource,
+		Class:         "HPF",
+		Method:        "filter",
+		SizeArg:       1,
+		ProfileSizes:  []int{12, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96},
+		SmallSize:     16,
+		LargeSize:     88,
+		ScenarioSizes: []int{16, 32, 48, 64, 88},
+		MakeInput:     hpfMake,
+	}
+}

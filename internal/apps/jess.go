@@ -1,0 +1,147 @@
+package apps
+
+import (
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// Jess stands in for the SpecJVM98 expert-system shell: a forward-
+// chaining production system. Facts are numbered 0..nfacts-1; each
+// rule has two antecedent facts and one consequent
+// (flattened triples). The engine fires rules until a fixpoint, the
+// core match-act cycle of a rule engine, and returns the derived fact
+// base.
+const jessSource = `
+class Jess {
+  potential static int[] run(int[] rules, int nfacts, int[] initial) {
+    int[] facts = new int[nfacts];
+    for (int i = 0; i < initial.length; i = i + 1) {
+      facts[initial[i]] = 1;
+    }
+    int nrules = rules.length / 3;
+    int changed = 1;
+    int fired = 0;
+    while (changed == 1) {
+      changed = 0;
+      for (int ri = 0; ri < nrules; ri = ri + 1) {
+        int p1 = rules[ri * 3];
+        int p2 = rules[ri * 3 + 1];
+        int c = rules[ri * 3 + 2];
+        // Branch-free match so the cost per rule per pass does not
+        // depend on fact contents (keeps cost a function of size).
+        if (facts[p1] * facts[p2] * (1 - facts[c]) == 1) {
+          facts[c] = 1;
+          fired = fired + 1;
+          changed = 1;
+        }
+      }
+    }
+    // Final slot carries the fired-rule count as an audit trail.
+    int[] out = new int[nfacts + 1];
+    for (int i = 0; i < nfacts; i = i + 1) { out[i] = facts[i]; }
+    out[nfacts] = fired;
+    return out;
+  }
+}
+`
+
+type jessInput struct {
+	rules   []int
+	nfacts  int
+	initial []int
+}
+
+// jessMake generates a layered rule base sized by the number of
+// rules: facts form a fixed number of layers, every rule's
+// antecedents come from layer i and its consequent from layer i+1, and
+// the initial facts are the whole first layer. The fixpoint therefore
+// takes one match pass per layer regardless of the random content,
+// which keeps execution cost a stable function of the size parameter
+// (the property the paper's size-based estimators rely on).
+func jessMake(size int, seed uint64) Input {
+	const layers = 6
+	r := rng.New(seed)
+	nrules := size
+	perLayer := size/(2*layers) + 4
+	nfacts := perLayer * layers
+	factAt := func(layer, i int) int { return layer*perLayer + i }
+	rules := make([]int, 0, nrules*3)
+	for i := 0; i < nrules; i++ {
+		// Rules are grouped by layer (a compiled rule network is
+		// topologically ordered), so the engine reaches its fixpoint in
+		// one pass plus one confirming pass: execution cost is a stable
+		// function of the rule count alone.
+		layer := i * (layers - 1) / nrules
+		p1 := factAt(layer, r.Intn(perLayer))
+		p2 := factAt(layer, r.Intn(perLayer))
+		c := factAt(layer+1, r.Intn(perLayer))
+		rules = append(rules, p1, p2, c)
+	}
+	initial := make([]int, perLayer)
+	for i := range initial {
+		initial[i] = factAt(0, i)
+	}
+	return &jessInput{rules: rules, nfacts: nfacts, initial: initial}
+}
+
+// reference mirrors Jess.run.
+func (in *jessInput) reference() []int {
+	facts := make([]int, in.nfacts)
+	for _, f := range in.initial {
+		facts[f] = 1
+	}
+	nrules := len(in.rules) / 3
+	fired := 0
+	changed := true
+	for changed {
+		changed = false
+		for ri := 0; ri < nrules; ri++ {
+			p1, p2, c := in.rules[ri*3], in.rules[ri*3+1], in.rules[ri*3+2]
+			if facts[p1]*facts[p2]*(1-facts[c]) == 1 {
+				facts[c] = 1
+				fired++
+				changed = true
+			}
+		}
+	}
+	out := make([]int, in.nfacts+1)
+	copy(out, facts)
+	out[in.nfacts] = fired
+	return out
+}
+
+func (in *jessInput) Args(v *vm.VM) ([]vm.Slot, error) {
+	rh, err := intArrayToHeap(v, in.rules)
+	if err != nil {
+		return nil, err
+	}
+	ih, err := intArrayToHeap(v, in.initial)
+	if err != nil {
+		return nil, err
+	}
+	return []vm.Slot{vm.RefSlot(rh), vm.IntSlot(int32(in.nfacts)), vm.RefSlot(ih)}, nil
+}
+
+func (in *jessInput) Check(v *vm.VM, res vm.Slot) error {
+	return checkIntArray(v, res, in.reference(), "jess")
+}
+
+// Jess returns the expert-system benchmark. The size parameter is the
+// number of rules.
+func Jess() *App {
+	return &App{
+		Name:          "jess",
+		Desc:          "forward-chaining expert system shell",
+		SizeDesc:      "number of rules",
+		Source:        jessSource,
+		Class:         "Jess",
+		Method:        "run",
+		SizeArg:       0,
+		SizeDiv:       3, // the rule base is flattened 3 ints per rule
+		ProfileSizes:  []int{512, 1024, 2048, 4096, 8192, 12288},
+		SmallSize:     768,
+		LargeSize:     11000,
+		ScenarioSizes: []int{1000, 2000, 4000, 8000, 11000},
+		MakeInput:     jessMake,
+	}
+}

@@ -1,0 +1,131 @@
+package apps
+
+import (
+	"greenvm/internal/pgm"
+	"greenvm/internal/vm"
+)
+
+// MF is the Median-Filter: given an image (PGM) and a window size, it
+// produces a new image where every pixel is the median of its window
+// (border pixels use the in-bounds part of the window).
+const mfSource = `
+class MF {
+  potential static int[] filter(int[] pix, int w, int h, int win) {
+    int[] out = new int[w * h];
+    int r = win / 2;
+    int[] window = new int[win * win];
+    for (int y = 0; y < h; y = y + 1) {
+      for (int x = 0; x < w; x = x + 1) {
+        int cnt = 0;
+        for (int dy = 0 - r; dy <= r; dy = dy + 1) {
+          for (int dx = 0 - r; dx <= r; dx = dx + 1) {
+            int yy = y + dy;
+            int xx = x + dx;
+            if (yy >= 0 && yy < h && xx >= 0 && xx < w) {
+              window[cnt] = pix[yy * w + xx];
+              cnt = cnt + 1;
+            }
+          }
+        }
+        out[y * w + x] = median(window, cnt);
+      }
+    }
+    return out;
+  }
+
+  static int median(int[] a, int n) {
+    for (int i = 1; i < n; i = i + 1) {
+      int v = a[i];
+      int j = i - 1;
+      while (j >= 0 && a[j] > v) {
+        a[j + 1] = a[j];
+        j = j - 1;
+      }
+      a[j + 1] = v;
+    }
+    return a[n / 2];
+  }
+}
+`
+
+type mfInput struct {
+	img *pgm.Image
+	win int
+}
+
+func mfMake(size int, seed uint64) Input {
+	return &mfInput{img: pgm.Synthetic(size, size, seed), win: 3}
+}
+
+// reference mirrors MF.filter.
+func (in *mfInput) reference() []int {
+	w, h := in.img.W, in.img.H
+	out := make([]int, w*h)
+	r := in.win / 2
+	window := make([]int, in.win*in.win)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cnt := 0
+			for dy := -r; dy <= r; dy++ {
+				for dx := -r; dx <= r; dx++ {
+					yy, xx := y+dy, x+dx
+					if yy >= 0 && yy < h && xx >= 0 && xx < w {
+						window[cnt] = in.img.Pix[yy*w+xx]
+						cnt++
+					}
+				}
+			}
+			out[y*w+x] = refMedian(window, cnt)
+		}
+	}
+	return out
+}
+
+func refMedian(a []int, n int) int {
+	for i := 1; i < n; i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+	return a[n/2]
+}
+
+func (in *mfInput) Args(v *vm.VM) ([]vm.Slot, error) {
+	h, err := intArrayToHeap(v, in.img.Pix)
+	if err != nil {
+		return nil, err
+	}
+	return []vm.Slot{
+		vm.RefSlot(h),
+		vm.IntSlot(int32(in.img.W)),
+		vm.IntSlot(int32(in.img.H)),
+		vm.IntSlot(int32(in.win)),
+	}, nil
+}
+
+func (in *mfInput) Check(v *vm.VM, res vm.Slot) error {
+	return checkIntArray(v, res, in.reference(), "mf")
+}
+
+// MF returns the Median-Filter benchmark. The size parameter is the
+// image width (images are square).
+func MF() *App {
+	return &App{
+		Name:          "mf",
+		Desc:          "median filtering of a PGM image with a given window",
+		SizeDesc:      "image width (square image), window size",
+		Source:        mfSource,
+		Class:         "MF",
+		Method:        "filter",
+		SizeArg:       1,
+		ProfileSizes:  []int{12, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96},
+		SmallSize:     16,
+		LargeSize:     88,
+		ScenarioSizes: []int{16, 32, 48, 64, 88},
+		MakeInput:     mfMake,
+	}
+}

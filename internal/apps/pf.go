@@ -1,0 +1,143 @@
+package apps
+
+import (
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// PF is the Path-Finder: given a map (a weighted edge list — the
+// paper's size parameters are "number of nodes and number of edges")
+// and a source node, it computes the shortest-path tree rooted at the
+// source: it expands the edges into an adjacency matrix and runs
+// Dijkstra without a priority queue, the O(V^2) formulation typical of
+// embedded code. Only the compact edge list crosses the network when
+// the method is offloaded.
+const pfSource = `
+class PF {
+  potential static int[] shortest(int[] edges, int n, int src) {
+    int[] adj = new int[n * n];
+    int ne = edges.length / 3;
+    for (int e = 0; e < ne; e = e + 1) {
+      int ea = edges[e * 3];
+      int eb = edges[e * 3 + 1];
+      int ew = edges[e * 3 + 2];
+      adj[ea * n + eb] = ew;
+      adj[eb * n + ea] = ew;
+    }
+    int INF = 1000000000;
+    int[] dist = new int[n];
+    int[] done = new int[n];
+    for (int i = 0; i < n; i = i + 1) { dist[i] = INF; }
+    dist[src] = 0;
+    for (int it = 0; it < n; it = it + 1) {
+      int best = 0 - 1;
+      int bd = INF;
+      for (int i = 0; i < n; i = i + 1) {
+        if (done[i] == 0 && dist[i] < bd) { bd = dist[i]; best = i; }
+      }
+      if (best < 0) { return dist; }
+      done[best] = 1;
+      int base = best * n;
+      for (int j = 0; j < n; j = j + 1) {
+        int w = adj[base + j];
+        if (w > 0 && dist[best] + w < dist[j]) {
+          dist[j] = dist[best] + w;
+        }
+      }
+    }
+    return dist;
+  }
+}
+`
+
+type pfInput struct {
+	n     int
+	edges []int // flattened (a, b, w) triples
+	src   int
+}
+
+// pfMake generates a connected random graph as an edge list: a ring
+// (guaranteeing connectivity) plus ~3n random chords.
+func pfMake(size int, seed uint64) Input {
+	r := rng.New(seed)
+	n := size
+	var edges []int
+	for i := 0; i < n; i++ {
+		edges = append(edges, i, (i+1)%n, 1+r.Intn(20))
+	}
+	for k := 0; k < 3*n; k++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			edges = append(edges, a, b, 1+r.Intn(50))
+		}
+	}
+	return &pfInput{n: n, edges: edges, src: r.Intn(n)}
+}
+
+const pfInf = 1000000000
+
+// reference mirrors PF.shortest.
+func (in *pfInput) reference() []int {
+	n := in.n
+	adj := make([]int, n*n)
+	for e := 0; e < len(in.edges)/3; e++ {
+		a, b, w := in.edges[e*3], in.edges[e*3+1], in.edges[e*3+2]
+		adj[a*n+b] = w
+		adj[b*n+a] = w
+	}
+	dist := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = pfInf
+	}
+	dist[in.src] = 0
+	for it := 0; it < n; it++ {
+		best, bd := -1, pfInf
+		for i := 0; i < n; i++ {
+			if !done[i] && dist[i] < bd {
+				bd, best = dist[i], i
+			}
+		}
+		if best < 0 {
+			return dist
+		}
+		done[best] = true
+		for j := 0; j < n; j++ {
+			w := adj[best*n+j]
+			if w > 0 && dist[best]+w < dist[j] {
+				dist[j] = dist[best] + w
+			}
+		}
+	}
+	return dist
+}
+
+func (in *pfInput) Args(v *vm.VM) ([]vm.Slot, error) {
+	h, err := intArrayToHeap(v, in.edges)
+	if err != nil {
+		return nil, err
+	}
+	return []vm.Slot{vm.RefSlot(h), vm.IntSlot(int32(in.n)), vm.IntSlot(int32(in.src))}, nil
+}
+
+func (in *pfInput) Check(v *vm.VM, res vm.Slot) error {
+	return checkIntArray(v, res, in.reference(), "pf")
+}
+
+// PF returns the Path-Finder benchmark.
+func PF() *App {
+	return &App{
+		Name:          "pf",
+		Desc:          "shortest path tree from a source node of a weighted map",
+		SizeDesc:      "number of nodes",
+		Source:        pfSource,
+		Class:         "PF",
+		Method:        "shortest",
+		SizeArg:       1,
+		ProfileSizes:  []int{64, 96, 128, 192, 256, 320},
+		SmallSize:     72,
+		LargeSize:     300,
+		ScenarioSizes: []int{80, 128, 192, 256, 300},
+		MakeInput:     pfMake,
+	}
+}

@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// Sort is the Sorting utility: quicksort with median-of-three pivot
+// selection and an insertion-sort cutoff for small partitions, sorting
+// a copy of the input array.
+const sortSource = `
+class Sort {
+  potential static int[] sortArray(int[] a) {
+    int[] b = new int[a.length];
+    for (int i = 0; i < a.length; i = i + 1) { b[i] = a[i]; }
+    quick(b, 0, b.length - 1);
+    return b;
+  }
+
+  static void quick(int[] a, int lo, int hi) {
+    while (lo < hi) {
+      if (hi - lo < 12) {
+        insertion(a, lo, hi);
+        return;
+      }
+      int p = partition(a, lo, hi);
+      // Recurse into the smaller half, iterate over the larger.
+      if (p - lo < hi - p) {
+        quick(a, lo, p - 1);
+        lo = p + 1;
+      } else {
+        quick(a, p + 1, hi);
+        hi = p - 1;
+      }
+    }
+  }
+
+  static int partition(int[] a, int lo, int hi) {
+    int mid = lo + (hi - lo) / 2;
+    // Median-of-three: order a[lo], a[mid], a[hi].
+    if (a[mid] < a[lo]) { swap(a, mid, lo); }
+    if (a[hi] < a[lo]) { swap(a, hi, lo); }
+    if (a[hi] < a[mid]) { swap(a, hi, mid); }
+    int pivot = a[mid];
+    swap(a, mid, hi - 1);
+    int i = lo;
+    int j = hi - 1;
+    while (true) {
+      i = i + 1;
+      while (a[i] < pivot) { i = i + 1; }
+      j = j - 1;
+      while (a[j] > pivot) { j = j - 1; }
+      if (i >= j) {
+        swap(a, i, hi - 1);
+        return i;
+      }
+      swap(a, i, j);
+    }
+    return i;
+  }
+
+  static void insertion(int[] a, int lo, int hi) {
+    for (int i = lo + 1; i <= hi; i = i + 1) {
+      int v = a[i];
+      int j = i - 1;
+      while (j >= lo && a[j] > v) {
+        a[j + 1] = a[j];
+        j = j - 1;
+      }
+      a[j + 1] = v;
+    }
+  }
+
+  static void swap(int[] a, int i, int j) {
+    int t = a[i];
+    a[i] = a[j];
+    a[j] = t;
+  }
+}
+`
+
+type sortInput struct {
+	data []int
+}
+
+func sortMake(size int, seed uint64) Input {
+	r := rng.New(seed)
+	data := make([]int, size)
+	for i := range data {
+		data[i] = r.Intn(1 << 20)
+	}
+	return &sortInput{data: data}
+}
+
+func (in *sortInput) reference() []int {
+	out := append([]int(nil), in.data...)
+	// A simple deterministic sort is enough for the expected output.
+	quickRef(out, 0, len(out)-1)
+	return out
+}
+
+func quickRef(a []int, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	p := a[(lo+hi)/2]
+	i, j := lo, hi
+	for i <= j {
+		for a[i] < p {
+			i++
+		}
+		for a[j] > p {
+			j--
+		}
+		if i <= j {
+			a[i], a[j] = a[j], a[i]
+			i++
+			j--
+		}
+	}
+	quickRef(a, lo, j)
+	quickRef(a, i, hi)
+}
+
+func (in *sortInput) Args(v *vm.VM) ([]vm.Slot, error) {
+	h, err := intArrayToHeap(v, in.data)
+	if err != nil {
+		return nil, err
+	}
+	return []vm.Slot{vm.RefSlot(h)}, nil
+}
+
+func (in *sortInput) Check(v *vm.VM, res vm.Slot) error {
+	return checkIntArray(v, res, in.reference(), "sort")
+}
+
+// Sort returns the Sorting benchmark.
+func Sort() *App {
+	return &App{
+		Name:          "sort",
+		Desc:          "sorts an array with quicksort",
+		SizeDesc:      "array size",
+		Source:        sortSource,
+		Class:         "Sort",
+		Method:        "sortArray",
+		SizeArg:       0,
+		NLogN:         true,
+		ProfileSizes:  []int{1000, 2000, 4000, 8000, 12000, 16000},
+		SmallSize:     1500,
+		LargeSize:     14000,
+		ScenarioSizes: []int{2000, 4000, 8000, 12000, 14000},
+		MakeInput:     sortMake,
+	}
+}

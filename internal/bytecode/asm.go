@@ -1,0 +1,88 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Asm builds a method body instruction by instruction with symbolic
+// labels; the MJ compiler's code generator and hand-written tests both
+// use it instead of computing branch indices manually.
+type Asm struct {
+	insns  []Insn
+	labels map[string]int
+	fixups map[int]string // insn index -> label
+}
+
+// NewAsm returns an empty builder.
+func NewAsm() *Asm {
+	return &Asm{labels: map[string]int{}, fixups: map[int]string{}}
+}
+
+// Len returns the number of instructions emitted so far.
+func (a *Asm) Len() int { return len(a.insns) }
+
+// Op emits an operand-less instruction.
+func (a *Asm) Op(op Opcode) *Asm {
+	a.insns = append(a.insns, Insn{Op: op})
+	return a
+}
+
+// OpA emits an instruction with integer operand v.
+func (a *Asm) OpA(op Opcode, v int32) *Asm {
+	a.insns = append(a.insns, Insn{Op: op, A: v})
+	return a
+}
+
+// Iconst pushes an int constant.
+func (a *Asm) Iconst(v int32) *Asm { return a.OpA(ICONST, v) }
+
+// Fconst pushes a float constant.
+func (a *Asm) Fconst(v float64) *Asm {
+	a.insns = append(a.insns, Insn{Op: FCONST, F: v})
+	return a
+}
+
+// Label defines the named label at the current position.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("bytecode: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.insns)
+	return a
+}
+
+// Branch emits a branch instruction targeting the named label, which
+// may be defined before or after this point.
+func (a *Asm) Branch(op Opcode, label string) *Asm {
+	if !op.IsBranch() {
+		panic(fmt.Sprintf("bytecode: %s is not a branch", op.Name()))
+	}
+	a.fixups[len(a.insns)] = label
+	a.insns = append(a.insns, Insn{Op: op})
+	return a
+}
+
+// Finish resolves labels and returns the instruction sequence.
+func (a *Asm) Finish() ([]Insn, error) {
+	for idx, label := range a.fixups {
+		target, ok := a.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("bytecode: undefined label %q", label)
+		}
+		a.insns[idx].A = int32(target)
+	}
+	return a.insns, nil
+}
+
+// MustFinish is Finish for statically known-good code.
+func (a *Asm) MustFinish() []Insn {
+	code, err := a.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+// ErrNoEntry is returned when a program lacks the requested entry method.
+var ErrNoEntry = errors.New("bytecode: entry method not found")

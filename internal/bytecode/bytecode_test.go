@@ -1,0 +1,488 @@
+package bytecode
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// testProgram builds a small two-class program exercising fields,
+// inheritance, statics and virtual dispatch.
+//
+//	class Point { int x; int y; float w; Point next;
+//	              int getX() { return x; }
+//	              static int add(int a, int b) { return a+b; } }
+//	class Point3 extends Point { int z;
+//	              int getX() { return x + z; } }
+func testProgram(t testing.TB) *Program {
+	t.Helper()
+	getX := &Method{
+		Name: "getX", Ret: TInt, MaxLocals: 1,
+		Code: NewAsm().
+			OpA(ALOAD, 0).
+			OpA(GETFI, 0). // x
+			Op(IRETURN).
+			MustFinish(),
+	}
+	add := &Method{
+		Name: "add", Static: true, Params: []Type{TInt, TInt}, Ret: TInt, MaxLocals: 2,
+		Code: NewAsm().
+			OpA(ILOAD, 0).
+			OpA(ILOAD, 1).
+			Op(IADD).
+			Op(IRETURN).
+			MustFinish(),
+	}
+	point := &Class{
+		Name: "Point",
+		Fields: []Field{
+			{Name: "x", Type: TInt},
+			{Name: "y", Type: TInt},
+			{Name: "w", Type: TFloat},
+			{Name: "next", Type: TObject("Point")},
+		},
+		Methods: []*Method{getX, add},
+	}
+	getX3 := &Method{
+		Name: "getX", Ret: TInt, MaxLocals: 1,
+		Code: NewAsm().
+			OpA(ALOAD, 0).
+			OpA(GETFI, 0). // x
+			OpA(ALOAD, 0).
+			OpA(GETFI, 2). // z (slot after x, y)
+			Op(IADD).
+			Op(IRETURN).
+			MustFinish(),
+	}
+	point3 := &Class{
+		Name:      "Point3",
+		SuperName: "Point",
+		Fields:    []Field{{Name: "z", Type: TInt}},
+		Methods:   []*Method{getX3},
+	}
+	p := &Program{Classes: []*Class{point, point3}}
+	if err := p.Link(); err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p
+}
+
+func TestLinkLayout(t *testing.T) {
+	p := testProgram(t)
+	pt := p.Class("Point")
+	if pt.NumISlots() != 3 { // x, y, next
+		t.Errorf("Point int slots = %d, want 3", pt.NumISlots())
+	}
+	if pt.NumFSlots() != 1 {
+		t.Errorf("Point float slots = %d, want 1", pt.NumFSlots())
+	}
+	if got := pt.RefSlots(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Point ref slots = %v, want [2]", got)
+	}
+	p3 := p.Class("Point3")
+	if p3.NumISlots() != 4 { // inherited x, y, next + z
+		t.Errorf("Point3 int slots = %d, want 4", p3.NumISlots())
+	}
+	fz := p3.FieldSlot("z")
+	if fz == nil || fz.Slot != 3 {
+		t.Errorf("Point3.z slot = %+v, want slot 3", fz)
+	}
+	if fx := p3.FieldSlot("x"); fx == nil || fx.Slot != 0 {
+		t.Errorf("inherited Point3.x slot = %+v, want slot 0", fx)
+	}
+}
+
+func TestLinkVtableAndOverride(t *testing.T) {
+	p := testProgram(t)
+	pt, p3 := p.Class("Point"), p.Class("Point3")
+	if pt.Resolve("getX") == p3.Resolve("getX") {
+		t.Error("Point3 should override getX")
+	}
+	if got := p3.Resolve("getX"); got.Class != p3 {
+		t.Errorf("Point3 vtable getX from %s", got.Class.Name)
+	}
+	base := pt.Resolve("getX")
+	if !base.Overridden {
+		t.Error("Point.getX should be marked overridden")
+	}
+	if p3.Resolve("getX").Overridden {
+		t.Error("leaf override should not be marked overridden")
+	}
+	if !p3.IsSubclassOf(pt) || pt.IsSubclassOf(p3) {
+		t.Error("IsSubclassOf wrong")
+	}
+}
+
+func TestFindMethodReflective(t *testing.T) {
+	p := testProgram(t)
+	if m := p.FindMethod("Point3", "getX"); m == nil || m.Class.Name != "Point3" {
+		t.Error("FindMethod should resolve virtual override")
+	}
+	if m := p.FindMethod("Point3", "add"); m == nil || !m.Static {
+		t.Error("FindMethod should find inherited static method")
+	}
+	if p.FindMethod("Nope", "x") != nil || p.FindMethod("Point", "nope") != nil {
+		t.Error("FindMethod should return nil for unknown names")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	cases := map[string]*Program{
+		"unknown super": {Classes: []*Class{{Name: "A", SuperName: "B"}}},
+		"dup class":     {Classes: []*Class{{Name: "A"}, {Name: "A"}}},
+		"cycle": {Classes: []*Class{
+			{Name: "A", SuperName: "B"}, {Name: "B", SuperName: "A"}}},
+		"dup field": {Classes: []*Class{{Name: "A",
+			Fields: []Field{{Name: "f", Type: TInt}, {Name: "f", Type: TInt}}}}},
+		"dup method": {Classes: []*Class{{Name: "A", Methods: []*Method{
+			{Name: "m", Ret: TVoid}, {Name: "m", Ret: TVoid}}}}},
+		"void field": {Classes: []*Class{{Name: "A",
+			Fields: []Field{{Name: "f", Type: TVoid}}}}},
+	}
+	for name, p := range cases {
+		if err := p.Link(); !errors.Is(err, ErrLink) {
+			t.Errorf("%s: err = %v, want ErrLink", name, err)
+		}
+	}
+}
+
+func TestVerifyAcceptsTestProgram(t *testing.T) {
+	p := testProgram(t)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	add := p.FindMethod("Point", "add")
+	if add.MaxStack != 2 {
+		t.Errorf("add MaxStack = %d, want 2", add.MaxStack)
+	}
+}
+
+func TestVerifyLoop(t *testing.T) {
+	// int f(int n) { int s=0; while (n > 0) { s += n; n--; } return s; }
+	m := &Method{
+		Name: "f", Static: true, Params: []Type{TInt}, Ret: TInt, MaxLocals: 2,
+		Code: NewAsm().
+			Iconst(0).
+			OpA(ISTORE, 1).
+			Label("loop").
+			OpA(ILOAD, 0).
+			Branch(IFLE, "done").
+			OpA(ILOAD, 1).
+			OpA(ILOAD, 0).
+			Op(IADD).
+			OpA(ISTORE, 1).
+			OpA(ILOAD, 0).
+			Iconst(1).
+			Op(ISUB).
+			OpA(ISTORE, 0).
+			Branch(GOTO, "loop").
+			Label("done").
+			OpA(ILOAD, 1).
+			Op(IRETURN).
+			MustFinish(),
+	}
+	p := &Program{Classes: []*Class{{Name: "T", Methods: []*Method{m}}}}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func badMethod(code []Insn, maxLocals int, ret Type, params ...Type) *Program {
+	m := &Method{Name: "bad", Static: true, Params: params, Ret: ret, MaxLocals: maxLocals, Code: code}
+	p := &Program{Classes: []*Class{{Name: "T", Methods: []*Method{m}}}}
+	if err := p.Link(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := map[string]*Program{
+		"empty body": badMethod(nil, 0, TVoid),
+		"stack underflow": badMethod(
+			[]Insn{{Op: IADD}, {Op: RETURN}}, 0, TVoid),
+		"kind mismatch": badMethod(
+			NewAsm().Iconst(1).Fconst(2).Op(IADD).Op(RETURN).MustFinish(), 0, TVoid),
+		"bad local": badMethod(
+			NewAsm().OpA(ILOAD, 5).Op(RETURN).MustFinish(), 1, TVoid),
+		"undefined local": badMethod(
+			NewAsm().OpA(ILOAD, 0).Op(RETURN).MustFinish(), 1, TVoid),
+		"retype local": badMethod(
+			NewAsm().Iconst(1).OpA(ISTORE, 0).Fconst(1).OpA(FSTORE, 0).Op(RETURN).MustFinish(), 1, TVoid),
+		"fall off end": badMethod(
+			NewAsm().Iconst(1).Op(POP).MustFinish(), 0, TVoid),
+		"wrong return kind": badMethod(
+			NewAsm().Iconst(1).Op(IRETURN).MustFinish(), 0, TFloat),
+		"branch out of range": badMethod(
+			[]Insn{{Op: GOTO, A: 99}}, 0, TVoid),
+		"bad class id": badMethod(
+			NewAsm().OpA(NEW, 42).Op(POP).Op(RETURN).MustFinish(), 0, TVoid),
+		"bad method id": badMethod(
+			NewAsm().OpA(INVOKESTATIC, 42).Op(RETURN).MustFinish(), 0, TVoid),
+		"bad elem kind": badMethod(
+			NewAsm().Iconst(3).OpA(NEWARRAY, 9).Op(POP).Op(RETURN).MustFinish(), 0, TVoid),
+		"join mismatch": badMethod(
+			NewAsm().
+				OpA(ILOAD, 0).
+				Branch(IFEQ, "b").
+				Iconst(1). // one path pushes
+				Label("b").
+				Op(RETURN). // other path arrives with empty stack
+				MustFinish(), 1, TVoid, TInt),
+	}
+	for name, p := range cases {
+		if err := p.Verify(); !errors.Is(err, ErrVerify) {
+			t.Errorf("%s: err = %v, want ErrVerify", name, err)
+		}
+	}
+}
+
+func TestVerifyCallKinds(t *testing.T) {
+	p := testProgram(t)
+	add := p.FindMethod("Point", "add")
+	// Call add(int,int) with a float on the stack: must be rejected.
+	m := &Method{
+		Name: "caller", Static: true, Ret: TInt, MaxLocals: 0,
+		Code: NewAsm().
+			Iconst(1).
+			Fconst(2).
+			OpA(INVOKESTATIC, int32(add.ID)).
+			Op(IRETURN).
+			MustFinish(),
+	}
+	p2 := &Program{Classes: append(p.Classes, &Class{Name: "C", Methods: []*Method{m}})}
+	if err := p2.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Verify(); !errors.Is(err, ErrVerify) {
+		t.Errorf("float arg to int param: err = %v, want ErrVerify", err)
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	p := testProgram(t)
+	p.FindMethod("Point", "getX").Potential = true
+	p.FindMethod("Point", "getX").SetAttr("compileL1", 123.5)
+
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	q, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := q.Link(); err != nil {
+		t.Fatalf("relink: %v", err)
+	}
+	if err := q.Verify(); err != nil {
+		t.Fatalf("reverify: %v", err)
+	}
+	if len(q.Classes) != len(p.Classes) || len(q.Methods) != len(p.Methods) {
+		t.Fatal("class/method counts changed in roundtrip")
+	}
+	g := q.FindMethod("Point", "getX")
+	if !g.Potential {
+		t.Error("Potential flag lost")
+	}
+	if g.Attr("compileL1", 0) != 123.5 {
+		t.Error("attribute lost")
+	}
+	for i, m := range p.Methods {
+		qm := q.Methods[i]
+		if len(qm.Code) != len(m.Code) {
+			t.Fatalf("%s code length changed", m.QName())
+		}
+		for j := range m.Code {
+			if m.Code[j] != qm.Code[j] {
+				t.Errorf("%s insn %d: %v != %v", m.QName(), j, m.Code[j], qm.Code[j])
+			}
+		}
+	}
+	// Re-encoding must be byte-identical (deterministic format).
+	b2, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); !errors.Is(err, ErrDecode) {
+		t.Errorf("short input: %v, want ErrDecode", err)
+	}
+	p := testProgram(t)
+	b, _ := p.Encode()
+	b[0] ^= 0xFF
+	if _, err := Decode(b); !errors.Is(err, ErrDecode) {
+		t.Errorf("bad magic: %v, want ErrDecode", err)
+	}
+	b[0] ^= 0xFF
+	if _, err := Decode(b[:len(b)-3]); !errors.Is(err, ErrDecode) {
+		t.Errorf("truncated: %v, want ErrDecode", err)
+	}
+}
+
+func TestAsmLabels(t *testing.T) {
+	code, err := NewAsm().
+		Branch(GOTO, "end").
+		Op(NOP).
+		Label("end").
+		Op(RETURN).
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[0].A != 2 {
+		t.Errorf("forward label resolved to %d, want 2", code[0].A)
+	}
+	if _, err := NewAsm().Branch(GOTO, "missing").Finish(); err == nil {
+		t.Error("undefined label should error")
+	}
+}
+
+func TestAsmPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate label", func() {
+		NewAsm().Label("x").Label("x")
+	})
+	mustPanic("non-branch", func() {
+		NewAsm().Branch(IADD, "x")
+	})
+}
+
+func TestCodeBytesMatchesTable(t *testing.T) {
+	code := NewAsm().Iconst(1).Fconst(2).OpA(ILOAD, 0).Op(IADD).Branch(GOTO, "l").Label("l").Op(RETURN).MustFinish()
+	want := 5 + 9 + 2 + 1 + 3 + 1
+	if got := CodeBytes(code); got != want {
+		t.Errorf("CodeBytes = %d, want %d", got, want)
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	p := testProgram(t)
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	s := Disassemble(p.FindMethod("Point", "add"))
+	for _, want := range []string{"Point.add", "iload", "iadd", "ireturn"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	at := TArray(TInt)
+	if !at.IsArray() || at.String() != "int[]" {
+		t.Errorf("TArray(int) = %v", at)
+	}
+	if !TObject("Foo").Equal(TObject("Foo")) || TObject("Foo").Equal(TObject("Bar")) {
+		t.Error("Type.Equal on objects wrong")
+	}
+	if !TArray(TFloat).Equal(TArray(TFloat)) || TArray(TFloat).Equal(TArray(TInt)) {
+		t.Error("Type.Equal on arrays wrong")
+	}
+	if TArray(TInt).Equal(TObject("X")) {
+		t.Error("array should not equal object")
+	}
+	if ElemKindOf(TInt) != ElemInt || ElemKindOf(TFloat) != ElemFloat || ElemKindOf(TObject("A")) != ElemRef {
+		t.Error("ElemKindOf wrong")
+	}
+	if got := Signature("m", []Type{TInt, TArray(TFloat)}, TVoid); got != "void m(int, float[])" {
+		t.Errorf("Signature = %q", got)
+	}
+}
+
+func TestMethodArgKinds(t *testing.T) {
+	p := testProgram(t)
+	getX := p.Class("Point").Resolve("getX")
+	if ks := getX.ArgKinds(); len(ks) != 1 || ks[0] != KRef {
+		t.Errorf("instance ArgKinds = %v", ks)
+	}
+	add := p.FindMethod("Point", "add")
+	if ks := add.ArgKinds(); len(ks) != 2 || ks[0] != KInt {
+		t.Errorf("static ArgKinds = %v", ks)
+	}
+	if add.NumArgs() != 2 || getX.NumArgs() != 1 {
+		t.Error("NumArgs wrong")
+	}
+}
+
+func TestInsnStringAllOpcodes(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		in := Insn{Op: op, A: 3, F: 1.5}
+		if in.String() == "" {
+			t.Errorf("empty rendering for %s", op.Name())
+		}
+		if op.EncodedBytes() < 1 || op.EncodedBytes() > 9 {
+			t.Errorf("%s: odd encoded size %d", op.Name(), op.EncodedBytes())
+		}
+	}
+	if Opcode(200).Name() == "" || Opcode(200).EncodedBytes() != 1 || Opcode(200).IsBranch() {
+		t.Error("out-of-range opcode accessors misbehave")
+	}
+}
+
+func TestEncodeOperandRangeErrors(t *testing.T) {
+	// A local index beyond one byte cannot be encoded.
+	m := &Method{Name: "m", Static: true, Ret: TVoid, MaxLocals: 300,
+		Code: []Insn{{Op: ILOAD, A: 299}, {Op: POP}, {Op: RETURN}}}
+	p := &Program{Classes: []*Class{{Name: "T", Methods: []*Method{m}}}}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Encode(); err == nil {
+		t.Error("1-byte operand overflow should fail to encode")
+	}
+	// A branch target beyond two bytes cannot be encoded.
+	m.Code = []Insn{{Op: GOTO, A: 70000}, {Op: RETURN}}
+	m.MaxLocals = 0
+	if _, err := p.Encode(); err == nil {
+		t.Error("2-byte operand overflow should fail to encode")
+	}
+}
+
+func TestMethodAttrHelpers(t *testing.T) {
+	m := &Method{Name: "m"}
+	if m.Attr("missing", -7) != -7 {
+		t.Error("default not returned")
+	}
+	m.SetAttr("k", 2.5)
+	if m.Attr("k", 0) != 2.5 {
+		t.Error("attr not stored")
+	}
+	if m.Attr("other", 1) != 1 {
+		t.Error("absent key should default")
+	}
+}
+
+func TestVerifySwapMixedKinds(t *testing.T) {
+	// SWAP across kinds is legal and must be tracked by the verifier.
+	m := &Method{Name: "m", Static: true, Params: []Type{TInt, TFloat}, Ret: TInt, MaxLocals: 2,
+		Code: NewAsm().
+			OpA(ILOAD, 0).
+			OpA(FLOAD, 1).
+			Op(SWAP). // [f i]
+			Op(IRETURN).
+			MustFinish()}
+	p := &Program{Classes: []*Class{{Name: "T", Methods: []*Method{m}}}}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("swap of mixed kinds should verify: %v", err)
+	}
+}

@@ -1,0 +1,283 @@
+package bytecode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binary class-file format. The on-the-wire size of method code equals
+// CodeBytes, so the encoded program size is exactly what a client
+// would download when fetching an application from the server.
+const (
+	magic   uint32 = 0x4D4A564D // "MJVM"
+	version uint16 = 1
+)
+
+// ErrDecode reports a malformed binary class file.
+var ErrDecode = errors.New("bytecode: decode error")
+
+type writer struct {
+	buf bytes.Buffer
+}
+
+func (w *writer) u8(v uint8)   { w.buf.WriteByte(v) }
+func (w *writer) u16(v uint16) { var b [2]byte; binary.BigEndian.PutUint16(b[:], v); w.buf.Write(b[:]) }
+func (w *writer) u32(v uint32) { var b [4]byte; binary.BigEndian.PutUint32(b[:], v); w.buf.Write(b[:]) }
+func (w *writer) u64(v uint64) { var b [8]byte; binary.BigEndian.PutUint64(b[:], v); w.buf.Write(b[:]) }
+func (w *writer) str(s string) { w.u16(uint16(len(s))); w.buf.WriteString(s) }
+
+type reader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s at %d", ErrDecode, what, r.pos)
+	}
+}
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.pos+1 > len(r.b) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v
+}
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.pos+2 > len(r.b) {
+		r.fail("u16")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.pos:])
+	r.pos += 2
+	return v
+}
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.b) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.pos:])
+	r.pos += 4
+	return v
+}
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.b) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v
+}
+func (r *reader) str() string {
+	n := int(r.u16())
+	if r.err != nil || r.pos+n > len(r.b) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.b[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func encodeType(w *writer, t Type) {
+	w.u8(uint8(t.Kind))
+	if t.Kind != KRef {
+		return
+	}
+	if t.Elem != nil {
+		w.u8(1)
+		encodeType(w, *t.Elem)
+	} else {
+		w.u8(0)
+		w.str(t.Class)
+	}
+}
+
+func decodeType(r *reader) Type {
+	k := Kind(r.u8())
+	if k != KRef {
+		return Type{Kind: k}
+	}
+	if r.u8() == 1 {
+		e := decodeType(r)
+		return TArray(e)
+	}
+	return TObject(r.str())
+}
+
+func encodeInsn(w *writer, in Insn) error {
+	w.u8(uint8(in.Op))
+	switch in.Op.EncodedBytes() {
+	case 1:
+		// no operand
+	case 2:
+		if in.A < 0 || in.A > 0xFF {
+			return fmt.Errorf("bytecode: operand %d of %s exceeds 1 byte", in.A, in.Op.Name())
+		}
+		w.u8(uint8(in.A))
+	case 3:
+		if in.A < 0 || in.A > 0xFFFF {
+			return fmt.Errorf("bytecode: operand %d of %s exceeds 2 bytes", in.A, in.Op.Name())
+		}
+		w.u16(uint16(in.A))
+	case 5:
+		w.u32(uint32(in.A))
+	case 9:
+		w.u64(math.Float64bits(in.F))
+	default:
+		return fmt.Errorf("bytecode: unencodable opcode %s", in.Op.Name())
+	}
+	return nil
+}
+
+func decodeInsn(r *reader) Insn {
+	op := Opcode(r.u8())
+	if !op.Valid() {
+		r.fail("opcode")
+		return Insn{}
+	}
+	in := Insn{Op: op}
+	switch op.EncodedBytes() {
+	case 1:
+	case 2:
+		in.A = int32(r.u8())
+	case 3:
+		in.A = int32(r.u16())
+	case 5:
+		in.A = int32(r.u32())
+	case 9:
+		in.F = math.Float64frombits(r.u64())
+	}
+	return in
+}
+
+// Encode serializes the program to the binary class-file format.
+// The program must be linked (method ids are stored as operands).
+func (p *Program) Encode() ([]byte, error) {
+	w := &writer{}
+	w.u32(magic)
+	w.u16(version)
+	w.u16(uint16(len(p.Classes)))
+	for _, c := range p.Classes {
+		w.str(c.Name)
+		w.str(c.SuperName)
+		w.u16(uint16(len(c.Fields)))
+		for _, f := range c.Fields {
+			w.str(f.Name)
+			encodeType(w, f.Type)
+		}
+		w.u16(uint16(len(c.Methods)))
+		for _, m := range c.Methods {
+			w.str(m.Name)
+			flags := uint8(0)
+			if m.Static {
+				flags |= 1
+			}
+			if m.Potential {
+				flags |= 2
+			}
+			w.u8(flags)
+			w.u8(uint8(len(m.Params)))
+			for _, t := range m.Params {
+				encodeType(w, t)
+			}
+			encodeType(w, m.Ret)
+			w.u16(uint16(m.MaxLocals))
+			// Attributes, sorted for deterministic output.
+			names := make([]string, 0, len(m.Attrs))
+			for k := range m.Attrs {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			w.u16(uint16(len(names)))
+			for _, k := range names {
+				w.str(k)
+				w.u64(math.Float64bits(m.Attrs[k]))
+			}
+			w.u32(uint32(len(m.Code)))
+			for _, in := range m.Code {
+				if err := encodeInsn(w, in); err != nil {
+					return nil, fmt.Errorf("%s: %w", m.QName(), err)
+				}
+			}
+		}
+	}
+	return w.buf.Bytes(), nil
+}
+
+// Decode parses a binary class file into an unlinked Program. The
+// caller should Link and Verify it, as a JVM does at class-load time.
+func Decode(b []byte) (*Program, error) {
+	r := &reader{b: b}
+	if r.u32() != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrDecode)
+	}
+	if v := r.u16(); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrDecode, v)
+	}
+	nc := int(r.u16())
+	p := &Program{}
+	for i := 0; i < nc && r.err == nil; i++ {
+		c := &Class{Name: r.str(), SuperName: r.str()}
+		nf := int(r.u16())
+		for j := 0; j < nf && r.err == nil; j++ {
+			name := r.str()
+			c.Fields = append(c.Fields, Field{Name: name, Type: decodeType(r)})
+		}
+		nm := int(r.u16())
+		for j := 0; j < nm && r.err == nil; j++ {
+			m := &Method{Name: r.str()}
+			flags := r.u8()
+			m.Static = flags&1 != 0
+			m.Potential = flags&2 != 0
+			np := int(r.u8())
+			for k := 0; k < np && r.err == nil; k++ {
+				m.Params = append(m.Params, decodeType(r))
+			}
+			m.Ret = decodeType(r)
+			m.MaxLocals = int(r.u16())
+			na := int(r.u16())
+			for k := 0; k < na && r.err == nil; k++ {
+				name := r.str()
+				m.SetAttr(name, math.Float64frombits(r.u64()))
+			}
+			ni := int(r.u32())
+			if ni > len(b) { // cheap sanity bound before allocating
+				return nil, fmt.Errorf("%w: absurd code length %d", ErrDecode, ni)
+			}
+			m.Code = make([]Insn, 0, ni)
+			for k := 0; k < ni && r.err == nil; k++ {
+				m.Code = append(m.Code, decodeInsn(r))
+			}
+			c.Methods = append(c.Methods, m)
+		}
+		p.Classes = append(p.Classes, c)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return p, nil
+}
+
+// Disassemble renders a method body as readable text.
+func Disassemble(m *Method) string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s  locals=%d stack=%d", Signature(m.QName(), m.Params, m.Ret), m.MaxLocals, m.MaxStack)
+	if m.Potential {
+		buf.WriteString(" [potential]")
+	}
+	buf.WriteByte('\n')
+	for i, in := range m.Code {
+		fmt.Fprintf(&buf, "%5d: %s\n", i, in)
+	}
+	return buf.String()
+}

@@ -1,0 +1,249 @@
+package bytecode
+
+import "fmt"
+
+// Opcode is an MJVM bytecode operation.
+type Opcode uint8
+
+// MJVM bytecodes. The operand column refers to Insn.A (int32) and
+// Insn.F (float64); branch targets are instruction indices within the
+// method (the binary encoding uses byte offsets and the decoder
+// rebuilds indices).
+const (
+	NOP Opcode = iota
+
+	ACONSTNULL // push null
+	ICONST     // push A
+	FCONST     // push F
+
+	ILOAD  // push int local A
+	FLOAD  // push float local A
+	ALOAD  // push ref local A
+	ISTORE // pop into int local A
+	FSTORE // pop into float local A
+	ASTORE // pop into ref local A
+
+	DUP  // duplicate top
+	POP  // discard top
+	SWAP // swap top two (same-kind values)
+
+	IADD
+	ISUB
+	IMUL
+	IDIV
+	IREM
+	INEG
+	ISHL
+	ISHR
+	IAND
+	IOR
+	IXOR
+
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+
+	I2F
+	F2I
+
+	GOTO // jump to A
+
+	IFEQ // pop int; branch to A if == 0
+	IFNE
+	IFLT
+	IFGE
+	IFGT
+	IFLE
+
+	IFICMPEQ // pop two ints; branch if a == b
+	IFICMPNE
+	IFICMPLT
+	IFICMPGE
+	IFICMPGT
+	IFICMPLE
+
+	IFFCMPEQ // pop two floats; branch if a == b
+	IFFCMPNE
+	IFFCMPLT
+	IFFCMPGE
+
+	IFACMPEQ  // pop two refs; branch if identical
+	IFACMPNE  // pop two refs; branch if different
+	IFNULL    // pop ref; branch if null
+	IFNONNULL // pop ref; branch if non-null
+
+	NEWARRAY    // pop length; push new array of element kind A
+	IALOAD      // pop index, arrayref; push int element
+	IASTORE     // pop value, index, arrayref
+	FALOAD      // pop index, arrayref; push float element
+	FASTORE     // pop value, index, arrayref
+	AALOAD      // pop index, arrayref; push ref element
+	AASTORE     // pop value, index, arrayref
+	ARRAYLENGTH // pop arrayref; push length
+
+	NEW   // push new instance of class A
+	GETFI // pop objref; push int field at slot A
+	PUTFI // pop value, objref; store int field at slot A
+	GETFF // pop objref; push float field at slot A
+	PUTFF // pop value, objref; store float field at slot A
+	GETFA // pop objref; push ref field at slot A
+	PUTFA // pop value, objref; store ref field at slot A
+
+	INVOKESTATIC  // call static method with global id A
+	INVOKEVIRTUAL // call virtual method (statically resolved to id A)
+
+	RETURN  // return void
+	IRETURN // return int
+	FRETURN // return float
+	ARETURN // return ref
+
+	numOpcodes
+)
+
+// Insn is one decoded bytecode instruction.
+type Insn struct {
+	Op Opcode
+	A  int32   // integer operand: constant, local, slot, target, id
+	F  float64 // float operand for FCONST
+}
+
+// opMeta describes static properties of each opcode.
+type opMeta struct {
+	name string
+	// encodedBytes is the size of the instruction in the binary class
+	// file (1 opcode byte + operand bytes); it also drives interpreter
+	// fetch addressing.
+	encodedBytes int
+	isBranch     bool
+}
+
+var opcodeTable = [numOpcodes]opMeta{
+	NOP:           {"nop", 1, false},
+	ACONSTNULL:    {"aconst_null", 1, false},
+	ICONST:        {"iconst", 5, false},
+	FCONST:        {"fconst", 9, false},
+	ILOAD:         {"iload", 2, false},
+	FLOAD:         {"fload", 2, false},
+	ALOAD:         {"aload", 2, false},
+	ISTORE:        {"istore", 2, false},
+	FSTORE:        {"fstore", 2, false},
+	ASTORE:        {"astore", 2, false},
+	DUP:           {"dup", 1, false},
+	POP:           {"pop", 1, false},
+	SWAP:          {"swap", 1, false},
+	IADD:          {"iadd", 1, false},
+	ISUB:          {"isub", 1, false},
+	IMUL:          {"imul", 1, false},
+	IDIV:          {"idiv", 1, false},
+	IREM:          {"irem", 1, false},
+	INEG:          {"ineg", 1, false},
+	ISHL:          {"ishl", 1, false},
+	ISHR:          {"ishr", 1, false},
+	IAND:          {"iand", 1, false},
+	IOR:           {"ior", 1, false},
+	IXOR:          {"ixor", 1, false},
+	FADD:          {"fadd", 1, false},
+	FSUB:          {"fsub", 1, false},
+	FMUL:          {"fmul", 1, false},
+	FDIV:          {"fdiv", 1, false},
+	FNEG:          {"fneg", 1, false},
+	I2F:           {"i2f", 1, false},
+	F2I:           {"f2i", 1, false},
+	GOTO:          {"goto", 3, true},
+	IFEQ:          {"ifeq", 3, true},
+	IFNE:          {"ifne", 3, true},
+	IFLT:          {"iflt", 3, true},
+	IFGE:          {"ifge", 3, true},
+	IFGT:          {"ifgt", 3, true},
+	IFLE:          {"ifle", 3, true},
+	IFICMPEQ:      {"if_icmpeq", 3, true},
+	IFICMPNE:      {"if_icmpne", 3, true},
+	IFICMPLT:      {"if_icmplt", 3, true},
+	IFICMPGE:      {"if_icmpge", 3, true},
+	IFICMPGT:      {"if_icmpgt", 3, true},
+	IFICMPLE:      {"if_icmple", 3, true},
+	IFFCMPEQ:      {"if_fcmpeq", 3, true},
+	IFFCMPNE:      {"if_fcmpne", 3, true},
+	IFFCMPLT:      {"if_fcmplt", 3, true},
+	IFFCMPGE:      {"if_fcmpge", 3, true},
+	IFACMPEQ:      {"if_acmpeq", 3, true},
+	IFACMPNE:      {"if_acmpne", 3, true},
+	IFNULL:        {"ifnull", 3, true},
+	IFNONNULL:     {"ifnonnull", 3, true},
+	NEWARRAY:      {"newarray", 2, false},
+	IALOAD:        {"iaload", 1, false},
+	IASTORE:       {"iastore", 1, false},
+	FALOAD:        {"faload", 1, false},
+	FASTORE:       {"fastore", 1, false},
+	AALOAD:        {"aaload", 1, false},
+	AASTORE:       {"aastore", 1, false},
+	ARRAYLENGTH:   {"arraylength", 1, false},
+	NEW:           {"new", 3, false},
+	GETFI:         {"getfi", 2, false},
+	PUTFI:         {"putfi", 2, false},
+	GETFF:         {"getff", 2, false},
+	PUTFF:         {"putff", 2, false},
+	GETFA:         {"getfa", 2, false},
+	PUTFA:         {"putfa", 2, false},
+	INVOKESTATIC:  {"invokestatic", 3, false},
+	INVOKEVIRTUAL: {"invokevirtual", 3, false},
+	RETURN:        {"return", 1, false},
+	IRETURN:       {"ireturn", 1, false},
+	FRETURN:       {"freturn", 1, false},
+	ARETURN:       {"areturn", 1, false},
+}
+
+// Name returns the mnemonic of the opcode.
+func (o Opcode) Name() string {
+	if o >= numOpcodes {
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+	return opcodeTable[o].name
+}
+
+// EncodedBytes returns the size of the instruction in the binary
+// class-file encoding.
+func (o Opcode) EncodedBytes() int {
+	if o >= numOpcodes {
+		return 1
+	}
+	return opcodeTable[o].encodedBytes
+}
+
+// IsBranch reports whether the opcode's A operand is a branch target.
+func (o Opcode) IsBranch() bool {
+	if o >= numOpcodes {
+		return false
+	}
+	return opcodeTable[o].isBranch
+}
+
+// Valid reports whether the opcode is defined.
+func (o Opcode) Valid() bool { return o < numOpcodes }
+
+// String renders the instruction for disassembly listings.
+func (in Insn) String() string {
+	switch in.Op {
+	case FCONST:
+		return fmt.Sprintf("%-13s %g", in.Op.Name(), in.F)
+	case NOP, ACONSTNULL, DUP, POP, SWAP,
+		IADD, ISUB, IMUL, IDIV, IREM, INEG, ISHL, ISHR, IAND, IOR, IXOR,
+		FADD, FSUB, FMUL, FDIV, FNEG, I2F, F2I,
+		IALOAD, IASTORE, FALOAD, FASTORE, AALOAD, AASTORE, ARRAYLENGTH,
+		RETURN, IRETURN, FRETURN, ARETURN:
+		return in.Op.Name()
+	default:
+		return fmt.Sprintf("%-13s %d", in.Op.Name(), in.A)
+	}
+}
+
+// CodeBytes returns the encoded byte size of a code sequence.
+func CodeBytes(code []Insn) int {
+	n := 0
+	for _, in := range code {
+		n += in.Op.EncodedBytes()
+	}
+	return n
+}

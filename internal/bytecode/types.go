@@ -1,0 +1,124 @@
+// Package bytecode defines the MJVM class-file model: a platform-
+// independent stack bytecode (in the spirit of the JVM bytecodes the
+// paper's applications are shipped in), classes with fields, virtual
+// methods and attributes, a binary class-file encoding for shipping
+// programs between client and server, and a structural verifier.
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind is the coarse category of a value.
+type Kind uint8
+
+// Value kinds. References cover both objects and arrays, as in the JVM.
+const (
+	KVoid Kind = iota
+	KInt
+	KFloat
+	KRef
+)
+
+// String returns a short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KVoid:
+		return "void"
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KRef:
+		return "ref"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Type describes a declared type. Int and float are primitives; object
+// types carry a class name; array types carry an element type.
+type Type struct {
+	Kind  Kind
+	Class string // object class name, when Kind==KRef and Elem==nil
+	Elem  *Type  // array element type, when Kind==KRef and Elem!=nil
+}
+
+// Primitive type singletons.
+var (
+	TVoid  = Type{Kind: KVoid}
+	TInt   = Type{Kind: KInt}
+	TFloat = Type{Kind: KFloat}
+)
+
+// TObject returns the type of instances of the named class.
+func TObject(class string) Type { return Type{Kind: KRef, Class: class} }
+
+// TArray returns the type of arrays with the given element type.
+func TArray(elem Type) Type { e := elem; return Type{Kind: KRef, Elem: &e} }
+
+// IsArray reports whether the type is an array type.
+func (t Type) IsArray() bool { return t.Kind == KRef && t.Elem != nil }
+
+// String renders the type in MJ source syntax.
+func (t Type) String() string {
+	switch {
+	case t.Kind == KVoid:
+		return "void"
+	case t.Kind == KInt:
+		return "int"
+	case t.Kind == KFloat:
+		return "float"
+	case t.IsArray():
+		return t.Elem.String() + "[]"
+	default:
+		return t.Class
+	}
+}
+
+// Equal reports structural type equality.
+func (t Type) Equal(o Type) bool {
+	if t.Kind != o.Kind || t.Class != o.Class {
+		return false
+	}
+	if (t.Elem == nil) != (o.Elem == nil) {
+		return false
+	}
+	if t.Elem != nil {
+		return t.Elem.Equal(*o.Elem)
+	}
+	return true
+}
+
+// ElemKind is the element category of an array at runtime.
+type ElemKind uint8
+
+// Array element kinds; the values are fixed because they appear as
+// NEWARRAY operands in encoded class files.
+const (
+	ElemInt   ElemKind = 0
+	ElemFloat ElemKind = 1
+	ElemRef   ElemKind = 2
+)
+
+// ElemKindOf maps a declared element type to its runtime kind.
+func ElemKindOf(t Type) ElemKind {
+	switch t.Kind {
+	case KInt:
+		return ElemInt
+	case KFloat:
+		return ElemFloat
+	default:
+		return ElemRef
+	}
+}
+
+// Signature formats a method signature for diagnostics.
+func Signature(name string, params []Type, ret Type) string {
+	parts := make([]string, len(params))
+	for i, p := range params {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("%s %s(%s)", ret, name, strings.Join(parts, ", "))
+}

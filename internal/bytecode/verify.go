@@ -1,0 +1,467 @@
+package bytecode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrVerify reports a malformed method body. As in the JVM, every
+// class is verified when loaded (the paper, §3.3, notes that this
+// verification does not apply to downloaded native code, which is why
+// remote compilation requires a trusted server).
+var ErrVerify = errors.New("bytecode: verify error")
+
+// Verify checks every method of the linked program and fills in
+// MaxStack. It must run after Link.
+func (p *Program) Verify() error {
+	for _, m := range p.Methods {
+		if err := p.VerifyMethod(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type stackState []Kind
+
+func (s stackState) equal(o stackState) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s stackState) clone() stackState {
+	return append(stackState(nil), s...)
+}
+
+// VerifyMethod type-checks one method body by abstract interpretation
+// of the operand stack, checking branch targets, local indices, stack
+// discipline at control-flow joins, operand validity and return kinds.
+// It sets m.MaxStack as a side effect.
+func (p *Program) VerifyMethod(m *Method) error {
+	fail := func(pc int, format string, args ...interface{}) error {
+		return fmt.Errorf("%w: %s@%d: %s", ErrVerify, m.QName(), pc, fmt.Sprintf(format, args...))
+	}
+	code := m.Code
+	if len(code) == 0 {
+		return fail(0, "empty body")
+	}
+	if m.NumArgs() > m.MaxLocals {
+		return fail(0, "MaxLocals %d < %d arguments", m.MaxLocals, m.NumArgs())
+	}
+
+	states := make(map[int]stackState)
+	work := []int{0}
+	states[0] = stackState{}
+	maxStack := 0
+
+	// localKind tracks the most recent store kind per local; locals are
+	// reusable untyped slots, so loads are checked dynamically by kind
+	// of the last store along any path. We approximate with a single
+	// map (the MJ compiler never retypes a local across paths; a
+	// mismatch is reported when observed).
+	localKind := make([]Kind, m.MaxLocals)
+	for i := range localKind {
+		localKind[i] = KVoid
+	}
+	for i, k := range m.ArgKinds() {
+		localKind[i] = k
+	}
+
+	checkLocal := func(pc int, idx int32, want Kind) error {
+		if idx < 0 || int(idx) >= m.MaxLocals {
+			return fail(pc, "local %d out of range [0,%d)", idx, m.MaxLocals)
+		}
+		got := localKind[idx]
+		if got == KVoid {
+			return fail(pc, "load of undefined local %d", idx)
+		}
+		if got != want {
+			return fail(pc, "local %d holds %v, want %v", idx, got, want)
+		}
+		return nil
+	}
+	setLocal := func(pc int, idx int32, k Kind) error {
+		if idx < 0 || int(idx) >= m.MaxLocals {
+			return fail(pc, "local %d out of range [0,%d)", idx, m.MaxLocals)
+		}
+		if localKind[idx] != KVoid && localKind[idx] != k {
+			return fail(pc, "local %d retyped %v -> %v", idx, localKind[idx], k)
+		}
+		localKind[idx] = k
+		return nil
+	}
+
+	flow := func(pc int, st stackState) error {
+		if pc < 0 || pc >= len(code) {
+			return fail(pc, "control flows out of bounds")
+		}
+		if prev, ok := states[pc]; ok {
+			if !prev.equal(st) {
+				return fail(pc, "inconsistent stack at join: %v vs %v", prev, st)
+			}
+			return nil
+		}
+		states[pc] = st.clone()
+		work = append(work, pc)
+		return nil
+	}
+
+	for len(work) > 0 {
+		pc := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := states[pc].clone()
+
+		for {
+			if pc < 0 || pc >= len(code) {
+				return fail(pc, "control flows out of bounds")
+			}
+			in := code[pc]
+			if !in.Op.Valid() {
+				return fail(pc, "invalid opcode %d", in.Op)
+			}
+
+			pop := func(want Kind) error {
+				if len(st) == 0 {
+					return fail(pc, "%s pops empty stack", in.Op.Name())
+				}
+				got := st[len(st)-1]
+				st = st[:len(st)-1]
+				if got != want {
+					return fail(pc, "%s pops %v, want %v", in.Op.Name(), got, want)
+				}
+				return nil
+			}
+			push := func(k Kind) {
+				st = append(st, k)
+				if len(st) > maxStack {
+					maxStack = len(st)
+				}
+			}
+
+			next := pc + 1
+			branchTo := -1
+			done := false
+
+			switch in.Op {
+			case NOP:
+			case ACONSTNULL:
+				push(KRef)
+			case ICONST:
+				push(KInt)
+			case FCONST:
+				push(KFloat)
+			case ILOAD:
+				if err := checkLocal(pc, in.A, KInt); err != nil {
+					return err
+				}
+				push(KInt)
+			case FLOAD:
+				if err := checkLocal(pc, in.A, KFloat); err != nil {
+					return err
+				}
+				push(KFloat)
+			case ALOAD:
+				if err := checkLocal(pc, in.A, KRef); err != nil {
+					return err
+				}
+				push(KRef)
+			case ISTORE:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := setLocal(pc, in.A, KInt); err != nil {
+					return err
+				}
+			case FSTORE:
+				if err := pop(KFloat); err != nil {
+					return err
+				}
+				if err := setLocal(pc, in.A, KFloat); err != nil {
+					return err
+				}
+			case ASTORE:
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				if err := setLocal(pc, in.A, KRef); err != nil {
+					return err
+				}
+			case DUP:
+				if len(st) == 0 {
+					return fail(pc, "dup on empty stack")
+				}
+				push(st[len(st)-1])
+			case POP:
+				if len(st) == 0 {
+					return fail(pc, "pop on empty stack")
+				}
+				st = st[:len(st)-1]
+			case SWAP:
+				if len(st) < 2 {
+					return fail(pc, "swap needs two values")
+				}
+				st[len(st)-1], st[len(st)-2] = st[len(st)-2], st[len(st)-1]
+			case IADD, ISUB, IMUL, IDIV, IREM, ISHL, ISHR, IAND, IOR, IXOR:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				push(KInt)
+			case INEG:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				push(KInt)
+			case FADD, FSUB, FMUL, FDIV:
+				if err := pop(KFloat); err != nil {
+					return err
+				}
+				if err := pop(KFloat); err != nil {
+					return err
+				}
+				push(KFloat)
+			case FNEG:
+				if err := pop(KFloat); err != nil {
+					return err
+				}
+				push(KFloat)
+			case I2F:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				push(KFloat)
+			case F2I:
+				if err := pop(KFloat); err != nil {
+					return err
+				}
+				push(KInt)
+			case GOTO:
+				branchTo = int(in.A)
+				done = true
+			case IFEQ, IFNE, IFLT, IFGE, IFGT, IFLE:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				branchTo = int(in.A)
+			case IFICMPEQ, IFICMPNE, IFICMPLT, IFICMPGE, IFICMPGT, IFICMPLE:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				branchTo = int(in.A)
+			case IFFCMPEQ, IFFCMPNE, IFFCMPLT, IFFCMPGE:
+				if err := pop(KFloat); err != nil {
+					return err
+				}
+				if err := pop(KFloat); err != nil {
+					return err
+				}
+				branchTo = int(in.A)
+			case IFACMPEQ, IFACMPNE:
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				branchTo = int(in.A)
+			case IFNULL, IFNONNULL:
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				branchTo = int(in.A)
+			case NEWARRAY:
+				if in.A < 0 || in.A > int32(ElemRef) {
+					return fail(pc, "bad element kind %d", in.A)
+				}
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				push(KRef)
+			case IALOAD:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				push(KInt)
+			case FALOAD:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				push(KFloat)
+			case AALOAD:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				push(KRef)
+			case IASTORE:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+			case FASTORE:
+				if err := pop(KFloat); err != nil {
+					return err
+				}
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+			case AASTORE:
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+			case ARRAYLENGTH:
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				push(KInt)
+			case NEW:
+				if in.A < 0 || int(in.A) >= len(p.Classes) {
+					return fail(pc, "bad class id %d", in.A)
+				}
+				push(KRef)
+			case GETFI:
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				push(KInt)
+			case GETFF:
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				push(KFloat)
+			case GETFA:
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				push(KRef)
+			case PUTFI:
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+			case PUTFF:
+				if err := pop(KFloat); err != nil {
+					return err
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+			case PUTFA:
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+			case INVOKESTATIC, INVOKEVIRTUAL:
+				callee := p.Method(int(in.A))
+				if callee == nil {
+					return fail(pc, "bad method id %d", in.A)
+				}
+				if in.Op == INVOKESTATIC && !callee.Static {
+					return fail(pc, "invokestatic of instance method %s", callee.QName())
+				}
+				if in.Op == INVOKEVIRTUAL && callee.Static {
+					return fail(pc, "invokevirtual of static method %s", callee.QName())
+				}
+				ks := callee.ArgKinds()
+				for i := len(ks) - 1; i >= 0; i-- {
+					if err := pop(ks[i]); err != nil {
+						return err
+					}
+				}
+				if callee.Ret.Kind != KVoid {
+					push(callee.Ret.Kind)
+				}
+			case RETURN:
+				if m.Ret.Kind != KVoid {
+					return fail(pc, "void return from %v method", m.Ret)
+				}
+				done = true
+			case IRETURN:
+				if m.Ret.Kind != KInt {
+					return fail(pc, "int return from %v method", m.Ret)
+				}
+				if err := pop(KInt); err != nil {
+					return err
+				}
+				done = true
+			case FRETURN:
+				if m.Ret.Kind != KFloat {
+					return fail(pc, "float return from %v method", m.Ret)
+				}
+				if err := pop(KFloat); err != nil {
+					return err
+				}
+				done = true
+			case ARETURN:
+				if m.Ret.Kind != KRef {
+					return fail(pc, "ref return from %v method", m.Ret)
+				}
+				if err := pop(KRef); err != nil {
+					return err
+				}
+				done = true
+			default:
+				return fail(pc, "unhandled opcode %s", in.Op.Name())
+			}
+
+			if branchTo >= 0 {
+				if err := flow(branchTo, st); err != nil {
+					return err
+				}
+			}
+			if done {
+				break
+			}
+			// Fall through to next: continue in-line if unseen, else
+			// verify the join and stop this trace.
+			if _, seen := states[next]; seen {
+				if err := flow(next, st); err != nil {
+					return err
+				}
+				break
+			}
+			states[next] = st.clone()
+			pc = next
+		}
+	}
+	m.MaxStack = maxStack
+	return nil
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"greenvm/internal/energy"
+	"greenvm/internal/radio"
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// TestEWMAPrediction checks the paper's prediction formulas: after a
+// run of invocations, sBar is the u-weighted average of past sizes.
+func TestEWMAPrediction(t *testing.T) {
+	p := testProgram(t)
+	c := newTestClient(t, p, StrategyAL, radio.Fixed{Cls: radio.Class4}, workTarget())
+	m := p.FindMethod("App", "work")
+	sizes := []int32{100, 200, 400}
+	for _, s := range sizes {
+		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.state[m]
+	// s1 = 100; s2 = .7*100 + .3*200 = 130; s3 = .7*130 + .3*400 = 211.
+	if st.sBar != 211 {
+		t.Errorf("sBar = %v, want 211", st.sBar)
+	}
+	if st.k != 3 {
+		t.Errorf("k = %d, want 3", st.k)
+	}
+	// Power prediction tracks the fixed channel's transmit power.
+	want := float64(c.Link.Chip.TxPower(radio.Class4))
+	if st.pBar != want {
+		t.Errorf("pBar = %v, want %v", st.pBar, want)
+	}
+}
+
+// TestNewExecutionResetsAmortization: within one execution the k-
+// amortization makes AL compile a hot method; a fresh execution resets
+// k, so a single invocation prefers not to pay the compile again if a
+// cheaper single-shot mode exists.
+func TestNewExecutionResetsAmortization(t *testing.T) {
+	p := testProgram(t)
+	c := newTestClient(t, p, StrategyAL, radio.Fixed{Cls: radio.Class1}, workTarget())
+	m := p.FindMethod("App", "work")
+	for i := 0; i < 30; i++ {
+		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(600)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.state[m].k != 30 {
+		t.Fatalf("k = %d", c.state[m].k)
+	}
+	c.NewExecution()
+	if c.state[m].k != 0 {
+		t.Error("NewExecution should reset invocation counts")
+	}
+	if c.state[m].sBar == 0 {
+		t.Error("NewExecution should keep the EWMA size prediction")
+	}
+	if c.planCompiledAt(m, 1) || c.planCompiledAt(m, 2) || c.planCompiledAt(m, 3) {
+		t.Error("NewExecution should unlink compiled bodies")
+	}
+}
+
+// TestRecompileChargesAgain: a second execution that chooses a
+// compiled mode pays the recorded compile energy again, while the
+// simulator reuses the artifact (no second JIT run).
+func TestRecompileChargesAgain(t *testing.T) {
+	p := testProgram(t)
+	c := newTestClient(t, p, StrategyL2, radio.Fixed{Cls: radio.Class4}, workTarget())
+	args := []vm.Slot{vm.IntSlot(100)}
+	if _, err := c.Invoke("App", "work", args); err != nil {
+		t.Fatal(err)
+	}
+	e1 := c.VM.Acct.Component(energy.CompCompile)
+	if e1 <= 0 {
+		t.Fatal("first execution should charge compilation")
+	}
+	c.NewExecution()
+	if _, err := c.Invoke("App", "work", args); err != nil {
+		t.Fatal(err)
+	}
+	e2 := c.VM.Acct.Component(energy.CompCompile)
+	if rel := abs(float64(e2)-2*float64(e1)) / float64(e1); rel > 1e-9 {
+		t.Errorf("second execution compile charge %v, want doubled %v", e2, 2*e1)
+	}
+	if c.LocalCompiles != 4 { // 2 methods x 2 executions
+		t.Errorf("LocalCompiles = %d, want 4", c.LocalCompiles)
+	}
+}
+
+// TestDecisionOverheadCharged: the adaptive decision itself costs
+// energy (the paper notes it is small).
+func TestDecisionOverheadCharged(t *testing.T) {
+	p := testProgram(t)
+	c := newTestClient(t, p, StrategyAL, radio.Fixed{Cls: radio.Class4}, workTarget())
+	m := p.FindMethod("App", "work")
+	before := c.VM.Acct.Snapshot()
+	c.chooseMode(m, 100)
+	overhead := c.VM.Acct.Since(before)
+	if overhead <= 0 {
+		t.Fatal("decision charged nothing")
+	}
+	if overhead > 10*energy.MicroJoule {
+		t.Errorf("decision overhead %v should be negligible", overhead)
+	}
+}
+
+// TestPilotTrackerErrorRobustness: AL still functions (and still beats
+// the worst static strategy) when the channel estimate is wrong 20% of
+// the time.
+func TestPilotTrackerErrorRobustness(t *testing.T) {
+	p := testProgram(t)
+	ch := radio.UniformChannel(rng.New(3))
+	c := newTestClient(t, p, StrategyAL, ch, workTarget())
+	c.Link.Tracker = radio.NewPilotTracker(ch, 0.2, rng.New(4))
+	for i := 0; i < 25; i++ {
+		c.NewExecution()
+		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(400)}); err != nil {
+			t.Fatal(err)
+		}
+		c.StepChannel()
+	}
+	if c.Energy() <= 0 {
+		t.Fatal("no energy")
+	}
+	total := 0
+	for _, n := range c.ModeCounts {
+		total += n
+	}
+	if total != 25 {
+		t.Errorf("mode counts %v", c.ModeCounts)
+	}
+}
+
+// TestMultipleTargetsIndependentState: two potential methods keep
+// separate adaptive state and plans.
+func TestMultipleTargetsIndependentState(t *testing.T) {
+	p := testProgram(t)
+	c := newTestClient(t, p, StrategyAL, radio.Fixed{Cls: radio.Class4}, workTarget(), vecsumTarget())
+	if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(300)}); err != nil {
+		t.Fatal(err)
+	}
+	args, err := vecsumTarget().MakeArgs(c.VM, 128, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke("App", "vecsum", args); err != nil {
+		t.Fatal(err)
+	}
+	work := p.FindMethod("App", "work")
+	vec := p.FindMethod("App", "vecsum")
+	if c.state[work] == nil || c.state[vec] == nil {
+		t.Fatal("missing per-method state")
+	}
+	if c.state[work].k != 1 || c.state[vec].k != 1 {
+		t.Errorf("k work=%d vec=%d", c.state[work].k, c.state[vec].k)
+	}
+	if c.state[work].sBar == c.state[vec].sBar {
+		t.Error("size predictions should be independent")
+	}
+}
+
+// TestClockAdvancesMonotonically across mixed local/remote execution.
+func TestClockAdvancesMonotonically(t *testing.T) {
+	p := testProgram(t)
+	c := newTestClient(t, p, StrategyAA, radio.UniformChannel(rng.New(8)), workTarget())
+	last := c.Clock
+	for i := 0; i < 12; i++ {
+		c.NewExecution()
+		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(int32(100 + i*60))}); err != nil {
+			t.Fatal(err)
+		}
+		if c.Clock <= last {
+			t.Fatalf("clock did not advance at run %d: %v -> %v", i, last, c.Clock)
+		}
+		last = c.Clock
+		c.StepChannel()
+	}
+}
+
+// TestDownloadApplication charges communication and verification for
+// the dynamic-download capability the paper motivates.
+func TestDownloadApplication(t *testing.T) {
+	p := testProgram(t)
+	c := newTestClient(t, p, StrategyI, radio.Fixed{Cls: radio.Class4}, workTarget())
+	n, err := c.DownloadApplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("no bytes downloaded")
+	}
+	if c.VM.Acct.Component(energy.CompRadioRx) <= 0 {
+		t.Error("download should charge receive energy")
+	}
+	if c.VM.Acct.Component(energy.CompCore) <= 0 {
+		t.Error("class loading/verification should charge core energy")
+	}
+	if c.ClassLoadEnergy() <= 0 {
+		t.Error("ClassLoadEnergy should be positive")
+	}
+	// Download under a degraded channel costs more.
+	c2 := newTestClient(t, p, StrategyI, radio.Fixed{Cls: radio.Class1}, workTarget())
+	if _, err := c2.DownloadApplication(); err != nil {
+		t.Fatal(err)
+	}
+	if c2.VM.Acct.Component(energy.CompRadioRx) <= c.VM.Acct.Component(energy.CompRadioRx) {
+		t.Error("worse channel should make the download cost more")
+	}
+	// A dead link surfaces the error.
+	c3 := newTestClient(t, p, StrategyI, radio.Fixed{Cls: radio.Class4}, workTarget())
+	c3.Link.LossProb = 1
+	if _, err := c3.DownloadApplication(); err == nil {
+		t.Error("download over a dead link should fail")
+	}
+}
+
+// TestCodeCacheEviction: a tight code cache forces LRU eviction and
+// recompilation charges on the next use of the evicted body.
+func TestCodeCacheEviction(t *testing.T) {
+	p := testProgram(t)
+	c := newTestClient(t, p, StrategyL2, radio.Fixed{Cls: radio.Class4}, workTarget(), vecsumTarget())
+	// Big enough for one plan but not both.
+	c.CodeCacheBytes = 150
+
+	argsW := []vm.Slot{vm.IntSlot(100)}
+	if _, err := c.Invoke("App", "work", argsW); err != nil {
+		t.Fatal(err)
+	}
+	compiles1 := c.LocalCompiles
+	argsV, err := vecsumTarget().MakeArgs(c.VM, 64, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke("App", "vecsum", argsV); err != nil {
+		t.Fatal(err)
+	}
+	if c.Evictions == 0 {
+		t.Fatal("expected evictions under a 150-byte code cache")
+	}
+	// Re-running work must recompile what was evicted (same
+	// execution, so without a cache it would have stayed linked).
+	if _, err := c.Invoke("App", "work", argsW); err != nil {
+		t.Fatal(err)
+	}
+	if c.LocalCompiles <= compiles1+2 {
+		t.Errorf("LocalCompiles = %d; eviction should force recompilation", c.LocalCompiles)
+	}
+
+	// An unlimited cache never evicts.
+	c2 := newTestClient(t, p, StrategyL2, radio.Fixed{Cls: radio.Class4}, workTarget(), vecsumTarget())
+	if _, err := c2.Invoke("App", "work", argsW); err != nil {
+		t.Fatal(err)
+	}
+	argsV2, _ := vecsumTarget().MakeArgs(c2.VM, 64, rng.New(2))
+	if _, err := c2.Invoke("App", "vecsum", argsV2); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Evictions != 0 {
+		t.Error("unlimited cache should not evict")
+	}
+}
+
+// TestConcurrentClientsOneServer: several clients share one in-process
+// server concurrently (the server serializes execution internally).
+func TestConcurrentClientsOneServer(t *testing.T) {
+	p := testProgram(t)
+	server := NewServer(p)
+	pr := newProfiler(p)
+	prof, err := pr.ProfileTarget(workTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			c := NewClient(fmt.Sprintf("pda-%d", i), p, server, radio.Fixed{Cls: radio.Class4}, StrategyR, uint64(i))
+			if err := c.Register(workTarget(), prof); err != nil {
+				errs <- err
+				return
+			}
+			for run := 0; run < 5; run++ {
+				res, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(int32(100 + i))})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.I == 0 {
+					errs <- fmt.Errorf("client %d: zero result", i)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

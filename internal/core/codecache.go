@@ -1,0 +1,80 @@
+package core
+
+import (
+	"greenvm/internal/bytecode"
+	"greenvm/internal/jit"
+)
+
+// Code-cache management. The paper notes that compilation "requires
+// additional memory footprint for storing the compiled code" and that
+// "mobile systems with larger memories are beginning to emerge that
+// make such tradeoffs useful". CodeCacheBytes bounds the native code
+// a client keeps linked at once (0 = unlimited); exceeding it evicts
+// the least-recently-used body, whose next use must pay compilation
+// (or download) again.
+
+type cacheKey struct {
+	m  *bytecode.Method
+	lv jit.Level
+}
+
+// noteLinked records that a body became linked, evicting LRU bodies
+// if the cache is over budget. It must be called after avail is set.
+func (c *Client) noteLinked(mm *bytecode.Method, lv jit.Level) {
+	key := cacheKey{mm, lv}
+	c.lruTick++
+	if c.lruStamp == nil {
+		c.lruStamp = map[cacheKey]uint64{}
+	}
+	c.lruStamp[key] = c.lruTick
+	if c.CodeCacheBytes <= 0 {
+		return
+	}
+	for c.linkedBytes() > c.CodeCacheBytes {
+		victim, ok := c.oldestLinked(key)
+		if !ok {
+			return // only the newcomer is linked; nothing to evict
+		}
+		av := c.avail[victim.m]
+		av[victim.lv-1] = false
+		c.avail[victim.m] = av
+		delete(c.lruStamp, victim)
+		c.Evictions++
+	}
+}
+
+// linkedBytes sums the sizes of currently linked bodies.
+func (c *Client) linkedBytes() int {
+	total := 0
+	for mm, av := range c.avail {
+		for lv := 0; lv < 3; lv++ {
+			if av[lv] && c.bodies[mm][lv] != nil {
+				total += c.bodies[mm][lv].SizeBytes()
+			}
+		}
+	}
+	return total
+}
+
+// oldestLinked returns the least-recently-linked body other than keep.
+func (c *Client) oldestLinked(keep cacheKey) (cacheKey, bool) {
+	var victim cacheKey
+	var best uint64
+	found := false
+	for mm, av := range c.avail {
+		for lv := 0; lv < 3; lv++ {
+			if !av[lv] {
+				continue
+			}
+			k := cacheKey{mm, jit.Level(lv + 1)}
+			if k == keep {
+				continue
+			}
+			stamp := c.lruStamp[k]
+			if !found || stamp < best {
+				victim, best, found = k, stamp, true
+			}
+		}
+	}
+	return victim, found
+}

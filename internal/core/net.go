@@ -1,0 +1,315 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"greenvm/internal/energy"
+	"greenvm/internal/isa"
+	"greenvm/internal/jit"
+)
+
+// TCP transport: the paper validated its prototype on two SPARC
+// workstations, one acting as the server and one as the mobile client.
+// Serve exposes a Server over a real socket and DialServer returns a
+// core.Remote that a Client can use in place of the in-process server.
+// Energy accounting is unchanged — the radio model still prices the
+// exchanged byte counts — the transport only moves the execution into
+// another process.
+//
+// Wire format: length-prefixed frames (uint32 big-endian, then
+// payload). The first payload byte is the operation; strings are
+// uint16-length-prefixed; times are float64 seconds.
+
+// ErrProtocol reports a malformed or unexpected frame.
+var ErrProtocol = errors.New("core: protocol error")
+
+const (
+	opExec     = 1
+	opCompile  = 2
+	maxFrame   = 64 << 20
+	statusOK   = 0
+	statusFail = 1
+)
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrProtocol, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// frame builder / reader helpers.
+
+type wire struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (m *wire) u8(v byte) *wire { m.buf = append(m.buf, v); return m }
+func (m *wire) str(s string) *wire {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
+	m.buf = append(m.buf, l[:]...)
+	m.buf = append(m.buf, s...)
+	return m
+}
+func (m *wire) bytes(b []byte) *wire {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+	m.buf = append(m.buf, l[:]...)
+	m.buf = append(m.buf, b...)
+	return m
+}
+func (m *wire) f64(v float64) *wire {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	m.buf = append(m.buf, b[:]...)
+	return m
+}
+
+func (m *wire) fail(what string) {
+	if m.err == nil {
+		m.err = fmt.Errorf("%w: truncated %s", ErrProtocol, what)
+	}
+}
+func (m *wire) rdU8() byte {
+	if m.err != nil || m.pos+1 > len(m.buf) {
+		m.fail("u8")
+		return 0
+	}
+	v := m.buf[m.pos]
+	m.pos++
+	return v
+}
+func (m *wire) rdStr() string {
+	if m.err != nil || m.pos+2 > len(m.buf) {
+		m.fail("string")
+		return ""
+	}
+	n := int(binary.BigEndian.Uint16(m.buf[m.pos:]))
+	m.pos += 2
+	if m.pos+n > len(m.buf) {
+		m.fail("string body")
+		return ""
+	}
+	s := string(m.buf[m.pos : m.pos+n])
+	m.pos += n
+	return s
+}
+func (m *wire) rdBytes() []byte {
+	if m.err != nil || m.pos+4 > len(m.buf) {
+		m.fail("bytes")
+		return nil
+	}
+	n := int(binary.BigEndian.Uint32(m.buf[m.pos:]))
+	m.pos += 4
+	if n > maxFrame || m.pos+n > len(m.buf) {
+		m.fail("bytes body")
+		return nil
+	}
+	b := m.buf[m.pos : m.pos+n]
+	m.pos += n
+	return b
+}
+func (m *wire) rdF64() float64 {
+	if m.err != nil || m.pos+8 > len(m.buf) {
+		m.fail("f64")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(m.buf[m.pos:]))
+	m.pos += 8
+	return v
+}
+
+// Serve accepts connections on the listener and dispatches requests to
+// the server until the listener is closed. Each connection is handled
+// on its own goroutine; the Server serializes execution internally.
+func Serve(l net.Listener, s *Server) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, s)
+	}
+}
+
+func serveConn(conn net.Conn, s *Server) {
+	defer conn.Close()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return // peer closed or broken
+		}
+		resp := handle(req, s)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func handle(req []byte, s *Server) []byte {
+	m := &wire{buf: req}
+	op := m.rdU8()
+	switch op {
+	case opExec:
+		clientID := m.rdStr()
+		class := m.rdStr()
+		method := m.rdStr()
+		argBytes := m.rdBytes()
+		reqTime := energy.Seconds(m.rdF64())
+		estEnd := energy.Seconds(m.rdF64())
+		if m.err != nil {
+			return failFrame(m.err)
+		}
+		res, servTime, queued, err := s.Execute(clientID, class, method, argBytes, reqTime, estEnd)
+		if err != nil {
+			return failFrame(err)
+		}
+		out := &wire{}
+		out.u8(statusOK).bytes(res).f64(float64(servTime))
+		if queued {
+			out.u8(1)
+		} else {
+			out.u8(0)
+		}
+		return out.buf
+	case opCompile:
+		qname := m.rdStr()
+		level := m.rdU8()
+		if m.err != nil {
+			return failFrame(m.err)
+		}
+		code, size, err := s.CompiledBody(qname, jit.Level(level))
+		if err != nil {
+			return failFrame(err)
+		}
+		out := &wire{}
+		out.u8(statusOK).bytes(isa.EncodeCode(code))
+		var sz [4]byte
+		binary.BigEndian.PutUint32(sz[:], uint32(size))
+		out.buf = append(out.buf, sz[:]...)
+		return out.buf
+	default:
+		return failFrame(fmt.Errorf("%w: unknown op %d", ErrProtocol, op))
+	}
+}
+
+func failFrame(err error) []byte {
+	out := &wire{}
+	out.u8(statusFail).str(err.Error())
+	return out.buf
+}
+
+// RemoteServer is a core.Remote backed by a TCP connection to a
+// process running Serve.
+type RemoteServer struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialServer connects to a remote compilation/execution server.
+func DialServer(addr string) (*RemoteServer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteServer{conn: conn}, nil
+}
+
+// Close shuts the connection.
+func (r *RemoteServer) Close() error { return r.conn.Close() }
+
+// roundTrip sends one request frame and reads the response.
+func (r *RemoteServer) roundTrip(req []byte) (*wire, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := writeFrame(r.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(r.conn)
+	if err != nil {
+		return nil, err
+	}
+	m := &wire{buf: resp}
+	if m.rdU8() != statusOK {
+		msg := m.rdStr()
+		if m.err != nil {
+			return nil, m.err
+		}
+		return nil, fmt.Errorf("core: remote server: %s", msg)
+	}
+	return m, nil
+}
+
+// Execute implements Remote over the wire.
+func (r *RemoteServer) Execute(clientID, class, method string, argBytes []byte,
+	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, error) {
+
+	req := &wire{}
+	req.u8(opExec).str(clientID).str(class).str(method).bytes(argBytes).
+		f64(float64(reqTime)).f64(float64(estEnd))
+	m, err := r.roundTrip(req.buf)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	res := append([]byte(nil), m.rdBytes()...)
+	servTime := energy.Seconds(m.rdF64())
+	queued := m.rdU8() == 1
+	if m.err != nil {
+		return nil, 0, false, m.err
+	}
+	return res, servTime, queued, nil
+}
+
+// CompiledBody implements Remote over the wire.
+func (r *RemoteServer) CompiledBody(qname string, level jit.Level) (*isa.Code, int, error) {
+	req := &wire{}
+	req.u8(opCompile).str(qname).u8(byte(level))
+	m, err := r.roundTrip(req.buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	enc := m.rdBytes()
+	if m.err != nil {
+		return nil, 0, m.err
+	}
+	code, err := isa.DecodeCode(enc)
+	if err != nil {
+		return nil, 0, err
+	}
+	if m.pos+4 > len(m.buf) {
+		return nil, 0, fmt.Errorf("%w: truncated size", ErrProtocol)
+	}
+	size := int(binary.BigEndian.Uint32(m.buf[m.pos:]))
+	return code, size, nil
+}
+
+var _ Remote = (*RemoteServer)(nil)
+var _ Remote = (*Server)(nil)

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"greenvm/internal/energy"
+	"greenvm/internal/isa"
+	"greenvm/internal/jit"
+	"greenvm/internal/radio"
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// startTCPServer runs a Server behind a loopback listener.
+func startTCPServer(t *testing.T, s *Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l, s) //nolint:errcheck // returns when the listener closes
+	return l.Addr().String()
+}
+
+func TestTCPRemoteExecution(t *testing.T) {
+	p := testProgram(t)
+	addr := startTCPServer(t, NewServer(p))
+	remote, err := DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	c := NewClient("tcp-client", p, remote, radio.Fixed{Cls: radio.Class4}, StrategyR, 7)
+	pr := newProfiler(p)
+	prof, err := pr.ProfileTarget(workTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(workTarget(), prof); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference result.
+	v2 := vm.New(p, energy.MicroSPARCIIep())
+	want, _ := v2.InvokeByName("App", "work", []vm.Slot{vm.IntSlot(200)})
+	if res.I != want.I {
+		t.Errorf("TCP remote result %d, want %d", res.I, want.I)
+	}
+	if c.ModeCounts[ModeRemote] != 1 {
+		t.Errorf("mode counts %v", c.ModeCounts)
+	}
+	if c.VM.Acct.Component(energy.CompRadioTx) <= 0 {
+		t.Error("communication energy should still be charged over TCP")
+	}
+}
+
+func TestTCPRemoteRefResult(t *testing.T) {
+	p := testProgram(t)
+	addr := startTCPServer(t, NewServer(p))
+	remote, err := DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	c := NewClient("tcp-client", p, remote, radio.Fixed{Cls: radio.Class4}, StrategyR, 7)
+	pr := newProfiler(p)
+	tg := vecsumTarget()
+	prof, err := pr.ProfileTarget(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(tg, prof); err != nil {
+		t.Fatal(err)
+	}
+	args, err := tg.MakeArgs(c.VM, 64, rng.New(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke("App", "vecsum", args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCompiledBodyMatchesInProcess(t *testing.T) {
+	p := testProgram(t)
+	server := NewServer(p)
+	addr := startTCPServer(t, server)
+	remote, err := DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	got, gotSize, err := remote.CompiledBody("App.helper", jit.Level2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantSize, err := server.CompiledBody("App.helper", jit.Level2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSize != wantSize {
+		t.Errorf("size %d != %d", gotSize, wantSize)
+	}
+	if len(got.Instrs) != len(want.Instrs) {
+		t.Fatalf("instr count %d != %d", len(got.Instrs), len(want.Instrs))
+	}
+	for i := range got.Instrs {
+		if got.Instrs[i] != want.Instrs[i] {
+			t.Errorf("instr %d: %v != %v", i, got.Instrs[i], want.Instrs[i])
+		}
+	}
+	if got.FrameWords != want.FrameWords || got.OptLevel != want.OptLevel {
+		t.Error("metadata lost on the wire")
+	}
+}
+
+func TestTCPErrorsPropagate(t *testing.T) {
+	p := testProgram(t)
+	addr := startTCPServer(t, NewServer(p))
+	remote, err := DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	if _, _, _, err := remote.Execute("c", "No", "such", nil, 0, 0); err == nil ||
+		!strings.Contains(err.Error(), "no method") {
+		t.Errorf("exec error = %v", err)
+	}
+	// The connection must remain usable after a server-side error.
+	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); err != nil {
+		t.Errorf("connection broken after error: %v", err)
+	}
+	if _, _, err := remote.CompiledBody("No.Such", jit.Level1); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestEncodeDecodeCodeRoundtrip(t *testing.T) {
+	p := testProgram(t)
+	m := p.FindMethod("App", "work")
+	code, _, err := jit.Compile(p, m, jit.Level3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := isa.EncodeCode(code)
+	dec, err := isa.DecodeCode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Name != code.Name || dec.FrameWords != code.FrameWords || dec.OptLevel != code.OptLevel {
+		t.Error("metadata changed")
+	}
+	for i := range code.Instrs {
+		if dec.Instrs[i] != code.Instrs[i] {
+			t.Fatalf("instr %d changed", i)
+		}
+	}
+	// Corruption is detected.
+	if _, err := isa.DecodeCode(enc[:len(enc)-2]); err == nil {
+		t.Error("truncated code should fail to decode")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	if _, err := isa.DecodeCode(bad); err == nil {
+		t.Error("bad magic should fail to decode")
+	}
+}

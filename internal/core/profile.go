@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+	"greenvm/internal/fit"
+	"greenvm/internal/isa"
+	"greenvm/internal/jit"
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// Target binds a potential method to its workload: how to build
+// arguments of a given size parameter, and how to read the size
+// parameter back from arguments at runtime (the helper method's view).
+type Target struct {
+	Class, Method string
+	// MakeArgs builds arguments with the given size parameter in the
+	// VM's heap. It must be deterministic for a given (size, seed).
+	MakeArgs func(v *vm.VM, size int, r *rng.RNG) ([]vm.Slot, error)
+	// SizeOf recovers the size parameter from live arguments.
+	SizeOf func(v *vm.VM, args []vm.Slot) (float64, error)
+	// ProfileSizes is the grid the profiler measures; it should span
+	// the sizes the workload will use.
+	ProfileSizes []int
+	// NLogN hints that cost curves follow n*log n (e.g. sorting).
+	NLogN bool
+}
+
+// QName returns the qualified method name.
+func (t *Target) QName() string { return t.Class + "." + t.Method }
+
+// Profile is the per-method data the paper embeds in class files as
+// static final variables for the helper methods: curve-fitted energy
+// and time estimators per execution mode, serialized argument/result
+// sizes, server execution time, and per-plan compile costs and code
+// sizes per optimization level.
+type Profile struct {
+	Target *Target
+
+	// EnergyOf[mode] estimates client energy (J) vs size parameter for
+	// the four local modes.
+	EnergyOf [numLocalModes]fit.Predictor
+	// TimeOf[mode] estimates client execution time (s) vs size.
+	TimeOf [numLocalModes]fit.Predictor
+	// TxBytes/RxBytes estimate serialized argument and result sizes.
+	TxBytes fit.Predictor
+	RxBytes fit.Predictor
+	// ServerTime estimates the server-side execution time (s) vs size.
+	ServerTime fit.Predictor
+
+	// CompileEnergy[level-1] is the energy to locally compile the whole
+	// compilation plan (the potential method plus its callees) at that
+	// level, excluding the one-time compiler-classes load.
+	CompileEnergy [3]energy.Joules
+	// PlanCodeBytes[level-1] is the total native code size of the plan,
+	// which a remote compilation must download.
+	PlanCodeBytes [3]int
+
+	// MaxFitErr is the worst relative error observed when validating
+	// the curves against held-out runs (the paper reports <= 2%).
+	MaxFitErr float64
+}
+
+// Profiler measures methods on scratch VMs and fits estimator curves.
+type Profiler struct {
+	Prog        *bytecode.Program
+	ClientModel *energy.CPUModel
+	ServerModel *energy.CPUModel
+	Seed        uint64
+}
+
+// measurement is one profiled data point.
+type measurement struct {
+	size     int
+	energy   [numLocalModes]float64
+	time     [numLocalModes]float64
+	txBytes  float64
+	rxBytes  float64
+	servTime float64
+}
+
+// compilePlan returns the potential method and every method statically
+// reachable from it through calls (its "compilation plan", paper
+// §3.1), excluding other potential methods (they are intercepted and
+// decided independently).
+func compilePlan(prog *bytecode.Program, root *bytecode.Method) []*bytecode.Method {
+	seen := map[*bytecode.Method]bool{root: true}
+	order := []*bytecode.Method{root}
+	for i := 0; i < len(order); i++ {
+		for _, in := range order[i].Code {
+			if in.Op != bytecode.INVOKESTATIC && in.Op != bytecode.INVOKEVIRTUAL {
+				continue
+			}
+			callee := prog.Method(int(in.A))
+			if callee == nil || seen[callee] || callee.Potential || len(callee.Code) == 0 {
+				continue
+			}
+			seen[callee] = true
+			order = append(order, callee)
+			// Virtual calls may dispatch to overrides; include them.
+			if in.Op == bytecode.INVOKEVIRTUAL {
+				for _, c := range prog.Classes {
+					if m := c.Own(callee.Name); m != nil && !m.Static && !seen[m] &&
+						c.IsSubclassOf(callee.Class) && len(m.Code) > 0 && !m.Potential {
+						seen[m] = true
+						order = append(order, m)
+					}
+				}
+			}
+		}
+	}
+	return order
+}
+
+// runOnce executes the target once on a fresh VM in the given local
+// mode and returns (result, energy, time).
+func runOnce(prog *bytecode.Program, model *energy.CPUModel, t *Target,
+	size int, seed uint64, mode Mode, bodies map[*bytecode.Method]*isa.Code) (vm.Slot, energy.Joules, energy.Seconds, error) {
+
+	v := vm.New(prog, model)
+	m := prog.FindMethod(t.Class, t.Method)
+	if m == nil {
+		return vm.Slot{}, 0, 0, fmt.Errorf("core: no method %s", t.QName())
+	}
+	if mode.IsCompiled() {
+		v.Dispatch = vm.DispatchFunc(func(mm *bytecode.Method) *isa.Code { return bodies[mm] })
+	}
+	args, err := t.MakeArgs(v, size, rng.New(seed))
+	if err != nil {
+		return vm.Slot{}, 0, 0, err
+	}
+	// Exclude input construction from the measurement.
+	v.Acct.Reset()
+	v.Hier.Flush()
+	res, err := v.Invoke(m, args)
+	if err != nil {
+		return vm.Slot{}, 0, 0, fmt.Errorf("core: profiling %s at %v: %w", t.QName(), mode, err)
+	}
+	return res, v.Acct.Total(), v.Acct.Time(), nil
+}
+
+// ProfileTarget measures the target across its size grid, fits the
+// estimator curves, stores them as method attributes, and returns the
+// profile.
+func (p *Profiler) ProfileTarget(t *Target) (*Profile, error) {
+	m := p.Prog.FindMethod(t.Class, t.Method)
+	if m == nil {
+		return nil, fmt.Errorf("core: no method %s", t.QName())
+	}
+	if len(t.ProfileSizes) < 4 {
+		return nil, fmt.Errorf("core: %s: need at least 4 profile sizes", t.QName())
+	}
+	plan := compilePlan(p.Prog, m)
+
+	prof := &Profile{Target: t}
+
+	// Compile the plan once per level: cost and code size.
+	bodiesByLevel := [3]map[*bytecode.Method]*isa.Code{}
+	for lv := jit.Level1; lv <= jit.Level3; lv++ {
+		bodies := map[*bytecode.Method]*isa.Code{}
+		acct := energy.NewAccount(p.ClientModel)
+		total := 0
+		for _, mm := range plan {
+			code, st, err := jit.Compile(p.Prog, mm, lv)
+			if err != nil {
+				return nil, err
+			}
+			st.Charge(acct)
+			total += st.CodeBytes()
+			bodies[mm] = code
+			// Per-method attributes for the AA compile decision.
+			mm.SetAttr(fmt.Sprintf("compile.energy.%s", lv), float64(st.Energy(p.ClientModel)))
+			mm.SetAttr(fmt.Sprintf("compile.bytes.%s", lv), float64(st.CodeBytes()))
+		}
+		prof.CompileEnergy[lv-jit.Level1] = acct.Total()
+		prof.PlanCodeBytes[lv-jit.Level1] = total
+		bodiesByLevel[lv-jit.Level1] = bodies
+	}
+
+	// Measure the size grid.
+	var ms []measurement
+	for _, size := range t.ProfileSizes {
+		mr := measurement{size: size}
+		for mode := ModeInterp; mode <= ModeL3; mode++ {
+			var bodies map[*bytecode.Method]*isa.Code
+			if mode.IsCompiled() {
+				// Install fresh code addresses per measurement VM.
+				bodies = bodiesByLevel[mode.Level()-jit.Level1]
+			}
+			_, e, tt, err := runOnce(p.Prog, p.ClientModel, t, size, p.Seed, mode, bodies)
+			if err != nil {
+				return nil, err
+			}
+			mr.energy[mode] = float64(e)
+			mr.time[mode] = float64(tt)
+		}
+		// Serialized sizes and server time.
+		v := vm.New(p.Prog, p.ClientModel)
+		args, err := t.MakeArgs(v, size, rng.New(p.Seed))
+		if err != nil {
+			return nil, err
+		}
+		ab, err := v.Heap.EncodeArgs(m, args)
+		if err != nil {
+			return nil, err
+		}
+		mr.txBytes = float64(len(ab))
+		res, err := v.Invoke(m, args)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := v.Heap.EncodeValue(m.Ret.Kind, res)
+		if err != nil {
+			return nil, err
+		}
+		mr.rxBytes = float64(len(rb))
+		_, _, st, err := runOnce(p.Prog, p.ServerModel, t, size, p.Seed, ModeL3, bodiesByLevel[2])
+		if err != nil {
+			return nil, err
+		}
+		mr.servTime = float64(st)
+		ms = append(ms, mr)
+	}
+
+	// Fit curves.
+	bases := []fit.Basis{fit.Poly(2), fit.Poly(1)}
+	if t.NLogN {
+		bases = append([]fit.Basis{fit.PolyLog()}, bases...)
+	}
+	xs := make([]float64, len(ms))
+	for i, mr := range ms {
+		xs[i] = float64(mr.size)
+	}
+	column := func(get func(measurement) float64) []float64 {
+		ys := make([]float64, len(ms))
+		for i, mr := range ms {
+			ys[i] = get(mr)
+		}
+		return ys
+	}
+	// The paper fits parametric curves; when a curve cannot explain
+	// the deterministic measurements within 2% (cache-regime changes),
+	// the profile falls back to a table-assisted estimator.
+	const fitTol = 0.02
+	var err error
+	for mode := ModeInterp; mode <= ModeL3; mode++ {
+		mode := mode
+		if prof.EnergyOf[mode], err = fit.BestPredictor(xs, column(func(m measurement) float64 { return m.energy[mode] }), fitTol, bases...); err != nil {
+			return nil, err
+		}
+		if prof.TimeOf[mode], err = fit.BestPredictor(xs, column(func(m measurement) float64 { return m.time[mode] }), fitTol, bases...); err != nil {
+			return nil, err
+		}
+	}
+	if prof.TxBytes, err = fit.BestPredictor(xs, column(func(m measurement) float64 { return m.txBytes }), fitTol, bases...); err != nil {
+		return nil, err
+	}
+	if prof.RxBytes, err = fit.BestPredictor(xs, column(func(m measurement) float64 { return m.rxBytes }), fitTol, bases...); err != nil {
+		return nil, err
+	}
+	if prof.ServerTime, err = fit.BestPredictor(xs, column(func(m measurement) float64 { return m.servTime }), fitTol, bases...); err != nil {
+		return nil, err
+	}
+	for mode := ModeInterp; mode <= ModeL3; mode++ {
+		if e := fit.PredictorMaxRelErr(prof.EnergyOf[mode], xs, column(func(m measurement) float64 { return m.energy[mode] })); e > prof.MaxFitErr {
+			prof.MaxFitErr = e
+		}
+	}
+
+	// Mirror key estimator constants into class-file attributes, as
+	// the paper stores them for the helper methods.
+	for lv := 0; lv < 3; lv++ {
+		m.SetAttr(fmt.Sprintf("plan.compile.energy.L%d", lv+1), float64(prof.CompileEnergy[lv]))
+		m.SetAttr(fmt.Sprintf("plan.code.bytes.L%d", lv+1), float64(prof.PlanCodeBytes[lv]))
+	}
+	if mod, ok := prof.EnergyOf[ModeInterp].(*fit.Model); ok {
+		for i, c := range mod.Coef {
+			m.SetAttr(fmt.Sprintf("curve.interp.c%d", i), c)
+		}
+	}
+	return prof, nil
+}
+
+// ValidateProfile re-runs the target at held-out sizes and returns the
+// worst relative error of the local-mode energy estimators — the
+// paper's "within 2% of the actual energy value" check.
+func (p *Profiler) ValidateProfile(t *Target, prof *Profile, sizes []int) (float64, error) {
+	worst := 0.0
+	m := p.Prog.FindMethod(t.Class, t.Method)
+	plan := compilePlan(p.Prog, m)
+	bodiesByLevel := [3]map[*bytecode.Method]*isa.Code{}
+	for lv := jit.Level1; lv <= jit.Level3; lv++ {
+		bodies := map[*bytecode.Method]*isa.Code{}
+		for _, mm := range plan {
+			code, _, err := jit.Compile(p.Prog, mm, lv)
+			if err != nil {
+				return 0, err
+			}
+			bodies[mm] = code
+		}
+		bodiesByLevel[lv-jit.Level1] = bodies
+	}
+	for _, size := range sizes {
+		for mode := ModeInterp; mode <= ModeL3; mode++ {
+			var bodies map[*bytecode.Method]*isa.Code
+			if mode.IsCompiled() {
+				bodies = bodiesByLevel[mode.Level()-jit.Level1]
+			}
+			_, e, _, err := runOnce(p.Prog, p.ClientModel, t, size, p.Seed+1, mode, bodies)
+			if err != nil {
+				return 0, err
+			}
+			est := prof.EnergyOf[mode].Eval(float64(size))
+			actual := float64(e)
+			if actual > 0 {
+				rel := abs(est-actual) / actual
+				if rel > worst {
+					worst = rel
+				}
+			}
+		}
+	}
+	return worst, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MeasureOnce runs the target once, interpreted, on a fresh client VM
+// with the given input seed; exposed for calibration tooling.
+func MeasureOnce(prog *bytecode.Program, t *Target, size int, seed uint64) (energy.Joules, error) {
+	_, e, _, err := runOnce(prog, energy.MicroSPARCIIep(), t, size, seed, ModeInterp, nil)
+	return e, err
+}
+
+// ValidateProfileDetail reports per-mode estimator errors at one size;
+// exposed for calibration tooling.
+func (p *Profiler) ValidateProfileDetail(t *Target, prof *Profile, size int) ([4]float64, error) {
+	var out [4]float64
+	m := p.Prog.FindMethod(t.Class, t.Method)
+	plan := compilePlan(p.Prog, m)
+	for mode := ModeInterp; mode <= ModeL3; mode++ {
+		var bodies map[*bytecode.Method]*isa.Code
+		if mode.IsCompiled() {
+			bodies = map[*bytecode.Method]*isa.Code{}
+			for _, mm := range plan {
+				code, _, err := jit.Compile(p.Prog, mm, mode.Level())
+				if err != nil {
+					return out, err
+				}
+				bodies[mm] = code
+			}
+		}
+		_, e, _, err := runOnce(p.Prog, p.ClientModel, t, size, p.Seed+1, mode, bodies)
+		if err != nil {
+			return out, err
+		}
+		actual := float64(e)
+		if actual > 0 {
+			out[mode] = abs(prof.EnergyOf[mode].Eval(float64(size))-actual) / actual
+		}
+	}
+	return out, nil
+}
+
+// MeasureOnceMode runs the target once in the given local mode;
+// exposed for calibration tooling.
+func MeasureOnceMode(prog *bytecode.Program, t *Target, size int, seed uint64, mode Mode) (energy.Joules, error) {
+	var bodies map[*bytecode.Method]*isa.Code
+	if mode.IsCompiled() {
+		m := prog.FindMethod(t.Class, t.Method)
+		bodies = map[*bytecode.Method]*isa.Code{}
+		for _, mm := range compilePlan(prog, m) {
+			code, _, err := jit.Compile(prog, mm, mode.Level())
+			if err != nil {
+				return 0, err
+			}
+			bodies[mm] = code
+		}
+	}
+	_, e, _, err := runOnce(prog, energy.MicroSPARCIIep(), t, size, seed, mode, bodies)
+	return e, err
+}

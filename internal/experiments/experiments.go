@@ -1,0 +1,130 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation: the model-parameter tables (Figs 1-3, 5), the
+// static-strategy comparison (Fig 6), the adaptive-strategy scenarios
+// (Fig 7), the local-vs-remote compilation energies (Fig 8), and the
+// quantitative claims of §3 (estimator accuracy, AL savings over the
+// best static strategy, offload speedups, AA vs AL).
+package experiments
+
+import (
+	"fmt"
+
+	"greenvm/internal/apps"
+	"greenvm/internal/bytecode"
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+	"greenvm/internal/radio"
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// Env is a prepared application: program, profile, target. Preparing
+// is done once per app and shared across scenarios (profiling is the
+// offline step the paper performs when the application is deployed on
+// the server).
+type Env struct {
+	App    *apps.App
+	Prog   *bytecode.Program
+	Target *core.Target
+	Prof   *core.Profile
+}
+
+// Prepare compiles and profiles one application.
+func Prepare(a *apps.App, seed uint64) (*Env, error) {
+	prog, err := a.FreshProgram()
+	if err != nil {
+		return nil, err
+	}
+	target := a.Target()
+	pr := &core.Profiler{
+		Prog:        prog,
+		ClientModel: energy.MicroSPARCIIep(),
+		ServerModel: energy.ServerSPARC(),
+		Seed:        seed,
+	}
+	prof, err := pr.ProfileTarget(target)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return &Env{App: a, Prog: prog, Target: target, Prof: prof}, nil
+}
+
+// PrepareAll prepares a set of applications.
+func PrepareAll(list []*apps.App, seed uint64) ([]*Env, error) {
+	envs := make([]*Env, 0, len(list))
+	for _, a := range list {
+		e, err := Prepare(a, seed)
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, e)
+	}
+	return envs, nil
+}
+
+// inputSeed fixes the input content per (app, size) so identical
+// invocations are replayable.
+func inputSeed(app string, size int, seed uint64) uint64 {
+	h := seed ^ 0x9E3779B97F4A7C15
+	for _, c := range app {
+		h = h*1099511628211 ^ uint64(c)
+	}
+	return h*2654435761 + uint64(size)
+}
+
+// newClient wires a fresh client+server for one scenario.
+func (e *Env) newClient(strategy core.Strategy, ch radio.Channel, seed uint64) (*core.Client, error) {
+	server := core.NewServer(e.Prog)
+	c := core.NewClient(fmt.Sprintf("%s-%v", e.App.Name, strategy), e.Prog, server, ch, strategy, seed)
+	if err := c.Register(e.Target, e.Prof); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// runOnceOn executes one invocation of the app on the client with an
+// input of the given size, excluding input-construction energy, and
+// returns the energy and time deltas.
+func (e *Env) runOnceOn(c *core.Client, size int, seed uint64) (energy.Joules, energy.Seconds, error) {
+	args, err := e.Target.MakeArgs(c.VM, size, rng.New(inputSeed(e.App.Name, size, seed)))
+	if err != nil {
+		return 0, 0, err
+	}
+	c.VM.Hier.Flush()
+	e0, t0 := c.Energy(), c.Clock
+	if _, err := c.Invoke(e.App.Class, e.App.Method, args); err != nil {
+		return 0, 0, err
+	}
+	return c.Energy() - e0, c.Clock - t0, nil
+}
+
+// Scenario argument cache: inputs are fixed per size, so repeated
+// invocations reuse both the heap objects and the memoized execution.
+type argCache struct {
+	env  *Env
+	c    *core.Client
+	seed uint64
+	args map[int][]vm.Slot
+	// Construction is the energy spent building inputs, excluded from
+	// scenario totals (it is the driver's work, identical across
+	// strategies).
+	Construction energy.Joules
+}
+
+func newArgCache(env *Env, c *core.Client, seed uint64) *argCache {
+	return &argCache{env: env, c: c, seed: seed, args: map[int][]vm.Slot{}}
+}
+
+func (ac *argCache) get(size int) ([]vm.Slot, error) {
+	if a, ok := ac.args[size]; ok {
+		return a, nil
+	}
+	e0 := ac.c.Energy()
+	a, err := ac.env.Target.MakeArgs(ac.c.VM, size, rng.New(inputSeed(ac.env.App.Name, size, ac.seed)))
+	if err != nil {
+		return nil, err
+	}
+	ac.Construction += ac.c.Energy() - e0
+	ac.args[size] = a
+	return a, nil
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+	"greenvm/internal/radio"
+	"greenvm/internal/rng"
+)
+
+// Extension experiments beyond the paper's figures, probing two of its
+// assumptions:
+//
+//   - The channel process: the paper draws conditions i.i.d. per
+//     scenario distribution; real fading is temporally correlated.
+//     MarkovSweep measures AL under a Markov channel across stay
+//     probabilities.
+//   - Channel estimation: the paper notes that a "fairly accurate and
+//     fast channel condition estimation mechanism is necessary".
+//     TrackerErrorSweep measures how AL degrades as the pilot
+//     tracker's estimate gets noisier.
+
+// MarkovPoint is one (stay probability) sample of the sweep.
+type MarkovPoint struct {
+	StayProb float64
+	AL       float64 // energy normalized to the same channel's L2
+	R        float64
+	ModeMix  [5]int
+}
+
+// runSequence executes n fresh application executions with the given
+// channel under a strategy and returns total energy minus input
+// construction.
+func runSequence(env *Env, strategy core.Strategy, ch radio.Channel, runs int, seed uint64) (float64, [5]int, error) {
+	client, err := env.newClient(strategy, ch, seed)
+	if err != nil {
+		return 0, [5]int{}, err
+	}
+	client.Memo = core.NewMemo()
+	sizes := env.App.ScenarioSizes
+	sizeR := rng.New(seed ^ 0xABCD)
+	cache := newArgCache(env, client, seed)
+	for run := 0; run < runs; run++ {
+		size := sizes[sizeR.Intn(len(sizes))]
+		args, err := cache.get(size)
+		if err != nil {
+			return 0, [5]int{}, err
+		}
+		client.NewExecution()
+		client.MemoInputKey = uint64(size)
+		if _, err := client.Invoke(env.App.Class, env.App.Method, args); err != nil {
+			return 0, [5]int{}, err
+		}
+		client.StepChannel()
+	}
+	return float64(client.Energy() - cache.Construction), client.ModeCounts, nil
+}
+
+// RunMarkovSweep measures AL (and R, L2 baselines) under Markov
+// channels of varying temporal correlation.
+func RunMarkovSweep(env *Env, runs int, seed uint64) ([]MarkovPoint, error) {
+	var out []MarkovPoint
+	for _, stay := range []float64{0.0, 0.3, 0.6, 0.9} {
+		mk := func() radio.Channel { return radio.NewMarkov(radio.Class3, stay, rng.New(seed)) }
+		l2, _, err := runSequence(env, core.StrategyL2, mk(), runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		al, mix, err := runSequence(env, core.StrategyAL, mk(), runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		r, _, err := runSequence(env, core.StrategyR, mk(), runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MarkovPoint{StayProb: stay, AL: al / l2, R: r / l2, ModeMix: mix})
+	}
+	return out, nil
+}
+
+// RenderMarkovSweep prints the sweep.
+func RenderMarkovSweep(w io.Writer, app string, pts []MarkovPoint) {
+	fmt.Fprintf(w, "Extension: AL under a Markov fading channel (%s), normalized to L2\n\n", app)
+	fmt.Fprintf(w, "%9s %8s %8s   %s\n", "stayProb", "AL/L2", "R/L2", "AL mode mix [I L1 L2 L3 R]")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%9.1f %8.3f %8.3f   %v\n", p.StayProb, p.AL, p.R, p.ModeMix)
+	}
+}
+
+// TrackerPoint is one estimation-error sample.
+type TrackerPoint struct {
+	ErrProb   float64
+	AL        float64 // normalized to the error-free AL
+	Fallbacks int
+}
+
+// RunTrackerErrorSweep measures AL as the pilot tracker's estimate
+// gets noisier (wrong by one class with the given probability).
+func RunTrackerErrorSweep(env *Env, runs int, seed uint64) ([]TrackerPoint, error) {
+	base := -1.0
+	var out []TrackerPoint
+	for _, errProb := range []float64{0, 0.1, 0.25, 0.5} {
+		ch := radio.UniformChannel(rng.New(seed))
+		client, err := env.newClient(core.StrategyAL, ch, seed)
+		if err != nil {
+			return nil, err
+		}
+		client.Link.Tracker = radio.NewPilotTracker(ch, errProb, rng.New(seed^0xF00D))
+		client.Memo = core.NewMemo()
+		sizes := env.App.ScenarioSizes
+		sizeR := rng.New(seed ^ 0xABCD)
+		cache := newArgCache(env, client, seed)
+		for run := 0; run < runs; run++ {
+			size := sizes[sizeR.Intn(len(sizes))]
+			args, err := cache.get(size)
+			if err != nil {
+				return nil, err
+			}
+			client.NewExecution()
+			client.MemoInputKey = uint64(size)
+			if _, err := client.Invoke(env.App.Class, env.App.Method, args); err != nil {
+				return nil, err
+			}
+			client.StepChannel()
+		}
+		e := float64(client.Energy() - cache.Construction)
+		if base < 0 {
+			base = e
+		}
+		out = append(out, TrackerPoint{ErrProb: errProb, AL: e / base, Fallbacks: client.Fallbacks})
+	}
+	return out, nil
+}
+
+// RenderTrackerErrorSweep prints the sweep.
+func RenderTrackerErrorSweep(w io.Writer, app string, pts []TrackerPoint) {
+	fmt.Fprintf(w, "Extension: AL vs pilot-tracker estimation error (%s), normalized to\n", app)
+	fmt.Fprintln(w, "the error-free tracker (the paper: accurate channel estimation is necessary)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%8s %10s\n", "errProb", "AL energy")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8.2f %10.3f\n", p.ErrProb, p.AL)
+	}
+}
+
+// ComponentBreakdown reports where one strategy's energy goes in a
+// scenario: core, memory, radio, leakage, compile share.
+type ComponentBreakdown struct {
+	Strategy core.Strategy
+	Total    float64
+	Share    map[string]float64
+}
+
+// RunBreakdown measures the component shares of each strategy over a
+// uniform scenario.
+func RunBreakdown(env *Env, runs int, seed uint64) ([]ComponentBreakdown, error) {
+	var out []ComponentBreakdown
+	for _, strat := range core.Strategies {
+		ch := radio.UniformChannel(rng.New(seed))
+		client, err := env.newClient(strat, ch, seed)
+		if err != nil {
+			return nil, err
+		}
+		client.Memo = core.NewMemo()
+		sizes := env.App.ScenarioSizes
+		sizeR := rng.New(seed ^ 0xABCD)
+		cache := newArgCache(env, client, seed)
+		for run := 0; run < runs; run++ {
+			size := sizes[sizeR.Intn(len(sizes))]
+			args, err := cache.get(size)
+			if err != nil {
+				return nil, err
+			}
+			client.NewExecution()
+			client.MemoInputKey = uint64(size)
+			if _, err := client.Invoke(env.App.Class, env.App.Method, args); err != nil {
+				return nil, err
+			}
+			client.StepChannel()
+		}
+		acct := client.VM.Acct
+		total := float64(client.Energy() - cache.Construction)
+		bd := ComponentBreakdown{Strategy: strat, Total: total, Share: map[string]float64{}}
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{
+			{"core", float64(acct.Component(energy.CompCore))},
+			{"memory", float64(acct.Component(energy.CompMemory))},
+			{"radio-tx", float64(acct.Component(energy.CompRadioTx))},
+			{"radio-rx", float64(acct.Component(energy.CompRadioRx))},
+			{"leakage", float64(acct.Component(energy.CompLeakage))},
+			{"compile", float64(acct.Component(energy.CompCompile))},
+		} {
+			if total > 0 {
+				bd.Share[c.name] = c.v / total
+			}
+		}
+		out = append(out, bd)
+	}
+	return out, nil
+}
+
+// RenderBreakdown prints component shares per strategy.
+func RenderBreakdown(w io.Writer, app string, rows []ComponentBreakdown) {
+	fmt.Fprintf(w, "Extension: energy component shares per strategy (%s, uniform scenario)\n\n", app)
+	fmt.Fprintf(w, "%-9s %10s | %6s %6s %6s %6s %6s %9s\n",
+		"strategy", "total(mJ)", "core", "mem", "tx", "rx", "leak", "(compile)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9v %10.2f | %5.0f%% %5.0f%% %5.0f%% %5.0f%% %5.0f%% %8.0f%%\n",
+			r.Strategy, r.Total*1e3,
+			r.Share["core"]*100, r.Share["memory"]*100,
+			r.Share["radio-tx"]*100, r.Share["radio-rx"]*100,
+			r.Share["leakage"]*100, r.Share["compile"]*100)
+	}
+}
+
+// CachePoint is one code-cache-size sample.
+type CachePoint struct {
+	CacheBytes int // 0 = unlimited
+	AL         float64
+	Evictions  int
+}
+
+// RunCodeCacheSweep measures AL as the client's code cache shrinks:
+// the paper's memory-footprint tradeoff ("compilation ... requires
+// additional memory footprint for storing the compiled code"). With a
+// tight cache, bodies are evicted between invocations and
+// re-compilation (or re-download) eats into the compiled modes'
+// advantage.
+func RunCodeCacheSweep(env *Env, runs int, seed uint64) ([]CachePoint, error) {
+	base := -1.0
+	var out []CachePoint
+	for _, cache := range []int{0, 4096, 1024, 256} {
+		ch := radio.UniformChannel(rng.New(seed))
+		client, err := env.newClient(core.StrategyAL, ch, seed)
+		if err != nil {
+			return nil, err
+		}
+		client.CodeCacheBytes = cache
+		client.Memo = core.NewMemo()
+		sizes := env.App.ScenarioSizes
+		sizeR := rng.New(seed ^ 0xABCD)
+		cacheArgs := newArgCache(env, client, seed)
+		for run := 0; run < runs; run++ {
+			size := sizes[sizeR.Intn(len(sizes))]
+			args, err := cacheArgs.get(size)
+			if err != nil {
+				return nil, err
+			}
+			client.NewExecution()
+			client.MemoInputKey = uint64(size)
+			if _, err := client.Invoke(env.App.Class, env.App.Method, args); err != nil {
+				return nil, err
+			}
+			client.StepChannel()
+		}
+		e := float64(client.Energy() - cacheArgs.Construction)
+		if base < 0 {
+			base = e
+		}
+		out = append(out, CachePoint{CacheBytes: cache, AL: e / base, Evictions: client.Evictions})
+	}
+	return out, nil
+}
+
+// RenderCodeCacheSweep prints the sweep.
+func RenderCodeCacheSweep(w io.Writer, app string, pts []CachePoint) {
+	fmt.Fprintf(w, "Extension: AL vs client code-cache size (%s), normalized to unlimited\n\n", app)
+	fmt.Fprintf(w, "%12s %10s %10s\n", "cache(B)", "AL energy", "evictions")
+	for _, p := range pts {
+		label := fmt.Sprintf("%d", p.CacheBytes)
+		if p.CacheBytes == 0 {
+			label = "unlimited"
+		}
+		fmt.Fprintf(w, "%12s %10.3f %10d\n", label, p.AL, p.Evictions)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"greenvm/internal/apps"
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+	"greenvm/internal/radio"
+)
+
+// RenderFig1 prints the processor/memory energy table from the model
+// (the values the simulator actually charges, which must equal the
+// paper's Fig 1).
+func RenderFig1(w io.Writer) {
+	m := energy.MicroSPARCIIep()
+	fmt.Fprintln(w, "Fig 1: energy consumption values for processor core and memory")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-14s %10s\n", "type", "energy")
+	for c := energy.InstrClass(0); c < energy.NumInstrClasses; c++ {
+		fmt.Fprintf(w, "%-14s %7.3f nJ\n", c, float64(m.PerInstr[c])*1e9)
+	}
+	fmt.Fprintf(w, "%-14s %7.3f nJ\n", "Main Memory", float64(m.MainMemAccess)*1e9)
+	fmt.Fprintf(w, "\nderived: active power %.3f W, leakage (power-down) %.3f W, clock %.0f MHz\n",
+		float64(m.ActivePower()), float64(m.LeakagePower()), m.ClockHz/1e6)
+}
+
+// RenderFig2 prints the communication component power table.
+func RenderFig2(w io.Writer) {
+	c := radio.WCDMA()
+	fmt.Fprintln(w, "Fig 2: power consumption values for communication components")
+	fmt.Fprintln(w)
+	rows := []struct {
+		name string
+		val  string
+	}{
+		{"Mixer (Rx)", fmt.Sprintf("%.2f mW", c.MixerW*1e3)},
+		{"Demodulator (Rx)", fmt.Sprintf("%.1f mW", c.DemodulatorW*1e3)},
+		{"ADC (Rx)", fmt.Sprintf("%.0f mW", c.ADCW*1e3)},
+		{"DAC (Tx)", fmt.Sprintf("%.0f mW", c.DACW*1e3)},
+		{"Power Amplifier (Tx) Class 1", fmt.Sprintf("%.2f W", c.PowerAmpW[1])},
+		{"Power Amplifier (Tx) Class 2", fmt.Sprintf("%.1f W", c.PowerAmpW[2])},
+		{"Power Amplifier (Tx) Class 3", fmt.Sprintf("%.2f W", c.PowerAmpW[3])},
+		{"Power Amplifier (Tx) Class 4", fmt.Sprintf("%.2f W", c.PowerAmpW[4])},
+		{"Driver Amplifier (Tx)", fmt.Sprintf("%.1f mW", c.DriverAmpW*1e3)},
+		{"Modulator (Tx)", fmt.Sprintf("%.0f mW", c.ModulatorW*1e3)},
+		{"VCO (Rx/Tx)", fmt.Sprintf("%.0f mW", c.VCOW*1e3)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-30s %10s\n", r.name, r.val)
+	}
+	fmt.Fprintf(w, "\ndata rate %.1f Mbps; derived: Rx chain %.3f W, Tx chain C4 %.3f W .. C1 %.3f W\n",
+		c.DataRateBps/1e6, float64(c.RxPower()), float64(c.TxPower(radio.Class4)), float64(c.TxPower(radio.Class1)))
+}
+
+// RenderFig3 prints the benchmark descriptions.
+func RenderFig3(w io.Writer) {
+	fmt.Fprintln(w, "Fig 3: benchmarks")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-6s %-58s %s\n", "app", "description", "size parameter")
+	for _, a := range apps.All() {
+		fmt.Fprintf(w, "%-6s %-58s %s\n", a.Name, a.Desc, a.SizeDesc)
+	}
+}
+
+// RenderFig5 prints the strategy summary table.
+func RenderFig5(w io.Writer) {
+	fmt.Fprintln(w, "Fig 5: summary of the static and dynamic (adaptive) strategies")
+	fmt.Fprintln(w)
+	type row struct{ s, compile, exec, c2s, s2c string }
+	rows := []row{
+		{"R", "-", "server", "parameters, method name", "return value"},
+		{"I", "-", "client, bytecode", "-", "-"},
+		{"L1", "client, no opts", "client, native", "-", "-"},
+		{"L2", "client, medium opts", "client, native", "-", "-"},
+		{"L3", "client, maximum opts", "client, native", "-", "-"},
+		{"AL", "client, all levels", "server/client, native/bytecode", "parameters, method name", "return value"},
+		{"AA", "server/client, all levels", "server/client, native/bytecode", "parameters, method name, opt level", "return value, native code"},
+	}
+	fmt.Fprintf(w, "%-4s %-26s %-32s %-36s %s\n", "", "compilation", "execution", "client-to-server", "server-to-client")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s %-26s %-32s %-36s %s\n", r.s, r.compile, r.exec, r.c2s, r.s2c)
+	}
+	_ = core.Strategies
+}

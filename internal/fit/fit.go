@@ -1,0 +1,311 @@
+// Package fit implements least-squares curve fitting over small basis
+// sets. The offloading framework uses it to build the paper's
+// "curve fitting based technique" for estimating the energy cost of
+// executing a method locally or remotely as a function of its size
+// parameter (§3.2); the paper reports estimates within 2% of actuals.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrFit reports an unfittable system (too few points, singular
+// normal equations).
+var ErrFit = errors.New("fit: cannot fit")
+
+// Basis maps a scalar input to feature values.
+type Basis struct {
+	Name  string
+	Funcs []func(float64) float64
+}
+
+// Poly returns the polynomial basis 1, s, s^2, ..., s^degree.
+func Poly(degree int) Basis {
+	b := Basis{Name: fmt.Sprintf("poly%d", degree)}
+	for d := 0; d <= degree; d++ {
+		d := d
+		b.Funcs = append(b.Funcs, func(s float64) float64 { return math.Pow(s, float64(d)) })
+	}
+	return b
+}
+
+// PolyLog returns 1, s, s*log2(s): the natural shape of sort-like
+// costs.
+func PolyLog() Basis {
+	return Basis{
+		Name: "nlogn",
+		Funcs: []func(float64) float64{
+			func(float64) float64 { return 1 },
+			func(s float64) float64 { return s },
+			func(s float64) float64 {
+				if s <= 1 {
+					return 0
+				}
+				return s * math.Log2(s)
+			},
+		},
+	}
+}
+
+// Model is a fitted linear combination of basis functions.
+type Model struct {
+	Basis Basis
+	Coef  []float64
+}
+
+// Eval evaluates the model at s.
+func (m *Model) Eval(s float64) float64 {
+	var y float64
+	for i, f := range m.Basis.Funcs {
+		y += m.Coef[i] * f(s)
+	}
+	return y
+}
+
+// Fit solves the least-squares problem over the given samples.
+func Fit(xs, ys []float64, basis Basis) (*Model, error) {
+	n := len(xs)
+	k := len(basis.Funcs)
+	if n != len(ys) {
+		return nil, fmt.Errorf("%w: %d xs vs %d ys", ErrFit, n, len(ys))
+	}
+	if n < k {
+		return nil, fmt.Errorf("%w: %d points for %d coefficients", ErrFit, n, k)
+	}
+	// Normal equations: (A^T A) c = A^T y.
+	ata := make([][]float64, k)
+	aty := make([]float64, k)
+	for i := range ata {
+		ata[i] = make([]float64, k)
+	}
+	feat := make([]float64, k)
+	for p := 0; p < n; p++ {
+		for i, f := range basis.Funcs {
+			feat[i] = f(xs[p])
+		}
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				ata[i][j] += feat[i] * feat[j]
+			}
+			aty[i] += feat[i] * ys[p]
+		}
+	}
+	coef, err := solve(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Basis: basis, Coef: coef}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+		m[i] = append(m[i], b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("%w: singular system", ErrFit)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// MaxRelErr returns the worst relative error of the model over the
+// samples (the paper validates its estimators on 20 held-out points).
+func (m *Model) MaxRelErr(xs, ys []float64) float64 {
+	worst := 0.0
+	for i := range xs {
+		if ys[i] == 0 {
+			continue
+		}
+		e := math.Abs(m.Eval(xs[i])-ys[i]) / math.Abs(ys[i])
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// R2 returns the coefficient of determination over the samples.
+func (m *Model) R2(xs, ys []float64) float64 {
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range xs {
+		d := ys[i] - m.Eval(xs[i])
+		ssRes += d * d
+		t := ys[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// BestOf fits each basis and returns the model with the smallest
+// maximum relative error on the training points.
+func BestOf(xs, ys []float64, bases ...Basis) (*Model, error) {
+	var best *Model
+	bestErr := math.Inf(1)
+	for _, b := range bases {
+		m, err := Fit(xs, ys, b)
+		if err != nil {
+			continue
+		}
+		if e := m.MaxRelErr(xs, ys); e < bestErr {
+			best, bestErr = m, e
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no basis fit", ErrFit)
+	}
+	return best, nil
+}
+
+// Predictor estimates a scalar quantity from a size parameter; both
+// fitted models and interpolation tables implement it.
+type Predictor interface {
+	Eval(s float64) float64
+}
+
+// Interp is a piecewise-linear interpolation table over the training
+// points: exact at the knots, linear between, linearly extrapolated at
+// the ends. Cost curves on a machine with small caches have regime
+// changes (working set crossing the cache size) that no low-degree
+// polynomial captures; a table-assisted estimator handles them while
+// remaining trivially cheap to evaluate at run time.
+type Interp struct {
+	xs, ys []float64
+}
+
+// NewInterp builds an interpolation table. The xs must be strictly
+// increasing and at least two.
+func NewInterp(xs, ys []float64) (*Interp, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return nil, fmt.Errorf("%w: need >= 2 matched points", ErrFit)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("%w: xs must be strictly increasing", ErrFit)
+		}
+	}
+	return &Interp{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+	}, nil
+}
+
+// Eval interpolates at s using local quadratics: within a segment it
+// averages the parabolas through the two knot triples that bracket the
+// segment. This is exact for locally quadratic cost curves (the common
+// O(n^2) shape) while remaining local, so a cache-regime kink on one
+// side of the grid does not perturb estimates elsewhere. Ends
+// extrapolate with the nearest parabola (or line, with two points).
+func (ip *Interp) Eval(s float64) float64 {
+	n := len(ip.xs)
+	if n == 2 {
+		return lerp(ip.xs[0], ip.ys[0], ip.xs[1], ip.ys[1], s)
+	}
+	// Find segment lo such that xs[lo] <= s < xs[lo+1] (clamped).
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ip.xs[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if s <= ip.xs[0] {
+		lo = 0
+	}
+	if s >= ip.xs[n-1] {
+		lo = n - 2
+	}
+	var sum float64
+	cnt := 0
+	if lo-1 >= 0 {
+		sum += ip.quad(lo-1, s)
+		cnt++
+	}
+	if lo+2 <= n-1 {
+		sum += ip.quad(lo, s)
+		cnt++
+	}
+	return sum / float64(cnt)
+}
+
+// quad evaluates the parabola through knots i, i+1, i+2 at s.
+func (ip *Interp) quad(i int, s float64) float64 {
+	x0, x1, x2 := ip.xs[i], ip.xs[i+1], ip.xs[i+2]
+	y0, y1, y2 := ip.ys[i], ip.ys[i+1], ip.ys[i+2]
+	l0 := (s - x1) * (s - x2) / ((x0 - x1) * (x0 - x2))
+	l1 := (s - x0) * (s - x2) / ((x1 - x0) * (x1 - x2))
+	l2 := (s - x0) * (s - x1) / ((x2 - x0) * (x2 - x1))
+	return y0*l0 + y1*l1 + y2*l2
+}
+
+func lerp(x0, y0, x1, y1, x float64) float64 {
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// PredictorMaxRelErr reports the worst relative error of any
+// predictor over samples.
+func PredictorMaxRelErr(p Predictor, xs, ys []float64) float64 {
+	worst := 0.0
+	for i := range xs {
+		if ys[i] == 0 {
+			continue
+		}
+		e := math.Abs(p.Eval(xs[i])-ys[i]) / math.Abs(ys[i])
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// BestPredictor fits the bases and returns the best parametric model
+// when it explains the training data within tol; otherwise it falls
+// back to the interpolation table (exact at the knots).
+func BestPredictor(xs, ys []float64, tol float64, bases ...Basis) (Predictor, error) {
+	m, err := BestOf(xs, ys, bases...)
+	if err == nil && m.MaxRelErr(xs, ys) <= tol {
+		return m, nil
+	}
+	return NewInterp(xs, ys)
+}

@@ -1,0 +1,215 @@
+package fit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greenvm/internal/rng"
+)
+
+func TestExactQuadratic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 10}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x + 0.5*x*x
+	}
+	m, err := Fit(xs, ys, Poly(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 0.5}
+	for i, c := range m.Coef {
+		if math.Abs(c-want[i]) > 1e-8 {
+			t.Errorf("coef[%d] = %g, want %g", i, c, want[i])
+		}
+	}
+	if e := m.MaxRelErr(xs, ys); e > 1e-10 {
+		t.Errorf("MaxRelErr = %g on exact data", e)
+	}
+	if r := m.R2(xs, ys); r < 0.999999 {
+		t.Errorf("R2 = %g", r)
+	}
+}
+
+func TestNLogNBasis(t *testing.T) {
+	xs := []float64{8, 16, 64, 256, 1024, 4096}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 100 + 5*x + 2*x*math.Log2(x)
+	}
+	m, err := Fit(xs, ys, PolyLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := m.MaxRelErr(xs, ys); e > 1e-8 {
+		t.Errorf("MaxRelErr = %g", e)
+	}
+}
+
+func TestBestOfPicksRightShape(t *testing.T) {
+	xs := []float64{8, 16, 64, 256, 1024}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 7 * x * math.Log2(x)
+	}
+	m, err := BestOf(xs, ys, Poly(1), PolyLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Basis.Name != "nlogn" {
+		t.Errorf("BestOf chose %s for an n*log n curve", m.Basis.Name)
+	}
+}
+
+func TestNoisyFitWithinTolerance(t *testing.T) {
+	r := rng.New(42)
+	xs := make([]float64, 30)
+	ys := make([]float64, 30)
+	for i := range xs {
+		x := float64(10 + i*17)
+		xs[i] = x
+		noise := 1 + 0.005*r.NormFloat64()
+		ys[i] = (50 + 3*x + 0.02*x*x) * noise
+	}
+	m, err := Fit(xs, ys, Poly(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out points.
+	for _, x := range []float64{123, 305, 477} {
+		want := 50 + 3*x + 0.02*x*x
+		got := m.Eval(x)
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("Eval(%g) = %g, want within 2%% of %g", x, got, want)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1}, Poly(2)); err == nil {
+		t.Error("underdetermined fit should error")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}, Poly(0)); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	// Singular: duplicated x cannot determine a quadratic.
+	if _, err := Fit([]float64{2, 2, 2}, []float64{1, 1, 1}, Poly(2)); err == nil {
+		t.Error("singular system should error")
+	}
+	if _, err := BestOf([]float64{1}, []float64{1}, Poly(2)); err == nil {
+		t.Error("BestOf with no viable basis should error")
+	}
+}
+
+// Property: fitting recovers arbitrary quadratics exactly on exact
+// data.
+func TestFitRecoveryProperty(t *testing.T) {
+	f := func(a, b, c int8) bool {
+		xs := []float64{1, 3, 5, 7, 11, 13}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = float64(a) + float64(b)*x + float64(c)*x*x
+		}
+		m, err := Fit(xs, ys, Poly(2))
+		if err != nil {
+			return false
+		}
+		for i, x := range xs {
+			if math.Abs(m.Eval(x)-ys[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestR2OnConstantData(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{5, 5, 5}
+	m, err := Fit(xs, ys, Poly(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2(xs, ys) != 1 {
+		t.Error("perfect fit of constant data should have R2 = 1")
+	}
+}
+
+func TestInterpTwoPointsAndEnds(t *testing.T) {
+	ip, err := NewInterp([]float64{10, 20}, []float64{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.Eval(15); got != 150 {
+		t.Errorf("midpoint = %g", got)
+	}
+	if got := ip.Eval(5); got != 50 {
+		t.Errorf("left extrapolation = %g", got)
+	}
+	if got := ip.Eval(25); got != 250 {
+		t.Errorf("right extrapolation = %g", got)
+	}
+}
+
+func TestInterpQuadraticExact(t *testing.T) {
+	// y = x^2 sampled sparsely: local quadratic interpolation is exact
+	// everywhere, including between knots and at the ends.
+	xs := []float64{2, 5, 9, 14, 20}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x
+	}
+	ip, err := NewInterp(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{2, 3.5, 7, 11, 16, 20, 1, 22} {
+		if got := ip.Eval(x); math.Abs(got-x*x) > 1e-9 {
+			t.Errorf("Eval(%g) = %g, want %g", x, got, x*x)
+		}
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	if _, err := NewInterp([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := NewInterp([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing xs should error")
+	}
+	if _, err := NewInterp([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+}
+
+func TestBestPredictorChoosesParametricWhenGood(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	p, err := BestPredictor(xs, ys, 0.02, Poly(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*Model); !ok {
+		t.Errorf("expected a parametric model, got %T", p)
+	}
+	// A kinked curve forces the table fallback.
+	ys[3] *= 2
+	ys[4] *= 2
+	p, err = BestPredictor(xs, ys, 0.02, Poly(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*Interp); !ok {
+		t.Errorf("expected the interpolation fallback, got %T", p)
+	}
+	if e := PredictorMaxRelErr(p, xs, ys); e != 0 {
+		t.Errorf("table should be exact at knots, err=%g", e)
+	}
+}

@@ -1,0 +1,125 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire encoding of compiled method bodies, used when a client
+// downloads pre-compiled native code from a remote compilation server.
+// The encoding is exact (instruction count × fixed fields), but the
+// *modelled* download size stays SizeBytes(): the simulated ISA packs
+// an instruction into 4 bytes, while this host-side encoding spells
+// out the operands portably.
+
+// ErrCodeDecode reports a malformed encoded body.
+var ErrCodeDecode = errors.New("isa: bad encoded code")
+
+const codeMagic = 0x4D434F44 // "MCOD"
+
+// EncodeCode serializes a body (without its Base, which the receiving
+// VM assigns at installation).
+func EncodeCode(c *Code) []byte {
+	buf := make([]byte, 0, 16+len(c.Name)+len(c.Instrs)*23)
+	var tmp [8]byte
+	u32 := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	u64 := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	u32(codeMagic)
+	u32(uint32(len(c.Name)))
+	buf = append(buf, c.Name...)
+	u32(uint32(c.FrameWords))
+	u32(uint32(c.OptLevel))
+	u32(uint32(len(c.Instrs)))
+	for _, in := range c.Instrs {
+		buf = append(buf, byte(in.Op), in.Rd, in.Ra, in.Rb)
+		u64(uint64(in.Imm))
+		u64(math.Float64bits(in.FImm))
+	}
+	return buf
+}
+
+// DecodeCode parses an encoded body.
+func DecodeCode(b []byte) (*Code, error) {
+	pos := 0
+	u32 := func() (uint32, error) {
+		if pos+4 > len(b) {
+			return 0, fmt.Errorf("%w: truncated", ErrCodeDecode)
+		}
+		v := binary.BigEndian.Uint32(b[pos:])
+		pos += 4
+		return v, nil
+	}
+	u64 := func() (uint64, error) {
+		if pos+8 > len(b) {
+			return 0, fmt.Errorf("%w: truncated", ErrCodeDecode)
+		}
+		v := binary.BigEndian.Uint64(b[pos:])
+		pos += 8
+		return v, nil
+	}
+	magic, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != codeMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCodeDecode)
+	}
+	nameLen, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if pos+int(nameLen) > len(b) {
+		return nil, fmt.Errorf("%w: truncated name", ErrCodeDecode)
+	}
+	name := string(b[pos : pos+int(nameLen)])
+	pos += int(nameLen)
+	frame, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	opt, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	n, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > len(b) {
+		return nil, fmt.Errorf("%w: absurd instruction count %d", ErrCodeDecode, n)
+	}
+	c := &Code{Name: name, FrameWords: int(frame), OptLevel: int(opt), Instrs: make([]Instr, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		if pos+4 > len(b) {
+			return nil, fmt.Errorf("%w: truncated instruction", ErrCodeDecode)
+		}
+		in := Instr{Op: Op(b[pos]), Rd: b[pos+1], Ra: b[pos+2], Rb: b[pos+3]}
+		pos += 4
+		imm, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		in.Imm = int64(imm)
+		fb, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		in.FImm = math.Float64frombits(fb)
+		if in.Op >= numOps {
+			return nil, fmt.Errorf("%w: opcode %d", ErrCodeDecode, in.Op)
+		}
+		c.Instrs = append(c.Instrs, in)
+	}
+	if pos != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodeDecode, len(b)-pos)
+	}
+	return c, nil
+}

@@ -1,0 +1,111 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func sampleCode() *Code {
+	return &Code{
+		Name:       "T.m@L2",
+		FrameWords: 3,
+		OptLevel:   2,
+		Instrs: []Instr{
+			{Op: LDI, Rd: 9, Imm: -123456789},
+			{Op: FLDI, Rd: 9, FImm: -2.5e-3},
+			{Op: ADD, Rd: 9, Ra: 10, Rb: 11},
+			{Op: BEQ, Ra: 9, Rb: 0, Imm: 7},
+			{Op: LDF, Rd: 9, Ra: 10, Imm: 2},
+			{Op: STE, Rd: 12, Ra: 9, Rb: 10},
+			{Op: CALLVM, Imm: 42},
+			{Op: RET},
+		},
+	}
+}
+
+func TestEncodeCodeRoundtrip(t *testing.T) {
+	c := sampleCode()
+	enc := EncodeCode(c)
+	dec, err := DecodeCode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Name != c.Name || dec.FrameWords != c.FrameWords || dec.OptLevel != c.OptLevel {
+		t.Errorf("metadata: %+v", dec)
+	}
+	if len(dec.Instrs) != len(c.Instrs) {
+		t.Fatalf("instr count %d", len(dec.Instrs))
+	}
+	for i := range c.Instrs {
+		if dec.Instrs[i] != c.Instrs[i] {
+			t.Errorf("instr %d: %v != %v", i, dec.Instrs[i], c.Instrs[i])
+		}
+	}
+	// Base is installation-local and not transported.
+	if dec.Base != 0 {
+		t.Error("Base should not survive the wire")
+	}
+}
+
+func TestDecodeCodeErrors(t *testing.T) {
+	enc := EncodeCode(sampleCode())
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte{0, 0, 0, 0}, enc[4:]...),
+		"truncated":  enc[:len(enc)-3],
+		"trailing":   append(append([]byte{}, enc...), 0xAA),
+		"short name": enc[:6],
+	}
+	for name, b := range cases {
+		if _, err := DecodeCode(b); !errors.Is(err, ErrCodeDecode) {
+			t.Errorf("%s: err = %v, want ErrCodeDecode", name, err)
+		}
+	}
+	// A bogus opcode inside the stream is rejected.
+	bad := EncodeCode(&Code{Name: "x", Instrs: []Instr{{Op: Op(200)}}})
+	if _, err := DecodeCode(bad); !errors.Is(err, ErrCodeDecode) {
+		t.Errorf("bad opcode: %v", err)
+	}
+}
+
+// Property: arbitrary instruction words survive the wire.
+func TestEncodeCodeProperty(t *testing.T) {
+	f := func(op uint8, rd, ra, rb uint8, imm int64, fimm float64) bool {
+		in := Instr{Op: Op(op % uint8(numOps)), Rd: rd, Ra: ra, Rb: rb, Imm: imm, FImm: fimm}
+		c := &Code{Name: "p", Instrs: []Instr{in}}
+		dec, err := DecodeCode(EncodeCode(c))
+		if err != nil {
+			return false
+		}
+		return dec.Instrs[0] == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrStringAllOpcodes(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		in := Instr{Op: op, Rd: 1, Ra: 2, Rb: 3, Imm: 4, FImm: 1.5}
+		if in.String() == "" {
+			t.Errorf("empty disassembly for %s", op.Name())
+		}
+		if op.Name() == "" {
+			t.Errorf("empty name for opcode %d", op)
+		}
+		if c := op.Class(); c < 0 {
+			t.Errorf("bad class for %s", op.Name())
+		}
+	}
+	if Op(250).Name() == "" {
+		t.Error("out-of-range opcode should still render")
+	}
+}
+
+func TestCodeDisassemble(t *testing.T) {
+	s := sampleCode().Disassemble()
+	if s == "" {
+		t.Fatal("empty disassembly")
+	}
+}

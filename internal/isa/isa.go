@@ -1,0 +1,340 @@
+// Package isa defines the simulated native instruction set of the
+// mobile client and a cycle-level machine that executes it while
+// charging per-instruction energies (Fig 1 of the paper) and cache/DRAM
+// traffic.
+//
+// The ISA is a 32-register RISC in the spirit of the SPARC v8 core the
+// paper targets: fixed 4-byte instructions, a hardwired zero register,
+// and separate integer (64-bit, also holding object handles) and
+// floating-point (float64) register files. Heap accesses go through a
+// Bridge supplied by the VM: data live in Go structures, while the
+// bridge charges the data cache at synthetic addresses so that locality
+// is modelled faithfully.
+package isa
+
+import (
+	"errors"
+	"fmt"
+
+	"greenvm/internal/energy"
+)
+
+// Op is a native opcode.
+type Op uint8
+
+// Native opcodes. The comment gives the operand usage.
+const (
+	NOP Op = iota
+
+	// Constants and moves.
+	LDI  // Rd <- Imm
+	FLDI // Fd <- FImm
+	MOV  // Rd <- Ra
+	FMOV // Fd <- Fa
+
+	// Integer ALU, register-register.
+	ADD // Rd <- Ra + Rb
+	SUB
+	MUL
+	DIV
+	REM
+	AND
+	OR
+	XOR
+	SHL
+	SHR // arithmetic shift right
+	NEG // Rd <- -Ra
+	SLT // Rd <- (Ra < Rb) ? 1 : 0
+
+	// Integer ALU, register-immediate.
+	ADDI // Rd <- Ra + Imm
+	MULI // Rd <- Ra * Imm
+	SHLI // Rd <- Ra << Imm
+	SHRI // Rd <- Ra >> Imm (arithmetic)
+	ANDI // Rd <- Ra & Imm
+
+	// Floating point.
+	FADD // Fd <- Fa + Fb
+	FSUB
+	FMUL
+	FDIV
+	FNEG  // Fd <- -Fa
+	CVTIF // Fd <- float64(Ra)
+	CVTFI // Rd <- int64(Fa), truncating
+
+	// Control transfer. Target is an absolute instruction index.
+	JMP  // pc <- Imm
+	BEQ  // if Ra == Rb: pc <- Imm
+	BNE  // if Ra != Rb
+	BLT  // if Ra < Rb (signed)
+	BGE  // if Ra >= Rb
+	BGT  // if Ra > Rb
+	BLE  // if Ra <= Rb
+	FBEQ // if Fa == Fb
+	FBNE
+	FBLT
+	FBGE
+
+	// Memory: object fields. Ra holds an object handle, Imm the field
+	// index. All traffic is charged through the bridge.
+	LDF  // Rd <- field[Imm] of object Ra (int or reference field)
+	STF  // field[Imm] of object Ra <- Rb
+	LDFF // Fd <- float field[Imm] of object Ra
+	STFF // float field[Imm] of object Ra <- Fb
+
+	// Memory: array elements. Ra = array handle, Rb = element index.
+	LDE  // Rd <- Ra[Rb] (int or reference array)
+	STE  // Ra[Rb] <- value in register Rd (note: Rd is the source)
+	LDEF // Fd <- Ra[Rb] (float array)
+	STEF // Ra[Rb] <- Fd
+
+	ARRLEN // Rd <- len(Ra)
+
+	// Memory: spill slots in the current frame. Imm is the slot number.
+	LDSP  // Rd <- frame[Imm]
+	STSP  // frame[Imm] <- Ra
+	LDSPF // Fd <- frame[Imm]
+	STSPF // frame[Imm] <- Fa
+
+	// Allocation (traps to the VM heap).
+	NEWARR // Rd <- new array, kind Imm, length Ra
+	NEWOBJ // Rd <- new object of class Imm
+
+	// Calls and returns. CALLVM traps to the VM: arguments are in the
+	// ABI registers (R1.. / F1..) and the result comes back in R1/F1.
+	CALLVM // invoke method with link-table index Imm
+	RET    // return from this native body
+
+	TRAP // raise runtime error code Imm
+
+	numOps
+)
+
+// Errors surfaced by native execution. They mirror the checked runtime
+// errors of the bytecode VM so mixed-mode execution reports identical
+// failures whichever engine runs the method.
+var (
+	ErrDivideByZero = errors.New("isa: integer divide by zero")
+	ErrBounds       = errors.New("isa: array index out of bounds")
+	ErrNullRef      = errors.New("isa: null reference")
+	ErrStepLimit    = errors.New("isa: step limit exceeded")
+	ErrBadInstr     = errors.New("isa: malformed instruction")
+)
+
+// Trap codes for the TRAP instruction.
+const (
+	TrapBounds = iota
+	TrapNull
+	TrapDivZero
+	TrapUnreachable
+)
+
+// BytesPerInstr is the encoded size of one instruction; it drives both
+// instruction-fetch addressing and compiled-code size accounting (and
+// hence remote-compilation download energy).
+const BytesPerInstr = 4
+
+// Instr is one decoded native instruction.
+type Instr struct {
+	Op     Op
+	Rd     uint8 // destination (or source for STE/STEF)
+	Ra, Rb uint8
+	Imm    int64
+	FImm   float64
+}
+
+type opInfo struct {
+	name  string
+	class energy.InstrClass
+}
+
+var opTable = [numOps]opInfo{
+	NOP:    {"nop", energy.Nop},
+	LDI:    {"ldi", energy.ALUSimple},
+	FLDI:   {"fldi", energy.ALUSimple},
+	MOV:    {"mov", energy.ALUSimple},
+	FMOV:   {"fmov", energy.ALUSimple},
+	ADD:    {"add", energy.ALUSimple},
+	SUB:    {"sub", energy.ALUSimple},
+	MUL:    {"mul", energy.ALUComplex},
+	DIV:    {"div", energy.ALUComplex},
+	REM:    {"rem", energy.ALUComplex},
+	AND:    {"and", energy.ALUSimple},
+	OR:     {"or", energy.ALUSimple},
+	XOR:    {"xor", energy.ALUSimple},
+	SHL:    {"shl", energy.ALUSimple},
+	SHR:    {"shr", energy.ALUSimple},
+	NEG:    {"neg", energy.ALUSimple},
+	SLT:    {"slt", energy.ALUSimple},
+	ADDI:   {"addi", energy.ALUSimple},
+	MULI:   {"muli", energy.ALUComplex},
+	SHLI:   {"shli", energy.ALUSimple},
+	SHRI:   {"shri", energy.ALUSimple},
+	ANDI:   {"andi", energy.ALUSimple},
+	FADD:   {"fadd", energy.ALUComplex},
+	FSUB:   {"fsub", energy.ALUComplex},
+	FMUL:   {"fmul", energy.ALUComplex},
+	FDIV:   {"fdiv", energy.ALUComplex},
+	FNEG:   {"fneg", energy.ALUSimple},
+	CVTIF:  {"cvtif", energy.ALUComplex},
+	CVTFI:  {"cvtfi", energy.ALUComplex},
+	JMP:    {"jmp", energy.Branch},
+	BEQ:    {"beq", energy.Branch},
+	BNE:    {"bne", energy.Branch},
+	BLT:    {"blt", energy.Branch},
+	BGE:    {"bge", energy.Branch},
+	BGT:    {"bgt", energy.Branch},
+	BLE:    {"ble", energy.Branch},
+	FBEQ:   {"fbeq", energy.Branch},
+	FBNE:   {"fbne", energy.Branch},
+	FBLT:   {"fblt", energy.Branch},
+	FBGE:   {"fbge", energy.Branch},
+	LDF:    {"ldf", energy.Load},
+	STF:    {"stf", energy.Store},
+	LDFF:   {"ldff", energy.Load},
+	STFF:   {"stff", energy.Store},
+	LDE:    {"lde", energy.Load},
+	STE:    {"ste", energy.Store},
+	LDEF:   {"ldef", energy.Load},
+	STEF:   {"stef", energy.Store},
+	ARRLEN: {"arrlen", energy.Load},
+	LDSP:   {"ldsp", energy.Load},
+	STSP:   {"stsp", energy.Store},
+	LDSPF:  {"ldspf", energy.Load},
+	STSPF:  {"stspf", energy.Store},
+	NEWARR: {"newarr", energy.ALUComplex},
+	NEWOBJ: {"newobj", energy.ALUComplex},
+	CALLVM: {"callvm", energy.Branch},
+	RET:    {"ret", energy.Branch},
+	TRAP:   {"trap", energy.Branch},
+}
+
+// Name returns the mnemonic of the opcode.
+func (o Op) Name() string {
+	if int(o) >= int(numOps) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opTable[o].name
+}
+
+// Class returns the Fig 1 energy class of the opcode.
+func (o Op) Class() energy.InstrClass {
+	return opTable[o].class
+}
+
+// String renders the instruction in a readable assembly-like form.
+func (in Instr) String() string {
+	switch in.Op {
+	case NOP, RET:
+		return in.Op.Name()
+	case LDI:
+		return fmt.Sprintf("ldi   r%d, %d", in.Rd, in.Imm)
+	case FLDI:
+		return fmt.Sprintf("fldi  f%d, %g", in.Rd, in.FImm)
+	case MOV:
+		return fmt.Sprintf("mov   r%d, r%d", in.Rd, in.Ra)
+	case FMOV:
+		return fmt.Sprintf("fmov  f%d, f%d", in.Rd, in.Ra)
+	case ADDI, MULI, SHLI, SHRI, ANDI:
+		return fmt.Sprintf("%-5s r%d, r%d, %d", in.Op.Name(), in.Rd, in.Ra, in.Imm)
+	case NEG, FNEG:
+		return fmt.Sprintf("%-5s %s%d, %s%d", in.Op.Name(), regPrefix(in.Op), in.Rd, regPrefix(in.Op), in.Ra)
+	case CVTIF:
+		return fmt.Sprintf("cvtif f%d, r%d", in.Rd, in.Ra)
+	case CVTFI:
+		return fmt.Sprintf("cvtfi r%d, f%d", in.Rd, in.Ra)
+	case JMP:
+		return fmt.Sprintf("jmp   @%d", in.Imm)
+	case BEQ, BNE, BLT, BGE, BGT, BLE:
+		return fmt.Sprintf("%-5s r%d, r%d, @%d", in.Op.Name(), in.Ra, in.Rb, in.Imm)
+	case FBEQ, FBNE, FBLT, FBGE:
+		return fmt.Sprintf("%-5s f%d, f%d, @%d", in.Op.Name(), in.Ra, in.Rb, in.Imm)
+	case LDF:
+		return fmt.Sprintf("ldf   r%d, [r%d.%d]", in.Rd, in.Ra, in.Imm)
+	case STF:
+		return fmt.Sprintf("stf   [r%d.%d], r%d", in.Ra, in.Imm, in.Rb)
+	case LDFF:
+		return fmt.Sprintf("ldff  f%d, [r%d.%d]", in.Rd, in.Ra, in.Imm)
+	case STFF:
+		return fmt.Sprintf("stff  [r%d.%d], f%d", in.Ra, in.Imm, in.Rb)
+	case LDE:
+		return fmt.Sprintf("lde   r%d, r%d[r%d]", in.Rd, in.Ra, in.Rb)
+	case STE:
+		return fmt.Sprintf("ste   r%d[r%d], r%d", in.Ra, in.Rb, in.Rd)
+	case LDEF:
+		return fmt.Sprintf("ldef  f%d, r%d[r%d]", in.Rd, in.Ra, in.Rb)
+	case STEF:
+		return fmt.Sprintf("stef  r%d[r%d], f%d", in.Ra, in.Rb, in.Rd)
+	case ARRLEN:
+		return fmt.Sprintf("arrlen r%d, r%d", in.Rd, in.Ra)
+	case LDSP:
+		return fmt.Sprintf("ldsp  r%d, [sp+%d]", in.Rd, in.Imm)
+	case STSP:
+		return fmt.Sprintf("stsp  [sp+%d], r%d", in.Imm, in.Ra)
+	case LDSPF:
+		return fmt.Sprintf("ldspf f%d, [sp+%d]", in.Rd, in.Imm)
+	case STSPF:
+		return fmt.Sprintf("stspf [sp+%d], f%d", in.Imm, in.Ra)
+	case NEWARR:
+		return fmt.Sprintf("newarr r%d, kind=%d, len=r%d", in.Rd, in.Imm, in.Ra)
+	case NEWOBJ:
+		return fmt.Sprintf("newobj r%d, class=%d", in.Rd, in.Imm)
+	case CALLVM:
+		return fmt.Sprintf("callvm #%d", in.Imm)
+	case TRAP:
+		return fmt.Sprintf("trap  %d", in.Imm)
+	default:
+		return fmt.Sprintf("%-5s r%d, r%d, r%d", in.Op.Name(), in.Rd, in.Ra, in.Rb)
+	}
+}
+
+func regPrefix(o Op) string {
+	if o == FNEG {
+		return "f"
+	}
+	return "r"
+}
+
+// ABI register convention.
+const (
+	// NumIntRegs and NumFloatRegs size the register files. R0 is
+	// hardwired to zero; F0 is hardwired to +0.0.
+	NumIntRegs   = 32
+	NumFloatRegs = 16
+
+	// ABIArgBase is the first argument register (R1/F1); the return
+	// value also arrives in R1 (integer or reference) or F1 (float).
+	ABIArgBase = 1
+	// MaxRegArgs is the maximum number of arguments passed in registers
+	// per file; our MJ language never exceeds this.
+	MaxRegArgs = 8
+)
+
+// Code is a compiled native method body.
+type Code struct {
+	// Name identifies the method for diagnostics.
+	Name string
+	// Instrs is the instruction sequence; branch targets are absolute
+	// indices into this slice.
+	Instrs []Instr
+	// Base is the synthetic code address assigned at installation time;
+	// instruction fetches are charged at Base + pc*BytesPerInstr.
+	Base uint64
+	// FrameWords is the number of spill slots the body needs.
+	FrameWords int
+	// OptLevel records which optimization level produced the body.
+	OptLevel int
+}
+
+// SizeBytes is the encoded size of the body, which is what remote
+// compilation must download.
+func (c *Code) SizeBytes() int { return len(c.Instrs) * BytesPerInstr }
+
+// Disassemble renders the whole body.
+func (c *Code) Disassemble() string {
+	s := ""
+	for i, in := range c.Instrs {
+		s += fmt.Sprintf("%4d: %s\n", i, in)
+	}
+	return s
+}

@@ -1,0 +1,342 @@
+package isa
+
+import (
+	"fmt"
+
+	"greenvm/internal/energy"
+	"greenvm/internal/mem"
+)
+
+// Bridge is the machine's window onto the VM: heap accesses,
+// allocation, and method calls. Implementations charge data-cache
+// traffic for heap accesses at the object's synthetic address (the
+// machine itself charges instruction fetches and spill-slot traffic).
+//
+// Handles are opaque non-zero int64 values; handle 0 is the null
+// reference.
+type Bridge interface {
+	// FieldI reads integer/reference field idx of object h.
+	FieldI(h int64, idx int) (int64, error)
+	// SetFieldI writes integer/reference field idx of object h.
+	SetFieldI(h int64, idx int, v int64) error
+	// FieldF reads float field idx of object h.
+	FieldF(h int64, idx int) (float64, error)
+	// SetFieldF writes float field idx of object h.
+	SetFieldF(h int64, idx int, v float64) error
+	// ElemI reads element i of an int/reference array.
+	ElemI(h, i int64) (int64, error)
+	// SetElemI writes element i of an int/reference array.
+	SetElemI(h, i, v int64) error
+	// ElemF reads element i of a float array.
+	ElemF(h, i int64) (float64, error)
+	// SetElemF writes element i of a float array.
+	SetElemF(h, i int64, v float64) error
+	// ArrayLen returns the length of array h.
+	ArrayLen(h int64) (int64, error)
+	// NewArray allocates an array of the given element kind and length.
+	NewArray(kind int64, n int64) (int64, error)
+	// NewObject allocates an instance of the class with the given
+	// link-table index.
+	NewObject(classIdx int64) (int64, error)
+	// Call invokes the method with link-table index idx. Arguments are
+	// already in m's ABI registers; the callee's return value must be
+	// left in R1 or F1. The implementation must preserve all other
+	// registers (the simulated SPARC has register windows; the
+	// corresponding spill traffic is charged by the machine).
+	Call(idx int64, m *Machine) error
+}
+
+// Machine executes native Code against a Bridge, charging energy and
+// cache traffic to an Account. A single Machine is reused across calls;
+// nested calls save and restore the register files.
+type Machine struct {
+	// R and F are the integer and float register files. R[0] and F[0]
+	// are hardwired to zero and restored after every instruction that
+	// names them as a destination.
+	R [NumIntRegs]int64
+	F [NumFloatRegs]float64
+
+	Bridge Bridge
+	Hier   *mem.Hierarchy
+	Acct   *energy.Account
+
+	// SP is the current top of the simulated frame stack (grows down).
+	SP uint64
+
+	// Steps counts executed instructions across the machine's lifetime.
+	// MaxSteps, when non-zero, aborts runaway executions.
+	Steps    uint64
+	MaxSteps uint64
+
+	// CallOverheadLoads/Stores model the register-window spill/fill
+	// traffic of one call; charged at every CALLVM.
+	CallOverheadLoads  uint64
+	CallOverheadStores uint64
+}
+
+// NewMachine returns a machine with the paper's call-overhead model.
+func NewMachine(bridge Bridge, hier *mem.Hierarchy, acct *energy.Account) *Machine {
+	return &Machine{
+		Bridge:             bridge,
+		Hier:               hier,
+		Acct:               acct,
+		SP:                 mem.StackBase,
+		CallOverheadLoads:  4,
+		CallOverheadStores: 4,
+	}
+}
+
+// SaveRegs returns a snapshot of both register files.
+func (m *Machine) SaveRegs() ([NumIntRegs]int64, [NumFloatRegs]float64) {
+	return m.R, m.F
+}
+
+// RestoreRegs restores a snapshot taken by SaveRegs, preserving the
+// ABI return registers R1 and F1 (which carry the callee's result).
+func (m *Machine) RestoreRegs(r [NumIntRegs]int64, f [NumFloatRegs]float64) {
+	r1, f1 := m.R[1], m.F[1]
+	m.R, m.F = r, f
+	m.R[1], m.F[1] = r1, f1
+}
+
+// Run executes the body until RET. On entry the caller must have
+// placed arguments in the ABI registers. The return value, if any, is
+// left in R1/F1.
+func (m *Machine) Run(c *Code) error {
+	frameBytes := uint64(c.FrameWords) * 4
+	savedSP := m.SP
+	if frameBytes > 0 {
+		m.SP -= frameBytes
+	}
+	frame := make([]int64, c.FrameWords)
+	fframe := make([]float64, c.FrameWords)
+	defer func() { m.SP = savedSP }()
+
+	code := c.Instrs
+	n := int64(len(code))
+	var pc int64
+	for pc >= 0 && pc < n {
+		in := &code[pc]
+		m.Hier.FetchInstr(c.Base + uint64(pc)*BytesPerInstr)
+		m.Acct.AddInstr(in.Op.Class(), 1)
+		m.Steps++
+		if m.MaxSteps != 0 && m.Steps > m.MaxSteps {
+			return ErrStepLimit
+		}
+		pc++
+
+		switch in.Op {
+		case NOP:
+		case LDI:
+			m.R[in.Rd] = in.Imm
+		case FLDI:
+			m.F[in.Rd] = in.FImm
+		case MOV:
+			m.R[in.Rd] = m.R[in.Ra]
+		case FMOV:
+			m.F[in.Rd] = m.F[in.Ra]
+		case ADD:
+			m.R[in.Rd] = wrap32(m.R[in.Ra] + m.R[in.Rb])
+		case SUB:
+			m.R[in.Rd] = wrap32(m.R[in.Ra] - m.R[in.Rb])
+		case MUL:
+			m.R[in.Rd] = wrap32(m.R[in.Ra] * m.R[in.Rb])
+		case DIV:
+			if m.R[in.Rb] == 0 {
+				return ErrDivideByZero
+			}
+			m.R[in.Rd] = wrap32(m.R[in.Ra] / m.R[in.Rb])
+		case REM:
+			if m.R[in.Rb] == 0 {
+				return ErrDivideByZero
+			}
+			m.R[in.Rd] = wrap32(m.R[in.Ra] % m.R[in.Rb])
+		case AND:
+			m.R[in.Rd] = m.R[in.Ra] & m.R[in.Rb]
+		case OR:
+			m.R[in.Rd] = m.R[in.Ra] | m.R[in.Rb]
+		case XOR:
+			m.R[in.Rd] = m.R[in.Ra] ^ m.R[in.Rb]
+		case SHL:
+			m.R[in.Rd] = wrap32(m.R[in.Ra] << uint(m.R[in.Rb]&31))
+		case SHR:
+			m.R[in.Rd] = m.R[in.Ra] >> uint(m.R[in.Rb]&31)
+		case NEG:
+			m.R[in.Rd] = wrap32(-m.R[in.Ra])
+		case SLT:
+			if m.R[in.Ra] < m.R[in.Rb] {
+				m.R[in.Rd] = 1
+			} else {
+				m.R[in.Rd] = 0
+			}
+		case ADDI:
+			m.R[in.Rd] = wrap32(m.R[in.Ra] + in.Imm)
+		case MULI:
+			m.R[in.Rd] = wrap32(m.R[in.Ra] * in.Imm)
+		case SHLI:
+			m.R[in.Rd] = wrap32(m.R[in.Ra] << uint(in.Imm&31))
+		case SHRI:
+			m.R[in.Rd] = m.R[in.Ra] >> uint(in.Imm&31)
+		case ANDI:
+			m.R[in.Rd] = m.R[in.Ra] & in.Imm
+		case FADD:
+			m.F[in.Rd] = m.F[in.Ra] + m.F[in.Rb]
+		case FSUB:
+			m.F[in.Rd] = m.F[in.Ra] - m.F[in.Rb]
+		case FMUL:
+			m.F[in.Rd] = m.F[in.Ra] * m.F[in.Rb]
+		case FDIV:
+			m.F[in.Rd] = m.F[in.Ra] / m.F[in.Rb]
+		case FNEG:
+			m.F[in.Rd] = -m.F[in.Ra]
+		case CVTIF:
+			m.F[in.Rd] = float64(m.R[in.Ra])
+		case CVTFI:
+			m.R[in.Rd] = wrap32(int64(m.F[in.Ra]))
+		case JMP:
+			pc = in.Imm
+		case BEQ:
+			if m.R[in.Ra] == m.R[in.Rb] {
+				pc = in.Imm
+			}
+		case BNE:
+			if m.R[in.Ra] != m.R[in.Rb] {
+				pc = in.Imm
+			}
+		case BLT:
+			if m.R[in.Ra] < m.R[in.Rb] {
+				pc = in.Imm
+			}
+		case BGE:
+			if m.R[in.Ra] >= m.R[in.Rb] {
+				pc = in.Imm
+			}
+		case BGT:
+			if m.R[in.Ra] > m.R[in.Rb] {
+				pc = in.Imm
+			}
+		case BLE:
+			if m.R[in.Ra] <= m.R[in.Rb] {
+				pc = in.Imm
+			}
+		case FBEQ:
+			if m.F[in.Ra] == m.F[in.Rb] {
+				pc = in.Imm
+			}
+		case FBNE:
+			if m.F[in.Ra] != m.F[in.Rb] {
+				pc = in.Imm
+			}
+		case FBLT:
+			if m.F[in.Ra] < m.F[in.Rb] {
+				pc = in.Imm
+			}
+		case FBGE:
+			if m.F[in.Ra] >= m.F[in.Rb] {
+				pc = in.Imm
+			}
+		case LDF:
+			v, err := m.Bridge.FieldI(m.R[in.Ra], int(in.Imm))
+			if err != nil {
+				return err
+			}
+			m.R[in.Rd] = v
+		case STF:
+			if err := m.Bridge.SetFieldI(m.R[in.Ra], int(in.Imm), m.R[in.Rb]); err != nil {
+				return err
+			}
+		case LDFF:
+			v, err := m.Bridge.FieldF(m.R[in.Ra], int(in.Imm))
+			if err != nil {
+				return err
+			}
+			m.F[in.Rd] = v
+		case STFF:
+			if err := m.Bridge.SetFieldF(m.R[in.Ra], int(in.Imm), m.F[in.Rb]); err != nil {
+				return err
+			}
+		case LDE:
+			v, err := m.Bridge.ElemI(m.R[in.Ra], m.R[in.Rb])
+			if err != nil {
+				return err
+			}
+			m.R[in.Rd] = v
+		case STE:
+			if err := m.Bridge.SetElemI(m.R[in.Ra], m.R[in.Rb], m.R[in.Rd]); err != nil {
+				return err
+			}
+		case LDEF:
+			v, err := m.Bridge.ElemF(m.R[in.Ra], m.R[in.Rb])
+			if err != nil {
+				return err
+			}
+			m.F[in.Rd] = v
+		case STEF:
+			if err := m.Bridge.SetElemF(m.R[in.Ra], m.R[in.Rb], m.F[in.Rd]); err != nil {
+				return err
+			}
+		case ARRLEN:
+			v, err := m.Bridge.ArrayLen(m.R[in.Ra])
+			if err != nil {
+				return err
+			}
+			m.R[in.Rd] = v
+		case LDSP:
+			m.Hier.Data(m.SP+uint64(in.Imm)*4, 1)
+			m.R[in.Rd] = frame[in.Imm]
+		case STSP:
+			m.Hier.Data(m.SP+uint64(in.Imm)*4, 1)
+			frame[in.Imm] = m.R[in.Ra]
+		case LDSPF:
+			m.Hier.Data(m.SP+uint64(in.Imm)*4, 1)
+			m.F[in.Rd] = fframe[in.Imm]
+		case STSPF:
+			m.Hier.Data(m.SP+uint64(in.Imm)*4, 1)
+			fframe[in.Imm] = m.F[in.Ra]
+		case NEWARR:
+			h, err := m.Bridge.NewArray(in.Imm, m.R[in.Ra])
+			if err != nil {
+				return err
+			}
+			m.R[in.Rd] = h
+		case NEWOBJ:
+			h, err := m.Bridge.NewObject(in.Imm)
+			if err != nil {
+				return err
+			}
+			m.R[in.Rd] = h
+		case CALLVM:
+			m.Acct.AddInstr(energy.Load, m.CallOverheadLoads)
+			m.Acct.AddInstr(energy.Store, m.CallOverheadStores)
+			if err := m.Bridge.Call(in.Imm, m); err != nil {
+				return err
+			}
+		case RET:
+			return nil
+		case TRAP:
+			switch in.Imm {
+			case TrapBounds:
+				return ErrBounds
+			case TrapNull:
+				return ErrNullRef
+			case TrapDivZero:
+				return ErrDivideByZero
+			default:
+				return fmt.Errorf("%w: trap %d in %s", ErrBadInstr, in.Imm, c.Name)
+			}
+		default:
+			return fmt.Errorf("%w: opcode %d in %s at %d", ErrBadInstr, in.Op, c.Name, pc-1)
+		}
+
+		// Keep the hardwired zero registers at zero.
+		m.R[0] = 0
+		m.F[0] = 0
+	}
+	return fmt.Errorf("%w: fell off end of %s", ErrBadInstr, c.Name)
+}
+
+// wrap32 truncates to 32-bit two's-complement, matching the bytecode
+// VM's int semantics (the MJ language has Java's 32-bit int).
+func wrap32(v int64) int64 {
+	return int64(int32(v))
+}

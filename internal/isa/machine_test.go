@@ -1,0 +1,460 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+
+	"greenvm/internal/energy"
+	"greenvm/internal/mem"
+)
+
+// stubBridge implements Bridge over plain Go slices for machine tests.
+type stubBridge struct {
+	intArrays  map[int64][]int64
+	fltArrays  map[int64][]float64
+	objects    map[int64][]int64
+	fobjects   map[int64][]float64
+	nextHandle int64
+	callLog    []int64
+	callFn     func(idx int64, m *Machine) error
+}
+
+func newStubBridge() *stubBridge {
+	return &stubBridge{
+		intArrays:  map[int64][]int64{},
+		fltArrays:  map[int64][]float64{},
+		objects:    map[int64][]int64{},
+		fobjects:   map[int64][]float64{},
+		nextHandle: 1,
+	}
+}
+
+func (b *stubBridge) handle() int64 { h := b.nextHandle; b.nextHandle++; return h }
+
+func (b *stubBridge) FieldI(h int64, idx int) (int64, error) {
+	o, ok := b.objects[h]
+	if !ok {
+		return 0, ErrNullRef
+	}
+	return o[idx], nil
+}
+func (b *stubBridge) SetFieldI(h int64, idx int, v int64) error {
+	o, ok := b.objects[h]
+	if !ok {
+		return ErrNullRef
+	}
+	o[idx] = v
+	return nil
+}
+func (b *stubBridge) FieldF(h int64, idx int) (float64, error) {
+	o, ok := b.fobjects[h]
+	if !ok {
+		return 0, ErrNullRef
+	}
+	return o[idx], nil
+}
+func (b *stubBridge) SetFieldF(h int64, idx int, v float64) error {
+	o, ok := b.fobjects[h]
+	if !ok {
+		return ErrNullRef
+	}
+	o[idx] = v
+	return nil
+}
+func (b *stubBridge) ElemI(h, i int64) (int64, error) {
+	a, ok := b.intArrays[h]
+	if !ok {
+		return 0, ErrNullRef
+	}
+	if i < 0 || i >= int64(len(a)) {
+		return 0, ErrBounds
+	}
+	return a[i], nil
+}
+func (b *stubBridge) SetElemI(h, i, v int64) error {
+	a, ok := b.intArrays[h]
+	if !ok {
+		return ErrNullRef
+	}
+	if i < 0 || i >= int64(len(a)) {
+		return ErrBounds
+	}
+	a[i] = v
+	return nil
+}
+func (b *stubBridge) ElemF(h, i int64) (float64, error) {
+	a, ok := b.fltArrays[h]
+	if !ok {
+		return 0, ErrNullRef
+	}
+	if i < 0 || i >= int64(len(a)) {
+		return 0, ErrBounds
+	}
+	return a[i], nil
+}
+func (b *stubBridge) SetElemF(h, i int64, v float64) error {
+	a, ok := b.fltArrays[h]
+	if !ok {
+		return ErrNullRef
+	}
+	if i < 0 || i >= int64(len(a)) {
+		return ErrBounds
+	}
+	a[i] = v
+	return nil
+}
+func (b *stubBridge) ArrayLen(h int64) (int64, error) {
+	if a, ok := b.intArrays[h]; ok {
+		return int64(len(a)), nil
+	}
+	if a, ok := b.fltArrays[h]; ok {
+		return int64(len(a)), nil
+	}
+	return 0, ErrNullRef
+}
+func (b *stubBridge) NewArray(kind, n int64) (int64, error) {
+	h := b.handle()
+	if kind == 1 {
+		b.fltArrays[h] = make([]float64, n)
+	} else {
+		b.intArrays[h] = make([]int64, n)
+	}
+	return h, nil
+}
+func (b *stubBridge) NewObject(classIdx int64) (int64, error) {
+	h := b.handle()
+	b.objects[h] = make([]int64, 8)
+	b.fobjects[h] = make([]float64, 8)
+	return h, nil
+}
+func (b *stubBridge) Call(idx int64, m *Machine) error {
+	b.callLog = append(b.callLog, idx)
+	if b.callFn != nil {
+		return b.callFn(idx, m)
+	}
+	return nil
+}
+
+func newTestMachine() (*Machine, *stubBridge, *energy.Account) {
+	model := energy.MicroSPARCIIep()
+	acct := energy.NewAccount(model)
+	hier := mem.DefaultClientHierarchy(model, acct)
+	b := newStubBridge()
+	return NewMachine(b, hier, acct), b, acct
+}
+
+func run(t *testing.T, m *Machine, instrs []Instr, frameWords int) {
+	t.Helper()
+	c := &Code{Name: "test", Instrs: instrs, Base: mem.CodeBase, FrameWords: frameWords}
+	if err := m.Run(c); err != nil {
+		t.Fatalf("Run: %v\n%s", err, c.Disassemble())
+	}
+}
+
+func TestSumLoop(t *testing.T) {
+	m, _, acct := newTestMachine()
+	// r1 = sum of 1..10
+	prog := []Instr{
+		{Op: LDI, Rd: 2, Imm: 1},        // i = 1
+		{Op: LDI, Rd: 3, Imm: 10},       // n
+		{Op: LDI, Rd: 1, Imm: 0},        // sum = 0
+		{Op: BGT, Ra: 2, Rb: 3, Imm: 7}, // loop: if i > n goto done
+		{Op: ADD, Rd: 1, Ra: 1, Rb: 2},  // sum += i
+		{Op: ADDI, Rd: 2, Ra: 2, Imm: 1},
+		{Op: JMP, Imm: 3},
+		{Op: RET},
+	}
+	run(t, m, prog, 0)
+	if m.R[1] != 55 {
+		t.Errorf("sum = %d, want 55", m.R[1])
+	}
+	if acct.Instructions() == 0 || acct.Total() == 0 {
+		t.Error("execution charged no energy")
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{ADD, 7, 5, 12},
+		{SUB, 7, 5, 2},
+		{MUL, 7, 5, 35},
+		{DIV, 17, 5, 3},
+		{REM, 17, 5, 2},
+		{AND, 12, 10, 8},
+		{OR, 12, 10, 14},
+		{XOR, 12, 10, 6},
+		{SHL, 3, 2, 12},
+		{SHR, -8, 1, -4},
+		{SLT, 3, 4, 1},
+		{SLT, 4, 3, 0},
+	}
+	for _, c := range cases {
+		m, _, _ := newTestMachine()
+		prog := []Instr{
+			{Op: LDI, Rd: 2, Imm: c.a},
+			{Op: LDI, Rd: 3, Imm: c.b},
+			{Op: c.op, Rd: 1, Ra: 2, Rb: 3},
+			{Op: RET},
+		}
+		run(t, m, prog, 0)
+		if m.R[1] != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.op.Name(), c.a, c.b, m.R[1], c.want)
+		}
+	}
+}
+
+func TestInt32Wraparound(t *testing.T) {
+	m, _, _ := newTestMachine()
+	prog := []Instr{
+		{Op: LDI, Rd: 2, Imm: 0x7FFFFFFF},
+		{Op: ADDI, Rd: 1, Ra: 2, Imm: 1},
+		{Op: RET},
+	}
+	run(t, m, prog, 0)
+	if m.R[1] != -0x80000000 {
+		t.Errorf("int32 overflow = %d, want -2147483648", m.R[1])
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	m, _, _ := newTestMachine()
+	prog := []Instr{
+		{Op: FLDI, Rd: 2, FImm: 1.5},
+		{Op: FLDI, Rd: 3, FImm: 2.5},
+		{Op: FADD, Rd: 1, Ra: 2, Rb: 3}, // 4.0
+		{Op: FMUL, Rd: 1, Ra: 1, Rb: 3}, // 10.0
+		{Op: FSUB, Rd: 1, Ra: 1, Rb: 2}, // 8.5
+		{Op: FDIV, Rd: 1, Ra: 1, Rb: 3}, // 3.4
+		{Op: RET},
+	}
+	run(t, m, prog, 0)
+	if m.F[1] != 3.4 {
+		t.Errorf("float chain = %g, want 3.4", m.F[1])
+	}
+}
+
+func TestConversions(t *testing.T) {
+	m, _, _ := newTestMachine()
+	prog := []Instr{
+		{Op: LDI, Rd: 2, Imm: -7},
+		{Op: CVTIF, Rd: 2, Ra: 2},
+		{Op: FLDI, Rd: 3, FImm: 2.0},
+		{Op: FDIV, Rd: 2, Ra: 2, Rb: 3}, // -3.5
+		{Op: CVTFI, Rd: 1, Ra: 2},       // -3 (truncation)
+		{Op: RET},
+	}
+	run(t, m, prog, 0)
+	if m.R[1] != -3 {
+		t.Errorf("CVTFI(-3.5) = %d, want -3", m.R[1])
+	}
+}
+
+func TestDivideByZero(t *testing.T) {
+	m, _, _ := newTestMachine()
+	prog := []Instr{
+		{Op: LDI, Rd: 2, Imm: 1},
+		{Op: DIV, Rd: 1, Ra: 2, Rb: 0},
+		{Op: RET},
+	}
+	c := &Code{Name: "divzero", Instrs: prog, Base: mem.CodeBase}
+	if err := m.Run(c); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("err = %v, want ErrDivideByZero", err)
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	m, _, _ := newTestMachine()
+	prog := []Instr{
+		{Op: LDI, Rd: 0, Imm: 99}, // attempt to clobber r0
+		{Op: MOV, Rd: 1, Ra: 0},
+		{Op: RET},
+	}
+	run(t, m, prog, 0)
+	if m.R[1] != 0 {
+		t.Errorf("r0 = %d, want hardwired 0", m.R[1])
+	}
+}
+
+func TestSpillSlots(t *testing.T) {
+	m, _, _ := newTestMachine()
+	prog := []Instr{
+		{Op: LDI, Rd: 2, Imm: 123},
+		{Op: STSP, Ra: 2, Imm: 1},
+		{Op: LDI, Rd: 2, Imm: 0},
+		{Op: LDSP, Rd: 1, Imm: 1},
+		{Op: FLDI, Rd: 2, FImm: 2.25},
+		{Op: STSPF, Ra: 2, Imm: 0},
+		{Op: LDSPF, Rd: 1, Imm: 0},
+		{Op: RET},
+	}
+	run(t, m, prog, 2)
+	if m.R[1] != 123 || m.F[1] != 2.25 {
+		t.Errorf("spill roundtrip got r1=%d f1=%g", m.R[1], m.F[1])
+	}
+}
+
+func TestArraysThroughBridge(t *testing.T) {
+	m, _, _ := newTestMachine()
+	prog := []Instr{
+		{Op: LDI, Rd: 2, Imm: 5},
+		{Op: NEWARR, Rd: 3, Ra: 2, Imm: 0}, // int[5]
+		{Op: LDI, Rd: 4, Imm: 2},           // index
+		{Op: LDI, Rd: 5, Imm: 42},          // value
+		{Op: STE, Rd: 5, Ra: 3, Rb: 4},
+		{Op: LDE, Rd: 6, Ra: 3, Rb: 4},
+		{Op: ARRLEN, Rd: 7, Ra: 3},
+		{Op: ADD, Rd: 1, Ra: 6, Rb: 7}, // 42 + 5
+		{Op: RET},
+	}
+	run(t, m, prog, 0)
+	if m.R[1] != 47 {
+		t.Errorf("array roundtrip = %d, want 47", m.R[1])
+	}
+}
+
+func TestArrayBoundsError(t *testing.T) {
+	m, _, _ := newTestMachine()
+	prog := []Instr{
+		{Op: LDI, Rd: 2, Imm: 3},
+		{Op: NEWARR, Rd: 3, Ra: 2, Imm: 0},
+		{Op: LDI, Rd: 4, Imm: 3},
+		{Op: LDE, Rd: 1, Ra: 3, Rb: 4},
+		{Op: RET},
+	}
+	c := &Code{Name: "oob", Instrs: prog, Base: mem.CodeBase}
+	if err := m.Run(c); !errors.Is(err, ErrBounds) {
+		t.Errorf("err = %v, want ErrBounds", err)
+	}
+}
+
+func TestCallTrapsToBridge(t *testing.T) {
+	m, b, _ := newTestMachine()
+	b.callFn = func(idx int64, mm *Machine) error {
+		mm.R[1] = mm.R[1] * 2 // callee doubles its argument
+		return nil
+	}
+	prog := []Instr{
+		{Op: LDI, Rd: 1, Imm: 21},
+		{Op: CALLVM, Imm: 9},
+		{Op: RET},
+	}
+	run(t, m, prog, 0)
+	if m.R[1] != 42 {
+		t.Errorf("call result = %d, want 42", m.R[1])
+	}
+	if len(b.callLog) != 1 || b.callLog[0] != 9 {
+		t.Errorf("call log = %v, want [9]", b.callLog)
+	}
+}
+
+func TestCallChargesOverhead(t *testing.T) {
+	m, _, acct := newTestMachine()
+	prog := []Instr{
+		{Op: CALLVM, Imm: 0},
+		{Op: RET},
+	}
+	run(t, m, prog, 0)
+	if acct.InstrCount(energy.Load) < m.CallOverheadLoads {
+		t.Error("call did not charge register-window load overhead")
+	}
+	if acct.InstrCount(energy.Store) < m.CallOverheadStores {
+		t.Error("call did not charge register-window store overhead")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m, _, _ := newTestMachine()
+	m.MaxSteps = 100
+	prog := []Instr{
+		{Op: JMP, Imm: 0},
+	}
+	c := &Code{Name: "spin", Instrs: prog, Base: mem.CodeBase}
+	if err := m.Run(c); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestTrapErrors(t *testing.T) {
+	cases := []struct {
+		code int64
+		want error
+	}{
+		{TrapBounds, ErrBounds},
+		{TrapNull, ErrNullRef},
+		{TrapDivZero, ErrDivideByZero},
+	}
+	for _, cse := range cases {
+		m, _, _ := newTestMachine()
+		c := &Code{Name: "trap", Instrs: []Instr{{Op: TRAP, Imm: cse.code}}, Base: mem.CodeBase}
+		if err := m.Run(c); !errors.Is(err, cse.want) {
+			t.Errorf("trap %d err = %v, want %v", cse.code, err, cse.want)
+		}
+	}
+}
+
+func TestFallOffEndIsError(t *testing.T) {
+	m, _, _ := newTestMachine()
+	c := &Code{Name: "fall", Instrs: []Instr{{Op: NOP}}, Base: mem.CodeBase}
+	if err := m.Run(c); err == nil {
+		t.Error("falling off the end should be an error")
+	}
+}
+
+func TestRegSaveRestorePreservesReturn(t *testing.T) {
+	m, _, _ := newTestMachine()
+	m.R[5] = 77
+	r, f := m.SaveRegs()
+	m.R[5] = 0
+	m.R[1] = 42
+	m.F[1] = 2.5
+	m.RestoreRegs(r, f)
+	if m.R[5] != 77 {
+		t.Error("saved register not restored")
+	}
+	if m.R[1] != 42 || m.F[1] != 2.5 {
+		t.Error("return registers should survive restore")
+	}
+}
+
+func TestCodeSizeBytes(t *testing.T) {
+	c := &Code{Instrs: make([]Instr, 10)}
+	if c.SizeBytes() != 40 {
+		t.Errorf("SizeBytes = %d, want 40", c.SizeBytes())
+	}
+}
+
+func TestFloatBranches(t *testing.T) {
+	m, _, _ := newTestMachine()
+	prog := []Instr{
+		{Op: FLDI, Rd: 2, FImm: 1.0},
+		{Op: FLDI, Rd: 3, FImm: 2.0},
+		{Op: FBLT, Ra: 2, Rb: 3, Imm: 4}, // taken
+		{Op: TRAP, Imm: TrapUnreachable},
+		{Op: FBGE, Ra: 2, Rb: 3, Imm: 6}, // not taken
+		{Op: LDI, Rd: 1, Imm: 1},
+		{Op: RET},
+	}
+	run(t, m, prog, 0)
+	if m.R[1] != 1 {
+		t.Errorf("float branch path = %d, want 1", m.R[1])
+	}
+}
+
+func TestInstrStringSmoke(t *testing.T) {
+	ops := []Instr{
+		{Op: LDI, Rd: 1, Imm: 5}, {Op: FLDI, Rd: 1, FImm: 1.5},
+		{Op: ADD, Rd: 1, Ra: 2, Rb: 3}, {Op: BEQ, Ra: 1, Rb: 2, Imm: 7},
+		{Op: LDF, Rd: 1, Ra: 2, Imm: 0}, {Op: STE, Rd: 3, Ra: 1, Rb: 2},
+		{Op: CALLVM, Imm: 4}, {Op: RET}, {Op: TRAP, Imm: 0},
+		{Op: LDSP, Rd: 1, Imm: 2}, {Op: NEWARR, Rd: 1, Ra: 2, Imm: 0},
+	}
+	for _, in := range ops {
+		if in.String() == "" {
+			t.Errorf("empty disassembly for %v", in.Op)
+		}
+	}
+}

@@ -1,0 +1,484 @@
+package jit
+
+import (
+	"fmt"
+	"sort"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/isa"
+)
+
+// Inlining limits for Level3.
+const (
+	inlineMaxBytecodes = 64
+	inlineMaxDepth     = 3
+)
+
+// builder translates bytecode to IR. Operand-stack slots are homed to
+// fixed virtual registers per (depth, kind), locals to one vreg each;
+// pushes and pops become register moves that Level2's copy propagation
+// and dead-code elimination clean up.
+type builder struct {
+	f           *fn
+	level       Level
+	inlineStack []*bytecode.Method
+}
+
+// buildFn translates method m (and, at Level3, its inlinable callees)
+// into an IR function.
+func buildFn(prog *bytecode.Program, m *bytecode.Method, level Level) (*fn, error) {
+	f := &fn{prog: prog, method: m, trapNull: -1}
+	bd := &builder{f: f, level: level}
+
+	// Argument vregs, in ABI order.
+	args := make([]vreg, 0, m.NumArgs())
+	for _, k := range m.ArgKinds() {
+		args = append(args, f.newVreg(k))
+	}
+	f.nargs = len(args)
+
+	entry, err := bd.buildFrame(m, args, noReg, -1)
+	if err != nil {
+		return nil, err
+	}
+	if entry.id != 0 {
+		// The entry must be block 0 for codegen; swap ids.
+		f.blocks[0], f.blocks[entry.id] = f.blocks[entry.id], f.blocks[0]
+		oldID := entry.id
+		f.blocks[0].id = 0
+		f.blocks[oldID].id = oldID
+		remapBlockRefs(f, map[int]int{0: oldID, oldID: 0})
+	}
+	f.computeCFGEdges()
+	return f, nil
+}
+
+// remapBlockRefs rewrites jump targets after block renumbering.
+func remapBlockRefs(f *fn, remap map[int]int) {
+	for _, b := range f.blocks {
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			switch in.Op {
+			case opJmp:
+				if n, ok := remap[int(in.Aux)]; ok {
+					in.Aux = int32(n)
+				}
+			case opBr:
+				if n, ok := remap[int(in.Aux)]; ok {
+					in.Aux = int32(n)
+				}
+				if n, ok := remap[int(in.Aux2)]; ok {
+					in.Aux2 = int32(n)
+				}
+			}
+		}
+	}
+}
+
+// frame is per-(possibly inlined)-method translation state.
+type frame struct {
+	m        *bytecode.Method
+	maps     [][]bytecode.Kind
+	localV   map[int32]vreg
+	stackV   map[int64]vreg // key: depth<<2 | kind
+	blockAt  map[int]*block
+	retV     vreg // inlined: receives the return value
+	retBlock int  // inlined: continuation block id; -1 for top level
+}
+
+func (fr *frame) homeKey(depth int, k bytecode.Kind) int64 {
+	return int64(depth)<<2 | int64(k)
+}
+
+// buildFrame translates one method body into blocks of f. args are the
+// vregs holding the arguments (shared with the caller when inlining).
+// retBlock < 0 marks the top-level frame, whose returns emit opRet.
+func (bd *builder) buildFrame(m *bytecode.Method, args []vreg, retV vreg, retBlock int) (*block, error) {
+	f := bd.f
+	maps, reachable, err := stackMaps(f.prog, m)
+	if err != nil {
+		return nil, err
+	}
+	fr := &frame{
+		m:        m,
+		maps:     maps,
+		localV:   make(map[int32]vreg),
+		stackV:   make(map[int64]vreg),
+		blockAt:  make(map[int]*block),
+		retV:     retV,
+		retBlock: retBlock,
+	}
+	for i, a := range args {
+		fr.localV[int32(i)] = a
+	}
+
+	// Identify leaders.
+	leaders := map[int]bool{0: true}
+	for pc, in := range m.Code {
+		if in.Op.IsBranch() {
+			leaders[int(in.A)] = true
+			leaders[pc+1] = true
+		}
+		switch in.Op {
+		case bytecode.RETURN, bytecode.IRETURN, bytecode.FRETURN, bytecode.ARETURN:
+			leaders[pc+1] = true
+		}
+	}
+	// Allocate blocks in source order so compilation is deterministic
+	// (block ids determine code layout and hence cache behaviour).
+	leaderPCs := make([]int, 0, len(leaders))
+	for pc := range leaders {
+		if pc < len(m.Code) {
+			leaderPCs = append(leaderPCs, pc)
+		}
+	}
+	sort.Ints(leaderPCs)
+	for _, pc := range leaderPCs {
+		fr.blockAt[pc] = f.newBlock()
+	}
+
+	home := func(depth int, k bytecode.Kind) vreg {
+		key := fr.homeKey(depth, k)
+		if v, ok := fr.stackV[key]; ok {
+			return v
+		}
+		v := f.newVreg(k)
+		fr.stackV[key] = v
+		return v
+	}
+	local := func(idx int32, k bytecode.Kind) vreg {
+		if v, ok := fr.localV[idx]; ok {
+			return v
+		}
+		v := f.newVreg(k)
+		fr.localV[idx] = v
+		return v
+	}
+
+	cur := fr.blockAt[0]
+	emit := func(in irInstr) { cur.instrs = append(cur.instrs, in) }
+	terminated := false
+
+	movOp := func(k bytecode.Kind) irOp {
+		if k == bytecode.KFloat {
+			return opMovF
+		}
+		return opMov
+	}
+
+	for pc := 0; pc < len(m.Code); pc++ {
+		if b, isLeader := fr.blockAt[pc]; isLeader && b != cur {
+			if !terminated {
+				emit(irInstr{Op: opJmp, Aux: int32(b.id)})
+			}
+			cur = b
+			terminated = false
+		}
+		if !reachable[pc] {
+			// Unreachable instruction; skip.
+			terminated = true
+			continue
+		}
+		if terminated {
+			// Reachable code in a block we already terminated cannot
+			// happen for verified code (every leader restarts a block).
+			return nil, fmt.Errorf("%w: %s: reachable code at %d after terminator", ErrCompile, m.QName(), pc)
+		}
+
+		in := m.Code[pc]
+		st := maps[pc]
+		d := len(st) // stack depth before this instruction
+
+		kindAt := func(fromTop int) bytecode.Kind { return st[d-1-fromTop] }
+
+		switch in.Op {
+		case bytecode.NOP:
+
+		case bytecode.ACONSTNULL:
+			emit(irInstr{Op: opConstI, Dst: home(d, bytecode.KRef), Imm: 0})
+		case bytecode.ICONST:
+			emit(irInstr{Op: opConstI, Dst: home(d, bytecode.KInt), Imm: int64(in.A)})
+		case bytecode.FCONST:
+			emit(irInstr{Op: opConstF, Dst: home(d, bytecode.KFloat), FImm: in.F})
+
+		case bytecode.ILOAD:
+			emit(irInstr{Op: opMov, Dst: home(d, bytecode.KInt), A: local(in.A, bytecode.KInt)})
+		case bytecode.FLOAD:
+			emit(irInstr{Op: opMovF, Dst: home(d, bytecode.KFloat), A: local(in.A, bytecode.KFloat)})
+		case bytecode.ALOAD:
+			emit(irInstr{Op: opMov, Dst: home(d, bytecode.KRef), A: local(in.A, bytecode.KRef)})
+		case bytecode.ISTORE:
+			emit(irInstr{Op: opMov, Dst: local(in.A, bytecode.KInt), A: home(d-1, bytecode.KInt)})
+		case bytecode.FSTORE:
+			emit(irInstr{Op: opMovF, Dst: local(in.A, bytecode.KFloat), A: home(d-1, bytecode.KFloat)})
+		case bytecode.ASTORE:
+			emit(irInstr{Op: opMov, Dst: local(in.A, bytecode.KRef), A: home(d-1, bytecode.KRef)})
+
+		case bytecode.DUP:
+			k := kindAt(0)
+			emit(irInstr{Op: movOp(k), Dst: home(d, k), A: home(d-1, k)})
+		case bytecode.POP:
+			// Value simply dies.
+		case bytecode.SWAP:
+			k1, k0 := kindAt(1), kindAt(0) // k1 below k0
+			a, b := home(d-2, k1), home(d-1, k0)
+			if k1 == k0 {
+				t := f.newVreg(k0)
+				emit(irInstr{Op: movOp(k0), Dst: t, A: a})
+				emit(irInstr{Op: movOp(k0), Dst: a, A: b})
+				emit(irInstr{Op: movOp(k0), Dst: b, A: t})
+			} else {
+				// Different kinds live in different home vregs; move
+				// each into its new depth's home directly.
+				emit(irInstr{Op: movOp(k0), Dst: home(d-2, k0), A: b})
+				emit(irInstr{Op: movOp(k1), Dst: home(d-1, k1), A: a})
+			}
+
+		case bytecode.IADD, bytecode.ISUB, bytecode.IMUL, bytecode.IDIV, bytecode.IREM,
+			bytecode.ISHL, bytecode.ISHR, bytecode.IAND, bytecode.IOR, bytecode.IXOR:
+			op := map[bytecode.Opcode]irOp{
+				bytecode.IADD: opAdd, bytecode.ISUB: opSub, bytecode.IMUL: opMul,
+				bytecode.IDIV: opDiv, bytecode.IREM: opRem, bytecode.ISHL: opShl,
+				bytecode.ISHR: opShr, bytecode.IAND: opAnd, bytecode.IOR: opOr,
+				bytecode.IXOR: opXor,
+			}[in.Op]
+			a, b := home(d-2, bytecode.KInt), home(d-1, bytecode.KInt)
+			emit(irInstr{Op: op, Dst: home(d-2, bytecode.KInt), A: a, B: b})
+		case bytecode.INEG:
+			emit(irInstr{Op: opNeg, Dst: home(d-1, bytecode.KInt), A: home(d-1, bytecode.KInt)})
+
+		case bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV:
+			op := map[bytecode.Opcode]irOp{
+				bytecode.FADD: opFAdd, bytecode.FSUB: opFSub,
+				bytecode.FMUL: opFMul, bytecode.FDIV: opFDiv,
+			}[in.Op]
+			a, b := home(d-2, bytecode.KFloat), home(d-1, bytecode.KFloat)
+			emit(irInstr{Op: op, Dst: home(d-2, bytecode.KFloat), A: a, B: b})
+		case bytecode.FNEG:
+			emit(irInstr{Op: opFNeg, Dst: home(d-1, bytecode.KFloat), A: home(d-1, bytecode.KFloat)})
+
+		case bytecode.I2F:
+			emit(irInstr{Op: opCvtIF, Dst: home(d-1, bytecode.KFloat), A: home(d-1, bytecode.KInt)})
+		case bytecode.F2I:
+			emit(irInstr{Op: opCvtFI, Dst: home(d-1, bytecode.KInt), A: home(d-1, bytecode.KFloat)})
+
+		case bytecode.GOTO:
+			emit(irInstr{Op: opJmp, Aux: int32(fr.blockAt[int(in.A)].id)})
+			terminated = true
+
+		case bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT, bytecode.IFGE, bytecode.IFGT, bytecode.IFLE:
+			cc := map[bytecode.Opcode]cond{
+				bytecode.IFEQ: ceq, bytecode.IFNE: cne, bytecode.IFLT: clt,
+				bytecode.IFGE: cge, bytecode.IFGT: cgt, bytecode.IFLE: cle,
+			}[in.Op]
+			z := f.newVreg(bytecode.KInt)
+			emit(irInstr{Op: opConstI, Dst: z, Imm: 0})
+			emit(irInstr{Op: opBr, Cond: cc, A: home(d-1, bytecode.KInt), B: z,
+				Aux: int32(fr.blockAt[int(in.A)].id), Aux2: int32(fr.blockAt[pc+1].id)})
+			terminated = true
+
+		case bytecode.IFICMPEQ, bytecode.IFICMPNE, bytecode.IFICMPLT,
+			bytecode.IFICMPGE, bytecode.IFICMPGT, bytecode.IFICMPLE:
+			cc := map[bytecode.Opcode]cond{
+				bytecode.IFICMPEQ: ceq, bytecode.IFICMPNE: cne, bytecode.IFICMPLT: clt,
+				bytecode.IFICMPGE: cge, bytecode.IFICMPGT: cgt, bytecode.IFICMPLE: cle,
+			}[in.Op]
+			emit(irInstr{Op: opBr, Cond: cc,
+				A: home(d-2, bytecode.KInt), B: home(d-1, bytecode.KInt),
+				Aux: int32(fr.blockAt[int(in.A)].id), Aux2: int32(fr.blockAt[pc+1].id)})
+			terminated = true
+
+		case bytecode.IFFCMPEQ, bytecode.IFFCMPNE, bytecode.IFFCMPLT, bytecode.IFFCMPGE:
+			cc := map[bytecode.Opcode]cond{
+				bytecode.IFFCMPEQ: feq, bytecode.IFFCMPNE: fne,
+				bytecode.IFFCMPLT: flt, bytecode.IFFCMPGE: fge,
+			}[in.Op]
+			emit(irInstr{Op: opBr, Cond: cc,
+				A: home(d-2, bytecode.KFloat), B: home(d-1, bytecode.KFloat),
+				Aux: int32(fr.blockAt[int(in.A)].id), Aux2: int32(fr.blockAt[pc+1].id)})
+			terminated = true
+
+		case bytecode.IFACMPEQ, bytecode.IFACMPNE:
+			cc := ceq
+			if in.Op == bytecode.IFACMPNE {
+				cc = cne
+			}
+			emit(irInstr{Op: opBr, Cond: cc,
+				A: home(d-2, bytecode.KRef), B: home(d-1, bytecode.KRef),
+				Aux: int32(fr.blockAt[int(in.A)].id), Aux2: int32(fr.blockAt[pc+1].id)})
+			terminated = true
+
+		case bytecode.IFNULL, bytecode.IFNONNULL:
+			cc := ceq
+			if in.Op == bytecode.IFNONNULL {
+				cc = cne
+			}
+			z := f.newVreg(bytecode.KRef)
+			emit(irInstr{Op: opConstI, Dst: z, Imm: 0})
+			emit(irInstr{Op: opBr, Cond: cc, A: home(d-1, bytecode.KRef), B: z,
+				Aux: int32(fr.blockAt[int(in.A)].id), Aux2: int32(fr.blockAt[pc+1].id)})
+			terminated = true
+
+		case bytecode.NEWARRAY:
+			emit(irInstr{Op: opNewArr, Dst: home(d-1, bytecode.KRef),
+				A: home(d-1, bytecode.KInt), Aux: in.A})
+		case bytecode.IALOAD, bytecode.AALOAD:
+			k := bytecode.KInt
+			if in.Op == bytecode.AALOAD {
+				k = bytecode.KRef
+			}
+			emit(irInstr{Op: opLoadEI, Dst: home(d-2, k),
+				A: home(d-2, bytecode.KRef), B: home(d-1, bytecode.KInt)})
+		case bytecode.FALOAD:
+			emit(irInstr{Op: opLoadEF, Dst: home(d-2, bytecode.KFloat),
+				A: home(d-2, bytecode.KRef), B: home(d-1, bytecode.KInt)})
+		case bytecode.IASTORE, bytecode.AASTORE:
+			k := bytecode.KInt
+			if in.Op == bytecode.AASTORE {
+				k = bytecode.KRef
+			}
+			emit(irInstr{Op: opStoreEI,
+				A: home(d-3, bytecode.KRef), B: home(d-2, bytecode.KInt),
+				Args: []vreg{home(d-1, k)}})
+		case bytecode.FASTORE:
+			emit(irInstr{Op: opStoreEF,
+				A: home(d-3, bytecode.KRef), B: home(d-2, bytecode.KInt),
+				Args: []vreg{home(d-1, bytecode.KFloat)}})
+		case bytecode.ARRAYLENGTH:
+			emit(irInstr{Op: opArrLen, Dst: home(d-1, bytecode.KInt), A: home(d-1, bytecode.KRef)})
+
+		case bytecode.NEW:
+			emit(irInstr{Op: opNewObj, Dst: home(d, bytecode.KRef), Aux: in.A})
+		case bytecode.GETFI:
+			emit(irInstr{Op: opLoadFI, Dst: home(d-1, bytecode.KInt), A: home(d-1, bytecode.KRef), Aux: in.A})
+		case bytecode.GETFA:
+			emit(irInstr{Op: opLoadFI, Dst: home(d-1, bytecode.KRef), A: home(d-1, bytecode.KRef), Aux: in.A})
+		case bytecode.GETFF:
+			emit(irInstr{Op: opLoadFF, Dst: home(d-1, bytecode.KFloat), A: home(d-1, bytecode.KRef), Aux: in.A})
+		case bytecode.PUTFI, bytecode.PUTFA:
+			k := bytecode.KInt
+			if in.Op == bytecode.PUTFA {
+				k = bytecode.KRef
+			}
+			emit(irInstr{Op: opStoreFI, A: home(d-2, bytecode.KRef), B: home(d-1, k), Aux: in.A})
+		case bytecode.PUTFF:
+			emit(irInstr{Op: opStoreFF, A: home(d-2, bytecode.KRef), B: home(d-1, bytecode.KFloat), Aux: in.A})
+
+		case bytecode.INVOKESTATIC, bytecode.INVOKEVIRTUAL:
+			callee := f.prog.Method(int(in.A))
+			if callee == nil {
+				return nil, fmt.Errorf("%w: %s: bad method id %d", ErrCompile, m.QName(), in.A)
+			}
+			n := callee.NumArgs()
+			kinds := callee.ArgKinds()
+			args := make([]vreg, n)
+			for i := 0; i < n; i++ {
+				args[i] = home(d-n+i, kinds[i])
+			}
+			if bd.shouldInline(in.Op, callee) {
+				// Guard: an inlined instance method must still fault on
+				// a null receiver.
+				if !callee.Static {
+					emit(irInstr{Op: opNullCheck, A: args[0]})
+				}
+				var retV vreg = noReg
+				if callee.Ret.Kind != bytecode.KVoid {
+					retV = f.newVreg(callee.Ret.Kind)
+				}
+				contB := f.newBlock()
+				bd.inlineStack = append(bd.inlineStack, callee)
+				entry, err := bd.buildFrame(callee, args, retV, contB.id)
+				bd.inlineStack = bd.inlineStack[:len(bd.inlineStack)-1]
+				if err != nil {
+					return nil, err
+				}
+				f.inlinedCalls++
+				f.inlinedBytecode += len(callee.Code)
+				emit(irInstr{Op: opJmp, Aux: int32(entry.id)})
+				cur = contB
+				emit = func(in irInstr) { cur.instrs = append(cur.instrs, in) }
+				if retV != noReg {
+					emit(irInstr{Op: movOp(callee.Ret.Kind), Dst: home(d-n, callee.Ret.Kind), A: retV})
+				}
+			} else {
+				var dst vreg = noReg
+				if callee.Ret.Kind != bytecode.KVoid {
+					dst = home(d-n, callee.Ret.Kind)
+				}
+				emit(irInstr{Op: opCall, Dst: dst, Aux: in.A, Args: args})
+			}
+
+		case bytecode.RETURN:
+			if fr.retBlock >= 0 {
+				emit(irInstr{Op: opJmp, Aux: int32(fr.retBlock)})
+			} else {
+				emit(irInstr{Op: opRet, A: noReg})
+			}
+			terminated = true
+		case bytecode.IRETURN, bytecode.FRETURN, bytecode.ARETURN:
+			k := kindAt(0)
+			v := home(d-1, k)
+			if fr.retBlock >= 0 {
+				emit(irInstr{Op: movOp(k), Dst: fr.retV, A: v})
+				emit(irInstr{Op: opJmp, Aux: int32(fr.retBlock)})
+			} else {
+				emit(irInstr{Op: opRet, A: v})
+			}
+			terminated = true
+
+		default:
+			return nil, fmt.Errorf("%w: %s: unhandled opcode %s", ErrCompile, m.QName(), in.Op.Name())
+		}
+
+		// Fall-through into the next leader.
+		if !terminated {
+			if b, isLeader := fr.blockAt[pc+1]; isLeader {
+				emit(irInstr{Op: opJmp, Aux: int32(b.id)})
+				cur = b
+				terminated = false
+			}
+		}
+	}
+	if !terminated {
+		return nil, fmt.Errorf("%w: %s: code falls off the end", ErrCompile, m.QName())
+	}
+	// Give any unreachable leader blocks a terminator so later passes
+	// see a well-formed CFG.
+	for _, b := range fr.blockAt {
+		if len(b.instrs) == 0 {
+			b.instrs = append(b.instrs, irInstr{Op: opTrap, Aux: isa.TrapUnreachable})
+		}
+	}
+	return fr.blockAt[0], nil
+}
+
+// shouldInline decides whether a call site is inlined at Level3.
+func (bd *builder) shouldInline(op bytecode.Opcode, callee *bytecode.Method) bool {
+	if bd.level < Level3 {
+		return false
+	}
+	if callee.Potential {
+		// Potential methods must stay out-of-line so the offloading
+		// hook can intercept them.
+		return false
+	}
+	if len(callee.Code) == 0 || len(callee.Code) > inlineMaxBytecodes {
+		return false
+	}
+	if op == bytecode.INVOKEVIRTUAL && callee.Overridden {
+		// Polymorphic site: leave the dynamic dispatch in place.
+		return false
+	}
+	if len(bd.inlineStack) >= inlineMaxDepth {
+		return false
+	}
+	if callee == bd.f.method {
+		return false
+	}
+	for _, m := range bd.inlineStack {
+		if m == callee {
+			return false
+		}
+	}
+	return true
+}

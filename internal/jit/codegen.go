@@ -1,0 +1,382 @@
+package jit
+
+import (
+	"fmt"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/isa"
+)
+
+// codegen lowers allocated IR to native isa code.
+type codegen struct {
+	f     *fn
+	alloc *allocation
+	out   []isa.Instr
+
+	blockStart []int
+	fixups     []fixup
+}
+
+type fixup struct {
+	instr int // index into out
+	block int // target block id
+}
+
+func (cg *codegen) emit(in isa.Instr) int {
+	cg.out = append(cg.out, in)
+	return len(cg.out) - 1
+}
+
+func (cg *codegen) loc(r vreg) loc { return cg.alloc.locs[r] }
+
+// srcInt materializes an int/ref operand into a register, using the
+// given scratch when spilled, and returns the register number.
+func (cg *codegen) srcInt(r vreg, scratch uint8) uint8 {
+	l := cg.loc(r)
+	if l.inReg() {
+		return uint8(l.reg)
+	}
+	cg.emit(isa.Instr{Op: isa.LDSP, Rd: scratch, Imm: int64(l.spill)})
+	return scratch
+}
+
+func (cg *codegen) srcFloat(r vreg, scratch uint8) uint8 {
+	l := cg.loc(r)
+	if l.inReg() {
+		return uint8(l.reg)
+	}
+	cg.emit(isa.Instr{Op: isa.LDSPF, Rd: scratch, Imm: int64(l.spill)})
+	return scratch
+}
+
+// dstInt returns the register to compute an int/ref result into and a
+// flush function that stores it if the destination is spilled.
+func (cg *codegen) dstInt(r vreg) (uint8, func()) {
+	l := cg.loc(r)
+	if l.inReg() {
+		return uint8(l.reg), func() {}
+	}
+	return scratchInt0, func() {
+		cg.emit(isa.Instr{Op: isa.STSP, Ra: scratchInt0, Imm: int64(l.spill)})
+	}
+}
+
+func (cg *codegen) dstFloat(r vreg) (uint8, func()) {
+	l := cg.loc(r)
+	if l.inReg() {
+		return uint8(l.reg), func() {}
+	}
+	return scratchFloat0, func() {
+		cg.emit(isa.Instr{Op: isa.STSPF, Ra: scratchFloat0, Imm: int64(l.spill)})
+	}
+}
+
+var condToBranch = map[cond]isa.Op{
+	ceq: isa.BEQ, cne: isa.BNE, clt: isa.BLT, cge: isa.BGE, cgt: isa.BGT, cle: isa.BLE,
+	feq: isa.FBEQ, fne: isa.FBNE, flt: isa.FBLT, fge: isa.FBGE,
+}
+
+var binToNative = map[irOp]isa.Op{
+	opAdd: isa.ADD, opSub: isa.SUB, opMul: isa.MUL, opDiv: isa.DIV, opRem: isa.REM,
+	opAnd: isa.AND, opOr: isa.OR, opXor: isa.XOR, opShl: isa.SHL, opShr: isa.SHR,
+	opFAdd: isa.FADD, opFSub: isa.FSUB, opFMul: isa.FMUL, opFDiv: isa.FDIV,
+}
+
+var immToNative = map[irOp]isa.Op{
+	opAddImm: isa.ADDI, opMulImm: isa.MULI, opShlImm: isa.SHLI,
+	opShrImm: isa.SHRI, opAndImm: isa.ANDI,
+}
+
+// generate lowers the whole function.
+func (cg *codegen) generate() error {
+	f := cg.f
+	cg.blockStart = make([]int, len(f.blocks))
+
+	// Prologue: move ABI argument registers into allocated homes.
+	ir, fr := isa.ABIArgBase, isa.ABIArgBase
+	for i := 0; i < f.nargs; i++ {
+		k := f.kinds[i]
+		l := cg.loc(vreg(i))
+		if k == bytecode.KFloat {
+			src := uint8(fr)
+			fr++
+			switch {
+			case l.inReg():
+				cg.emit(isa.Instr{Op: isa.FMOV, Rd: uint8(l.reg), Ra: src})
+			case l.spill >= 0:
+				cg.emit(isa.Instr{Op: isa.STSPF, Ra: src, Imm: int64(l.spill)})
+			}
+		} else {
+			src := uint8(ir)
+			ir++
+			switch {
+			case l.inReg():
+				cg.emit(isa.Instr{Op: isa.MOV, Rd: uint8(l.reg), Ra: src})
+			case l.spill >= 0:
+				cg.emit(isa.Instr{Op: isa.STSP, Ra: src, Imm: int64(l.spill)})
+			}
+		}
+	}
+
+	for bi, b := range f.blocks {
+		cg.blockStart[bi] = len(cg.out)
+		for ii := range b.instrs {
+			if err := cg.lower(&b.instrs[ii], bi, ii == len(b.instrs)-1); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Patch branch targets.
+	for _, fx := range cg.fixups {
+		cg.out[fx.instr].Imm = int64(cg.blockStart[fx.block])
+	}
+	return nil
+}
+
+// jumpTo emits a jump to block target unless it is the fall-through.
+func (cg *codegen) jumpTo(target, curBlock int) {
+	if target == curBlock+1 {
+		return // falls through in layout order
+	}
+	idx := cg.emit(isa.Instr{Op: isa.JMP})
+	cg.fixups = append(cg.fixups, fixup{idx, target})
+}
+
+func (cg *codegen) lower(in *irInstr, curBlock int, isLast bool) error {
+	switch in.Op {
+	case opNop:
+
+	case opConstI:
+		rd, flush := cg.dstInt(in.Dst)
+		cg.emit(isa.Instr{Op: isa.LDI, Rd: rd, Imm: in.Imm})
+		flush()
+	case opConstF:
+		fd, flush := cg.dstFloat(in.Dst)
+		cg.emit(isa.Instr{Op: isa.FLDI, Rd: fd, FImm: in.FImm})
+		flush()
+
+	case opMov:
+		ls, ld := cg.loc(in.A), cg.loc(in.Dst)
+		switch {
+		case ls.inReg() && ld.inReg():
+			if ls.reg != ld.reg {
+				cg.emit(isa.Instr{Op: isa.MOV, Rd: uint8(ld.reg), Ra: uint8(ls.reg)})
+			}
+		case ls.inReg():
+			cg.emit(isa.Instr{Op: isa.STSP, Ra: uint8(ls.reg), Imm: int64(ld.spill)})
+		case ld.inReg():
+			cg.emit(isa.Instr{Op: isa.LDSP, Rd: uint8(ld.reg), Imm: int64(ls.spill)})
+		default:
+			cg.emit(isa.Instr{Op: isa.LDSP, Rd: scratchInt0, Imm: int64(ls.spill)})
+			cg.emit(isa.Instr{Op: isa.STSP, Ra: scratchInt0, Imm: int64(ld.spill)})
+		}
+	case opMovF:
+		ls, ld := cg.loc(in.A), cg.loc(in.Dst)
+		switch {
+		case ls.inReg() && ld.inReg():
+			if ls.reg != ld.reg {
+				cg.emit(isa.Instr{Op: isa.FMOV, Rd: uint8(ld.reg), Ra: uint8(ls.reg)})
+			}
+		case ls.inReg():
+			cg.emit(isa.Instr{Op: isa.STSPF, Ra: uint8(ls.reg), Imm: int64(ld.spill)})
+		case ld.inReg():
+			cg.emit(isa.Instr{Op: isa.LDSPF, Rd: uint8(ld.reg), Imm: int64(ls.spill)})
+		default:
+			cg.emit(isa.Instr{Op: isa.LDSPF, Rd: scratchFloat0, Imm: int64(ls.spill)})
+			cg.emit(isa.Instr{Op: isa.STSPF, Ra: scratchFloat0, Imm: int64(ld.spill)})
+		}
+
+	case opAdd, opSub, opMul, opDiv, opRem, opAnd, opOr, opXor, opShl, opShr:
+		ra := cg.srcInt(in.A, scratchInt0)
+		rb := cg.srcInt(in.B, scratchInt1)
+		rd, flush := cg.dstInt(in.Dst)
+		cg.emit(isa.Instr{Op: binToNative[in.Op], Rd: rd, Ra: ra, Rb: rb})
+		flush()
+
+	case opAddImm, opMulImm, opShlImm, opShrImm, opAndImm:
+		ra := cg.srcInt(in.A, scratchInt0)
+		rd, flush := cg.dstInt(in.Dst)
+		cg.emit(isa.Instr{Op: immToNative[in.Op], Rd: rd, Ra: ra, Imm: in.Imm})
+		flush()
+
+	case opNeg:
+		ra := cg.srcInt(in.A, scratchInt0)
+		rd, flush := cg.dstInt(in.Dst)
+		cg.emit(isa.Instr{Op: isa.NEG, Rd: rd, Ra: ra})
+		flush()
+
+	case opFAdd, opFSub, opFMul, opFDiv:
+		fa := cg.srcFloat(in.A, scratchFloat0)
+		fb := cg.srcFloat(in.B, scratchFloat1)
+		fd, flush := cg.dstFloat(in.Dst)
+		cg.emit(isa.Instr{Op: binToNative[in.Op], Rd: fd, Ra: fa, Rb: fb})
+		flush()
+	case opFNeg:
+		fa := cg.srcFloat(in.A, scratchFloat0)
+		fd, flush := cg.dstFloat(in.Dst)
+		cg.emit(isa.Instr{Op: isa.FNEG, Rd: fd, Ra: fa})
+		flush()
+
+	case opCvtIF:
+		ra := cg.srcInt(in.A, scratchInt0)
+		fd, flush := cg.dstFloat(in.Dst)
+		cg.emit(isa.Instr{Op: isa.CVTIF, Rd: fd, Ra: ra})
+		flush()
+	case opCvtFI:
+		fa := cg.srcFloat(in.A, scratchFloat0)
+		rd, flush := cg.dstInt(in.Dst)
+		cg.emit(isa.Instr{Op: isa.CVTFI, Rd: rd, Ra: fa})
+		flush()
+
+	case opLoadFI:
+		ra := cg.srcInt(in.A, scratchInt0)
+		rd, flush := cg.dstInt(in.Dst)
+		cg.emit(isa.Instr{Op: isa.LDF, Rd: rd, Ra: ra, Imm: int64(in.Aux)})
+		flush()
+	case opLoadFF:
+		ra := cg.srcInt(in.A, scratchInt0)
+		fd, flush := cg.dstFloat(in.Dst)
+		cg.emit(isa.Instr{Op: isa.LDFF, Rd: fd, Ra: ra, Imm: int64(in.Aux)})
+		flush()
+	case opStoreFI:
+		ra := cg.srcInt(in.A, scratchInt0)
+		rb := cg.srcInt(in.B, scratchInt1)
+		cg.emit(isa.Instr{Op: isa.STF, Ra: ra, Rb: rb, Imm: int64(in.Aux)})
+	case opStoreFF:
+		ra := cg.srcInt(in.A, scratchInt0)
+		fb := cg.srcFloat(in.B, scratchFloat0)
+		cg.emit(isa.Instr{Op: isa.STFF, Ra: ra, Rb: fb, Imm: int64(in.Aux)})
+
+	case opLoadEI:
+		ra := cg.srcInt(in.A, scratchInt0)
+		rb := cg.srcInt(in.B, scratchInt1)
+		rd, flush := cg.dstInt(in.Dst)
+		cg.emit(isa.Instr{Op: isa.LDE, Rd: rd, Ra: ra, Rb: rb})
+		flush()
+	case opLoadEF:
+		ra := cg.srcInt(in.A, scratchInt0)
+		rb := cg.srcInt(in.B, scratchInt1)
+		fd, flush := cg.dstFloat(in.Dst)
+		cg.emit(isa.Instr{Op: isa.LDEF, Rd: fd, Ra: ra, Rb: rb})
+		flush()
+	case opStoreEI:
+		// Value register is in Rd for STE; a third scratch avoids any
+		// conflict when array, index and value are all spilled.
+		ra := cg.srcInt(in.A, scratchInt0)
+		rb := cg.srcInt(in.B, scratchInt1)
+		rv := cg.srcInt(in.Args[0], scratchInt2)
+		cg.emit(isa.Instr{Op: isa.STE, Rd: rv, Ra: ra, Rb: rb})
+	case opStoreEF:
+		ra := cg.srcInt(in.A, scratchInt0)
+		rb := cg.srcInt(in.B, scratchInt1)
+		fv := cg.srcFloat(in.Args[0], scratchFloat0)
+		cg.emit(isa.Instr{Op: isa.STEF, Rd: fv, Ra: ra, Rb: rb})
+
+	case opArrLen:
+		ra := cg.srcInt(in.A, scratchInt0)
+		rd, flush := cg.dstInt(in.Dst)
+		cg.emit(isa.Instr{Op: isa.ARRLEN, Rd: rd, Ra: ra})
+		flush()
+	case opNewArr:
+		ra := cg.srcInt(in.A, scratchInt0)
+		rd, flush := cg.dstInt(in.Dst)
+		cg.emit(isa.Instr{Op: isa.NEWARR, Rd: rd, Ra: ra, Imm: int64(in.Aux)})
+		flush()
+	case opNewObj:
+		rd, flush := cg.dstInt(in.Dst)
+		cg.emit(isa.Instr{Op: isa.NEWOBJ, Rd: rd, Imm: int64(in.Aux)})
+		flush()
+
+	case opNullCheck:
+		ra := cg.srcInt(in.A, scratchInt0)
+		// Skip over the trap when the reference is non-null.
+		skip := cg.emit(isa.Instr{Op: isa.BNE, Ra: ra, Rb: 0})
+		cg.emit(isa.Instr{Op: isa.TRAP, Imm: isa.TrapNull})
+		cg.out[skip].Imm = int64(len(cg.out))
+
+	case opCall:
+		callee := cg.f.prog.Method(int(in.Aux))
+		if callee == nil {
+			return fmt.Errorf("%w: bad callee id %d", ErrCompile, in.Aux)
+		}
+		ir, fr := isa.ABIArgBase, isa.ABIArgBase
+		for i, k := range callee.ArgKinds() {
+			a := in.Args[i]
+			l := cg.loc(a)
+			if k == bytecode.KFloat {
+				if l.inReg() {
+					cg.emit(isa.Instr{Op: isa.FMOV, Rd: uint8(fr), Ra: uint8(l.reg)})
+				} else {
+					cg.emit(isa.Instr{Op: isa.LDSPF, Rd: uint8(fr), Imm: int64(l.spill)})
+				}
+				fr++
+			} else {
+				if l.inReg() {
+					cg.emit(isa.Instr{Op: isa.MOV, Rd: uint8(ir), Ra: uint8(l.reg)})
+				} else {
+					cg.emit(isa.Instr{Op: isa.LDSP, Rd: uint8(ir), Imm: int64(l.spill)})
+				}
+				ir++
+			}
+		}
+		cg.emit(isa.Instr{Op: isa.CALLVM, Imm: int64(in.Aux)})
+		if in.Dst != noReg {
+			if callee.Ret.Kind == bytecode.KFloat {
+				l := cg.loc(in.Dst)
+				if l.inReg() {
+					cg.emit(isa.Instr{Op: isa.FMOV, Rd: uint8(l.reg), Ra: isa.ABIArgBase})
+				} else if l.spill >= 0 {
+					cg.emit(isa.Instr{Op: isa.STSPF, Ra: isa.ABIArgBase, Imm: int64(l.spill)})
+				}
+			} else {
+				l := cg.loc(in.Dst)
+				if l.inReg() {
+					cg.emit(isa.Instr{Op: isa.MOV, Rd: uint8(l.reg), Ra: isa.ABIArgBase})
+				} else if l.spill >= 0 {
+					cg.emit(isa.Instr{Op: isa.STSP, Ra: isa.ABIArgBase, Imm: int64(l.spill)})
+				}
+			}
+		}
+
+	case opRet:
+		if in.A != noReg {
+			if cg.f.kinds[in.A] == bytecode.KFloat {
+				fa := cg.srcFloat(in.A, scratchFloat0)
+				if fa != isa.ABIArgBase {
+					cg.emit(isa.Instr{Op: isa.FMOV, Rd: isa.ABIArgBase, Ra: fa})
+				}
+			} else {
+				ra := cg.srcInt(in.A, scratchInt0)
+				if ra != isa.ABIArgBase {
+					cg.emit(isa.Instr{Op: isa.MOV, Rd: isa.ABIArgBase, Ra: ra})
+				}
+			}
+		}
+		cg.emit(isa.Instr{Op: isa.RET})
+
+	case opJmp:
+		_ = isLast
+		cg.jumpTo(int(in.Aux), curBlock)
+
+	case opBr:
+		ra, rb := uint8(0), uint8(0)
+		if cg.f.kinds[in.A] == bytecode.KFloat {
+			ra = cg.srcFloat(in.A, scratchFloat0)
+			rb = cg.srcFloat(in.B, scratchFloat1)
+		} else {
+			ra = cg.srcInt(in.A, scratchInt0)
+			rb = cg.srcInt(in.B, scratchInt1)
+		}
+		idx := cg.emit(isa.Instr{Op: condToBranch[in.Cond], Ra: ra, Rb: rb})
+		cg.fixups = append(cg.fixups, fixup{idx, int(in.Aux)})
+		cg.jumpTo(int(in.Aux2), curBlock)
+
+	case opTrap:
+		cg.emit(isa.Instr{Op: isa.TRAP, Imm: int64(in.Aux)})
+
+	default:
+		return fmt.Errorf("%w: unhandled IR op %d", ErrCompile, in.Op)
+	}
+	return nil
+}

@@ -1,0 +1,454 @@
+// Package jit is the MJVM just-in-time compiler. It translates stack
+// bytecode into a three-address intermediate representation over
+// virtual registers, optionally optimizes it, allocates physical
+// registers by linear scan, and emits native isa code.
+//
+// Three optimization levels mirror the paper (§3, Fig 5):
+//
+//	Level1 — direct translation, no optimization.
+//	Level2 — local value numbering (common sub-expression elimination,
+//	         constant folding, copy propagation), loop-invariant code
+//	         motion, strength reduction, and dead-code elimination
+//	         ("redundancy elimination").
+//	Level3 — Level2 plus method inlining, including virtual method
+//	         inlining of calls whose statically resolved target is
+//	         never overridden (closed-world devirtualization).
+//
+// Compilation itself has an energy cost; see cost.go.
+package jit
+
+import (
+	"errors"
+	"fmt"
+
+	"greenvm/internal/bytecode"
+)
+
+// Level selects the optimization level.
+type Level int
+
+// Optimization levels. The zero value is invalid so that forgetting to
+// choose a level is caught early.
+const (
+	Level1 Level = 1 + iota
+	Level2
+	Level3
+)
+
+// String returns the paper's name for the level.
+func (l Level) String() string {
+	switch l {
+	case Level1:
+		return "L1"
+	case Level2:
+		return "L2"
+	case Level3:
+		return "L3"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ErrCompile reports a method the JIT cannot compile.
+var ErrCompile = errors.New("jit: compile error")
+
+// vreg is a virtual register index into fn.kinds.
+type vreg int32
+
+const noReg vreg = -1
+
+// irOp is an IR operation.
+type irOp uint8
+
+const (
+	opNop irOp = iota
+	opConstI
+	opConstF
+	opMov  // int/ref move
+	opMovF // float move
+
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opRem
+	opAnd
+	opOr
+	opXor
+	opShl
+	opShr
+	opNeg
+
+	opFAdd
+	opFSub
+	opFMul
+	opFDiv
+	opFNeg
+
+	opCvtIF
+	opCvtFI
+
+	opLoadFI  // dst = a.field[aux]   (int/ref)
+	opLoadFF  // float field
+	opStoreFI // a.field[aux] = b
+	opStoreFF
+	opLoadEI // dst = a[b] (int/ref array)
+	opLoadEF
+	opStoreEI // a[b] = c (c in args[0])
+	opStoreEF
+	opArrLen
+	opNewArr // dst = new [a]; aux = elem kind
+	opNewObj // dst = new class aux
+
+	opNullCheck // trap if a == null (guard for inlined instance methods)
+
+	opCall // dst = call method aux(args...)
+	opRet  // return a (or void when a == noReg)
+
+	opJmp  // unconditional to block aux
+	opBr   // conditional: cond(a, b) -> block aux, else fall to block aux2
+	opTrap // runtime error aux (isa trap code)
+)
+
+// cond codes for opBr.
+type cond uint8
+
+const (
+	ceq cond = iota
+	cne
+	clt
+	cge
+	cgt
+	cle
+	feq
+	fne
+	flt
+	fge
+)
+
+// negate returns the condition testing the opposite outcome.
+func (c cond) negate() cond {
+	switch c {
+	case ceq:
+		return cne
+	case cne:
+		return ceq
+	case clt:
+		return cge
+	case cge:
+		return clt
+	case cgt:
+		return cle
+	case cle:
+		return cgt
+	case feq:
+		return fne
+	case fne:
+		return feq
+	case flt:
+		return fge
+	default: // fge
+		return flt
+	}
+}
+
+// irInstr is one IR instruction.
+type irInstr struct {
+	Op   irOp
+	Dst  vreg
+	A, B vreg
+	Imm  int64
+	FImm float64
+	Aux  int32  // field slot / class id / method id / elem kind / block id / trap code
+	Aux2 int32  // fall-through block for opBr
+	Cond cond   // for opBr
+	Args []vreg // for opCall and opStoreE*
+}
+
+// pure reports whether the instruction has no side effects and its
+// result depends only on its operands — eligible for CSE, LICM, DCE.
+func (in *irInstr) pure() bool {
+	switch in.Op {
+	case opConstI, opConstF, opMov, opMovF,
+		opAdd, opSub, opMul, opAnd, opOr, opXor, opShl, opShr, opNeg,
+		opFAdd, opFSub, opFMul, opFDiv, opFNeg, opCvtIF, opCvtFI,
+		opAddImm, opMulImm, opShlImm, opShrImm, opAndImm:
+		return true
+	// opDiv/opRem can fault (divide by zero); loads can fault and
+	// observe stores; calls and stores have effects.
+	default:
+		return false
+	}
+}
+
+// block is a basic block.
+type block struct {
+	id     int
+	instrs []irInstr
+	succs  []int
+	preds  []int
+}
+
+// fn is a function under compilation.
+type fn struct {
+	prog   *bytecode.Program
+	method *bytecode.Method
+	blocks []*block
+	// kinds records the value kind of every vreg.
+	kinds []bytecode.Kind
+	// nargs vregs 0..nargs-1 are the arguments in order.
+	nargs int
+	// trapNull is the block id of the shared null-trap block, or -1.
+	trapNull int
+
+	// stats accumulated during construction.
+	inlinedCalls    int
+	inlinedBytecode int
+}
+
+func (f *fn) newVreg(k bytecode.Kind) vreg {
+	f.kinds = append(f.kinds, k)
+	return vreg(len(f.kinds) - 1)
+}
+
+func (f *fn) newBlock() *block {
+	b := &block{id: len(f.blocks)}
+	f.blocks = append(f.blocks, b)
+	return b
+}
+
+func (f *fn) numIR() int {
+	n := 0
+	for _, b := range f.blocks {
+		n += len(b.instrs)
+	}
+	return n
+}
+
+// computeCFGEdges fills succs/preds from terminators.
+func (f *fn) computeCFGEdges() {
+	for _, b := range f.blocks {
+		b.succs = b.succs[:0]
+		b.preds = b.preds[:0]
+	}
+	for _, b := range f.blocks {
+		if len(b.instrs) == 0 {
+			continue
+		}
+		last := &b.instrs[len(b.instrs)-1]
+		switch last.Op {
+		case opJmp:
+			b.succs = append(b.succs, int(last.Aux))
+		case opBr:
+			b.succs = append(b.succs, int(last.Aux), int(last.Aux2))
+		case opRet, opTrap:
+		}
+	}
+	for _, b := range f.blocks {
+		for _, s := range b.succs {
+			f.blocks[s].preds = append(f.blocks[s].preds, b.id)
+		}
+	}
+}
+
+// stackMaps computes the operand-stack kinds before every bytecode, by
+// the same abstract interpretation the verifier performs, plus a
+// reachability mask (an empty stack is a valid state, so the map slice
+// alone cannot encode reachability). The method must already have
+// passed verification.
+func stackMaps(p *bytecode.Program, m *bytecode.Method) ([][]bytecode.Kind, []bool, error) {
+	maps := make([][]bytecode.Kind, len(m.Code))
+	seen := make([]bool, len(m.Code))
+	type item struct {
+		pc int
+		st []bytecode.Kind
+	}
+	work := []item{{0, nil}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, st := it.pc, it.st
+		for {
+			if pc < 0 || pc >= len(m.Code) {
+				return nil, nil, fmt.Errorf("%w: %s: pc %d out of range", ErrCompile, m.QName(), pc)
+			}
+			if seen[pc] {
+				break
+			}
+			seen[pc] = true
+			maps[pc] = append([]bytecode.Kind(nil), st...)
+			in := m.Code[pc]
+			var ok bool
+			st, ok = applyStackEffect(p, in, st)
+			if !ok {
+				return nil, nil, fmt.Errorf("%w: %s: stack underflow at %d (unverified code?)", ErrCompile, m.QName(), pc)
+			}
+			switch in.Op {
+			case bytecode.GOTO:
+				pc = int(in.A)
+				continue
+			case bytecode.RETURN, bytecode.IRETURN, bytecode.FRETURN, bytecode.ARETURN:
+			default:
+				if in.Op.IsBranch() {
+					work = append(work, item{int(in.A), append([]bytecode.Kind(nil), st...)})
+				}
+				pc++
+				continue
+			}
+			break
+		}
+	}
+	return maps, seen, nil
+}
+
+// applyStackEffect returns the stack after executing in; ok is false
+// on underflow (an empty result stack is valid, so nil cannot signal
+// failure).
+func applyStackEffect(p *bytecode.Program, in bytecode.Insn, st []bytecode.Kind) (out []bytecode.Kind, ok bool) {
+	pop := func(n int) bool {
+		if len(st) < n {
+			return false
+		}
+		st = st[:len(st)-n]
+		return true
+	}
+	push := func(k bytecode.Kind) { st = append(st, k) }
+
+	switch in.Op {
+	case bytecode.NOP:
+	case bytecode.ACONSTNULL:
+		push(bytecode.KRef)
+	case bytecode.ICONST:
+		push(bytecode.KInt)
+	case bytecode.FCONST:
+		push(bytecode.KFloat)
+	case bytecode.ILOAD:
+		push(bytecode.KInt)
+	case bytecode.FLOAD:
+		push(bytecode.KFloat)
+	case bytecode.ALOAD:
+		push(bytecode.KRef)
+	case bytecode.ISTORE, bytecode.FSTORE, bytecode.ASTORE, bytecode.POP:
+		if !pop(1) {
+			return nil, false
+		}
+	case bytecode.DUP:
+		if len(st) == 0 {
+			return nil, false
+		}
+		push(st[len(st)-1])
+	case bytecode.SWAP:
+		if len(st) < 2 {
+			return nil, false
+		}
+		st[len(st)-1], st[len(st)-2] = st[len(st)-2], st[len(st)-1]
+	case bytecode.IADD, bytecode.ISUB, bytecode.IMUL, bytecode.IDIV, bytecode.IREM,
+		bytecode.ISHL, bytecode.ISHR, bytecode.IAND, bytecode.IOR, bytecode.IXOR:
+		if !pop(2) {
+			return nil, false
+		}
+		push(bytecode.KInt)
+	case bytecode.INEG:
+		if !pop(1) {
+			return nil, false
+		}
+		push(bytecode.KInt)
+	case bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV:
+		if !pop(2) {
+			return nil, false
+		}
+		push(bytecode.KFloat)
+	case bytecode.FNEG:
+		if !pop(1) {
+			return nil, false
+		}
+		push(bytecode.KFloat)
+	case bytecode.I2F:
+		if !pop(1) {
+			return nil, false
+		}
+		push(bytecode.KFloat)
+	case bytecode.F2I:
+		if !pop(1) {
+			return nil, false
+		}
+		push(bytecode.KInt)
+	case bytecode.GOTO:
+	case bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT, bytecode.IFGE, bytecode.IFGT, bytecode.IFLE,
+		bytecode.IFNULL, bytecode.IFNONNULL:
+		if !pop(1) {
+			return nil, false
+		}
+	case bytecode.IFICMPEQ, bytecode.IFICMPNE, bytecode.IFICMPLT, bytecode.IFICMPGE,
+		bytecode.IFICMPGT, bytecode.IFICMPLE,
+		bytecode.IFFCMPEQ, bytecode.IFFCMPNE, bytecode.IFFCMPLT, bytecode.IFFCMPGE,
+		bytecode.IFACMPEQ, bytecode.IFACMPNE:
+		if !pop(2) {
+			return nil, false
+		}
+	case bytecode.NEWARRAY:
+		if !pop(1) {
+			return nil, false
+		}
+		push(bytecode.KRef)
+	case bytecode.IALOAD:
+		if !pop(2) {
+			return nil, false
+		}
+		push(bytecode.KInt)
+	case bytecode.FALOAD:
+		if !pop(2) {
+			return nil, false
+		}
+		push(bytecode.KFloat)
+	case bytecode.AALOAD:
+		if !pop(2) {
+			return nil, false
+		}
+		push(bytecode.KRef)
+	case bytecode.IASTORE, bytecode.FASTORE, bytecode.AASTORE:
+		if !pop(3) {
+			return nil, false
+		}
+	case bytecode.ARRAYLENGTH:
+		if !pop(1) {
+			return nil, false
+		}
+		push(bytecode.KInt)
+	case bytecode.NEW:
+		push(bytecode.KRef)
+	case bytecode.GETFI:
+		if !pop(1) {
+			return nil, false
+		}
+		push(bytecode.KInt)
+	case bytecode.GETFF:
+		if !pop(1) {
+			return nil, false
+		}
+		push(bytecode.KFloat)
+	case bytecode.GETFA:
+		if !pop(1) {
+			return nil, false
+		}
+		push(bytecode.KRef)
+	case bytecode.PUTFI, bytecode.PUTFF, bytecode.PUTFA:
+		if !pop(2) {
+			return nil, false
+		}
+	case bytecode.INVOKESTATIC, bytecode.INVOKEVIRTUAL:
+		callee := p.Method(int(in.A))
+		if callee == nil || !pop(callee.NumArgs()) {
+			return nil, false
+		}
+		if callee.Ret.Kind != bytecode.KVoid {
+			push(callee.Ret.Kind)
+		}
+	case bytecode.RETURN:
+	case bytecode.IRETURN, bytecode.FRETURN, bytecode.ARETURN:
+		if !pop(1) {
+			return nil, false
+		}
+	}
+	return st, true
+}

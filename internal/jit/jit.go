@@ -1,0 +1,81 @@
+package jit
+
+import (
+	"fmt"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/isa"
+)
+
+// Stats describes one compilation: how much work each phase did and
+// what came out. The compile-energy model (cost.go) and the ablation
+// benchmarks are driven by these numbers.
+type Stats struct {
+	Method string
+	Level  Level
+
+	Bytecodes        int // source bytecodes of the root method
+	InlinedCalls     int // call sites expanded at Level3
+	InlinedBytecodes int // bytecodes pulled in by inlining
+	IRBuilt          int // IR instructions after construction
+	IRAfterOpt       int // IR instructions after optimization
+	Blocks           int
+	Loops            int
+	NativeInstrs     int
+	FrameWords       int
+	Spills           int
+
+	Opt optStats
+}
+
+// CodeBytes is the size of the compiled body: what a client downloads
+// when it asks the server for the pre-compiled method.
+func (s *Stats) CodeBytes() int { return s.NativeInstrs * isa.BytesPerInstr }
+
+// Compile translates method m at the given optimization level and
+// returns the native body (with Base unset; the VM assigns it at
+// installation) plus compilation statistics.
+func Compile(prog *bytecode.Program, m *bytecode.Method, level Level) (*isa.Code, *Stats, error) {
+	if level < Level1 || level > Level3 {
+		return nil, nil, fmt.Errorf("%w: bad level %d", ErrCompile, level)
+	}
+	if len(m.Code) == 0 {
+		return nil, nil, fmt.Errorf("%w: %s has no body", ErrCompile, m.QName())
+	}
+	f, err := buildFn(prog, m, level)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{
+		Method:           m.QName(),
+		Level:            level,
+		Bytecodes:        len(m.Code),
+		InlinedCalls:     f.inlinedCalls,
+		InlinedBytecodes: f.inlinedBytecode,
+		IRBuilt:          f.numIR(),
+	}
+	if level >= Level2 {
+		st.Opt = optimize(f)
+	}
+	st.IRAfterOpt = f.numIR()
+	st.Blocks = len(f.blocks)
+	st.Loops = len(findLoops(f))
+
+	alloc := allocate(f)
+	st.Spills = alloc.spills
+	st.FrameWords = alloc.frameWords
+
+	cg := &codegen{f: f, alloc: alloc}
+	if err := cg.generate(); err != nil {
+		return nil, nil, err
+	}
+	st.NativeInstrs = len(cg.out)
+
+	code := &isa.Code{
+		Name:       fmt.Sprintf("%s@%s", m.QName(), level),
+		Instrs:     cg.out,
+		FrameWords: alloc.frameWords,
+		OptLevel:   int(level),
+	}
+	return code, st, nil
+}

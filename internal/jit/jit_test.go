@@ -1,0 +1,562 @@
+package jit
+
+import (
+	"fmt"
+	"testing"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+	"greenvm/internal/isa"
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// jitProgram builds a program exercising everything the JIT must
+// handle: loops, recursion, arrays, floats, field access, virtual
+// dispatch, and small helpers that Level3 should inline.
+func jitProgram(t testing.TB) *bytecode.Program {
+	t.Helper()
+	B := bytecode.NewAsm
+
+	sq := &bytecode.Method{Name: "sq", Static: true, Params: []bytecode.Type{bytecode.TInt}, Ret: bytecode.TInt, MaxLocals: 1}
+	sumSquares := &bytecode.Method{Name: "sumSquares", Static: true, Params: []bytecode.Type{bytecode.TInt}, Ret: bytecode.TInt, MaxLocals: 3}
+	fib := &bytecode.Method{Name: "fib", Static: true, Params: []bytecode.Type{bytecode.TInt}, Ret: bytecode.TInt, MaxLocals: 1}
+	fill := &bytecode.Method{Name: "fill", Static: true, Params: []bytecode.Type{bytecode.TInt}, Ret: bytecode.TInt, MaxLocals: 3}
+	dot := &bytecode.Method{Name: "dot", Static: true, Params: []bytecode.Type{bytecode.TInt}, Ret: bytecode.TFloat, MaxLocals: 5}
+	mulConst := &bytecode.Method{Name: "mulConst", Static: true, Params: []bytecode.Type{bytecode.TInt}, Ret: bytecode.TInt, MaxLocals: 1}
+	calc := &bytecode.Class{Name: "Calc", Methods: []*bytecode.Method{sq, sumSquares, fib, fill, dot, mulConst}}
+
+	area := &bytecode.Method{Name: "area", Ret: bytecode.TInt, MaxLocals: 1}
+	shape := &bytecode.Class{Name: "Shape", Methods: []*bytecode.Method{area}}
+	sqArea := &bytecode.Method{Name: "area", Ret: bytecode.TInt, MaxLocals: 1}
+	square := &bytecode.Class{Name: "Square", SuperName: "Shape",
+		Fields:  []bytecode.Field{{Name: "side", Type: bytecode.TInt}},
+		Methods: []*bytecode.Method{sqArea}}
+
+	// getSide is a non-overridden instance method: Level3 inlines it.
+	getSide := &bytecode.Method{Name: "getSide", Ret: bytecode.TInt, MaxLocals: 1}
+	square.Methods = append(square.Methods, getSide)
+
+	useShape := &bytecode.Method{Name: "useShape", Static: true,
+		Params: []bytecode.Type{bytecode.TObject("Square")}, Ret: bytecode.TInt, MaxLocals: 1}
+	driver := &bytecode.Class{Name: "Driver", Methods: []*bytecode.Method{useShape}}
+
+	p := &bytecode.Program{Classes: []*bytecode.Class{calc, shape, square, driver}}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+
+	sq.Code = B().
+		OpA(bytecode.ILOAD, 0).
+		OpA(bytecode.ILOAD, 0).
+		Op(bytecode.IMUL).
+		Op(bytecode.IRETURN).
+		MustFinish()
+
+	// sumSquares(n): s=0; for i=1..n: s += sq(i); return s
+	sumSquares.Code = B().
+		Iconst(0).
+		OpA(bytecode.ISTORE, 1).
+		Iconst(1).
+		OpA(bytecode.ISTORE, 2).
+		Label("loop").
+		OpA(bytecode.ILOAD, 2).
+		OpA(bytecode.ILOAD, 0).
+		Branch(bytecode.IFICMPGT, "done").
+		OpA(bytecode.ILOAD, 1).
+		OpA(bytecode.ILOAD, 2).
+		OpA(bytecode.INVOKESTATIC, int32(sq.ID)).
+		Op(bytecode.IADD).
+		OpA(bytecode.ISTORE, 1).
+		OpA(bytecode.ILOAD, 2).
+		Iconst(1).
+		Op(bytecode.IADD).
+		OpA(bytecode.ISTORE, 2).
+		Branch(bytecode.GOTO, "loop").
+		Label("done").
+		OpA(bytecode.ILOAD, 1).
+		Op(bytecode.IRETURN).
+		MustFinish()
+
+	fib.Code = B().
+		OpA(bytecode.ILOAD, 0).
+		Iconst(2).
+		Branch(bytecode.IFICMPGE, "rec").
+		OpA(bytecode.ILOAD, 0).
+		Op(bytecode.IRETURN).
+		Label("rec").
+		OpA(bytecode.ILOAD, 0).
+		Iconst(1).
+		Op(bytecode.ISUB).
+		OpA(bytecode.INVOKESTATIC, int32(fib.ID)).
+		OpA(bytecode.ILOAD, 0).
+		Iconst(2).
+		Op(bytecode.ISUB).
+		OpA(bytecode.INVOKESTATIC, int32(fib.ID)).
+		Op(bytecode.IADD).
+		Op(bytecode.IRETURN).
+		MustFinish()
+
+	// fill(n): a=new int[n]; for i: a[i]=i*3; return a[n-1]+a[0]
+	fill.Code = B().
+		OpA(bytecode.ILOAD, 0).
+		OpA(bytecode.NEWARRAY, int32(bytecode.ElemInt)).
+		OpA(bytecode.ASTORE, 1).
+		Iconst(0).
+		OpA(bytecode.ISTORE, 2).
+		Label("loop").
+		OpA(bytecode.ILOAD, 2).
+		OpA(bytecode.ILOAD, 0).
+		Branch(bytecode.IFICMPGE, "done").
+		OpA(bytecode.ALOAD, 1).
+		OpA(bytecode.ILOAD, 2).
+		OpA(bytecode.ILOAD, 2).
+		Iconst(3).
+		Op(bytecode.IMUL).
+		Op(bytecode.IASTORE).
+		OpA(bytecode.ILOAD, 2).
+		Iconst(1).
+		Op(bytecode.IADD).
+		OpA(bytecode.ISTORE, 2).
+		Branch(bytecode.GOTO, "loop").
+		Label("done").
+		OpA(bytecode.ALOAD, 1).
+		OpA(bytecode.ILOAD, 0).
+		Iconst(1).
+		Op(bytecode.ISUB).
+		Op(bytecode.IALOAD).
+		OpA(bytecode.ALOAD, 1).
+		Iconst(0).
+		Op(bytecode.IALOAD).
+		Op(bytecode.IADD).
+		Op(bytecode.IRETURN).
+		MustFinish()
+
+	// dot(n): two float arrays, s = sum a[i]*b[i]
+	dot.Code = B().
+		OpA(bytecode.ILOAD, 0).
+		OpA(bytecode.NEWARRAY, int32(bytecode.ElemFloat)).
+		OpA(bytecode.ASTORE, 1).
+		OpA(bytecode.ILOAD, 0).
+		OpA(bytecode.NEWARRAY, int32(bytecode.ElemFloat)).
+		OpA(bytecode.ASTORE, 2).
+		Fconst(0).
+		OpA(bytecode.FSTORE, 3).
+		Iconst(0).
+		OpA(bytecode.ISTORE, 4).
+		Label("init").
+		OpA(bytecode.ILOAD, 4).
+		OpA(bytecode.ILOAD, 0).
+		Branch(bytecode.IFICMPGE, "loop0").
+		OpA(bytecode.ALOAD, 1).
+		OpA(bytecode.ILOAD, 4).
+		OpA(bytecode.ILOAD, 4).
+		Op(bytecode.I2F).
+		Op(bytecode.FASTORE).
+		OpA(bytecode.ALOAD, 2).
+		OpA(bytecode.ILOAD, 4).
+		OpA(bytecode.ILOAD, 4).
+		Iconst(2).
+		Op(bytecode.IMUL).
+		Op(bytecode.I2F).
+		Op(bytecode.FASTORE).
+		OpA(bytecode.ILOAD, 4).
+		Iconst(1).
+		Op(bytecode.IADD).
+		OpA(bytecode.ISTORE, 4).
+		Branch(bytecode.GOTO, "init").
+		Label("loop0").
+		Iconst(0).
+		OpA(bytecode.ISTORE, 4).
+		Label("loop").
+		OpA(bytecode.ILOAD, 4).
+		OpA(bytecode.ILOAD, 0).
+		Branch(bytecode.IFICMPGE, "done").
+		OpA(bytecode.FLOAD, 3).
+		OpA(bytecode.ALOAD, 1).
+		OpA(bytecode.ILOAD, 4).
+		Op(bytecode.FALOAD).
+		OpA(bytecode.ALOAD, 2).
+		OpA(bytecode.ILOAD, 4).
+		Op(bytecode.FALOAD).
+		Op(bytecode.FMUL).
+		Op(bytecode.FADD).
+		OpA(bytecode.FSTORE, 3).
+		OpA(bytecode.ILOAD, 4).
+		Iconst(1).
+		Op(bytecode.IADD).
+		OpA(bytecode.ISTORE, 4).
+		Branch(bytecode.GOTO, "loop").
+		Label("done").
+		OpA(bytecode.FLOAD, 3).
+		Op(bytecode.FRETURN).
+		MustFinish()
+
+	// mulConst(x) = x*8 + x*5 - strength reduction fodder.
+	mulConst.Code = B().
+		OpA(bytecode.ILOAD, 0).
+		Iconst(8).
+		Op(bytecode.IMUL).
+		OpA(bytecode.ILOAD, 0).
+		Iconst(5).
+		Op(bytecode.IMUL).
+		Op(bytecode.IADD).
+		Op(bytecode.IRETURN).
+		MustFinish()
+
+	area.Code = B().Iconst(0).Op(bytecode.IRETURN).MustFinish()
+
+	sideSlot := int32(square.FieldSlot("side").Slot)
+	sqArea.Code = B().
+		OpA(bytecode.ALOAD, 0).
+		OpA(bytecode.GETFI, sideSlot).
+		OpA(bytecode.ALOAD, 0).
+		OpA(bytecode.GETFI, sideSlot).
+		Op(bytecode.IMUL).
+		Op(bytecode.IRETURN).
+		MustFinish()
+
+	getSide.Code = B().
+		OpA(bytecode.ALOAD, 0).
+		OpA(bytecode.GETFI, sideSlot).
+		Op(bytecode.IRETURN).
+		MustFinish()
+
+	// useShape(sq): sq.area() + sq.getSide()  — area is overridden
+	// somewhere (polymorphic), getSide is not (inlinable).
+	useShape.Code = B().
+		OpA(bytecode.ALOAD, 0).
+		OpA(bytecode.INVOKEVIRTUAL, int32(sqArea.ID)).
+		OpA(bytecode.ALOAD, 0).
+		OpA(bytecode.INVOKEVIRTUAL, int32(getSide.ID)).
+		Op(bytecode.IADD).
+		Op(bytecode.IRETURN).
+		MustFinish()
+
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// runMode executes Class.method with args, compiling every method at
+// the given level (0 = interpret everything), and returns the result
+// and the energy spent.
+func runMode(t testing.TB, p *bytecode.Program, class, method string, level Level, args []vm.Slot) (vm.Slot, energy.Joules) {
+	t.Helper()
+	v := vm.New(p, energy.MicroSPARCIIep())
+	if level != 0 {
+		bodies := map[*bytecode.Method]*isa.Code{}
+		for _, m := range p.Methods {
+			if len(m.Code) == 0 {
+				continue
+			}
+			code, _, err := Compile(p, m, level)
+			if err != nil {
+				t.Fatalf("compile %s at %v: %v", m.QName(), level, err)
+			}
+			bodies[m] = v.InstallCode(code)
+		}
+		v.Dispatch = vm.DispatchFunc(func(m *bytecode.Method) *isa.Code { return bodies[m] })
+	}
+	res, err := v.InvokeByName(class, method, args)
+	if err != nil {
+		t.Fatalf("%s.%s at level %v: %v", class, method, level, err)
+	}
+	return res, v.Acct.Total()
+}
+
+func TestNativeMatchesInterpreter(t *testing.T) {
+	p := jitProgram(t)
+	cases := []struct {
+		class, method string
+		args          []vm.Slot
+	}{
+		{"Calc", "sq", []vm.Slot{vm.IntSlot(-7)}},
+		{"Calc", "sumSquares", []vm.Slot{vm.IntSlot(30)}},
+		{"Calc", "fib", []vm.Slot{vm.IntSlot(12)}},
+		{"Calc", "fill", []vm.Slot{vm.IntSlot(17)}},
+		{"Calc", "mulConst", []vm.Slot{vm.IntSlot(123)}},
+		{"Calc", "dot", []vm.Slot{vm.IntSlot(25)}},
+	}
+	for _, c := range cases {
+		want, _ := runMode(t, p, c.class, c.method, 0, c.args)
+		for _, lv := range []Level{Level1, Level2, Level3} {
+			got, _ := runMode(t, p, c.class, c.method, lv, c.args)
+			if got != want {
+				t.Errorf("%s.%s at %v = %+v, want %+v", c.class, c.method, lv, got, want)
+			}
+		}
+	}
+}
+
+func TestVirtualDispatchCompiled(t *testing.T) {
+	p := jitProgram(t)
+	for _, lv := range []Level{0, Level1, Level2, Level3} {
+		v := vm.New(p, energy.MicroSPARCIIep())
+		if lv != 0 {
+			bodies := map[*bytecode.Method]*isa.Code{}
+			for _, m := range p.Methods {
+				code, _, err := Compile(p, m, lv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bodies[m] = v.InstallCode(code)
+			}
+			v.Dispatch = vm.DispatchFunc(func(m *bytecode.Method) *isa.Code { return bodies[m] })
+		}
+		sqc := p.Class("Square")
+		h, _ := v.Heap.NewObject(int32(sqc.ID))
+		if err := v.Heap.SetFieldI(h, sqc.FieldSlot("side").Slot, 9); err != nil {
+			t.Fatal(err)
+		}
+		res, err := v.InvokeByName("Driver", "useShape", []vm.Slot{vm.RefSlot(h)})
+		if err != nil {
+			t.Fatalf("level %v: %v", lv, err)
+		}
+		if res.I != 90 { // 81 + 9
+			t.Errorf("level %v: useShape = %d, want 90", lv, res.I)
+		}
+	}
+}
+
+func TestInlinedNullReceiverStillFaults(t *testing.T) {
+	p := jitProgram(t)
+	v := vm.New(p, energy.MicroSPARCIIep())
+	m := p.FindMethod("Driver", "useShape")
+	code, st, err := Compile(p, m, Level3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InlinedCalls == 0 {
+		t.Fatal("expected getSide to be inlined")
+	}
+	v.InstallCode(code)
+	v.Dispatch = vm.DispatchFunc(func(mm *bytecode.Method) *isa.Code {
+		if mm == m {
+			return code
+		}
+		return nil
+	})
+	if _, err := v.Invoke(m, []vm.Slot{vm.RefSlot(0)}); err == nil {
+		t.Error("null receiver through inlined call must fault")
+	}
+}
+
+func TestInterpreterCostlierThanCompiled(t *testing.T) {
+	p := jitProgram(t)
+	args := []vm.Slot{vm.IntSlot(200)}
+	_, eI := runMode(t, p, "Calc", "sumSquares", 0, args)
+	_, eL1 := runMode(t, p, "Calc", "sumSquares", Level1, args)
+	_, eL2 := runMode(t, p, "Calc", "sumSquares", Level2, args)
+	if eI <= eL1 {
+		t.Errorf("interpreter (%v) should cost more than L1 native (%v)", eI, eL1)
+	}
+	if eL2 > eL1 {
+		t.Errorf("L2 execution (%v) should not cost more than L1 (%v)", eL2, eL1)
+	}
+	if eI < 4*eL1 {
+		t.Errorf("interpretation should be several times costlier: I=%v L1=%v", eI, eL1)
+	}
+}
+
+func TestL2OptimizationsFire(t *testing.T) {
+	p := jitProgram(t)
+	m := p.FindMethod("Calc", "mulConst")
+	_, st1, err := Compile(p, m, Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := Compile(p, m, Level2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Opt.Strength == 0 {
+		t.Error("x*8 should be strength-reduced to a shift")
+	}
+	if st2.Opt.ImmFormed == 0 {
+		t.Error("constant multiplies should use immediate forms")
+	}
+	if st2.NativeInstrs >= st1.NativeInstrs {
+		t.Errorf("L2 (%d instrs) should be smaller than L1 (%d)", st2.NativeInstrs, st1.NativeInstrs)
+	}
+
+	loopy := p.FindMethod("Calc", "fill")
+	_, stl, err := Compile(p, loopy, Level2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stl.Opt.DeadRemoved == 0 {
+		t.Error("DCE should remove dead stack moves")
+	}
+	if stl.Loops == 0 {
+		t.Error("fill has a loop")
+	}
+}
+
+func TestL3InlinesAndWorkGrows(t *testing.T) {
+	p := jitProgram(t)
+	m := p.FindMethod("Calc", "sumSquares")
+	_, st2, err := Compile(p, m, Level2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st3, err := Compile(p, m, Level3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.InlinedCalls == 0 {
+		t.Error("sq should be inlined into sumSquares at L3")
+	}
+	if st3.WorkUnits() <= st2.WorkUnits() {
+		t.Error("L3 compilation should cost more work than L2")
+	}
+	if st2.WorkUnits() <= mustStats(t, p, m, Level1).WorkUnits() {
+		t.Error("L2 compilation should cost more work than L1")
+	}
+
+	// Inlining eliminates the call from the hot loop: execution gets
+	// cheaper even though compilation got costlier.
+	args := []vm.Slot{vm.IntSlot(300)}
+	_, e2 := runMode(t, p, "Calc", "sumSquares", Level2, args)
+	_, e3 := runMode(t, p, "Calc", "sumSquares", Level3, args)
+	if e3 >= e2 {
+		t.Errorf("L3 execution (%v) should beat L2 (%v) on call-heavy loop", e3, e2)
+	}
+}
+
+func mustStats(t *testing.T, p *bytecode.Program, m *bytecode.Method, lv Level) *Stats {
+	t.Helper()
+	_, st, err := Compile(p, m, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPotentialMethodNotInlined(t *testing.T) {
+	p := jitProgram(t)
+	sq := p.FindMethod("Calc", "sq")
+	sq.Potential = true
+	defer func() { sq.Potential = false }()
+	m := p.FindMethod("Calc", "sumSquares")
+	_, st, err := Compile(p, m, Level3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InlinedCalls != 0 {
+		t.Error("potential methods must not be inlined (offload hook would be bypassed)")
+	}
+}
+
+func TestCompileChargesAccount(t *testing.T) {
+	p := jitProgram(t)
+	m := p.FindMethod("Calc", "fill")
+	_, st, err := Compile(p, m, Level2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := energy.NewAccount(energy.MicroSPARCIIep())
+	st.Charge(acct)
+	if acct.Total() <= 0 {
+		t.Error("compilation charged nothing")
+	}
+	if acct.Component(energy.CompCompile) <= 0 {
+		t.Error("compile component not mirrored")
+	}
+	if got, want := st.Energy(energy.MicroSPARCIIep()), acct.Total(); got != want {
+		t.Errorf("Energy() = %v, Charge total = %v", got, want)
+	}
+	load := CompilerLoadEnergy(energy.MicroSPARCIIep())
+	if load <= acct.Total() {
+		t.Error("compiler load should dominate one small method compile")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	p := jitProgram(t)
+	m := p.FindMethod("Calc", "sq")
+	if _, _, err := Compile(p, m, Level(9)); err == nil {
+		t.Error("bad level should error")
+	}
+	empty := &bytecode.Method{Name: "empty", Static: true, Ret: bytecode.TVoid}
+	if _, _, err := Compile(p, empty, Level1); err == nil {
+		t.Error("empty body should error")
+	}
+}
+
+// Property test: random straight-line integer stack programs compute
+// the same value interpreted and compiled at every level.
+func TestRandomProgramsEquivalence(t *testing.T) {
+	r := rng.New(20030422)
+	for trial := 0; trial < 120; trial++ {
+		m := &bytecode.Method{Name: fmt.Sprintf("r%d", trial), Static: true,
+			Params: []bytecode.Type{bytecode.TInt, bytecode.TInt}, Ret: bytecode.TInt, MaxLocals: 4}
+		cls := &bytecode.Class{Name: "R", Methods: []*bytecode.Method{m}}
+		p := &bytecode.Program{Classes: []*bytecode.Class{cls}}
+		if err := p.Link(); err != nil {
+			t.Fatal(err)
+		}
+		m.Code = randomIntProgram(r)
+		if err := p.Verify(); err != nil {
+			t.Fatalf("trial %d: generated program failed verification: %v\n%s",
+				trial, err, bytecode.Disassemble(m))
+		}
+		args := []vm.Slot{vm.IntSlot(r.Int31() % 1000), vm.IntSlot(r.Int31()%1000 - 500)}
+		want, _ := runMode(t, p, "R", m.Name, 0, args)
+		for _, lv := range []Level{Level1, Level2, Level3} {
+			got, _ := runMode(t, p, "R", m.Name, lv, args)
+			if got != want {
+				t.Fatalf("trial %d level %v: got %d want %d\n%s",
+					trial, lv, got.I, want.I, bytecode.Disassemble(m))
+			}
+		}
+	}
+}
+
+// randomIntProgram emits a random verified straight-line int program
+// over two int params and two scratch locals.
+func randomIntProgram(r *rng.RNG) []bytecode.Insn {
+	a := bytecode.NewAsm()
+	depth := 0
+	// Seed the stack.
+	a.OpA(bytecode.ILOAD, int32(r.Intn(2)))
+	depth++
+	n := 5 + r.Intn(30)
+	for i := 0; i < n; i++ {
+		switch {
+		case depth >= 2 && r.Intn(3) == 0:
+			ops := []bytecode.Opcode{bytecode.IADD, bytecode.ISUB, bytecode.IMUL,
+				bytecode.IAND, bytecode.IOR, bytecode.IXOR, bytecode.ISHL, bytecode.ISHR}
+			a.Op(ops[r.Intn(len(ops))])
+			depth--
+		case depth >= 1 && r.Intn(5) == 0:
+			a.Op(bytecode.INEG)
+		case depth >= 1 && r.Intn(6) == 0:
+			local := int32(2 + r.Intn(2))
+			a.OpA(bytecode.ISTORE, local)
+			depth--
+			a.OpA(bytecode.ILOAD, local) // keep it defined for later loads
+			depth++
+		case depth >= 1 && r.Intn(7) == 0:
+			a.Op(bytecode.DUP)
+			depth++
+		default:
+			switch r.Intn(3) {
+			case 0:
+				a.Iconst(int32(r.Intn(64) + 1)) // positive consts exercise strength reduction
+			case 1:
+				a.Iconst(int32(r.Intn(201) - 100))
+			default:
+				a.OpA(bytecode.ILOAD, int32(r.Intn(2)))
+			}
+			depth++
+		}
+	}
+	for depth > 1 {
+		a.Op(bytecode.IADD)
+		depth--
+	}
+	a.Op(bytecode.IRETURN)
+	return a.MustFinish()
+}

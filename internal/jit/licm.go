@@ -1,0 +1,232 @@
+package jit
+
+// Loop-invariant code motion. Natural loops are found via dominators;
+// each loop gets a preheader block, and pure instructions whose
+// operands are defined outside the loop (or by already-hoisted
+// instructions) are moved into it. Only non-faulting pure instructions
+// move, so hoisting is safe even when the loop body would not have
+// executed.
+
+// dominators computes the immediate-domination sets with the simple
+// iterative algorithm (adequate for our small CFGs).
+func dominators(f *fn) []bitset {
+	nb := len(f.blocks)
+	dom := make([]bitset, nb)
+	all := newBitset(nb)
+	for i := 0; i < nb; i++ {
+		all.set(vreg(i))
+	}
+	for i := range dom {
+		dom[i] = newBitset(nb)
+		if i == 0 {
+			dom[i].set(0)
+		} else {
+			dom[i].copyFrom(all)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < nb; i++ {
+			b := f.blocks[i]
+			if len(b.preds) == 0 {
+				continue
+			}
+			tmp := newBitset(nb)
+			tmp.copyFrom(dom[b.preds[0]])
+			for _, p := range b.preds[1:] {
+				for w := range tmp {
+					tmp[w] &= dom[p][w]
+				}
+			}
+			tmp.set(vreg(i))
+			for w := range tmp {
+				if tmp[w] != dom[i][w] {
+					dom[i].copyFrom(tmp)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// loop is a natural loop: a header and the set of member blocks.
+type loop struct {
+	header int
+	body   map[int]bool
+}
+
+// findLoops returns the natural loops of f, outermost last.
+func findLoops(f *fn) []loop {
+	dom := dominators(f)
+	byHeader := map[int]map[int]bool{}
+	for _, b := range f.blocks {
+		for _, s := range b.succs {
+			if dom[b.id].has(vreg(s)) {
+				// Back edge b -> s; collect the natural loop of header s.
+				body := byHeader[s]
+				if body == nil {
+					body = map[int]bool{s: true}
+					byHeader[s] = body
+				}
+				var stack []int
+				if !body[b.id] {
+					body[b.id] = true
+					stack = append(stack, b.id)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range f.blocks[x].preds {
+						if !body[p] {
+							body[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	loops := make([]loop, 0, len(byHeader))
+	for h, body := range byHeader {
+		loops = append(loops, loop{header: h, body: body})
+	}
+	// Inner (smaller) loops first so invariants can ripple outward.
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			if len(loops[j].body) < len(loops[i].body) ||
+				(len(loops[j].body) == len(loops[i].body) && loops[j].header < loops[i].header) {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	return loops
+}
+
+// licm hoists loop-invariant instructions and returns how many moved.
+// After every successful hoist the loop set is recomputed from the
+// fresh CFG: inserting an inner loop's preheader changes the membership
+// of every enclosing loop, so working from a stale loop list would
+// miscount definitions and hoist non-invariant instructions.
+func licm(f *fn) int {
+	hoisted := 0
+	for {
+		progress := false
+		for _, lp := range findLoops(f) {
+			if n := hoistLoop(f, lp); n > 0 {
+				hoisted += n
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			f.computeCFGEdges()
+			return hoisted
+		}
+	}
+}
+
+func hoistLoop(f *fn, lp loop) int {
+	liveIn, _ := liveness(f)
+
+	// Definition counts inside the loop.
+	defCount := map[vreg]int{}
+	for id := range lp.body {
+		for i := range f.blocks[id].instrs {
+			if d := f.blocks[id].instrs[i].def(); d != noReg {
+				defCount[d]++
+			}
+		}
+	}
+
+	// An instruction is invariant if it is pure, cannot fault, its
+	// destination is defined exactly once in the loop and is not
+	// live into the header (so the pre-loop value is dead), and every
+	// operand is defined outside the loop or already hoisted.
+	hoistedDefs := map[vreg]bool{}
+	var moved []irInstr
+	// Deterministic block order.
+	ids := make([]int, 0, len(lp.body))
+	for id := range lp.body {
+		ids = append(ids, id)
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for pass := 0; pass < 3; pass++ {
+		// Operands may only depend on defs hoisted in earlier passes,
+		// so the preheader order respects dependencies.
+		snapshot := make(map[vreg]bool, len(hoistedDefs))
+		for k := range hoistedDefs {
+			snapshot[k] = true
+		}
+		invariantOperand := func(r vreg) bool {
+			return defCount[r] == 0 || snapshot[r]
+		}
+		movedThisPass := 0
+		for _, id := range ids {
+			b := f.blocks[id]
+			out := b.instrs[:0]
+			for i := range b.instrs {
+				in := b.instrs[i]
+				d := in.def()
+				ok := in.pure() && d != noReg && defCount[d] == 1 &&
+					!hoistedDefs[d] && !liveIn[lp.header].has(d)
+				if ok {
+					in.uses(func(r vreg) {
+						if !invariantOperand(r) {
+							ok = false
+						}
+					})
+				}
+				if ok {
+					moved = append(moved, in)
+					hoistedDefs[d] = true
+					movedThisPass++
+					continue
+				}
+				out = append(out, in)
+			}
+			b.instrs = out
+		}
+		if movedThisPass == 0 {
+			break
+		}
+	}
+	if len(moved) == 0 {
+		return 0
+	}
+
+	// Build the preheader and retarget entry edges.
+	pre := f.newBlock()
+	pre.instrs = append(pre.instrs, moved...)
+	pre.instrs = append(pre.instrs, irInstr{Op: opJmp, Aux: int32(lp.header)})
+	for _, b := range f.blocks {
+		if b.id == pre.id || lp.body[b.id] {
+			continue
+		}
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			switch in.Op {
+			case opJmp:
+				if int(in.Aux) == lp.header {
+					in.Aux = int32(pre.id)
+				}
+			case opBr:
+				if int(in.Aux) == lp.header {
+					in.Aux = int32(pre.id)
+				}
+				if int(in.Aux2) == lp.header {
+					in.Aux2 = int32(pre.id)
+				}
+			}
+		}
+	}
+	f.computeCFGEdges()
+	return len(moved)
+}

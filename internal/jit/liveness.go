@@ -1,0 +1,163 @@
+package jit
+
+// Dataflow liveness analysis over virtual registers, shared by
+// dead-code elimination, loop-invariant code motion and the linear-
+// scan register allocator.
+
+// bitset is a simple word-packed set of vregs.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) set(i vreg)      { s[i/64] |= 1 << (uint(i) % 64) }
+func (s bitset) clear(i vreg)    { s[i/64] &^= 1 << (uint(i) % 64) }
+func (s bitset) has(i vreg) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (s bitset) orInto(o bitset) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s bitset) copyFrom(o bitset) {
+	copy(s, o)
+}
+
+// readsAB reports which of the A and B operand fields the opcode
+// actually reads. Unused operand fields default to 0, which is a real
+// vreg, so operand walks must dispatch on the opcode rather than on
+// sentinels.
+func (in *irInstr) readsAB() (a, b bool) {
+	switch in.Op {
+	case opNop, opConstI, opConstF, opJmp, opTrap, opNewObj, opCall:
+		return false, false
+	case opRet:
+		return in.A != noReg, false
+	case opMov, opMovF, opNeg, opFNeg, opCvtIF, opCvtFI,
+		opLoadFI, opLoadFF, opArrLen, opNewArr, opNullCheck,
+		opAddImm, opMulImm, opShlImm, opShrImm, opAndImm:
+		return true, false
+	default:
+		// Binary arithmetic, field stores, element loads/stores,
+		// branches.
+		return true, true
+	}
+}
+
+// uses calls fn for every vreg the instruction reads.
+func (in *irInstr) uses(fn func(vreg)) {
+	ra, rb := in.readsAB()
+	if ra {
+		fn(in.A)
+	}
+	if rb {
+		fn(in.B)
+	}
+	for _, a := range in.Args {
+		fn(a)
+	}
+}
+
+// def returns the vreg the instruction writes, or noReg.
+func (in *irInstr) def() vreg {
+	switch in.Op {
+	case opNop, opStoreFI, opStoreFF, opStoreEI, opStoreEF,
+		opRet, opJmp, opBr, opTrap, opNullCheck:
+		return noReg
+	}
+	return in.Dst
+}
+
+// liveness computes live-in and live-out sets per block.
+func liveness(f *fn) (liveIn, liveOut []bitset) {
+	n := len(f.kinds)
+	nb := len(f.blocks)
+	use := make([]bitset, nb)
+	def := make([]bitset, nb)
+	liveIn = make([]bitset, nb)
+	liveOut = make([]bitset, nb)
+	for i, b := range f.blocks {
+		use[i] = newBitset(n)
+		def[i] = newBitset(n)
+		liveIn[i] = newBitset(n)
+		liveOut[i] = newBitset(n)
+		for j := range b.instrs {
+			in := &b.instrs[j]
+			in.uses(func(r vreg) {
+				if !def[i].has(r) {
+					use[i].set(r)
+				}
+			})
+			if d := in.def(); d != noReg {
+				def[i].set(d)
+			}
+		}
+	}
+	// Iterate to fixpoint (backward).
+	for changed := true; changed; {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			b := f.blocks[i]
+			for _, s := range b.succs {
+				if liveOut[i].orInto(liveIn[s]) {
+					changed = true
+				}
+			}
+			// in = use U (out - def)
+			tmp := newBitset(n)
+			tmp.copyFrom(liveOut[i])
+			for j := range tmp {
+				tmp[j] &^= def[i][j]
+				tmp[j] |= use[i][j]
+			}
+			if liveIn[i].orInto(tmp) {
+				changed = true
+			}
+		}
+	}
+	return liveIn, liveOut
+}
+
+// deadCodeElim removes pure instructions whose results are never used.
+// It iterates because removing one instruction can kill another.
+func deadCodeElim(f *fn) int {
+	removed := 0
+	for {
+		_, liveOut := liveness(f)
+		changedThisRound := 0
+		for bi, b := range f.blocks {
+			live := newBitset(len(f.kinds))
+			live.copyFrom(liveOut[bi])
+			out := make([]irInstr, 0, len(b.instrs))
+			// Walk backward, keeping live instructions.
+			for j := len(b.instrs) - 1; j >= 0; j-- {
+				in := b.instrs[j]
+				d := in.def()
+				if in.pure() && d != noReg && !live.has(d) {
+					changedThisRound++
+					continue
+				}
+				if d != noReg {
+					live.clear(d)
+				}
+				in.uses(func(r vreg) { live.set(r) })
+				out = append(out, in)
+			}
+			// Reverse back into order.
+			for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+				out[l], out[r] = out[r], out[l]
+			}
+			b.instrs = out
+		}
+		removed += changedThisRound
+		if changedThisRound == 0 {
+			return removed
+		}
+	}
+}

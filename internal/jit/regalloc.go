@@ -1,0 +1,194 @@
+package jit
+
+import (
+	"math"
+	"sort"
+
+	"greenvm/internal/bytecode"
+)
+
+// Register allocation by linear scan (Poletto & Sarkar), the algorithm
+// LaTTe-era JITs used for fast compilation. Integer and reference
+// values share the integer file; floats use the float file.
+
+// Physical register assignment plan.
+const (
+	// Integer registers R9..R28 are allocatable; R1..R8 are the ABI
+	// argument/return registers, R29/R30 are codegen scratch, R31 is
+	// reserved, R0 is zero.
+	firstIntReg = 9
+	lastIntReg  = 28
+	// Float registers F9..F13 are allocatable; F1..F8 are ABI, F14/F15
+	// are scratch.
+	firstFloatReg = 9
+	lastFloatReg  = 13
+
+	scratchInt0   = 29
+	scratchInt1   = 30
+	scratchInt2   = 31
+	scratchFloat0 = 14
+	scratchFloat1 = 15
+)
+
+// loc is the assigned location of a vreg.
+type loc struct {
+	reg   int // physical register, or -1
+	spill int // frame slot, or -1
+}
+
+func (l loc) inReg() bool { return l.reg >= 0 }
+
+// allocation is the result of register allocation.
+type allocation struct {
+	locs       []loc
+	frameWords int
+	spills     int
+}
+
+type interval struct {
+	r          vreg
+	start, end int
+}
+
+// allocate computes locations for every vreg of f.
+func allocate(f *fn) *allocation {
+	n := len(f.kinds)
+	starts := make([]int, n)
+	ends := make([]int, n)
+	for i := range starts {
+		starts[i] = math.MaxInt
+		ends[i] = -1
+	}
+	extend := func(r vreg, p int) {
+		if int(r) < 0 {
+			return
+		}
+		if p < starts[r] {
+			starts[r] = p
+		}
+		if p > ends[r] {
+			ends[r] = p
+		}
+	}
+
+	liveIn, liveOut := liveness(f)
+	pos := 0
+	for _, b := range f.blocks {
+		bStart := pos
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			in.uses(func(r vreg) { extend(r, pos) })
+			if d := in.def(); d != noReg {
+				extend(d, pos)
+			}
+			pos++
+		}
+		bEnd := pos
+		for r := 0; r < n; r++ {
+			if liveIn[b.id].has(vreg(r)) {
+				extend(vreg(r), bStart)
+			}
+			if liveOut[b.id].has(vreg(r)) {
+				extend(vreg(r), bEnd)
+			}
+		}
+	}
+	// Arguments are defined at entry.
+	for i := 0; i < f.nargs; i++ {
+		if ends[i] >= 0 {
+			extend(vreg(i), 0)
+		}
+	}
+
+	var ivs []interval
+	for r := 0; r < n; r++ {
+		if ends[r] >= 0 {
+			ivs = append(ivs, interval{r: vreg(r), start: starts[r], end: ends[r]})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].r < ivs[j].r
+	})
+
+	alloc := &allocation{locs: make([]loc, n)}
+	for i := range alloc.locs {
+		alloc.locs[i] = loc{reg: -1, spill: -1}
+	}
+
+	isFloat := func(r vreg) bool { return f.kinds[r] == bytecode.KFloat }
+
+	var freeInt, freeFloat []int
+	for r := lastIntReg; r >= firstIntReg; r-- {
+		freeInt = append(freeInt, r)
+	}
+	for r := lastFloatReg; r >= firstFloatReg; r-- {
+		freeFloat = append(freeFloat, r)
+	}
+
+	type activeIv struct {
+		iv  interval
+		reg int
+	}
+	var active []activeIv // sorted by end ascending
+
+	nextSlot := 0
+	spillSlot := func() int {
+		s := nextSlot
+		nextSlot++
+		alloc.spills++
+		return s
+	}
+
+	for _, iv := range ivs {
+		// Expire finished intervals.
+		keep := active[:0]
+		for _, a := range active {
+			if a.iv.end < iv.start {
+				if isFloat(a.iv.r) {
+					freeFloat = append(freeFloat, a.reg)
+				} else {
+					freeInt = append(freeInt, a.reg)
+				}
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		active = keep
+
+		pool := &freeInt
+		if isFloat(iv.r) {
+			pool = &freeFloat
+		}
+		if len(*pool) > 0 {
+			reg := (*pool)[len(*pool)-1]
+			*pool = (*pool)[:len(*pool)-1]
+			alloc.locs[iv.r] = loc{reg: reg, spill: -1}
+			active = append(active, activeIv{iv, reg})
+			sort.Slice(active, func(i, j int) bool { return active[i].iv.end < active[j].iv.end })
+			continue
+		}
+		// Spill the interval (among same-pool active ones and this one)
+		// that ends last.
+		victim := -1
+		for idx := len(active) - 1; idx >= 0; idx-- {
+			if isFloat(active[idx].iv.r) == isFloat(iv.r) {
+				victim = idx
+				break
+			}
+		}
+		if victim >= 0 && active[victim].iv.end > iv.end {
+			v := active[victim]
+			alloc.locs[iv.r] = loc{reg: v.reg, spill: -1}
+			alloc.locs[v.iv.r] = loc{reg: -1, spill: spillSlot()}
+			active[victim] = activeIv{iv, v.reg}
+			sort.Slice(active, func(i, j int) bool { return active[i].iv.end < active[j].iv.end })
+		} else {
+			alloc.locs[iv.r] = loc{reg: -1, spill: spillSlot()}
+		}
+	}
+	alloc.frameWords = nextSlot
+	return alloc
+}

@@ -1,0 +1,125 @@
+package jit
+
+import (
+	"testing"
+
+	"greenvm/internal/lang"
+	"greenvm/internal/vm"
+)
+
+// Regression: LICM over a deeply nested loop structure containing an
+// inlined callee used to hoist non-invariant definitions, because the
+// loop set was computed once and went stale as preheaders were
+// inserted (an inner preheader belongs to every enclosing loop).
+func TestLICMNestedLoopsWithInlining(t *testing.T) {
+	src := `
+class T {
+  static int go(int w) {
+    int[] pix = new int[w * w];
+    for (int i = 0; i < w * w; i = i + 1) { pix[i] = (i * 37) % 251; }
+    int[] out = new int[w * w];
+    int r = 1;
+    int[] window = new int[9];
+    int s = 0;
+    for (int y = 0; y < w; y = y + 1) {
+      for (int x = 0; x < w; x = x + 1) {
+        int cnt = 0;
+        for (int dy = 0 - r; dy <= r; dy = dy + 1) {
+          for (int dx = 0 - r; dx <= r; dx = dx + 1) {
+            int yy = y + dy;
+            int xx = x + dx;
+            if (yy >= 0 && yy < w && xx >= 0 && xx < w) {
+              window[cnt] = pix[yy * w + xx];
+              cnt = cnt + 1;
+            }
+          }
+        }
+        out[y * w + x] = med(window, cnt);
+      }
+    }
+    for (int i = 0; i < w * w; i = i + 1) { s = s + out[i] * (i + 1); }
+    return s;
+  }
+  static int med(int[] a, int n) {
+    for (int i = 1; i < n; i = i + 1) {
+      int v = a[i];
+      int j = i - 1;
+      while (j >= 0 && a[j] > v) {
+        a[j + 1] = a[j];
+        j = j - 1;
+      }
+      a[j + 1] = v;
+    }
+    return a[n / 2];
+  }
+}`
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []vm.Slot{vm.IntSlot(8)}
+	want, _ := runMode(t, p, "T", "go", 0, args)
+	for _, lv := range []Level{Level1, Level2, Level3} {
+		got, _ := runMode(t, p, "T", "go", lv, args)
+		if got != want {
+			t.Errorf("%v: got %d want %d", lv, got.I, want.I)
+		}
+	}
+	// The L3 compile must actually inline med.
+	_, st, err := Compile(p, p.FindMethod("T", "go"), Level3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.InlinedCalls == 0 {
+		t.Error("expected med to be inlined")
+	}
+	if st.Opt.Hoisted == 0 {
+		t.Error("expected LICM to hoist something")
+	}
+}
+
+// Regression: an inlined callee with its own loops, called from inside
+// the caller's loop with live values below the arguments on the
+// operand stack.
+func TestInlineLoopCalleeInCallerLoop(t *testing.T) {
+	src := `
+class T {
+  static int caller(int n) {
+    int[] w = new int[5];
+    int s = 0;
+    for (int y = 0; y < n; y = y + 1) {
+      int cnt = 0;
+      for (int k = 0; k < 5; k = k + 1) {
+        w[cnt] = (y * 7 + k * 3) % 11;
+        cnt = cnt + 1;
+      }
+      s = s + med(w, cnt);
+    }
+    return s;
+  }
+  static int med(int[] a, int n) {
+    for (int i = 1; i < n; i = i + 1) {
+      int v = a[i];
+      int j = i - 1;
+      while (j >= 0 && a[j] > v) {
+        a[j + 1] = a[j];
+        j = j - 1;
+      }
+      a[j + 1] = v;
+    }
+    return a[n / 2];
+  }
+}`
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []vm.Slot{vm.IntSlot(6)}
+	want, _ := runMode(t, p, "T", "caller", 0, args)
+	for _, lv := range []Level{Level1, Level2, Level3} {
+		got, _ := runMode(t, p, "T", "caller", lv, args)
+		if got != want {
+			t.Errorf("%v: got %d want %d", lv, got.I, want.I)
+		}
+	}
+}

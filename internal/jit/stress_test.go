@@ -1,0 +1,197 @@
+package jit
+
+import (
+	"testing"
+
+	"greenvm/internal/lang"
+	"greenvm/internal/vm"
+)
+
+// TestRegisterSpillStress forces the linear-scan allocator to spill
+// both integer and float registers: far more simultaneously live
+// values than the allocatable files (20 int, 5 float) hold.
+func TestRegisterSpillStress(t *testing.T) {
+	src := `
+class S {
+  static float stress(int n) {
+    int a = 1; int b = 2; int c = 3; int d = 4; int e = 5; int f = 6;
+    int g = 7; int h = 8; int i2 = 9; int j = 10; int k = 11; int l = 12;
+    int m = 13; int o = 14; int p = 15; int q = 16; int r = 17; int s = 18;
+    int t = 19; int u = 20; int v = 21; int w = 22; int x = 23; int y = 24;
+    float fa = 1.5; float fb = 2.5; float fc = 3.5; float fd = 4.5;
+    float fe = 5.5; float ff = 6.5; float fg = 7.5; float fh = 8.5;
+    float acc = 0.0;
+    for (int it = 0; it < n; it = it + 1) {
+      a = a + b; b = b + c; c = c + d; d = d + e; e = e + f; f = f + g;
+      g = g + h; h = h + i2; i2 = i2 + j; j = j + k; k = k + l; l = l + m;
+      m = m + o; o = o + p; p = p + q; q = q + r; r = r + s; s = s + t;
+      t = t + u; u = u + v; v = v + w; w = w + x; x = x + y; y = y + a;
+      fa = fa + fb; fb = fb + fc; fc = fc + fd; fd = fd + fe;
+      fe = fe + ff; ff = ff + fg; fg = fg + fh; fh = fh + fa;
+      acc = acc + fa - fh + fc;
+    }
+    return acc + a + b + c + d + e + f + g + h + i2 + j + k + l + m + o
+        + p + q + r + s + t + u + v + w + x + y
+        + fa + fb + fc + fd + fe + ff + fg + fh;
+  }
+}`
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.FindMethod("S", "stress")
+	args := []vm.Slot{vm.IntSlot(9)}
+	want, _ := runMode(t, p, "S", "stress", 0, args)
+	for _, lv := range []Level{Level1, Level2, Level3} {
+		_, st, err := Compile(p, m, lv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Spills == 0 {
+			t.Errorf("%v: expected register spills under this pressure", lv)
+		}
+		got, _ := runMode(t, p, "S", "stress", lv, args)
+		if got != want {
+			t.Errorf("%v: got %v want %v", lv, got.F, want.F)
+		}
+	}
+}
+
+// TestFloatCompareAllLevels exercises every float comparison operator
+// (including the operand-swapped > and <= lowerings) in value and
+// condition positions.
+func TestFloatCompareAllLevels(t *testing.T) {
+	src := `
+class F {
+  static int cmp(float a, float b) {
+    int r = 0;
+    if (a < b)  { r = r + 1; }
+    if (a <= b) { r = r + 10; }
+    if (a > b)  { r = r + 100; }
+    if (a >= b) { r = r + 1000; }
+    if (a == b) { r = r + 10000; }
+    if (a != b) { r = r + 100000; }
+    int v = a < b;
+    return r * 2 + v;
+  }
+}`
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][2]float64{{1, 2}, {2, 1}, {1.5, 1.5}, {-0.5, 0.5}, {0, 0}}
+	for _, c := range cases {
+		args := []vm.Slot{vm.FloatSlot(c[0]), vm.FloatSlot(c[1])}
+		want, _ := runMode(t, p, "F", "cmp", 0, args)
+		for _, lv := range []Level{Level1, Level2, Level3} {
+			got, _ := runMode(t, p, "F", "cmp", lv, args)
+			if got != want {
+				t.Errorf("cmp(%g,%g) at %v: got %d want %d", c[0], c[1], lv, got.I, want.I)
+			}
+		}
+	}
+}
+
+// TestJavaDivisionEdgeCases pins the JVM's truncating division
+// semantics, including INT_MIN / -1 wrapping rather than trapping.
+func TestJavaDivisionEdgeCases(t *testing.T) {
+	src := `
+class D {
+  static int div(int a, int b) { return a / b; }
+  static int rem(int a, int b) { return a % b; }
+}`
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b int32
+		d, r int64
+	}{
+		{7, 2, 3, 1},
+		{-7, 2, -3, -1},
+		{7, -2, -3, 1},
+		{-7, -2, 3, -1},
+		{-2147483648, -1, -2147483648, 0}, // Java wraps, no trap
+		{-2147483648, 1, -2147483648, 0},
+	}
+	for _, c := range cases {
+		args := []vm.Slot{vm.IntSlot(c.a), vm.IntSlot(c.b)}
+		for _, lv := range []Level{0, Level1, Level2, Level3} {
+			got, _ := runMode(t, p, "D", "div", lv, args)
+			if got.I != c.d {
+				t.Errorf("div(%d,%d) at %v = %d, want %d", c.a, c.b, lv, got.I, c.d)
+			}
+			got, _ = runMode(t, p, "D", "rem", lv, args)
+			if got.I != c.r {
+				t.Errorf("rem(%d,%d) at %v = %d, want %d", c.a, c.b, lv, got.I, c.r)
+			}
+		}
+	}
+}
+
+// TestRefEqualityAllLevels exercises reference identity comparison and
+// null tests through every engine.
+func TestRefEqualityAllLevels(t *testing.T) {
+	src := `
+class Node { int v; }
+class R {
+  static int test(int same) {
+    Node a = new Node();
+    Node b = new Node();
+    Node c = a;
+    if (same == 1) { c = b; }
+    int r = 0;
+    if (a == c) { r = r + 1; }
+    if (a != b) { r = r + 10; }
+    Node nil2 = null;
+    if (nil2 == null) { r = r + 100; }
+    if (b != null) { r = r + 1000; }
+    return r;
+  }
+}`
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, same := range []int32{0, 1} {
+		args := []vm.Slot{vm.IntSlot(same)}
+		want, _ := runMode(t, p, "R", "test", 0, args)
+		for _, lv := range []Level{Level1, Level2, Level3} {
+			got, _ := runMode(t, p, "R", "test", lv, args)
+			if got != want {
+				t.Errorf("test(%d) at %v: got %d want %d", same, lv, got.I, want.I)
+			}
+		}
+	}
+}
+
+// TestDeepCallChains exercises nested non-inlinable calls (mutual
+// recursion blocks inlining) through the register-window bridge.
+func TestDeepCallChains(t *testing.T) {
+	src := `
+class C {
+  static int even(int n) {
+    if (n == 0) { return 1; }
+    return odd(n - 1);
+  }
+  static int odd(int n) {
+    if (n == 0) { return 0; }
+    return even(n - 1);
+  }
+}`
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int32{0, 1, 41, 100} {
+		args := []vm.Slot{vm.IntSlot(n)}
+		want, _ := runMode(t, p, "C", "even", 0, args)
+		for _, lv := range []Level{Level1, Level2, Level3} {
+			got, _ := runMode(t, p, "C", "even", lv, args)
+			if got != want {
+				t.Errorf("even(%d) at %v: got %d want %d", n, lv, got.I, want.I)
+			}
+		}
+	}
+}

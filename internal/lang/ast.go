@@ -1,0 +1,238 @@
+package lang
+
+// AST node definitions. Every node carries its source position for
+// error reporting.
+
+type pos struct {
+	Line, Col int
+}
+
+// File is a parsed compilation unit.
+type File struct {
+	Classes []*ClassDecl
+}
+
+// TypeExpr is a syntactic type: a base name plus array dimensions.
+type TypeExpr struct {
+	pos
+	Base string // "int", "float", "void", or a class name
+	Dims int
+}
+
+// ClassDecl is a class declaration.
+type ClassDecl struct {
+	pos
+	Name    string
+	Super   string
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+}
+
+// FieldDecl is an instance field.
+type FieldDecl struct {
+	pos
+	Name string
+	Type TypeExpr
+}
+
+// Param is a method parameter.
+type Param struct {
+	pos
+	Name string
+	Type TypeExpr
+}
+
+// MethodDecl is a method declaration. Potential marks the method as a
+// candidate for remote execution.
+type MethodDecl struct {
+	pos
+	Name      string
+	Static    bool
+	Potential bool
+	Params    []Param
+	Ret       TypeExpr
+	Body      *Block
+}
+
+// Statements.
+
+type Stmt interface{ stmtNode() }
+
+// Block is { stmt* } with its own variable scope.
+type Block struct {
+	pos
+	Stmts []Stmt
+}
+
+// VarDecl declares a local, optionally initialized.
+type VarDecl struct {
+	pos
+	Type TypeExpr
+	Name string
+	Init Expr // may be nil
+}
+
+// If is an if/else statement.
+type If struct {
+	pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While is a while loop.
+type While struct {
+	pos
+	Cond Expr
+	Body Stmt
+}
+
+// For is a C-style for loop.
+type For struct {
+	pos
+	Init Stmt // VarDecl or ExprStmt; may be nil
+	Cond Expr // may be nil (infinite)
+	Post Stmt // ExprStmt; may be nil
+	Body Stmt
+}
+
+// Return returns from the method.
+type Return struct {
+	pos
+	Val Expr // nil for void
+}
+
+// Break exits the innermost loop.
+type Break struct{ pos }
+
+// Continue jumps to the next iteration of the innermost loop.
+type Continue struct{ pos }
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	pos
+	E Expr
+}
+
+func (*Block) stmtNode()    {}
+func (*VarDecl) stmtNode()  {}
+func (*If) stmtNode()       {}
+func (*While) stmtNode()    {}
+func (*For) stmtNode()      {}
+func (*Return) stmtNode()   {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+
+// Expressions.
+
+type Expr interface {
+	exprNode()
+	Pos() pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	pos
+	V int64
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	pos
+	V float64
+}
+
+// BoolLit is true/false (typed int).
+type BoolLit struct {
+	pos
+	V bool
+}
+
+// NullLit is the null reference.
+type NullLit struct{ pos }
+
+// This is the receiver reference.
+type This struct{ pos }
+
+// Ident names a local, parameter, implicit field, or (in qualified
+// calls) a class.
+type Ident struct {
+	pos
+	Name string
+}
+
+// Unary is -x or !x.
+type Unary struct {
+	pos
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operator, including comparisons and &&/||.
+type Binary struct {
+	pos
+	Op   string
+	L, R Expr
+}
+
+// Assign is lvalue = value.
+type Assign struct {
+	pos
+	LHS Expr // Ident, FieldAccess or Index
+	RHS Expr
+}
+
+// Index is a[i].
+type Index struct {
+	pos
+	X, I Expr
+}
+
+// FieldAccess is x.name; name "length" on arrays is the length.
+type FieldAccess struct {
+	pos
+	X    Expr
+	Name string
+}
+
+// Call is a method call. Recv is nil for unqualified calls (implicit
+// this or same-class static); if Recv is an Ident naming a class, the
+// call is a qualified static call.
+type Call struct {
+	pos
+	Recv Expr
+	Name string
+	Args []Expr
+}
+
+// New is new T() or new T[len] (possibly multi-dim new T[len][]).
+type New struct {
+	pos
+	Type TypeExpr // the element/class type with Dims set for arrays
+	Len  Expr     // nil for object creation
+}
+
+// Cast is (int)x or (float)x.
+type Cast struct {
+	pos
+	To TypeExpr
+	X  Expr
+}
+
+func (*IntLit) exprNode()      {}
+func (*FloatLit) exprNode()    {}
+func (*BoolLit) exprNode()     {}
+func (*NullLit) exprNode()     {}
+func (*This) exprNode()        {}
+func (*Ident) exprNode()       {}
+func (*Unary) exprNode()       {}
+func (*Binary) exprNode()      {}
+func (*Assign) exprNode()      {}
+func (*Index) exprNode()       {}
+func (*FieldAccess) exprNode() {}
+func (*Call) exprNode()        {}
+func (*New) exprNode()         {}
+func (*Cast) exprNode()        {}
+
+func (p pos) Pos() pos { return p }

@@ -1,0 +1,608 @@
+package lang
+
+import (
+	"fmt"
+
+	"greenvm/internal/bytecode"
+)
+
+// Compile parses, type-checks and code-generates an MJ source file
+// into a linked, verified MJVM program.
+func Compile(src string) (*bytecode.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{file: file, classByName: map[string]*ClassDecl{}}
+	prog, err := c.compile()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustCompile compiles statically known-good source (the built-in
+// benchmark applications) and panics on error.
+func MustCompile(src string) *bytecode.Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type compiler struct {
+	file        *File
+	prog        *bytecode.Program
+	classByName map[string]*ClassDecl
+}
+
+// resolveType converts a syntactic type to a bytecode type.
+func (c *compiler) resolveType(te TypeExpr, allowVoid bool) (bytecode.Type, error) {
+	var base bytecode.Type
+	switch te.Base {
+	case "int":
+		base = bytecode.TInt
+	case "float":
+		base = bytecode.TFloat
+	case "void":
+		if !allowVoid || te.Dims > 0 {
+			return bytecode.TVoid, errAt(te.Line, te.Col, "void is not a value type")
+		}
+		return bytecode.TVoid, nil
+	default:
+		if _, ok := c.classByName[te.Base]; !ok {
+			return bytecode.TVoid, errAt(te.Line, te.Col, "unknown type %s", te.Base)
+		}
+		base = bytecode.TObject(te.Base)
+	}
+	for i := 0; i < te.Dims; i++ {
+		base = bytecode.TArray(base)
+	}
+	return base, nil
+}
+
+func (c *compiler) compile() (*bytecode.Program, error) {
+	// Pass 1: declare classes and signatures.
+	for _, cd := range c.file.Classes {
+		if _, dup := c.classByName[cd.Name]; dup {
+			return nil, errAt(cd.Line, cd.Col, "duplicate class %s", cd.Name)
+		}
+		if cd.Name == "int" || cd.Name == "float" || cd.Name == "void" {
+			return nil, errAt(cd.Line, cd.Col, "reserved class name %s", cd.Name)
+		}
+		c.classByName[cd.Name] = cd
+	}
+	c.prog = &bytecode.Program{}
+	declByName := map[string]*bytecode.Class{}
+	for _, cd := range c.file.Classes {
+		bc := &bytecode.Class{Name: cd.Name, SuperName: cd.Super}
+		if cd.Super != "" {
+			if _, ok := c.classByName[cd.Super]; !ok {
+				return nil, errAt(cd.Line, cd.Col, "unknown superclass %s", cd.Super)
+			}
+		}
+		for _, fd := range cd.Fields {
+			ft, err := c.resolveType(fd.Type, false)
+			if err != nil {
+				return nil, err
+			}
+			bc.Fields = append(bc.Fields, bytecode.Field{Name: fd.Name, Type: ft})
+		}
+		for _, md := range cd.Methods {
+			ret, err := c.resolveType(md.Ret, true)
+			if err != nil {
+				return nil, err
+			}
+			m := &bytecode.Method{
+				Name:      md.Name,
+				Static:    md.Static,
+				Ret:       ret,
+				Potential: md.Potential,
+			}
+			for _, pm := range md.Params {
+				pt, err := c.resolveType(pm.Type, false)
+				if err != nil {
+					return nil, err
+				}
+				m.Params = append(m.Params, pt)
+			}
+			bc.Methods = append(bc.Methods, m)
+		}
+		c.prog.Classes = append(c.prog.Classes, bc)
+		declByName[cd.Name] = bc
+	}
+	if err := c.prog.Link(); err != nil {
+		return nil, err
+	}
+	// Method overriding must preserve signatures for vtable dispatch.
+	for _, cd := range c.file.Classes {
+		bc := declByName[cd.Name]
+		if bc.Super == nil {
+			continue
+		}
+		for _, m := range bc.Methods {
+			if m.Static {
+				continue
+			}
+			if base := bc.Super.Resolve(m.Name); base != nil {
+				if !sameSignature(base, m) {
+					return nil, errAt(cd.Line, cd.Col,
+						"%s.%s overrides %s with a different signature", cd.Name, m.Name, base.QName())
+				}
+			}
+		}
+	}
+	// Pass 2: generate code.
+	for _, cd := range c.file.Classes {
+		bc := declByName[cd.Name]
+		for i, md := range cd.Methods {
+			g := &genCtx{c: c, class: bc, decl: md, m: bc.Methods[i], asm: bytecode.NewAsm()}
+			if err := g.genMethod(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := c.prog.Verify(); err != nil {
+		return nil, fmt.Errorf("mj: internal error: generated code failed verification: %w", err)
+	}
+	return c.prog, nil
+}
+
+func sameSignature(a, b *bytecode.Method) bool {
+	if !a.Ret.Equal(b.Ret) || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if !a.Params[i].Equal(b.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// genCtx generates one method body.
+type genCtx struct {
+	c     *compiler
+	class *bytecode.Class
+	decl  *MethodDecl
+	m     *bytecode.Method
+	asm   *bytecode.Asm
+
+	scopes    []map[string]localVar
+	nextLocal int
+	labelN    int
+	// loops tracks enclosing loop labels for break/continue.
+	loops []loopLabels
+}
+
+type loopLabels struct {
+	brk, cont string
+}
+
+type localVar struct {
+	slot int
+	ty   bytecode.Type
+}
+
+func (g *genCtx) label(prefix string) string {
+	g.labelN++
+	return fmt.Sprintf("%s%d", prefix, g.labelN)
+}
+
+func (g *genCtx) pushScope() { g.scopes = append(g.scopes, map[string]localVar{}) }
+func (g *genCtx) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *genCtx) declare(p pos, name string, ty bytecode.Type) (int, error) {
+	top := g.scopes[len(g.scopes)-1]
+	if _, dup := top[name]; dup {
+		return 0, errAt(p.Line, p.Col, "duplicate variable %s", name)
+	}
+	slot := g.nextLocal
+	g.nextLocal++
+	top[name] = localVar{slot: slot, ty: ty}
+	return slot, nil
+}
+
+func (g *genCtx) lookup(name string) (localVar, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if v, ok := g.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return localVar{}, false
+}
+
+func (g *genCtx) genMethod() error {
+	g.pushScope()
+	if !g.m.Static {
+		g.scopes[0]["this"] = localVar{slot: 0, ty: bytecode.TObject(g.class.Name)}
+		g.nextLocal = 1
+	}
+	for i, pm := range g.decl.Params {
+		if _, err := g.declare(pm.pos, pm.Name, g.m.Params[i]); err != nil {
+			return err
+		}
+	}
+	if err := g.genBlock(g.decl.Body); err != nil {
+		return err
+	}
+	// Implicit return for void methods (dead if the body returned).
+	if g.m.Ret.Kind == bytecode.KVoid {
+		g.asm.Op(bytecode.RETURN)
+	} else if g.asm.Len() == 0 {
+		return errAt(g.decl.Line, g.decl.Col, "%s: missing return", g.m.QName())
+	}
+	code, err := g.asm.Finish()
+	if err != nil {
+		return errAt(g.decl.Line, g.decl.Col, "%s: %v", g.m.QName(), err)
+	}
+	g.m.Code = code
+	g.m.MaxLocals = g.nextLocal
+	g.popScope()
+	return nil
+}
+
+// zeroValue emits the zero of ty (locals are definitely assigned).
+func (g *genCtx) zeroValue(ty bytecode.Type) {
+	switch ty.Kind {
+	case bytecode.KFloat:
+		g.asm.Fconst(0)
+	case bytecode.KRef:
+		g.asm.Op(bytecode.ACONSTNULL)
+	default:
+		g.asm.Iconst(0)
+	}
+}
+
+func storeOp(k bytecode.Kind) bytecode.Opcode {
+	switch k {
+	case bytecode.KFloat:
+		return bytecode.FSTORE
+	case bytecode.KRef:
+		return bytecode.ASTORE
+	default:
+		return bytecode.ISTORE
+	}
+}
+
+func loadOp(k bytecode.Kind) bytecode.Opcode {
+	switch k {
+	case bytecode.KFloat:
+		return bytecode.FLOAD
+	case bytecode.KRef:
+		return bytecode.ALOAD
+	default:
+		return bytecode.ILOAD
+	}
+}
+
+func (g *genCtx) genBlock(b *Block) error {
+	g.pushScope()
+	defer g.popScope()
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *genCtx) genStmt(s Stmt) error {
+	switch n := s.(type) {
+	case *Block:
+		return g.genBlock(n)
+
+	case *VarDecl:
+		ty, err := g.c.resolveType(n.Type, false)
+		if err != nil {
+			return err
+		}
+		slot, err := g.declare(n.pos, n.Name, ty)
+		if err != nil {
+			return err
+		}
+		if n.Init != nil {
+			if err := g.genCoerced(n.Init, ty); err != nil {
+				return err
+			}
+		} else {
+			g.zeroValue(ty)
+		}
+		g.asm.OpA(storeOp(ty.Kind), int32(slot))
+		return nil
+
+	case *If:
+		elseL, endL := g.label("else"), g.label("endif")
+		if err := g.genCond(n.Cond, elseL, false); err != nil {
+			return err
+		}
+		if err := g.genStmt(n.Then); err != nil {
+			return err
+		}
+		if n.Else != nil {
+			g.asm.Branch(bytecode.GOTO, endL)
+			g.asm.Label(elseL)
+			if err := g.genStmt(n.Else); err != nil {
+				return err
+			}
+			g.asm.Label(endL)
+		} else {
+			g.asm.Label(elseL)
+		}
+		return nil
+
+	case *While:
+		loopL, endL := g.label("loop"), g.label("endloop")
+		g.asm.Label(loopL)
+		if err := g.genCond(n.Cond, endL, false); err != nil {
+			return err
+		}
+		g.loops = append(g.loops, loopLabels{brk: endL, cont: loopL})
+		err := g.genStmt(n.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		if err != nil {
+			return err
+		}
+		g.asm.Branch(bytecode.GOTO, loopL)
+		g.asm.Label(endL)
+		return nil
+
+	case *For:
+		g.pushScope()
+		defer g.popScope()
+		if n.Init != nil {
+			if err := g.genStmt(n.Init); err != nil {
+				return err
+			}
+		}
+		loopL, postL, endL := g.label("for"), g.label("forpost"), g.label("endfor")
+		g.asm.Label(loopL)
+		if n.Cond != nil {
+			if err := g.genCond(n.Cond, endL, false); err != nil {
+				return err
+			}
+		}
+		// continue jumps to the post statement, as in Java.
+		g.loops = append(g.loops, loopLabels{brk: endL, cont: postL})
+		err := g.genStmt(n.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		if err != nil {
+			return err
+		}
+		g.asm.Label(postL)
+		if n.Post != nil {
+			if err := g.genStmt(n.Post); err != nil {
+				return err
+			}
+		}
+		g.asm.Branch(bytecode.GOTO, loopL)
+		g.asm.Label(endL)
+		return nil
+
+	case *Break:
+		if len(g.loops) == 0 {
+			return errAt(n.Line, n.Col, "break outside a loop")
+		}
+		g.asm.Branch(bytecode.GOTO, g.loops[len(g.loops)-1].brk)
+		return nil
+
+	case *Continue:
+		if len(g.loops) == 0 {
+			return errAt(n.Line, n.Col, "continue outside a loop")
+		}
+		g.asm.Branch(bytecode.GOTO, g.loops[len(g.loops)-1].cont)
+		return nil
+
+	case *Return:
+		if g.m.Ret.Kind == bytecode.KVoid {
+			if n.Val != nil {
+				return errAt(n.Line, n.Col, "void method returns a value")
+			}
+			g.asm.Op(bytecode.RETURN)
+			return nil
+		}
+		if n.Val == nil {
+			return errAt(n.Line, n.Col, "missing return value")
+		}
+		if err := g.genCoerced(n.Val, g.m.Ret); err != nil {
+			return err
+		}
+		switch g.m.Ret.Kind {
+		case bytecode.KFloat:
+			g.asm.Op(bytecode.FRETURN)
+		case bytecode.KRef:
+			g.asm.Op(bytecode.ARETURN)
+		default:
+			g.asm.Op(bytecode.IRETURN)
+		}
+		return nil
+
+	case *ExprStmt:
+		switch e := n.E.(type) {
+		case *Assign:
+			return g.genAssign(e)
+		case *Call:
+			ty, err := g.genExpr(e)
+			if err != nil {
+				return err
+			}
+			if ty.Kind != bytecode.KVoid {
+				g.asm.Op(bytecode.POP)
+			}
+			return nil
+		default:
+			return errAt(n.Line, n.Col, "expression statement must be an assignment or a call")
+		}
+
+	default:
+		return fmt.Errorf("mj: unhandled statement %T", s)
+	}
+}
+
+// genAssign generates lhs = rhs.
+func (g *genCtx) genAssign(a *Assign) error {
+	switch lhs := a.LHS.(type) {
+	case *Ident:
+		if v, ok := g.lookup(lhs.Name); ok {
+			if err := g.genCoerced(a.RHS, v.ty); err != nil {
+				return err
+			}
+			g.asm.OpA(storeOp(v.ty.Kind), int32(v.slot))
+			return nil
+		}
+		// Implicit this.field.
+		fs, err := g.implicitField(lhs.pos, lhs.Name)
+		if err != nil {
+			return err
+		}
+		g.asm.OpA(bytecode.ALOAD, 0)
+		if err := g.genCoerced(a.RHS, fs.Type); err != nil {
+			return err
+		}
+		g.asm.OpA(putFieldOp(fs.Type.Kind), int32(fs.Slot))
+		return nil
+
+	case *FieldAccess:
+		xt, err := g.genExpr(lhs.X)
+		if err != nil {
+			return err
+		}
+		fs, err := g.fieldOf(lhs.pos, xt, lhs.Name)
+		if err != nil {
+			return err
+		}
+		if err := g.genCoerced(a.RHS, fs.Type); err != nil {
+			return err
+		}
+		g.asm.OpA(putFieldOp(fs.Type.Kind), int32(fs.Slot))
+		return nil
+
+	case *Index:
+		elem, err := g.genIndexPrefix(lhs)
+		if err != nil {
+			return err
+		}
+		if err := g.genCoerced(a.RHS, elem); err != nil {
+			return err
+		}
+		switch elem.Kind {
+		case bytecode.KFloat:
+			g.asm.Op(bytecode.FASTORE)
+		case bytecode.KRef:
+			g.asm.Op(bytecode.AASTORE)
+		default:
+			g.asm.Op(bytecode.IASTORE)
+		}
+		return nil
+
+	default:
+		return errAt(a.Line, a.Col, "invalid assignment target")
+	}
+}
+
+func putFieldOp(k bytecode.Kind) bytecode.Opcode {
+	switch k {
+	case bytecode.KFloat:
+		return bytecode.PUTFF
+	case bytecode.KRef:
+		return bytecode.PUTFA
+	default:
+		return bytecode.PUTFI
+	}
+}
+
+func getFieldOp(k bytecode.Kind) bytecode.Opcode {
+	switch k {
+	case bytecode.KFloat:
+		return bytecode.GETFF
+	case bytecode.KRef:
+		return bytecode.GETFA
+	default:
+		return bytecode.GETFI
+	}
+}
+
+// genIndexPrefix emits array and index, returning the element type.
+func (g *genCtx) genIndexPrefix(ix *Index) (bytecode.Type, error) {
+	xt, err := g.genExpr(ix.X)
+	if err != nil {
+		return bytecode.TVoid, err
+	}
+	if !xt.IsArray() {
+		return bytecode.TVoid, errAt(ix.Line, ix.Col, "indexing non-array type %v", xt)
+	}
+	if err := g.genCoerced(ix.I, bytecode.TInt); err != nil {
+		return bytecode.TVoid, err
+	}
+	return *xt.Elem, nil
+}
+
+// implicitField resolves a bare identifier as this.field.
+func (g *genCtx) implicitField(p pos, name string) (*bytecode.FieldSlot, error) {
+	if g.m.Static {
+		return nil, errAt(p.Line, p.Col, "unknown variable %s", name)
+	}
+	fs := g.class.FieldSlot(name)
+	if fs == nil {
+		return nil, errAt(p.Line, p.Col, "unknown variable or field %s", name)
+	}
+	return fs, nil
+}
+
+func (g *genCtx) fieldOf(p pos, t bytecode.Type, name string) (*bytecode.FieldSlot, error) {
+	if t.Kind != bytecode.KRef || t.Elem != nil {
+		return nil, errAt(p.Line, p.Col, "field access on non-object type %v", t)
+	}
+	cls := g.c.prog.Class(t.Class)
+	if cls == nil {
+		return nil, errAt(p.Line, p.Col, "unknown class %s", t.Class)
+	}
+	fs := cls.FieldSlot(name)
+	if fs == nil {
+		return nil, errAt(p.Line, p.Col, "class %s has no field %s", t.Class, name)
+	}
+	return fs, nil
+}
+
+// assignable reports whether a value of type from may be used where to
+// is expected, possibly via int->float widening (conv) or reference
+// widening.
+func (g *genCtx) assignable(from, to bytecode.Type) (widen bool, ok bool) {
+	if from.Equal(to) {
+		return false, true
+	}
+	if from.Kind == bytecode.KInt && to.Kind == bytecode.KFloat {
+		return true, true
+	}
+	if from.Kind == bytecode.KRef && to.Kind == bytecode.KRef {
+		// null (encoded as object type "") widens to any reference.
+		if from.Elem == nil && from.Class == "" {
+			return false, true
+		}
+		if from.Elem == nil && to.Elem == nil {
+			fc, tc := g.c.prog.Class(from.Class), g.c.prog.Class(to.Class)
+			if fc != nil && tc != nil && fc.IsSubclassOf(tc) {
+				return false, true
+			}
+		}
+	}
+	return false, false
+}
+
+// genCoerced emits e and converts it to type want.
+func (g *genCtx) genCoerced(e Expr, want bytecode.Type) error {
+	got, err := g.genExpr(e)
+	if err != nil {
+		return err
+	}
+	widen, ok := g.assignable(got, want)
+	if !ok {
+		p := e.Pos()
+		return errAt(p.Line, p.Col, "cannot use %v as %v", got, want)
+	}
+	if widen {
+		g.asm.Op(bytecode.I2F)
+	}
+	return nil
+}

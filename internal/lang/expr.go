@@ -1,0 +1,585 @@
+package lang
+
+import (
+	"greenvm/internal/bytecode"
+)
+
+// Expression type inference and code generation. inferType computes a
+// static type without emitting code (needed to pick widening before
+// operands are on the stack); genExpr emits code leaving the value on
+// the stack and returns its type.
+
+// tNull is the type of the null literal: a reference assignable to
+// any object or array type.
+var tNull = bytecode.Type{Kind: bytecode.KRef}
+
+func (g *genCtx) inferType(e Expr) (bytecode.Type, error) {
+	switch n := e.(type) {
+	case *IntLit, *BoolLit:
+		return bytecode.TInt, nil
+	case *FloatLit:
+		return bytecode.TFloat, nil
+	case *NullLit:
+		return tNull, nil
+	case *This:
+		if g.m.Static {
+			return bytecode.TVoid, errAt(n.Line, n.Col, "this in static method")
+		}
+		return bytecode.TObject(g.class.Name), nil
+	case *Ident:
+		if v, ok := g.lookup(n.Name); ok {
+			return v.ty, nil
+		}
+		fs, err := g.implicitField(n.pos, n.Name)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		return fs.Type, nil
+	case *Unary:
+		if n.Op == "!" {
+			return bytecode.TInt, nil
+		}
+		return g.inferType(n.X)
+	case *Binary:
+		switch n.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return bytecode.TInt, nil
+		}
+		lt, err := g.inferType(n.L)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		rt, err := g.inferType(n.R)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		if lt.Kind == bytecode.KFloat || rt.Kind == bytecode.KFloat {
+			return bytecode.TFloat, nil
+		}
+		return bytecode.TInt, nil
+	case *Assign:
+		return bytecode.TVoid, errAt(n.Line, n.Col, "assignment is a statement in MJ")
+	case *Index:
+		xt, err := g.inferType(n.X)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		if !xt.IsArray() {
+			return bytecode.TVoid, errAt(n.Line, n.Col, "indexing non-array type %v", xt)
+		}
+		return *xt.Elem, nil
+	case *FieldAccess:
+		xt, err := g.inferType(n.X)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		if xt.IsArray() && n.Name == "length" {
+			return bytecode.TInt, nil
+		}
+		fs, err := g.fieldOf(n.pos, xt, n.Name)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		return fs.Type, nil
+	case *Call:
+		m, _, err := g.resolveCall(n)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		return m.Ret, nil
+	case *New:
+		ty, err := g.c.resolveType(n.Type, false)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		if n.Len != nil {
+			return bytecode.TArray(ty), nil
+		}
+		return ty, nil
+	case *Cast:
+		return g.c.resolveType(n.To, false)
+	}
+	p := e.Pos()
+	return bytecode.TVoid, errAt(p.Line, p.Col, "cannot infer type")
+}
+
+// callShape describes how a resolved call is invoked.
+type callShape struct {
+	implicitThis bool // push ALOAD 0 as receiver
+	static       bool
+	recv         Expr // explicit receiver expression (nil otherwise)
+	recvType     bytecode.Type
+}
+
+// resolveCall resolves the target method of a call node.
+func (g *genCtx) resolveCall(n *Call) (*bytecode.Method, callShape, error) {
+	fail := func(format string, args ...interface{}) (*bytecode.Method, callShape, error) {
+		return nil, callShape{}, errAt(n.Line, n.Col, format, args...)
+	}
+	// Qualified static call: ClassName.method(...) — the receiver is
+	// an identifier naming a class and not shadowed by a variable.
+	if id, ok := n.Recv.(*Ident); ok {
+		if _, isVar := g.lookup(id.Name); !isVar {
+			if cls := g.c.prog.Class(id.Name); cls != nil {
+				m := g.c.prog.FindMethod(id.Name, n.Name)
+				if m == nil {
+					return fail("class %s has no method %s", id.Name, n.Name)
+				}
+				if !m.Static {
+					return fail("%s.%s is an instance method", id.Name, n.Name)
+				}
+				return m, callShape{static: true}, nil
+			}
+		}
+	}
+	if n.Recv != nil {
+		rt, err := g.inferType(n.Recv)
+		if err != nil {
+			return nil, callShape{}, err
+		}
+		if rt.Kind != bytecode.KRef || rt.Elem != nil {
+			return fail("method call on non-object type %v", rt)
+		}
+		cls := g.c.prog.Class(rt.Class)
+		if cls == nil {
+			return fail("unknown class %s", rt.Class)
+		}
+		m := cls.Resolve(n.Name)
+		if m == nil {
+			return fail("class %s has no method %s", rt.Class, n.Name)
+		}
+		return m, callShape{recv: n.Recv, recvType: rt}, nil
+	}
+	// Unqualified: search the enclosing class chain.
+	m := g.c.prog.FindMethod(g.class.Name, n.Name)
+	if m == nil {
+		return fail("unknown method %s", n.Name)
+	}
+	if m.Static {
+		return m, callShape{static: true}, nil
+	}
+	if g.m.Static {
+		return fail("instance method %s called from static context", n.Name)
+	}
+	return m, callShape{implicitThis: true}, nil
+}
+
+func (g *genCtx) genCall(n *Call) (bytecode.Type, error) {
+	m, shape, err := g.resolveCall(n)
+	if err != nil {
+		return bytecode.TVoid, err
+	}
+	if len(n.Args) != len(m.Params) {
+		return bytecode.TVoid, errAt(n.Line, n.Col,
+			"%s takes %d arguments, got %d", m.QName(), len(m.Params), len(n.Args))
+	}
+	switch {
+	case shape.implicitThis:
+		g.asm.OpA(bytecode.ALOAD, 0)
+	case shape.recv != nil:
+		if _, err := g.genExpr(shape.recv); err != nil {
+			return bytecode.TVoid, err
+		}
+	}
+	for i, a := range n.Args {
+		if err := g.genCoerced(a, m.Params[i]); err != nil {
+			return bytecode.TVoid, err
+		}
+	}
+	if m.Static {
+		g.asm.OpA(bytecode.INVOKESTATIC, int32(m.ID))
+	} else {
+		g.asm.OpA(bytecode.INVOKEVIRTUAL, int32(m.ID))
+	}
+	return m.Ret, nil
+}
+
+func (g *genCtx) genExpr(e Expr) (bytecode.Type, error) {
+	switch n := e.(type) {
+	case *IntLit:
+		g.asm.Iconst(int32(n.V))
+		return bytecode.TInt, nil
+	case *FloatLit:
+		g.asm.Fconst(n.V)
+		return bytecode.TFloat, nil
+	case *BoolLit:
+		if n.V {
+			g.asm.Iconst(1)
+		} else {
+			g.asm.Iconst(0)
+		}
+		return bytecode.TInt, nil
+	case *NullLit:
+		g.asm.Op(bytecode.ACONSTNULL)
+		return tNull, nil
+	case *This:
+		if g.m.Static {
+			return bytecode.TVoid, errAt(n.Line, n.Col, "this in static method")
+		}
+		g.asm.OpA(bytecode.ALOAD, 0)
+		return bytecode.TObject(g.class.Name), nil
+
+	case *Ident:
+		if v, ok := g.lookup(n.Name); ok {
+			g.asm.OpA(loadOp(v.ty.Kind), int32(v.slot))
+			return v.ty, nil
+		}
+		fs, err := g.implicitField(n.pos, n.Name)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		g.asm.OpA(bytecode.ALOAD, 0)
+		g.asm.OpA(getFieldOp(fs.Type.Kind), int32(fs.Slot))
+		return fs.Type, nil
+
+	case *Unary:
+		switch n.Op {
+		case "-":
+			t, err := g.genExpr(n.X)
+			if err != nil {
+				return bytecode.TVoid, err
+			}
+			switch t.Kind {
+			case bytecode.KInt:
+				g.asm.Op(bytecode.INEG)
+			case bytecode.KFloat:
+				g.asm.Op(bytecode.FNEG)
+			default:
+				return bytecode.TVoid, errAt(n.Line, n.Col, "negating %v", t)
+			}
+			return t, nil
+		case "!":
+			return g.materializeCond(n)
+		}
+		return bytecode.TVoid, errAt(n.Line, n.Col, "unknown unary %s", n.Op)
+
+	case *Binary:
+		switch n.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+			return g.materializeCond(n)
+		}
+		lt, err := g.inferType(n.L)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		rt, err := g.inferType(n.R)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		isFloat := lt.Kind == bytecode.KFloat || rt.Kind == bytecode.KFloat
+		if n.Op == "%" || n.Op == "&" || n.Op == "|" || n.Op == "^" {
+			if isFloat {
+				return bytecode.TVoid, errAt(n.Line, n.Col, "%s requires ints", n.Op)
+			}
+		}
+		want := bytecode.TInt
+		if isFloat {
+			want = bytecode.TFloat
+		}
+		if err := g.genCoerced(n.L, want); err != nil {
+			return bytecode.TVoid, err
+		}
+		if err := g.genCoerced(n.R, want); err != nil {
+			return bytecode.TVoid, err
+		}
+		var op bytecode.Opcode
+		if isFloat {
+			switch n.Op {
+			case "+":
+				op = bytecode.FADD
+			case "-":
+				op = bytecode.FSUB
+			case "*":
+				op = bytecode.FMUL
+			case "/":
+				op = bytecode.FDIV
+			default:
+				return bytecode.TVoid, errAt(n.Line, n.Col, "bad float operator %s", n.Op)
+			}
+		} else {
+			switch n.Op {
+			case "+":
+				op = bytecode.IADD
+			case "-":
+				op = bytecode.ISUB
+			case "*":
+				op = bytecode.IMUL
+			case "/":
+				op = bytecode.IDIV
+			case "%":
+				op = bytecode.IREM
+			case "&":
+				op = bytecode.IAND
+			case "|":
+				op = bytecode.IOR
+			case "^":
+				op = bytecode.IXOR
+			default:
+				return bytecode.TVoid, errAt(n.Line, n.Col, "bad int operator %s", n.Op)
+			}
+		}
+		g.asm.Op(op)
+		return want, nil
+
+	case *Assign:
+		return bytecode.TVoid, errAt(n.Line, n.Col, "assignment is a statement in MJ")
+
+	case *Index:
+		elem, err := g.genIndexPrefix(n)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		switch elem.Kind {
+		case bytecode.KFloat:
+			g.asm.Op(bytecode.FALOAD)
+		case bytecode.KRef:
+			g.asm.Op(bytecode.AALOAD)
+		default:
+			g.asm.Op(bytecode.IALOAD)
+		}
+		return elem, nil
+
+	case *FieldAccess:
+		xt, err := g.genExpr(n.X)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		if xt.IsArray() && n.Name == "length" {
+			g.asm.Op(bytecode.ARRAYLENGTH)
+			return bytecode.TInt, nil
+		}
+		fs, err := g.fieldOf(n.pos, xt, n.Name)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		g.asm.OpA(getFieldOp(fs.Type.Kind), int32(fs.Slot))
+		return fs.Type, nil
+
+	case *Call:
+		return g.genCall(n)
+
+	case *New:
+		ty, err := g.c.resolveType(n.Type, false)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		if n.Len != nil {
+			if err := g.genCoerced(n.Len, bytecode.TInt); err != nil {
+				return bytecode.TVoid, err
+			}
+			g.asm.OpA(bytecode.NEWARRAY, int32(bytecode.ElemKindOf(ty)))
+			return bytecode.TArray(ty), nil
+		}
+		if ty.Kind != bytecode.KRef || ty.Elem != nil {
+			return bytecode.TVoid, errAt(n.Line, n.Col, "new requires a class type")
+		}
+		cls := g.c.prog.Class(ty.Class)
+		g.asm.OpA(bytecode.NEW, int32(cls.ID))
+		return ty, nil
+
+	case *Cast:
+		to, err := g.c.resolveType(n.To, false)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		from, err := g.genExpr(n.X)
+		if err != nil {
+			return bytecode.TVoid, err
+		}
+		switch {
+		case from.Kind == bytecode.KInt && to.Kind == bytecode.KFloat:
+			g.asm.Op(bytecode.I2F)
+		case from.Kind == bytecode.KFloat && to.Kind == bytecode.KInt:
+			g.asm.Op(bytecode.F2I)
+		case from.Equal(to):
+		default:
+			return bytecode.TVoid, errAt(n.Line, n.Col, "cannot cast %v to %v", from, to)
+		}
+		return to, nil
+	}
+	p := e.Pos()
+	return bytecode.TVoid, errAt(p.Line, p.Col, "unhandled expression")
+}
+
+// materializeCond evaluates a boolean expression to an int 0/1.
+func (g *genCtx) materializeCond(e Expr) (bytecode.Type, error) {
+	trueL, endL := g.label("ctrue"), g.label("cend")
+	if err := g.genCond(e, trueL, true); err != nil {
+		return bytecode.TVoid, err
+	}
+	g.asm.Iconst(0)
+	g.asm.Branch(bytecode.GOTO, endL)
+	g.asm.Label(trueL)
+	g.asm.Iconst(1)
+	g.asm.Label(endL)
+	return bytecode.TInt, nil
+}
+
+// relOps maps a comparison to int and float compare-branch opcodes.
+// Float > and <= are compiled by swapping operands (the bytecode set
+// has only FCMPLT/FCMPGE).
+type relPlan struct {
+	intOp   bytecode.Opcode
+	floatOp bytecode.Opcode
+	swapF   bool
+}
+
+var relPlans = map[string]relPlan{
+	"==": {bytecode.IFICMPEQ, bytecode.IFFCMPEQ, false},
+	"!=": {bytecode.IFICMPNE, bytecode.IFFCMPNE, false},
+	"<":  {bytecode.IFICMPLT, bytecode.IFFCMPLT, false},
+	">=": {bytecode.IFICMPGE, bytecode.IFFCMPGE, false},
+	">":  {bytecode.IFICMPGT, bytecode.IFFCMPLT, true},
+	"<=": {bytecode.IFICMPLE, bytecode.IFFCMPGE, true},
+}
+
+// negatedInt maps an int compare-branch to its negation.
+var negatedInt = map[bytecode.Opcode]bytecode.Opcode{
+	bytecode.IFICMPEQ: bytecode.IFICMPNE,
+	bytecode.IFICMPNE: bytecode.IFICMPEQ,
+	bytecode.IFICMPLT: bytecode.IFICMPGE,
+	bytecode.IFICMPGE: bytecode.IFICMPLT,
+	bytecode.IFICMPGT: bytecode.IFICMPLE,
+	bytecode.IFICMPLE: bytecode.IFICMPGT,
+	bytecode.IFFCMPEQ: bytecode.IFFCMPNE,
+	bytecode.IFFCMPNE: bytecode.IFFCMPEQ,
+	bytecode.IFFCMPLT: bytecode.IFFCMPGE,
+	bytecode.IFFCMPGE: bytecode.IFFCMPLT,
+	bytecode.IFACMPEQ: bytecode.IFACMPNE,
+	bytecode.IFACMPNE: bytecode.IFACMPEQ,
+}
+
+// genCond emits a conditional branch to target, taken when the
+// condition's truth equals jumpIfTrue; otherwise control falls
+// through.
+func (g *genCtx) genCond(e Expr, target string, jumpIfTrue bool) error {
+	switch n := e.(type) {
+	case *BoolLit:
+		if n.V == jumpIfTrue {
+			g.asm.Branch(bytecode.GOTO, target)
+		}
+		return nil
+
+	case *Unary:
+		if n.Op == "!" {
+			return g.genCond(n.X, target, !jumpIfTrue)
+		}
+
+	case *Binary:
+		switch n.Op {
+		case "&&":
+			if jumpIfTrue {
+				// Jump to target only if both are true.
+				fall := g.label("andf")
+				if err := g.genCond(n.L, fall, false); err != nil {
+					return err
+				}
+				if err := g.genCond(n.R, target, true); err != nil {
+					return err
+				}
+				g.asm.Label(fall)
+				return nil
+			}
+			// Jump to target if either is false.
+			if err := g.genCond(n.L, target, false); err != nil {
+				return err
+			}
+			return g.genCond(n.R, target, false)
+		case "||":
+			if jumpIfTrue {
+				if err := g.genCond(n.L, target, true); err != nil {
+					return err
+				}
+				return g.genCond(n.R, target, true)
+			}
+			fall := g.label("orf")
+			if err := g.genCond(n.L, fall, true); err != nil {
+				return err
+			}
+			if err := g.genCond(n.R, target, false); err != nil {
+				return err
+			}
+			g.asm.Label(fall)
+			return nil
+
+		case "==", "!=", "<", "<=", ">", ">=":
+			lt, err := g.inferType(n.L)
+			if err != nil {
+				return err
+			}
+			rt, err := g.inferType(n.R)
+			if err != nil {
+				return err
+			}
+			// Reference comparison.
+			if lt.Kind == bytecode.KRef || rt.Kind == bytecode.KRef {
+				if lt.Kind != rt.Kind {
+					return errAt(n.Line, n.Col, "cannot compare %v with %v", lt, rt)
+				}
+				if n.Op != "==" && n.Op != "!=" {
+					return errAt(n.Line, n.Col, "references support only == and !=")
+				}
+				if _, err := g.genExpr(n.L); err != nil {
+					return err
+				}
+				if _, err := g.genExpr(n.R); err != nil {
+					return err
+				}
+				op := bytecode.IFACMPEQ
+				if n.Op == "!=" {
+					op = bytecode.IFACMPNE
+				}
+				if !jumpIfTrue {
+					op = negatedInt[op]
+				}
+				g.asm.Branch(op, target)
+				return nil
+			}
+			isFloat := lt.Kind == bytecode.KFloat || rt.Kind == bytecode.KFloat
+			want := bytecode.TInt
+			if isFloat {
+				want = bytecode.TFloat
+			}
+			plan, ok := relPlans[n.Op]
+			if !ok {
+				return errAt(n.Line, n.Col, "bad comparison %s", n.Op)
+			}
+			if err := g.genCoerced(n.L, want); err != nil {
+				return err
+			}
+			if err := g.genCoerced(n.R, want); err != nil {
+				return err
+			}
+			var op bytecode.Opcode
+			if isFloat {
+				if plan.swapF {
+					g.asm.Op(bytecode.SWAP)
+				}
+				op = plan.floatOp
+			} else {
+				op = plan.intOp
+			}
+			if !jumpIfTrue {
+				op = negatedInt[op]
+			}
+			g.asm.Branch(op, target)
+			return nil
+		}
+	}
+
+	// Generic: evaluate as int and compare against zero.
+	t, err := g.genExpr(e)
+	if err != nil {
+		return err
+	}
+	if t.Kind != bytecode.KInt {
+		p := e.Pos()
+		return errAt(p.Line, p.Col, "condition must be boolean (int), got %v", t)
+	}
+	if jumpIfTrue {
+		g.asm.Branch(bytecode.IFNE, target)
+	} else {
+		g.asm.Branch(bytecode.IFEQ, target)
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"greenvm/internal/energy"
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// Source-level differential fuzzing: random int expression trees are
+// rendered to MJ, compiled, interpreted, and compared against a direct
+// Go evaluation with Java's 32-bit wrapping semantics. This pins the
+// whole pipeline — precedence in the parser, typing, code generation,
+// the verifier, and the interpreter — against an independent oracle.
+
+type exprNode struct {
+	op   string // "a", "b", "lit", or a binary operator
+	lit  int32
+	l, r *exprNode
+}
+
+func genExpr(r *rng.RNG, depth int) *exprNode {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return &exprNode{op: "a"}
+		case 1:
+			return &exprNode{op: "b"}
+		default:
+			return &exprNode{op: "lit", lit: int32(r.Intn(201) - 100)}
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "/", "%"}
+	op := ops[r.Intn(len(ops))]
+	n := &exprNode{op: op, l: genExpr(r, depth-1)}
+	if op == "/" || op == "%" {
+		// Non-zero constant divisor keeps the program total.
+		n.r = &exprNode{op: "lit", lit: int32(r.Intn(50) + 1)}
+		if r.Intn(2) == 0 {
+			n.r.lit = -n.r.lit
+		}
+	} else {
+		n.r = genExpr(r, depth-1)
+	}
+	return n
+}
+
+func (n *exprNode) render(sb *strings.Builder) {
+	switch n.op {
+	case "a", "b":
+		sb.WriteString(n.op)
+	case "lit":
+		if n.lit < 0 {
+			fmt.Fprintf(sb, "(0 - %d)", -int64(n.lit))
+		} else {
+			fmt.Fprintf(sb, "%d", n.lit)
+		}
+	default:
+		sb.WriteByte('(')
+		n.l.render(sb)
+		fmt.Fprintf(sb, " %s ", n.op)
+		n.r.render(sb)
+		sb.WriteByte(')')
+	}
+}
+
+func (n *exprNode) eval(a, b int32) int32 {
+	switch n.op {
+	case "a":
+		return a
+	case "b":
+		return b
+	case "lit":
+		return n.lit
+	}
+	x, y := n.l.eval(a, b), n.r.eval(a, b)
+	switch n.op {
+	case "+":
+		return x + y
+	case "-":
+		return x - y
+	case "*":
+		return x * y
+	case "&":
+		return x & y
+	case "|":
+		return x | y
+	case "^":
+		return x ^ y
+	case "/":
+		return int32(int64(x) / int64(y)) // y never 0 or... INT_MIN/-1 wraps below
+	case "%":
+		return int32(int64(x) % int64(y))
+	default:
+		panic("bad op")
+	}
+}
+
+func TestExpressionFuzz(t *testing.T) {
+	r := rng.New(20030705)
+	for trial := 0; trial < 150; trial++ {
+		tree := genExpr(r, 4)
+		var sb strings.Builder
+		tree.render(&sb)
+		src := fmt.Sprintf(`class F { static int f(int a, int b) { return %s; } }`, sb.String())
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nsource: %s", trial, err, src)
+		}
+		v := vm.New(prog, energy.MicroSPARCIIep())
+		a, b := int32(r.Intn(2001)-1000), int32(r.Intn(2001)-1000)
+		res, err := v.InvokeByName("F", "f", []vm.Slot{vm.IntSlot(a), vm.IntSlot(b)})
+		if err != nil {
+			t.Fatalf("trial %d: %v\nsource: %s", trial, err, src)
+		}
+		want := tree.eval(a, b)
+		if int32(res.I) != want {
+			t.Fatalf("trial %d: f(%d,%d) = %d, want %d\nsource: %s",
+				trial, a, b, res.I, want, src)
+		}
+	}
+}
+
+// TestConditionFuzz does the same for boolean conditions: random
+// comparison/logic trees in if statements.
+func TestConditionFuzz(t *testing.T) {
+	r := rng.New(77077)
+	comparisons := []string{"<", "<=", ">", ">=", "==", "!="}
+	logic := []string{"&&", "||"}
+	var genCond func(depth int) (string, func(a, b int32) bool)
+	genCond = func(depth int) (string, func(a, b int32) bool) {
+		if depth <= 0 || r.Intn(2) == 0 {
+			op := comparisons[r.Intn(len(comparisons))]
+			c := int32(r.Intn(21) - 10)
+			lhsIsA := r.Intn(2) == 0
+			src := fmt.Sprintf("a %s %d", op, c)
+			if !lhsIsA {
+				src = fmt.Sprintf("b %s %d", op, c)
+			}
+			return src, func(a, b int32) bool {
+				x := a
+				if !lhsIsA {
+					x = b
+				}
+				switch op {
+				case "<":
+					return x < c
+				case "<=":
+					return x <= c
+				case ">":
+					return x > c
+				case ">=":
+					return x >= c
+				case "==":
+					return x == c
+				default:
+					return x != c
+				}
+			}
+		}
+		op := logic[r.Intn(2)]
+		negate := r.Intn(3) == 0
+		ls, lf := genCond(depth - 1)
+		rs, rf := genCond(depth - 1)
+		src := fmt.Sprintf("(%s %s %s)", ls, op, rs)
+		f := func(a, b int32) bool {
+			if op == "&&" {
+				return lf(a, b) && rf(a, b)
+			}
+			return lf(a, b) || rf(a, b)
+		}
+		if negate {
+			src = "!" + src
+			inner := f
+			f = func(a, b int32) bool { return !inner(a, b) }
+		}
+		return src, f
+	}
+	for trial := 0; trial < 120; trial++ {
+		condSrc, oracle := genCond(3)
+		src := fmt.Sprintf(`class F { static int f(int a, int b) { if (%s) { return 1; } return 0; } }`, condSrc)
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nsource: %s", trial, err, src)
+		}
+		v := vm.New(prog, energy.MicroSPARCIIep())
+		a, b := int32(r.Intn(41)-20), int32(r.Intn(41)-20)
+		res, err := v.InvokeByName("F", "f", []vm.Slot{vm.IntSlot(a), vm.IntSlot(b)})
+		if err != nil {
+			t.Fatalf("trial %d: %v\nsource: %s", trial, err, src)
+		}
+		want := int64(0)
+		if oracle(a, b) {
+			want = 1
+		}
+		if res.I != want {
+			t.Fatalf("trial %d: f(%d,%d) = %d, want %d\ncond: %s", trial, a, b, res.I, want, condSrc)
+		}
+	}
+}

@@ -1,0 +1,743 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"greenvm/internal/energy"
+	"greenvm/internal/vm"
+)
+
+// run compiles src and invokes Class.method with args, interpreted.
+func run(t *testing.T, src, class, method string, args ...vm.Slot) vm.Slot {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	v := vm.New(prog, energy.MicroSPARCIIep())
+	res, err := v.InvokeByName(class, method, args)
+	if err != nil {
+		t.Fatalf("run %s.%s: %v", class, method, err)
+	}
+	return res
+}
+
+func TestArithmeticAndLocals(t *testing.T) {
+	src := `
+class Main {
+  static int calc(int a, int b) {
+    int x = a * 3 + b / 2 - 1;
+    int y = x % 7;
+    return x * 10 + y;
+  }
+}`
+	got := run(t, src, "Main", "calc", vm.IntSlot(5), vm.IntSlot(8)).I
+	x := 5*3 + 8/2 - 1
+	want := int64(x*10 + x%7)
+	if got != want {
+		t.Errorf("calc = %d, want %d", got, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+class Main {
+  static int classify(int n) {
+    if (n < 0) { return 0 - 1; }
+    else if (n == 0) { return 0; }
+    return 1;
+  }
+  static int gauss(int n) {
+    int s = 0;
+    for (int i = 1; i <= n; i = i + 1) { s = s + i; }
+    return s;
+  }
+  static int countdown(int n) {
+    int c = 0;
+    while (n > 0) { n = n - 2; c = c + 1; }
+    return c;
+  }
+}`
+	if got := run(t, src, "Main", "classify", vm.IntSlot(-5)).I; got != -1 {
+		t.Errorf("classify(-5) = %d", got)
+	}
+	if got := run(t, src, "Main", "classify", vm.IntSlot(0)).I; got != 0 {
+		t.Errorf("classify(0) = %d", got)
+	}
+	if got := run(t, src, "Main", "gauss", vm.IntSlot(100)).I; got != 5050 {
+		t.Errorf("gauss(100) = %d", got)
+	}
+	if got := run(t, src, "Main", "countdown", vm.IntSlot(9)).I; got != 5 {
+		t.Errorf("countdown(9) = %d", got)
+	}
+}
+
+func TestBooleansAndShortCircuit(t *testing.T) {
+	src := `
+class Main {
+  static int bomb() { return 1 / 0; }
+  static int safe(int x) {
+    if (x > 0 && 10 / x > 2) { return 1; }
+    return 0;
+  }
+  static int orChain(int x) {
+    if (x == 1 || x == 2 || x == 3) { return 1; }
+    return 0;
+  }
+  static int notOp(int x) {
+    if (!(x > 5)) { return 1; }
+    return 0;
+  }
+  static int materialize(int a, int b) {
+    int c = a < b;
+    int d = a == b && true;
+    return c * 10 + d;
+  }
+}`
+	// safe(0) divides by zero only if && is not short-circuiting.
+	if got := run(t, src, "Main", "safe", vm.IntSlot(0)).I; got != 0 {
+		t.Errorf("safe(0) = %d", got)
+	}
+	if got := run(t, src, "Main", "safe", vm.IntSlot(3)).I; got != 1 {
+		t.Errorf("safe(3) = %d", got)
+	}
+	if got := run(t, src, "Main", "orChain", vm.IntSlot(2)).I; got != 1 {
+		t.Errorf("orChain(2) = %d", got)
+	}
+	if got := run(t, src, "Main", "orChain", vm.IntSlot(7)).I; got != 0 {
+		t.Errorf("orChain(7) = %d", got)
+	}
+	if got := run(t, src, "Main", "notOp", vm.IntSlot(3)).I; got != 1 {
+		t.Errorf("notOp(3) = %d", got)
+	}
+	if got := run(t, src, "Main", "materialize", vm.IntSlot(1), vm.IntSlot(1)).I; got != 1 {
+		t.Errorf("materialize(1,1) = %d, want 1", got)
+	}
+	if got := run(t, src, "Main", "materialize", vm.IntSlot(0), vm.IntSlot(1)).I; got != 10 {
+		t.Errorf("materialize(0,1) = %d, want 10", got)
+	}
+}
+
+func TestFloatsAndCasts(t *testing.T) {
+	src := `
+class Main {
+  static float mean(int a, int b) {
+    return (a + b) / 2.0;
+  }
+  static int trunc(float x) {
+    return (int) x;
+  }
+  static float widen(int x) {
+    float f = x;
+    return f * 0.5;
+  }
+  static int fcmp(float a, float b) {
+    if (a > b) { return 1; }
+    if (a <= b && a >= b) { return 0; }
+    return 0 - 1;
+  }
+}`
+	if got := run(t, src, "Main", "mean", vm.IntSlot(3), vm.IntSlot(4)).F; got != 3.5 {
+		t.Errorf("mean = %g", got)
+	}
+	if got := run(t, src, "Main", "trunc", vm.FloatSlot(-2.75)).I; got != -2 {
+		t.Errorf("trunc(-2.75) = %d", got)
+	}
+	if got := run(t, src, "Main", "widen", vm.IntSlot(9)).F; got != 4.5 {
+		t.Errorf("widen(9) = %g", got)
+	}
+	if got := run(t, src, "Main", "fcmp", vm.FloatSlot(2), vm.FloatSlot(1)).I; got != 1 {
+		t.Errorf("fcmp(2,1) = %d", got)
+	}
+	if got := run(t, src, "Main", "fcmp", vm.FloatSlot(1), vm.FloatSlot(1)).I; got != 0 {
+		t.Errorf("fcmp(1,1) = %d", got)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	src := `
+class Main {
+  static int sumSquares(int n) {
+    int[] a = new int[n];
+    for (int i = 0; i < a.length; i = i + 1) { a[i] = i * i; }
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+    return s;
+  }
+  static float dot(int n) {
+    float[] x = new float[n];
+    float[] y = new float[n];
+    for (int i = 0; i < n; i = i + 1) { x[i] = i; y[i] = 2 * i; }
+    float s = 0.0;
+    for (int i = 0; i < n; i = i + 1) { s = s + x[i] * y[i]; }
+    return s;
+  }
+  static int matrix(int n) {
+    int[][] m = new int[n][];
+    for (int i = 0; i < n; i = i + 1) {
+      m[i] = new int[n];
+      for (int j = 0; j < n; j = j + 1) { m[i][j] = i * n + j; }
+    }
+    return m[n-1][n-1];
+  }
+}`
+	if got := run(t, src, "Main", "sumSquares", vm.IntSlot(10)).I; got != 285 {
+		t.Errorf("sumSquares(10) = %d", got)
+	}
+	if got := run(t, src, "Main", "dot", vm.IntSlot(4)).F; got != 28 {
+		t.Errorf("dot(4) = %g", got)
+	}
+	if got := run(t, src, "Main", "matrix", vm.IntSlot(5)).I; got != 24 {
+		t.Errorf("matrix(5) = %d", got)
+	}
+}
+
+func TestObjectsAndVirtualDispatch(t *testing.T) {
+	src := `
+class Shape {
+  int tag;
+  int area() { return 0; }
+  int describe() { return this.area() * 10 + tag; }
+}
+class Square extends Shape {
+  int side;
+  int area() { return side * side; }
+}
+class Circle extends Shape {
+  int r;
+  int area() { return 3 * r * r; }
+}
+class Main {
+  static int test() {
+    Square s = new Square();
+    s.side = 4;
+    s.tag = 1;
+    Circle c = new Circle();
+    c.r = 2;
+    c.tag = 2;
+    Shape sh = s;
+    int total = sh.describe();
+    sh = c;
+    total = total + sh.describe();
+    return total;
+  }
+}`
+	// Square: 16*10+1 = 161; Circle: 12*10+2 = 122; total 283.
+	if got := run(t, src, "Main", "test").I; got != 283 {
+		t.Errorf("test = %d, want 283", got)
+	}
+}
+
+func TestLinkedStructures(t *testing.T) {
+	src := `
+class Node {
+  int val;
+  Node next;
+}
+class Main {
+  static int listSum(int n) {
+    Node head = null;
+    for (int i = 1; i <= n; i = i + 1) {
+      Node nd = new Node();
+      nd.val = i;
+      nd.next = head;
+      head = nd;
+    }
+    int s = 0;
+    while (head != null) {
+      s = s + head.val;
+      head = head.next;
+    }
+    return s;
+  }
+}`
+	if got := run(t, src, "Main", "listSum", vm.IntSlot(10)).I; got != 55 {
+		t.Errorf("listSum(10) = %d", got)
+	}
+}
+
+func TestRecursionAndStatics(t *testing.T) {
+	src := `
+class Math2 {
+  static int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+  }
+}
+class Main {
+  static int go(int n) { return Math2.fib(n); }
+}`
+	if got := run(t, src, "Main", "go", vm.IntSlot(12)).I; got != 144 {
+		t.Errorf("fib(12) = %d", got)
+	}
+}
+
+func TestInstanceMethodsAndThis(t *testing.T) {
+	src := `
+class Counter {
+  int n;
+  void bump(int by) { n = n + by; }
+  int get() { return n; }
+  int bumpTwice(int by) {
+    bump(by);
+    this.bump(by);
+    return get();
+  }
+}
+class Main {
+  static int test() {
+    Counter c = new Counter();
+    return c.bumpTwice(7);
+  }
+}`
+	if got := run(t, src, "Main", "test").I; got != 14 {
+		t.Errorf("test = %d, want 14", got)
+	}
+}
+
+func TestPotentialModifier(t *testing.T) {
+	src := `
+class App {
+  potential static int work(int n) { return n * 2; }
+  static int local(int n) { return n + 1; }
+}`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := prog.FindMethod("App", "work"); !m.Potential {
+		t.Error("work should be potential")
+	}
+	if m := prog.FindMethod("App", "local"); m.Potential {
+		t.Error("local should not be potential")
+	}
+	if ms := prog.PotentialMethods(); len(ms) != 1 {
+		t.Errorf("PotentialMethods = %d entries", len(ms))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown type":       `class A { static Foo f() { return null; } }`,
+		"unknown variable":   `class A { static int f() { return x; } }`,
+		"unknown method":     `class A { static int f() { return g(); } }`,
+		"arity mismatch":     `class A { static int g(int x) { return x; } static int f() { return g(); } }`,
+		"type mismatch":      `class A { static int f() { return 1.5; } }`,
+		"float mod":          `class A { static float f(float x) { return x % 2.0; } }`,
+		"assign to rvalue":   `class A { static void f() { 1 = 2; } }`,
+		"this in static":     `class A { int x; static int f() { return this.x; } }`,
+		"dup class":          `class A { } class A { }`,
+		"dup variable":       `class A { static void f() { int x = 1; int x = 2; } }`,
+		"void variable":      `class A { static void f() { void v; } }`,
+		"bad override":       `class A { int m() { return 1; } } class B extends A { float m() { return 1.0; } }`,
+		"index non-array":    `class A { static int f(int x) { return x[0]; } }`,
+		"unknown field":      `class A { static int f(A a) { return a.zz; } }`,
+		"instance as static": `class A { int m() { return 1; } static int f() { return m(); } }`,
+		"assign expr":        `class A { static int f(int x) { return x = 3; } }`,
+		"unterminated":       `class A { static int f() { return 1; }`,
+		"bad char":           `class A { static int f() { return 1 # 2; } }`,
+		"reserved class":     `class int { }`,
+		"compare ref int":    `class A { static int f(A a) { if (a == 1) { return 1; } return 0; } }`,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+}
+
+func TestRuntimeNullAndBounds(t *testing.T) {
+	src := `
+class Node { int v; Node next; }
+class Main {
+  static int deref(Node n) { return n.v; }
+  static int oob(int n) { int[] a = new int[n]; return a[n]; }
+}`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(prog, energy.MicroSPARCIIep())
+	if _, err := v.InvokeByName("Main", "deref", []vm.Slot{vm.RefSlot(0)}); err == nil {
+		t.Error("null deref should fail")
+	}
+	if _, err := v.InvokeByName("Main", "oob", []vm.Slot{vm.IntSlot(3)}); err == nil {
+		t.Error("out of bounds should fail")
+	}
+}
+
+func TestCommentsAndFormats(t *testing.T) {
+	src := `
+// line comment
+class Main {
+  /* block
+     comment */
+  static int f() {
+    int x = 10; // trailing
+    return x * 2;
+  }
+}`
+	if got := run(t, src, "Main", "f").I; got != 20 {
+		t.Errorf("f = %d", got)
+	}
+}
+
+func TestErrorMessagesHavePositions(t *testing.T) {
+	_, err := Compile("class A {\n  static int f() { return y; }\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "mj:2:") {
+		t.Errorf("error %q lacks line info", err)
+	}
+}
+
+func TestInt32Semantics(t *testing.T) {
+	src := `
+class Main {
+  static int overflow() {
+    int x = 2147483647;
+    return x + 1;
+  }
+  static int negdiv() { return (0 - 7) / 2; }
+  static int negrem() { return (0 - 7) % 2; }
+}`
+	if got := run(t, src, "Main", "overflow").I; got != -2147483648 {
+		t.Errorf("overflow = %d", got)
+	}
+	if got := run(t, src, "Main", "negdiv").I; got != -3 {
+		t.Errorf("negdiv = %d (Java truncates toward zero)", got)
+	}
+	if got := run(t, src, "Main", "negrem").I; got != -1 {
+		t.Errorf("negrem = %d", got)
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	src := `
+class Main {
+  static int f(int a, int b) {
+    return (a & b) * 100 + (a | b) * 10 + (a ^ b);
+  }
+}`
+	if got := run(t, src, "Main", "f", vm.IntSlot(12), vm.IntSlot(10)).I; got != 8*100+14*10+6 {
+		t.Errorf("bitwise = %d", got)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	src := `
+class P {
+  static int f() {
+    return 2 + 3 * 4;            // 14
+  }
+  static int g() {
+    return (2 + 3) * 4;          // 20
+  }
+  static int h(int a, int b) {
+    return a - b - 1;            // left assoc
+  }
+  static int cmp(int a, int b) {
+    return a + 1 < b * 2;        // arithmetic binds tighter than <
+  }
+  static int logic(int a, int b) {
+    return a == 1 && b == 2 || a == 3;  // && over ||
+  }
+  static int bits(int a, int b) {
+    return a & b ^ a | b;
+  }
+  static int unary(int a) {
+    return -a * 2;               // (-a)*2
+  }
+}`
+	if got := run(t, src, "P", "f").I; got != 14 {
+		t.Errorf("f = %d", got)
+	}
+	if got := run(t, src, "P", "g").I; got != 20 {
+		t.Errorf("g = %d", got)
+	}
+	if got := run(t, src, "P", "h", vm.IntSlot(10), vm.IntSlot(3)).I; got != 6 {
+		t.Errorf("h = %d", got)
+	}
+	if got := run(t, src, "P", "cmp", vm.IntSlot(2), vm.IntSlot(2)).I; got != 1 {
+		t.Errorf("cmp = %d", got)
+	}
+	if got := run(t, src, "P", "logic", vm.IntSlot(1), vm.IntSlot(2)).I; got != 1 {
+		t.Errorf("logic(1,2) = %d", got)
+	}
+	if got := run(t, src, "P", "logic", vm.IntSlot(3), vm.IntSlot(0)).I; got != 1 {
+		t.Errorf("logic(3,0) = %d", got)
+	}
+	if got := run(t, src, "P", "unary", vm.IntSlot(5)).I; got != -10 {
+		t.Errorf("unary = %d", got)
+	}
+}
+
+func TestChainedFieldAccess(t *testing.T) {
+	src := `
+class Node { int v; Node next; }
+class C {
+  static int third(int a, int b, int c) {
+    Node n1 = new Node(); Node n2 = new Node(); Node n3 = new Node();
+    n1.v = a; n2.v = b; n3.v = c;
+    n1.next = n2;
+    n2.next = n3;
+    n1.next.next.v = n1.next.next.v + 100;
+    return n1.next.next.v;
+  }
+}`
+	got := run(t, src, "C", "third", vm.IntSlot(1), vm.IntSlot(2), vm.IntSlot(3)).I
+	if got != 103 {
+		t.Errorf("third = %d, want 103", got)
+	}
+}
+
+func TestObjectArrays(t *testing.T) {
+	src := `
+class Item { int w; }
+class C {
+  static int heaviest(int n) {
+    Item[] items = new Item[n];
+    for (int i = 0; i < n; i = i + 1) {
+      items[i] = new Item();
+      items[i].w = (i * 37) % 17;
+    }
+    int best = 0;
+    for (int i = 1; i < n; i = i + 1) {
+      if (items[i].w > items[best].w) { best = i; }
+    }
+    return items[best].w * 1000 + best;
+  }
+}`
+	want := func(n int) int64 {
+		type item struct{ w int }
+		items := make([]item, n)
+		for i := range items {
+			items[i].w = (i * 37) % 17
+		}
+		best := 0
+		for i := 1; i < n; i++ {
+			if items[i].w > items[best].w {
+				best = i
+			}
+		}
+		return int64(items[best].w*1000 + best)
+	}
+	for _, n := range []int32{1, 5, 24} {
+		if got := run(t, src, "C", "heaviest", vm.IntSlot(n)).I; got != want(int(n)) {
+			t.Errorf("heaviest(%d) = %d, want %d", n, got, want(int(n)))
+		}
+	}
+}
+
+func TestForLoopVariants(t *testing.T) {
+	src := `
+class C {
+  static int noInit(int n) {
+    int s = 0;
+    int i = 0;
+    for (; i < n; i = i + 1) { s = s + 1; }
+    return s;
+  }
+  static int noPost(int n) {
+    int s = 0;
+    for (int i = 0; i < n;) { s = s + 2; i = i + 1; }
+    return s;
+  }
+  static int breakless(int n) {
+    // "infinite" for with an internal return.
+    for (int i = 0; true; i = i + 1) {
+      if (i >= n) { return i; }
+    }
+    return 0 - 1;
+  }
+}`
+	if got := run(t, src, "C", "noInit", vm.IntSlot(7)).I; got != 7 {
+		t.Errorf("noInit = %d", got)
+	}
+	if got := run(t, src, "C", "noPost", vm.IntSlot(7)).I; got != 14 {
+		t.Errorf("noPost = %d", got)
+	}
+	if got := run(t, src, "C", "breakless", vm.IntSlot(9)).I; got != 9 {
+		t.Errorf("breakless = %d", got)
+	}
+}
+
+func TestShadowingScopes(t *testing.T) {
+	src := `
+class C {
+  static int f(int x) {
+    int y = 1;
+    {
+      int z = 10;
+      y = y + z + x;
+    }
+    {
+      int z = 20;  // new scope, fresh slot
+      y = y + z;
+    }
+    return y;
+  }
+}`
+	if got := run(t, src, "C", "f", vm.IntSlot(5)).I; got != 36 {
+		t.Errorf("f = %d, want 36", got)
+	}
+}
+
+func TestSuperclassFieldAccessThroughSubclass(t *testing.T) {
+	src := `
+class Base { int a; }
+class Mid extends Base { int b; }
+class Leaf extends Mid {
+  int c;
+  int sum() { return a + b + c; }
+}
+class C {
+  static int test() {
+    Leaf l = new Leaf();
+    l.a = 1; l.b = 2; l.c = 4;
+    Base as = l;
+    as.a = 10;
+    return l.sum();
+  }
+}`
+	if got := run(t, src, "C", "test").I; got != 16 {
+		t.Errorf("test = %d, want 16", got)
+	}
+}
+
+func TestFloatScientificLiterals(t *testing.T) {
+	src := `
+class C {
+  static float f() { return 1.5e2 + 2.5e-1; }
+}`
+	if got := run(t, src, "C", "f").F; got != 150.25 {
+		t.Errorf("f = %g", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+class C {
+  static int firstDivisor(int n) {
+    int d = 0;
+    for (int i = 2; i < n; i = i + 1) {
+      if (n % i == 0) { d = i; break; }
+    }
+    return d;
+  }
+  static int sumOdds(int n) {
+    int s = 0;
+    for (int i = 0; i <= n; i = i + 1) {
+      if (i % 2 == 0) { continue; }
+      s = s + i;
+    }
+    return s;
+  }
+  static int whileBreak(int n) {
+    int i = 0;
+    while (true) {
+      if (i >= n) { break; }
+      i = i + 2;
+    }
+    return i;
+  }
+  static int nested(int n) {
+    int count = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      for (int j = 0; j < n; j = j + 1) {
+        if (j > i) { break; }       // inner break only
+        if ((i + j) % 3 == 0) { continue; }
+        count = count + 1;
+      }
+    }
+    return count;
+  }
+}`
+	if got := run(t, src, "C", "firstDivisor", vm.IntSlot(91)).I; got != 7 {
+		t.Errorf("firstDivisor(91) = %d, want 7", got)
+	}
+	if got := run(t, src, "C", "sumOdds", vm.IntSlot(10)).I; got != 25 {
+		t.Errorf("sumOdds(10) = %d, want 25", got)
+	}
+	if got := run(t, src, "C", "whileBreak", vm.IntSlot(7)).I; got != 8 {
+		t.Errorf("whileBreak(7) = %d, want 8", got)
+	}
+	// Oracle for nested.
+	oracle := func(n int) int64 {
+		count := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j > i {
+					break
+				}
+				if (i+j)%3 == 0 {
+					continue
+				}
+				count++
+			}
+		}
+		return int64(count)
+	}
+	for _, n := range []int32{0, 1, 5, 12} {
+		if got := run(t, src, "C", "nested", vm.IntSlot(n)).I; got != oracle(int(n)) {
+			t.Errorf("nested(%d) = %d, want %d", n, got, oracle(int(n)))
+		}
+	}
+}
+
+func TestBreakContinueErrors(t *testing.T) {
+	cases := map[string]string{
+		"break outside":    `class A { static void f() { break; } }`,
+		"continue outside": `class A { static void f() { continue; } }`,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+}
+
+// TestBreakContinueThroughJIT confirms the new control flow compiles
+// correctly at every optimization level (continue targets the for-post
+// block, which creates extra join points).
+func TestBreakContinueAllEngines(t *testing.T) {
+	src := `
+class C {
+  static int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      if (i % 4 == 1) { continue; }
+      if (s > 400) { break; }
+      s = s + i;
+    }
+    return s;
+  }
+}`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(prog, energy.MicroSPARCIIep())
+	want, err := v.InvokeByName("C", "f", []vm.Slot{vm.IntSlot(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := func(n int) int64 {
+		s := 0
+		for i := 0; i < n; i++ {
+			if i%4 == 1 {
+				continue
+			}
+			if s > 400 {
+				break
+			}
+			s += i
+		}
+		return int64(s)
+	}
+	if want.I != oracle(100) {
+		t.Fatalf("interp = %d, oracle %d", want.I, oracle(100))
+	}
+}

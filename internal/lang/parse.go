@@ -1,0 +1,633 @@
+package lang
+
+// Recursive-descent parser for MJ.
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses an MJ source file.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(tEOF, "") {
+		c, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		f.Classes = append(f.Classes, c)
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(k, text) {
+		want := text
+		if want == "" {
+			switch k {
+			case tIdent:
+				want = "identifier"
+			case tInt:
+				want = "integer"
+			}
+		}
+		return t, errAt(t.line, t.col, "expected %q, found %s", want, t)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) posOf(t token) pos { return pos{t.line, t.col} }
+
+// isTypeStart reports whether the current token begins a type.
+func (p *parser) isTypeStart() bool {
+	t := p.cur()
+	return t.kind == tKeyword && (t.text == "int" || t.text == "float" || t.text == "void") ||
+		t.kind == tIdent
+}
+
+func (p *parser) typeExpr() (TypeExpr, error) {
+	t := p.cur()
+	if !p.isTypeStart() {
+		return TypeExpr{}, errAt(t.line, t.col, "expected type, found %s", t)
+	}
+	p.i++
+	te := TypeExpr{pos: p.posOf(t), Base: t.text}
+	for p.at(tPunct, "[") && p.toks[p.i+1].kind == tPunct && p.toks[p.i+1].text == "]" {
+		p.i += 2
+		te.Dims++
+	}
+	return te, nil
+}
+
+func (p *parser) classDecl() (*ClassDecl, error) {
+	kw, err := p.expect(tKeyword, "class")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	c := &ClassDecl{pos: p.posOf(kw), Name: name.text}
+	if p.accept(tKeyword, "extends") {
+		sup, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		c.Super = sup.text
+	}
+	if _, err := p.expect(tPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !p.accept(tPunct, "}") {
+		if p.at(tEOF, "") {
+			t := p.cur()
+			return nil, errAt(t.line, t.col, "unexpected end of file in class %s", c.Name)
+		}
+		if err := p.member(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// member parses a field or method declaration into c.
+func (p *parser) member(c *ClassDecl) error {
+	start := p.cur()
+	static := false
+	potential := false
+	for {
+		if p.accept(tKeyword, "static") {
+			static = true
+			continue
+		}
+		if p.accept(tKeyword, "potential") {
+			potential = true
+			continue
+		}
+		break
+	}
+	ty, err := p.typeExpr()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(tIdent, "")
+	if err != nil {
+		return err
+	}
+	if p.at(tPunct, "(") {
+		m := &MethodDecl{pos: p.posOf(start), Name: name.text, Static: static, Potential: potential, Ret: ty}
+		p.i++ // '('
+		if !p.accept(tPunct, ")") {
+			for {
+				pt, err := p.typeExpr()
+				if err != nil {
+					return err
+				}
+				pn, err := p.expect(tIdent, "")
+				if err != nil {
+					return err
+				}
+				m.Params = append(m.Params, Param{pos: p.posOf(pn), Name: pn.text, Type: pt})
+				if p.accept(tPunct, ")") {
+					break
+				}
+				if _, err := p.expect(tPunct, ","); err != nil {
+					return err
+				}
+			}
+		}
+		body, err := p.block()
+		if err != nil {
+			return err
+		}
+		m.Body = body
+		c.Methods = append(c.Methods, m)
+		return nil
+	}
+	if static || potential {
+		return errAt(start.line, start.col, "fields cannot be static or potential")
+	}
+	if _, err := p.expect(tPunct, ";"); err != nil {
+		return err
+	}
+	c.Fields = append(c.Fields, &FieldDecl{pos: p.posOf(start), Name: name.text, Type: ty})
+	return nil
+}
+
+func (p *parser) block() (*Block, error) {
+	lb, err := p.expect(tPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{pos: p.posOf(lb)}
+	for !p.accept(tPunct, "}") {
+		if p.at(tEOF, "") {
+			t := p.cur()
+			return nil, errAt(t.line, t.col, "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// looksLikeVarDecl distinguishes `T name ...` from an expression.
+func (p *parser) looksLikeVarDecl() bool {
+	t := p.cur()
+	if t.kind == tKeyword && (t.text == "int" || t.text == "float") {
+		return true
+	}
+	if t.kind != tIdent {
+		return false
+	}
+	// ClassName name  |  ClassName[] name
+	j := p.i + 1
+	for j+1 < len(p.toks) && p.toks[j].kind == tPunct && p.toks[j].text == "[" &&
+		p.toks[j+1].kind == tPunct && p.toks[j+1].text == "]" {
+		j += 2
+	}
+	return j < len(p.toks) && p.toks[j].kind == tIdent
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tPunct, "{"):
+		return p.block()
+
+	case p.at(tKeyword, "if"):
+		p.i++
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		node := &If{pos: p.posOf(t), Cond: cond, Then: then}
+		if p.accept(tKeyword, "else") {
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+		return node, nil
+
+	case p.at(tKeyword, "while"):
+		p.i++
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{pos: p.posOf(t), Cond: cond, Body: body}, nil
+
+	case p.at(tKeyword, "for"):
+		p.i++
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		node := &For{pos: p.posOf(t)}
+		if !p.accept(tPunct, ";") {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Init = init
+			if _, err := p.expect(tPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.at(tPunct, ";") {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			node.Cond = cond
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tPunct, ")") {
+			post, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Post = post
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Body = body
+		return node, nil
+
+	case p.at(tKeyword, "break"):
+		p.i++
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Break{pos: p.posOf(t)}, nil
+
+	case p.at(tKeyword, "continue"):
+		p.i++
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Continue{pos: p.posOf(t)}, nil
+
+	case p.at(tKeyword, "return"):
+		p.i++
+		node := &Return{pos: p.posOf(t)}
+		if !p.at(tPunct, ";") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			node.Val = v
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return node, nil
+
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// simpleStmt is a var declaration or an expression statement (no
+// trailing semicolon).
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	if p.looksLikeVarDecl() {
+		ty, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		node := &VarDecl{pos: p.posOf(t), Type: ty, Name: name.text}
+		if p.accept(tPunct, "=") {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			node.Init = init
+		}
+		return node, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{pos: p.posOf(t), E: e}, nil
+}
+
+// Expression grammar, lowest precedence first.
+
+func (p *parser) expr() (Expr, error) { return p.assignment() }
+
+func (p *parser) assignment() (Expr, error) {
+	lhs, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tPunct, "=") {
+		t := p.next()
+		switch lhs.(type) {
+		case *Ident, *FieldAccess, *Index:
+		default:
+			return nil, errAt(t.line, t.col, "invalid assignment target")
+		}
+		rhs, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{pos: p.posOf(t), LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) binaryLevel(ops []string, sub func() (Expr, error)) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.at(tPunct, op) {
+				t := p.next()
+				r, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				l = &Binary{pos: p.posOf(t), Op: op, L: l, R: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	return p.binaryLevel([]string{"||"}, p.andExpr)
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	return p.binaryLevel([]string{"&&"}, p.bitExpr)
+}
+
+func (p *parser) bitExpr() (Expr, error) {
+	return p.binaryLevel([]string{"&", "|", "^"}, p.eqExpr)
+}
+
+func (p *parser) eqExpr() (Expr, error) {
+	return p.binaryLevel([]string{"==", "!="}, p.relExpr)
+}
+
+func (p *parser) relExpr() (Expr, error) {
+	return p.binaryLevel([]string{"<=", ">=", "<", ">"}, p.addExpr)
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	return p.binaryLevel([]string{"+", "-"}, p.mulExpr)
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	return p.binaryLevel([]string{"*", "/", "%"}, p.unary)
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.at(tPunct, "-"):
+		p.i++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{pos: p.posOf(t), Op: "-", X: x}, nil
+	case p.at(tPunct, "!"):
+		p.i++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{pos: p.posOf(t), Op: "!", X: x}, nil
+	case p.at(tPunct, "(") && p.toks[p.i+1].kind == tKeyword &&
+		(p.toks[p.i+1].text == "int" || p.toks[p.i+1].text == "float") &&
+		p.toks[p.i+2].kind == tPunct && p.toks[p.i+2].text == ")":
+		p.i++ // '('
+		ty, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Cast{pos: p.posOf(t), To: ty, X: x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tPunct, "."):
+			t := p.next()
+			name, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			if p.at(tPunct, "(") {
+				args, err := p.callArgs()
+				if err != nil {
+					return nil, err
+				}
+				e = &Call{pos: p.posOf(t), Recv: e, Name: name.text, Args: args}
+			} else {
+				e = &FieldAccess{pos: p.posOf(t), X: e, Name: name.text}
+			}
+		case p.at(tPunct, "["):
+			t := p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = &Index{pos: p.posOf(t), X: e, I: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) callArgs() ([]Expr, error) {
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.accept(tPunct, ")") {
+		return args, nil
+	}
+	for {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.accept(tPunct, ")") {
+			return args, nil
+		}
+		if _, err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tInt:
+		p.i++
+		return &IntLit{pos: p.posOf(t), V: t.ival}, nil
+	case t.kind == tFloat:
+		p.i++
+		return &FloatLit{pos: p.posOf(t), V: t.fval}, nil
+	case p.at(tKeyword, "true"):
+		p.i++
+		return &BoolLit{pos: p.posOf(t), V: true}, nil
+	case p.at(tKeyword, "false"):
+		p.i++
+		return &BoolLit{pos: p.posOf(t), V: false}, nil
+	case p.at(tKeyword, "null"):
+		p.i++
+		return &NullLit{pos: p.posOf(t)}, nil
+	case p.at(tKeyword, "this"):
+		p.i++
+		return &This{pos: p.posOf(t)}, nil
+	case p.at(tKeyword, "new"):
+		p.i++
+		base := p.cur()
+		if !p.isTypeStart() || base.text == "void" {
+			return nil, errAt(base.line, base.col, "expected type after new")
+		}
+		p.i++
+		ty := TypeExpr{pos: p.posOf(base), Base: base.text}
+		if p.at(tPunct, "[") {
+			p.i++
+			ln, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, "]"); err != nil {
+				return nil, err
+			}
+			// Further [] pairs add dimensions (allocated empty).
+			for p.at(tPunct, "[") && p.toks[p.i+1].kind == tPunct && p.toks[p.i+1].text == "]" {
+				p.i += 2
+				ty.Dims++
+			}
+			return &New{pos: p.posOf(t), Type: ty, Len: ln}, nil
+		}
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &New{pos: p.posOf(t), Type: ty}, nil
+	case t.kind == tIdent:
+		p.i++
+		if p.at(tPunct, "(") {
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{pos: p.posOf(t), Name: t.text, Args: args}, nil
+		}
+		return &Ident{pos: p.posOf(t), Name: t.text}, nil
+	case p.at(tPunct, "("):
+		p.i++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errAt(t.line, t.col, "unexpected %s", t)
+}

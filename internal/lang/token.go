@@ -1,0 +1,234 @@
+// Package lang implements MJ, the small Java-like language the
+// benchmark applications are written in. MJ compiles to MJVM bytecode:
+// classes with single inheritance, virtual methods, int (32-bit),
+// float (64-bit), arrays (including arrays of arrays and of objects),
+// and structured control flow. The `potential` method modifier is the
+// source-level form of the paper's class-file annotation marking
+// methods as candidates for remote execution.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tFloat
+	tPunct   // operators and delimiters
+	tKeyword // reserved words
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of file"
+	case tInt, tFloat, tIdent:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+var keywords = map[string]bool{
+	"class": true, "extends": true, "static": true, "potential": true,
+	"int": true, "float": true, "void": true, "boolean": false,
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+	"break": true, "continue": true,
+	"new": true, "null": true, "this": true, "true": true, "false": true,
+}
+
+// Error is a compile error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("mj:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...interface{}) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *lexer) peekRune() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) nextRune() rune {
+	r := lx.peekRune()
+	if r == 0 {
+		return 0
+	}
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for {
+		r := lx.peekRune()
+		switch {
+		case r == 0:
+			return nil
+		case unicode.IsSpace(r):
+			lx.nextRune()
+		case r == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.peekRune() != 0 && lx.peekRune() != '\n' {
+				lx.nextRune()
+			}
+		case r == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			line, col := lx.line, lx.col
+			lx.nextRune()
+			lx.nextRune()
+			for {
+				if lx.peekRune() == 0 {
+					return errAt(line, col, "unterminated block comment")
+				}
+				if lx.peekRune() == '*' {
+					lx.nextRune()
+					if lx.peekRune() == '/' {
+						lx.nextRune()
+						break
+					}
+					continue
+				}
+				lx.nextRune()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// multi-rune punctuation, longest first.
+var puncts = []string{
+	"<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".",
+}
+
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	line, col := lx.line, lx.col
+	r := lx.peekRune()
+	if r == 0 {
+		return token{kind: tEOF, line: line, col: col}, nil
+	}
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for {
+			r := lx.peekRune()
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			b.WriteRune(lx.nextRune())
+		}
+		text := b.String()
+		if keywords[text] {
+			return token{kind: tKeyword, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tIdent, text: text, line: line, col: col}, nil
+
+	case unicode.IsDigit(r):
+		var b strings.Builder
+		isFloat := false
+		for unicode.IsDigit(lx.peekRune()) {
+			b.WriteRune(lx.nextRune())
+		}
+		if lx.peekRune() == '.' && lx.pos+1 < len(lx.src) && unicode.IsDigit(lx.src[lx.pos+1]) {
+			isFloat = true
+			b.WriteRune(lx.nextRune())
+			for unicode.IsDigit(lx.peekRune()) {
+				b.WriteRune(lx.nextRune())
+			}
+			if lx.peekRune() == 'e' || lx.peekRune() == 'E' {
+				b.WriteRune(lx.nextRune())
+				if lx.peekRune() == '-' || lx.peekRune() == '+' {
+					b.WriteRune(lx.nextRune())
+				}
+				for unicode.IsDigit(lx.peekRune()) {
+					b.WriteRune(lx.nextRune())
+				}
+			}
+		}
+		text := b.String()
+		if isFloat {
+			var f float64
+			if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+				return token{}, errAt(line, col, "bad float literal %q", text)
+			}
+			return token{kind: tFloat, text: text, fval: f, line: line, col: col}, nil
+		}
+		var v int64
+		if _, err := fmt.Sscanf(text, "%d", &v); err != nil || v > 1<<31-1 {
+			return token{}, errAt(line, col, "bad int literal %q", text)
+		}
+		return token{kind: tInt, text: text, ival: v, line: line, col: col}, nil
+
+	default:
+		rest := string(lx.src[lx.pos:])
+		for _, p := range puncts {
+			if strings.HasPrefix(rest, p) {
+				for range p {
+					lx.nextRune()
+				}
+				return token{kind: tPunct, text: p, line: line, col: col}, nil
+			}
+		}
+		return token{}, errAt(line, col, "unexpected character %q", r)
+	}
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package mem simulates the memory hierarchy of the paper's mobile
+// client: an on-chip 16 KB direct-mapped instruction cache, an 8 KB
+// direct-mapped data cache, and an off-chip 32 MB DRAM module. Cache
+// hits are free (their energy is folded into the Fig 1 per-instruction
+// values, which were measured with on-chip caches present); misses
+// transfer a full line from DRAM, charging the Fig 1 main-memory energy
+// per word and stalling the pipeline.
+package mem
+
+import (
+	"fmt"
+
+	"greenvm/internal/energy"
+)
+
+// CacheConfig describes a direct-mapped cache.
+type CacheConfig struct {
+	// SizeBytes is the total capacity. Must be a power of two.
+	SizeBytes int
+	// LineBytes is the line size. Must be a power of two.
+	LineBytes int
+}
+
+// Lines returns the number of lines in the cache.
+func (c CacheConfig) Lines() int { return c.SizeBytes / c.LineBytes }
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Cache is a direct-mapped cache with valid/tag state and hit/miss
+// counters. It models placement only; data contents live in the VM.
+type Cache struct {
+	cfg       CacheConfig
+	lineShift uint
+	indexMask uint64
+	tags      []uint64
+	valid     []bool
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache returns an empty cache. It panics if the configuration is
+// not a power-of-two geometry, which indicates a programming error in
+// the platform definition rather than a runtime condition.
+func NewCache(cfg CacheConfig) *Cache {
+	if !isPow2(cfg.SizeBytes) || !isPow2(cfg.LineBytes) || cfg.LineBytes > cfg.SizeBytes {
+		panic(fmt.Sprintf("mem: invalid cache geometry %+v", cfg))
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	n := cfg.Lines()
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		indexMask: uint64(n - 1),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access looks up addr, updating the cache state, and reports whether
+// it hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	idx := line & c.indexMask
+	if c.valid[idx] && c.tags[idx] == line {
+		c.Hits++
+		return true
+	}
+	c.valid[idx] = true
+	c.tags[idx] = line
+	c.Misses++
+	return false
+}
+
+// Flush invalidates every line. Used between independent simulations.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// MissRate returns misses / accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Hierarchy bundles the client's I-cache, D-cache and DRAM cost model
+// and charges an energy.Account for the traffic it sees.
+type Hierarchy struct {
+	ICache *Cache
+	DCache *Cache
+	model  *energy.CPUModel
+	acct   *energy.Account
+}
+
+// DefaultClientHierarchy returns the paper's client memory system:
+// 16 KB I-cache and 8 KB D-cache, direct-mapped, 32-byte lines.
+func DefaultClientHierarchy(model *energy.CPUModel, acct *energy.Account) *Hierarchy {
+	return &Hierarchy{
+		ICache: NewCache(CacheConfig{SizeBytes: 16 * 1024, LineBytes: 32}),
+		DCache: NewCache(CacheConfig{SizeBytes: 8 * 1024, LineBytes: 32}),
+		model:  model,
+		acct:   acct,
+	}
+}
+
+// SetAccount redirects future charges to acct.
+func (h *Hierarchy) SetAccount(acct *energy.Account) { h.acct = acct }
+
+// Account returns the account currently being charged.
+func (h *Hierarchy) Account() *energy.Account { return h.acct }
+
+func (h *Hierarchy) miss() {
+	h.acct.AddMemAccess(uint64(h.model.CacheLineWords))
+	h.acct.AddStallCycles(uint64(h.model.MissPenaltyCycles))
+}
+
+// FetchInstr models an instruction fetch at addr.
+func (h *Hierarchy) FetchInstr(addr uint64) {
+	if !h.ICache.Access(addr) {
+		h.miss()
+	}
+}
+
+// Data models a data access of n consecutive 32-bit words at addr.
+func (h *Hierarchy) Data(addr uint64, words int) {
+	for i := 0; i < words; i++ {
+		if !h.DCache.Access(addr + uint64(4*i)) {
+			h.miss()
+		}
+	}
+}
+
+// Flush invalidates both caches.
+func (h *Hierarchy) Flush() {
+	h.ICache.Flush()
+	h.DCache.Flush()
+}

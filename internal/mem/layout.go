@@ -1,0 +1,56 @@
+package mem
+
+// The simulated client has a flat 32-bit physical address space laid
+// out in fixed regions. Actual data lives in Go structures inside the
+// VM; these synthetic addresses exist so that the cache simulator sees
+// realistic locality (sequential code, object fields on common lines,
+// stack frames reused hot).
+const (
+	// CodeBase is where compiled native method bodies are placed.
+	CodeBase uint64 = 0x0040_0000
+	// BytecodeBase is where class files (interpreted bytecode streams)
+	// are placed; the interpreter fetches bytecodes through the D-cache
+	// from this region.
+	BytecodeBase uint64 = 0x00C0_0000
+	// HeapBase is the start of the object heap.
+	HeapBase uint64 = 0x0100_0000
+	// StackBase is the top of the downward-growing frame stack.
+	StackBase uint64 = 0x01F0_0000
+	// DRAMSize is the client's 32 MB DRAM module.
+	DRAMSize uint64 = 32 << 20
+)
+
+// Allocator hands out addresses in a region with bump allocation.
+// It is used for code placement and heap objects.
+type Allocator struct {
+	base uint64
+	next uint64
+	end  uint64
+}
+
+// NewAllocator returns a bump allocator over [base, base+size).
+func NewAllocator(base, size uint64) *Allocator {
+	return &Allocator{base: base, next: base, end: base + size}
+}
+
+// Alloc reserves n bytes, aligned to align (a power of two), and
+// returns the starting address. When the region is exhausted it wraps
+// around: the simulation only needs plausible addresses, not a real
+// out-of-memory model.
+func (a *Allocator) Alloc(n uint64, align uint64) uint64 {
+	if align == 0 {
+		align = 1
+	}
+	p := (a.next + align - 1) &^ (align - 1)
+	if p+n > a.end {
+		p = (a.base + align - 1) &^ (align - 1)
+	}
+	a.next = p + n
+	return p
+}
+
+// Used reports the number of bytes handed out since the last wrap.
+func (a *Allocator) Used() uint64 { return a.next - a.base }
+
+// Reset returns the allocator to an empty state.
+func (a *Allocator) Reset() { a.next = a.base }

@@ -1,0 +1,210 @@
+// Package pgm reads and writes portable graymap images (the format
+// the paper's Median-Filter benchmark consumes) and synthesizes
+// deterministic test images for the image-processing benchmarks.
+package pgm
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"greenvm/internal/rng"
+)
+
+// ErrFormat reports a malformed PGM stream.
+var ErrFormat = errors.New("pgm: invalid format")
+
+// Image is an 8-bit grayscale image. Pixels are stored row-major as
+// ints for direct transfer into MJVM int arrays.
+type Image struct {
+	W, H int
+	Pix  []int
+}
+
+// New returns a black image of the given size.
+func New(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]int, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-range coordinates clamp.
+func (im *Image) At(x, y int) int {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y), clamping the value to [0, 255].
+func (im *Image) Set(x, y, v int) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = clamp(v)
+}
+
+func clamp(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// Encode writes the image as binary PGM (P5).
+func Encode(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	for _, p := range im.Pix {
+		if err := bw.WriteByte(byte(clamp(p))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a binary (P5) or ASCII (P2) PGM image.
+func Decode(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := nextToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("%w: magic %q", ErrFormat, magic)
+	}
+	w, err := nextInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := nextInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxv, err := nextInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 || maxv <= 0 || maxv > 65535 || w*h > 1<<26 {
+		return nil, fmt.Errorf("%w: bad dimensions %dx%d max %d", ErrFormat, w, h, maxv)
+	}
+	im := New(w, h)
+	if magic == "P2" {
+		for i := range im.Pix {
+			v, err := nextInt(br)
+			if err != nil {
+				return nil, err
+			}
+			im.Pix[i] = clamp(v * 255 / maxv)
+		}
+		return im, nil
+	}
+	// P5: a single whitespace byte separates the header from raster.
+	buf := make([]byte, w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("%w: short raster: %v", ErrFormat, err)
+	}
+	for i, b := range buf {
+		im.Pix[i] = int(b) * 255 / maxv
+	}
+	return im, nil
+}
+
+// nextToken skips whitespace and comments and returns the next token.
+func nextToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func nextInt(br *bufio.Reader) (int, error) {
+	tok, err := nextToken(br)
+	if err != nil {
+		return 0, err
+	}
+	var v int
+	if _, err := fmt.Sscanf(tok, "%d", &v); err != nil {
+		return 0, fmt.Errorf("%w: %q is not a number", ErrFormat, tok)
+	}
+	return v, nil
+}
+
+// Synthetic renders a deterministic test scene — gradient background,
+// rectangles, a disc and speckle noise — sized w x h. The same seed
+// yields the same image.
+func Synthetic(w, h int, seed uint64) *Image {
+	im := New(w, h)
+	r := rng.New(seed)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Pix[y*w+x] = clamp((x*255/maxi(w-1, 1) + y*128/maxi(h-1, 1)) / 2 * 2)
+		}
+	}
+	// Rectangles.
+	for i := 0; i < 3; i++ {
+		x0, y0 := r.Intn(maxi(w-4, 1)), r.Intn(maxi(h-4, 1))
+		rw, rh := 2+r.Intn(maxi(w/3, 1)), 2+r.Intn(maxi(h/3, 1))
+		v := 30 + r.Intn(225)
+		for y := y0; y < y0+rh && y < h; y++ {
+			for x := x0; x < x0+rw && x < w; x++ {
+				im.Pix[y*w+x] = v
+			}
+		}
+	}
+	// Disc.
+	cx, cy := w/2, h/2
+	rad := maxi(w, h) / 5
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx, dy := x-cx, y-cy
+			if dx*dx+dy*dy <= rad*rad {
+				im.Pix[y*w+x] = 240
+			}
+		}
+	}
+	// Speckle noise on 3% of pixels.
+	n := w * h / 33
+	for i := 0; i < n; i++ {
+		im.Pix[r.Intn(w*h)] = r.Intn(256)
+	}
+	return im
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+package pgm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	im := Synthetic(37, 23, 5)
+	var buf bytes.Buffer
+	if err := Encode(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != im.W || got.H != im.H {
+		t.Fatalf("size %dx%d, want %dx%d", got.W, got.H, im.W, im.H)
+	}
+	for i := range im.Pix {
+		if got.Pix[i] != im.Pix[i] {
+			t.Fatalf("pixel %d: %d != %d", i, got.Pix[i], im.Pix[i])
+		}
+	}
+}
+
+func TestDecodeASCII(t *testing.T) {
+	src := "P2\n# a comment\n3 2\n255\n0 128 255\n10 20 30\n"
+	im, err := Decode(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 128, 255, 10, 20, 30}
+	for i, v := range want {
+		if im.Pix[i] != v {
+			t.Errorf("pix[%d] = %d, want %d", i, im.Pix[i], v)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"P7\n1 1\n255\n0",
+		"P5\n-3 2\n255\nxxxxxx",
+		"P2\n2 2\n255\n1 2 3", // short
+		"P2\nx y\n255\n",
+	}
+	for _, src := range cases {
+		if _, err := Decode(strings.NewReader(src)); !errors.Is(err, ErrFormat) {
+			t.Errorf("Decode(%q) err = %v, want ErrFormat", src, err)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(64, 64, 42)
+	b := Synthetic(64, 64, 42)
+	c := Synthetic(64, 64, 43)
+	same := true
+	diff := false
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			same = false
+		}
+		if a.Pix[i] != c.Pix[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed should produce identical images")
+	}
+	if !diff {
+		t.Error("different seeds should differ")
+	}
+	for _, p := range a.Pix {
+		if p < 0 || p > 255 {
+			t.Fatalf("pixel out of range: %d", p)
+		}
+	}
+}
+
+func TestAtSetClamp(t *testing.T) {
+	im := New(4, 4)
+	im.Set(1, 1, 300)
+	if im.At(1, 1) != 255 {
+		t.Error("Set should clamp to 255")
+	}
+	im.Set(2, 2, -5)
+	if im.At(2, 2) != 0 {
+		t.Error("Set should clamp to 0")
+	}
+	im.Set(-1, 0, 9) // ignored
+	if im.At(-3, -3) != im.At(0, 0) {
+		t.Error("At should clamp coordinates")
+	}
+}

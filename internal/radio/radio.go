@@ -1,0 +1,252 @@
+// Package radio models the mobile client's WCDMA communication chip
+// set and the wireless channel. Component power numbers are taken
+// verbatim from Fig 2 of the paper (RFMD/Analog Devices data sheets);
+// the transmitter power amplifier has four power-control settings,
+// Class 1 for the worst channel condition (5.88 W) down to Class 4 for
+// the best (0.37 W). The effective data rate is 2.3 Mbps.
+package radio
+
+import (
+	"fmt"
+
+	"greenvm/internal/energy"
+	"greenvm/internal/rng"
+)
+
+// Class is a transmitter power-control setting. Class 1 is used under
+// the worst channel condition, Class 4 under the best.
+type Class int
+
+// Power-control classes.
+const (
+	Class1 Class = 1 + iota
+	Class2
+	Class3
+	Class4
+)
+
+// Valid reports whether the class is one of the four settings.
+func (c Class) Valid() bool { return c >= Class1 && c <= Class4 }
+
+// String names the class as in the paper.
+func (c Class) String() string { return fmt.Sprintf("Class %d", int(c)) }
+
+// Chipset is the component power model of Fig 2.
+type Chipset struct {
+	// Receiver components.
+	MixerW       float64
+	DemodulatorW float64
+	ADCW         float64
+	// Transmitter components.
+	DACW            float64
+	PowerAmpW       [5]float64 // indexed by Class (1..4)
+	DriverAmpW      float64
+	ModulatorW      float64
+	VCOW            float64 // shared Rx/Tx
+	DataRateBps     float64
+	OverheadBytes   int // per-message framing/headers/ack
+	PowerDownRxIdle bool
+}
+
+// WCDMA returns the paper's chip set model.
+func WCDMA() *Chipset {
+	return &Chipset{
+		MixerW:        0.03375,
+		DemodulatorW:  0.0378,
+		ADCW:          0.710,
+		DACW:          0.185,
+		PowerAmpW:     [5]float64{0, 5.88, 1.5, 0.74, 0.37},
+		DriverAmpW:    0.1026,
+		ModulatorW:    0.108,
+		VCOW:          0.090,
+		DataRateBps:   2.3e6,
+		OverheadBytes: 48,
+	}
+}
+
+// TxPower is the total transmitter-chain power at the given setting.
+func (c *Chipset) TxPower(cls Class) energy.Watts {
+	if !cls.Valid() {
+		panic(fmt.Sprintf("radio: invalid power class %d", int(cls)))
+	}
+	return energy.Watts(c.DACW + c.PowerAmpW[cls] + c.DriverAmpW + c.ModulatorW + c.VCOW)
+}
+
+// RxPower is the total receiver-chain power.
+func (c *Chipset) RxPower() energy.Watts {
+	return energy.Watts(c.MixerW + c.DemodulatorW + c.ADCW + c.VCOW)
+}
+
+// RateFactor is the effective-throughput factor of a channel
+// condition: a degraded channel needs heavier coding and ARQ
+// retransmissions, so the 2.3 Mbps nominal rate is only achieved under
+// the best condition. This makes both transmit and receive air time —
+// and hence energy — rise as the channel worsens, which is how the
+// paper's remote-compilation costs (Fig 8) vary by class even though
+// the receive chain draws fixed power.
+func (c *Chipset) RateFactor(cls Class) float64 {
+	if !cls.Valid() {
+		panic(fmt.Sprintf("radio: invalid power class %d", int(cls)))
+	}
+	return [5]float64{0, 0.35, 0.6, 0.8, 1.0}[cls]
+}
+
+// AirTime returns the air time of a payload (either direction) under
+// the given channel condition, including per-message overhead.
+func (c *Chipset) AirTime(payloadBytes int, cls Class) energy.Seconds {
+	bits := float64(payloadBytes+c.OverheadBytes) * 8
+	return energy.Seconds(bits / (c.DataRateBps * c.RateFactor(cls)))
+}
+
+// TxEnergy is the client energy to transmit a payload at the given
+// power setting.
+func (c *Chipset) TxEnergy(payloadBytes int, cls Class) energy.Joules {
+	return energy.Energy(c.TxPower(cls), c.AirTime(payloadBytes, cls))
+}
+
+// RxEnergy is the client energy to receive a payload under the given
+// channel condition.
+func (c *Chipset) RxEnergy(payloadBytes int, cls Class) energy.Joules {
+	return energy.Energy(c.RxPower(), c.AirTime(payloadBytes, cls))
+}
+
+// EnergyPerTxBit reports the per-bit transmit energy at a setting;
+// used by the estimators in the decision engine.
+func (c *Chipset) EnergyPerTxBit(cls Class) energy.Joules {
+	return energy.Joules(float64(c.TxPower(cls)) / (c.DataRateBps * c.RateFactor(cls)))
+}
+
+// EnergyPerRxBit reports the per-bit receive energy.
+func (c *Chipset) EnergyPerRxBit(cls Class) energy.Joules {
+	return energy.Joules(float64(c.RxPower()) / (c.DataRateBps * c.RateFactor(cls)))
+}
+
+// Channel is a time-varying wireless channel: the paper models channel
+// state with user-supplied distributions and a pilot-signal tracker
+// that lets the client pick its transmit power setting.
+type Channel interface {
+	// Current returns the channel condition as the power class a
+	// transmitter must use now.
+	Current() Class
+	// Step advances the channel process (called between invocations).
+	Step()
+}
+
+// Fixed is a channel stuck in one condition.
+type Fixed struct{ Cls Class }
+
+// Current returns the fixed condition.
+func (f Fixed) Current() Class { return f.Cls }
+
+// Step does nothing.
+func (f Fixed) Step() {}
+
+// IID draws the condition independently each step from a weighted
+// distribution over the four classes; this reproduces the paper's
+// scenario distributions ("predominantly good", "predominantly poor",
+// "uniform").
+type IID struct {
+	weights [4]float64 // index 0 -> Class1
+	r       *rng.RNG
+	cur     Class
+}
+
+// NewIID creates an IID channel. weights[0] weights Class 1 (worst).
+func NewIID(weights [4]float64, r *rng.RNG) *IID {
+	ch := &IID{weights: weights, r: r}
+	ch.Step()
+	return ch
+}
+
+// PredominantlyGood returns the paper's situation-(i) distribution:
+// the channel is usually in the best condition.
+func PredominantlyGood(r *rng.RNG) *IID {
+	return NewIID([4]float64{0.05, 0.05, 0.15, 0.75}, r)
+}
+
+// PredominantlyPoor returns the situation-(ii) distribution.
+func PredominantlyPoor(r *rng.RNG) *IID {
+	return NewIID([4]float64{0.75, 0.15, 0.05, 0.05}, r)
+}
+
+// UniformChannel returns the situation-(iii) distribution.
+func UniformChannel(r *rng.RNG) *IID {
+	return NewIID([4]float64{0.25, 0.25, 0.25, 0.25}, r)
+}
+
+// Current returns the condition drawn at the last Step.
+func (ch *IID) Current() Class { return ch.cur }
+
+// Step draws a fresh condition.
+func (ch *IID) Step() {
+	ch.cur = Class(1 + ch.r.Pick(ch.weights[:]))
+}
+
+// Markov is a 4-state Markov channel: conditions drift between
+// adjacent classes, modelling the temporal correlation of fading.
+type Markov struct {
+	// StayProb is the probability of remaining in the current state at
+	// each step; the remainder splits between adjacent states.
+	StayProb float64
+	r        *rng.RNG
+	cur      Class
+}
+
+// NewMarkov returns a Markov channel starting at the given class.
+func NewMarkov(start Class, stayProb float64, r *rng.RNG) *Markov {
+	if !start.Valid() {
+		panic("radio: invalid start class")
+	}
+	return &Markov{StayProb: stayProb, r: r, cur: start}
+}
+
+// Current returns the present condition.
+func (ch *Markov) Current() Class { return ch.cur }
+
+// Step moves to a neighbouring state with probability 1-StayProb.
+func (ch *Markov) Step() {
+	if ch.r.Float64() < ch.StayProb {
+		return
+	}
+	if ch.r.Float64() < 0.5 {
+		if ch.cur > Class1 {
+			ch.cur--
+		} else {
+			ch.cur++
+		}
+	} else {
+		if ch.cur < Class4 {
+			ch.cur++
+		} else {
+			ch.cur--
+		}
+	}
+}
+
+// PilotTracker models the client's channel estimation from the base
+// station's pilot signal (IS-95-style). Tracking is accurate except
+// for an optional estimation-error probability, in which case the
+// estimate is off by one class (clamped).
+type PilotTracker struct {
+	Ch      Channel
+	ErrProb float64
+	r       *rng.RNG
+}
+
+// NewPilotTracker wraps a channel in a tracker.
+func NewPilotTracker(ch Channel, errProb float64, r *rng.RNG) *PilotTracker {
+	return &PilotTracker{Ch: ch, ErrProb: errProb, r: r}
+}
+
+// Estimate returns the client's view of the current channel class.
+func (p *PilotTracker) Estimate() Class {
+	c := p.Ch.Current()
+	if p.ErrProb > 0 && p.r != nil && p.r.Float64() < p.ErrProb {
+		if c < Class4 {
+			c++
+		} else {
+			c--
+		}
+	}
+	return c
+}

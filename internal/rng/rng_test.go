@@ -1,0 +1,145 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean of uniforms = %g, want ~0.5", mean)
+	}
+}
+
+func TestNormMeanVariance(t *testing.T) {
+	r := New(13)
+	var sum, sumsq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("normal mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("normal variance = %g, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := New(seed).Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPickRespectsZeroWeights(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 100; i++ {
+		if got := r.Pick([]float64{0, 1, 0}); got != 1 {
+			t.Fatalf("Pick chose zero-weight index %d", got)
+		}
+	}
+}
+
+func TestPickDistribution(t *testing.T) {
+	r := New(19)
+	counts := [2]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Pick([]float64{1, 3})]++
+	}
+	frac := float64(counts[1]) / n
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Errorf("Pick weight-3 fraction = %g, want ~0.75", frac)
+	}
+}
+
+func TestPickPanicsOnZeroSum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pick with zero weights should panic")
+		}
+	}()
+	New(1).Pick([]float64{0, 0})
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(23)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Error("split stream mirrors parent")
+	}
+}

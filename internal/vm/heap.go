@@ -1,0 +1,307 @@
+// Package vm implements the MJVM virtual machine: heap and object
+// model, a bytecode interpreter with a per-bytecode energy expansion
+// model, the bridge that lets JIT-compiled native code reach the heap,
+// object-graph serialization (the transport for offloaded method
+// arguments and results), and reflective method invocation.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+	"greenvm/internal/isa"
+	"greenvm/internal/mem"
+)
+
+// Runtime errors shared by the interpreter and native execution.
+var (
+	ErrNullRef      = isa.ErrNullRef
+	ErrBounds       = isa.ErrBounds
+	ErrDivideByZero = isa.ErrDivideByZero
+	ErrBadHandle    = errors.New("vm: invalid object handle")
+	ErrNotArray     = errors.New("vm: object is not an array")
+	ErrNotObject    = errors.New("vm: reference is not a class instance")
+	ErrStepLimit    = errors.New("vm: step limit exceeded")
+)
+
+// Slot is one stack/local/argument value: an int, a float, or an
+// object handle (in I). Verified bytecode guarantees which member is
+// meaningful at every use.
+type Slot struct {
+	I int64
+	F float64
+}
+
+// IntSlot, FloatSlot and RefSlot build argument values.
+func IntSlot(v int32) Slot     { return Slot{I: int64(v)} }
+func FloatSlot(v float64) Slot { return Slot{F: v} }
+func RefSlot(h int64) Slot     { return Slot{I: h} }
+
+// Object is a heap object: a class instance (ClassID >= 0) or an
+// array (ClassID < 0). Int and reference data live in I; float data in
+// F. Addr is the synthetic base address used for cache modelling.
+type Object struct {
+	ClassID int32
+	Kind    bytecode.ElemKind // element kind, arrays only
+	IsArr   bool
+	Len     int // array length
+	I       []int64
+	F       []float64
+	Addr    uint64
+}
+
+// Class returns the class of an instance within prog.
+func (o *Object) Class(prog *bytecode.Program) *bytecode.Class {
+	if o.IsArr || o.ClassID < 0 || int(o.ClassID) >= len(prog.Classes) {
+		return nil
+	}
+	return prog.Classes[o.ClassID]
+}
+
+const objHeaderBytes = 8
+
+// Heap is a bump-allocated object heap. The simulated device never
+// garbage-collects during the short method executions we model; Reset
+// reclaims everything between runs.
+type Heap struct {
+	prog    *bytecode.Program
+	hier    *mem.Hierarchy
+	alloc   *mem.Allocator
+	objects []*Object
+}
+
+// NewHeap returns an empty heap for the linked program.
+func NewHeap(prog *bytecode.Program, hier *mem.Hierarchy) *Heap {
+	return &Heap{
+		prog:  prog,
+		hier:  hier,
+		alloc: mem.NewAllocator(mem.HeapBase, mem.StackBase-mem.HeapBase-1<<16),
+	}
+}
+
+// Reset discards every object.
+func (h *Heap) Reset() {
+	h.objects = h.objects[:0]
+	h.alloc.Reset()
+}
+
+// Count returns the number of live objects.
+func (h *Heap) Count() int { return len(h.objects) }
+
+// Get resolves a handle. Handle 0 is the null reference.
+func (h *Heap) Get(handle int64) (*Object, error) {
+	if handle == 0 {
+		return nil, ErrNullRef
+	}
+	idx := handle - 1
+	if idx < 0 || idx >= int64(len(h.objects)) {
+		return nil, fmt.Errorf("%w: %d", ErrBadHandle, handle)
+	}
+	return h.objects[idx], nil
+}
+
+func (h *Heap) add(o *Object, bytes uint64) int64 {
+	// Cache coloring: successive allocations are staggered so that
+	// equal-sized arrays do not land a whole number of cache sizes
+	// apart (power-of-two image rows would otherwise alias in the
+	// direct-mapped data cache and make cost jump wildly at particular
+	// widths). Embedded allocators color allocations for exactly this
+	// reason.
+	color := uint64(len(h.objects)%7) * 544
+	o.Addr = h.alloc.Alloc(bytes+color, 8) + color
+	h.objects = append(h.objects, o)
+	// Zero-initialization traffic: the runtime writes every word of the
+	// new object, exactly as a JVM must. Charged identically whether
+	// allocation happens from interpreted or native code.
+	words := int(bytes / 4)
+	h.hier.Data(o.Addr, words)
+	h.hier.Account().AddInstr(energy.Store, uint64(words))
+	return int64(len(h.objects))
+}
+
+// NewObject allocates an instance of the class with the given id and
+// returns its handle. Fields are zero/null.
+func (h *Heap) NewObject(classID int32) (int64, error) {
+	if classID < 0 || int(classID) >= len(h.prog.Classes) {
+		return 0, fmt.Errorf("vm: NewObject: bad class id %d", classID)
+	}
+	c := h.prog.Classes[classID]
+	o := &Object{
+		ClassID: classID,
+		I:       make([]int64, c.NumISlots()),
+		F:       make([]float64, c.NumFSlots()),
+	}
+	bytes := uint64(objHeaderBytes + 4*c.NumISlots() + 8*c.NumFSlots())
+	return h.add(o, bytes), nil
+}
+
+// NewArray allocates an array of n elements of the given kind.
+func (h *Heap) NewArray(kind bytecode.ElemKind, n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("%w: negative array length %d", ErrBounds, n)
+	}
+	o := &Object{ClassID: -1, IsArr: true, Kind: kind, Len: int(n)}
+	var bytes uint64
+	if kind == bytecode.ElemFloat {
+		o.F = make([]float64, n)
+		bytes = uint64(objHeaderBytes) + 8*uint64(n)
+	} else {
+		o.I = make([]int64, n)
+		bytes = uint64(objHeaderBytes) + 4*uint64(n)
+	}
+	return h.add(o, bytes), nil
+}
+
+// Address helpers for cache charging. Int slots are 4-byte words;
+// float slots are 8-byte words placed after the int area.
+
+func (o *Object) intSlotAddr(slot int) uint64 {
+	return o.Addr + objHeaderBytes + 4*uint64(slot)
+}
+
+func (o *Object) floatSlotAddr(slot int) uint64 {
+	return o.Addr + objHeaderBytes + 4*uint64(len(o.I)) + 8*uint64(slot)
+}
+
+// FieldI reads int/ref field slot of the instance behind handle,
+// charging one data access.
+func (h *Heap) FieldI(handle int64, slot int) (int64, error) {
+	o, err := h.Get(handle)
+	if err != nil {
+		return 0, err
+	}
+	if o.IsArr || slot < 0 || slot >= len(o.I) {
+		return 0, fmt.Errorf("%w: int field slot %d", ErrBounds, slot)
+	}
+	h.hier.Data(o.intSlotAddr(slot), 1)
+	return o.I[slot], nil
+}
+
+// SetFieldI writes int/ref field slot.
+func (h *Heap) SetFieldI(handle int64, slot int, v int64) error {
+	o, err := h.Get(handle)
+	if err != nil {
+		return err
+	}
+	if o.IsArr || slot < 0 || slot >= len(o.I) {
+		return fmt.Errorf("%w: int field slot %d", ErrBounds, slot)
+	}
+	h.hier.Data(o.intSlotAddr(slot), 1)
+	o.I[slot] = v
+	return nil
+}
+
+// FieldF reads float field slot.
+func (h *Heap) FieldF(handle int64, slot int) (float64, error) {
+	o, err := h.Get(handle)
+	if err != nil {
+		return 0, err
+	}
+	if o.IsArr || slot < 0 || slot >= len(o.F) {
+		return 0, fmt.Errorf("%w: float field slot %d", ErrBounds, slot)
+	}
+	h.hier.Data(o.floatSlotAddr(slot), 2)
+	return o.F[slot], nil
+}
+
+// SetFieldF writes float field slot.
+func (h *Heap) SetFieldF(handle int64, slot int, v float64) error {
+	o, err := h.Get(handle)
+	if err != nil {
+		return err
+	}
+	if o.IsArr || slot < 0 || slot >= len(o.F) {
+		return fmt.Errorf("%w: float field slot %d", ErrBounds, slot)
+	}
+	h.hier.Data(o.floatSlotAddr(slot), 2)
+	o.F[slot] = v
+	return nil
+}
+
+// ElemI reads element i of an int or reference array.
+func (h *Heap) ElemI(handle, i int64) (int64, error) {
+	o, err := h.Get(handle)
+	if err != nil {
+		return 0, err
+	}
+	if !o.IsArr {
+		return 0, ErrNotArray
+	}
+	if o.Kind == bytecode.ElemFloat {
+		return 0, fmt.Errorf("%w: int access to float array", ErrNotArray)
+	}
+	if i < 0 || i >= int64(o.Len) {
+		return 0, ErrBounds
+	}
+	h.hier.Data(o.intSlotAddr(int(i)), 1)
+	return o.I[i], nil
+}
+
+// SetElemI writes element i of an int or reference array.
+func (h *Heap) SetElemI(handle, i, v int64) error {
+	o, err := h.Get(handle)
+	if err != nil {
+		return err
+	}
+	if !o.IsArr {
+		return ErrNotArray
+	}
+	if o.Kind == bytecode.ElemFloat {
+		return fmt.Errorf("%w: int access to float array", ErrNotArray)
+	}
+	if i < 0 || i >= int64(o.Len) {
+		return ErrBounds
+	}
+	h.hier.Data(o.intSlotAddr(int(i)), 1)
+	o.I[i] = v
+	return nil
+}
+
+// ElemF reads element i of a float array.
+func (h *Heap) ElemF(handle, i int64) (float64, error) {
+	o, err := h.Get(handle)
+	if err != nil {
+		return 0, err
+	}
+	if !o.IsArr || o.Kind != bytecode.ElemFloat {
+		return 0, fmt.Errorf("%w: float access to non-float array", ErrNotArray)
+	}
+	if i < 0 || i >= int64(o.Len) {
+		return 0, ErrBounds
+	}
+	h.hier.Data(o.Addr+objHeaderBytes+8*uint64(i), 2)
+	return o.F[i], nil
+}
+
+// SetElemF writes element i of a float array.
+func (h *Heap) SetElemF(handle, i int64, v float64) error {
+	o, err := h.Get(handle)
+	if err != nil {
+		return err
+	}
+	if !o.IsArr || o.Kind != bytecode.ElemFloat {
+		return fmt.Errorf("%w: float access to non-float array", ErrNotArray)
+	}
+	if i < 0 || i >= int64(o.Len) {
+		return ErrBounds
+	}
+	h.hier.Data(o.Addr+objHeaderBytes+8*uint64(i), 2)
+	o.F[i] = v
+	return nil
+}
+
+// ArrayLen returns the length of the array behind handle, charging one
+// header access.
+func (h *Heap) ArrayLen(handle int64) (int64, error) {
+	o, err := h.Get(handle)
+	if err != nil {
+		return 0, err
+	}
+	if !o.IsArr {
+		return 0, ErrNotArray
+	}
+	h.hier.Data(o.Addr, 1)
+	return int64(o.Len), nil
+}

@@ -1,0 +1,425 @@
+package vm
+
+import (
+	"fmt"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+)
+
+// Interpreter energy model. Each bytecode costs a dispatch overhead
+// (fetching and decoding the bytecode, indirect-jumping to its
+// handler) plus the memory traffic its handler performs on the operand
+// stack, the locals area and the heap. This reproduces the paper's
+// premise that interpretation is a constant-factor more expensive than
+// compiled code: the same abstract operation costs one native
+// instruction when compiled but roughly a dozen when interpreted.
+const (
+	dispatchLoads    = 2 // fetch opcode + handler pointer
+	dispatchBranches = 1 // indirect dispatch jump
+	dispatchALU      = 1 // pc/operand decode arithmetic
+)
+
+// interpret executes the method's bytecode. Arguments are already in
+// slots; verified code guarantees stack and local discipline.
+func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
+	lay := v.layoutOf(m)
+	acct, hier, heap := v.Acct, v.Hier, v.Heap
+
+	frameBytes := uint64(m.MaxLocals+m.MaxStack) * 4
+	savedSP := v.sp
+	v.sp -= frameBytes
+	localsAddr := v.sp
+	stackAddr := v.sp + uint64(m.MaxLocals)*4
+	defer func() { v.sp = savedSP }()
+
+	locals := make([]Slot, m.MaxLocals)
+	copy(locals, args)
+	stack := make([]Slot, m.MaxStack+1)
+	sp := 0
+
+	fail := func(pc int, err error) (Slot, error) {
+		return Slot{}, fmt.Errorf("%s@%d: %w", m.QName(), pc, err)
+	}
+
+	push := func(s Slot) {
+		stack[sp] = s
+		hier.Data(stackAddr+uint64(sp)*4, 1)
+		acct.AddInstr(energy.Store, 1)
+		sp++
+	}
+	pop := func() Slot {
+		sp--
+		hier.Data(stackAddr+uint64(sp)*4, 1)
+		acct.AddInstr(energy.Load, 1)
+		return stack[sp]
+	}
+	loadLocal := func(idx int32) Slot {
+		hier.Data(localsAddr+uint64(idx)*4, 1)
+		acct.AddInstr(energy.Load, 1)
+		return locals[idx]
+	}
+	storeLocal := func(idx int32, s Slot) {
+		hier.Data(localsAddr+uint64(idx)*4, 1)
+		acct.AddInstr(energy.Store, 1)
+		locals[idx] = s
+	}
+
+	code := m.Code
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(code) {
+			return fail(pc, fmt.Errorf("pc out of bounds"))
+		}
+		in := code[pc]
+
+		// Dispatch overhead + bytecode stream fetch.
+		hier.Data(lay.base+uint64(lay.offsets[pc]), 1)
+		acct.AddInstr(energy.Load, dispatchLoads)
+		acct.AddInstr(energy.Branch, dispatchBranches)
+		acct.AddInstr(energy.ALUSimple, dispatchALU)
+		v.steps++
+		if v.MaxSteps != 0 && v.steps > v.MaxSteps {
+			return fail(pc, ErrStepLimit)
+		}
+		next := pc + 1
+
+		switch in.Op {
+		case bytecode.NOP:
+			acct.AddInstr(energy.Nop, 1)
+
+		case bytecode.ACONSTNULL:
+			acct.AddInstr(energy.ALUSimple, 1)
+			push(Slot{})
+		case bytecode.ICONST:
+			acct.AddInstr(energy.ALUSimple, 1)
+			push(Slot{I: int64(in.A)})
+		case bytecode.FCONST:
+			acct.AddInstr(energy.ALUSimple, 1)
+			push(Slot{F: in.F})
+
+		case bytecode.ILOAD, bytecode.FLOAD, bytecode.ALOAD:
+			push(loadLocal(in.A))
+		case bytecode.ISTORE, bytecode.FSTORE, bytecode.ASTORE:
+			storeLocal(in.A, pop())
+
+		case bytecode.DUP:
+			acct.AddInstr(energy.Load, 1)
+			push(stack[sp-1])
+		case bytecode.POP:
+			pop()
+		case bytecode.SWAP:
+			acct.AddInstr(energy.Load, 2)
+			acct.AddInstr(energy.Store, 2)
+			stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
+
+		case bytecode.IADD, bytecode.ISUB, bytecode.ISHL, bytecode.ISHR,
+			bytecode.IAND, bytecode.IOR, bytecode.IXOR:
+			b, a := pop().I, pop().I
+			var r int64
+			switch in.Op {
+			case bytecode.IADD:
+				r = a + b
+			case bytecode.ISUB:
+				r = a - b
+			case bytecode.ISHL:
+				r = a << uint(b&31)
+			case bytecode.ISHR:
+				r = a >> uint(b&31)
+			case bytecode.IAND:
+				r = a & b
+			case bytecode.IOR:
+				r = a | b
+			case bytecode.IXOR:
+				r = a ^ b
+			}
+			acct.AddInstr(energy.ALUSimple, 1)
+			push(Slot{I: int64(int32(r))})
+
+		case bytecode.IMUL, bytecode.IDIV, bytecode.IREM:
+			b, a := pop().I, pop().I
+			var r int64
+			switch in.Op {
+			case bytecode.IMUL:
+				r = a * b
+			case bytecode.IDIV:
+				if b == 0 {
+					return fail(pc, ErrDivideByZero)
+				}
+				r = a / b
+			case bytecode.IREM:
+				if b == 0 {
+					return fail(pc, ErrDivideByZero)
+				}
+				r = a % b
+			}
+			acct.AddInstr(energy.ALUComplex, 1)
+			push(Slot{I: int64(int32(r))})
+
+		case bytecode.INEG:
+			a := pop().I
+			acct.AddInstr(energy.ALUSimple, 1)
+			push(Slot{I: int64(int32(-a))})
+
+		case bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV:
+			b, a := pop().F, pop().F
+			var r float64
+			switch in.Op {
+			case bytecode.FADD:
+				r = a + b
+			case bytecode.FSUB:
+				r = a - b
+			case bytecode.FMUL:
+				r = a * b
+			case bytecode.FDIV:
+				r = a / b
+			}
+			acct.AddInstr(energy.ALUComplex, 1)
+			push(Slot{F: r})
+
+		case bytecode.FNEG:
+			a := pop().F
+			acct.AddInstr(energy.ALUSimple, 1)
+			push(Slot{F: -a})
+
+		case bytecode.I2F:
+			a := pop().I
+			acct.AddInstr(energy.ALUComplex, 1)
+			push(Slot{F: float64(a)})
+		case bytecode.F2I:
+			a := pop().F
+			acct.AddInstr(energy.ALUComplex, 1)
+			push(Slot{I: int64(int32(int64(a)))})
+
+		case bytecode.GOTO:
+			acct.AddInstr(energy.Branch, 1)
+			next = int(in.A)
+
+		case bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT,
+			bytecode.IFGE, bytecode.IFGT, bytecode.IFLE:
+			a := pop().I
+			acct.AddInstr(energy.Branch, 1)
+			var taken bool
+			switch in.Op {
+			case bytecode.IFEQ:
+				taken = a == 0
+			case bytecode.IFNE:
+				taken = a != 0
+			case bytecode.IFLT:
+				taken = a < 0
+			case bytecode.IFGE:
+				taken = a >= 0
+			case bytecode.IFGT:
+				taken = a > 0
+			case bytecode.IFLE:
+				taken = a <= 0
+			}
+			if taken {
+				next = int(in.A)
+			}
+
+		case bytecode.IFICMPEQ, bytecode.IFICMPNE, bytecode.IFICMPLT,
+			bytecode.IFICMPGE, bytecode.IFICMPGT, bytecode.IFICMPLE:
+			b, a := pop().I, pop().I
+			acct.AddInstr(energy.Branch, 1)
+			var taken bool
+			switch in.Op {
+			case bytecode.IFICMPEQ:
+				taken = a == b
+			case bytecode.IFICMPNE:
+				taken = a != b
+			case bytecode.IFICMPLT:
+				taken = a < b
+			case bytecode.IFICMPGE:
+				taken = a >= b
+			case bytecode.IFICMPGT:
+				taken = a > b
+			case bytecode.IFICMPLE:
+				taken = a <= b
+			}
+			if taken {
+				next = int(in.A)
+			}
+
+		case bytecode.IFFCMPEQ, bytecode.IFFCMPNE, bytecode.IFFCMPLT, bytecode.IFFCMPGE:
+			b, a := pop().F, pop().F
+			acct.AddInstr(energy.Branch, 1)
+			var taken bool
+			switch in.Op {
+			case bytecode.IFFCMPEQ:
+				taken = a == b
+			case bytecode.IFFCMPNE:
+				taken = a != b
+			case bytecode.IFFCMPLT:
+				taken = a < b
+			case bytecode.IFFCMPGE:
+				taken = a >= b
+			}
+			if taken {
+				next = int(in.A)
+			}
+
+		case bytecode.IFACMPEQ, bytecode.IFACMPNE:
+			b, a := pop().I, pop().I
+			acct.AddInstr(energy.Branch, 1)
+			if (in.Op == bytecode.IFACMPEQ) == (a == b) {
+				next = int(in.A)
+			}
+		case bytecode.IFNULL, bytecode.IFNONNULL:
+			a := pop().I
+			acct.AddInstr(energy.Branch, 1)
+			if (in.Op == bytecode.IFNULL) == (a == 0) {
+				next = int(in.A)
+			}
+
+		case bytecode.NEWARRAY:
+			n := pop().I
+			acct.AddInstr(energy.ALUComplex, 1)
+			h, err := heap.NewArray(bytecode.ElemKind(in.A), n)
+			if err != nil {
+				return fail(pc, err)
+			}
+			push(Slot{I: h})
+
+		case bytecode.IALOAD, bytecode.AALOAD:
+			i := pop().I
+			a := pop().I
+			acct.AddInstr(energy.Load, 1)
+			x, err := heap.ElemI(a, i)
+			if err != nil {
+				return fail(pc, err)
+			}
+			push(Slot{I: x})
+		case bytecode.FALOAD:
+			i := pop().I
+			a := pop().I
+			acct.AddInstr(energy.Load, 1)
+			x, err := heap.ElemF(a, i)
+			if err != nil {
+				return fail(pc, err)
+			}
+			push(Slot{F: x})
+		case bytecode.IASTORE, bytecode.AASTORE:
+			x := pop().I
+			i := pop().I
+			a := pop().I
+			acct.AddInstr(energy.Store, 1)
+			if err := heap.SetElemI(a, i, x); err != nil {
+				return fail(pc, err)
+			}
+		case bytecode.FASTORE:
+			x := pop().F
+			i := pop().I
+			a := pop().I
+			acct.AddInstr(energy.Store, 1)
+			if err := heap.SetElemF(a, i, x); err != nil {
+				return fail(pc, err)
+			}
+		case bytecode.ARRAYLENGTH:
+			a := pop().I
+			acct.AddInstr(energy.Load, 1)
+			n, err := heap.ArrayLen(a)
+			if err != nil {
+				return fail(pc, err)
+			}
+			push(Slot{I: n})
+
+		case bytecode.NEW:
+			acct.AddInstr(energy.ALUComplex, 1)
+			h, err := heap.NewObject(in.A)
+			if err != nil {
+				return fail(pc, err)
+			}
+			push(Slot{I: h})
+
+		case bytecode.GETFI:
+			o := pop().I
+			acct.AddInstr(energy.Load, 1)
+			x, err := heap.FieldI(o, int(in.A))
+			if err != nil {
+				return fail(pc, err)
+			}
+			push(Slot{I: x})
+		case bytecode.GETFF:
+			o := pop().I
+			acct.AddInstr(energy.Load, 1)
+			x, err := heap.FieldF(o, int(in.A))
+			if err != nil {
+				return fail(pc, err)
+			}
+			push(Slot{F: x})
+		case bytecode.GETFA:
+			o := pop().I
+			acct.AddInstr(energy.Load, 1)
+			x, err := heap.FieldI(o, int(in.A))
+			if err != nil {
+				return fail(pc, err)
+			}
+			push(Slot{I: x})
+		case bytecode.PUTFI, bytecode.PUTFA:
+			x := pop().I
+			o := pop().I
+			acct.AddInstr(energy.Store, 1)
+			if err := heap.SetFieldI(o, int(in.A), x); err != nil {
+				return fail(pc, err)
+			}
+		case bytecode.PUTFF:
+			x := pop().F
+			o := pop().I
+			acct.AddInstr(energy.Store, 1)
+			if err := heap.SetFieldF(o, int(in.A), x); err != nil {
+				return fail(pc, err)
+			}
+
+		case bytecode.INVOKESTATIC, bytecode.INVOKEVIRTUAL:
+			target := v.Prog.Method(int(in.A))
+			if target == nil {
+				return fail(pc, fmt.Errorf("bad method id %d", in.A))
+			}
+			kinds := target.ArgKinds()
+			cargs := make([]Slot, len(kinds))
+			for i := len(kinds) - 1; i >= 0; i-- {
+				cargs[i] = pop()
+			}
+			callee := target
+			if in.Op == bytecode.INVOKEVIRTUAL {
+				recv, err := heap.Get(cargs[0].I)
+				if err != nil {
+					return fail(pc, err)
+				}
+				if c := recv.Class(v.Prog); c != nil {
+					if actual := c.Resolve(target.Name); actual != nil {
+						callee = actual
+					}
+				}
+				acct.AddInstr(energy.Load, 2) // vtable lookup
+			}
+			// Register-window save/fill, as for native calls.
+			acct.AddInstr(energy.Load, v.Mach.CallOverheadLoads)
+			acct.AddInstr(energy.Store, v.Mach.CallOverheadStores)
+			res, err := v.invoke(callee, cargs)
+			if err != nil {
+				return Slot{}, err
+			}
+			if callee.Ret.Kind != bytecode.KVoid {
+				push(res)
+			}
+
+		case bytecode.RETURN:
+			acct.AddInstr(energy.Branch, 1)
+			return Slot{}, nil
+		case bytecode.IRETURN, bytecode.ARETURN:
+			r := pop()
+			acct.AddInstr(energy.Branch, 1)
+			return r, nil
+		case bytecode.FRETURN:
+			r := pop()
+			acct.AddInstr(energy.Branch, 1)
+			return r, nil
+
+		default:
+			return fail(pc, fmt.Errorf("unhandled opcode %s", in.Op.Name()))
+		}
+		pc = next
+	}
+}

@@ -1,0 +1,356 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+)
+
+// Direct interpreter coverage of the bytecodes the MJ compiler rarely
+// or never emits (DUP, SWAP, explicit null tests, ref arrays, float
+// array traffic, NOP), each as a tiny hand-assembled method.
+
+// runAsm links a single static method and interprets it.
+func runAsm(t *testing.T, params []bytecode.Type, ret bytecode.Type, maxLocals int,
+	code []bytecode.Insn, args []Slot) (Slot, error) {
+	t.Helper()
+	m := &bytecode.Method{Name: "f", Static: true, Params: params, Ret: ret,
+		MaxLocals: maxLocals, Code: code}
+	p := &bytecode.Program{Classes: []*bytecode.Class{
+		{Name: "T", Methods: []*bytecode.Method{m}},
+		{Name: "Box", Fields: []bytecode.Field{
+			{Name: "x", Type: bytecode.TInt},
+			{Name: "f", Type: bytecode.TFloat},
+			{Name: "ref", Type: bytecode.TObject("Box")},
+		}},
+	}}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, bytecode.Disassemble(m))
+	}
+	v := New(p, energy.MicroSPARCIIep())
+	return v.Invoke(m, args)
+}
+
+func TestInterpDupSwapPop(t *testing.T) {
+	B := bytecode.NewAsm
+	// f(a) = dup/swap dance: push a, dup, push 3, swap, sub twice.
+	code := B().
+		OpA(bytecode.ILOAD, 0). // [a]
+		Op(bytecode.DUP).       // [a a]
+		Iconst(3).              // [a a 3]
+		Op(bytecode.SWAP).      // [a 3 a]
+		Op(bytecode.ISUB).      // [a 3-a]
+		Op(bytecode.IADD).      // [a+3-a] = 3
+		Iconst(99).
+		Op(bytecode.POP). // discard
+		Op(bytecode.IRETURN).
+		MustFinish()
+	res, err := runAsm(t, []bytecode.Type{bytecode.TInt}, bytecode.TInt, 1, code, []Slot{IntSlot(41)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 3 {
+		t.Errorf("got %d, want 3", res.I)
+	}
+}
+
+func TestInterpSwapMixedKinds(t *testing.T) {
+	B := bytecode.NewAsm
+	// Push int then float, swap, convert and combine: f2i(f) * 100 + i.
+	code := B().
+		OpA(bytecode.ILOAD, 0). // [i]
+		OpA(bytecode.FLOAD, 1). // [i f]
+		Op(bytecode.SWAP).      // [f i]
+		OpA(bytecode.ISTORE, 2).
+		Op(bytecode.F2I).
+		Iconst(100).
+		Op(bytecode.IMUL).
+		OpA(bytecode.ILOAD, 2).
+		Op(bytecode.IADD).
+		Op(bytecode.IRETURN).
+		MustFinish()
+	res, err := runAsm(t, []bytecode.Type{bytecode.TInt, bytecode.TFloat}, bytecode.TInt, 3,
+		code, []Slot{IntSlot(7), FloatSlot(4.9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 407 {
+		t.Errorf("got %d, want 407", res.I)
+	}
+}
+
+func TestInterpRefArraysAndNullTests(t *testing.T) {
+	B := bytecode.NewAsm
+	// Build Box[2]; a[0] = new Box{x: 5}; a[1] stays null.
+	// return (a[0] != null ? a[0].x : -1) + (a[1] == null ? 100 : 0)
+	code := B().
+		Iconst(2).
+		OpA(bytecode.NEWARRAY, int32(bytecode.ElemRef)).
+		OpA(bytecode.ASTORE, 0).
+		OpA(bytecode.ALOAD, 0).
+		Iconst(0).
+		OpA(bytecode.NEW, 1). // class Box has id 1
+		Op(bytecode.AASTORE).
+		OpA(bytecode.ALOAD, 0).
+		Iconst(0).
+		Op(bytecode.AALOAD).
+		Op(bytecode.DUP).
+		Iconst(5).
+		OpA(bytecode.PUTFI, 0). // x slot 0
+		Branch(bytecode.IFNULL, "wasnull").
+		OpA(bytecode.ALOAD, 0).
+		Iconst(0).
+		Op(bytecode.AALOAD).
+		OpA(bytecode.GETFI, 0).
+		OpA(bytecode.ISTORE, 1).
+		Branch(bytecode.GOTO, "second").
+		Label("wasnull").
+		Iconst(-1).
+		OpA(bytecode.ISTORE, 1).
+		Label("second").
+		OpA(bytecode.ALOAD, 0).
+		Iconst(1).
+		Op(bytecode.AALOAD).
+		Branch(bytecode.IFNONNULL, "no"). // a[1] is null: fall through
+		OpA(bytecode.ILOAD, 1).
+		Iconst(100).
+		Op(bytecode.IADD).
+		Op(bytecode.IRETURN).
+		Label("no").
+		OpA(bytecode.ILOAD, 1).
+		Op(bytecode.IRETURN).
+		MustFinish()
+	res, err := runAsm(t, nil, bytecode.TInt, 2, code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 105 {
+		t.Errorf("got %d, want 105", res.I)
+	}
+}
+
+func TestInterpRefIdentity(t *testing.T) {
+	B := bytecode.NewAsm
+	// b1 = new Box; b2 = new Box; (b1==b1) + (b1!=b2)*10
+	code := B().
+		OpA(bytecode.NEW, 1).
+		OpA(bytecode.ASTORE, 0).
+		OpA(bytecode.NEW, 1).
+		OpA(bytecode.ASTORE, 1).
+		OpA(bytecode.ALOAD, 0).
+		OpA(bytecode.ALOAD, 0).
+		Branch(bytecode.IFACMPEQ, "same").
+		Iconst(0).
+		OpA(bytecode.ISTORE, 2).
+		Branch(bytecode.GOTO, "next").
+		Label("same").
+		Iconst(1).
+		OpA(bytecode.ISTORE, 2).
+		Label("next").
+		OpA(bytecode.ALOAD, 0).
+		OpA(bytecode.ALOAD, 1).
+		Branch(bytecode.IFACMPNE, "diff").
+		OpA(bytecode.ILOAD, 2).
+		Op(bytecode.IRETURN).
+		Label("diff").
+		OpA(bytecode.ILOAD, 2).
+		Iconst(10).
+		Op(bytecode.IADD).
+		Op(bytecode.IRETURN).
+		MustFinish()
+	res, err := runAsm(t, nil, bytecode.TInt, 3, code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 11 {
+		t.Errorf("got %d, want 11", res.I)
+	}
+}
+
+func TestInterpFloatFieldsAndArrays(t *testing.T) {
+	B := bytecode.NewAsm
+	// b = new Box; b.f = 2.5; fa = new float[1]; fa[0] = b.f * 2; return fa[0]
+	code := B().
+		OpA(bytecode.NEW, 1).
+		OpA(bytecode.ASTORE, 0).
+		OpA(bytecode.ALOAD, 0).
+		Fconst(2.5).
+		OpA(bytecode.PUTFF, 0).
+		Iconst(1).
+		OpA(bytecode.NEWARRAY, int32(bytecode.ElemFloat)).
+		OpA(bytecode.ASTORE, 1).
+		OpA(bytecode.ALOAD, 1).
+		Iconst(0).
+		OpA(bytecode.ALOAD, 0).
+		OpA(bytecode.GETFF, 0).
+		Fconst(2).
+		Op(bytecode.FMUL).
+		Op(bytecode.FASTORE).
+		OpA(bytecode.ALOAD, 1).
+		Iconst(0).
+		Op(bytecode.FALOAD).
+		Op(bytecode.FRETURN).
+		MustFinish()
+	res, err := runAsm(t, nil, bytecode.TFloat, 2, code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F != 5.0 {
+		t.Errorf("got %g, want 5", res.F)
+	}
+}
+
+func TestInterpRefFields(t *testing.T) {
+	B := bytecode.NewAsm
+	// b1.ref = b2; b2.x = 9; return b1.ref.x (GETFA/PUTFA; slot 1 = ref)
+	code := B().
+		OpA(bytecode.NEW, 1).
+		OpA(bytecode.ASTORE, 0).
+		OpA(bytecode.NEW, 1).
+		OpA(bytecode.ASTORE, 1).
+		OpA(bytecode.ALOAD, 0).
+		OpA(bytecode.ALOAD, 1).
+		OpA(bytecode.PUTFA, 1).
+		OpA(bytecode.ALOAD, 1).
+		Iconst(9).
+		OpA(bytecode.PUTFI, 0).
+		OpA(bytecode.ALOAD, 0).
+		OpA(bytecode.GETFA, 1).
+		OpA(bytecode.GETFI, 0).
+		Op(bytecode.IRETURN).
+		MustFinish()
+	res, err := runAsm(t, nil, bytecode.TInt, 2, code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 9 {
+		t.Errorf("got %d, want 9", res.I)
+	}
+}
+
+func TestInterpNopAndFloatBranches(t *testing.T) {
+	B := bytecode.NewAsm
+	code := B().
+		Op(bytecode.NOP).
+		OpA(bytecode.FLOAD, 0).
+		Fconst(1.0).
+		Branch(bytecode.IFFCMPEQ, "one").
+		OpA(bytecode.FLOAD, 0).
+		Fconst(2.0).
+		Branch(bytecode.IFFCMPNE, "nottwo").
+		Iconst(2).
+		Op(bytecode.IRETURN).
+		Label("one").
+		Iconst(1).
+		Op(bytecode.IRETURN).
+		Label("nottwo").
+		Iconst(0).
+		Op(bytecode.IRETURN).
+		MustFinish()
+	for _, c := range []struct {
+		x    float64
+		want int64
+	}{{1.0, 1}, {2.0, 2}, {3.0, 0}} {
+		res, err := runAsm(t, []bytecode.Type{bytecode.TFloat}, bytecode.TInt, 1,
+			code, []Slot{FloatSlot(c.x)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.I != c.want {
+			t.Errorf("f(%g) = %d, want %d", c.x, res.I, c.want)
+		}
+	}
+}
+
+func TestInterpShiftMaskingAndNeg(t *testing.T) {
+	B := bytecode.NewAsm
+	// (a << (b & 31 semantics)) + (-a >> 1) exercises ISHL/ISHR/INEG.
+	code := B().
+		OpA(bytecode.ILOAD, 0).
+		OpA(bytecode.ILOAD, 1).
+		Op(bytecode.ISHL).
+		OpA(bytecode.ILOAD, 0).
+		Op(bytecode.INEG).
+		Iconst(1).
+		Op(bytecode.ISHR).
+		Op(bytecode.IADD).
+		Op(bytecode.IRETURN).
+		MustFinish()
+	res, err := runAsm(t, []bytecode.Type{bytecode.TInt, bytecode.TInt}, bytecode.TInt, 2,
+		code, []Slot{IntSlot(6), IntSlot(33)}) // shift of 33 masks to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.I != 6*2+(-6>>1) {
+		t.Errorf("got %d, want %d", res.I, 6*2+(-6>>1))
+	}
+}
+
+func TestHeapKindMismatchErrors(t *testing.T) {
+	p := buildTestProgram(t)
+	v := New(p, energy.MicroSPARCIIep())
+	ih, _ := v.Heap.NewArray(bytecode.ElemInt, 3)
+	fh, _ := v.Heap.NewArray(bytecode.ElemFloat, 3)
+	if _, err := v.Heap.ElemF(ih, 0); !errors.Is(err, ErrNotArray) {
+		t.Errorf("float read of int array: %v", err)
+	}
+	if _, err := v.Heap.ElemI(fh, 0); !errors.Is(err, ErrNotArray) {
+		t.Errorf("int read of float array: %v", err)
+	}
+	if err := v.Heap.SetElemF(ih, 0, 1); !errors.Is(err, ErrNotArray) {
+		t.Errorf("float write of int array: %v", err)
+	}
+	if err := v.Heap.SetElemI(fh, 0, 1); !errors.Is(err, ErrNotArray) {
+		t.Errorf("int write of float array: %v", err)
+	}
+	obj, _ := v.Heap.NewObject(int32(p.Class("Node").ID))
+	if _, err := v.Heap.ArrayLen(obj); !errors.Is(err, ErrNotArray) {
+		t.Errorf("ArrayLen of object: %v", err)
+	}
+	if _, err := v.Heap.ElemI(obj, 0); !errors.Is(err, ErrNotArray) {
+		t.Errorf("ElemI of object: %v", err)
+	}
+	if _, err := v.Heap.FieldI(ih, 0); err == nil {
+		t.Error("FieldI of array should error")
+	}
+	if _, err := v.Heap.Get(9999); !errors.Is(err, ErrBadHandle) {
+		t.Errorf("bad handle: %v", err)
+	}
+	if _, err := v.Heap.NewArray(bytecode.ElemInt, -1); !errors.Is(err, ErrBounds) {
+		t.Errorf("negative length: %v", err)
+	}
+	if _, err := v.Heap.NewObject(99); err == nil {
+		t.Error("bad class id should error")
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	B := bytecode.NewAsm
+	m := &bytecode.Method{Name: "f", Static: true,
+		Params: []bytecode.Type{bytecode.TInt}, Ret: bytecode.TInt, MaxLocals: 1}
+	p := &bytecode.Program{Classes: []*bytecode.Class{
+		{Name: "T", Methods: []*bytecode.Method{m}}}}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	// Unbounded self-recursion: f(n) = f(n+1).
+	m.Code = B().
+		OpA(bytecode.ILOAD, 0).
+		Iconst(1).
+		Op(bytecode.IADD).
+		OpA(bytecode.INVOKESTATIC, int32(m.ID)).
+		Op(bytecode.IRETURN).
+		MustFinish()
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	v := New(p, energy.MicroSPARCIIep())
+	if _, err := v.Invoke(m, []Slot{IntSlot(0)}); err == nil {
+		t.Error("unbounded recursion should hit the depth limit")
+	}
+}

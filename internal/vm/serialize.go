@@ -1,0 +1,417 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+)
+
+// Object-graph serialization: the MJVM analogue of Java object
+// serialization, which the paper uses to ship method parameters to the
+// server and results back (Fig 4). The encoding is compact (varints
+// for integers) because the byte count directly determines the
+// communication energy of offloading.
+//
+// A graph is encoded as a header section (one entry per object,
+// breadth-first from the root) followed by a data section in the same
+// order; references are object ordinals, so cycles and sharing are
+// preserved.
+
+// ErrSerialize reports a malformed serialized graph.
+var ErrSerialize = errors.New("vm: serialization error")
+
+const (
+	tagInstance = 0
+	tagIntArr   = 1
+	tagFloatArr = 2
+	tagRefArr   = 3
+)
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func putVarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func putFloat(buf *bytes.Buffer, v float64) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v))
+	buf.Write(tmp[:])
+}
+
+type byteReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *byteReader) ReadByte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, fmt.Errorf("%w: truncated", ErrSerialize)
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func (r *byteReader) varint() (int64, error) {
+	return binary.ReadVarint(r)
+}
+
+func (r *byteReader) float() (float64, error) {
+	if r.pos+8 > len(r.b) {
+		return 0, fmt.Errorf("%w: truncated float", ErrSerialize)
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b[r.pos:]))
+	r.pos += 8
+	return v, nil
+}
+
+// SerializeGraph encodes the object graph rooted at handle (0 encodes
+// the null reference).
+func (h *Heap) SerializeGraph(root int64) ([]byte, error) {
+	var buf bytes.Buffer
+	if root == 0 {
+		putUvarint(&buf, 0)
+		return buf.Bytes(), nil
+	}
+	// Breadth-first discovery; ordinal 1 is the root.
+	ord := map[int64]uint64{root: 1}
+	order := []int64{root}
+	for i := 0; i < len(order); i++ {
+		o, err := h.Get(order[i])
+		if err != nil {
+			return nil, err
+		}
+		visit := func(ref int64) {
+			if ref == 0 {
+				return
+			}
+			if _, seen := ord[ref]; !seen {
+				ord[ref] = uint64(len(order) + 1)
+				order = append(order, ref)
+			}
+		}
+		if o.IsArr {
+			if o.Kind == bytecode.ElemRef {
+				for _, ref := range o.I {
+					visit(ref)
+				}
+			}
+		} else {
+			c := o.Class(h.prog)
+			if c == nil {
+				return nil, fmt.Errorf("%w: object with bad class id %d", ErrSerialize, o.ClassID)
+			}
+			for _, slot := range c.RefSlots() {
+				visit(o.I[slot])
+			}
+		}
+	}
+	// Header section.
+	putUvarint(&buf, uint64(len(order)))
+	for _, handle := range order {
+		o, _ := h.Get(handle)
+		switch {
+		case !o.IsArr:
+			putUvarint(&buf, tagInstance)
+			putUvarint(&buf, uint64(o.ClassID))
+		case o.Kind == bytecode.ElemInt:
+			putUvarint(&buf, tagIntArr)
+			putUvarint(&buf, uint64(o.Len))
+		case o.Kind == bytecode.ElemFloat:
+			putUvarint(&buf, tagFloatArr)
+			putUvarint(&buf, uint64(o.Len))
+		default:
+			putUvarint(&buf, tagRefArr)
+			putUvarint(&buf, uint64(o.Len))
+		}
+	}
+	// Data section.
+	for _, handle := range order {
+		o, _ := h.Get(handle)
+		if o.IsArr {
+			switch o.Kind {
+			case bytecode.ElemInt:
+				for _, v := range o.I {
+					putVarint(&buf, v)
+				}
+			case bytecode.ElemFloat:
+				for _, v := range o.F {
+					putFloat(&buf, v)
+				}
+			default:
+				for _, ref := range o.I {
+					putUvarint(&buf, ord[ref]) // 0 for null
+				}
+			}
+			continue
+		}
+		c := o.Class(h.prog)
+		isRef := make(map[int]bool, len(c.RefSlots()))
+		for _, s := range c.RefSlots() {
+			isRef[s] = true
+		}
+		for i, v := range o.I {
+			if isRef[i] {
+				putUvarint(&buf, ord[v])
+			} else {
+				putVarint(&buf, v)
+			}
+		}
+		for _, v := range o.F {
+			putFloat(&buf, v)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DeserializeGraph decodes a graph produced by SerializeGraph into
+// this heap and returns the root handle (0 for null).
+func (h *Heap) DeserializeGraph(b []byte) (int64, int, error) {
+	r := &byteReader{b: b}
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrSerialize, err)
+	}
+	if n == 0 {
+		return 0, r.pos, nil
+	}
+	if n > uint64(len(b)) {
+		return 0, 0, fmt.Errorf("%w: absurd object count %d", ErrSerialize, n)
+	}
+	handles := make([]int64, n)
+	// Header pass: allocate every object.
+	for i := range handles {
+		tag, err := r.uvarint()
+		if err != nil {
+			return 0, 0, fmt.Errorf("%w: %v", ErrSerialize, err)
+		}
+		switch tag {
+		case tagInstance:
+			cid, err := r.uvarint()
+			if err != nil {
+				return 0, 0, fmt.Errorf("%w: %v", ErrSerialize, err)
+			}
+			hd, err := h.NewObject(int32(cid))
+			if err != nil {
+				return 0, 0, err
+			}
+			handles[i] = hd
+		case tagIntArr, tagFloatArr, tagRefArr:
+			ln, err := r.uvarint()
+			if err != nil {
+				return 0, 0, fmt.Errorf("%w: %v", ErrSerialize, err)
+			}
+			kind := bytecode.ElemInt
+			if tag == tagFloatArr {
+				kind = bytecode.ElemFloat
+			} else if tag == tagRefArr {
+				kind = bytecode.ElemRef
+			}
+			hd, err := h.NewArray(kind, int64(ln))
+			if err != nil {
+				return 0, 0, err
+			}
+			handles[i] = hd
+		default:
+			return 0, 0, fmt.Errorf("%w: bad tag %d", ErrSerialize, tag)
+		}
+	}
+	resolve := func(ordv uint64) (int64, error) {
+		if ordv == 0 {
+			return 0, nil
+		}
+		if ordv > n {
+			return 0, fmt.Errorf("%w: reference %d out of range", ErrSerialize, ordv)
+		}
+		return handles[ordv-1], nil
+	}
+	// Data pass.
+	for _, hd := range handles {
+		o, err := h.Get(hd)
+		if err != nil {
+			return 0, 0, err
+		}
+		if o.IsArr {
+			switch o.Kind {
+			case bytecode.ElemInt:
+				for i := range o.I {
+					if o.I[i], err = r.varint(); err != nil {
+						return 0, 0, fmt.Errorf("%w: %v", ErrSerialize, err)
+					}
+				}
+			case bytecode.ElemFloat:
+				for i := range o.F {
+					if o.F[i], err = r.float(); err != nil {
+						return 0, 0, err
+					}
+				}
+			default:
+				for i := range o.I {
+					ov, err := r.uvarint()
+					if err != nil {
+						return 0, 0, fmt.Errorf("%w: %v", ErrSerialize, err)
+					}
+					if o.I[i], err = resolve(ov); err != nil {
+						return 0, 0, err
+					}
+				}
+			}
+			continue
+		}
+		c := o.Class(h.prog)
+		isRef := make(map[int]bool, len(c.RefSlots()))
+		for _, s := range c.RefSlots() {
+			isRef[s] = true
+		}
+		for i := range o.I {
+			if isRef[i] {
+				ov, err := r.uvarint()
+				if err != nil {
+					return 0, 0, fmt.Errorf("%w: %v", ErrSerialize, err)
+				}
+				if o.I[i], err = resolve(ov); err != nil {
+					return 0, 0, err
+				}
+			} else if o.I[i], err = r.varint(); err != nil {
+				return 0, 0, fmt.Errorf("%w: %v", ErrSerialize, err)
+			}
+		}
+		for i := range o.F {
+			if o.F[i], err = r.float(); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	return handles[0], r.pos, nil
+}
+
+// EncodeValue serializes one value of the given kind: the payload of a
+// method result.
+func (h *Heap) EncodeValue(k bytecode.Kind, s Slot) ([]byte, error) {
+	var buf bytes.Buffer
+	switch k {
+	case bytecode.KVoid:
+	case bytecode.KInt:
+		putVarint(&buf, s.I)
+	case bytecode.KFloat:
+		putFloat(&buf, s.F)
+	case bytecode.KRef:
+		g, err := h.SerializeGraph(s.I)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(g)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeValue is the inverse of EncodeValue.
+func (h *Heap) DecodeValue(k bytecode.Kind, b []byte) (Slot, error) {
+	r := &byteReader{b: b}
+	switch k {
+	case bytecode.KVoid:
+		return Slot{}, nil
+	case bytecode.KInt:
+		v, err := r.varint()
+		if err != nil {
+			return Slot{}, fmt.Errorf("%w: %v", ErrSerialize, err)
+		}
+		return Slot{I: v}, nil
+	case bytecode.KFloat:
+		v, err := r.float()
+		if err != nil {
+			return Slot{}, err
+		}
+		return Slot{F: v}, nil
+	default:
+		root, _, err := h.DeserializeGraph(b)
+		return Slot{I: root}, err
+	}
+}
+
+// EncodeArgs serializes a full argument list for method m (receiver
+// first), concatenating per-kind payloads. It is what the client
+// transmits when offloading m.
+func (h *Heap) EncodeArgs(m *bytecode.Method, args []Slot) ([]byte, error) {
+	if len(args) != m.NumArgs() {
+		return nil, fmt.Errorf("%w: %d args for %s, want %d", ErrSerialize, len(args), m.QName(), m.NumArgs())
+	}
+	var buf bytes.Buffer
+	for i, k := range m.ArgKinds() {
+		switch k {
+		case bytecode.KInt:
+			putVarint(&buf, args[i].I)
+		case bytecode.KFloat:
+			putFloat(&buf, args[i].F)
+		case bytecode.KRef:
+			g, err := h.SerializeGraph(args[i].I)
+			if err != nil {
+				return nil, err
+			}
+			buf.Write(g)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeArgs deserializes an argument payload into this heap.
+func (h *Heap) DecodeArgs(m *bytecode.Method, b []byte) ([]Slot, error) {
+	args := make([]Slot, 0, m.NumArgs())
+	pos := 0
+	for _, k := range m.ArgKinds() {
+		r := &byteReader{b: b[pos:]}
+		switch k {
+		case bytecode.KInt:
+			v, err := r.varint()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrSerialize, err)
+			}
+			args = append(args, Slot{I: v})
+			pos += r.pos
+		case bytecode.KFloat:
+			v, err := r.float()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, Slot{F: v})
+			pos += r.pos
+		case bytecode.KRef:
+			root, used, err := h.DeserializeGraph(b[pos:])
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, Slot{I: root})
+			pos += used
+		}
+	}
+	if pos != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSerialize, len(b)-pos)
+	}
+	return args, nil
+}
+
+// ChargeSerialization charges the CPU work of serializing or
+// deserializing n bytes: streaming copy plus varint coding, roughly
+// one load, one store and two ALU operations per word.
+func (v *VM) ChargeSerialization(n int) {
+	words := uint64((n + 3) / 4)
+	v.Acct.AddInstr(energy.Load, words)
+	v.Acct.AddInstr(energy.Store, words)
+	v.Acct.AddInstr(energy.ALUSimple, 2*words)
+}

@@ -1,0 +1,274 @@
+package vm
+
+import (
+	"fmt"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+	"greenvm/internal/isa"
+	"greenvm/internal/mem"
+)
+
+// Dispatcher decides, at each invocation, which body of a method to
+// run: nil means interpret the bytecode; otherwise the returned native
+// body is executed. The offloading framework installs adaptive
+// dispatchers; the default interprets everything.
+type Dispatcher interface {
+	Choose(m *bytecode.Method) *isa.Code
+}
+
+// DispatchFunc adapts a function to the Dispatcher interface.
+type DispatchFunc func(m *bytecode.Method) *isa.Code
+
+// Choose implements Dispatcher.
+func (f DispatchFunc) Choose(m *bytecode.Method) *isa.Code { return f(m) }
+
+// InvokeHook intercepts invocations of potential methods (the paper's
+// implicit helper-method mechanism). If it fully handles the call —
+// e.g. by executing it remotely — it returns handled=true and the
+// result. Otherwise execution proceeds locally and the hook may have
+// arranged compilation/dispatch state as a side effect.
+type InvokeHook func(m *bytecode.Method, args []Slot) (Slot, bool, error)
+
+// VM is one MJVM instance (a mobile client or a server). It owns a
+// heap, an energy account, a memory hierarchy and a native machine,
+// and executes methods in mixed interpreted/native mode.
+type VM struct {
+	Prog  *bytecode.Program
+	Model *energy.CPUModel
+	Acct  *energy.Account
+	Hier  *mem.Hierarchy
+	Heap  *Heap
+	Mach  *isa.Machine
+
+	// Hook intercepts potential-method invocations; may be nil.
+	Hook InvokeHook
+	// Dispatch picks the body for each local execution; nil interprets.
+	Dispatch Dispatcher
+	// MaxSteps bounds interpreted bytecodes + native instructions; 0
+	// means unbounded.
+	MaxSteps uint64
+
+	steps     uint64
+	sp        uint64
+	bcAlloc   *mem.Allocator
+	codeAlloc *mem.Allocator
+	bcInfo    map[*bytecode.Method]*bcLayout
+	depth     int
+}
+
+// bcLayout caches the simulated placement of a method's bytecode
+// stream for interpreter fetch addressing.
+type bcLayout struct {
+	base    uint64
+	offsets []uint32
+}
+
+// New returns a VM for the linked, verified program on the given CPU
+// model.
+func New(prog *bytecode.Program, model *energy.CPUModel) *VM {
+	acct := energy.NewAccount(model)
+	hier := mem.DefaultClientHierarchy(model, acct)
+	v := &VM{
+		Prog:      prog,
+		Model:     model,
+		Acct:      acct,
+		Hier:      hier,
+		Heap:      NewHeap(prog, hier),
+		sp:        mem.StackBase,
+		bcAlloc:   mem.NewAllocator(mem.BytecodeBase, mem.HeapBase-mem.BytecodeBase),
+		codeAlloc: mem.NewAllocator(mem.CodeBase, mem.BytecodeBase-mem.CodeBase),
+		bcInfo:    make(map[*bytecode.Method]*bcLayout),
+	}
+	v.Mach = isa.NewMachine(&bridge{vm: v}, hier, acct)
+	return v
+}
+
+// Steps returns the executed bytecode + native instruction count.
+func (v *VM) Steps() uint64 { return v.steps + v.Mach.Steps }
+
+// ResetRun clears per-run state (heap, step counters, frame stack) but
+// keeps caches warm or cold according to flushCaches. Accounts are the
+// caller's to reset.
+func (v *VM) ResetRun(flushCaches bool) {
+	v.Heap.Reset()
+	v.steps = 0
+	v.Mach.Steps = 0
+	v.sp = mem.StackBase
+	v.Mach.SP = mem.StackBase
+	v.depth = 0
+	if flushCaches {
+		v.Hier.Flush()
+	}
+}
+
+// InstallCode assigns a code address to a compiled body so that its
+// instruction fetches are modelled, and returns it.
+func (v *VM) InstallCode(c *isa.Code) *isa.Code {
+	c.Base = v.codeAlloc.Alloc(uint64(c.SizeBytes()), uint64(isa.BytesPerInstr))
+	return c
+}
+
+func (v *VM) layoutOf(m *bytecode.Method) *bcLayout {
+	if l, ok := v.bcInfo[m]; ok {
+		return l
+	}
+	offs := make([]uint32, len(m.Code))
+	off := uint32(0)
+	for i, in := range m.Code {
+		offs[i] = off
+		off += uint32(in.Op.EncodedBytes())
+	}
+	l := &bcLayout{base: v.bcAlloc.Alloc(uint64(off), 4), offsets: offs}
+	v.bcInfo[m] = l
+	return l
+}
+
+// Invoke runs the method with the given arguments (receiver first for
+// instance methods) and returns its result slot.
+func (v *VM) Invoke(m *bytecode.Method, args []Slot) (Slot, error) {
+	return v.invoke(m, args)
+}
+
+// InvokeByName reflectively resolves Class.method and invokes it; this
+// is the server-side entry point for offloaded execution.
+func (v *VM) InvokeByName(class, method string, args []Slot) (Slot, error) {
+	m := v.Prog.FindMethod(class, method)
+	if m == nil {
+		return Slot{}, fmt.Errorf("vm: no such method %s.%s", class, method)
+	}
+	return v.invoke(m, args)
+}
+
+const maxDepth = 512
+
+func (v *VM) invoke(m *bytecode.Method, args []Slot) (Slot, error) {
+	if len(args) != m.NumArgs() {
+		return Slot{}, fmt.Errorf("vm: %s called with %d args, want %d", m.QName(), len(args), m.NumArgs())
+	}
+	if v.depth >= maxDepth {
+		return Slot{}, fmt.Errorf("vm: call depth limit in %s", m.QName())
+	}
+	if m.Potential && v.Hook != nil {
+		res, handled, err := v.Hook(m, args)
+		if handled || err != nil {
+			return res, err
+		}
+	}
+	var body *isa.Code
+	if v.Dispatch != nil {
+		body = v.Dispatch.Choose(m)
+	}
+	v.depth++
+	defer func() { v.depth-- }()
+	if body != nil {
+		return v.runNative(m, body, args)
+	}
+	return v.interpret(m, args)
+}
+
+// runNative executes a compiled body on the machine, marshalling
+// arguments into the ABI registers.
+func (v *VM) runNative(m *bytecode.Method, body *isa.Code, args []Slot) (Slot, error) {
+	mach := v.Mach
+	savedR, savedF := mach.SaveRegs()
+	ir, fr := isa.ABIArgBase, isa.ABIArgBase
+	for i, k := range m.ArgKinds() {
+		if k == bytecode.KFloat {
+			mach.F[fr] = args[i].F
+			fr++
+		} else {
+			mach.R[ir] = args[i].I
+			ir++
+		}
+	}
+	mach.MaxSteps = 0
+	if v.MaxSteps != 0 {
+		mach.MaxSteps = v.MaxSteps
+	}
+	err := mach.Run(body)
+	var ret Slot
+	if err == nil {
+		if m.Ret.Kind == bytecode.KFloat {
+			ret = Slot{F: mach.F[isa.ABIArgBase]}
+		} else {
+			ret = Slot{I: mach.R[isa.ABIArgBase]}
+		}
+	}
+	mach.RestoreRegs(savedR, savedF)
+	if err != nil {
+		return Slot{}, fmt.Errorf("%s (native L%d): %w", m.QName(), body.OptLevel, err)
+	}
+	return ret, nil
+}
+
+// bridge implements isa.Bridge on top of the VM heap and dispatcher.
+type bridge struct {
+	vm *VM
+}
+
+func (b *bridge) FieldI(h int64, idx int) (int64, error)      { return b.vm.Heap.FieldI(h, idx) }
+func (b *bridge) SetFieldI(h int64, idx int, x int64) error   { return b.vm.Heap.SetFieldI(h, idx, x) }
+func (b *bridge) FieldF(h int64, idx int) (float64, error)    { return b.vm.Heap.FieldF(h, idx) }
+func (b *bridge) SetFieldF(h int64, idx int, x float64) error { return b.vm.Heap.SetFieldF(h, idx, x) }
+func (b *bridge) ElemI(h, i int64) (int64, error)             { return b.vm.Heap.ElemI(h, i) }
+func (b *bridge) SetElemI(h, i, x int64) error                { return b.vm.Heap.SetElemI(h, i, x) }
+func (b *bridge) ElemF(h, i int64) (float64, error)           { return b.vm.Heap.ElemF(h, i) }
+func (b *bridge) SetElemF(h, i int64, x float64) error        { return b.vm.Heap.SetElemF(h, i, x) }
+func (b *bridge) ArrayLen(h int64) (int64, error)             { return b.vm.Heap.ArrayLen(h) }
+
+func (b *bridge) NewArray(kind, n int64) (int64, error) {
+	return b.vm.Heap.NewArray(bytecode.ElemKind(kind), n)
+}
+
+func (b *bridge) NewObject(classIdx int64) (int64, error) {
+	return b.vm.Heap.NewObject(int32(classIdx))
+}
+
+// Call handles CALLVM: it resolves the callee (virtual dispatch when
+// the statically named target is an instance method), unmarshals the
+// ABI registers into argument slots, and re-enters the VM, which may
+// interpret or run native code.
+func (b *bridge) Call(idx int64, mach *isa.Machine) error {
+	v := b.vm
+	target := v.Prog.Method(int(idx))
+	if target == nil {
+		return fmt.Errorf("vm: CALLVM to bad method id %d", idx)
+	}
+	kinds := target.ArgKinds()
+	args := make([]Slot, len(kinds))
+	ir, fr := isa.ABIArgBase, isa.ABIArgBase
+	for i, k := range kinds {
+		if k == bytecode.KFloat {
+			args[i] = Slot{F: mach.F[fr]}
+			fr++
+		} else {
+			args[i] = Slot{I: mach.R[ir]}
+			ir++
+		}
+	}
+	m := target
+	if !target.Static {
+		// Virtual dispatch on the receiver's runtime class.
+		recv, err := v.Heap.Get(args[0].I)
+		if err != nil {
+			return err
+		}
+		if c := recv.Class(v.Prog); c != nil {
+			if actual := c.Resolve(target.Name); actual != nil {
+				m = actual
+			}
+		}
+		v.Acct.AddInstr(energy.Load, 2) // vtable lookup
+	}
+	res, err := v.invoke(m, args)
+	if err != nil {
+		return err
+	}
+	if m.Ret.Kind == bytecode.KFloat {
+		mach.F[isa.ABIArgBase] = res.F
+	} else {
+		mach.R[isa.ABIArgBase] = res.I
+	}
+	return nil
+}
