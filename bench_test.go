@@ -9,6 +9,7 @@
 package greenvm
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -133,6 +134,29 @@ func BenchmarkFig7AdaptiveStrategies(b *testing.B) {
 		perRun = float64(cell.Energy) / 20 * 1e3
 	}
 	b.ReportMetric(perRun, "mJ/execution")
+}
+
+// BenchmarkFigureGrid compares serial and parallel execution of the
+// Fig 7 scenario grid (2 apps × 3 situations × 7 strategies, 20
+// executions each). The outputs are byte-identical; only wall clock
+// differs. Measured speedups are recorded in EXPERIMENTS.md.
+func BenchmarkFigureGrid(b *testing.B) {
+	fe, srt := preparedEnvs(b)
+	envs := []*experiments.Env{fe, srt}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := experiments.NewRunner(workers)
+			var norm float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFig7On(r, envs, 20, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				norm = res.Strategy(experiments.SitUniform, core.StrategyAL)
+			}
+			b.ReportMetric(norm, "AL/L1")
+		})
+	}
 }
 
 // BenchmarkFig8CompilationEnergy regenerates the Fig 8 compilation

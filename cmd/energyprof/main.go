@@ -1,6 +1,6 @@
 // Command energyprof prints the platform energy model (the paper's
 // Fig 1 and Fig 2 constants plus derived quantities) and, with -app,
-// profiles one benchmark application: per-mode energy/time curves,
+// profiles benchmark applications: per-mode energy/time curves,
 // serialized payload sizes, and compilation costs per level.
 package main
 
@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"greenvm/internal/apps"
 	"greenvm/internal/core"
@@ -18,54 +19,75 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "", "profile one benchmark (fe, pf, mf, hpf, ed, sort, jess, db)")
+	app := flag.String("app", "", "profile benchmarks: a name (fe, pf, mf, hpf, ed, sort, jess, db), a comma-separated list, or \"all\"")
 	seed := flag.Uint64("seed", 2003, "profiling seed")
+	workers := flag.Int("workers", 0, "parallel profiling workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *app == "" {
-		experiments.RenderFig1(os.Stdout)
-		fmt.Println()
-		experiments.RenderFig2(os.Stdout)
-		fmt.Println()
-		model := energy.MicroSPARCIIep()
-		fmt.Printf("compiler-classes load/init: %v per execution that compiles locally\n",
-			jit.CompilerLoadEnergy(model))
-		chip := radio.WCDMA()
-		fmt.Printf("per-KB transfer at Class 4: tx %v, rx %v\n",
-			chip.TxEnergy(1024, radio.Class4), chip.RxEnergy(1024, radio.Class4))
-		fmt.Printf("per-KB transfer at Class 1: tx %v, rx %v\n",
-			chip.TxEnergy(1024, radio.Class1), chip.RxEnergy(1024, radio.Class1))
+		renderPlatform(os.Stdout)
 		return
 	}
 
-	a := apps.ByName(*app)
-	if a == nil {
-		fmt.Fprintf(os.Stderr, "energyprof: unknown app %q\n", *app)
-		os.Exit(1)
-	}
-	prog, err := a.FreshProgram()
+	list, err := selectApps(*app)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "energyprof:", err)
 		os.Exit(1)
 	}
-	pr := &core.Profiler{
-		Prog:        prog,
-		ClientModel: energy.MicroSPARCIIep(),
-		ServerModel: energy.ServerSPARC(),
-		Seed:        *seed,
-	}
-	t := a.Target()
-	prof, err := pr.ProfileTarget(t)
+	envs, err := experiments.PrepareAllOn(experiments.NewRunner(*workers), list, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "energyprof:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s — %s (size parameter: %s)\n\n", a.Name, a.Desc, a.SizeDesc)
-	fmt.Printf("%8s | %11s %11s %11s %11s | %9s %9s | %10s\n",
+	for i, env := range envs {
+		if i > 0 {
+			fmt.Println()
+		}
+		renderProfile(os.Stdout, env.App, env.Prof)
+	}
+}
+
+// selectApps resolves the -app argument to a benchmark list.
+func selectApps(arg string) ([]*apps.App, error) {
+	if arg == "all" {
+		return apps.All(), nil
+	}
+	var list []*apps.App
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		a := apps.ByName(name)
+		if a == nil {
+			return nil, fmt.Errorf("unknown app %q", name)
+		}
+		list = append(list, a)
+	}
+	return list, nil
+}
+
+// renderPlatform prints the platform energy model.
+func renderPlatform(w *os.File) {
+	experiments.RenderFig1(w)
+	fmt.Fprintln(w)
+	experiments.RenderFig2(w)
+	fmt.Fprintln(w)
+	model := energy.MicroSPARCIIep()
+	fmt.Fprintf(w, "compiler-classes load/init: %v per execution that compiles locally\n",
+		jit.CompilerLoadEnergy(model))
+	chip := radio.WCDMA()
+	fmt.Fprintf(w, "per-KB transfer at Class 4: tx %v, rx %v\n",
+		chip.TxEnergy(1024, radio.Class4), chip.RxEnergy(1024, radio.Class4))
+	fmt.Fprintf(w, "per-KB transfer at Class 1: tx %v, rx %v\n",
+		chip.TxEnergy(1024, radio.Class1), chip.RxEnergy(1024, radio.Class1))
+}
+
+// renderProfile prints one app's profiled curves and compile costs.
+func renderProfile(w *os.File, a *apps.App, prof *core.Profile) {
+	fmt.Fprintf(w, "%s — %s (size parameter: %s)\n\n", a.Name, a.Desc, a.SizeDesc)
+	fmt.Fprintf(w, "%8s | %11s %11s %11s %11s | %9s %9s | %10s\n",
 		"size", "I", "L1", "L2", "L3", "tx B", "rx B", "server t")
 	for _, s := range a.ProfileSizes {
 		x := float64(s)
-		fmt.Printf("%8d | %11v %11v %11v %11v | %9.0f %9.0f | %8.2f ms\n",
+		fmt.Fprintf(w, "%8d | %11v %11v %11v %11v | %9.0f %9.0f | %8.2f ms\n",
 			s,
 			energy.Joules(prof.EnergyOf[core.ModeInterp].Eval(x)),
 			energy.Joules(prof.EnergyOf[core.ModeL1].Eval(x)),
@@ -74,10 +96,10 @@ func main() {
 			prof.TxBytes.Eval(x), prof.RxBytes.Eval(x),
 			prof.ServerTime.Eval(x)*1e3)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for lv := 0; lv < 3; lv++ {
-		fmt.Printf("compile plan at L%d: %v, %d B native code\n",
+		fmt.Fprintf(w, "compile plan at L%d: %v, %d B native code\n",
 			lv+1, prof.CompileEnergy[lv], prof.PlanCodeBytes[lv])
 	}
-	fmt.Printf("worst training-fit error: %.2f%%\n", prof.MaxFitErr*100)
+	fmt.Fprintf(w, "worst training-fit error: %.2f%%\n", prof.MaxFitErr*100)
 }

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	figures [-fig N] [-claims] [-runs N] [-detail] [-seed N]
+//	figures [-fig N] [-claims] [-runs N] [-detail] [-seed N] [-workers N]
 //
 // Without flags it regenerates everything (Figs 1, 2, 3, 5, 6, 7, 8
 // and the §3 claims). -runs scales the per-scenario execution count
-// (the paper uses 300).
+// (the paper uses 300). -workers shards the experiment grid across
+// that many goroutines (0 = GOMAXPROCS); the output is identical to a
+// serial run.
 package main
 
 import (
@@ -26,17 +28,24 @@ func main() {
 	runs := flag.Int("runs", 300, "application executions per Fig 7 scenario")
 	detail := flag.Bool("detail", false, "print per-app Fig 7 tables")
 	seed := flag.Uint64("seed", 2003, "experiment seed")
+	workers := flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if err := run(*fig, *claims, *ext, *runs, *detail, *seed); err != nil {
+	if err := run(*fig, *claims, *ext, *runs, *detail, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64) error {
+func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64, workers int) error {
 	w := os.Stdout
+	switch fig {
+	case 0, 1, 2, 3, 5, 6, 7, 8:
+	default:
+		return fmt.Errorf("no figure %d (valid: 1, 2, 3, 5, 6, 7, 8)", fig)
+	}
 	all := fig == 0 && !claimsOnly && !ext
+	runner := experiments.NewRunner(workers)
 
 	if all || fig == 1 {
 		experiments.RenderFig1(w)
@@ -60,7 +69,7 @@ func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64) erro
 		return nil
 	}
 	fmt.Fprintln(w, "preparing applications (compile + profile)...")
-	envs, err := experiments.PrepareAll(apps.All(), seed)
+	envs, err := experiments.PrepareAllOn(runner, apps.All(), seed)
 	if err != nil {
 		return err
 	}
@@ -75,7 +84,7 @@ func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64) erro
 				three = append(three, e)
 			}
 		}
-		bars, err := experiments.RunFig6(three, seed)
+		bars, err := experiments.RunFig6On(runner, three, seed)
 		if err != nil {
 			return err
 		}
@@ -85,7 +94,7 @@ func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64) erro
 
 	var fig7 *experiments.Fig7Result
 	if all || claimsOnly || fig == 7 {
-		fig7, err = experiments.RunFig7(envs, runs, seed)
+		fig7, err = experiments.RunFig7On(runner, envs, runs, seed)
 		if err != nil {
 			return err
 		}
@@ -102,7 +111,7 @@ func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64) erro
 	}
 
 	if all || fig == 8 {
-		rows, err := experiments.RunFig8(envs)
+		rows, err := experiments.RunFig8On(runner, envs)
 		if err != nil {
 			return err
 		}
@@ -111,7 +120,7 @@ func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64) erro
 	}
 
 	if all || claimsOnly {
-		c, err := experiments.MeasureClaims(envs, fig7, seed+7)
+		c, err := experiments.MeasureClaimsOn(runner, envs, fig7, seed+7)
 		if err != nil {
 			return err
 		}
@@ -131,25 +140,25 @@ func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64) erro
 			if env == nil {
 				continue
 			}
-			pts, err := experiments.RunMarkovSweep(env, runs, seed)
+			pts, err := experiments.RunMarkovSweepOn(runner, env, runs, seed)
 			if err != nil {
 				return err
 			}
 			experiments.RenderMarkovSweep(w, name, pts)
 			fmt.Fprintln(w)
-			tps, err := experiments.RunTrackerErrorSweep(env, runs, seed)
+			tps, err := experiments.RunTrackerErrorSweepOn(runner, env, runs, seed)
 			if err != nil {
 				return err
 			}
 			experiments.RenderTrackerErrorSweep(w, name, tps)
 			fmt.Fprintln(w)
-			rows, err := experiments.RunBreakdown(env, runs, seed)
+			rows, err := experiments.RunBreakdownOn(runner, env, runs, seed)
 			if err != nil {
 				return err
 			}
 			experiments.RenderBreakdown(w, name, rows)
 			fmt.Fprintln(w)
-			cps, err := experiments.RunCodeCacheSweep(env, runs, seed)
+			cps, err := experiments.RunCodeCacheSweepOn(runner, env, runs, seed)
 			if err != nil {
 				return err
 			}

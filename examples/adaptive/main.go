@@ -42,7 +42,7 @@ func main() {
 	if err := client.Register(target, prof); err != nil {
 		log.Fatal(err)
 	}
-	client.TraceEnabled = true
+	trace := client.EnableTrace()
 
 	sizes := app.ScenarioSizes
 	sizeRand := rng.New(99)
@@ -60,7 +60,7 @@ func main() {
 		if _, err := client.Invoke(app.Class, app.Method, args); err != nil {
 			log.Fatal(err)
 		}
-		rec := client.Trace[len(client.Trace)-1]
+		rec := trace.Records[len(trace.Records)-1]
 		note := ""
 		switch {
 		case rec.Mode == core.ModeRemote && channel.Current() >= radio.Class3:
@@ -78,7 +78,7 @@ func main() {
 
 	fmt.Println()
 	fmt.Printf("total energy %v over %.2f s virtual time\n", client.Energy(), float64(client.Clock))
-	fmt.Printf("mode counts [I L1 L2 L3 R] = %v, fallbacks = %d\n", client.ModeCounts, client.Fallbacks)
+	fmt.Printf("mode counts [I L1 L2 L3 R] = %v, fallbacks = %d\n", client.Stats.ModeCounts, client.Stats.Fallbacks)
 
 	// Compare with the static strategies on the identical sequence.
 	fmt.Println()

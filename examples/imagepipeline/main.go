@@ -67,7 +67,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	client.TraceEnabled = true
+	trace := client.EnableTrace()
 
 	// Load the image into the client VM heap.
 	pixels, err := intArray(client.VM, img.Pix)
@@ -81,7 +81,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rec := client.Trace[len(client.Trace)-1]
+		rec := trace.Records[len(trace.Records)-1]
 		fmt.Printf("%-11s mode=%-2v energy=%10v time=%6.1f ms\n",
 			class+"."+method, rec.Mode, rec.Energy, float64(rec.Time)*1e3)
 		return res.I

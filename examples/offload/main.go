@@ -41,7 +41,7 @@ func main() {
 	if err := client.Register(target, prof); err != nil {
 		log.Fatal(err)
 	}
-	client.TraceEnabled = true
+	trace := client.EnableTrace()
 
 	const size = 200
 	args, err := target.MakeArgs(client.VM, size, rng.New(5))
@@ -55,7 +55,7 @@ func main() {
 		log.Fatal(err)
 	}
 	n, _ := client.VM.Heap.ArrayLen(res.I)
-	rec := client.Trace[len(client.Trace)-1]
+	rec := trace.Records[len(trace.Records)-1]
 	fmt.Printf("   mode=%v  result: shortest-path tree with %d nodes\n", rec.Mode, n)
 	fmt.Printf("   bytes sent %d, received %d\n", client.Link.BytesSent, client.Link.BytesReceived)
 	fmt.Printf("   invocation energy %v, time %.1f ms\n", rec.Energy, float64(rec.Time)*1e3)
@@ -71,9 +71,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec = client.Trace[len(client.Trace)-1]
+	rec = trace.Records[len(trace.Records)-1]
 	fmt.Printf("   fallbacks=%d  (decision was %v; executed locally after timeout)\n",
-		client.Fallbacks, rec.Mode)
+		client.Stats.Fallbacks, rec.Mode)
 
 	// The fallback result must match the remote one.
 	a, _ := client.VM.Heap.ElemI(res.I, 0)

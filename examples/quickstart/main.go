@@ -91,8 +91,8 @@ func main() {
 		}
 		fmt.Printf("%-9s %12v %10.1f ms   [%d %d %d %d %d]\n",
 			strategy, client.Energy(), float64(client.Clock)/10*1e3,
-			client.ModeCounts[core.ModeRemote], client.ModeCounts[core.ModeInterp],
-			client.ModeCounts[core.ModeL1], client.ModeCounts[core.ModeL2], client.ModeCounts[core.ModeL3])
+			client.Stats.ModeCounts[core.ModeRemote], client.Stats.ModeCounts[core.ModeInterp],
+			client.Stats.ModeCounts[core.ModeL1], client.Stats.ModeCounts[core.ModeL2], client.Stats.ModeCounts[core.ModeL3])
 	}
 	fmt.Println()
 	fmt.Println("AL picks the cheapest mode per invocation; AA additionally downloads")

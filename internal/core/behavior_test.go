@@ -4,11 +4,18 @@ import (
 	"fmt"
 	"testing"
 
+	"greenvm/internal/bytecode"
 	"greenvm/internal/energy"
 	"greenvm/internal/radio"
 	"greenvm/internal/rng"
 	"greenvm/internal/vm"
 )
+
+// adaptiveState reaches into the client's adaptive policy for its
+// per-method EWMA/amortization state.
+func adaptiveState(c *Client) map[*bytecode.Method]*adaptState {
+	return c.Policy.(*AdaptivePolicy).state
+}
 
 // TestEWMAPrediction checks the paper's prediction formulas: after a
 // run of invocations, sBar is the u-weighted average of past sizes.
@@ -22,7 +29,7 @@ func TestEWMAPrediction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	st := c.state[m]
+	st := adaptiveState(c)[m]
 	// s1 = 100; s2 = .7*100 + .3*200 = 130; s3 = .7*130 + .3*400 = 211.
 	if st.sBar != 211 {
 		t.Errorf("sBar = %v, want 211", st.sBar)
@@ -50,17 +57,17 @@ func TestNewExecutionResetsAmortization(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c.state[m].k != 30 {
-		t.Fatalf("k = %d", c.state[m].k)
+	if adaptiveState(c)[m].k != 30 {
+		t.Fatalf("k = %d", adaptiveState(c)[m].k)
 	}
 	c.NewExecution()
-	if c.state[m].k != 0 {
+	if adaptiveState(c)[m].k != 0 {
 		t.Error("NewExecution should reset invocation counts")
 	}
-	if c.state[m].sBar == 0 {
+	if adaptiveState(c)[m].sBar == 0 {
 		t.Error("NewExecution should keep the EWMA size prediction")
 	}
-	if c.planCompiledAt(m, 1) || c.planCompiledAt(m, 2) || c.planCompiledAt(m, 3) {
+	if c.Exec.planLinked(m, 1) || c.Exec.planLinked(m, 2) || c.Exec.planLinked(m, 3) {
 		t.Error("NewExecution should unlink compiled bodies")
 	}
 }
@@ -87,8 +94,8 @@ func TestRecompileChargesAgain(t *testing.T) {
 	if rel := abs(float64(e2)-2*float64(e1)) / float64(e1); rel > 1e-9 {
 		t.Errorf("second execution compile charge %v, want doubled %v", e2, 2*e1)
 	}
-	if c.LocalCompiles != 4 { // 2 methods x 2 executions
-		t.Errorf("LocalCompiles = %d, want 4", c.LocalCompiles)
+	if c.Stats.LocalCompiles != 4 { // 2 methods x 2 executions
+		t.Errorf("LocalCompiles = %d, want 4", c.Stats.LocalCompiles)
 	}
 }
 
@@ -99,7 +106,7 @@ func TestDecisionOverheadCharged(t *testing.T) {
 	c := newTestClient(t, p, StrategyAL, radio.Fixed{Cls: radio.Class4}, workTarget())
 	m := p.FindMethod("App", "work")
 	before := c.VM.Acct.Snapshot()
-	c.chooseMode(m, 100)
+	c.decideMode(m, 100)
 	overhead := c.VM.Acct.Since(before)
 	if overhead <= 0 {
 		t.Fatal("decision charged nothing")
@@ -128,11 +135,11 @@ func TestPilotTrackerErrorRobustness(t *testing.T) {
 		t.Fatal("no energy")
 	}
 	total := 0
-	for _, n := range c.ModeCounts {
+	for _, n := range c.Stats.ModeCounts {
 		total += n
 	}
 	if total != 25 {
-		t.Errorf("mode counts %v", c.ModeCounts)
+		t.Errorf("mode counts %v", c.Stats.ModeCounts)
 	}
 }
 
@@ -153,13 +160,13 @@ func TestMultipleTargetsIndependentState(t *testing.T) {
 	}
 	work := p.FindMethod("App", "work")
 	vec := p.FindMethod("App", "vecsum")
-	if c.state[work] == nil || c.state[vec] == nil {
+	if adaptiveState(c)[work] == nil || adaptiveState(c)[vec] == nil {
 		t.Fatal("missing per-method state")
 	}
-	if c.state[work].k != 1 || c.state[vec].k != 1 {
-		t.Errorf("k work=%d vec=%d", c.state[work].k, c.state[vec].k)
+	if adaptiveState(c)[work].k != 1 || adaptiveState(c)[vec].k != 1 {
+		t.Errorf("k work=%d vec=%d", adaptiveState(c)[work].k, adaptiveState(c)[vec].k)
 	}
-	if c.state[work].sBar == c.state[vec].sBar {
+	if adaptiveState(c)[work].sBar == adaptiveState(c)[vec].sBar {
 		t.Error("size predictions should be independent")
 	}
 }
@@ -225,13 +232,13 @@ func TestCodeCacheEviction(t *testing.T) {
 	p := testProgram(t)
 	c := newTestClient(t, p, StrategyL2, radio.Fixed{Cls: radio.Class4}, workTarget(), vecsumTarget())
 	// Big enough for one plan but not both.
-	c.CodeCacheBytes = 150
+	c.Exec.Cache.MaxBytes = 150
 
 	argsW := []vm.Slot{vm.IntSlot(100)}
 	if _, err := c.Invoke("App", "work", argsW); err != nil {
 		t.Fatal(err)
 	}
-	compiles1 := c.LocalCompiles
+	compiles1 := c.Stats.LocalCompiles
 	argsV, err := vecsumTarget().MakeArgs(c.VM, 64, rng.New(2))
 	if err != nil {
 		t.Fatal(err)
@@ -239,7 +246,7 @@ func TestCodeCacheEviction(t *testing.T) {
 	if _, err := c.Invoke("App", "vecsum", argsV); err != nil {
 		t.Fatal(err)
 	}
-	if c.Evictions == 0 {
+	if c.Stats.Evictions == 0 {
 		t.Fatal("expected evictions under a 150-byte code cache")
 	}
 	// Re-running work must recompile what was evicted (same
@@ -247,8 +254,8 @@ func TestCodeCacheEviction(t *testing.T) {
 	if _, err := c.Invoke("App", "work", argsW); err != nil {
 		t.Fatal(err)
 	}
-	if c.LocalCompiles <= compiles1+2 {
-		t.Errorf("LocalCompiles = %d; eviction should force recompilation", c.LocalCompiles)
+	if c.Stats.LocalCompiles <= compiles1+2 {
+		t.Errorf("LocalCompiles = %d; eviction should force recompilation", c.Stats.LocalCompiles)
 	}
 
 	// An unlimited cache never evicts.
@@ -260,7 +267,7 @@ func TestCodeCacheEviction(t *testing.T) {
 	if _, err := c2.Invoke("App", "vecsum", argsV2); err != nil {
 		t.Fatal(err)
 	}
-	if c2.Evictions != 0 {
+	if c2.Stats.Evictions != 0 {
 		t.Error("unlimited cache should not evict")
 	}
 }

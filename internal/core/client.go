@@ -5,7 +5,6 @@ import (
 
 	"greenvm/internal/bytecode"
 	"greenvm/internal/energy"
-	"greenvm/internal/isa"
 	"greenvm/internal/jit"
 	"greenvm/internal/radio"
 	"greenvm/internal/rng"
@@ -13,7 +12,17 @@ import (
 )
 
 // Client is a Java-enabled mobile device: an MJVM plus a wireless link
-// to a Server, executing under one of the paper's seven strategies.
+// to a Server. It is the thin composition root of three layers with
+// narrow seams:
+//
+//   - the Policy decides, per invocation, where and how to execute
+//     (and where to compile) — all strategy logic and adaptive state
+//     live there;
+//   - the Executor runs the decision (interpret, JIT at a level, or
+//     offload) and manages compiled bodies through its CacheManager;
+//   - the event layer (Events/Stats) is the single stream experiments
+//     and tracing consume.
+//
 // All energy consumed on behalf of the client (computation,
 // compilation, communication, power-down leakage) accumulates in
 // VM.Acct; Clock tracks virtual wall time.
@@ -26,9 +35,19 @@ type Client struct {
 	Server   Remote
 	Strategy Strategy
 
-	// U1 and U2 weight the EWMA prediction of future size parameter
-	// and communication power (paper: both 0.7).
-	U1, U2 float64
+	// Policy decides execution mode and compilation site; NewClient
+	// installs the paper policy for the strategy, and callers may swap
+	// in their own before invoking.
+	Policy Policy
+
+	// Exec owns the execution paths and the compiled-code cache.
+	Exec *Executor
+
+	// Events fans runtime events out to the attached sinks; Stats is
+	// the always-attached counter sink.
+	Events *Sinks
+	Stats  *Stats
+
 	// Timeout is the listen window charged before declaring the
 	// connection lost and falling back to local execution.
 	Timeout energy.Seconds
@@ -36,66 +55,19 @@ type Client struct {
 	// Clock is the client's virtual wall time.
 	Clock energy.Seconds
 
-	targets  map[*bytecode.Method]*Target
-	profiles map[*bytecode.Method]*Profile
-	plans    map[*bytecode.Method][]*bytecode.Method
-	state    map[*bytecode.Method]*adaptState
-	inFlight map[*bytecode.Method]bool
-
-	// Compiled-code state. bodies caches compiled artifacts for the
-	// whole client lifetime; avail marks which are linked into the
-	// *current application execution* (a fresh execution reloads
-	// classes, so compilation energy is paid again even though the
-	// simulator reuses the artifact). compileDeltas replays the
-	// recorded compile charges on re-compilation.
-	bodies        map[*bytecode.Method][3]*isa.Code
-	avail         map[*bytecode.Method][3]bool
-	compileDeltas map[*bytecode.Method][3]energy.Delta
-
-	levelStack     []jit.Level // 0 = interpret
-	compilerLoaded bool
-	lastAcctTime   energy.Seconds
-	r              *rng.RNG
-
-	// CodeCacheBytes bounds the native code kept linked at once
-	// (0 = unlimited); exceeding it evicts least-recently-used bodies,
-	// which must be re-compiled or re-downloaded on next use.
-	CodeCacheBytes int
-	Evictions      int
-	lruStamp       map[cacheKey]uint64
-	lruTick        uint64
-
 	// Memo, when set, replays previously simulated executions; the
 	// driver must set MemoInputKey to identify the current input and
 	// must not consume results of replayed invocations.
 	Memo         *Memo
 	MemoInputKey uint64
-	MemoHits     int
 
-	// Counters for experiments.
-	LocalCompiles  int
-	RemoteCompiles int
-	Fallbacks      int
-	ModeCounts     [5]int
-	Trace          []InvokeRecord
-	TraceEnabled   bool
-}
+	targets  map[*bytecode.Method]*Target
+	profiles map[*bytecode.Method]*Profile
+	plans    map[*bytecode.Method][]*bytecode.Method
+	inFlight map[*bytecode.Method]bool
 
-// InvokeRecord describes one potential-method invocation.
-type InvokeRecord struct {
-	Method   string
-	Mode     Mode
-	Size     float64
-	Energy   energy.Joules
-	Time     energy.Seconds
-	FellBack bool
-}
-
-// adaptState is the per-method state of the adaptive strategies.
-type adaptState struct {
-	k    int
-	sBar float64
-	pBar float64 // predicted transmit-chain power (W)
+	lastAcctTime energy.Seconds
+	r            *rng.RNG
 }
 
 // NewClient builds a client executing prog under the given strategy,
@@ -105,29 +77,36 @@ func NewClient(id string, prog *bytecode.Program, server Remote, ch radio.Channe
 	v := vm.New(prog, model)
 	r := rng.New(seed)
 	c := &Client{
-		ID:            id,
-		Prog:          prog,
-		VM:            v,
-		Model:         model,
-		Link:          radio.NewLink(radio.WCDMA(), ch, v.Acct, r),
-		Server:        server,
-		Strategy:      strategy,
-		U1:            0.7,
-		U2:            0.7,
-		Timeout:       0.05,
-		targets:       map[*bytecode.Method]*Target{},
-		profiles:      map[*bytecode.Method]*Profile{},
-		plans:         map[*bytecode.Method][]*bytecode.Method{},
-		bodies:        map[*bytecode.Method][3]*isa.Code{},
-		avail:         map[*bytecode.Method][3]bool{},
-		compileDeltas: map[*bytecode.Method][3]energy.Delta{},
-		state:         map[*bytecode.Method]*adaptState{},
-		inFlight:      map[*bytecode.Method]bool{},
-		r:             r,
+		ID:       id,
+		Prog:     prog,
+		VM:       v,
+		Model:    model,
+		Link:     radio.NewLink(radio.WCDMA(), ch, v.Acct, r),
+		Server:   server,
+		Strategy: strategy,
+		Policy:   NewPolicy(strategy),
+		Events:   &Sinks{},
+		Stats:    &Stats{},
+		Timeout:  0.05,
+		targets:  map[*bytecode.Method]*Target{},
+		profiles: map[*bytecode.Method]*Profile{},
+		plans:    map[*bytecode.Method][]*bytecode.Method{},
+		inFlight: map[*bytecode.Method]bool{},
+		r:        r,
 	}
+	c.Events.Attach(c.Stats)
+	c.Exec = newExecutor(c)
 	v.Hook = c.hook
-	v.Dispatch = vm.DispatchFunc(c.dispatch)
+	v.Dispatch = vm.DispatchFunc(c.Exec.dispatch)
 	return c
+}
+
+// EnableTrace attaches (and returns) a Trace sink recording every
+// invocation.
+func (c *Client) EnableTrace() *Trace {
+	t := &Trace{}
+	c.Events.Attach(t)
+	return t
 }
 
 // Register attaches a target and its profile to the client. Methods
@@ -149,36 +128,14 @@ func (c *Client) Register(t *Target, prof *Profile) error {
 // Energy returns the total energy the client has consumed.
 func (c *Client) Energy() energy.Joules { return c.VM.Acct.Total() }
 
-// currentLevel is the ambient execution level (0 = interpret).
-func (c *Client) currentLevel() jit.Level {
-	if len(c.levelStack) == 0 {
-		return 0
-	}
-	return c.levelStack[len(c.levelStack)-1]
-}
-
-// dispatch picks the body for any method executed locally: the one
-// compiled at the ambient level, when available.
-func (c *Client) dispatch(m *bytecode.Method) *isa.Code {
-	lv := c.currentLevel()
-	if lv == 0 || !c.avail[m][lv-1] {
-		return nil
-	}
-	return c.bodies[m][lv-1]
-}
-
 // NewExecution marks an application-execution boundary: classes are
 // reloaded, so compiled bodies must be re-linked (their energy is
-// charged again) and the compiler classes re-initialized. Adaptive
-// invocation counts reset with the fresh execution; the EWMA channel
-// and size predictions persist (they are device-level state, like the
-// pilot-signal tracker).
+// charged again) and the compiler classes re-initialized. The policy
+// resets its per-execution amortization state; device-level state
+// (EWMA predictions, the pilot tracker) persists.
 func (c *Client) NewExecution() {
-	c.avail = map[*bytecode.Method][3]bool{}
-	c.compilerLoaded = false
-	for _, st := range c.state {
-		st.k = 0
-	}
+	c.Exec.NewExecution()
+	c.Policy.NewExecution()
 	c.VM.Hier.Flush()
 }
 
@@ -215,7 +172,8 @@ func (c *Client) Invoke(class, method string, args []vm.Slot) (vm.Slot, error) {
 	return c.VM.Invoke(m, args)
 }
 
-// execute decides where and how to run m and does it.
+// execute asks the policy where and how to run m and has the executor
+// do it, emitting one EvInvoke with the measured deltas.
 func (c *Client) execute(m *bytecode.Method, t *Target, size float64, args []vm.Slot) (vm.Slot, error) {
 	c.inFlight[m] = true
 	defer delete(c.inFlight, m)
@@ -224,173 +182,78 @@ func (c *Client) execute(m *bytecode.Method, t *Target, size float64, args []vm.
 	eBefore := c.VM.Acct.Total()
 	tBefore := c.Clock
 
-	mode := c.chooseMode(m, size)
-	res, fellBack, err := c.runMode(mode, m, t, size, args)
+	mode := c.decideMode(m, size)
+	res, fellBack, err := c.Exec.Run(mode, m, t, size, args)
 	if err != nil {
 		return vm.Slot{}, err
 	}
 
 	c.syncClock()
-	c.ModeCounts[mode]++
 	if fellBack {
-		c.Fallbacks++
+		c.Events.Emit(Event{Kind: EvFallback, Method: m, Mode: mode})
 	}
-	if c.TraceEnabled {
-		c.Trace = append(c.Trace, InvokeRecord{
-			Method: m.QName(), Mode: mode, Size: size,
-			Energy:   c.VM.Acct.Total() - eBefore,
-			Time:     c.Clock - tBefore,
-			FellBack: fellBack,
-		})
-	}
+	c.Events.Emit(Event{
+		Kind: EvInvoke, Method: m, Mode: mode, Size: size,
+		Energy:   c.VM.Acct.Total() - eBefore,
+		Time:     c.Clock - tBefore,
+		FellBack: fellBack,
+	})
 	return res, nil
 }
 
-// runMode executes m in the given mode, falling back to the best
-// local mode on connection loss.
-func (c *Client) runMode(mode Mode, m *bytecode.Method, t *Target, size float64, args []vm.Slot) (vm.Slot, bool, error) {
-	if mode == ModeRemote {
-		res, err := c.remoteExecute(m, t, size, args)
-		if err == nil {
-			return res, false, nil
-		}
-		if err != radio.ErrConnectionLost {
-			return vm.Slot{}, false, err
-		}
-		// Paper §3.2: when the result is not obtained within the time
-		// threshold, connectivity is considered lost and execution
-		// begins locally.
-		c.Link.Listen(c.Timeout)
-		c.Clock += c.Timeout
-		local := c.bestLocalMode(m, size)
-		res, _, err = c.runMode(local, m, t, size, args)
-		return res, true, err
-	}
-	if mode.IsCompiled() {
-		if err := c.ensurePlanCompiled(m, mode.Level()); err != nil {
-			return vm.Slot{}, false, err
-		}
-	}
-	key := memoKey{method: m.QName(), mode: mode, inputKey: c.MemoInputKey}
-	if c.Memo != nil {
-		if d, ok := c.Memo.local[key]; ok {
-			c.VM.Acct.Apply(d)
-			c.MemoHits++
-			return vm.Slot{}, false, nil
-		}
-	}
-	snap := c.VM.Acct.Snapshot()
-	c.levelStack = append(c.levelStack, levelOf(mode))
-	res, err := c.VM.Invoke(m, args)
-	c.levelStack = c.levelStack[:len(c.levelStack)-1]
-	if c.Memo != nil && err == nil {
-		c.Memo.local[key] = c.VM.Acct.DeltaSince(snap)
-	}
-	return res, false, err
+// decideMode routes one decision through the policy.
+func (c *Client) decideMode(m *bytecode.Method, size float64) Mode {
+	return c.Policy.Decide(&InvokeContext{Method: m, Prof: c.profiles[m], Size: size, Env: c}).Mode
 }
 
-func levelOf(mode Mode) jit.Level {
-	if mode.IsCompiled() {
-		return mode.Level()
-	}
-	return 0
+// StepChannel advances the channel process (between invocations).
+func (c *Client) StepChannel() { c.Link.StepChannel() }
+
+// ResetRun clears per-execution VM state while keeping compiled code,
+// adaptive state and accumulated energy (an application execution
+// boundary within a scenario).
+func (c *Client) ResetRun() {
+	c.VM.ResetRun(true)
 }
 
-// chooseMode implements the strategies. Static strategies fix the
-// mode; AL and AA evaluate the paper's amortized energy estimates.
-func (c *Client) chooseMode(m *bytecode.Method, size float64) Mode {
-	if !c.Strategy.Adaptive() {
-		return c.Strategy.StaticMode()
-	}
-	prof := c.profiles[m]
-	st := c.state[m]
-	if st == nil {
-		st = &adaptState{}
-		c.state[m] = st
-	}
-	// EWMA prediction of future size and communication power
-	// (sk1 = u1*sk-1 + (1-u1)*sk, pk likewise; u1 = u2 = 0.7).
-	pNow := float64(c.Link.Chip.TxPower(c.Link.EstimateClass()))
-	if st.k == 0 {
-		st.sBar, st.pBar = size, pNow
-	} else {
-		st.sBar = c.U1*st.sBar + (1-c.U1)*size
-		st.pBar = c.U2*st.pBar + (1-c.U2)*pNow
-	}
-	st.k++
-	k := float64(st.k)
+// --- PolicyEnv: the pricing view policies consult ---
 
-	// Decision-making overhead (the paper notes it is small).
+// TxPowerEstimate implements PolicyEnv.
+func (c *Client) TxPowerEstimate() float64 {
+	return float64(c.Link.Chip.TxPower(c.Link.EstimateClass()))
+}
+
+// ChargeDecisionOverhead implements PolicyEnv (the paper notes the
+// decision cost is small).
+func (c *Client) ChargeDecisionOverhead() {
 	c.VM.Acct.AddInstr(energy.ALUSimple, 400)
 	c.VM.Acct.AddInstr(energy.Load, 80)
-
-	best, bestE := ModeInterp, k*prof.EnergyOf[ModeInterp].Eval(st.sBar)
-	if eR := k * float64(c.remoteEnergyEstimate(prof, st.sBar, st.pBar)); eR < bestE {
-		best, bestE = ModeRemote, eR
-	}
-	for mode := ModeL1; mode <= ModeL3; mode++ {
-		e := k * prof.EnergyOf[mode].Eval(st.sBar)
-		e += float64(c.compileCostEstimate(m, prof, mode.Level()))
-		if e < bestE {
-			best, bestE = mode, e
-		}
-	}
-	return best
 }
 
-// bestLocalMode picks the cheapest local mode for the fallback path.
-func (c *Client) bestLocalMode(m *bytecode.Method, size float64) Mode {
-	prof := c.profiles[m]
-	if prof == nil {
-		return ModeInterp
-	}
-	best, bestE := ModeInterp, prof.EnergyOf[ModeInterp].Eval(size)
-	for mode := ModeL1; mode <= ModeL3; mode++ {
-		e := prof.EnergyOf[mode].Eval(size) + float64(c.compileCostEstimate(m, prof, mode.Level()))
-		if e < bestE {
-			best, bestE = mode, e
-		}
-	}
-	return best
-}
-
-// planCompiledAt reports whether the whole plan is linked at the
-// level in the current execution.
-func (c *Client) planCompiledAt(m *bytecode.Method, lv jit.Level) bool {
-	for _, mm := range c.plans[m] {
-		if !c.avail[mm][lv-1] {
-			return false
-		}
-	}
-	return true
-}
-
-// compileCostEstimate returns the estimated energy to make the plan
-// executable at the level: zero when already compiled; otherwise the
-// profiled local compile cost (Eo'), or for AA the cheaper of local
-// compilation and downloading the pre-compiled bodies at the current
-// channel estimate.
-func (c *Client) compileCostEstimate(m *bytecode.Method, prof *Profile, lv jit.Level) energy.Joules {
-	if c.planCompiledAt(m, lv) {
+// PlanCompileCost implements PolicyEnv: zero when the plan is already
+// linked; otherwise the profiled local compile cost (Eo'), or with
+// allowDownload the cheaper of local compilation and downloading the
+// pre-compiled bodies at the current channel estimate.
+func (c *Client) PlanCompileCost(m *bytecode.Method, prof *Profile, lv jit.Level, allowDownload bool) energy.Joules {
+	if c.Exec.planLinked(m, lv) {
 		return 0
 	}
 	local := prof.CompileEnergy[lv-1]
-	if !c.compilerLoaded {
+	if !c.Exec.CompilerLoaded() {
 		local += jit.CompilerLoadEnergy(c.Model)
 	}
-	if c.Strategy != StrategyAA {
+	if !allowDownload {
 		return local
 	}
-	remote := c.remoteCompileEstimate(prof, lv)
-	if remote < local {
+	if remote := c.planDownloadCost(prof, lv); remote < local {
 		return remote
 	}
 	return local
 }
 
-// remoteCompileEstimate prices downloading the plan's pre-compiled
-// bodies at the current channel estimate.
-func (c *Client) remoteCompileEstimate(prof *Profile, lv jit.Level) energy.Joules {
+// planDownloadCost prices downloading the plan's pre-compiled bodies
+// at the current channel estimate.
+func (c *Client) planDownloadCost(prof *Profile, lv jit.Level) energy.Joules {
 	cls := c.Link.EstimateClass()
 	req := 64 // method-name request bytes
 	e := c.Link.Chip.TxEnergy(req, cls)
@@ -398,10 +261,36 @@ func (c *Client) remoteCompileEstimate(prof *Profile, lv jit.Level) energy.Joule
 	return e
 }
 
-// remoteEnergyEstimate is E”(m, s, p): transmit the serialized
-// arguments at predicted power p, sleep (leakage) while the server
-// computes, and receive the result.
-func (c *Client) remoteEnergyEstimate(prof *Profile, s, pWatts float64) energy.Joules {
+// BodyCompileCost implements PolicyEnv: the profiled per-method local
+// compile energy (plus a pending compiler load); ok is false for
+// unprofiled methods.
+func (c *Client) BodyCompileCost(mm *bytecode.Method, lv jit.Level) (energy.Joules, bool) {
+	localE := mm.Attr(fmt.Sprintf("compile.energy.%s", lv), -1)
+	if localE < 0 {
+		return 0, false
+	}
+	local := energy.Joules(localE)
+	if !c.Exec.CompilerLoaded() {
+		local += jit.CompilerLoadEnergy(c.Model)
+	}
+	return local, true
+}
+
+// BodyDownloadCost implements PolicyEnv: transmit the method name,
+// receive the profiled body size, at the current channel estimate.
+func (c *Client) BodyDownloadCost(mm *bytecode.Method, lv jit.Level) (energy.Joules, bool) {
+	codeBytes := mm.Attr(fmt.Sprintf("compile.bytes.%s", lv), -1)
+	if codeBytes < 0 {
+		return 0, false
+	}
+	cls := c.Link.EstimateClass()
+	return c.Link.Chip.TxEnergy(64, cls) + c.Link.Chip.RxEnergy(int(codeBytes), cls), true
+}
+
+// RemoteEnergy implements PolicyEnv: E''(m, s, p) — transmit the
+// serialized arguments at predicted power p, sleep (leakage) while
+// the server computes, and receive the result.
+func (c *Client) RemoteEnergy(prof *Profile, s, pWatts float64) energy.Joules {
 	chip := c.Link.Chip
 	txBytes := prof.TxBytes.Eval(s)
 	rxBytes := prof.RxBytes.Eval(s)
@@ -426,245 +315,6 @@ func (c *Client) remoteEnergyEstimate(prof *Profile, s, pWatts float64) energy.J
 	return e
 }
 
-// remoteExecute offloads one invocation (Fig 4): serialize arguments,
-// transmit, power down for the estimated server time, wake, receive
-// and deserialize the result.
-func (c *Client) remoteExecute(m *bytecode.Method, t *Target, size float64, args []vm.Slot) (vm.Slot, error) {
-	prof := c.profiles[m]
-	key := memoKey{method: m.QName(), mode: ModeRemote, inputKey: c.MemoInputKey}
-	if c.Memo != nil {
-		if ent, ok := c.Memo.remote[key]; ok {
-			c.MemoHits++
-			return c.replayRemote(prof, size, ent)
-		}
-	}
-	argBytes, err := c.VM.Heap.EncodeArgs(m, args)
-	if err != nil {
-		return vm.Slot{}, err
-	}
-	c.VM.ChargeSerialization(len(argBytes))
-	c.syncClock()
-
-	tTx, err := c.Link.Send(len(argBytes))
-	if err != nil {
-		return vm.Slot{}, err
-	}
-	c.Clock += tTx
-
-	estServ := energy.Seconds(prof.ServerTime.Eval(size))
-	if estServ < 0 {
-		estServ = 0
-	}
-	reqTime := c.Clock
-	resBytes, servTime, _, err := c.Server.Execute(c.ID, t.Class, t.Method, argBytes, reqTime, reqTime+estServ)
-	if err != nil {
-		return vm.Slot{}, err
-	}
-
-	// Power-down while the server computes: the processor, memory and
-	// receiver sleep for the estimated duration, drawing only leakage.
-	sleep := estServ
-	if servTime < sleep {
-		// Server finished early; the result waits in the status table
-		// until the client wakes (it still sleeps the full estimate).
-	} else if servTime > sleep {
-		// Early re-activation penalty: the client wakes before the
-		// result is ready and listens with the receiver up.
-		c.Link.Listen(servTime - sleep)
-	}
-	c.VM.Acct.AddLeakage(sleep)
-	elapsed := sleep
-	if servTime > elapsed {
-		elapsed = servTime
-	}
-	c.Clock += elapsed
-
-	tRx, err := c.Link.Recv(len(resBytes))
-	if err != nil {
-		return vm.Slot{}, err
-	}
-	c.Clock += tRx
-
-	c.VM.ChargeSerialization(len(resBytes))
-	deserSnap := c.VM.Acct.Snapshot()
-	res, err := c.VM.Heap.DecodeValue(m.Ret.Kind, resBytes)
-	if err != nil {
-		return vm.Slot{}, err
-	}
-	if c.Memo != nil {
-		c.Memo.remote[key] = remoteEntry{
-			txBytes:    len(argBytes),
-			rxBytes:    len(resBytes),
-			servTime:   servTime,
-			deserDelta: c.VM.Acct.DeltaSince(deserSnap),
-		}
-	}
-	c.syncClock()
-	return res, nil
-}
-
-// replayRemote re-prices a previously executed offload from its
-// recorded byte counts and server time; transmit energy reflects the
-// channel condition of this run, not the recorded one.
-func (c *Client) replayRemote(prof *Profile, size float64, ent remoteEntry) (vm.Slot, error) {
-	c.VM.ChargeSerialization(ent.txBytes)
-	c.syncClock()
-	tTx, err := c.Link.Send(ent.txBytes)
-	if err != nil {
-		return vm.Slot{}, err
-	}
-	c.Clock += tTx
-
-	estServ := energy.Seconds(prof.ServerTime.Eval(size))
-	if estServ < 0 {
-		estServ = 0
-	}
-	sleep := estServ
-	if ent.servTime > sleep {
-		c.Link.Listen(ent.servTime - sleep)
-	}
-	c.VM.Acct.AddLeakage(sleep)
-	elapsed := sleep
-	if ent.servTime > elapsed {
-		elapsed = ent.servTime
-	}
-	c.Clock += elapsed
-
-	tRx, err := c.Link.Recv(ent.rxBytes)
-	if err != nil {
-		return vm.Slot{}, err
-	}
-	c.Clock += tRx
-	c.VM.ChargeSerialization(ent.rxBytes)
-	c.VM.Acct.Apply(ent.deserDelta)
-	c.syncClock()
-	return vm.Slot{}, nil
-}
-
-// ensurePlanCompiled makes every method of m's plan executable at the
-// level, compiling locally or (AA) downloading pre-compiled bodies.
-func (c *Client) ensurePlanCompiled(m *bytecode.Method, lv jit.Level) error {
-	for _, mm := range c.plans[m] {
-		if c.avail[mm][lv-1] {
-			continue
-		}
-		if c.Strategy == StrategyAA && c.shouldDownload(mm, lv) {
-			if err := c.downloadBody(mm, lv); err == nil {
-				continue
-			} else if err != radio.ErrConnectionLost {
-				return err
-			}
-			// Connection lost: fall through to local compilation.
-			c.Fallbacks++
-		}
-		if err := c.compileLocally(mm, lv); err != nil {
-			return err
-		}
-	}
-	c.syncClock()
-	return nil
-}
-
-// shouldDownload compares the profiled local compile energy with the
-// download cost at the current channel estimate (paper §3.3).
-func (c *Client) shouldDownload(mm *bytecode.Method, lv jit.Level) bool {
-	localE := mm.Attr(fmt.Sprintf("compile.energy.%s", lv), -1)
-	codeBytes := mm.Attr(fmt.Sprintf("compile.bytes.%s", lv), -1)
-	if localE < 0 || codeBytes < 0 {
-		return false // unprofiled; compile locally
-	}
-	local := energy.Joules(localE)
-	if !c.compilerLoaded {
-		local += jit.CompilerLoadEnergy(c.Model)
-	}
-	cls := c.Link.EstimateClass()
-	remote := c.Link.Chip.TxEnergy(64, cls) + c.Link.Chip.RxEnergy(int(codeBytes), cls)
-	return remote < local
-}
-
-// downloadBody fetches a pre-compiled body from the server. A body
-// already fetched in a previous execution is re-downloaded (the fresh
-// classloader has no native code), but the simulator reuses the
-// artifact.
-func (c *Client) downloadBody(mm *bytecode.Method, lv jit.Level) error {
-	tTx, err := c.Link.Send(64)
-	if err != nil {
-		return err
-	}
-	code := c.bodies[mm][lv-1]
-	size := 0
-	if code != nil {
-		size = code.SizeBytes()
-	} else {
-		code, size, err = c.Server.CompiledBody(mm.QName(), lv)
-		if err != nil {
-			return err
-		}
-		c.VM.InstallCode(code)
-		b := c.bodies[mm]
-		b[lv-1] = code
-		c.bodies[mm] = b
-	}
-	tRx, err := c.Link.Recv(size)
-	if err != nil {
-		return err
-	}
-	// Linking the downloaded code into the VM.
-	c.VM.ChargeSerialization(size)
-	av := c.avail[mm]
-	av[lv-1] = true
-	c.avail[mm] = av
-	c.noteLinked(mm, lv)
-	c.Clock += tTx + tRx
-	c.RemoteCompiles++
-	c.syncClock()
-	return nil
-}
-
-// compileLocally runs the JIT on the client, charging its energy (and
-// the once-per-execution compiler-classes load). Re-compilations in
-// later executions replay the recorded charges without re-running the
-// JIT.
-func (c *Client) compileLocally(mm *bytecode.Method, lv jit.Level) error {
-	if !c.compilerLoaded {
-		jit.ChargeCompilerLoad(c.VM.Acct)
-		c.compilerLoaded = true
-	}
-	if c.bodies[mm][lv-1] == nil {
-		snap := c.VM.Acct.Snapshot()
-		code, st, err := jit.Compile(c.Prog, mm, lv)
-		if err != nil {
-			return err
-		}
-		st.Charge(c.VM.Acct)
-		c.VM.InstallCode(code)
-		b := c.bodies[mm]
-		b[lv-1] = code
-		c.bodies[mm] = b
-		d := c.compileDeltas[mm]
-		d[lv-1] = c.VM.Acct.DeltaSince(snap)
-		c.compileDeltas[mm] = d
-	} else {
-		c.VM.Acct.Apply(c.compileDeltas[mm][lv-1])
-	}
-	av := c.avail[mm]
-	av[lv-1] = true
-	c.avail[mm] = av
-	c.noteLinked(mm, lv)
-	c.LocalCompiles++
-	return nil
-}
-
-// StepChannel advances the channel process (between invocations).
-func (c *Client) StepChannel() { c.Link.StepChannel() }
-
-// ResetRun clears per-execution VM state while keeping compiled code,
-// adaptive state and accumulated energy (an application execution
-// boundary within a scenario).
-func (c *Client) ResetRun() {
-	c.VM.ResetRun(true)
-}
-
 // classForPower returns the power class whose transmit-chain power is
 // nearest to p; the adaptive strategies predict future power with an
 // EWMA, so the estimate rarely matches a class exactly.
@@ -681,3 +331,7 @@ func classForPower(chip *radio.Chipset, p float64) radio.Class {
 	}
 	return best
 }
+
+// Compile-time check: the Client is the pricing environment policies
+// consult.
+var _ PolicyEnv = (*Client)(nil)

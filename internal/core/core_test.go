@@ -203,8 +203,8 @@ func TestRemoteRefArguments(t *testing.T) {
 	if got.I != want.I {
 		t.Errorf("remote vecsum = %d, want %d", got.I, want.I)
 	}
-	if c.ModeCounts[ModeRemote] != 1 {
-		t.Errorf("mode counts = %v", c.ModeCounts)
+	if c.Stats.ModeCounts[ModeRemote] != 1 {
+		t.Errorf("mode counts = %v", c.Stats.ModeCounts)
 	}
 	if c.VM.Acct.Component(energy.CompRadioTx) <= 0 ||
 		c.VM.Acct.Component(energy.CompRadioRx) <= 0 ||
@@ -222,11 +222,11 @@ func TestStaticCompiledStrategiesCompileOnce(t *testing.T) {
 		}
 	}
 	// Plan = work + helper, compiled once at L2.
-	if c.LocalCompiles != 2 {
-		t.Errorf("LocalCompiles = %d, want 2", c.LocalCompiles)
+	if c.Stats.LocalCompiles != 2 {
+		t.Errorf("LocalCompiles = %d, want 2", c.Stats.LocalCompiles)
 	}
-	if c.ModeCounts[ModeL2] != 3 {
-		t.Errorf("mode counts = %v", c.ModeCounts)
+	if c.Stats.ModeCounts[ModeL2] != 3 {
+		t.Errorf("mode counts = %v", c.Stats.ModeCounts)
 	}
 	if c.VM.Acct.Component(energy.CompCompile) <= 0 {
 		t.Error("no compile energy recorded")
@@ -241,11 +241,11 @@ func TestConnectionLossFallsBackLocally(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Fallbacks == 0 {
+	if c.Stats.Fallbacks == 0 {
 		t.Error("expected a fallback")
 	}
-	if c.ModeCounts[ModeRemote] != 1 {
-		t.Errorf("mode counts = %v (remote attempt should be recorded)", c.ModeCounts)
+	if c.Stats.ModeCounts[ModeRemote] != 1 {
+		t.Errorf("mode counts = %v (remote attempt should be recorded)", c.Stats.ModeCounts)
 	}
 	// The local result must still be correct.
 	v2 := vm.New(p, energy.MicroSPARCIIep())
@@ -260,19 +260,18 @@ func TestAdaptiveCompilesHotMethod(t *testing.T) {
 	// Poor channel makes remote expensive; repeated invocations make
 	// compilation worthwhile.
 	c := newTestClient(t, p, StrategyAL, radio.Fixed{Cls: radio.Class1}, workTarget())
-	c.TraceEnabled = true
 	for i := 0; i < 40; i++ {
 		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(600)}); err != nil {
 			t.Fatal(err)
 		}
 		c.StepChannel()
 	}
-	compiled := c.ModeCounts[ModeL1] + c.ModeCounts[ModeL2] + c.ModeCounts[ModeL3]
+	compiled := c.Stats.ModeCounts[ModeL1] + c.Stats.ModeCounts[ModeL2] + c.Stats.ModeCounts[ModeL3]
 	if compiled == 0 {
-		t.Errorf("AL never chose a compiled mode over 40 hot invocations: %v", c.ModeCounts)
+		t.Errorf("AL never chose a compiled mode over 40 hot invocations: %v", c.Stats.ModeCounts)
 	}
-	if c.ModeCounts[ModeRemote] > 0 {
-		t.Errorf("AL offloaded under a Class 1 channel: %v", c.ModeCounts)
+	if c.Stats.ModeCounts[ModeRemote] > 0 {
+		t.Errorf("AL offloaded under a Class 1 channel: %v", c.Stats.ModeCounts)
 	}
 }
 
@@ -284,8 +283,8 @@ func TestAdaptiveOffloadsUnderGoodChannel(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c.ModeCounts[ModeRemote] == 0 {
-		t.Errorf("AL never offloaded under Class 4 with large inputs: %v", c.ModeCounts)
+	if c.Stats.ModeCounts[ModeRemote] == 0 {
+		t.Errorf("AL never offloaded under Class 4 with large inputs: %v", c.Stats.ModeCounts)
 	}
 }
 
@@ -300,14 +299,14 @@ func TestAARemoteCompilation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c.RemoteCompiles == 0 && c.LocalCompiles == 0 {
+	if c.Stats.RemoteCompiles == 0 && c.Stats.LocalCompiles == 0 {
 		t.Skip("AA never compiled in this configuration")
 	}
 	// Under a good channel, downloading beats paying the compiler
 	// load locally for the first compilation.
-	if c.RemoteCompiles == 0 {
+	if c.Stats.RemoteCompiles == 0 {
 		t.Errorf("AA with good channel should download pre-compiled code (local=%d remote=%d)",
-			c.LocalCompiles, c.RemoteCompiles)
+			c.Stats.LocalCompiles, c.Stats.RemoteCompiles)
 	}
 }
 
@@ -326,7 +325,7 @@ func TestAAFallsBackToLocalCompileOnLoss(t *testing.T) {
 	if res.I != want.I {
 		t.Errorf("result %d, want %d", res.I, want.I)
 	}
-	if c.RemoteCompiles != 0 {
+	if c.Stats.RemoteCompiles != 0 {
 		t.Error("remote compile should be impossible with a dead link")
 	}
 }
@@ -456,8 +455,8 @@ func TestMemoCountsHits(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c.MemoHits != 2 {
-		t.Errorf("MemoHits = %d, want 2", c.MemoHits)
+	if c.Stats.MemoHits != 2 {
+		t.Errorf("MemoHits = %d, want 2", c.Stats.MemoHits)
 	}
 	if c.Memo.Size() != 1 {
 		t.Errorf("memo size = %d, want 1", c.Memo.Size())

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+	"greenvm/internal/jit"
+)
+
+// The event layer is the client's single observability stream: every
+// interesting runtime occurrence (an invocation decided and executed,
+// a fallback, a compilation, a code-cache eviction, a memo replay) is
+// emitted as one typed Event to the attached sinks. Experiments,
+// tracing and metrics all consume this stream instead of reaching
+// into scattered counters.
+
+// EventKind discriminates the events a client emits.
+type EventKind int
+
+// The event kinds.
+const (
+	// EvInvoke is one completed potential-method invocation: the
+	// decided mode plus its measured energy/time deltas.
+	EvInvoke EventKind = iota
+	// EvFallback is a connection loss that forced local execution (or,
+	// during adaptive compilation, a local compile instead of a
+	// download).
+	EvFallback
+	// EvLocalCompile is one method body compiled by the client's JIT.
+	EvLocalCompile
+	// EvRemoteCompile is one pre-compiled body downloaded from the
+	// server.
+	EvRemoteCompile
+	// EvEvict is one body unlinked by the code cache's LRU policy.
+	EvEvict
+	// EvMemoHit is one invocation replayed from the memo instead of
+	// re-simulated.
+	EvMemoHit
+)
+
+// Event is one occurrence in a client's execution stream. Method is
+// always set; the remaining fields are populated per kind (see the
+// EventKind docs).
+type Event struct {
+	Kind   EventKind
+	Method *bytecode.Method
+	Mode   Mode           // EvInvoke: the decided mode
+	Level  jit.Level      // compiles and evictions: the body's level
+	Size   float64        // EvInvoke: the invocation's size parameter
+	Energy energy.Joules  // EvInvoke: energy delta of the invocation
+	Time   energy.Seconds // EvInvoke: wall-time delta of the invocation
+	// FellBack marks an EvInvoke whose remote execution was lost and
+	// re-ran locally.
+	FellBack bool
+}
+
+// EventSink consumes client events. Sinks run synchronously on the
+// simulation goroutine and must not retain the event's Method beyond
+// the client's lifetime.
+type EventSink interface {
+	Emit(Event)
+}
+
+// Sinks fans events out to every attached sink.
+type Sinks struct {
+	sinks []EventSink
+}
+
+// Attach adds a sink to the fan-out.
+func (s *Sinks) Attach(sink EventSink) { s.sinks = append(s.sinks, sink) }
+
+// Emit delivers the event to every attached sink.
+func (s *Sinks) Emit(e Event) {
+	for _, sink := range s.sinks {
+		sink.Emit(e)
+	}
+}
+
+// Stats accumulates the counters the experiments consume. Every
+// client has one attached from construction, at Client.Stats.
+type Stats struct {
+	// ModeCounts[mode] counts invocations decided into each mode.
+	ModeCounts [NumModes]int
+	// Fallbacks counts connection-loss fallbacks (execution and
+	// compilation-download ones alike).
+	Fallbacks int
+	// LocalCompiles and RemoteCompiles count method bodies obtained by
+	// running the local JIT vs. downloading from the server.
+	LocalCompiles  int
+	RemoteCompiles int
+	// Evictions counts bodies unlinked by the code cache's LRU policy.
+	Evictions int
+	// MemoHits counts invocations replayed from the memo.
+	MemoHits int
+}
+
+// Emit implements EventSink.
+func (s *Stats) Emit(e Event) {
+	switch e.Kind {
+	case EvInvoke:
+		s.ModeCounts[e.Mode]++
+	case EvFallback:
+		s.Fallbacks++
+	case EvLocalCompile:
+		s.LocalCompiles++
+	case EvRemoteCompile:
+		s.RemoteCompiles++
+	case EvEvict:
+		s.Evictions++
+	case EvMemoHit:
+		s.MemoHits++
+	}
+}
+
+// InvokeRecord describes one potential-method invocation, as recorded
+// by a Trace sink.
+type InvokeRecord struct {
+	Method   string
+	Mode     Mode
+	Size     float64
+	Energy   energy.Joules
+	Time     energy.Seconds
+	FellBack bool
+}
+
+// Trace records every invocation event; attach one with
+// Client.EnableTrace (or Sinks.Attach) when a per-invocation log is
+// wanted.
+type Trace struct {
+	Records []InvokeRecord
+}
+
+// Emit implements EventSink.
+func (t *Trace) Emit(e Event) {
+	if e.Kind != EvInvoke {
+		return
+	}
+	t.Records = append(t.Records, InvokeRecord{
+		Method:   e.Method.QName(),
+		Mode:     e.Mode,
+		Size:     e.Size,
+		Energy:   e.Energy,
+		Time:     e.Time,
+		FellBack: e.FellBack,
+	})
+}

@@ -63,7 +63,7 @@ class App {
 		log.Fatal(err)
 	}
 	fmt.Println("result:", res.I)
-	fmt.Println("offloaded:", client.ModeCounts[core.ModeRemote] == 1)
+	fmt.Println("offloaded:", client.Stats.ModeCounts[core.ModeRemote] == 1)
 	// Output:
 	// result: 333833500
 	// offloaded: true

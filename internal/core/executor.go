@@ -1,0 +1,327 @@
+package core
+
+import (
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+	"greenvm/internal/isa"
+	"greenvm/internal/jit"
+	"greenvm/internal/radio"
+	"greenvm/internal/vm"
+)
+
+// Executor owns the execution paths a Decision can select —
+// interpreted, JIT-compiled at a level, or offloaded to the server —
+// plus the machinery they share: compiled-body management (via the
+// CacheManager), the ambient execution level, compiler-classes
+// loading, and the connection-loss fallback. It carries no decision
+// logic; the Policy decides, the Executor does.
+type Executor struct {
+	// Cache manages compiled bodies and their linking/eviction.
+	Cache *CacheManager
+
+	c              *Client
+	levelStack     []jit.Level // 0 = interpret
+	compilerLoaded bool
+}
+
+func newExecutor(c *Client) *Executor {
+	return &Executor{c: c, Cache: NewCacheManager(c.Events)}
+}
+
+// CompilerLoaded reports whether the compiler classes are loaded in
+// the current execution (their load energy is charged once per
+// execution that compiles locally).
+func (x *Executor) CompilerLoaded() bool { return x.compilerLoaded }
+
+// NewExecution drops per-execution state: linked bodies and the
+// loaded compiler classes.
+func (x *Executor) NewExecution() {
+	x.Cache.UnlinkAll()
+	x.compilerLoaded = false
+}
+
+// currentLevel is the ambient execution level (0 = interpret).
+func (x *Executor) currentLevel() jit.Level {
+	if len(x.levelStack) == 0 {
+		return 0
+	}
+	return x.levelStack[len(x.levelStack)-1]
+}
+
+// dispatch picks the body for any method executed locally: the one
+// compiled at the ambient level, when available.
+func (x *Executor) dispatch(m *bytecode.Method) *isa.Code {
+	lv := x.currentLevel()
+	if lv == 0 || !x.Cache.Linked(m, lv) {
+		return nil
+	}
+	return x.Cache.Body(m, lv)
+}
+
+// planLinked reports whether m's whole plan is linked at the level in
+// the current execution.
+func (x *Executor) planLinked(m *bytecode.Method, lv jit.Level) bool {
+	for _, mm := range x.c.plans[m] {
+		if !x.Cache.Linked(mm, lv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes m in the given mode, falling back to the policy's best
+// local mode on connection loss.
+func (x *Executor) Run(mode Mode, m *bytecode.Method, t *Target, size float64, args []vm.Slot) (vm.Slot, bool, error) {
+	c := x.c
+	if mode == ModeRemote {
+		res, err := x.remoteExecute(m, t, size, args)
+		if err == nil {
+			return res, false, nil
+		}
+		if err != radio.ErrConnectionLost {
+			return vm.Slot{}, false, err
+		}
+		// Paper §3.2: when the result is not obtained within the time
+		// threshold, connectivity is considered lost and execution
+		// begins locally.
+		c.Link.Listen(c.Timeout)
+		c.Clock += c.Timeout
+		local := c.Policy.BestLocalMode(&InvokeContext{Method: m, Prof: c.profiles[m], Size: size, Env: c})
+		res, _, err = x.Run(local, m, t, size, args)
+		return res, true, err
+	}
+	if mode.IsCompiled() {
+		if err := x.ensurePlanCompiled(m, mode.Level()); err != nil {
+			return vm.Slot{}, false, err
+		}
+	}
+	key := memoKey{method: m.QName(), mode: mode, inputKey: c.MemoInputKey}
+	if c.Memo != nil {
+		if d, ok := c.Memo.local[key]; ok {
+			c.VM.Acct.Apply(d)
+			c.Events.Emit(Event{Kind: EvMemoHit, Method: m, Mode: mode})
+			return vm.Slot{}, false, nil
+		}
+	}
+	snap := c.VM.Acct.Snapshot()
+	x.levelStack = append(x.levelStack, levelOf(mode))
+	res, err := c.VM.Invoke(m, args)
+	x.levelStack = x.levelStack[:len(x.levelStack)-1]
+	if c.Memo != nil && err == nil {
+		c.Memo.local[key] = c.VM.Acct.DeltaSince(snap)
+	}
+	return res, false, err
+}
+
+func levelOf(mode Mode) jit.Level {
+	if mode.IsCompiled() {
+		return mode.Level()
+	}
+	return 0
+}
+
+// remoteExecute offloads one invocation (Fig 4): serialize arguments,
+// transmit, power down for the estimated server time, wake, receive
+// and deserialize the result.
+func (x *Executor) remoteExecute(m *bytecode.Method, t *Target, size float64, args []vm.Slot) (vm.Slot, error) {
+	c := x.c
+	prof := c.profiles[m]
+	key := memoKey{method: m.QName(), mode: ModeRemote, inputKey: c.MemoInputKey}
+	if c.Memo != nil {
+		if ent, ok := c.Memo.remote[key]; ok {
+			c.Events.Emit(Event{Kind: EvMemoHit, Method: m, Mode: ModeRemote})
+			return x.replayRemote(prof, size, ent)
+		}
+	}
+	argBytes, err := c.VM.Heap.EncodeArgs(m, args)
+	if err != nil {
+		return vm.Slot{}, err
+	}
+	c.VM.ChargeSerialization(len(argBytes))
+	c.syncClock()
+
+	tTx, err := c.Link.Send(len(argBytes))
+	if err != nil {
+		return vm.Slot{}, err
+	}
+	c.Clock += tTx
+
+	estServ := energy.Seconds(prof.ServerTime.Eval(size))
+	if estServ < 0 {
+		estServ = 0
+	}
+	reqTime := c.Clock
+	resBytes, servTime, _, err := c.Server.Execute(c.ID, t.Class, t.Method, argBytes, reqTime, reqTime+estServ)
+	if err != nil {
+		return vm.Slot{}, err
+	}
+
+	// Power-down while the server computes: the processor, memory and
+	// receiver sleep for the estimated duration, drawing only leakage.
+	sleep := estServ
+	if servTime < sleep {
+		// Server finished early; the result waits in the status table
+		// until the client wakes (it still sleeps the full estimate).
+	} else if servTime > sleep {
+		// Early re-activation penalty: the client wakes before the
+		// result is ready and listens with the receiver up.
+		c.Link.Listen(servTime - sleep)
+	}
+	c.VM.Acct.AddLeakage(sleep)
+	elapsed := sleep
+	if servTime > elapsed {
+		elapsed = servTime
+	}
+	c.Clock += elapsed
+
+	tRx, err := c.Link.Recv(len(resBytes))
+	if err != nil {
+		return vm.Slot{}, err
+	}
+	c.Clock += tRx
+
+	c.VM.ChargeSerialization(len(resBytes))
+	deserSnap := c.VM.Acct.Snapshot()
+	res, err := c.VM.Heap.DecodeValue(m.Ret.Kind, resBytes)
+	if err != nil {
+		return vm.Slot{}, err
+	}
+	if c.Memo != nil {
+		c.Memo.remote[key] = remoteEntry{
+			txBytes:    len(argBytes),
+			rxBytes:    len(resBytes),
+			servTime:   servTime,
+			deserDelta: c.VM.Acct.DeltaSince(deserSnap),
+		}
+	}
+	c.syncClock()
+	return res, nil
+}
+
+// replayRemote re-prices a previously executed offload from its
+// recorded byte counts and server time; transmit energy reflects the
+// channel condition of this run, not the recorded one.
+func (x *Executor) replayRemote(prof *Profile, size float64, ent remoteEntry) (vm.Slot, error) {
+	c := x.c
+	c.VM.ChargeSerialization(ent.txBytes)
+	c.syncClock()
+	tTx, err := c.Link.Send(ent.txBytes)
+	if err != nil {
+		return vm.Slot{}, err
+	}
+	c.Clock += tTx
+
+	estServ := energy.Seconds(prof.ServerTime.Eval(size))
+	if estServ < 0 {
+		estServ = 0
+	}
+	sleep := estServ
+	if ent.servTime > sleep {
+		c.Link.Listen(ent.servTime - sleep)
+	}
+	c.VM.Acct.AddLeakage(sleep)
+	elapsed := sleep
+	if ent.servTime > elapsed {
+		elapsed = ent.servTime
+	}
+	c.Clock += elapsed
+
+	tRx, err := c.Link.Recv(ent.rxBytes)
+	if err != nil {
+		return vm.Slot{}, err
+	}
+	c.Clock += tRx
+	c.VM.ChargeSerialization(ent.rxBytes)
+	c.VM.Acct.Apply(ent.deserDelta)
+	c.syncClock()
+	return vm.Slot{}, nil
+}
+
+// ensurePlanCompiled makes every method of m's plan executable at the
+// level, compiling locally or — when the policy says so — downloading
+// pre-compiled bodies.
+func (x *Executor) ensurePlanCompiled(m *bytecode.Method, lv jit.Level) error {
+	c := x.c
+	for _, mm := range c.plans[m] {
+		if x.Cache.Linked(mm, lv) {
+			continue
+		}
+		if c.Policy.Download(c, mm, lv) {
+			if err := x.downloadBody(mm, lv); err == nil {
+				continue
+			} else if err != radio.ErrConnectionLost {
+				return err
+			}
+			// Connection lost: fall through to local compilation.
+			c.Events.Emit(Event{Kind: EvFallback, Method: mm, Level: lv})
+		}
+		if err := x.compileLocally(mm, lv); err != nil {
+			return err
+		}
+	}
+	c.syncClock()
+	return nil
+}
+
+// downloadBody fetches a pre-compiled body from the server. A body
+// already fetched in a previous execution is re-downloaded (the fresh
+// classloader has no native code), but the simulator reuses the
+// artifact.
+func (x *Executor) downloadBody(mm *bytecode.Method, lv jit.Level) error {
+	c := x.c
+	tTx, err := c.Link.Send(64)
+	if err != nil {
+		return err
+	}
+	code := x.Cache.Body(mm, lv)
+	size := 0
+	if code != nil {
+		size = code.SizeBytes()
+	} else {
+		code, size, err = c.Server.CompiledBody(mm.QName(), lv)
+		if err != nil {
+			return err
+		}
+		c.VM.InstallCode(code)
+		x.Cache.Install(mm, lv, code)
+	}
+	tRx, err := c.Link.Recv(size)
+	if err != nil {
+		return err
+	}
+	// Linking the downloaded code into the VM.
+	c.VM.ChargeSerialization(size)
+	x.Cache.Link(mm, lv)
+	c.Clock += tTx + tRx
+	c.Events.Emit(Event{Kind: EvRemoteCompile, Method: mm, Level: lv})
+	c.syncClock()
+	return nil
+}
+
+// compileLocally runs the JIT on the client, charging its energy (and
+// the once-per-execution compiler-classes load). Re-compilations in
+// later executions replay the recorded charges without re-running the
+// JIT.
+func (x *Executor) compileLocally(mm *bytecode.Method, lv jit.Level) error {
+	c := x.c
+	if !x.compilerLoaded {
+		jit.ChargeCompilerLoad(c.VM.Acct)
+		x.compilerLoaded = true
+	}
+	if d, ok := x.Cache.Delta(mm, lv); ok {
+		c.VM.Acct.Apply(d)
+	} else {
+		snap := c.VM.Acct.Snapshot()
+		code, st, err := jit.Compile(c.Prog, mm, lv)
+		if err != nil {
+			return err
+		}
+		st.Charge(c.VM.Acct)
+		c.VM.InstallCode(code)
+		x.Cache.Install(mm, lv, code)
+		x.Cache.RecordDelta(mm, lv, c.VM.Acct.DeltaSince(snap))
+	}
+	x.Cache.Link(mm, lv)
+	c.Events.Emit(Event{Kind: EvLocalCompile, Method: mm, Level: lv})
+	return nil
+}

@@ -24,7 +24,11 @@ const (
 	ModeL3
 	ModeRemote
 
-	numLocalModes = 4
+	// NumModes counts the execution modes; every array indexed by Mode
+	// (mode counters, per-mode estimators) is sized with it.
+	NumModes = int(ModeRemote) + 1
+
+	numLocalModes = NumModes - 1
 )
 
 // String names the mode as in the paper.

@@ -54,8 +54,8 @@ func TestTCPRemoteExecution(t *testing.T) {
 	if res.I != want.I {
 		t.Errorf("TCP remote result %d, want %d", res.I, want.I)
 	}
-	if c.ModeCounts[ModeRemote] != 1 {
-		t.Errorf("mode counts %v", c.ModeCounts)
+	if c.Stats.ModeCounts[ModeRemote] != 1 {
+		t.Errorf("mode counts %v", c.Stats.ModeCounts)
 	}
 	if c.VM.Acct.Component(energy.CompRadioTx) <= 0 {
 		t.Error("communication energy should still be charged over TCP")

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+	"greenvm/internal/jit"
+)
+
+// The policy layer is the paper's contribution isolated behind one
+// interface: per invocation of a potential method, decide where to
+// execute (locally or remote) and how (interpreted or compiled), and
+// — for adaptive compilation — where to obtain compiled bodies. The
+// Client consults its Policy and never branches on the strategy
+// itself, so new policies plug in without touching the runtime.
+
+// InvokeContext is everything a Policy may look at for one decision.
+type InvokeContext struct {
+	// Method is the potential method being invoked.
+	Method *bytecode.Method
+	// Prof is the method's offline profile (nil when unprofiled).
+	Prof *Profile
+	// Size is the invocation's measured size parameter.
+	Size float64
+	// Env prices the alternatives against live client state (channel
+	// estimate, compiled-code state, compiler-load status).
+	Env PolicyEnv
+}
+
+// Decision is a Policy's verdict for one invocation.
+type Decision struct {
+	Mode Mode
+}
+
+// Policy decides execution mode and compilation site. Implementations
+// hold all per-method adaptive state themselves; the Client only
+// routes calls.
+type Policy interface {
+	// Decide picks the execution mode for one invocation.
+	Decide(ctx *InvokeContext) Decision
+	// BestLocalMode picks the cheapest local mode; the executor uses
+	// it when a remote execution is lost and must re-run locally.
+	BestLocalMode(ctx *InvokeContext) Mode
+	// Download reports whether the body of mm at the level should be
+	// fetched pre-compiled from the server rather than compiled
+	// locally (the paper's adaptive compilation, §3.3).
+	Download(env PolicyEnv, mm *bytecode.Method, lv jit.Level) bool
+	// NewExecution marks an application-execution boundary: fresh
+	// class loading resets per-execution amortization; device-level
+	// state (EWMA channel and size predictions) persists.
+	NewExecution()
+}
+
+// PolicyEnv is the read-only pricing view a Policy consults. The
+// Client implements it; estimates reflect its current channel
+// estimate and compiled-code state.
+type PolicyEnv interface {
+	// TxPowerEstimate is the transmit-chain power (W) at the current
+	// channel estimate.
+	TxPowerEstimate() float64
+	// RemoteEnergy is E''(m, s, p): the estimated energy to offload
+	// one invocation of size s at predicted transmit power p.
+	RemoteEnergy(prof *Profile, s, p float64) energy.Joules
+	// PlanCompileCost estimates making m's whole compilation plan
+	// executable at the level: zero when already linked; otherwise
+	// the profiled local compile cost (plus the once-per-execution
+	// compiler-classes load) or, when allowDownload, the cheaper of
+	// that and downloading the pre-compiled bodies.
+	PlanCompileCost(m *bytecode.Method, prof *Profile, lv jit.Level, allowDownload bool) energy.Joules
+	// BodyCompileCost is the profiled energy to compile one method
+	// body locally (including a pending compiler load); ok is false
+	// when the method was never profiled.
+	BodyCompileCost(mm *bytecode.Method, lv jit.Level) (e energy.Joules, ok bool)
+	// BodyDownloadCost prices downloading one pre-compiled body at
+	// the current channel estimate; ok is false when the body's size
+	// was never profiled.
+	BodyDownloadCost(mm *bytecode.Method, lv jit.Level) (e energy.Joules, ok bool)
+	// ChargeDecisionOverhead bills the decision computation itself to
+	// the client (the paper notes it is small).
+	ChargeDecisionOverhead()
+}
+
+// NewPolicy returns the paper's policy for a strategy: fixed-mode for
+// the five static strategies, EWMA-amortized adaptive execution for
+// AL, plus adaptive compilation for AA.
+func NewPolicy(s Strategy) Policy {
+	switch s {
+	case StrategyAL:
+		return NewAdaptivePolicy(false)
+	case StrategyAA:
+		return NewAdaptivePolicy(true)
+	default:
+		return StaticPolicy{Mode: s.StaticMode()}
+	}
+}
+
+// StaticPolicy always picks one mode (strategies R, I, L1, L2, L3).
+type StaticPolicy struct {
+	Mode Mode
+}
+
+// Decide implements Policy.
+func (p StaticPolicy) Decide(*InvokeContext) Decision { return Decision{Mode: p.Mode} }
+
+// BestLocalMode implements Policy: cheapest local mode with local
+// compilation pricing.
+func (p StaticPolicy) BestLocalMode(ctx *InvokeContext) Mode {
+	return cheapestLocalMode(ctx, false)
+}
+
+// Download implements Policy: static strategies always compile
+// locally.
+func (p StaticPolicy) Download(PolicyEnv, *bytecode.Method, jit.Level) bool { return false }
+
+// NewExecution implements Policy (no per-execution state).
+func (p StaticPolicy) NewExecution() {}
+
+// adaptState is the per-method state of the adaptive policies.
+type adaptState struct {
+	k    int
+	sBar float64
+	pBar float64 // predicted transmit-chain power (W)
+}
+
+// AdaptivePolicy implements the paper's adaptive strategies: an EWMA
+// predicts the future size parameter and communication power, and the
+// k-amortized energy estimates of interpretation, offloading and each
+// compiled level are compared per invocation. With AdaptiveCompile it
+// also chooses the compilation site (AA); otherwise it always
+// compiles locally (AL).
+type AdaptivePolicy struct {
+	// U1 and U2 weight the EWMA prediction of future size parameter
+	// and communication power (paper: both 0.7).
+	U1, U2 float64
+	// AdaptiveCompile additionally prices downloading pre-compiled
+	// bodies against local compilation.
+	AdaptiveCompile bool
+
+	state map[*bytecode.Method]*adaptState
+}
+
+// NewAdaptivePolicy returns an adaptive policy with the paper's EWMA
+// weights.
+func NewAdaptivePolicy(adaptiveCompile bool) *AdaptivePolicy {
+	return &AdaptivePolicy{
+		U1:              0.7,
+		U2:              0.7,
+		AdaptiveCompile: adaptiveCompile,
+		state:           map[*bytecode.Method]*adaptState{},
+	}
+}
+
+// Decide implements Policy: the paper's amortized comparison.
+func (p *AdaptivePolicy) Decide(ctx *InvokeContext) Decision {
+	st := p.state[ctx.Method]
+	if st == nil {
+		st = &adaptState{}
+		p.state[ctx.Method] = st
+	}
+	// EWMA prediction of future size and communication power
+	// (sk1 = u1*sk-1 + (1-u1)*sk, pk likewise; u1 = u2 = 0.7).
+	pNow := ctx.Env.TxPowerEstimate()
+	if st.k == 0 {
+		st.sBar, st.pBar = ctx.Size, pNow
+	} else {
+		st.sBar = p.U1*st.sBar + (1-p.U1)*ctx.Size
+		st.pBar = p.U2*st.pBar + (1-p.U2)*pNow
+	}
+	st.k++
+	k := float64(st.k)
+
+	ctx.Env.ChargeDecisionOverhead()
+
+	prof := ctx.Prof
+	best, bestE := ModeInterp, k*prof.EnergyOf[ModeInterp].Eval(st.sBar)
+	if eR := k * float64(ctx.Env.RemoteEnergy(prof, st.sBar, st.pBar)); eR < bestE {
+		best, bestE = ModeRemote, eR
+	}
+	for mode := ModeL1; mode <= ModeL3; mode++ {
+		e := k * prof.EnergyOf[mode].Eval(st.sBar)
+		e += float64(ctx.Env.PlanCompileCost(ctx.Method, prof, mode.Level(), p.AdaptiveCompile))
+		if e < bestE {
+			best, bestE = mode, e
+		}
+	}
+	return Decision{Mode: best}
+}
+
+// BestLocalMode implements Policy.
+func (p *AdaptivePolicy) BestLocalMode(ctx *InvokeContext) Mode {
+	return cheapestLocalMode(ctx, p.AdaptiveCompile)
+}
+
+// Download implements Policy: compare the profiled local compile
+// energy with the download cost at the current channel estimate
+// (paper §3.3); unprofiled bodies compile locally.
+func (p *AdaptivePolicy) Download(env PolicyEnv, mm *bytecode.Method, lv jit.Level) bool {
+	if !p.AdaptiveCompile {
+		return false
+	}
+	local, ok := env.BodyCompileCost(mm, lv)
+	if !ok {
+		return false
+	}
+	remote, ok := env.BodyDownloadCost(mm, lv)
+	if !ok {
+		return false
+	}
+	return remote < local
+}
+
+// NewExecution implements Policy: invocation counts reset with the
+// fresh execution; the EWMA predictions persist (they are
+// device-level state, like the pilot-signal tracker).
+func (p *AdaptivePolicy) NewExecution() {
+	for _, st := range p.state {
+		st.k = 0
+	}
+}
+
+// cheapestLocalMode picks the cheapest local mode for the fallback
+// path, pricing compilation through the env.
+func cheapestLocalMode(ctx *InvokeContext, allowDownload bool) Mode {
+	prof := ctx.Prof
+	if prof == nil {
+		return ModeInterp
+	}
+	best, bestE := ModeInterp, prof.EnergyOf[ModeInterp].Eval(ctx.Size)
+	for mode := ModeL1; mode <= ModeL3; mode++ {
+		e := prof.EnergyOf[mode].Eval(ctx.Size) +
+			float64(ctx.Env.PlanCompileCost(ctx.Method, prof, mode.Level(), allowDownload))
+		if e < bestE {
+			best, bestE = mode, e
+		}
+	}
+	return best
+}
+
+// Compile-time checks: the static and adaptive policies cover all
+// seven paper strategies.
+var (
+	_ Policy = StaticPolicy{}
+	_ Policy = (*AdaptivePolicy)(nil)
+)

@@ -29,8 +29,15 @@ type Claims struct {
 
 // MeasureEstimatorAccuracy validates profiles at held-out sizes.
 func MeasureEstimatorAccuracy(envs []*Env, seed uint64) (map[string]float64, error) {
-	out := map[string]float64{}
-	for _, env := range envs {
+	return MeasureEstimatorAccuracyOn(nil, envs, seed)
+}
+
+// MeasureEstimatorAccuracyOn validates profiles at held-out sizes,
+// one app per runner job.
+func MeasureEstimatorAccuracyOn(r *Runner, envs []*Env, seed uint64) (map[string]float64, error) {
+	worsts := make([]float64, len(envs))
+	err := r.Do(len(envs), func(i int) error {
+		env := envs[i]
 		pr := &core.Profiler{
 			Prog:        env.Prog,
 			ClientModel: energy.MicroSPARCIIep(),
@@ -45,9 +52,17 @@ func MeasureEstimatorAccuracy(envs []*Env, seed uint64) (map[string]float64, err
 		}
 		worst, err := pr.ValidateProfile(env.Target, env.Prof, held)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[env.App.Name] = worst
+		worsts[i] = worst
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for i, env := range envs {
+		out[env.App.Name] = worsts[i]
 	}
 	return out, nil
 }
@@ -81,9 +96,15 @@ func MeasureSpeedups(envs []*Env) map[string]float64 {
 
 // MeasureClaims produces the full claims report given Fig 7 results.
 func MeasureClaims(envs []*Env, fig7 *Fig7Result, seed uint64) (*Claims, error) {
+	return MeasureClaimsOn(nil, envs, fig7, seed)
+}
+
+// MeasureClaimsOn produces the claims report with the estimator
+// validation sharded across the runner.
+func MeasureClaimsOn(r *Runner, envs []*Env, fig7 *Fig7Result, seed uint64) (*Claims, error) {
 	c := &Claims{Speedups: MeasureSpeedups(envs)}
 	var err error
-	if c.EstimatorWorstErr, err = MeasureEstimatorAccuracy(envs, seed); err != nil {
+	if c.EstimatorWorstErr, err = MeasureEstimatorAccuracyOn(r, envs, seed); err != nil {
 		return nil, err
 	}
 	for sit := Situation(0); sit < NumSituations; sit++ {
@@ -106,7 +127,8 @@ func RenderClaims(w io.Writer, c *Claims) {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "1. Curve-fit energy estimators within 2% of actual (held-out inputs):")
 	worst := 0.0
-	for app, e := range c.EstimatorWorstErr {
+	for _, app := range sortedKeys(c.EstimatorWorstErr) {
+		e := c.EstimatorWorstErr[app]
 		fmt.Fprintf(w, "   %-6s %.2f%%\n", app, e*100)
 		if e > worst {
 			worst = e
@@ -128,7 +150,18 @@ func RenderClaims(w io.Writer, c *Claims) {
 
 	fmt.Fprintln(w, "4. Speedup of remote over local execution at large inputs (paper: 2.5x-10x")
 	fmt.Fprintln(w, "   where remote execution is preferred):")
-	for app, s := range c.Speedups {
-		fmt.Fprintf(w, "   %-6s %.1fx\n", app, s)
+	for _, app := range sortedKeys(c.Speedups) {
+		fmt.Fprintf(w, "   %-6s %.1fx\n", app, c.Speedups[app])
 	}
+}
+
+// sortedKeys returns a map's keys in sorted order so renders are
+// deterministic regardless of map iteration.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
 }

@@ -51,13 +51,24 @@ func Prepare(a *apps.App, seed uint64) (*Env, error) {
 
 // PrepareAll prepares a set of applications.
 func PrepareAll(list []*apps.App, seed uint64) ([]*Env, error) {
-	envs := make([]*Env, 0, len(list))
-	for _, a := range list {
-		e, err := Prepare(a, seed)
+	return PrepareAllOn(nil, list, seed)
+}
+
+// PrepareAllOn prepares a set of applications, profiling them in
+// parallel on the runner (each app gets its own fresh Program, so
+// preparations are independent).
+func PrepareAllOn(r *Runner, list []*apps.App, seed uint64) ([]*Env, error) {
+	envs := make([]*Env, len(list))
+	err := r.Do(len(list), func(i int) error {
+		e, err := Prepare(list[i], seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		envs = append(envs, e)
+		envs[i] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return envs, nil
 }

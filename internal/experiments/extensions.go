@@ -27,17 +27,13 @@ type MarkovPoint struct {
 	StayProb float64
 	AL       float64 // energy normalized to the same channel's L2
 	R        float64
-	ModeMix  [5]int
+	ModeMix  [core.NumModes]int
 }
 
-// runSequence executes n fresh application executions with the given
-// channel under a strategy and returns total energy minus input
-// construction.
-func runSequence(env *Env, strategy core.Strategy, ch radio.Channel, runs int, seed uint64) (float64, [5]int, error) {
-	client, err := env.newClient(strategy, ch, seed)
-	if err != nil {
-		return 0, [5]int{}, err
-	}
+// driveScenario runs the given number of fresh application executions
+// on a wired client with uniformly drawn sizes and returns total
+// energy minus input construction.
+func driveScenario(env *Env, client *core.Client, runs int, seed uint64) (float64, error) {
 	client.Memo = core.NewMemo()
 	sizes := env.App.ScenarioSizes
 	sizeR := rng.New(seed ^ 0xABCD)
@@ -46,37 +42,70 @@ func runSequence(env *Env, strategy core.Strategy, ch radio.Channel, runs int, s
 		size := sizes[sizeR.Intn(len(sizes))]
 		args, err := cache.get(size)
 		if err != nil {
-			return 0, [5]int{}, err
+			return 0, err
 		}
 		client.NewExecution()
 		client.MemoInputKey = uint64(size)
 		if _, err := client.Invoke(env.App.Class, env.App.Method, args); err != nil {
-			return 0, [5]int{}, err
+			return 0, err
 		}
 		client.StepChannel()
 	}
-	return float64(client.Energy() - cache.Construction), client.ModeCounts, nil
+	return float64(client.Energy() - cache.Construction), nil
 }
+
+// runSequence executes n fresh application executions with the given
+// channel under a strategy and returns total energy minus input
+// construction.
+func runSequence(env *Env, strategy core.Strategy, ch radio.Channel, runs int, seed uint64) (float64, [core.NumModes]int, error) {
+	client, err := env.newClient(strategy, ch, seed)
+	if err != nil {
+		return 0, [core.NumModes]int{}, err
+	}
+	e, err := driveScenario(env, client, runs, seed)
+	if err != nil {
+		return 0, [core.NumModes]int{}, err
+	}
+	return e, client.Stats.ModeCounts, nil
+}
+
+// markovStays are the sweep's channel stay probabilities (0 = the
+// paper's i.i.d. draw, 0.9 = strongly correlated fading).
+var markovStays = []float64{0.0, 0.3, 0.6, 0.9}
 
 // RunMarkovSweep measures AL (and R, L2 baselines) under Markov
 // channels of varying temporal correlation.
 func RunMarkovSweep(env *Env, runs int, seed uint64) ([]MarkovPoint, error) {
+	return RunMarkovSweepOn(nil, env, runs, seed)
+}
+
+// RunMarkovSweepOn runs the sweep's (stay probability × strategy)
+// measurements sharded across the runner.
+func RunMarkovSweepOn(r *Runner, env *Env, runs int, seed uint64) ([]MarkovPoint, error) {
+	strats := []core.Strategy{core.StrategyL2, core.StrategyAL, core.StrategyR}
+	raw := make([]float64, len(markovStays)*len(strats))
+	mixes := make([][core.NumModes]int, len(markovStays))
+	err := r.Do(len(raw), func(j int) error {
+		strat := strats[j%len(strats)]
+		stay := markovStays[j/len(strats)]
+		ch := radio.NewMarkov(radio.Class3, stay, rng.New(seed))
+		e, mix, err := runSequence(env, strat, ch, runs, seed)
+		if err != nil {
+			return err
+		}
+		raw[j] = e
+		if strat == core.StrategyAL {
+			mixes[j/len(strats)] = mix
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []MarkovPoint
-	for _, stay := range []float64{0.0, 0.3, 0.6, 0.9} {
-		mk := func() radio.Channel { return radio.NewMarkov(radio.Class3, stay, rng.New(seed)) }
-		l2, _, err := runSequence(env, core.StrategyL2, mk(), runs, seed)
-		if err != nil {
-			return nil, err
-		}
-		al, mix, err := runSequence(env, core.StrategyAL, mk(), runs, seed)
-		if err != nil {
-			return nil, err
-		}
-		r, _, err := runSequence(env, core.StrategyR, mk(), runs, seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, MarkovPoint{StayProb: stay, AL: al / l2, R: r / l2, ModeMix: mix})
+	for i, stay := range markovStays {
+		l2, al, rr := raw[i*len(strats)], raw[i*len(strats)+1], raw[i*len(strats)+2]
+		out = append(out, MarkovPoint{StayProb: stay, AL: al / l2, R: rr / l2, ModeMix: mixes[i]})
 	}
 	return out, nil
 }
@@ -97,40 +126,41 @@ type TrackerPoint struct {
 	Fallbacks int
 }
 
+// trackerErrProbs are the sweep's per-estimate error probabilities.
+var trackerErrProbs = []float64{0, 0.1, 0.25, 0.5}
+
 // RunTrackerErrorSweep measures AL as the pilot tracker's estimate
 // gets noisier (wrong by one class with the given probability).
 func RunTrackerErrorSweep(env *Env, runs int, seed uint64) ([]TrackerPoint, error) {
-	base := -1.0
-	var out []TrackerPoint
-	for _, errProb := range []float64{0, 0.1, 0.25, 0.5} {
+	return RunTrackerErrorSweepOn(nil, env, runs, seed)
+}
+
+// RunTrackerErrorSweepOn runs the sweep's points sharded across the
+// runner; normalization to the error-free point happens afterwards.
+func RunTrackerErrorSweepOn(r *Runner, env *Env, runs int, seed uint64) ([]TrackerPoint, error) {
+	raw := make([]float64, len(trackerErrProbs))
+	falls := make([]int, len(trackerErrProbs))
+	err := r.Do(len(trackerErrProbs), func(i int) error {
+		errProb := trackerErrProbs[i]
 		ch := radio.UniformChannel(rng.New(seed))
 		client, err := env.newClient(core.StrategyAL, ch, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		client.Link.Tracker = radio.NewPilotTracker(ch, errProb, rng.New(seed^0xF00D))
-		client.Memo = core.NewMemo()
-		sizes := env.App.ScenarioSizes
-		sizeR := rng.New(seed ^ 0xABCD)
-		cache := newArgCache(env, client, seed)
-		for run := 0; run < runs; run++ {
-			size := sizes[sizeR.Intn(len(sizes))]
-			args, err := cache.get(size)
-			if err != nil {
-				return nil, err
-			}
-			client.NewExecution()
-			client.MemoInputKey = uint64(size)
-			if _, err := client.Invoke(env.App.Class, env.App.Method, args); err != nil {
-				return nil, err
-			}
-			client.StepChannel()
+		e, err := driveScenario(env, client, runs, seed)
+		if err != nil {
+			return err
 		}
-		e := float64(client.Energy() - cache.Construction)
-		if base < 0 {
-			base = e
-		}
-		out = append(out, TrackerPoint{ErrProb: errProb, AL: e / base, Fallbacks: client.Fallbacks})
+		raw[i], falls[i] = e, client.Stats.Fallbacks
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []TrackerPoint
+	for i, errProb := range trackerErrProbs {
+		out = append(out, TrackerPoint{ErrProb: errProb, AL: raw[i] / raw[0], Fallbacks: falls[i]})
 	}
 	return out, nil
 }
@@ -157,32 +187,25 @@ type ComponentBreakdown struct {
 // RunBreakdown measures the component shares of each strategy over a
 // uniform scenario.
 func RunBreakdown(env *Env, runs int, seed uint64) ([]ComponentBreakdown, error) {
-	var out []ComponentBreakdown
-	for _, strat := range core.Strategies {
+	return RunBreakdownOn(nil, env, runs, seed)
+}
+
+// RunBreakdownOn measures the component shares with one strategy per
+// runner job.
+func RunBreakdownOn(r *Runner, env *Env, runs int, seed uint64) ([]ComponentBreakdown, error) {
+	out := make([]ComponentBreakdown, len(core.Strategies))
+	err := r.Do(len(core.Strategies), func(i int) error {
+		strat := core.Strategies[i]
 		ch := radio.UniformChannel(rng.New(seed))
 		client, err := env.newClient(strat, ch, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		client.Memo = core.NewMemo()
-		sizes := env.App.ScenarioSizes
-		sizeR := rng.New(seed ^ 0xABCD)
-		cache := newArgCache(env, client, seed)
-		for run := 0; run < runs; run++ {
-			size := sizes[sizeR.Intn(len(sizes))]
-			args, err := cache.get(size)
-			if err != nil {
-				return nil, err
-			}
-			client.NewExecution()
-			client.MemoInputKey = uint64(size)
-			if _, err := client.Invoke(env.App.Class, env.App.Method, args); err != nil {
-				return nil, err
-			}
-			client.StepChannel()
+		total, err := driveScenario(env, client, runs, seed)
+		if err != nil {
+			return err
 		}
 		acct := client.VM.Acct
-		total := float64(client.Energy() - cache.Construction)
 		bd := ComponentBreakdown{Strategy: strat, Total: total, Share: map[string]float64{}}
 		for _, c := range []struct {
 			name string
@@ -199,7 +222,11 @@ func RunBreakdown(env *Env, runs int, seed uint64) ([]ComponentBreakdown, error)
 				bd.Share[c.name] = c.v / total
 			}
 		}
-		out = append(out, bd)
+		out[i] = bd
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -225,6 +252,9 @@ type CachePoint struct {
 	Evictions  int
 }
 
+// cacheSizes are the sweep's code-cache budgets (0 = unlimited).
+var cacheSizes = []int{0, 4096, 1024, 256}
+
 // RunCodeCacheSweep measures AL as the client's code cache shrinks:
 // the paper's memory-footprint tradeoff ("compilation ... requires
 // additional memory footprint for storing the compiled code"). With a
@@ -232,37 +262,34 @@ type CachePoint struct {
 // re-compilation (or re-download) eats into the compiled modes'
 // advantage.
 func RunCodeCacheSweep(env *Env, runs int, seed uint64) ([]CachePoint, error) {
-	base := -1.0
-	var out []CachePoint
-	for _, cache := range []int{0, 4096, 1024, 256} {
+	return RunCodeCacheSweepOn(nil, env, runs, seed)
+}
+
+// RunCodeCacheSweepOn runs the sweep's points sharded across the
+// runner; normalization to the unlimited cache happens afterwards.
+func RunCodeCacheSweepOn(r *Runner, env *Env, runs int, seed uint64) ([]CachePoint, error) {
+	raw := make([]float64, len(cacheSizes))
+	evs := make([]int, len(cacheSizes))
+	err := r.Do(len(cacheSizes), func(i int) error {
 		ch := radio.UniformChannel(rng.New(seed))
 		client, err := env.newClient(core.StrategyAL, ch, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		client.CodeCacheBytes = cache
-		client.Memo = core.NewMemo()
-		sizes := env.App.ScenarioSizes
-		sizeR := rng.New(seed ^ 0xABCD)
-		cacheArgs := newArgCache(env, client, seed)
-		for run := 0; run < runs; run++ {
-			size := sizes[sizeR.Intn(len(sizes))]
-			args, err := cacheArgs.get(size)
-			if err != nil {
-				return nil, err
-			}
-			client.NewExecution()
-			client.MemoInputKey = uint64(size)
-			if _, err := client.Invoke(env.App.Class, env.App.Method, args); err != nil {
-				return nil, err
-			}
-			client.StepChannel()
+		client.Exec.Cache.MaxBytes = cacheSizes[i]
+		e, err := driveScenario(env, client, runs, seed)
+		if err != nil {
+			return err
 		}
-		e := float64(client.Energy() - cacheArgs.Construction)
-		if base < 0 {
-			base = e
-		}
-		out = append(out, CachePoint{CacheBytes: cache, AL: e / base, Evictions: client.Evictions})
+		raw[i], evs[i] = e, client.Stats.Evictions
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []CachePoint
+	for i, cache := range cacheSizes {
+		out = append(out, CachePoint{CacheBytes: cache, AL: raw[i] / raw[0], Evictions: evs[i]})
 	}
 	return out, nil
 }

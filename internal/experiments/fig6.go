@@ -30,45 +30,76 @@ type Fig6Bar struct {
 // RunFig6 measures the static strategies on the given prepared apps
 // at their small and large input sizes.
 func RunFig6(envs []*Env, seed uint64) ([]Fig6Bar, error) {
-	var bars []Fig6Bar
+	return RunFig6On(nil, envs, seed)
+}
+
+// fig6PerBar is the number of measurements behind one Fig 6 bar
+// group: remote under the four channel classes, the interpreter, and
+// the three compiled levels.
+const fig6PerBar = 8
+
+// RunFig6On measures the static strategies with the bar measurements
+// sharded across the runner: each (app, size, strategy/class) cell
+// builds its own client and writes one slot of its bar.
+func RunFig6On(r *Runner, envs []*Env, seed uint64) ([]Fig6Bar, error) {
+	type barSpec struct {
+		env  *Env
+		size int
+	}
+	var specs []barSpec
 	for _, env := range envs {
 		for _, size := range []int{env.App.SmallSize, env.App.LargeSize} {
-			bar := Fig6Bar{App: env.App.Name, Size: size}
-			// Remote under each channel class.
-			for i := 0; i < 4; i++ {
-				cls := radio.Class4 - radio.Class(i)
-				c, err := env.newClient(core.StrategyR, radio.Fixed{Cls: cls}, seed)
-				if err != nil {
-					return nil, err
-				}
-				e, _, err := env.runOnceOn(c, size, seed)
-				if err != nil {
-					return nil, err
-				}
-				bar.R[i] = e
-			}
-			// Interpreter.
-			c, err := env.newClient(core.StrategyI, radio.Fixed{Cls: radio.Class4}, seed)
-			if err != nil {
-				return nil, err
-			}
-			if bar.I, _, err = env.runOnceOn(c, size, seed); err != nil {
-				return nil, err
-			}
-			// Compiled locals (single execution: compile + run).
-			for lv := 0; lv < 3; lv++ {
-				strat := []core.Strategy{core.StrategyL1, core.StrategyL2, core.StrategyL3}[lv]
-				c, err := env.newClient(strat, radio.Fixed{Cls: radio.Class4}, seed)
-				if err != nil {
-					return nil, err
-				}
-				if bar.L[lv], _, err = env.runOnceOn(c, size, seed); err != nil {
-					return nil, err
-				}
-			}
-			bar.Normalizer = bar.L[0]
-			bars = append(bars, bar)
+			specs = append(specs, barSpec{env, size})
 		}
+	}
+	bars := make([]Fig6Bar, len(specs))
+	for i, sp := range specs {
+		bars[i] = Fig6Bar{App: sp.env.App.Name, Size: sp.size}
+	}
+	measure := func(env *Env, strat core.Strategy, ch radio.Channel, size int) (energy.Joules, error) {
+		c, err := env.newClient(strat, ch, seed)
+		if err != nil {
+			return 0, err
+		}
+		e, _, err := env.runOnceOn(c, size, seed)
+		return e, err
+	}
+	err := r.Do(len(specs)*fig6PerBar, func(j int) error {
+		bi, k := j/fig6PerBar, j%fig6PerBar
+		sp := specs[bi]
+		switch {
+		case k < 4:
+			// Remote under each channel class.
+			cls := radio.Class4 - radio.Class(k)
+			e, err := measure(sp.env, core.StrategyR, radio.Fixed{Cls: cls}, sp.size)
+			if err != nil {
+				return err
+			}
+			bars[bi].R[k] = e
+		case k == 4:
+			// Interpreter.
+			e, err := measure(sp.env, core.StrategyI, radio.Fixed{Cls: radio.Class4}, sp.size)
+			if err != nil {
+				return err
+			}
+			bars[bi].I = e
+		default:
+			// Compiled locals (single execution: compile + run).
+			lv := k - 5
+			strat := []core.Strategy{core.StrategyL1, core.StrategyL2, core.StrategyL3}[lv]
+			e, err := measure(sp.env, strat, radio.Fixed{Cls: radio.Class4}, sp.size)
+			if err != nil {
+				return err
+			}
+			bars[bi].L[lv] = e
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range bars {
+		bars[i].Normalizer = bars[i].L[0]
 	}
 	return bars, nil
 }

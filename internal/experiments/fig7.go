@@ -68,7 +68,7 @@ func (s Situation) sizeWeights(n int) []float64 {
 type Fig7Cell struct {
 	Energy     energy.Joules
 	Time       energy.Seconds
-	ModeCounts [5]int
+	ModeCounts [core.NumModes]int
 	Fallbacks  int
 	MemoHits   int
 }
@@ -117,24 +117,45 @@ func RunScenario(env *Env, sit Situation, strategy core.Strategy, runs int, seed
 	return Fig7Cell{
 		Energy:     client.Energy() - cache.Construction,
 		Time:       client.Clock,
-		ModeCounts: client.ModeCounts,
-		Fallbacks:  client.Fallbacks,
-		MemoHits:   client.MemoHits,
+		ModeCounts: client.Stats.ModeCounts,
+		Fallbacks:  client.Stats.Fallbacks,
+		MemoHits:   client.Stats.MemoHits,
 	}, nil
 }
 
 // RunFig7 runs all situations and strategies over the prepared apps.
 func RunFig7(envs []*Env, runs int, seed uint64) (*Fig7Result, error) {
+	return RunFig7On(nil, envs, runs, seed)
+}
+
+// RunFig7On runs the full (situation × strategy × app) grid with the
+// cells sharded across the runner. Every cell derives its RNGs from
+// the same per-situation seed the serial run uses and writes to its
+// own slot, so the result is identical to RunFig7's.
+func RunFig7On(r *Runner, envs []*Env, runs int, seed uint64) (*Fig7Result, error) {
 	res := &Fig7Result{Runs: runs}
+	nStrat := len(core.Strategies)
+	nEnv := len(envs)
+	cells := make([]Fig7Cell, int(NumSituations)*nStrat*nEnv)
+	err := r.Do(len(cells), func(j int) error {
+		sit := Situation(j / (nStrat * nEnv))
+		si := (j / nEnv) % nStrat
+		env := envs[j%nEnv]
+		cell, err := RunScenario(env, sit, core.Strategies[si], runs, seed+uint64(sit)*1000)
+		if err != nil {
+			return err
+		}
+		cells[j] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	for sit := Situation(0); sit < NumSituations; sit++ {
-		for si, strat := range core.Strategies {
+		for si := range core.Strategies {
 			res.Cells[sit][si] = map[string]Fig7Cell{}
-			for _, env := range envs {
-				cell, err := RunScenario(env, sit, strat, runs, seed+uint64(sit)*1000)
-				if err != nil {
-					return nil, err
-				}
-				res.Cells[sit][si][env.App.Name] = cell
+			for ei, env := range envs {
+				res.Cells[sit][si][env.App.Name] = cells[(int(sit)*nStrat+si)*nEnv+ei]
 			}
 		}
 	}

@@ -27,14 +27,22 @@ type Fig8Row struct {
 // RunFig8 computes compilation energies for the prepared apps from
 // the profiled compile costs and code sizes.
 func RunFig8(envs []*Env) ([]Fig8Row, error) {
+	return RunFig8On(nil, envs)
+}
+
+// RunFig8On computes the table with apps sharded across the runner
+// (the rows are derived from each app's profile independently).
+func RunFig8On(r *Runner, envs []*Env) ([]Fig8Row, error) {
 	chip := radio.WCDMA()
-	var rows []Fig8Row
-	for _, env := range envs {
+	perApp := make([][]Fig8Row, len(envs))
+	err := r.Do(len(envs), func(i int) error {
+		env := envs[i]
 		m := env.Prog.FindMethod(env.App.Class, env.App.Method)
 		if m == nil {
-			return nil, fmt.Errorf("fig8: no method for %s", env.App.Name)
+			return fmt.Errorf("fig8: no method for %s", env.App.Name)
 		}
 		base := float64(env.Prof.CompileEnergy[0])
+		rows := make([]Fig8Row, 0, int(jit.Level3))
 		for lv := jit.Level1; lv <= jit.Level3; lv++ {
 			row := Fig8Row{
 				App:    env.App.Name,
@@ -54,6 +62,15 @@ func RunFig8(envs []*Env) ([]Fig8Row, error) {
 			}
 			rows = append(rows, row)
 		}
+		perApp[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for _, rs := range perApp {
+		rows = append(rows, rs...)
 	}
 	return rows, nil
 }

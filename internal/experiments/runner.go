@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner shards independent experiment cells across worker
+// goroutines. Every cell of the (app × strategy × channel/situation)
+// grid builds its own client, server and RNGs from a per-cell seed
+// and writes its result to its own slot, so a parallel run produces
+// results identical to a serial one — only the wall clock changes.
+//
+// A nil *Runner is valid and runs serially; so does Workers <= 1.
+type Runner struct {
+	// Workers is the number of concurrent workers.
+	Workers int
+}
+
+// NewRunner returns a runner with the given parallelism; workers <= 0
+// selects GOMAXPROCS.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{Workers: workers}
+}
+
+// Do runs job(i) for every i in [0, n). Jobs must be independent and
+// write results only to per-index slots. An error cancels the jobs
+// not yet started; the error of the lowest-indexed failing job is
+// returned, so parallel and serial runs report the same failure.
+func (r *Runner) Do(n int, job func(i int) error) error {
+	workers := 1
+	if r != nil {
+		workers = r.Workers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next int64 = -1
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

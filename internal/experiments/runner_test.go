@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunnerDoCoversAllJobs(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		r := NewRunner(workers)
+		const n = 100
+		var hits [n]int32
+		if err := r.Do(n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunnerNilIsSerial(t *testing.T) {
+	var r *Runner
+	order := []int{}
+	if err := r.Do(5, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil runner ran out of order: %v", order)
+		}
+	}
+}
+
+func TestRunnerErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		r := NewRunner(workers)
+		err := r.Do(10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("job %d: %w", i, boom)
+			}
+			return nil
+		})
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		// The lowest-indexed failure is reported, matching a serial run.
+		if !strings.Contains(err.Error(), "job 3") {
+			t.Errorf("workers=%d: err = %v, want job 3's", workers, err)
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the determinism guarantee of the
+// parallel grid: sharding the Fig 6/7/8 cells across workers renders
+// byte-identical output to a serial run.
+func TestParallelMatchesSerial(t *testing.T) {
+	envs := testEnvs(t)
+	runs := 12
+	fig6 := true
+	if testing.Short() {
+		// Keep the race-detector pass within budget on slow hosts;
+		// the full-size comparison runs in the regular pass.
+		envs, runs, fig6 = envs[:1], 6, false
+	}
+	render := func(r *Runner) string {
+		var b strings.Builder
+		if fig6 {
+			bars, err := RunFig6On(r, envs, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			RenderFig6(&b, bars)
+		}
+		fig7, err := RunFig7On(r, envs, runs, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		RenderFig7(&b, fig7)
+		for sit := Situation(0); sit < NumSituations; sit++ {
+			RenderFig7PerApp(&b, fig7, sit)
+		}
+		rows, err := RunFig8On(r, envs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		RenderFig8(&b, rows)
+		return b.String()
+	}
+	serial := render(nil)
+	parallel := render(NewRunner(4))
+	if serial != parallel {
+		t.Error("parallel grid output differs from serial run")
+	}
+	if !strings.Contains(serial, "best static") {
+		t.Error("render incomplete")
+	}
+}

@@ -33,6 +33,10 @@ const (
 	Level1 Level = 1 + iota
 	Level2
 	Level3
+
+	// NumLevels counts the optimization levels; arrays indexed by
+	// Level-1 (per-level bodies, compile costs) are sized with it.
+	NumLevels = int(Level3)
 )
 
 // String returns the paper's name for the level.
