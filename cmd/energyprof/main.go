@@ -1,7 +1,11 @@
 // Command energyprof prints the platform energy model (the paper's
 // Fig 1 and Fig 2 constants plus derived quantities) and, with -app,
 // profiles benchmark applications: per-mode energy/time curves,
-// serialized payload sizes, and compilation costs per level.
+// serialized payload sizes, and compilation costs per level. With
+// -outage it additionally drives a short scenario per strategy under
+// a Gilbert–Elliott burst-outage process and prints each client's
+// link telemetry (exchanges, losses, stalls, bytes) plus the
+// retry/breaker counters.
 package main
 
 import (
@@ -16,12 +20,16 @@ import (
 	"greenvm/internal/experiments"
 	"greenvm/internal/jit"
 	"greenvm/internal/radio"
+	"greenvm/internal/rng"
 )
 
 func main() {
 	app := flag.String("app", "", "profile benchmarks: a name (fe, pf, mf, hpf, ed, sort, jess, db), a comma-separated list, or \"all\"")
 	seed := flag.Uint64("seed", 2003, "profiling seed")
 	workers := flag.Int("workers", 0, "parallel profiling workers (0 = GOMAXPROCS)")
+	outage := flag.Float64("outage", 0, "with -app: drive a faulty scenario at this outage rate and print link telemetry")
+	burst := flag.Float64("burst", 5, "mean outage burst length in transfers (with -outage)")
+	runs := flag.Int("runs", 30, "application executions per telemetry scenario (with -outage)")
 	flag.Parse()
 
 	if *app == "" {
@@ -44,7 +52,51 @@ func main() {
 			fmt.Println()
 		}
 		renderProfile(os.Stdout, env.App, env.Prof)
+		if *outage > 0 {
+			fmt.Println()
+			if err := renderTelemetry(os.Stdout, env, *outage, *burst, *runs, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "energyprof:", err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// renderTelemetry drives one short scenario per strategy over a lossy
+// link and prints the radio counters surfaced through the Stats sink.
+func renderTelemetry(w *os.File, env *experiments.Env, outage, burst float64, runs int, seed uint64) error {
+	fmt.Fprintf(w, "link telemetry under outage %.2f, mean burst %.0f (%d executions)\n\n", outage, burst, runs)
+	fmt.Fprintf(w, "%-9s %10s | %6s %6s %6s %6s %9s %9s | %5s %5s %5s\n",
+		"strategy", "energy", "exchg", "loss", "rtx", "stall", "tx B", "rx B", "retry", "probe", "down")
+	for _, s := range core.Strategies {
+		server := core.NewServer(env.Prog)
+		c := core.NewClient(fmt.Sprintf("%s-%v", env.App.Name, s), env.Prog, server,
+			radio.UniformChannel(rng.New(seed)), s, seed)
+		if err := c.Register(env.Target, env.Prof); err != nil {
+			return err
+		}
+		c.Link.Fault = radio.NewGilbertElliott(outage, burst)
+		sizes := env.App.ScenarioSizes
+		sizeR := rng.New(seed ^ 0xABCD)
+		for run := 0; run < runs; run++ {
+			size := sizes[sizeR.Intn(len(sizes))]
+			args, err := env.Target.MakeArgs(c.VM, size, rng.New(seed+uint64(size)))
+			if err != nil {
+				return err
+			}
+			c.NewExecution()
+			if _, err := c.Invoke(env.App.Class, env.App.Method, args); err != nil {
+				return err
+			}
+			c.StepChannel()
+		}
+		tel := c.Stats.Radio // the EvInvoke stream's last snapshot
+		fmt.Fprintf(w, "%-9v %10v | %6d %6d %6d %6d %9d %9d | %5d %5d %5d\n",
+			s, c.Energy(), tel.Exchanges, tel.Losses, tel.Retransmits, tel.Stalls,
+			tel.BytesSent, tel.BytesReceived,
+			c.Stats.Retries, c.Stats.Probes, c.Stats.LinkDowns)
+	}
+	return nil
 }
 
 // selectApps resolves the -app argument to a benchmark list.

@@ -24,7 +24,7 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (1, 2, 3, 5, 6, 7, 8); 0 = all")
 	claims := flag.Bool("claims", false, "regenerate only the §3 claims")
-	ext := flag.Bool("ext", false, "run the extension experiments (Markov channel, tracker error, breakdown)")
+	ext := flag.Bool("ext", false, "run the extension experiments (Markov channel, tracker error, breakdown, burst-outage resilience)")
 	runs := flag.Int("runs", 300, "application executions per Fig 7 scenario")
 	detail := flag.Bool("detail", false, "print per-app Fig 7 tables")
 	seed := flag.Uint64("seed", 2003, "experiment seed")
@@ -163,6 +163,12 @@ func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64, work
 				return err
 			}
 			experiments.RenderCodeCacheSweep(w, name, cps)
+			fmt.Fprintln(w)
+			rps, err := experiments.RunResilienceSweepOn(runner, env, runs, seed)
+			if err != nil {
+				return err
+			}
+			experiments.RenderResilienceSweep(w, name, rps)
 			fmt.Fprintln(w)
 		}
 	}

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"greenvm/internal/apps"
 	"greenvm/internal/bytecode"
@@ -74,5 +77,19 @@ func run(listen, app string, args []string) error {
 	for _, m := range prog.PotentialMethods() {
 		fmt.Printf("  potential: %s\n", m.QName())
 	}
-	return core.Serve(l, core.NewServer(prog))
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, close live
+	// connections and drain in-flight handlers before exiting.
+	srv := core.NewTCPServer(core.NewServer(prog))
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("mjserver: shutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(l); !errors.Is(err, core.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

@@ -52,6 +52,19 @@ type Client struct {
 	// connection lost and falling back to local execution.
 	Timeout energy.Seconds
 
+	// MaxRetries bounds how often one invocation re-attempts a lost
+	// remote exchange before falling back locally; each retry charges
+	// a backoff listen window plus the exchange's real energy.
+	MaxRetries int
+	// RetryBackoff is the initial backoff listen window between
+	// retries; it doubles per retry.
+	RetryBackoff energy.Seconds
+
+	// Breaker is the link circuit breaker: after consecutive losses
+	// the policies stop considering remote options until a half-open
+	// probe succeeds. Nil disables it.
+	Breaker *Breaker
+
 	// Clock is the client's virtual wall time.
 	Clock energy.Seconds
 
@@ -77,22 +90,25 @@ func NewClient(id string, prog *bytecode.Program, server Remote, ch radio.Channe
 	v := vm.New(prog, model)
 	r := rng.New(seed)
 	c := &Client{
-		ID:       id,
-		Prog:     prog,
-		VM:       v,
-		Model:    model,
-		Link:     radio.NewLink(radio.WCDMA(), ch, v.Acct, r),
-		Server:   server,
-		Strategy: strategy,
-		Policy:   NewPolicy(strategy),
-		Events:   &Sinks{},
-		Stats:    &Stats{},
-		Timeout:  0.05,
-		targets:  map[*bytecode.Method]*Target{},
-		profiles: map[*bytecode.Method]*Profile{},
-		plans:    map[*bytecode.Method][]*bytecode.Method{},
-		inFlight: map[*bytecode.Method]bool{},
-		r:        r,
+		ID:           id,
+		Prog:         prog,
+		VM:           v,
+		Model:        model,
+		Link:         radio.NewLink(radio.WCDMA(), ch, v.Acct, r),
+		Server:       server,
+		Strategy:     strategy,
+		Policy:       NewPolicy(strategy),
+		Events:       &Sinks{},
+		Stats:        &Stats{},
+		Timeout:      0.05,
+		MaxRetries:   2,
+		RetryBackoff: 0.05,
+		Breaker:      NewBreaker(),
+		targets:      map[*bytecode.Method]*Target{},
+		profiles:     map[*bytecode.Method]*Profile{},
+		plans:        map[*bytecode.Method][]*bytecode.Method{},
+		inFlight:     map[*bytecode.Method]bool{},
+		r:            r,
 	}
 	c.Events.Attach(c.Stats)
 	c.Exec = newExecutor(c)
@@ -197,6 +213,7 @@ func (c *Client) execute(m *bytecode.Method, t *Target, size float64, args []vm.
 		Energy:   c.VM.Acct.Total() - eBefore,
 		Time:     c.Clock - tBefore,
 		FellBack: fellBack,
+		Radio:    c.Link.Telemetry(),
 	})
 	return res, nil
 }
@@ -214,6 +231,94 @@ func (c *Client) StepChannel() { c.Link.StepChannel() }
 // boundary within a scenario).
 func (c *Client) ResetRun() {
 	c.VM.ResetRun(true)
+}
+
+// --- Circuit breaker integration ---
+
+// RemoteAvailable implements PolicyEnv: it reports whether remote
+// options may be considered right now. While the breaker is open it
+// returns false at no cost; once the cooldown elapses it sends the
+// half-open probe (charged to the radio account and the clock) and
+// reports the link's actual state.
+func (c *Client) RemoteAvailable() bool {
+	if c.Breaker == nil {
+		return true
+	}
+	switch c.Breaker.Next(c.Clock) {
+	case BreakerOpen:
+		return false
+	case BreakerHalfOpen:
+		return c.probeLink()
+	default:
+		return true
+	}
+}
+
+// probeLink runs one half-open probe: a small message to the server
+// and its echo. Success closes the breaker (EvLinkUp); failure
+// re-opens it with a doubled cooldown.
+func (c *Client) probeLink() bool {
+	n := c.Breaker.ProbeBytes
+	if n <= 0 {
+		n = 16
+	}
+	tTx, err := c.Link.Send(n)
+	c.Clock += tTx
+	if err == nil {
+		var tRx energy.Seconds
+		tRx, err = c.Link.Recv(n)
+		c.Clock += tRx
+	}
+	c.Events.Emit(Event{Kind: EvProbe, FellBack: err != nil})
+	if err != nil {
+		c.noteRemoteFailure()
+		return false
+	}
+	c.noteRemoteSuccess()
+	return true
+}
+
+// noteRemoteFailure records one lost remote exchange with the
+// breaker, emitting EvLinkDown when it opens.
+func (c *Client) noteRemoteFailure() {
+	if c.Breaker == nil {
+		return
+	}
+	if c.Breaker.RecordFailure(c.Clock) {
+		c.Events.Emit(Event{Kind: EvLinkDown})
+	}
+}
+
+// noteRemoteSuccess records one successful remote exchange, emitting
+// EvLinkUp when it closes a half-open breaker.
+func (c *Client) noteRemoteSuccess() {
+	if c.Breaker == nil {
+		return
+	}
+	if c.Breaker.RecordSuccess() {
+		c.Events.Emit(Event{Kind: EvLinkUp})
+	}
+}
+
+// retryWorthwhile reports whether re-attempting a lost remote
+// exchange is still estimated cheaper than the policy's best local
+// mode — the executor retries only while the estimator says so.
+func (c *Client) retryWorthwhile(m *bytecode.Method, size float64) bool {
+	prof := c.profiles[m]
+	if prof == nil {
+		return false
+	}
+	ctx := &InvokeContext{Method: m, Prof: prof, Size: size, Env: c}
+	local := c.Policy.BestLocalMode(ctx)
+	eLocal := prof.EnergyOf[local].Eval(size)
+	if local.IsCompiled() {
+		eLocal += float64(c.PlanCompileCost(m, prof, local.Level(), false))
+	}
+	eRemote := float64(c.RemoteEnergy(prof, size, c.TxPowerEstimate()))
+	// A retry also risks another timeout listen; count it against the
+	// remote side so marginal cases fall back instead of flapping.
+	eRemote += float64(energy.Energy(c.Link.Chip.RxPower(), c.Timeout))
+	return eRemote < eLocal
 }
 
 // --- PolicyEnv: the pricing view policies consult ---
@@ -287,7 +392,7 @@ func (c *Client) BodyDownloadCost(mm *bytecode.Method, lv jit.Level) (energy.Jou
 	return c.Link.Chip.TxEnergy(64, cls) + c.Link.Chip.RxEnergy(int(codeBytes), cls), true
 }
 
-// RemoteEnergy implements PolicyEnv: E''(m, s, p) — transmit the
+// RemoteEnergy implements PolicyEnv: E”(m, s, p) — transmit the
 // serialized arguments at predicted power p, sleep (leakage) while
 // the server computes, and receive the result.
 func (c *Client) RemoteEnergy(prof *Profile, s, pWatts float64) energy.Joules {

@@ -29,10 +29,10 @@ func (c *Client) DownloadApplication() (int, error) {
 		return 0, err
 	}
 	tRx, err := c.Link.Recv(len(encoded))
+	c.Clock += tRx
 	if err != nil {
 		return 0, err
 	}
-	c.Clock += tRx
 	c.chargeClassLoad(len(encoded))
 	c.syncClock()
 	return len(encoded), nil

@@ -4,6 +4,7 @@ import (
 	"greenvm/internal/bytecode"
 	"greenvm/internal/energy"
 	"greenvm/internal/jit"
+	"greenvm/internal/radio"
 )
 
 // The event layer is the client's single observability stream: every
@@ -35,11 +36,24 @@ const (
 	// EvMemoHit is one invocation replayed from the memo instead of
 	// re-simulated.
 	EvMemoHit
+	// EvRetry is one re-attempted remote exchange after a loss (its
+	// backoff listen is already charged when it is emitted).
+	EvRetry
+	// EvProbe is one half-open circuit-breaker probe; FellBack is
+	// false when the probe succeeded.
+	EvProbe
+	// EvLinkDown is the circuit breaker opening after consecutive
+	// losses: remote options are off the table until a probe succeeds.
+	EvLinkDown
+	// EvLinkUp is the circuit breaker closing after a successful
+	// half-open probe.
+	EvLinkUp
 )
 
 // Event is one occurrence in a client's execution stream. Method is
-// always set; the remaining fields are populated per kind (see the
-// EventKind docs).
+// set for method-scoped events (link-state events may carry none);
+// the remaining fields are populated per kind (see the EventKind
+// docs).
 type Event struct {
 	Kind   EventKind
 	Method *bytecode.Method
@@ -49,8 +63,12 @@ type Event struct {
 	Energy energy.Joules  // EvInvoke: energy delta of the invocation
 	Time   energy.Seconds // EvInvoke: wall-time delta of the invocation
 	// FellBack marks an EvInvoke whose remote execution was lost and
-	// re-ran locally.
+	// re-ran locally (and an EvProbe that failed).
 	FellBack bool
+	// Radio is a snapshot of the link's counters, carried by EvInvoke
+	// so sinks can observe outage behaviour without reaching into the
+	// client.
+	Radio radio.Telemetry
 }
 
 // EventSink consumes client events. Sinks run synchronously on the
@@ -91,6 +109,16 @@ type Stats struct {
 	Evictions int
 	// MemoHits counts invocations replayed from the memo.
 	MemoHits int
+	// Retries counts re-attempted remote exchanges after losses.
+	Retries int
+	// Probes counts half-open circuit-breaker probes; LinkDowns and
+	// LinkUps count the breaker's open/close transitions.
+	Probes    int
+	LinkDowns int
+	LinkUps   int
+	// Radio is the link-telemetry snapshot carried by the most recent
+	// EvInvoke (losses, retransmits, stalls, exchanged bytes).
+	Radio radio.Telemetry
 }
 
 // Emit implements EventSink.
@@ -98,6 +126,15 @@ func (s *Stats) Emit(e Event) {
 	switch e.Kind {
 	case EvInvoke:
 		s.ModeCounts[e.Mode]++
+		s.Radio = e.Radio
+	case EvRetry:
+		s.Retries++
+	case EvProbe:
+		s.Probes++
+	case EvLinkDown:
+		s.LinkDowns++
+	case EvLinkUp:
+		s.LinkUps++
 	case EvFallback:
 		s.Fallbacks++
 	case EvLocalCompile:

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"greenvm/internal/bytecode"
 	"greenvm/internal/energy"
 	"greenvm/internal/isa"
@@ -74,18 +76,13 @@ func (x *Executor) planLinked(m *bytecode.Method, lv jit.Level) bool {
 func (x *Executor) Run(mode Mode, m *bytecode.Method, t *Target, size float64, args []vm.Slot) (vm.Slot, bool, error) {
 	c := x.c
 	if mode == ModeRemote {
-		res, err := x.remoteExecute(m, t, size, args)
+		res, err := x.remoteWithRetries(m, t, size, args)
 		if err == nil {
 			return res, false, nil
 		}
-		if err != radio.ErrConnectionLost {
+		if !errors.Is(err, radio.ErrConnectionLost) {
 			return vm.Slot{}, false, err
 		}
-		// Paper §3.2: when the result is not obtained within the time
-		// threshold, connectivity is considered lost and execution
-		// begins locally.
-		c.Link.Listen(c.Timeout)
-		c.Clock += c.Timeout
 		local := c.Policy.BestLocalMode(&InvokeContext{Method: m, Prof: c.profiles[m], Size: size, Env: c})
 		res, _, err = x.Run(local, m, t, size, args)
 		return res, true, err
@@ -120,6 +117,49 @@ func levelOf(mode Mode) jit.Level {
 	return 0
 }
 
+// remoteWithRetries drives the offload attempt loop. The breaker is
+// consulted first: a Down link costs nothing and fails over locally
+// at once. Each lost attempt pays the paper's §3.2 timeout listen;
+// retries are attempted only while the retry budget lasts, the
+// estimator still prices a retry below the best local mode, and the
+// breaker has not opened — and each retry first pays an
+// exponentially growing backoff listen window.
+func (x *Executor) remoteWithRetries(m *bytecode.Method, t *Target, size float64, args []vm.Slot) (vm.Slot, error) {
+	c := x.c
+	if !c.RemoteAvailable() {
+		return vm.Slot{}, radio.ErrConnectionLost
+	}
+	backoff := c.RetryBackoff
+	if backoff <= 0 {
+		backoff = c.Timeout
+	}
+	for attempt := 0; ; attempt++ {
+		res, err := x.remoteExecute(m, t, size, args)
+		if err == nil {
+			c.noteRemoteSuccess()
+			return res, nil
+		}
+		if !errors.Is(err, radio.ErrConnectionLost) {
+			return vm.Slot{}, err
+		}
+		// Paper §3.2: when the result is not obtained within the time
+		// threshold, connectivity is considered lost.
+		c.Link.Listen(c.Timeout)
+		c.Clock += c.Timeout
+		c.noteRemoteFailure()
+		if attempt >= c.MaxRetries || !c.retryWorthwhile(m, size) || !c.RemoteAvailable() {
+			return vm.Slot{}, err
+		}
+		// Back off before re-attempting, receiver up (the client keeps
+		// listening for the base station), then retry with real
+		// transmit energy.
+		c.Link.Listen(backoff)
+		c.Clock += backoff
+		backoff *= 2
+		c.Events.Emit(Event{Kind: EvRetry, Method: m})
+	}
+}
+
 // remoteExecute offloads one invocation (Fig 4): serialize arguments,
 // transmit, power down for the estimated server time, wake, receive
 // and deserialize the result.
@@ -140,11 +180,13 @@ func (x *Executor) remoteExecute(m *bytecode.Method, t *Target, size float64, ar
 	c.VM.ChargeSerialization(len(argBytes))
 	c.syncClock()
 
+	// On a lost transfer the returned time is the stall spent before
+	// detecting the loss — it still advances the clock.
 	tTx, err := c.Link.Send(len(argBytes))
+	c.Clock += tTx
 	if err != nil {
 		return vm.Slot{}, err
 	}
-	c.Clock += tTx
 
 	estServ := energy.Seconds(prof.ServerTime.Eval(size))
 	if estServ < 0 {
@@ -175,10 +217,10 @@ func (x *Executor) remoteExecute(m *bytecode.Method, t *Target, size float64, ar
 	c.Clock += elapsed
 
 	tRx, err := c.Link.Recv(len(resBytes))
+	c.Clock += tRx
 	if err != nil {
 		return vm.Slot{}, err
 	}
-	c.Clock += tRx
 
 	c.VM.ChargeSerialization(len(resBytes))
 	deserSnap := c.VM.Acct.Snapshot()
@@ -206,10 +248,10 @@ func (x *Executor) replayRemote(prof *Profile, size float64, ent remoteEntry) (v
 	c.VM.ChargeSerialization(ent.txBytes)
 	c.syncClock()
 	tTx, err := c.Link.Send(ent.txBytes)
+	c.Clock += tTx
 	if err != nil {
 		return vm.Slot{}, err
 	}
-	c.Clock += tTx
 
 	estServ := energy.Seconds(prof.ServerTime.Eval(size))
 	if estServ < 0 {
@@ -227,10 +269,10 @@ func (x *Executor) replayRemote(prof *Profile, size float64, ent remoteEntry) (v
 	c.Clock += elapsed
 
 	tRx, err := c.Link.Recv(ent.rxBytes)
+	c.Clock += tRx
 	if err != nil {
 		return vm.Slot{}, err
 	}
-	c.Clock += tRx
 	c.VM.ChargeSerialization(ent.rxBytes)
 	c.VM.Acct.Apply(ent.deserDelta)
 	c.syncClock()
@@ -248,11 +290,13 @@ func (x *Executor) ensurePlanCompiled(m *bytecode.Method, lv jit.Level) error {
 		}
 		if c.Policy.Download(c, mm, lv) {
 			if err := x.downloadBody(mm, lv); err == nil {
+				c.noteRemoteSuccess()
 				continue
-			} else if err != radio.ErrConnectionLost {
+			} else if !errors.Is(err, radio.ErrConnectionLost) {
 				return err
 			}
 			// Connection lost: fall through to local compilation.
+			c.noteRemoteFailure()
 			c.Events.Emit(Event{Kind: EvFallback, Method: mm, Level: lv})
 		}
 		if err := x.compileLocally(mm, lv); err != nil {
@@ -270,6 +314,7 @@ func (x *Executor) ensurePlanCompiled(m *bytecode.Method, lv jit.Level) error {
 func (x *Executor) downloadBody(mm *bytecode.Method, lv jit.Level) error {
 	c := x.c
 	tTx, err := c.Link.Send(64)
+	c.Clock += tTx
 	if err != nil {
 		return err
 	}
@@ -286,13 +331,13 @@ func (x *Executor) downloadBody(mm *bytecode.Method, lv jit.Level) error {
 		x.Cache.Install(mm, lv, code)
 	}
 	tRx, err := c.Link.Recv(size)
+	c.Clock += tRx
 	if err != nil {
 		return err
 	}
 	// Linking the downloaded code into the VM.
 	c.VM.ChargeSerialization(size)
 	x.Cache.Link(mm, lv)
-	c.Clock += tTx + tRx
 	c.Events.Emit(Event{Kind: EvRemoteCompile, Method: mm, Level: lv})
 	c.syncClock()
 	return nil

@@ -8,10 +8,12 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"greenvm/internal/energy"
 	"greenvm/internal/isa"
 	"greenvm/internal/jit"
+	"greenvm/internal/radio"
 )
 
 // TCP transport: the paper validated its prototype on two SPARC
@@ -29,6 +31,9 @@ import (
 // ErrProtocol reports a malformed or unexpected frame.
 var ErrProtocol = errors.New("core: protocol error")
 
+// ErrServerClosed is returned by TCPServer.Serve after Close.
+var ErrServerClosed = errors.New("core: server closed")
+
 const (
 	opExec     = 1
 	opCompile  = 2
@@ -37,7 +42,25 @@ const (
 	statusFail = 1
 )
 
+// FrameSizeError reports a frame larger than the protocol's maxFrame
+// limit, on either side of the wire. It unwraps to ErrProtocol.
+type FrameSizeError struct {
+	Size int64
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("core: frame of %d bytes exceeds the %d-byte limit", e.Size, int64(maxFrame))
+}
+
+// Unwrap makes errors.Is(err, ErrProtocol) hold.
+func (e *FrameSizeError) Unwrap() error { return ErrProtocol }
+
 func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		// Refuse before anything hits the wire: an oversized write
+		// would desynchronize the stream for both peers.
+		return &FrameSizeError{Size: int64(len(payload))}
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -53,8 +76,8 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("%w: frame of %d bytes", ErrProtocol, n)
+	if int64(n) > maxFrame {
+		return nil, &FrameSizeError{Size: int64(n)}
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -150,28 +173,142 @@ func (m *wire) rdF64() float64 {
 // Serve accepts connections on the listener and dispatches requests to
 // the server until the listener is closed. Each connection is handled
 // on its own goroutine; the Server serializes execution internally.
+// For graceful shutdown, build a TCPServer instead.
 func Serve(l net.Listener, s *Server) error {
+	return NewTCPServer(s).Serve(l)
+}
+
+// TCPServer runs a Server behind one or more listeners and supports
+// graceful shutdown: Close stops accepting, closes every live
+// connection, and waits for in-flight handlers to drain.
+type TCPServer struct {
+	s *Server
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewTCPServer wraps a Server for network serving.
+func NewTCPServer(s *Server) *TCPServer {
+	return &TCPServer{
+		s:         s,
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[net.Conn]struct{}{},
+	}
+}
+
+// Serve accepts and dispatches until the listener fails or the server
+// is closed; after Close it returns ErrServerClosed.
+func (t *TCPServer) Serve(l net.Listener) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrServerClosed
+	}
+	t.listeners[l] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.listeners, l)
+		t.mu.Unlock()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if t.closing() {
+				return ErrServerClosed
+			}
 			return err
 		}
-		go serveConn(conn, s)
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		t.conns[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go func() {
+			defer t.wg.Done()
+			serveConn(conn, t.s)
+			t.mu.Lock()
+			delete(t.conns, conn)
+			t.mu.Unlock()
+		}()
 	}
+}
+
+func (t *TCPServer) closing() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// Close shuts the server down: the listeners and every live connection
+// are closed, and Close blocks until all handler goroutines return.
+// It is idempotent.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.wg.Wait()
+		return nil
+	}
+	t.closed = true
+	for l := range t.listeners {
+		l.Close()
+	}
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
 }
 
 func serveConn(conn net.Conn, s *Server) {
 	defer conn.Close()
 	for {
-		req, err := readFrame(conn)
-		if err != nil {
+		var hdr [4]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return // peer closed or broken
 		}
-		resp := handle(req, s)
-		if err := writeFrame(conn, resp); err != nil {
+		n := int64(binary.BigEndian.Uint32(hdr[:]))
+		if n > maxFrame {
+			// Drain the oversized payload and answer with a clean
+			// failure frame instead of killing the connection: the
+			// stream stays in sync and the peer learns why.
+			if _, err := io.CopyN(io.Discard, conn, n); err != nil {
+				return
+			}
+			if err := writeFrame(conn, failFrame(&FrameSizeError{Size: n})); err != nil {
+				return
+			}
+			continue
+		}
+		req := make([]byte, n)
+		if _, err := io.ReadFull(conn, req); err != nil {
+			return
+		}
+		if err := writeFrame(conn, safeHandle(req, s)); err != nil {
 			return
 		}
 	}
+}
+
+// safeHandle converts a handler panic into a failure frame so one
+// poisoned request cannot take the serving goroutine down.
+func safeHandle(req []byte, s *Server) (resp []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = failFrame(fmt.Errorf("core: server panic: %v", r))
+		}
+	}()
+	return handle(req, s)
 }
 
 func handle(req []byte, s *Server) []byte {
@@ -228,44 +365,132 @@ func failFrame(err error) []byte {
 }
 
 // RemoteServer is a core.Remote backed by a TCP connection to a
-// process running Serve.
+// process running Serve. Transport failures — connection resets,
+// missed deadlines, desynchronized streams — are classified as
+// radio.ErrConnectionLost so the executor's loss machinery (timeout
+// listen, retries, circuit breaker) handles them like any other
+// outage; the broken connection is dropped and the next call
+// reconnects. Server-reported failures (a failure frame) leave the
+// connection open and propagate as ordinary errors.
 type RemoteServer struct {
+	addr string
+
+	// RPCTimeout bounds each round trip (request write plus response
+	// read); zero disables the deadline.
+	RPCTimeout time.Duration
+	// DialRetries and DialBackoff shape reconnection: up to
+	// DialRetries+1 attempts, sleeping DialBackoff doubled per attempt
+	// and capped at one second.
+	DialRetries int
+	DialBackoff time.Duration
+
 	mu   sync.Mutex
 	conn net.Conn
 }
 
 // DialServer connects to a remote compilation/execution server.
 func DialServer(addr string) (*RemoteServer, error) {
-	conn, err := net.Dial("tcp", addr)
+	r := &RemoteServer{
+		addr:        addr,
+		RPCTimeout:  10 * time.Second,
+		DialRetries: 2,
+		DialBackoff: 50 * time.Millisecond,
+	}
+	conn, err := r.dial()
 	if err != nil {
 		return nil, err
 	}
-	return &RemoteServer{conn: conn}, nil
+	r.conn = conn
+	return r, nil
+}
+
+// dial attempts the connection with capped exponential backoff.
+func (r *RemoteServer) dial() (net.Conn, error) {
+	backoff := r.DialBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		conn, err := net.Dial("tcp", r.addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if attempt >= r.DialRetries {
+			break
+		}
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: dial %s: %v", radio.ErrConnectionLost, r.addr, lastErr)
 }
 
 // Close shuts the connection.
-func (r *RemoteServer) Close() error { return r.conn.Close() }
+func (r *RemoteServer) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn == nil {
+		return nil
+	}
+	err := r.conn.Close()
+	r.conn = nil
+	return err
+}
 
-// roundTrip sends one request frame and reads the response.
+// roundTrip sends one request frame and reads the response,
+// reconnecting first if a previous trip broke the connection.
 func (r *RemoteServer) roundTrip(req []byte) (*wire, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.conn == nil {
+		conn, err := r.dial()
+		if err != nil {
+			return nil, err
+		}
+		r.conn = conn
+	}
+	if r.RPCTimeout > 0 {
+		r.conn.SetDeadline(time.Now().Add(r.RPCTimeout)) //nolint:errcheck
+	}
 	if err := writeFrame(r.conn, req); err != nil {
-		return nil, err
+		if errors.Is(err, ErrProtocol) {
+			// Oversized request: nothing hit the wire, the connection
+			// is still good.
+			return nil, err
+		}
+		return nil, r.lost("send", err)
 	}
 	resp, err := readFrame(r.conn)
 	if err != nil {
-		return nil, err
+		// Either the transport broke or the stream is out of sync
+		// (oversized response header); both poison the connection.
+		return nil, r.lost("receive", err)
+	}
+	if r.RPCTimeout > 0 {
+		r.conn.SetDeadline(time.Time{}) //nolint:errcheck
 	}
 	m := &wire{buf: resp}
 	if m.rdU8() != statusOK {
 		msg := m.rdStr()
 		if m.err != nil {
-			return nil, m.err
+			return nil, r.lost("decode", m.err)
 		}
 		return nil, fmt.Errorf("core: remote server: %s", msg)
 	}
 	return m, nil
+}
+
+// lost drops the broken connection (the next call reconnects) and
+// classifies the transport error as a connection loss.
+func (r *RemoteServer) lost(what string, err error) error {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	return fmt.Errorf("%w: %s: %v", radio.ErrConnectionLost, what, err)
 }
 
 // Execute implements Remote over the wire.

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"greenvm/internal/jit"
+	"greenvm/internal/lang"
+)
+
+// fuzzServer is built once: compiling the test program per input would
+// drown the fuzzer in setup work.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzServerInstance() *Server {
+	fuzzOnce.Do(func() {
+		p, err := lang.Compile(testAppSrc)
+		if err != nil {
+			panic(err)
+		}
+		fuzzSrv = NewServer(p)
+	})
+	return fuzzSrv
+}
+
+// FuzzWireDecode throws arbitrary bytes at the wire readers and the
+// server's request handler: neither may panic, and the handler must
+// always produce a decodable response frame. CI runs this for a short
+// smoke window on every push.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with well-formed requests so the fuzzer starts inside the
+	// interesting part of the format.
+	exec := &wire{}
+	exec.u8(opExec).str("fuzz").str("App").str("work").bytes([]byte{1, 2, 3}).f64(0).f64(1.5)
+	f.Add(exec.buf)
+	comp := &wire{}
+	comp.u8(opCompile).str("App.helper").u8(byte(jit.Level2))
+	f.Add(comp.buf)
+	f.Add([]byte{})
+	f.Add([]byte{opExec, 0xFF, 0xFF})
+	f.Add([]byte{0xEE, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The raw field readers tolerate any input.
+		m := &wire{buf: data}
+		m.rdU8()
+		m.rdStr()
+		m.rdBytes()
+		m.rdF64()
+
+		// The handler answers every request with a well-formed frame.
+		resp := safeHandle(data, fuzzServerInstance())
+		if len(resp) == 0 {
+			t.Fatal("empty response frame")
+		}
+		out := &wire{buf: resp}
+		switch out.rdU8() {
+		case statusOK:
+			// Valid requests produce op-specific payloads; decoding
+			// them is exercised by the unit tests.
+		case statusFail:
+			if out.rdStr() == "" && out.err == nil {
+				t.Error("failure frame with empty message")
+			}
+			if out.err != nil {
+				t.Errorf("undecodable failure frame: %v", out.err)
+			}
+		default:
+			t.Error("unknown status byte in response")
+		}
+	})
+}

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
+	"io"
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"greenvm/internal/energy"
 	"greenvm/internal/isa"
@@ -174,5 +178,296 @@ func TestEncodeDecodeCodeRoundtrip(t *testing.T) {
 	bad[0] ^= 0xFF
 	if _, err := isa.DecodeCode(bad); err == nil {
 		t.Error("bad magic should fail to decode")
+	}
+}
+
+// --- Transport failure handling ---
+
+// rawRoundTrip writes one frame over a raw connection and decodes the
+// response's status byte and message.
+func rawRoundTrip(t *testing.T, conn net.Conn, payload []byte) (byte, string) {
+	t.Helper()
+	if err := writeFrame(conn, payload); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &wire{buf: resp}
+	status := m.rdU8()
+	msg := ""
+	if status == statusFail {
+		msg = m.rdStr()
+	}
+	return status, msg
+}
+
+// TestMalformedFramesGetFailureFrames: every malformed request is
+// answered with a clean failure frame, and the connection stays
+// usable afterwards.
+func TestMalformedFramesGetFailureFrames(t *testing.T) {
+	p := testProgram(t)
+	addr := startTCPServer(t, NewServer(p))
+
+	valid := &wire{}
+	valid.u8(opCompile).str("App.helper").u8(byte(jit.Level1))
+
+	cases := []struct {
+		name    string
+		payload []byte
+		wantMsg string
+	}{
+		{"empty frame", nil, "unknown op"},
+		{"unknown op", []byte{0xEE}, "unknown op"},
+		{"truncated exec strings", []byte{opExec, 0, 5, 'a'}, "truncated"},
+		{"truncated compile", []byte{opCompile}, "truncated"},
+		{"exec huge bytes length", append([]byte{opExec, 0, 1, 'c', 0, 1, 'C', 0, 1, 'm'},
+			0xFF, 0xFF, 0xFF, 0xFF), "truncated"},
+		{"exec missing times", func() []byte {
+			m := &wire{}
+			m.u8(opExec).str("c").str("App").str("work").bytes(nil)
+			return m.buf
+		}(), "truncated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			status, msg := rawRoundTrip(t, conn, tc.payload)
+			if status != statusFail {
+				t.Fatalf("status = %d, want failure frame", status)
+			}
+			if !strings.Contains(msg, tc.wantMsg) {
+				t.Errorf("failure %q does not mention %q", msg, tc.wantMsg)
+			}
+			// The connection survives the bad frame.
+			if status, _ := rawRoundTrip(t, conn, valid.buf); status != statusOK {
+				t.Error("connection unusable after a malformed frame")
+			}
+		})
+	}
+}
+
+// TestOversizedInboundFrameDrained: a frame claiming more than
+// maxFrame bytes is drained and answered with a failure frame instead
+// of killing the connection.
+func TestOversizedInboundFrameDrained(t *testing.T) {
+	p := testProgram(t)
+	addr := startTCPServer(t, NewServer(p))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	n := int64(maxFrame) + 1
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Stream the oversized payload; the reply may already be in
+	// flight, so write concurrently with the read.
+	writeErr := make(chan error, 1)
+	go func() {
+		_, err := io.CopyN(conn, zeroReader{}, n)
+		writeErr <- err
+	}()
+	resp, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatal(err)
+	}
+	m := &wire{buf: resp}
+	if m.rdU8() != statusFail {
+		t.Fatal("oversized frame should yield a failure frame")
+	}
+	if msg := m.rdStr(); !strings.Contains(msg, "exceeds") {
+		t.Errorf("failure %q does not mention the size limit", msg)
+	}
+	// The connection survives.
+	valid := &wire{}
+	valid.u8(opCompile).str("App.helper").u8(byte(jit.Level1))
+	if status, _ := rawRoundTrip(t, conn, valid.buf); status != statusOK {
+		t.Error("connection unusable after an oversized frame")
+	}
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+// TestOversizedRequestRejectedSendSide: the client refuses to send a
+// frame over maxFrame before anything hits the wire; the error is a
+// protocol error, not a connection loss, and the connection stays
+// usable.
+func TestOversizedRequestRejectedSendSide(t *testing.T) {
+	p := testProgram(t)
+	addr := startTCPServer(t, NewServer(p))
+	remote, err := DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	big := make([]byte, maxFrame+1)
+	_, _, _, err = remote.Execute("c", "App", "work", big, 0, 0)
+	var fse *FrameSizeError
+	if !errors.As(err, &fse) {
+		t.Fatalf("error %v, want FrameSizeError", err)
+	}
+	if !errors.Is(err, ErrProtocol) {
+		t.Error("FrameSizeError should unwrap to ErrProtocol")
+	}
+	if errors.Is(err, radio.ErrConnectionLost) {
+		t.Error("an oversized request is not a connection loss")
+	}
+	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); err != nil {
+		t.Errorf("connection unusable after a rejected oversized request: %v", err)
+	}
+}
+
+// TestMidCallResetReconnects: a connection reset mid-call is
+// classified as radio.ErrConnectionLost and the next call reconnects
+// transparently.
+func TestMidCallResetReconnects(t *testing.T) {
+	p := testProgram(t)
+	s := NewServer(p)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		// First connection: swallow the request, slam the door.
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		readFrame(conn) //nolint:errcheck
+		conn.Close()
+		// Later connections reach the real server.
+		for {
+			c2, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go serveConn(c2, s)
+		}
+	}()
+
+	remote, err := DialServer(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	_, _, err = remote.CompiledBody("App.helper", jit.Level1)
+	if !errors.Is(err, radio.ErrConnectionLost) {
+		t.Fatalf("mid-call reset classified as %v, want connection loss", err)
+	}
+	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); err != nil {
+		t.Fatalf("reconnect after reset failed: %v", err)
+	}
+}
+
+// TestRPCDeadlineOnStalledServer: a server that accepts but never
+// responds trips the per-RPC deadline, classified as a loss.
+func TestRPCDeadlineOnStalledServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, conn) //nolint:errcheck // stall: read forever, answer never
+		}
+	}()
+
+	remote, err := DialServer(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	remote.RPCTimeout = 100 * time.Millisecond
+	start := time.Now()
+	_, _, err = remote.CompiledBody("App.helper", jit.Level1)
+	if !errors.Is(err, radio.ErrConnectionLost) {
+		t.Fatalf("stalled RPC classified as %v, want connection loss", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+}
+
+// TestTCPServerGracefulShutdown: Close stops the accept loop with
+// ErrServerClosed, closes live connections, and drains handlers.
+func TestTCPServerGracefulShutdown(t *testing.T) {
+	p := testProgram(t)
+	ts := NewTCPServer(NewServer(p))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ts.Serve(l) }()
+
+	remote, err := DialServer(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// The live connection was shut: the next call is a loss.
+	remote.DialRetries = 0
+	remote.DialBackoff = 0
+	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); !errors.Is(err, radio.ErrConnectionLost) {
+		t.Errorf("call after shutdown = %v, want connection loss", err)
+	}
+	// Close is idempotent, and Serve after Close refuses.
+	if err := ts.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := ts.Serve(l); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+}
+
+// TestServerPanicBecomesFailureFrame: a request that panics the
+// handler yields a failure frame and the connection survives.
+func TestServerPanicBecomesFailureFrame(t *testing.T) {
+	req := &wire{}
+	req.u8(opExec).str("c").str("App").str("work").bytes(nil).f64(0).f64(0)
+	resp := safeHandle(req.buf, nil) // nil server: the dispatch panics
+	m := &wire{buf: resp}
+	if m.rdU8() != statusFail {
+		t.Fatal("panic should produce a failure frame")
+	}
+	if msg := m.rdStr(); !strings.Contains(msg, "panic") {
+		t.Errorf("failure %q does not mention the panic", msg)
 	}
 }

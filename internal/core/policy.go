@@ -77,6 +77,12 @@ type PolicyEnv interface {
 	// ChargeDecisionOverhead bills the decision computation itself to
 	// the client (the paper notes it is small).
 	ChargeDecisionOverhead()
+	// RemoteAvailable reports whether remote options (offloading,
+	// body download) may be considered right now. While the link's
+	// circuit breaker is open this is false at no cost; when the
+	// breaker is half-open it runs the probe (charged to the radio
+	// account) and reports the outcome.
+	RemoteAvailable() bool
 }
 
 // NewPolicy returns the paper's policy for a strategy: fixed-mode for
@@ -172,8 +178,13 @@ func (p *AdaptivePolicy) Decide(ctx *InvokeContext) Decision {
 
 	prof := ctx.Prof
 	best, bestE := ModeInterp, k*prof.EnergyOf[ModeInterp].Eval(st.sBar)
-	if eR := k * float64(ctx.Env.RemoteEnergy(prof, st.sBar, st.pBar)); eR < bestE {
-		best, bestE = ModeRemote, eR
+	// A Down link takes the remote option off the table entirely (the
+	// circuit breaker's graceful degradation); the half-open probe
+	// inside RemoteAvailable is what re-admits it.
+	if ctx.Env.RemoteAvailable() {
+		if eR := k * float64(ctx.Env.RemoteEnergy(prof, st.sBar, st.pBar)); eR < bestE {
+			best, bestE = ModeRemote, eR
+		}
 	}
 	for mode := ModeL1; mode <= ModeL3; mode++ {
 		e := k * prof.EnergyOf[mode].Eval(st.sBar)
@@ -195,6 +206,9 @@ func (p *AdaptivePolicy) BestLocalMode(ctx *InvokeContext) Mode {
 // (paper §3.3); unprofiled bodies compile locally.
 func (p *AdaptivePolicy) Download(env PolicyEnv, mm *bytecode.Method, lv jit.Level) bool {
 	if !p.AdaptiveCompile {
+		return false
+	}
+	if !env.RemoteAvailable() {
 		return false
 	}
 	local, ok := env.BodyCompileCost(mm, lv)

@@ -306,3 +306,129 @@ func RenderCodeCacheSweep(w io.Writer, app string, pts []CachePoint) {
 		fmt.Fprintf(w, "%12s %10.3f %10d\n", label, p.AL, p.Evictions)
 	}
 }
+
+// ResiliencePoint is one (outage rate × mean burst) cell of the
+// resilience sweep: per-strategy energy normalized to the same cell's
+// L2 (local compiled execution never touches the radio, so it is
+// outage-invariant), plus the degradation counters that explain the
+// shape.
+type ResiliencePoint struct {
+	OutageRate float64
+	MeanBurst  float64
+	R, AL, AA  float64
+	// RFallbacks counts static R's forced local fallbacks — its losses
+	// are pure waste (a transmit plus a timeout listen each).
+	RFallbacks int
+	// AA's graceful-degradation machinery at work.
+	AARetries   int
+	AAProbes    int
+	AALinkDowns int
+	AALosses    int
+}
+
+// The sweep grid: a fault-free baseline plus outage rate × mean burst
+// length cells of the Gilbert–Elliott process.
+var (
+	outageRates  = []float64{0.05, 0.2, 0.4}
+	outageBursts = []float64{1, 5, 20}
+)
+
+// resilienceCells enumerates the grid as (rate, burst) pairs.
+func resilienceCells() [][2]float64 {
+	cells := [][2]float64{{0, 1}} // fault-free baseline
+	for _, rate := range outageRates {
+		for _, b := range outageBursts {
+			cells = append(cells, [2]float64{rate, b})
+		}
+	}
+	return cells
+}
+
+// RunResilienceSweep measures how the strategies degrade under burst
+// outages: static R keeps paying for losses while the adaptive
+// strategies (retries, circuit breaker, remote taken off the table
+// while Down) degrade toward the best local mode.
+func RunResilienceSweep(env *Env, runs int, seed uint64) ([]ResiliencePoint, error) {
+	return RunResilienceSweepOn(nil, env, runs, seed)
+}
+
+// RunResilienceSweepOn runs the sweep's (cell × strategy) grid sharded
+// across the runner. Every cell builds its own client with its own
+// seeded fault process, so parallel and serial runs are identical.
+func RunResilienceSweepOn(r *Runner, env *Env, runs int, seed uint64) ([]ResiliencePoint, error) {
+	cells := resilienceCells()
+	strats := []core.Strategy{core.StrategyL2, core.StrategyR, core.StrategyAL, core.StrategyAA}
+	type cellRun struct {
+		energy    float64
+		fallbacks int
+		retries   int
+		probes    int
+		linkDowns int
+		losses    int
+	}
+	raw := make([]cellRun, len(cells)*len(strats))
+	err := r.Do(len(raw), func(j int) error {
+		strat := strats[j%len(strats)]
+		cell := cells[j/len(strats)]
+		ch := radio.UniformChannel(rng.New(seed))
+		client, err := env.newClient(strat, ch, seed)
+		if err != nil {
+			return err
+		}
+		if cell[0] > 0 {
+			client.Link.Fault = radio.NewGilbertElliott(cell[0], cell[1])
+		}
+		e, err := driveScenario(env, client, runs, seed)
+		if err != nil {
+			return err
+		}
+		raw[j] = cellRun{
+			energy:    e,
+			fallbacks: client.Stats.Fallbacks,
+			retries:   client.Stats.Retries,
+			probes:    client.Stats.Probes,
+			linkDowns: client.Stats.LinkDowns,
+			losses:    client.Link.Telemetry().Losses,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ResiliencePoint
+	for i, cell := range cells {
+		l2 := raw[i*len(strats)].energy
+		rr := raw[i*len(strats)+1]
+		al := raw[i*len(strats)+2]
+		aa := raw[i*len(strats)+3]
+		out = append(out, ResiliencePoint{
+			OutageRate:  cell[0],
+			MeanBurst:   cell[1],
+			R:           rr.energy / l2,
+			AL:          al.energy / l2,
+			AA:          aa.energy / l2,
+			RFallbacks:  rr.fallbacks,
+			AARetries:   aa.retries,
+			AAProbes:    aa.probes,
+			AALinkDowns: aa.linkDowns,
+			AALosses:    aa.losses,
+		})
+	}
+	return out, nil
+}
+
+// RenderResilienceSweep prints the sweep.
+func RenderResilienceSweep(w io.Writer, app string, pts []ResiliencePoint) {
+	fmt.Fprintf(w, "Extension: strategy energy under burst outages (%s), normalized to L2\n", app)
+	fmt.Fprintln(w, "(Gilbert-Elliott loss process; R falls back per loss, AA retries, probes")
+	fmt.Fprintln(w, "and takes remote off the table while the link breaker is open)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%7s %6s | %7s %7s %7s | %7s %7s %7s %6s %7s\n",
+		"outage", "burst", "R/L2", "AL/L2", "AA/L2",
+		"R falls", "AA rtry", "AA prob", "AA dwn", "AA loss")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%7.2f %6.0f | %7.3f %7.3f %7.3f | %7d %7d %7d %6d %7d\n",
+			p.OutageRate, p.MeanBurst, p.R, p.AL, p.AA,
+			p.RFallbacks, p.AARetries, p.AAProbes, p.AALinkDowns, p.AALosses)
+	}
+}

@@ -9,7 +9,8 @@ import (
 
 // ErrConnectionLost reports that the link dropped during an exchange;
 // the paper's framework falls back to local execution when the result
-// does not arrive within a timeout.
+// does not arrive within a timeout. Transport implementations wrap
+// this error, so callers must test with errors.Is.
 var ErrConnectionLost = errors.New("radio: connection to server lost")
 
 // Link couples a chip set with a channel process and charges client
@@ -21,8 +22,13 @@ type Link struct {
 	// Tracker provides the client's channel estimate used to choose
 	// the transmit power setting.
 	Tracker *PilotTracker
-	// LossProb is the per-exchange probability of losing connectivity.
+	// LossProb is the per-exchange probability of losing connectivity
+	// (the legacy i.i.d. coin, used when Fault is nil).
 	LossProb float64
+	// Fault, when set, replaces the LossProb coin with a pluggable
+	// failure process (burst outages, mid-exchange drops, stalled
+	// servers); see FaultModel.
+	Fault FaultModel
 
 	acct *energy.Account
 	r    *rng.RNG
@@ -33,6 +39,35 @@ type Link struct {
 	Exchanges     int
 	Losses        int
 	Retransmits   int
+	// Stalls counts losses detected only after a receiver-up wait (a
+	// slow or crashed server); StallTime is the total time so spent.
+	Stalls    int
+	StallTime energy.Seconds
+}
+
+// Telemetry is a snapshot of a link's counters, for surfacing through
+// stats sinks without handing out the live Link.
+type Telemetry struct {
+	BytesSent     int
+	BytesReceived int
+	Exchanges     int
+	Losses        int
+	Retransmits   int
+	Stalls        int
+	StallTime     energy.Seconds
+}
+
+// Telemetry snapshots the link's counters.
+func (l *Link) Telemetry() Telemetry {
+	return Telemetry{
+		BytesSent:     l.BytesSent,
+		BytesReceived: l.BytesReceived,
+		Exchanges:     l.Exchanges,
+		Losses:        l.Losses,
+		Retransmits:   l.Retransmits,
+		Stalls:        l.Stalls,
+		StallTime:     l.StallTime,
+	}
 }
 
 // NewLink builds a link charging the given account.
@@ -58,9 +93,13 @@ func (l *Link) EstimateClass() Class { return l.Tracker.Estimate() }
 // (a too-weak power setting for the true condition), the transmission
 // fails and is repeated at the true setting: estimation errors cost
 // energy, never save it.
+//
+// On ErrConnectionLost the returned time is the receiver-up stall the
+// client spent before detecting the loss (already charged to the
+// account); callers must still advance their clock by it.
 func (l *Link) Send(payloadBytes int) (energy.Seconds, error) {
-	if l.lost() {
-		return 0, ErrConnectionLost
+	if stall, lost := l.lost(DirSend); lost {
+		return stall, ErrConnectionLost
 	}
 	cls := l.Tracker.Estimate()
 	actual := l.Ch.Current()
@@ -80,9 +119,13 @@ func (l *Link) Send(payloadBytes int) (energy.Seconds, error) {
 // Recv receives payloadBytes from the server, charging receive energy
 // and returning the air time. Reception timing follows the true
 // channel condition (the base station transmits at the right setting).
+//
+// On ErrConnectionLost the returned time is the receiver-up stall the
+// client spent before detecting the loss (already charged to the
+// account); callers must still advance their clock by it.
 func (l *Link) Recv(payloadBytes int) (energy.Seconds, error) {
-	if l.lost() {
-		return 0, ErrConnectionLost
+	if stall, lost := l.lost(DirRecv); lost {
+		return stall, ErrConnectionLost
 	}
 	cls := l.Ch.Current()
 	l.acct.AddRadio(false, l.Chip.RxEnergy(payloadBytes, cls))
@@ -101,11 +144,27 @@ func (l *Link) StepChannel() {
 	l.Ch.Step()
 }
 
-func (l *Link) lost() bool {
+// lost rules on one transfer via the fault model (or the legacy
+// LossProb coin). A lost transfer with a stall charges the listen
+// energy here; the stall time is returned for the caller's clock.
+func (l *Link) lost(dir Direction) (energy.Seconds, bool) {
 	l.Exchanges++
+	if l.Fault != nil {
+		v := l.Fault.Judge(dir, l.r)
+		if !v.Lost {
+			return 0, false
+		}
+		l.Losses++
+		if v.Stall > 0 {
+			l.Stalls++
+			l.StallTime += v.Stall
+			l.Listen(v.Stall)
+		}
+		return v.Stall, true
+	}
 	if l.LossProb > 0 && l.r != nil && l.r.Float64() < l.LossProb {
 		l.Losses++
-		return true
+		return 0, true
 	}
-	return false
+	return 0, false
 }
