@@ -6,11 +6,19 @@
 // a Gilbert–Elliott burst-outage process and prints each client's
 // link telemetry (exchanges, losses, stalls, bytes) plus the
 // retry/breaker counters.
+//
+// The observability flags drive an observed AL/AA scenario (situation
+// iii, -runs executions per cell) with the internal/obs sinks
+// attached: -audit prints per-method estimator prediction error and
+// regret, -metrics writes per-cell Prometheus text, -trace-out writes
+// a Chrome trace-event JSON timeline (open in chrome://tracing or
+// Perfetto). Without -app they default to the fe and pf benchmarks.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,11 +38,18 @@ func main() {
 	outage := flag.Float64("outage", 0, "with -app: drive a faulty scenario at this outage rate and print link telemetry")
 	burst := flag.Float64("burst", 5, "mean outage burst length in transfers (with -outage)")
 	runs := flag.Int("runs", 30, "application executions per telemetry scenario (with -outage)")
+	audit := flag.Bool("audit", false, "print per-method estimator prediction error and regret for AL and AA")
+	metricsOut := flag.String("metrics", "", "write per-cell Prometheus metrics of the observed scenario to FILE (\"-\" = stdout)")
+	traceOut := flag.String("trace-out", "", "write the observed scenario's Chrome trace-event JSON to FILE")
 	flag.Parse()
 
+	observing := *audit || *metricsOut != "" || *traceOut != ""
 	if *app == "" {
-		renderPlatform(os.Stdout)
-		return
+		if !observing {
+			renderPlatform(os.Stdout)
+			return
+		}
+		*app = "fe,pf"
 	}
 
 	list, err := selectApps(*app)
@@ -60,6 +75,65 @@ func main() {
 			}
 		}
 	}
+	if observing {
+		if err := runObserved(envs, *runs, *seed, *workers, *audit, *metricsOut, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "energyprof:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runObserved drives the AL and AA strategies over every selected app
+// in the uniform situation with the observability sinks attached, and
+// renders the requested artifacts.
+func runObserved(envs []*experiments.Env, runs int, seed uint64, workers int,
+	audit bool, metricsOut, traceOut string) error {
+
+	cells, err := experiments.RunObservedOn(experiments.NewRunner(workers), envs,
+		[]core.Strategy{core.StrategyAL, core.StrategyAA},
+		experiments.SitUniform, runs, seed)
+	if err != nil {
+		return err
+	}
+	if audit {
+		fmt.Printf("\nestimator audit: AL and AA, situation %v, %d executions per cell\n\n",
+			experiments.SitUniform, runs)
+		experiments.RenderAudits(os.Stdout, cells)
+	}
+	if metricsOut != "" {
+		if err := writeArtifact(metricsOut, func(w io.Writer) error {
+			return experiments.WriteMetricsDump(w, cells)
+		}); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		if err := writeArtifact(traceOut, func(w io.Writer) error {
+			return experiments.WriteTrace(w, cells)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace for %d cells to %s (open in chrome://tracing or Perfetto)\n",
+			len(cells), traceOut)
+	}
+	return nil
+}
+
+// writeArtifact writes through fn to the named file, or to stdout for
+// "-".
+func writeArtifact(name string, fn func(io.Writer) error) error {
+	if name == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // renderTelemetry drives one short scenario per strategy over a lossy

@@ -15,11 +15,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"greenvm/internal/apps"
+	"greenvm/internal/core"
 	"greenvm/internal/experiments"
 )
+
+// obsFlags bundles the observability outputs: run the AL/AA grid over
+// all apps with the internal/obs sinks attached and render the
+// requested artifacts.
+type obsFlags struct {
+	Audit      bool
+	MetricsOut string
+	TraceOut   string
+}
+
+func (o obsFlags) active() bool { return o.Audit || o.MetricsOut != "" || o.TraceOut != "" }
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (1, 2, 3, 5, 6, 7, 8); 0 = all")
@@ -29,22 +42,26 @@ func main() {
 	detail := flag.Bool("detail", false, "print per-app Fig 7 tables")
 	seed := flag.Uint64("seed", 2003, "experiment seed")
 	workers := flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS)")
+	var obs obsFlags
+	flag.BoolVar(&obs.Audit, "audit", false, "print per-method estimator prediction error and regret for AL and AA")
+	flag.StringVar(&obs.MetricsOut, "metrics", "", "write per-cell Prometheus metrics of the observed AL/AA grid to FILE (\"-\" = stdout)")
+	flag.StringVar(&obs.TraceOut, "trace-out", "", "write the observed AL/AA grid's Chrome trace-event JSON to FILE")
 	flag.Parse()
 
-	if err := run(*fig, *claims, *ext, *runs, *detail, *seed, *workers); err != nil {
+	if err := run(*fig, *claims, *ext, *runs, *detail, *seed, *workers, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64, workers int) error {
+func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64, workers int, obs obsFlags) error {
 	w := os.Stdout
 	switch fig {
 	case 0, 1, 2, 3, 5, 6, 7, 8:
 	default:
 		return fmt.Errorf("no figure %d (valid: 1, 2, 3, 5, 6, 7, 8)", fig)
 	}
-	all := fig == 0 && !claimsOnly && !ext
+	all := fig == 0 && !claimsOnly && !ext && !obs.active()
 	runner := experiments.NewRunner(workers)
 
 	if all || fig == 1 {
@@ -64,7 +81,7 @@ func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64, work
 		fmt.Fprintln(w)
 	}
 
-	needEnvs := all || claimsOnly || ext || fig == 6 || fig == 7 || fig == 8
+	needEnvs := all || claimsOnly || ext || obs.active() || fig == 6 || fig == 7 || fig == 8
 	if !needEnvs {
 		return nil
 	}
@@ -172,5 +189,51 @@ func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64, work
 			fmt.Fprintln(w)
 		}
 	}
+
+	if obs.active() {
+		cells, err := experiments.RunObservedOn(runner, envs,
+			[]core.Strategy{core.StrategyAL, core.StrategyAA},
+			experiments.SitUniform, runs, seed)
+		if err != nil {
+			return err
+		}
+		if obs.Audit {
+			fmt.Fprintf(w, "estimator audit: AL and AA, situation %v, %d executions per cell\n\n",
+				experiments.SitUniform, runs)
+			experiments.RenderAudits(w, cells)
+		}
+		if obs.MetricsOut != "" {
+			if err := writeArtifact(obs.MetricsOut, func(out io.Writer) error {
+				return experiments.WriteMetricsDump(out, cells)
+			}); err != nil {
+				return err
+			}
+		}
+		if obs.TraceOut != "" {
+			if err := writeArtifact(obs.TraceOut, func(out io.Writer) error {
+				return experiments.WriteTrace(out, cells)
+			}); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote trace for %d cells to %s\n", len(cells), obs.TraceOut)
+		}
+	}
 	return nil
+}
+
+// writeArtifact writes through fn to the named file, or to stdout for
+// "-".
+func writeArtifact(name string, fn func(io.Writer) error) error {
+	if name == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -6,7 +6,7 @@ import "testing"
 // heavier figures are covered by internal/experiments tests.
 func TestStaticTables(t *testing.T) {
 	for _, fig := range []int{1, 2, 3, 5} {
-		if err := run(fig, false, false, 10, false, 1, 1); err != nil {
+		if err := run(fig, false, false, 10, false, 1, 1, obsFlags{}); err != nil {
 			t.Errorf("fig %d: %v", fig, err)
 		}
 	}

@@ -7,6 +7,11 @@
 //
 //	mjserver -listen :7033 app.{mj,mjc}
 //	mjserver -listen :7033 -app mf          # serve a built-in benchmark
+//	mjserver -listen :7033 -app mf -metrics :9033
+//
+// With -metrics the server additionally exposes its RPC metrics
+// (requests, bytes, connections, recovered panics) over HTTP:
+// Prometheus text at /metrics and a JSON snapshot at /metrics.json.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,19 +29,21 @@ import (
 	"greenvm/internal/bytecode"
 	"greenvm/internal/core"
 	"greenvm/internal/lang"
+	"greenvm/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7033", "address to listen on")
 	app := flag.String("app", "", "serve a built-in benchmark instead of a file")
+	metrics := flag.String("metrics", "", "serve RPC metrics over HTTP on this address (/metrics, /metrics.json)")
 	flag.Parse()
-	if err := run(*listen, *app, flag.Args()); err != nil {
+	if err := run(*listen, *app, *metrics, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mjserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, app string, args []string) error {
+func run(listen, app, metrics string, args []string) error {
 	var prog *bytecode.Program
 	var err error
 	switch {
@@ -81,6 +89,16 @@ func run(listen, app string, args []string) error {
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, close live
 	// connections and drain in-flight handlers before exiting.
 	srv := core.NewTCPServer(core.NewServer(prog))
+	if metrics != "" {
+		collector := obs.NewRPCCollector(nil)
+		srv.Metrics = collector
+		ml, err := net.Listen("tcp", metrics)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mjserver: metrics on http://%s/metrics\n", ml.Addr())
+		go http.Serve(ml, obs.Handler(collector.Registry())) //nolint:errcheck
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -206,22 +206,37 @@ func (c *Client) execute(m *bytecode.Method, t *Target, size float64, args []vm.
 
 	c.syncClock()
 	if fellBack {
-		c.Events.Emit(Event{Kind: EvFallback, Method: m, Mode: mode})
+		c.Events.Emit(Event{Kind: EvFallback, Method: m, Mode: mode, At: c.Clock, Radio: c.Link.Telemetry()})
 	}
 	c.Events.Emit(Event{
 		Kind: EvInvoke, Method: m, Mode: mode, Size: size,
 		Energy:   c.VM.Acct.Total() - eBefore,
 		Time:     c.Clock - tBefore,
+		At:       tBefore,
 		FellBack: fellBack,
 		Radio:    c.Link.Telemetry(),
 	})
 	return res, nil
 }
 
-// decideMode routes one decision through the policy.
+// decideMode routes one decision through the policy, emitting the
+// policy's predicted per-mode costs (when it produced any) as one
+// EvEstimate so every adaptive decision is auditable against the
+// EvInvoke that follows it.
 func (c *Client) decideMode(m *bytecode.Method, size float64) Mode {
-	return c.Policy.Decide(&InvokeContext{Method: m, Prof: c.profiles[m], Size: size, Env: c}).Mode
+	d := c.Policy.Decide(&InvokeContext{Method: m, Prof: c.profiles[m], Size: size, Env: c})
+	if d.Est != nil {
+		c.Events.Emit(Event{Kind: EvEstimate, Method: m, Mode: d.Mode, Size: size, At: c.Clock, Est: d.Est})
+	}
+	return d.Mode
 }
+
+// SyncStats folds the link's current telemetry into Stats. The event
+// stream keeps Stats.Radio fresh as long as events flow, but a
+// trailing failed exchange (retries exhausted and the invocation
+// itself erroring, so no EvInvoke follows) leaves losses unreported —
+// drivers call SyncStats when a run ends.
+func (c *Client) SyncStats() { c.Stats.Radio = c.Link.Telemetry() }
 
 // StepChannel advances the channel process (between invocations).
 func (c *Client) StepChannel() { c.Link.StepChannel() }
@@ -269,7 +284,7 @@ func (c *Client) probeLink() bool {
 		tRx, err = c.Link.Recv(n)
 		c.Clock += tRx
 	}
-	c.Events.Emit(Event{Kind: EvProbe, FellBack: err != nil})
+	c.Events.Emit(Event{Kind: EvProbe, At: c.Clock, FellBack: err != nil, Radio: c.Link.Telemetry()})
 	if err != nil {
 		c.noteRemoteFailure()
 		return false
@@ -285,7 +300,7 @@ func (c *Client) noteRemoteFailure() {
 		return
 	}
 	if c.Breaker.RecordFailure(c.Clock) {
-		c.Events.Emit(Event{Kind: EvLinkDown})
+		c.Events.Emit(Event{Kind: EvLinkDown, At: c.Clock, Radio: c.Link.Telemetry()})
 	}
 }
 
@@ -296,7 +311,7 @@ func (c *Client) noteRemoteSuccess() {
 		return
 	}
 	if c.Breaker.RecordSuccess() {
-		c.Events.Emit(Event{Kind: EvLinkUp})
+		c.Events.Emit(Event{Kind: EvLinkUp, At: c.Clock, Radio: c.Link.Telemetry()})
 	}
 }
 

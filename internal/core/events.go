@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"greenvm/internal/bytecode"
 	"greenvm/internal/energy"
 	"greenvm/internal/jit"
@@ -48,7 +50,102 @@ const (
 	// EvLinkUp is the circuit breaker closing after a successful
 	// half-open probe.
 	EvLinkUp
+	// EvEstimate is one adaptive decision: the policy's per-mode
+	// predicted energies at decision time, carried in Est. Emitted
+	// immediately before the EvInvoke it predicts, so estimate and
+	// outcome pair 1:1 per method.
+	EvEstimate
+	// EvPhase is one span of the simulated-clock execution timeline
+	// (interpret, native run, ship, listen, download, compile): At is
+	// the span's start, Time its duration.
+	EvPhase
 )
+
+// Phase identifies one span kind of the execution timeline.
+type Phase int
+
+// The timeline phases.
+const (
+	// PhaseInterp is a local interpreted execution of the potential
+	// method (its callees run interpreted too).
+	PhaseInterp Phase = iota
+	// PhaseNative is a local execution with the plan compiled at a
+	// level (Event.Level carries it).
+	PhaseNative
+	// PhaseShip is one offload exchange: serialize, transmit, sleep
+	// while the server computes, receive, deserialize. FellBack marks
+	// an exchange that was lost mid-flight.
+	PhaseShip
+	// PhaseListen is a receiver-up wait: the §3.2 timeout listen after
+	// a loss, or a retry's backoff window.
+	PhaseListen
+	// PhaseDownload is one pre-compiled body download (request,
+	// receive, link).
+	PhaseDownload
+	// PhaseCompile is one local JIT compilation of a plan method.
+	PhaseCompile
+
+	// NumPhases counts the phases.
+	NumPhases = int(PhaseCompile) + 1
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInterp:
+		return "interp"
+	case PhaseNative:
+		return "native"
+	case PhaseShip:
+		return "ship"
+	case PhaseListen:
+		return "listen"
+	case PhaseDownload:
+		return "download"
+	case PhaseCompile:
+		return "compile"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Estimate is a policy's per-mode pricing for one adaptive decision,
+// recorded so sinks can audit the estimators against measured
+// outcomes. Costs are per-invocation: the amortized comparison value
+// the policy ranked, divided by its amortization count, so they are
+// directly comparable with the EvInvoke energy that follows.
+type Estimate struct {
+	// K is the policy's per-method invocation count (amortization
+	// denominator) at this decision.
+	K int
+	// PredSize and PredPower are the EWMA predictions the costs were
+	// evaluated at.
+	PredSize  float64
+	PredPower float64
+	// Cost[mode] is the predicted per-invocation energy (J) of each
+	// mode; valid only where Considered[mode] is true (remote drops
+	// out while the breaker holds the link down).
+	Cost [NumModes]float64
+	// Considered marks the modes the policy actually priced.
+	Considered [NumModes]bool
+	// Chosen is the decided mode (the argmin over considered costs).
+	Chosen Mode
+}
+
+// BestCost returns the cheapest considered per-invocation estimate —
+// the baseline the auditor's regret is measured against.
+func (e *Estimate) BestCost() float64 {
+	best, ok := 0.0, false
+	for m := 0; m < NumModes; m++ {
+		if !e.Considered[m] {
+			continue
+		}
+		if !ok || e.Cost[m] < best {
+			best, ok = e.Cost[m], true
+		}
+	}
+	return best
+}
 
 // Event is one occurrence in a client's execution stream. Method is
 // set for method-scoped events (link-state events may carry none);
@@ -58,16 +155,27 @@ type Event struct {
 	Kind   EventKind
 	Method *bytecode.Method
 	Mode   Mode           // EvInvoke: the decided mode
-	Level  jit.Level      // compiles and evictions: the body's level
+	Level  jit.Level      // compiles, evictions, native/compile phases: the body's level
 	Size   float64        // EvInvoke: the invocation's size parameter
 	Energy energy.Joules  // EvInvoke: energy delta of the invocation
-	Time   energy.Seconds // EvInvoke: wall-time delta of the invocation
+	Time   energy.Seconds // EvInvoke and EvPhase: wall-time delta (span duration)
+	// At is the simulated-clock timestamp of the event; for span
+	// events (EvInvoke, EvPhase) it is the span's start, so the span
+	// covers [At, At+Time]. Events emitted by clock-less components
+	// (code-cache evictions) carry zero.
+	At energy.Seconds
+	// Phase identifies the span kind of an EvPhase.
+	Phase Phase
+	// Est carries the per-mode predicted costs of an EvEstimate.
+	Est *Estimate
 	// FellBack marks an EvInvoke whose remote execution was lost and
-	// re-ran locally (and an EvProbe that failed).
+	// re-ran locally (also an EvProbe that failed, and a PhaseShip
+	// span that was lost mid-flight).
 	FellBack bool
 	// Radio is a snapshot of the link's counters, carried by EvInvoke
-	// so sinks can observe outage behaviour without reaching into the
-	// client.
+	// and the link-touching events (retries, probes, breaker
+	// transitions, fallbacks) so sinks can observe outage behaviour
+	// without reaching into the client.
 	Radio radio.Telemetry
 }
 
@@ -117,16 +225,24 @@ type Stats struct {
 	LinkDowns int
 	LinkUps   int
 	// Radio is the link-telemetry snapshot carried by the most recent
-	// EvInvoke (losses, retransmits, stalls, exchanged bytes).
+	// radio-touching event (losses, retransmits, stalls, exchanged
+	// bytes). A trailing failed exchange can still leave it behind the
+	// link when the invocation itself errors out — drivers call
+	// Client.SyncStats at end of run to fold in the final counters.
 	Radio radio.Telemetry
 }
 
 // Emit implements EventSink.
 func (s *Stats) Emit(e Event) {
+	// Link counters are monotonic and events arrive in simulation
+	// order, so any event carrying a non-empty snapshot is at least as
+	// fresh as the one held.
+	if e.Radio.Exchanges > 0 {
+		s.Radio = e.Radio
+	}
 	switch e.Kind {
 	case EvInvoke:
 		s.ModeCounts[e.Mode]++
-		s.Radio = e.Radio
 	case EvRetry:
 		s.Retries++
 	case EvProbe:

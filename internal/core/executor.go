@@ -92,11 +92,15 @@ func (x *Executor) Run(mode Mode, m *bytecode.Method, t *Target, size float64, a
 			return vm.Slot{}, false, err
 		}
 	}
+	c.syncClock()
+	start := c.Clock
 	key := memoKey{method: m.QName(), mode: mode, inputKey: c.MemoInputKey}
 	if c.Memo != nil {
 		if d, ok := c.Memo.local[key]; ok {
 			c.VM.Acct.Apply(d)
-			c.Events.Emit(Event{Kind: EvMemoHit, Method: m, Mode: mode})
+			c.Events.Emit(Event{Kind: EvMemoHit, Method: m, Mode: mode, At: c.Clock})
+			c.syncClock()
+			x.emitLocalPhase(m, mode, start)
 			return vm.Slot{}, false, nil
 		}
 	}
@@ -107,7 +111,23 @@ func (x *Executor) Run(mode Mode, m *bytecode.Method, t *Target, size float64, a
 	if c.Memo != nil && err == nil {
 		c.Memo.local[key] = c.VM.Acct.DeltaSince(snap)
 	}
+	if err == nil {
+		c.syncClock()
+		x.emitLocalPhase(m, mode, start)
+	}
 	return res, false, err
+}
+
+// emitLocalPhase emits the interpret/native timeline span of one
+// local execution, [start, Clock].
+func (x *Executor) emitLocalPhase(m *bytecode.Method, mode Mode, start energy.Seconds) {
+	c := x.c
+	ph, lv := PhaseInterp, jit.Level(0)
+	if mode.IsCompiled() {
+		ph, lv = PhaseNative, mode.Level()
+	}
+	c.Events.Emit(Event{Kind: EvPhase, Phase: ph, Method: m, Mode: mode, Level: lv,
+		At: start, Time: c.Clock - start})
 }
 
 func levelOf(mode Mode) jit.Level {
@@ -144,8 +164,7 @@ func (x *Executor) remoteWithRetries(m *bytecode.Method, t *Target, size float64
 		}
 		// Paper §3.2: when the result is not obtained within the time
 		// threshold, connectivity is considered lost.
-		c.Link.Listen(c.Timeout)
-		c.Clock += c.Timeout
+		x.listen(m, c.Timeout)
 		c.noteRemoteFailure()
 		if attempt >= c.MaxRetries || !c.retryWorthwhile(m, size) || !c.RemoteAvailable() {
 			return vm.Slot{}, err
@@ -153,23 +172,39 @@ func (x *Executor) remoteWithRetries(m *bytecode.Method, t *Target, size float64
 		// Back off before re-attempting, receiver up (the client keeps
 		// listening for the base station), then retry with real
 		// transmit energy.
-		c.Link.Listen(backoff)
-		c.Clock += backoff
+		x.listen(m, backoff)
 		backoff *= 2
-		c.Events.Emit(Event{Kind: EvRetry, Method: m})
+		c.Events.Emit(Event{Kind: EvRetry, Method: m, At: c.Clock, Radio: c.Link.Telemetry()})
 	}
+}
+
+// listen charges one receiver-up window and emits its timeline span.
+func (x *Executor) listen(m *bytecode.Method, d energy.Seconds) {
+	c := x.c
+	start := c.Clock
+	c.Link.Listen(d)
+	c.Clock += d
+	c.Events.Emit(Event{Kind: EvPhase, Phase: PhaseListen, Method: m, At: start, Time: d})
 }
 
 // remoteExecute offloads one invocation (Fig 4): serialize arguments,
 // transmit, power down for the estimated server time, wake, receive
-// and deserialize the result.
-func (x *Executor) remoteExecute(m *bytecode.Method, t *Target, size float64, args []vm.Slot) (vm.Slot, error) {
+// and deserialize the result. The whole exchange is one PhaseShip
+// timeline span; a lost exchange emits it with FellBack set.
+func (x *Executor) remoteExecute(m *bytecode.Method, t *Target, size float64, args []vm.Slot) (res vm.Slot, err error) {
 	c := x.c
+	c.syncClock()
+	shipStart := c.Clock
+	defer func() {
+		c.syncClock()
+		c.Events.Emit(Event{Kind: EvPhase, Phase: PhaseShip, Method: m, Mode: ModeRemote,
+			At: shipStart, Time: c.Clock - shipStart, FellBack: err != nil})
+	}()
 	prof := c.profiles[m]
 	key := memoKey{method: m.QName(), mode: ModeRemote, inputKey: c.MemoInputKey}
 	if c.Memo != nil {
 		if ent, ok := c.Memo.remote[key]; ok {
-			c.Events.Emit(Event{Kind: EvMemoHit, Method: m, Mode: ModeRemote})
+			c.Events.Emit(Event{Kind: EvMemoHit, Method: m, Mode: ModeRemote, At: c.Clock})
 			return x.replayRemote(prof, size, ent)
 		}
 	}
@@ -224,7 +259,7 @@ func (x *Executor) remoteExecute(m *bytecode.Method, t *Target, size float64, ar
 
 	c.VM.ChargeSerialization(len(resBytes))
 	deserSnap := c.VM.Acct.Snapshot()
-	res, err := c.VM.Heap.DecodeValue(m.Ret.Kind, resBytes)
+	res, err = c.VM.Heap.DecodeValue(m.Ret.Kind, resBytes)
 	if err != nil {
 		return vm.Slot{}, err
 	}
@@ -297,7 +332,7 @@ func (x *Executor) ensurePlanCompiled(m *bytecode.Method, lv jit.Level) error {
 			}
 			// Connection lost: fall through to local compilation.
 			c.noteRemoteFailure()
-			c.Events.Emit(Event{Kind: EvFallback, Method: mm, Level: lv})
+			c.Events.Emit(Event{Kind: EvFallback, Method: mm, Level: lv, At: c.Clock, Radio: c.Link.Telemetry()})
 		}
 		if err := x.compileLocally(mm, lv); err != nil {
 			return err
@@ -311,8 +346,15 @@ func (x *Executor) ensurePlanCompiled(m *bytecode.Method, lv jit.Level) error {
 // already fetched in a previous execution is re-downloaded (the fresh
 // classloader has no native code), but the simulator reuses the
 // artifact.
-func (x *Executor) downloadBody(mm *bytecode.Method, lv jit.Level) error {
+func (x *Executor) downloadBody(mm *bytecode.Method, lv jit.Level) (err error) {
 	c := x.c
+	c.syncClock()
+	dlStart := c.Clock
+	defer func() {
+		c.syncClock()
+		c.Events.Emit(Event{Kind: EvPhase, Phase: PhaseDownload, Method: mm, Level: lv,
+			At: dlStart, Time: c.Clock - dlStart, FellBack: err != nil})
+	}()
 	tTx, err := c.Link.Send(64)
 	c.Clock += tTx
 	if err != nil {
@@ -338,8 +380,8 @@ func (x *Executor) downloadBody(mm *bytecode.Method, lv jit.Level) error {
 	// Linking the downloaded code into the VM.
 	c.VM.ChargeSerialization(size)
 	x.Cache.Link(mm, lv)
-	c.Events.Emit(Event{Kind: EvRemoteCompile, Method: mm, Level: lv})
 	c.syncClock()
+	c.Events.Emit(Event{Kind: EvRemoteCompile, Method: mm, Level: lv, At: c.Clock})
 	return nil
 }
 
@@ -349,6 +391,8 @@ func (x *Executor) downloadBody(mm *bytecode.Method, lv jit.Level) error {
 // JIT.
 func (x *Executor) compileLocally(mm *bytecode.Method, lv jit.Level) error {
 	c := x.c
+	c.syncClock()
+	start := c.Clock
 	if !x.compilerLoaded {
 		jit.ChargeCompilerLoad(c.VM.Acct)
 		x.compilerLoaded = true
@@ -367,6 +411,9 @@ func (x *Executor) compileLocally(mm *bytecode.Method, lv jit.Level) error {
 		x.Cache.RecordDelta(mm, lv, c.VM.Acct.DeltaSince(snap))
 	}
 	x.Cache.Link(mm, lv)
-	c.Events.Emit(Event{Kind: EvLocalCompile, Method: mm, Level: lv})
+	c.syncClock()
+	c.Events.Emit(Event{Kind: EvPhase, Phase: PhaseCompile, Method: mm, Level: lv,
+		At: start, Time: c.Clock - start})
+	c.Events.Emit(Event{Kind: EvLocalCompile, Method: mm, Level: lv, At: c.Clock})
 	return nil
 }

@@ -31,6 +31,63 @@ import (
 // ErrProtocol reports a malformed or unexpected frame.
 var ErrProtocol = errors.New("core: protocol error")
 
+// RPCMetrics observes the TCP transport. Both ends accept one —
+// TCPServer.Metrics counts served requests, RemoteServer.Metrics
+// counts issued ones — so a collector (internal/obs) can export
+// request rates, byte volumes, deadline hits and recovered panics
+// without the transport importing it. Implementations must be safe
+// for concurrent use; a nil metrics field disables collection.
+type RPCMetrics interface {
+	// ConnOpened and ConnClosed bracket each accepted connection.
+	ConnOpened()
+	ConnClosed()
+	// Request records one completed request: its operation ("exec",
+	// "compile", "unknown"), the frame payload sizes, and whether the
+	// response was a failure frame (or, client-side, the trip errored).
+	Request(op string, reqBytes, respBytes int, failed bool)
+	// PanicRecovered counts handler panics converted to failure frames.
+	PanicRecovered()
+	// OversizedFrame counts frames refused for exceeding maxFrame.
+	OversizedFrame()
+	// Reconnect counts client-side re-dials after a broken connection.
+	Reconnect()
+	// DeadlineHit counts client round trips that missed RPCTimeout.
+	DeadlineHit()
+}
+
+// nopRPCMetrics lets the transport call metrics unconditionally.
+type nopRPCMetrics struct{}
+
+func (nopRPCMetrics) ConnOpened()                    {}
+func (nopRPCMetrics) ConnClosed()                    {}
+func (nopRPCMetrics) Request(string, int, int, bool) {}
+func (nopRPCMetrics) PanicRecovered()                {}
+func (nopRPCMetrics) OversizedFrame()                {}
+func (nopRPCMetrics) Reconnect()                     {}
+func (nopRPCMetrics) DeadlineHit()                   {}
+
+func metricsOrNop(m RPCMetrics) RPCMetrics {
+	if m == nil {
+		return nopRPCMetrics{}
+	}
+	return m
+}
+
+// opName names a request frame's operation for metric labels.
+func opName(req []byte) string {
+	if len(req) == 0 {
+		return "unknown"
+	}
+	switch req[0] {
+	case opExec:
+		return "exec"
+	case opCompile:
+		return "compile"
+	default:
+		return "unknown"
+	}
+}
+
 // ErrServerClosed is returned by TCPServer.Serve after Close.
 var ErrServerClosed = errors.New("core: server closed")
 
@@ -184,6 +241,10 @@ func Serve(l net.Listener, s *Server) error {
 type TCPServer struct {
 	s *Server
 
+	// Metrics, when non-nil, observes served connections and requests.
+	// Set it before the first Serve call.
+	Metrics RPCMetrics
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
@@ -234,7 +295,7 @@ func (t *TCPServer) Serve(l net.Listener) error {
 		t.mu.Unlock()
 		go func() {
 			defer t.wg.Done()
-			serveConn(conn, t.s)
+			t.serveConn(conn)
 			t.mu.Lock()
 			delete(t.conns, conn)
 			t.mu.Unlock()
@@ -270,7 +331,10 @@ func (t *TCPServer) Close() error {
 	return nil
 }
 
-func serveConn(conn net.Conn, s *Server) {
+func (t *TCPServer) serveConn(conn net.Conn) {
+	met := metricsOrNop(t.Metrics)
+	met.ConnOpened()
+	defer met.ConnClosed()
 	defer conn.Close()
 	for {
 		var hdr [4]byte
@@ -282,6 +346,7 @@ func serveConn(conn net.Conn, s *Server) {
 			// Drain the oversized payload and answer with a clean
 			// failure frame instead of killing the connection: the
 			// stream stays in sync and the peer learns why.
+			met.OversizedFrame()
 			if _, err := io.CopyN(io.Discard, conn, n); err != nil {
 				return
 			}
@@ -294,7 +359,9 @@ func serveConn(conn net.Conn, s *Server) {
 		if _, err := io.ReadFull(conn, req); err != nil {
 			return
 		}
-		if err := writeFrame(conn, safeHandle(req, s)); err != nil {
+		resp := safeHandle(req, t.s, met)
+		met.Request(opName(req), len(req), len(resp), len(resp) > 0 && resp[0] == statusFail)
+		if err := writeFrame(conn, resp); err != nil {
 			return
 		}
 	}
@@ -302,9 +369,10 @@ func serveConn(conn net.Conn, s *Server) {
 
 // safeHandle converts a handler panic into a failure frame so one
 // poisoned request cannot take the serving goroutine down.
-func safeHandle(req []byte, s *Server) (resp []byte) {
+func safeHandle(req []byte, s *Server, met RPCMetrics) (resp []byte) {
 	defer func() {
 		if r := recover(); r != nil {
+			met.PanicRecovered()
 			resp = failFrame(fmt.Errorf("core: server panic: %v", r))
 		}
 	}()
@@ -384,6 +452,10 @@ type RemoteServer struct {
 	DialRetries int
 	DialBackoff time.Duration
 
+	// Metrics, when non-nil, observes issued requests, reconnects and
+	// missed deadlines.
+	Metrics RPCMetrics
+
 	mu   sync.Mutex
 	conn net.Conn
 }
@@ -445,9 +517,12 @@ func (r *RemoteServer) Close() error {
 func (r *RemoteServer) roundTrip(req []byte) (*wire, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	met := metricsOrNop(r.Metrics)
 	if r.conn == nil {
+		met.Reconnect()
 		conn, err := r.dial()
 		if err != nil {
+			met.Request(opName(req), len(req), 0, true)
 			return nil, err
 		}
 		r.conn = conn
@@ -459,14 +534,17 @@ func (r *RemoteServer) roundTrip(req []byte) (*wire, error) {
 		if errors.Is(err, ErrProtocol) {
 			// Oversized request: nothing hit the wire, the connection
 			// is still good.
+			met.Request(opName(req), len(req), 0, true)
 			return nil, err
 		}
+		met.Request(opName(req), len(req), 0, true)
 		return nil, r.lost("send", err)
 	}
 	resp, err := readFrame(r.conn)
 	if err != nil {
 		// Either the transport broke or the stream is out of sync
 		// (oversized response header); both poison the connection.
+		met.Request(opName(req), len(req), 0, true)
 		return nil, r.lost("receive", err)
 	}
 	if r.RPCTimeout > 0 {
@@ -475,17 +553,23 @@ func (r *RemoteServer) roundTrip(req []byte) (*wire, error) {
 	m := &wire{buf: resp}
 	if m.rdU8() != statusOK {
 		msg := m.rdStr()
+		met.Request(opName(req), len(req), len(resp), true)
 		if m.err != nil {
 			return nil, r.lost("decode", m.err)
 		}
 		return nil, fmt.Errorf("core: remote server: %s", msg)
 	}
+	met.Request(opName(req), len(req), len(resp), false)
 	return m, nil
 }
 
 // lost drops the broken connection (the next call reconnects) and
 // classifies the transport error as a connection loss.
 func (r *RemoteServer) lost(what string, err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		metricsOrNop(r.Metrics).DeadlineHit()
+	}
 	if r.conn != nil {
 		r.conn.Close()
 		r.conn = nil

@@ -52,7 +52,7 @@ func FuzzWireDecode(f *testing.F) {
 		m.rdF64()
 
 		// The handler answers every request with a well-formed frame.
-		resp := safeHandle(data, fuzzServerInstance())
+		resp := safeHandle(data, fuzzServerInstance(), nopRPCMetrics{})
 		if len(resp) == 0 {
 			t.Fatal("empty response frame")
 		}

@@ -363,7 +363,7 @@ func TestMidCallResetReconnects(t *testing.T) {
 			if err != nil {
 				return
 			}
-			go serveConn(c2, s)
+			go NewTCPServer(s).serveConn(c2)
 		}
 	}()
 
@@ -462,7 +462,7 @@ func TestTCPServerGracefulShutdown(t *testing.T) {
 func TestServerPanicBecomesFailureFrame(t *testing.T) {
 	req := &wire{}
 	req.u8(opExec).str("c").str("App").str("work").bytes(nil).f64(0).f64(0)
-	resp := safeHandle(req.buf, nil) // nil server: the dispatch panics
+	resp := safeHandle(req.buf, nil, nopRPCMetrics{}) // nil server: the dispatch panics
 	m := &wire{buf: resp}
 	if m.rdU8() != statusFail {
 		t.Fatal("panic should produce a failure frame")

@@ -26,9 +26,14 @@ type InvokeContext struct {
 	Env PolicyEnv
 }
 
-// Decision is a Policy's verdict for one invocation.
+// Decision is a Policy's verdict for one invocation. Est, when
+// non-nil, carries the per-mode predicted costs the verdict was
+// ranked on; the Client emits it as one EvEstimate so the auditor can
+// compare prediction with outcome (static policies predict nothing
+// and leave it nil).
 type Decision struct {
 	Mode Mode
+	Est  *Estimate
 }
 
 // Policy decides execution mode and compilation site. Implementations
@@ -176,24 +181,37 @@ func (p *AdaptivePolicy) Decide(ctx *InvokeContext) Decision {
 
 	ctx.Env.ChargeDecisionOverhead()
 
+	// The estimate records the ranked costs per invocation (the
+	// amortized totals divided by k), so the auditor can hold them
+	// against the measured EvInvoke energy.
+	est := &Estimate{K: st.k, PredSize: st.sBar, PredPower: st.pBar}
+
 	prof := ctx.Prof
 	best, bestE := ModeInterp, k*prof.EnergyOf[ModeInterp].Eval(st.sBar)
+	est.Cost[ModeInterp] = bestE / k
+	est.Considered[ModeInterp] = true
 	// A Down link takes the remote option off the table entirely (the
 	// circuit breaker's graceful degradation); the half-open probe
 	// inside RemoteAvailable is what re-admits it.
 	if ctx.Env.RemoteAvailable() {
-		if eR := k * float64(ctx.Env.RemoteEnergy(prof, st.sBar, st.pBar)); eR < bestE {
+		eR := k * float64(ctx.Env.RemoteEnergy(prof, st.sBar, st.pBar))
+		est.Cost[ModeRemote] = eR / k
+		est.Considered[ModeRemote] = true
+		if eR < bestE {
 			best, bestE = ModeRemote, eR
 		}
 	}
 	for mode := ModeL1; mode <= ModeL3; mode++ {
 		e := k * prof.EnergyOf[mode].Eval(st.sBar)
 		e += float64(ctx.Env.PlanCompileCost(ctx.Method, prof, mode.Level(), p.AdaptiveCompile))
+		est.Cost[mode] = e / k
+		est.Considered[mode] = true
 		if e < bestE {
 			best, bestE = mode, e
 		}
 	}
-	return Decision{Mode: best}
+	est.Chosen = best
+	return Decision{Mode: best, Est: est}
 }
 
 // BestLocalMode implements Policy.

@@ -87,12 +87,26 @@ type Fig7Result struct {
 // RunScenario executes one (app, situation, strategy) scenario of the
 // given number of application executions.
 func RunScenario(env *Env, sit Situation, strategy core.Strategy, runs int, seed uint64) (Fig7Cell, error) {
+	return runScenarioWith(env, sit, strategy, runs, seed, nil)
+}
+
+// runScenarioWith is RunScenario with an attach hook: observers
+// register their event sinks on the freshly built client before the
+// scenario starts. The scenario itself is unchanged — sinks only
+// listen — so an observed cell measures exactly what RunScenario
+// measures.
+func runScenarioWith(env *Env, sit Situation, strategy core.Strategy, runs int, seed uint64,
+	attach func(*core.Client)) (Fig7Cell, error) {
+
 	chR := rng.New(seed ^ 0xC0FFEE)
 	client, err := env.newClient(strategy, sit.channel(chR), seed)
 	if err != nil {
 		return Fig7Cell{}, err
 	}
 	client.Memo = core.NewMemo()
+	if attach != nil {
+		attach(client)
+	}
 	sizes := env.App.ScenarioSizes
 	weights := sit.sizeWeights(len(sizes))
 	sizeR := rng.New(seed ^ 0xBEEF)
@@ -114,6 +128,9 @@ func RunScenario(env *Env, sit Situation, strategy core.Strategy, runs int, seed
 		}
 		client.StepChannel()
 	}
+	// Fold the link's final telemetry into Stats: a trailing failed
+	// exchange would otherwise never be reflected there.
+	client.SyncStats()
 	return Fig7Cell{
 		Energy:     client.Energy() - cache.Construction,
 		Time:       client.Clock,

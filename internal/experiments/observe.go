@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"greenvm/internal/core"
+	"greenvm/internal/obs"
+)
+
+// Observed runs: the Fig 7 scenario driver with the observability
+// sinks (internal/obs) attached per cell. Each (app, strategy) cell
+// gets its own metrics registry, decision auditor and timeline
+// tracer, so cells shard across the runner without sharing state and
+// parallel runs produce byte-identical artifacts.
+
+// ObservedCell is one (app, strategy) scenario with its observability
+// artifacts.
+type ObservedCell struct {
+	App      string
+	Strategy core.Strategy
+	Cell     Fig7Cell
+	// Snapshot is the cell's metric snapshot and PromText its
+	// Prometheus text rendering (rendered inside the cell's job, so
+	// it is deterministic under any worker count).
+	Snapshot *obs.Snapshot
+	PromText string
+	// Audit is the cell's estimator audit (empty tables for static
+	// strategies, which predict nothing).
+	Audit *obs.AuditReport
+	// Tracer holds the cell's timeline; its Pid is the cell index so
+	// several cells merge into one trace file.
+	Tracer *obs.Tracer
+}
+
+// RunObservedOn runs the (env × strategy) grid in one situation with
+// full observability attached, sharding cells across the runner.
+func RunObservedOn(r *Runner, envs []*Env, strategies []core.Strategy,
+	sit Situation, runs int, seed uint64) ([]ObservedCell, error) {
+
+	nStrat := len(strategies)
+	cells := make([]ObservedCell, len(envs)*nStrat)
+	err := r.Do(len(cells), func(j int) error {
+		env := envs[j/nStrat]
+		strategy := strategies[j%nStrat]
+		sink := obs.NewMetricsSink(nil)
+		audit := obs.NewAuditor()
+		tracer := obs.NewTracer(j, fmt.Sprintf("%s/%v", env.App.Name, strategy))
+		var client *core.Client
+		cell, err := runScenarioWith(env, sit, strategy, runs, seed,
+			func(c *core.Client) {
+				client = c
+				c.Events.Attach(sink)
+				c.Events.Attach(audit)
+				c.Events.Attach(tracer)
+			})
+		if err != nil {
+			return err
+		}
+		// The scenario synced the client's Stats; give the metrics the
+		// same end-of-run telemetry (a trailing failed exchange emits
+		// no radio-carrying event).
+		sink.SyncRadio(client.Link.Telemetry())
+		snap := sink.Registry().Snapshot()
+		var prom bytes.Buffer
+		snap.WritePrometheus(&prom) //nolint:errcheck
+		cells[j] = ObservedCell{
+			App:      env.App.Name,
+			Strategy: strategy,
+			Cell:     cell,
+			Snapshot: snap,
+			PromText: prom.String(),
+			Audit:    audit.Report(),
+			Tracer:   tracer,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// RenderAudits prints each observed cell's estimator audit table
+// (cells with nothing audited — the static strategies — are skipped).
+func RenderAudits(w io.Writer, cells []ObservedCell) {
+	printed := false
+	for _, c := range cells {
+		if len(c.Audit.Methods) == 0 {
+			continue
+		}
+		printed = true
+		obs.RenderAuditReport(w, fmt.Sprintf("%s / %v: estimator audit (predicted vs measured energy)",
+			c.App, c.Strategy), c.Audit)
+		fmt.Fprintln(w)
+	}
+	if !printed {
+		fmt.Fprintln(w, "no adaptive decisions audited (static strategies predict nothing)")
+	}
+}
+
+// WriteMetricsDump writes every cell's Prometheus text, separated by
+// cell-identifying comment headers.
+func WriteMetricsDump(w io.Writer, cells []ObservedCell) error {
+	for i, c := range cells {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# cell app=%s strategy=%v\n", c.App, c.Strategy); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, c.PromText); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTrace merges every cell's timeline into one Chrome trace-event
+// JSON document (one process row per cell).
+func WriteTrace(w io.Writer, cells []ObservedCell) error {
+	tracers := make([]*obs.Tracer, len(cells))
+	for i, c := range cells {
+		tracers[i] = c.Tracer
+	}
+	return obs.WriteTraceJSON(w, tracers...)
+}

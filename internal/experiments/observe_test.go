@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"greenvm/internal/core"
+)
+
+// observedCells runs a small observed AL/AA grid on the runner.
+func observedCells(t *testing.T, r *Runner, runs int) []ObservedCell {
+	t.Helper()
+	cells, err := RunObservedOn(r, testEnvs(t),
+		[]core.Strategy{core.StrategyAL, core.StrategyAA}, SitUniform, runs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
+// TestObservedParallelMatchesSerial: sharding the observed grid
+// across workers produces byte-identical per-cell metric snapshots,
+// audits and traces — the observability layer does not perturb the
+// simulation or depend on scheduling.
+func TestObservedParallelMatchesSerial(t *testing.T) {
+	runs := 10
+	if testing.Short() {
+		runs = 5
+	}
+	render := func(r *Runner) string {
+		cells := observedCells(t, r, runs)
+		var b strings.Builder
+		if err := WriteMetricsDump(&b, cells); err != nil {
+			t.Fatal(err)
+		}
+		RenderAudits(&b, cells)
+		if err := WriteTrace(&b, cells); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := render(nil)
+	parallel := render(NewRunner(4))
+	if serial != parallel {
+		t.Error("observed grid artifacts differ between serial and parallel runs")
+	}
+}
+
+// TestObservedAgreesWithScenario: attaching the sinks changes nothing
+// about the measured cell — the observed Fig7Cell equals the plain
+// RunScenario result — and the artifacts carry the expected content.
+func TestObservedAgreesWithScenario(t *testing.T) {
+	envs := testEnvs(t)
+	cells := observedCells(t, nil, 8)
+	if len(cells) != len(envs)*2 {
+		t.Fatalf("%d cells, want %d", len(cells), len(envs)*2)
+	}
+	for _, c := range cells {
+		var env *Env
+		for _, e := range envs {
+			if e.App.Name == c.App {
+				env = e
+			}
+		}
+		plain, err := RunScenario(env, SitUniform, c.Strategy, 8, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Cell != plain {
+			t.Errorf("%s/%v: observed cell %+v differs from plain scenario %+v",
+				c.App, c.Strategy, c.Cell, plain)
+		}
+		// Adaptive cells audit every invocation (estimates pair 1:1).
+		total := 0
+		for _, m := range c.Audit.Methods {
+			total += m.N
+		}
+		if total != 8 {
+			t.Errorf("%s/%v: %d audited invocations, want 8", c.App, c.Strategy, total)
+		}
+		if len(c.Tracer.Recs) == 0 {
+			t.Errorf("%s/%v: empty trace", c.App, c.Strategy)
+		}
+		if !strings.Contains(c.PromText, "invocations_total") {
+			t.Errorf("%s/%v: metrics text lacks invocations_total", c.App, c.Strategy)
+		}
+	}
+}
+
+// TestObservedTraceParses: the merged multi-cell trace is valid
+// Chrome trace JSON with one process row per cell.
+func TestObservedTraceParses(t *testing.T) {
+	cells := observedCells(t, nil, 5)
+	var b bytes.Buffer
+	if err := WriteTrace(&b, cells); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace does not parse: %v", err)
+	}
+	procs := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			procs[e.Pid] = true
+		}
+	}
+	if len(procs) != len(cells) {
+		t.Errorf("%d process rows, want %d", len(procs), len(cells))
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"greenvm/internal/core"
+)
+
+// Auditor holds the adaptive estimators to account: it pairs each
+// EvEstimate (the policy's per-mode predicted energies) with the
+// EvInvoke that follows it for the same method, and accumulates the
+// prediction-error distribution and the regret — energy actually
+// spent minus the cheapest considered estimate — per method.
+type Auditor struct {
+	pending map[string]*core.Estimate
+	methods map[string]*methodAudit
+	// Unpaired counts invocations that errored out between estimate
+	// and outcome (the estimate is dropped, not matched to the next
+	// invocation).
+	Unpaired int
+}
+
+type methodAudit struct {
+	n           int
+	sumAbsErr   float64
+	sumRelErr   float64
+	relErrs     []float64
+	totalRegret float64
+	actual      float64
+	predicted   float64
+}
+
+// NewAuditor returns an empty auditor; attach it to a client's sinks.
+func NewAuditor() *Auditor {
+	return &Auditor{
+		pending: map[string]*core.Estimate{},
+		methods: map[string]*methodAudit{},
+	}
+}
+
+// Emit implements core.EventSink.
+func (a *Auditor) Emit(e core.Event) {
+	if e.Method == nil {
+		return
+	}
+	name := e.Method.QName()
+	switch e.Kind {
+	case core.EvEstimate:
+		if a.pending[name] != nil {
+			a.Unpaired++
+		}
+		a.pending[name] = e.Est
+	case core.EvInvoke:
+		est := a.pending[name]
+		if est == nil {
+			return // static policy, or memo replay without a decision
+		}
+		delete(a.pending, name)
+		m := a.methods[name]
+		if m == nil {
+			m = &methodAudit{}
+			a.methods[name] = m
+		}
+		actual := float64(e.Energy)
+		pred := est.Cost[est.Chosen]
+		absErr := math.Abs(actual - pred)
+		relErr := 0.0
+		if actual != 0 {
+			relErr = absErr / actual
+		}
+		m.n++
+		m.sumAbsErr += absErr
+		m.sumRelErr += relErr
+		m.relErrs = append(m.relErrs, relErr)
+		m.totalRegret += actual - est.BestCost()
+		m.actual += actual
+		m.predicted += pred
+	}
+}
+
+// MethodAudit is the per-method summary of a Report.
+type MethodAudit struct {
+	Method string
+	// N is the number of paired estimate/outcome invocations.
+	N int
+	// MeanAbsErr and MeanRelErr summarize |actual − predicted| for
+	// the chosen mode, in joules and as a fraction of actual.
+	MeanAbsErr float64
+	MeanRelErr float64
+	// P95RelErr is the 95th percentile of the relative error.
+	P95RelErr float64
+	// TotalRegret is Σ(actual − cheapest considered estimate): the
+	// energy the estimator left on the table versus a clairvoyant
+	// pick of its own candidates.
+	TotalRegret float64
+	// ActualJ and PredictedJ total the measured and predicted energy
+	// of the paired invocations.
+	ActualJ    float64
+	PredictedJ float64
+}
+
+// AuditReport is the auditor's summary, one row per method.
+type AuditReport struct {
+	Methods []MethodAudit
+	// Unpaired counts estimates that never met their invocation.
+	Unpaired int
+}
+
+// TotalRegret sums the per-method regret.
+func (r *AuditReport) TotalRegret() float64 {
+	t := 0.0
+	for _, m := range r.Methods {
+		t += m.TotalRegret
+	}
+	return t
+}
+
+// Report summarizes the audited methods, sorted by name. Estimates
+// still pending (their invocation errored out) count as unpaired.
+func (a *Auditor) Report() *AuditReport {
+	r := &AuditReport{Unpaired: a.Unpaired + len(a.pending)}
+	for name, m := range a.methods {
+		r.Methods = append(r.Methods, MethodAudit{
+			Method:      name,
+			N:           m.n,
+			MeanAbsErr:  m.sumAbsErr / float64(m.n),
+			MeanRelErr:  m.sumRelErr / float64(m.n),
+			P95RelErr:   percentile(m.relErrs, 0.95),
+			TotalRegret: m.totalRegret,
+			ActualJ:     m.actual,
+			PredictedJ:  m.predicted,
+		})
+	}
+	sort.Slice(r.Methods, func(i, j int) bool { return r.Methods[i].Method < r.Methods[j].Method })
+	return r
+}
+
+// percentile returns the p-quantile of xs (nearest-rank on a sorted
+// copy); zero when empty.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(math.Ceil(p*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// RenderAuditReport writes the report as an aligned text table.
+func RenderAuditReport(w io.Writer, title string, r *AuditReport) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  %-28s %6s %12s %10s %10s %12s\n",
+		"method", "n", "meanAbsErr", "meanRelErr", "p95RelErr", "regret(J)")
+	for _, m := range r.Methods {
+		fmt.Fprintf(w, "  %-28s %6d %12.4g %9.1f%% %9.1f%% %12.4g\n",
+			m.Method, m.N, m.MeanAbsErr, 100*m.MeanRelErr, 100*m.P95RelErr, m.TotalRegret)
+	}
+	fmt.Fprintf(w, "  total regret %.4g J", r.TotalRegret())
+	if r.Unpaired > 0 {
+		fmt.Fprintf(w, "   (%d unpaired estimates)", r.Unpaired)
+	}
+	fmt.Fprintln(w)
+}
+
+var _ core.EventSink = (*Auditor)(nil)

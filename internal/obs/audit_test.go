@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+)
+
+// est builds an Estimate with the given considered costs.
+func est(chosen core.Mode, costs map[core.Mode]float64) *core.Estimate {
+	e := &core.Estimate{Chosen: chosen}
+	for m, c := range costs {
+		e.Cost[m] = c
+		e.Considered[m] = true
+	}
+	return e
+}
+
+// TestAuditorRegretHandComputed pins the regret definition against a
+// hand-computed scenario. Invocation 1: remote predicted 1.0, interp
+// 2.0, remote chosen, measured 1.5 → regret 1.5 − 1.0 = 0.5,
+// absErr 0.5, relErr 1/3. Invocation 2: interp predicted 2.0 (remote
+// off the table), measured 2.0 → regret 0, error 0. Totals: regret
+// 0.5, meanAbsErr 0.25, meanRelErr 1/6.
+func TestAuditorRegretHandComputed(t *testing.T) {
+	a := NewAuditor()
+	m := testMethod("work")
+
+	a.Emit(core.Event{Kind: core.EvEstimate, Method: m,
+		Est: est(core.ModeRemote, map[core.Mode]float64{core.ModeRemote: 1.0, core.ModeInterp: 2.0})})
+	a.Emit(core.Event{Kind: core.EvInvoke, Method: m, Mode: core.ModeRemote, Energy: 1.5})
+
+	a.Emit(core.Event{Kind: core.EvEstimate, Method: m,
+		Est: est(core.ModeInterp, map[core.Mode]float64{core.ModeInterp: 2.0})})
+	a.Emit(core.Event{Kind: core.EvInvoke, Method: m, Mode: core.ModeInterp, Energy: 2.0})
+
+	r := a.Report()
+	if len(r.Methods) != 1 {
+		t.Fatalf("%d methods audited, want 1", len(r.Methods))
+	}
+	got := r.Methods[0]
+	if got.Method != "App.work" || got.N != 2 {
+		t.Fatalf("row %+v", got)
+	}
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	approx("TotalRegret", got.TotalRegret, 0.5)
+	approx("MeanAbsErr", got.MeanAbsErr, 0.25)
+	approx("MeanRelErr", got.MeanRelErr, (0.5/1.5)/2)
+	approx("P95RelErr", got.P95RelErr, 0.5/1.5)
+	approx("ActualJ", got.ActualJ, 3.5)
+	approx("PredictedJ", got.PredictedJ, 3.0)
+	approx("report total", r.TotalRegret(), 0.5)
+	if r.Unpaired != 0 {
+		t.Errorf("unpaired %d, want 0", r.Unpaired)
+	}
+}
+
+// TestAuditorUnpairedEstimates: an estimate whose invocation never
+// lands (the invocation errored) is reported as unpaired, not matched
+// to a later invocation.
+func TestAuditorUnpairedEstimates(t *testing.T) {
+	a := NewAuditor()
+	m := testMethod("work")
+	a.Emit(core.Event{Kind: core.EvEstimate, Method: m,
+		Est: est(core.ModeInterp, map[core.Mode]float64{core.ModeInterp: 1})})
+	// No invocation follows; the next estimate replaces it.
+	a.Emit(core.Event{Kind: core.EvEstimate, Method: m,
+		Est: est(core.ModeInterp, map[core.Mode]float64{core.ModeInterp: 2})})
+	a.Emit(core.Event{Kind: core.EvInvoke, Method: m, Mode: core.ModeInterp, Energy: 2})
+	r := a.Report()
+	if r.Unpaired != 1 {
+		t.Errorf("unpaired %d, want 1", r.Unpaired)
+	}
+	if r.Methods[0].N != 1 {
+		t.Errorf("paired %d, want 1", r.Methods[0].N)
+	}
+	if r.Methods[0].PredictedJ != 2 {
+		t.Errorf("paired with prediction %g, want the fresh estimate (2)", r.Methods[0].PredictedJ)
+	}
+}
+
+// TestAuditorP95: the percentile uses nearest-rank on the sorted
+// relative errors.
+func TestAuditorP95(t *testing.T) {
+	a := NewAuditor()
+	m := testMethod("work")
+	// 20 invocations: 19 perfect, one with relErr 0.5 → p95 picks the
+	// 19th of 20 sorted values (still 0), and with two bad ones the
+	// 19th is 0.5.
+	feed := func(pred, actual float64) {
+		a.Emit(core.Event{Kind: core.EvEstimate, Method: m,
+			Est: est(core.ModeInterp, map[core.Mode]float64{core.ModeInterp: pred})})
+		a.Emit(core.Event{Kind: core.EvInvoke, Method: m, Mode: core.ModeInterp, Energy: energy.Joules(actual)})
+	}
+	for i := 0; i < 18; i++ {
+		feed(1, 1)
+	}
+	feed(1, 2)
+	feed(1, 2)
+	got := a.Report().Methods[0].P95RelErr
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P95RelErr = %g, want 0.5", got)
+	}
+}
+
+// TestRenderAuditReport smoke-checks the table rendering.
+func TestRenderAuditReport(t *testing.T) {
+	a := NewAuditor()
+	m := testMethod("work")
+	a.Emit(core.Event{Kind: core.EvEstimate, Method: m,
+		Est: est(core.ModeRemote, map[core.Mode]float64{core.ModeRemote: 1})})
+	a.Emit(core.Event{Kind: core.EvInvoke, Method: m, Mode: core.ModeRemote, Energy: 1.5})
+	var b bytes.Buffer
+	RenderAuditReport(&b, "title", a.Report())
+	out := b.String()
+	for _, want := range []string{"title", "App.work", "regret", "total regret 0.5 J"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

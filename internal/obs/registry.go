@@ -1,0 +1,447 @@
+// Package obs is the energy observability layer: it turns the
+// client's typed event stream (core.EventSink) into per-method energy
+// attribution, estimator-accuracy audits and execution timelines, and
+// exports everything as Prometheus-style text, JSON snapshots, Chrome
+// trace-event files and compact JSONL logs.
+//
+// The package has four consumers-facing pieces:
+//
+//   - Registry: counters, gauges and fixed-bucket histograms with
+//     string labels, rendered deterministically (sorted by name, then
+//     label key) so parallel experiment cells snapshot byte-identically;
+//   - MetricsSink: an EventSink attributing energy/time per
+//     (method × mode × level) and folding radio telemetry deltas into
+//     monotonic counters;
+//   - Auditor: an EventSink pairing every EvEstimate with its EvInvoke
+//     to measure estimator prediction error and decision regret;
+//   - Tracer: an EventSink emitting the simulated-clock timeline as
+//     Chrome trace-event JSON (chrome://tracing, Perfetto) and JSONL.
+//
+// All registry operations are safe for concurrent use (the mjserver
+// metrics endpoint scrapes while handlers record); the event sinks,
+// like all core sinks, run synchronously on the simulation goroutine.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricType discriminates the three metric families.
+type MetricType int
+
+// The metric families.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+// String names the type as in the Prometheus exposition format.
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("MetricType(%d)", int(t))
+	}
+}
+
+// Registry holds a set of named metrics. The zero value is not ready;
+// use NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+// metric is one named family: a set of label-keyed series.
+type metric struct {
+	name    string
+	help    string
+	typ     MetricType
+	buckets []float64 // histogram upper bounds, ascending (+Inf implicit)
+	series  map[string]*series
+}
+
+// series is one (metric, labels) time series.
+type series struct {
+	labels []string // alternating key, value, sorted by key
+
+	// Counter/gauge state.
+	value float64
+
+	// Histogram state: counts[i] observations <= buckets[i],
+	// non-cumulative per bucket; count/sum over all observations.
+	counts []uint64
+	inf    uint64
+	sum    float64
+	count  uint64
+}
+
+func (r *Registry) metricNamed(name, help string, typ MetricType, buckets []float64) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.metrics[name]
+	if m == nil {
+		m = &metric{name: name, help: help, typ: typ, buckets: buckets, series: map[string]*series{}}
+		r.metrics[name] = m
+		return m
+	}
+	if m.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, typ, m.typ))
+	}
+	return m
+}
+
+// labelKey canonicalizes a label set: pairs sorted by key, joined
+// unambiguously.
+func labelKey(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		b.WriteString(strconv.Quote(pairs[i]))
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(pairs[i+1]))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// sortPairs returns the label pairs sorted by key (stable copy).
+func sortPairs(pairs []string) []string {
+	if len(pairs)%2 != 0 {
+		panic("obs: odd label list, want key, value, key, value, ...")
+	}
+	if len(pairs) <= 2 {
+		return append([]string(nil), pairs...)
+	}
+	idx := make([]int, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		idx = append(idx, i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pairs[idx[a]] < pairs[idx[b]] })
+	out := make([]string, 0, len(pairs))
+	for _, i := range idx {
+		out = append(out, pairs[i], pairs[i+1])
+	}
+	return out
+}
+
+func (m *metric) seriesFor(r *Registry, pairs []string) *series {
+	sorted := sortPairs(pairs)
+	key := labelKey(sorted)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := m.series[key]
+	if s == nil {
+		s = &series{labels: sorted}
+		if m.typ == TypeHistogram {
+			s.counts = make([]uint64, len(m.buckets))
+		}
+		m.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	r *Registry
+	m *metric
+}
+
+// Counter registers (or finds) a counter family.
+func (r *Registry) Counter(name, help string) *Counter {
+	return &Counter{r: r, m: r.metricNamed(name, help, TypeCounter, nil)}
+}
+
+// Add increases the series selected by the alternating key/value label
+// pairs. Negative deltas panic: counters only go up.
+func (c *Counter) Add(v float64, labelPairs ...string) {
+	if v < 0 {
+		panic(fmt.Sprintf("obs: counter %s decreased by %g", c.m.name, -v))
+	}
+	s := c.m.seriesFor(c.r, labelPairs)
+	c.r.mu.Lock()
+	s.value += v
+	c.r.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *Counter) Inc(labelPairs ...string) { c.Add(1, labelPairs...) }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	r *Registry
+	m *metric
+}
+
+// Gauge registers (or finds) a gauge family.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return &Gauge{r: r, m: r.metricNamed(name, help, TypeGauge, nil)}
+}
+
+// Set assigns the series value.
+func (g *Gauge) Set(v float64, labelPairs ...string) {
+	s := g.m.seriesFor(g.r, labelPairs)
+	g.r.mu.Lock()
+	s.value = v
+	g.r.mu.Unlock()
+}
+
+// Add shifts the series value by v (negative allowed).
+func (g *Gauge) Add(v float64, labelPairs ...string) {
+	s := g.m.seriesFor(g.r, labelPairs)
+	g.r.mu.Lock()
+	s.value += v
+	g.r.mu.Unlock()
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are upper bounds
+// in ascending order; an implicit +Inf bucket catches the rest. An
+// observation equal to a bound falls in that bound's bucket (le
+// semantics, as in Prometheus).
+type Histogram struct {
+	r *Registry
+	m *metric
+}
+
+// Histogram registers (or finds) a histogram family with the given
+// bucket upper bounds (must be ascending and non-empty).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %s needs at least one bucket", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets not ascending: %v", name, buckets))
+		}
+	}
+	return &Histogram{r: r, m: r.metricNamed(name, help, TypeHistogram, append([]float64(nil), buckets...))}
+}
+
+// Observe records one sample in the series selected by the label
+// pairs.
+func (h *Histogram) Observe(v float64, labelPairs ...string) {
+	s := h.m.seriesFor(h.r, labelPairs)
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	placed := false
+	for i, ub := range h.m.buckets {
+		if v <= ub {
+			s.counts[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		s.inf++
+	}
+	s.sum += v
+	s.count++
+}
+
+// --- Snapshots ---
+
+// Snapshot is a point-in-time copy of a registry, ordered
+// deterministically: metrics by name, series by canonical label key.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one metric family in a snapshot.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one labeled series in a snapshot.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter/gauge value.
+	Value float64 `json:"value"`
+	// Histogram fields: cumulative bucket counts (le upper bounds,
+	// +Inf last), total count and sum.
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Count   uint64           `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"` // upper bound; +Inf serialized as the string "+Inf"
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON encodes +Inf as the string "+Inf" (JSON has no
+// infinity).
+func (b BucketSnapshot) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !isInf(b.LE) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snap := &Snapshot{}
+	for _, name := range names {
+		m := r.metrics[name]
+		ms := MetricSnapshot{Name: m.name, Type: m.typ.String(), Help: m.help}
+		keys := make([]string, 0, len(m.series))
+		for k := range m.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := m.series[k]
+			ss := SeriesSnapshot{Value: s.value}
+			if len(s.labels) > 0 {
+				ss.Labels = map[string]string{}
+				for i := 0; i < len(s.labels); i += 2 {
+					ss.Labels[s.labels[i]] = s.labels[i+1]
+				}
+			}
+			if m.typ == TypeHistogram {
+				var cum uint64
+				for i, c := range s.counts {
+					cum += c
+					ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: m.buckets[i], Count: cum})
+				}
+				cum += s.inf
+				ss.Buckets = append(ss.Buckets, BucketSnapshot{LE: math.Inf(1), Count: cum})
+				ss.Count = s.count
+				ss.Sum = s.sum
+				ss.Value = 0
+			}
+			ms.Series = append(ms.Series, ss)
+		}
+		snap.Metrics = append(snap.Metrics, ms)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteJSON snapshots the registry and writes it as JSON.
+func (r *Registry) WriteJSON(w io.Writer) error { return r.Snapshot().WriteJSON(w) }
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (deterministic ordering).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, m := range s.Metrics {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+			return err
+		}
+		for _, ss := range m.Series {
+			switch m.Type {
+			case "histogram":
+				for _, b := range ss.Buckets {
+					le := "+Inf"
+					if !isInf(b.LE) {
+						le = formatFloat(b.LE)
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+						m.Name, promLabels(ss.Labels, "le", le), b.Count); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, promLabels(ss.Labels), formatFloat(ss.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(ss.Labels), ss.Count); err != nil {
+					return err
+				}
+			default:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabels(ss.Labels), formatFloat(ss.Value)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus snapshots the registry and renders it as Prometheus
+// text.
+func (r *Registry) WritePrometheus(w io.Writer) error { return r.Snapshot().WritePrometheus(w) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promLabels renders a label map (plus optional extra key/value
+// appended last) as {k="v",...}; empty sets render as nothing.
+func promLabels(labels map[string]string, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	put := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	for _, k := range keys {
+		put(k, labels[k])
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		put(extra[i], extra[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// equal to an upper bound lands in that bound's bucket, one just
+// above lands in the next, and values beyond the last bound go to
+// +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 5, 6, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 1 || len(snap.Metrics[0].Series) != 1 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	s := snap.Metrics[0].Series[0]
+	// Cumulative: le=1 holds {0.5, 1}; le=2 adds {1.0000001, 2}; le=5
+	// adds {5}; +Inf adds {6, 100}.
+	wantCum := []uint64{2, 4, 5, 7}
+	if len(s.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count %d, want %d", len(s.Buckets), len(wantCum))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (le=%g): cumulative %d, want %d", i, b.LE, b.Count, wantCum[i])
+		}
+	}
+	if s.Count != 7 {
+		t.Errorf("count %d, want 7", s.Count)
+	}
+	if want := 0.5 + 1 + 1.0000001 + 2 + 5 + 6 + 100; s.Sum != want {
+		t.Errorf("sum %g, want %g", s.Sum, want)
+	}
+	if !isInf(s.Buckets[len(s.Buckets)-1].LE) {
+		t.Error("last bucket should be +Inf")
+	}
+}
+
+// TestCounterRejectsNegative: counters only go up.
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative counter Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c", "test").Add(-1)
+}
+
+// TestLabelOrderCanonical: the same label set in any order is one
+// series.
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "test")
+	c.Inc("a", "1", "b", "2")
+	c.Inc("b", "2", "a", "1")
+	snap := r.Snapshot()
+	if n := len(snap.Metrics[0].Series); n != 1 {
+		t.Fatalf("%d series, want 1 (label order must not matter)", n)
+	}
+	if v := snap.Metrics[0].Series[0].Value; v != 2 {
+		t.Errorf("value %g, want 2", v)
+	}
+}
+
+// TestPrometheusText checks the exposition format and its
+// deterministic ordering.
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("zz_gauge", "a gauge")
+	g.Set(3.5)
+	c := r.Counter("aa_counter", "a counter")
+	c.Add(2, "mode", "remote")
+	c.Add(1, "mode", "interp")
+	h := r.Histogram("mm_hist", "a histogram", []float64{1, 10})
+	h.Observe(0.5, "k", `va"l`)
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP aa_counter a counter\n# TYPE aa_counter counter\n",
+		`aa_counter{mode="interp"} 1`,
+		`aa_counter{mode="remote"} 2`,
+		"# TYPE mm_hist histogram",
+		`mm_hist_bucket{k="va\"l",le="1"} 1`,
+		`mm_hist_bucket{k="va\"l",le="+Inf"} 1`,
+		`mm_hist_sum{k="va\"l"} 0.5`,
+		`mm_hist_count{k="va\"l"} 1`,
+		"# TYPE zz_gauge gauge\nzz_gauge 3.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, out)
+		}
+	}
+	// Metrics render sorted by name; series sorted by label key.
+	if strings.Index(out, "aa_counter") > strings.Index(out, "mm_hist") ||
+		strings.Index(out, "mm_hist") > strings.Index(out, "zz_gauge") {
+		t.Error("metrics not in name order")
+	}
+	if strings.Index(out, `mode="interp"`) > strings.Index(out, `mode="remote"`) {
+		t.Error("series not in label order")
+	}
+}
+
+// TestSnapshotJSONRoundTrip: the JSON export parses back and keeps
+// the histogram's +Inf bucket readable.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "help").Add(4, "x", "y")
+	r.Histogram("h", "", []float64{1}).Observe(2)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Metrics []struct {
+			Name   string `json:"name"`
+			Type   string `json:"type"`
+			Series []struct {
+				Labels  map[string]string `json:"labels"`
+				Value   float64           `json:"value"`
+				Buckets []struct {
+					LE    any    `json:"le"`
+					Count uint64 `json:"count"`
+				} `json:"buckets"`
+			} `json:"series"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &got); err != nil {
+		t.Fatalf("JSON does not parse: %v\n%s", err, b.String())
+	}
+	if len(got.Metrics) != 2 || got.Metrics[0].Name != "c" || got.Metrics[1].Name != "h" {
+		t.Fatalf("unexpected metrics: %+v", got.Metrics)
+	}
+	if got.Metrics[0].Series[0].Value != 4 || got.Metrics[0].Series[0].Labels["x"] != "y" {
+		t.Errorf("counter series: %+v", got.Metrics[0].Series)
+	}
+	hb := got.Metrics[1].Series[0].Buckets
+	if len(hb) != 2 || hb[1].LE != "+Inf" || hb[1].Count != 1 {
+		t.Errorf("histogram buckets: %+v", hb)
+	}
+}
+
+// TestSnapshotDeterministic: identical recording orders produce
+// byte-identical renderings even when the label sets arrive shuffled.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []int) string {
+		r := NewRegistry()
+		c := r.Counter("c", "test")
+		labels := [][]string{{"m", "a"}, {"m", "b"}, {"m", "c"}}
+		for _, i := range order {
+			c.Inc(labels[i]...)
+		}
+		var b bytes.Buffer
+		r.WritePrometheus(&b) //nolint:errcheck
+		return b.String()
+	}
+	if a, b := build([]int{0, 1, 2}), build([]int{2, 0, 1}); a != b {
+		t.Errorf("renderings diverge:\n%s\nvs\n%s", a, b)
+	}
+}

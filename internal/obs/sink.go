@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"strconv"
+
+	"greenvm/internal/core"
+	"greenvm/internal/radio"
+)
+
+// Default bucket boundaries. Invocation energies span six orders of
+// magnitude across the benchmarks (µJ-scale offloads to J-scale
+// interpretation), so the defaults are decade buckets.
+var (
+	// DefaultEnergyBuckets bound invocation energy in joules.
+	DefaultEnergyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+	// DefaultTimeBuckets bound invocation wall time in seconds.
+	DefaultTimeBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+)
+
+// MetricsSink attributes the event stream to a Registry: energy and
+// time per (method × mode), compilations per (method × level × site),
+// timeline phases, and the link's radio telemetry — folded in as
+// deltas between successive snapshots, so counters stay correct even
+// though each event carries cumulative link state.
+type MetricsSink struct {
+	reg *Registry
+
+	invocations  *Counter
+	energyTotal  *Counter
+	timeTotal    *Counter
+	invokeEnergy *Histogram
+	invokeTime   *Histogram
+	fallbacks    *Counter
+	compiles     *Counter
+	evictions    *Counter
+	memoHits     *Counter
+	retries      *Counter
+	probes       *Counter
+	transitions  *Counter
+	linkUp       *Gauge
+	estimates    *Counter
+	predicted    *Counter
+	phaseTime    *Counter
+	phaseCount   *Counter
+
+	radioExchanges *Counter
+	radioLosses    *Counter
+	radioRetrans   *Counter
+	radioStalls    *Counter
+	radioStallTime *Counter
+	radioTxBytes   *Counter
+	radioRxBytes   *Counter
+
+	lastRadio radio.Telemetry
+}
+
+// NewMetricsSink builds a sink recording into reg (a fresh registry
+// when nil).
+func NewMetricsSink(reg *Registry) *MetricsSink {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	s := &MetricsSink{
+		reg: reg,
+
+		invocations:  reg.Counter("invocations_total", "potential-method invocations by method and decided mode"),
+		energyTotal:  reg.Counter("invocation_energy_joules_total", "energy attributed to invocations by method and mode"),
+		timeTotal:    reg.Counter("invocation_time_seconds_total", "wall time attributed to invocations by method and mode"),
+		invokeEnergy: reg.Histogram("invocation_energy_joules", "per-invocation energy distribution", DefaultEnergyBuckets),
+		invokeTime:   reg.Histogram("invocation_time_seconds", "per-invocation wall-time distribution", DefaultTimeBuckets),
+		fallbacks:    reg.Counter("fallbacks_total", "connection-loss fallbacks to local execution or compilation"),
+		compiles:     reg.Counter("compiles_total", "method bodies obtained, by site (local/remote), method and level"),
+		evictions:    reg.Counter("evictions_total", "bodies unlinked by the code cache's LRU policy"),
+		memoHits:     reg.Counter("memo_hits_total", "invocations replayed from the memo"),
+		retries:      reg.Counter("retries_total", "re-attempted remote exchanges after losses"),
+		probes:       reg.Counter("probes_total", "half-open circuit-breaker probes by outcome"),
+		transitions:  reg.Counter("link_transitions_total", "circuit-breaker open/close transitions by direction"),
+		linkUp:       reg.Gauge("link_up", "1 while the circuit breaker admits remote options"),
+		estimates:    reg.Counter("estimates_total", "adaptive decisions priced, by method and chosen mode"),
+		predicted:    reg.Counter("predicted_energy_joules_total", "estimator-predicted energy of the chosen mode, by method"),
+		phaseTime:    reg.Counter("phase_seconds_total", "simulated time spent per timeline phase"),
+		phaseCount:   reg.Counter("phase_spans_total", "timeline spans per phase"),
+
+		radioExchanges: reg.Counter("radio_exchanges_total", "link transfers attempted"),
+		radioLosses:    reg.Counter("radio_losses_total", "transfers lost to the fault process"),
+		radioRetrans:   reg.Counter("radio_retransmits_total", "underpowered transmissions repeated at the true channel class"),
+		radioStalls:    reg.Counter("radio_stalls_total", "losses detected only after a receiver-up wait"),
+		radioStallTime: reg.Counter("radio_stall_seconds_total", "receiver-up time spent detecting stalls"),
+		radioTxBytes:   reg.Counter("radio_bytes_sent_total", "payload bytes transmitted"),
+		radioRxBytes:   reg.Counter("radio_bytes_received_total", "payload bytes received"),
+	}
+	s.linkUp.Set(1)
+	return s
+}
+
+// Registry returns the sink's registry (for snapshotting or serving).
+func (s *MetricsSink) Registry() *Registry { return s.reg }
+
+// Emit implements core.EventSink.
+func (s *MetricsSink) Emit(e core.Event) {
+	if e.Radio.Exchanges > 0 {
+		s.SyncRadio(e.Radio)
+	}
+	method := ""
+	if e.Method != nil {
+		method = e.Method.QName()
+	}
+	switch e.Kind {
+	case core.EvInvoke:
+		mode := e.Mode.String()
+		s.invocations.Inc("method", method, "mode", mode)
+		s.energyTotal.Add(float64(e.Energy), "method", method, "mode", mode)
+		s.timeTotal.Add(float64(e.Time), "method", method, "mode", mode)
+		s.invokeEnergy.Observe(float64(e.Energy), "method", method, "mode", mode)
+		s.invokeTime.Observe(float64(e.Time), "method", method, "mode", mode)
+		if e.FellBack {
+			s.invocations.Inc("method", method, "mode", "fellback")
+		}
+	case core.EvFallback:
+		s.fallbacks.Inc("method", method)
+	case core.EvLocalCompile:
+		s.compiles.Inc("site", "local", "method", method, "level", levelLabel(e))
+	case core.EvRemoteCompile:
+		s.compiles.Inc("site", "remote", "method", method, "level", levelLabel(e))
+	case core.EvEvict:
+		s.evictions.Inc()
+	case core.EvMemoHit:
+		s.memoHits.Inc()
+	case core.EvRetry:
+		s.retries.Inc("method", method)
+	case core.EvProbe:
+		outcome := "ok"
+		if e.FellBack {
+			outcome = "lost"
+		}
+		s.probes.Inc("outcome", outcome)
+	case core.EvLinkDown:
+		s.transitions.Inc("to", "down")
+		s.linkUp.Set(0)
+	case core.EvLinkUp:
+		s.transitions.Inc("to", "up")
+		s.linkUp.Set(1)
+	case core.EvEstimate:
+		if e.Est != nil {
+			s.estimates.Inc("method", method, "mode", e.Est.Chosen.String())
+			s.predicted.Add(e.Est.Cost[e.Est.Chosen], "method", method)
+		}
+	case core.EvPhase:
+		s.phaseTime.Add(float64(e.Time), "phase", e.Phase.String())
+		s.phaseCount.Inc("phase", e.Phase.String())
+	}
+}
+
+// SyncRadio folds the difference between the last seen telemetry
+// snapshot and tel into the radio counters. Drivers call it with the
+// link's final telemetry at end of run so a trailing failed exchange
+// (which emits no further radio-carrying event) is still counted.
+func (s *MetricsSink) SyncRadio(tel radio.Telemetry) {
+	d := func(c *Counter, now, prev int) {
+		if now > prev {
+			c.Add(float64(now - prev))
+		}
+	}
+	d(s.radioExchanges, tel.Exchanges, s.lastRadio.Exchanges)
+	d(s.radioLosses, tel.Losses, s.lastRadio.Losses)
+	d(s.radioRetrans, tel.Retransmits, s.lastRadio.Retransmits)
+	d(s.radioStalls, tel.Stalls, s.lastRadio.Stalls)
+	d(s.radioTxBytes, tel.BytesSent, s.lastRadio.BytesSent)
+	d(s.radioRxBytes, tel.BytesReceived, s.lastRadio.BytesReceived)
+	if dt := float64(tel.StallTime - s.lastRadio.StallTime); dt > 0 {
+		s.radioStallTime.Add(dt)
+	}
+	s.lastRadio = tel
+}
+
+func levelLabel(e core.Event) string { return "L" + strconv.Itoa(int(e.Level)) }
+
+// Compile-time check: the sink consumes the client event stream.
+var _ core.EventSink = (*MetricsSink)(nil)

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"greenvm/internal/core"
+)
+
+// Tracer records the simulated-clock execution timeline as compact
+// records and renders them either as Chrome trace-event JSON (load
+// the file in chrome://tracing or Perfetto) or as a JSONL event log.
+// Span events (invocations, timeline phases) become complete ("X")
+// events; point events (fallbacks, retries, probes, breaker
+// transitions, compiles, evictions, memo hits) become instants.
+type Tracer struct {
+	// Pid and Process label the trace's process row, so traces from
+	// several experiment cells merge into one file (one row per cell).
+	Pid     int
+	Process string
+
+	Recs []TraceRec
+}
+
+// TraceRec is one compact timeline record. TS and Dur are simulated
+// seconds; Dur is zero for instant events.
+type TraceRec struct {
+	Kind     string  `json:"kind"`
+	TS       float64 `json:"ts"`
+	Dur      float64 `json:"dur,omitempty"`
+	Method   string  `json:"method,omitempty"`
+	Mode     string  `json:"mode,omitempty"`
+	Level    int     `json:"level,omitempty"`
+	Phase    string  `json:"phase,omitempty"`
+	Size     float64 `json:"size,omitempty"`
+	EnergyJ  float64 `json:"energyJ,omitempty"`
+	FellBack bool    `json:"fellBack,omitempty"`
+}
+
+// NewTracer returns a tracer labelling its rows with the process name
+// and pid (use distinct pids to merge several cells into one trace).
+func NewTracer(pid int, process string) *Tracer {
+	return &Tracer{Pid: pid, Process: process}
+}
+
+var kindNames = map[core.EventKind]string{
+	core.EvInvoke:        "invoke",
+	core.EvFallback:      "fallback",
+	core.EvLocalCompile:  "compile.local",
+	core.EvRemoteCompile: "compile.remote",
+	core.EvEvict:         "evict",
+	core.EvMemoHit:       "memo",
+	core.EvRetry:         "retry",
+	core.EvProbe:         "probe",
+	core.EvLinkDown:      "link.down",
+	core.EvLinkUp:        "link.up",
+	core.EvEstimate:      "estimate",
+	core.EvPhase:         "phase",
+}
+
+// Emit implements core.EventSink.
+func (t *Tracer) Emit(e core.Event) {
+	r := TraceRec{
+		Kind:     kindNames[e.Kind],
+		TS:       float64(e.At),
+		Method:   methodName(e),
+		FellBack: e.FellBack,
+	}
+	switch e.Kind {
+	case core.EvInvoke:
+		r.Dur = float64(e.Time)
+		r.Mode = e.Mode.String()
+		r.Size = e.Size
+		r.EnergyJ = float64(e.Energy)
+	case core.EvPhase:
+		r.Dur = float64(e.Time)
+		r.Phase = e.Phase.String()
+		r.Level = int(e.Level)
+	case core.EvLocalCompile, core.EvRemoteCompile, core.EvEvict:
+		r.Level = int(e.Level)
+	case core.EvEstimate:
+		if e.Est != nil {
+			r.Mode = e.Est.Chosen.String()
+			r.EnergyJ = e.Est.Cost[e.Est.Chosen]
+		}
+	}
+	t.Recs = append(t.Recs, r)
+}
+
+func methodName(e core.Event) string {
+	if e.Method == nil {
+		return ""
+	}
+	return e.Method.QName()
+}
+
+// traceEvent is one Chrome trace-event object. Dur is a plain field
+// (not omitempty) so complete events always carry "dur", even for
+// zero-length spans.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// The trace's thread rows: invocations on one track, the finer
+// timeline phases on another, instant events on a third.
+const (
+	tidInvoke  = 1
+	tidPhase   = 2
+	tidInstant = 3
+)
+
+// usec converts simulated seconds to trace-event microseconds.
+func usec(s float64) float64 { return s * 1e6 }
+
+func (t *Tracer) events() []traceEvent {
+	evs := []traceEvent{
+		{Name: "process_name", Ph: "M", Pid: t.Pid, Args: map[string]any{"name": t.Process}},
+		{Name: "thread_name", Ph: "M", Pid: t.Pid, Tid: tidInvoke, Args: map[string]any{"name": "invocations"}},
+		{Name: "thread_name", Ph: "M", Pid: t.Pid, Tid: tidPhase, Args: map[string]any{"name": "phases"}},
+		{Name: "thread_name", Ph: "M", Pid: t.Pid, Tid: tidInstant, Args: map[string]any{"name": "events"}},
+	}
+	for _, r := range t.Recs {
+		switch r.Kind {
+		case "invoke":
+			dur := usec(r.Dur)
+			evs = append(evs, traceEvent{
+				Name: fmt.Sprintf("%s [%s]", r.Method, r.Mode),
+				Ph:   "X", Cat: "invoke",
+				TS: usec(r.TS), Dur: &dur,
+				Pid: t.Pid, Tid: tidInvoke,
+				Args: map[string]any{
+					"mode": r.Mode, "size": r.Size,
+					"energyJ": r.EnergyJ, "fellBack": r.FellBack,
+				},
+			})
+		case "phase":
+			dur := usec(r.Dur)
+			evs = append(evs, traceEvent{
+				Name: r.Phase,
+				Ph:   "X", Cat: "phase",
+				TS: usec(r.TS), Dur: &dur,
+				Pid: t.Pid, Tid: tidPhase,
+				Args: map[string]any{"method": r.Method, "fellBack": r.FellBack},
+			})
+		case "estimate":
+			// Decisions are dense and carried by the invocation args;
+			// skip them to keep the instant track readable.
+		default:
+			args := map[string]any{}
+			if r.Method != "" {
+				args["method"] = r.Method
+			}
+			evs = append(evs, traceEvent{
+				Name: r.Kind,
+				Ph:   "i", S: "t", Cat: "event",
+				TS:  usec(r.TS),
+				Pid: t.Pid, Tid: tidInstant,
+				Args: args,
+			})
+		}
+	}
+	return evs
+}
+
+// WriteTraceJSON renders the tracers as one Chrome trace-event JSON
+// object (the "JSON Object Format": {"traceEvents": [...]}). Give each
+// tracer a distinct Pid to keep cells on separate rows.
+func WriteTraceJSON(w io.Writer, tracers ...*Tracer) error {
+	f := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for _, t := range tracers {
+		f.TraceEvents = append(f.TraceEvents, t.events()...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// WriteJSON renders this tracer alone as Chrome trace-event JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error { return WriteTraceJSON(w, t) }
+
+// WriteJSONL writes the compact records as one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.Recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ core.EventSink = (*Tracer)(nil)

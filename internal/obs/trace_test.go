@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"greenvm/internal/core"
+)
+
+// feedTimeline drives a tracer through a representative event
+// sequence: a remote invocation with a retry, a breaker cycle, and a
+// local compiled invocation.
+func feedTimeline(tr *Tracer) {
+	m := testMethod("work")
+	tr.Emit(core.Event{Kind: core.EvPhase, Phase: core.PhaseShip, Method: m, At: 0, Time: 0.2, FellBack: true})
+	tr.Emit(core.Event{Kind: core.EvPhase, Phase: core.PhaseListen, Method: m, At: 0.2, Time: 0.1})
+	tr.Emit(core.Event{Kind: core.EvRetry, Method: m, At: 0.3})
+	tr.Emit(core.Event{Kind: core.EvPhase, Phase: core.PhaseShip, Method: m, At: 0.3, Time: 0.2})
+	tr.Emit(core.Event{Kind: core.EvInvoke, Method: m, Mode: core.ModeRemote, Size: 100,
+		Energy: 0.4, At: 0, Time: 0.5})
+	tr.Emit(core.Event{Kind: core.EvLinkDown, At: 0.5})
+	tr.Emit(core.Event{Kind: core.EvProbe, At: 0.8, FellBack: false})
+	tr.Emit(core.Event{Kind: core.EvLinkUp, At: 0.8})
+	tr.Emit(core.Event{Kind: core.EvPhase, Phase: core.PhaseCompile, Method: m, Level: 1, At: 0.8, Time: 0.3})
+	tr.Emit(core.Event{Kind: core.EvLocalCompile, Method: m, Level: 1, At: 1.1})
+	tr.Emit(core.Event{Kind: core.EvPhase, Phase: core.PhaseNative, Method: m, Level: 1, At: 1.1, Time: 0.1})
+	tr.Emit(core.Event{Kind: core.EvInvoke, Method: m, Mode: core.ModeL1, Size: 100,
+		Energy: 0.2, At: 0.8, Time: 0.4})
+}
+
+// TestTraceJSONRoundTrip: the emitted document parses with
+// encoding/json, declares traceEvents, and every complete event
+// carries ph="X" with ts and dur in microseconds.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(3, "fe/AA")
+	feedTimeline(tr)
+	var b bytes.Buffer
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	var complete, instant, meta int
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		switch ph {
+		case "X":
+			complete++
+			if _, ok := e["ts"].(float64); !ok {
+				t.Errorf("complete event without numeric ts: %v", e)
+			}
+			if _, ok := e["dur"].(float64); !ok {
+				t.Errorf("complete event without numeric dur: %v", e)
+			}
+			if pid, _ := e["pid"].(float64); pid != 3 {
+				t.Errorf("pid %v, want 3", e["pid"])
+			}
+		case "i":
+			instant++
+			if _, ok := e["ts"].(float64); !ok {
+				t.Errorf("instant event without ts: %v", e)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q in %v", ph, e)
+		}
+	}
+	// 7 spans (2 invocations + 5 phases) and 5 instants (retry,
+	// link.down, probe, link.up, compile.local).
+	if complete != 7 {
+		t.Errorf("%d complete events, want 7 (2 invocations + 5 phases)", complete)
+	}
+	if instant != 5 {
+		t.Errorf("%d instant events, want 5", instant)
+	}
+	if meta < 1 {
+		t.Error("no metadata events (process_name)")
+	}
+	// Timestamps are microseconds: the ship span at 0.3 s is 3e5 µs.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "X" && e["name"] == "ship" && e["ts"] == 3e5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no ship span at ts=3e5 µs (seconds → µs conversion broken)")
+	}
+	if !strings.Contains(b.String(), `"process_name"`) {
+		t.Error("missing process_name metadata")
+	}
+}
+
+// TestTraceMergedCells: tracers with distinct pids merge into one
+// document keeping their rows apart.
+func TestTraceMergedCells(t *testing.T) {
+	a, b := NewTracer(0, "fe/AL"), NewTracer(1, "fe/AA")
+	feedTimeline(a)
+	feedTimeline(b)
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[int]int{}
+	for _, e := range doc.TraceEvents {
+		pids[e.Pid]++
+	}
+	if pids[0] == 0 || pids[1] == 0 {
+		t.Errorf("merged trace lost a cell: pid histogram %v", pids)
+	}
+}
+
+// TestTraceJSONL: the compact log is one parseable object per line
+// with the span fields intact.
+func TestTraceJSONL(t *testing.T) {
+	tr := NewTracer(0, "cell")
+	feedTimeline(tr)
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != len(tr.Recs) {
+		t.Fatalf("%d lines, want %d", len(lines), len(tr.Recs))
+	}
+	var invokes int
+	for i, ln := range lines {
+		var r TraceRec
+		if err := json.Unmarshal([]byte(ln), &r); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		if r.Kind == "invoke" {
+			invokes++
+			if r.Dur <= 0 || r.Method != "App.work" || r.EnergyJ <= 0 {
+				t.Errorf("invoke record malformed: %+v", r)
+			}
+		}
+	}
+	if invokes != 2 {
+		t.Errorf("%d invoke lines, want 2", invokes)
+	}
+}
