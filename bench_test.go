@@ -9,6 +9,8 @@
 package greenvm
 
 import (
+	"context"
+
 	"fmt"
 	"net"
 	"sync"
@@ -19,6 +21,7 @@ import (
 	"greenvm/internal/core"
 	"greenvm/internal/energy"
 	"greenvm/internal/experiments"
+	"greenvm/internal/fleet"
 	"greenvm/internal/isa"
 	"greenvm/internal/jit"
 	"greenvm/internal/lang"
@@ -155,6 +158,37 @@ func BenchmarkFigureGrid(b *testing.B) {
 				norm = res.Strategy(experiments.SitUniform, core.StrategyAL)
 			}
 			b.ReportMetric(norm, "AL/L1")
+		})
+	}
+}
+
+// BenchmarkFleet runs a 16-client mixed-strategy fleet against the
+// shared server at one and at four simulation slots: the contention is
+// resolved in virtual time, so the slots change only wall-clock cost —
+// the reported shed rate is identical across the sub-benchmarks.
+func BenchmarkFleet(b *testing.B) {
+	fe, _ := preparedEnvs(b)
+	w := fleet.WorkloadOf(fe)
+	for _, conc := range []int{1, 4} {
+		b.Run(fmt.Sprintf("slots=%d", conc), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				spec := fleet.MixedFleet(w, 16,
+					[]core.Strategy{core.StrategyR, core.StrategyAL, core.StrategyAA},
+					3, core.SessionConfig{Workers: 2, QueueCap: 4}, 42)
+				spec.Concurrency = conc
+				res, err := fleet.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range res.Clients {
+					if c.Err != "" {
+						b.Fatalf("client %s: %s", c.ID, c.Err)
+					}
+				}
+				rate = res.ShedRate()
+			}
+			b.ReportMetric(100*rate, "shed%")
 		})
 	}
 }
@@ -314,7 +348,10 @@ func BenchmarkAblationMemo(b *testing.B) {
 	fe, _ := preparedEnvs(b)
 	scenario := func(memo bool) (energy.Joules, error) {
 		server := core.NewServer(fe.Prog)
-		client := core.NewClient("bench", fe.Prog, server, radio.Fixed{Cls: radio.Class4}, core.StrategyL2, 7)
+		client := core.New(core.ClientConfig{
+			ID: "bench", Prog: fe.Prog, Server: server,
+			Channel: radio.Fixed{Cls: radio.Class4}, Strategy: core.StrategyL2, Seed: 7,
+		})
 		if err := client.Register(fe.Target, fe.Prof); err != nil {
 			return 0, err
 		}
@@ -328,7 +365,7 @@ func BenchmarkAblationMemo(b *testing.B) {
 		}
 		for run := 0; run < 15; run++ {
 			client.NewExecution()
-			if _, err := client.Invoke(fe.App.Class, fe.App.Method, args); err != nil {
+			if _, err := client.Invoke(context.Background(), fe.App.Class, fe.App.Method, args); err != nil {
 				return 0, err
 			}
 		}
@@ -367,7 +404,10 @@ func BenchmarkTCPRoundtrip(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer remote.Close()
-	client := core.NewClient("bench", fe.Prog, remote, radio.Fixed{Cls: radio.Class4}, core.StrategyR, 7)
+	client := core.New(core.ClientConfig{
+		ID: "bench", Prog: fe.Prog, Server: remote,
+		Channel: radio.Fixed{Cls: radio.Class4}, Strategy: core.StrategyR, Seed: 7,
+	})
 	if err := client.Register(fe.Target, fe.Prof); err != nil {
 		b.Fatal(err)
 	}
@@ -377,7 +417,7 @@ func BenchmarkTCPRoundtrip(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Invoke(fe.App.Class, fe.App.Method, args); err != nil {
+		if _, err := client.Invoke(context.Background(), fe.App.Class, fe.App.Method, args); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"io"
@@ -144,12 +146,17 @@ func renderTelemetry(w *os.File, env *experiments.Env, outage, burst float64, ru
 		"strategy", "energy", "exchg", "loss", "rtx", "stall", "tx B", "rx B", "retry", "probe", "down")
 	for _, s := range core.Strategies {
 		server := core.NewServer(env.Prog)
-		c := core.NewClient(fmt.Sprintf("%s-%v", env.App.Name, s), env.Prog, server,
-			radio.UniformChannel(rng.New(seed)), s, seed)
+		c := core.New(core.ClientConfig{
+			ID:       fmt.Sprintf("%s-%v", env.App.Name, s),
+			Prog:     env.Prog,
+			Server:   server,
+			Channel:  radio.UniformChannel(rng.New(seed)),
+			Strategy: s,
+			Seed:     seed,
+		}, core.WithFaultModel(radio.NewGilbertElliott(outage, burst)))
 		if err := c.Register(env.Target, env.Prof); err != nil {
 			return err
 		}
-		c.Link.Fault = radio.NewGilbertElliott(outage, burst)
 		sizes := env.App.ScenarioSizes
 		sizeR := rng.New(seed ^ 0xABCD)
 		for run := 0; run < runs; run++ {
@@ -159,7 +166,7 @@ func renderTelemetry(w *os.File, env *experiments.Env, outage, burst float64, ru
 				return err
 			}
 			c.NewExecution()
-			if _, err := c.Invoke(env.App.Class, env.App.Method, args); err != nil {
+			if _, err := c.Invoke(context.Background(), env.App.Class, env.App.Method, args); err != nil {
 				return err
 			}
 			c.StepChannel()

@@ -1,0 +1,204 @@
+// Command fleetsim simulates a fleet of Java-enabled handsets sharing
+// one offload server, sweeping fleet size against offload strategy to
+// show how the server's admission control (bounded worker pool plus a
+// bounded queue) degrades: queue waits grow, requests are shed with
+// busy errors, and the adaptive strategies price those errors into
+// their decisions and shift work back to local execution.
+//
+// Usage:
+//
+//	fleetsim -app fe                          # default 32-client fleet
+//	fleetsim -app fe -clients 8,16,32,64 -sweep
+//	fleetsim -app fe -clients 16 -strategies AA,AL,R -server-workers 2 -queue 4
+//	fleetsim -app fe -clients 32 -metrics fleet.json
+//
+// Every run is deterministic for a given -seed: the engine resolves
+// the fleet's contention in virtual time, so the concurrency level
+// (-concurrency) changes only wall-clock time, never results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"greenvm/internal/apps"
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+	"greenvm/internal/experiments"
+	"greenvm/internal/fleet"
+)
+
+func main() {
+	app := flag.String("app", "fe", "built-in benchmark the fleet runs")
+	clients := flag.String("clients", "32", "fleet size, or a comma-separated list for -sweep")
+	execs := flag.Int("execs", 4, "application executions per client")
+	strategies := flag.String("strategies", "R,AL,AA", "comma-separated strategy mix cycled across clients")
+	workers := flag.Int("server-workers", core.DefaultWorkers, "server execution worker pool size")
+	queue := flag.Int("queue", core.DefaultQueueCap, "server admission queue capacity (negative: no waiting)")
+	seed := flag.Uint64("seed", 42, "base seed; same seed, same results")
+	concurrency := flag.Int("concurrency", 0, "client goroutines simulated in parallel (0 = GOMAXPROCS)")
+	sweep := flag.Bool("sweep", false, "print the fleet-size x strategy aggregate table instead of one run's detail")
+	metrics := flag.String("metrics", "", "write the run's observability snapshot (JSON) to this file; '-' for stdout")
+	flag.Parse()
+
+	if err := run(*app, *clients, *execs, *strategies, *workers, *queue,
+		*seed, *concurrency, *sweep, *metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName, clientList string, execs int, strategyList string,
+	workers, queue int, seed uint64, concurrency int, sweep bool, metrics string) error {
+
+	a := apps.ByName(appName)
+	if a == nil {
+		names := make([]string, 0, 8)
+		for _, x := range apps.All() {
+			names = append(names, x.Name)
+		}
+		return fmt.Errorf("unknown benchmark %q (have %s)", appName, strings.Join(names, ", "))
+	}
+	strats, err := parseStrategies(strategyList)
+	if err != nil {
+		return err
+	}
+	sizes, err := parseInts(clientList)
+	if err != nil {
+		return fmt.Errorf("-clients: %w", err)
+	}
+
+	fmt.Printf("profiling %s...\n", a.Name)
+	env, err := experiments.Prepare(a, seed)
+	if err != nil {
+		return err
+	}
+	w := fleet.WorkloadOf(env)
+	server := core.SessionConfig{Workers: workers, QueueCap: queue}
+
+	if sweep {
+		return runSweep(w, sizes, strats, execs, server, seed, concurrency)
+	}
+
+	spec := fleet.MixedFleet(w, sizes[0], strats, execs, server, seed)
+	spec.Concurrency = concurrency
+	res, err := fleet.Run(spec)
+	if err != nil {
+		return err
+	}
+	res.WriteSummary(os.Stdout)
+	if err := clientErrors(res); err != nil {
+		return err
+	}
+	if metrics != "" {
+		out := os.Stdout
+		if metrics != "-" {
+			f, err := os.Create(metrics)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := res.Registry().WriteJSON(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSweep prints the aggregate table: one row per (fleet size,
+// strategy), each a homogeneous fleet, so the capacity cliff and the
+// adaptive strategies' response to it line up column by column.
+func runSweep(w fleet.Workload, sizes []int, strats []core.Strategy, execs int,
+	server core.SessionConfig, seed uint64, concurrency int) error {
+
+	fmt.Printf("\nfleet sweep on %s — server workers=%d queue=%d, %d executions/client\n\n",
+		w.Name, server.Workers, server.QueueCap, execs)
+	fmt.Printf("%7s %-5s | %12s %12s | %6s %6s %6s | %9s %6s\n",
+		"clients", "strat", "energy/cli", "total", "served", "shed", "shed%", "max wait", "depth")
+	for _, n := range sizes {
+		for _, s := range strats {
+			spec := fleet.MixedFleet(w, n, []core.Strategy{s}, execs, server, seed)
+			spec.Concurrency = concurrency
+			res, err := fleet.Run(spec)
+			if err != nil {
+				return err
+			}
+			if err := clientErrors(res); err != nil {
+				return err
+			}
+			var maxWait float64
+			for _, v := range res.Server.Waits {
+				if v > maxWait {
+					maxWait = v
+				}
+			}
+			total := res.TotalEnergy()
+			fmt.Printf("%7d %-5v | %12v %12v | %6d %6d %5.1f%% | %7.2fms %6d\n",
+				n, s, total/energy.Joules(n), total,
+				res.Server.Served, res.Server.Shed, 100*res.ShedRate(),
+				maxWait*1e3, res.Server.MaxQueueDepth)
+		}
+	}
+	return nil
+}
+
+func clientErrors(res *fleet.Result) error {
+	for _, c := range res.Clients {
+		if c.Err != "" {
+			return fmt.Errorf("client %s: %s", c.ID, c.Err)
+		}
+	}
+	return nil
+}
+
+func parseStrategies(list string) ([]core.Strategy, error) {
+	var out []core.Strategy
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, s := range core.Strategies {
+			if strings.EqualFold(s.String(), name) {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown strategy %q (have R, I, L1, L2, L3, AL, AA)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no strategies in %q", list)
+	}
+	return out, nil
+}
+
+func parseInts(list string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("fleet size %d must be positive", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -8,6 +8,12 @@
 //	mjserver -listen :7033 app.{mj,mjc}
 //	mjserver -listen :7033 -app mf          # serve a built-in benchmark
 //	mjserver -listen :7033 -app mf -metrics :9033
+//	mjserver -listen :7033 -app mf -workers 2 -queue 8
+//
+// -workers and -queue shape the admission control in front of the
+// execution pool: requests beyond the worker pool wait in a bounded
+// queue, and requests beyond the queue are shed with a busy error the
+// clients price into their offload decisions.
 //
 // With -metrics the server additionally exposes its RPC metrics
 // (requests, bytes, connections, recovered panics) over HTTP:
@@ -36,14 +42,17 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7033", "address to listen on")
 	app := flag.String("app", "", "serve a built-in benchmark instead of a file")
 	metrics := flag.String("metrics", "", "serve RPC metrics over HTTP on this address (/metrics, /metrics.json)")
+	workers := flag.Int("workers", core.DefaultWorkers, "execution worker pool size (admission control)")
+	queue := flag.Int("queue", core.DefaultQueueCap, "admission queue capacity; requests beyond it are shed busy")
 	flag.Parse()
-	if err := run(*listen, *app, *metrics, flag.Args()); err != nil {
+	cfg := core.SessionConfig{Workers: *workers, QueueCap: *queue}
+	if err := run(*listen, *app, *metrics, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mjserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, app, metrics string, args []string) error {
+func run(listen, app, metrics string, cfg core.SessionConfig, args []string) error {
 	var prog *bytecode.Program
 	var err error
 	switch {
@@ -88,7 +97,7 @@ func run(listen, app, metrics string, args []string) error {
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, close live
 	// connections and drain in-flight handlers before exiting.
-	srv := core.NewTCPServer(core.NewServer(prog))
+	srv := core.NewSessionTCPServer(core.NewSessionServer(core.NewServer(prog), cfg))
 	if metrics != "" {
 		collector := obs.NewRPCCollector(nil)
 		srv.Metrics = collector

@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"strings"
@@ -38,7 +40,10 @@ func main() {
 	chRand := rng.New(77)
 	channel := radio.NewMarkov(radio.Class3, 0.55, chRand)
 	server := core.NewServer(prog)
-	client := core.NewClient("pda-2", prog, server, channel, core.StrategyAL, 13)
+	client := core.New(core.ClientConfig{
+		ID: "pda-2", Prog: prog, Server: server,
+		Channel: channel, Strategy: core.StrategyAL, Seed: 13,
+	})
 	if err := client.Register(target, prof); err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +62,7 @@ func main() {
 			log.Fatal(err)
 		}
 		client.NewExecution()
-		if _, err := client.Invoke(app.Class, app.Method, args); err != nil {
+		if _, err := client.Invoke(context.Background(), app.Class, app.Method, args); err != nil {
 			log.Fatal(err)
 		}
 		rec := trace.Records[len(trace.Records)-1]
@@ -85,7 +90,10 @@ func main() {
 	for _, strat := range []core.Strategy{core.StrategyR, core.StrategyI, core.StrategyL2} {
 		ch := radio.NewMarkov(radio.Class3, 0.55, rng.New(77))
 		srv := core.NewServer(prog)
-		cl := core.NewClient("pda-2", prog, srv, ch, strat, 13)
+		cl := core.New(core.ClientConfig{
+			ID: "pda-2", Prog: prog, Server: srv,
+			Channel: ch, Strategy: strat, Seed: 13,
+		})
 		if err := cl.Register(target, prof); err != nil {
 			log.Fatal(err)
 		}
@@ -94,7 +102,7 @@ func main() {
 			size := sizes[sr.Intn(len(sizes))]
 			args, _ := target.MakeArgs(cl.VM, size, rng.New(uint64(size)))
 			cl.NewExecution()
-			if _, err := cl.Invoke(app.Class, app.Method, args); err != nil {
+			if _, err := cl.Invoke(context.Background(), app.Class, app.Method, args); err != nil {
 				log.Fatal(err)
 			}
 			cl.StepChannel()

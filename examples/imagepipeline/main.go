@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"os"
@@ -50,7 +52,10 @@ func main() {
 	}
 
 	server := core.NewServer(prog)
-	client := core.NewClient("camera-1", prog, server, radio.Fixed{Cls: radio.Class4}, core.StrategyAL, 5)
+	client := core.New(core.ClientConfig{
+		ID: "camera-1", Prog: prog, Server: server,
+		Channel: radio.Fixed{Cls: radio.Class4}, Strategy: core.StrategyAL, Seed: 5,
+	})
 	profiler := &core.Profiler{
 		Prog:        prog,
 		ClientModel: energy.MicroSPARCIIep(),
@@ -77,7 +82,7 @@ func main() {
 	w, h := int32(img.W), int32(img.H)
 
 	run := func(class, method string, args []vm.Slot) int64 {
-		res, err := client.Invoke(class, method, args)
+		res, err := client.Invoke(context.Background(), class, method, args)
 		if err != nil {
 			log.Fatal(err)
 		}

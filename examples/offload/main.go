@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -37,7 +39,10 @@ func main() {
 	}
 
 	server := core.NewServer(prog)
-	client := core.NewClient("pda-7", prog, server, radio.Fixed{Cls: radio.Class3}, core.StrategyR, 11)
+	client := core.New(core.ClientConfig{
+		ID: "pda-7", Prog: prog, Server: server,
+		Channel: radio.Fixed{Cls: radio.Class3}, Strategy: core.StrategyR, Seed: 11,
+	})
 	if err := client.Register(target, prof); err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +55,7 @@ func main() {
 	}
 
 	fmt.Println("1. client invokes PF.shortest — the JVM intercepts the potential method")
-	res, err := client.Invoke(app.Class, app.Method, args)
+	res, err := client.Invoke(context.Background(), app.Class, app.Method, args)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +72,7 @@ func main() {
 
 	fmt.Println("3. the channel drops — the client times out and falls back locally")
 	client.Link.LossProb = 1.0
-	res2, err := client.Invoke(app.Class, app.Method, args)
+	res2, err := client.Invoke(context.Background(), app.Class, app.Method, args)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +91,7 @@ func main() {
 
 	fmt.Println("4. remote compilation: download the pre-compiled body instead of running the JIT")
 	client.Link.LossProb = 0
-	body, bytes, err := server.CompiledBody("PF.shortest", 2)
+	body, bytes, err := server.CompiledBody(context.Background(), "PF.shortest", 2)
 	if err != nil {
 		log.Fatal(err)
 	}

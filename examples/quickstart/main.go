@@ -4,6 +4,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -75,13 +77,16 @@ func main() {
 	fmt.Printf("%-9s %12s %12s   %s\n", "strategy", "energy", "avg time", "modes chosen [R I L1 L2 L3]")
 	for _, strategy := range core.Strategies {
 		server := core.NewServer(prog)
-		client := core.NewClient("pda-1", prog, server, radio.Fixed{Cls: radio.Class4}, strategy, 7)
+		client := core.New(core.ClientConfig{
+			ID: "pda-1", Prog: prog, Server: server,
+			Channel: radio.Fixed{Cls: radio.Class4}, Strategy: strategy, Seed: 7,
+		})
 		if err := client.Register(target, prof); err != nil {
 			log.Fatal(err)
 		}
 		for run := 0; run < 10; run++ {
 			client.NewExecution() // classes reload per app execution
-			res, err := client.Invoke("Primes", "countPrimes", []vm.Slot{vm.IntSlot(6000)})
+			res, err := client.Invoke(context.Background(), "Primes", "countPrimes", []vm.Slot{vm.IntSlot(6000)})
 			if err != nil {
 				log.Fatal(err)
 			}

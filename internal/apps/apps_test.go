@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"context"
+
 	"testing"
 
 	"greenvm/internal/bytecode"
@@ -124,7 +126,10 @@ func TestRemoteMatchesReference(t *testing.T) {
 				t.Fatal(err)
 			}
 			server := core.NewServer(p)
-			client := core.NewClient("c", p, server, radio.Fixed{Cls: radio.Class4}, core.StrategyR, 3)
+			client := core.New(core.ClientConfig{
+				ID: "c", Prog: p, Server: server,
+				Channel: radio.Fixed{Cls: radio.Class4}, Strategy: core.StrategyR, Seed: 3,
+			})
 			pr := &core.Profiler{Prog: p, ClientModel: energy.MicroSPARCIIep(), ServerModel: energy.ServerSPARC(), Seed: 11}
 			target := appTargetFor(a, p)
 			prof, err := pr.ProfileTarget(target)
@@ -139,7 +144,7 @@ func TestRemoteMatchesReference(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := client.Invoke(a.Class, a.Method, args)
+			res, err := client.Invoke(context.Background(), a.Class, a.Method, args)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -25,7 +27,7 @@ func TestEWMAPrediction(t *testing.T) {
 	m := p.FindMethod("App", "work")
 	sizes := []int32{100, 200, 400}
 	for _, s := range sizes {
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(s)}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(s)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -53,7 +55,7 @@ func TestNewExecutionResetsAmortization(t *testing.T) {
 	c := newTestClient(t, p, StrategyAL, radio.Fixed{Cls: radio.Class1}, workTarget())
 	m := p.FindMethod("App", "work")
 	for i := 0; i < 30; i++ {
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(600)}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(600)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -79,7 +81,7 @@ func TestRecompileChargesAgain(t *testing.T) {
 	p := testProgram(t)
 	c := newTestClient(t, p, StrategyL2, radio.Fixed{Cls: radio.Class4}, workTarget())
 	args := []vm.Slot{vm.IntSlot(100)}
-	if _, err := c.Invoke("App", "work", args); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 		t.Fatal(err)
 	}
 	e1 := c.VM.Acct.Component(energy.CompCompile)
@@ -87,7 +89,7 @@ func TestRecompileChargesAgain(t *testing.T) {
 		t.Fatal("first execution should charge compilation")
 	}
 	c.NewExecution()
-	if _, err := c.Invoke("App", "work", args); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 		t.Fatal(err)
 	}
 	e2 := c.VM.Acct.Component(energy.CompCompile)
@@ -126,7 +128,7 @@ func TestPilotTrackerErrorRobustness(t *testing.T) {
 	c.Link.Tracker = radio.NewPilotTracker(ch, 0.2, rng.New(4))
 	for i := 0; i < 25; i++ {
 		c.NewExecution()
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(400)}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(400)}); err != nil {
 			t.Fatal(err)
 		}
 		c.StepChannel()
@@ -148,14 +150,14 @@ func TestPilotTrackerErrorRobustness(t *testing.T) {
 func TestMultipleTargetsIndependentState(t *testing.T) {
 	p := testProgram(t)
 	c := newTestClient(t, p, StrategyAL, radio.Fixed{Cls: radio.Class4}, workTarget(), vecsumTarget())
-	if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(300)}); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(300)}); err != nil {
 		t.Fatal(err)
 	}
 	args, err := vecsumTarget().MakeArgs(c.VM, 128, rng.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke("App", "vecsum", args); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "vecsum", args); err != nil {
 		t.Fatal(err)
 	}
 	work := p.FindMethod("App", "work")
@@ -178,7 +180,7 @@ func TestClockAdvancesMonotonically(t *testing.T) {
 	last := c.Clock
 	for i := 0; i < 12; i++ {
 		c.NewExecution()
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(int32(100 + i*60))}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(int32(100 + i*60))}); err != nil {
 			t.Fatal(err)
 		}
 		if c.Clock <= last {
@@ -235,7 +237,7 @@ func TestCodeCacheEviction(t *testing.T) {
 	c.Exec.Cache.MaxBytes = 150
 
 	argsW := []vm.Slot{vm.IntSlot(100)}
-	if _, err := c.Invoke("App", "work", argsW); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", argsW); err != nil {
 		t.Fatal(err)
 	}
 	compiles1 := c.Stats.LocalCompiles
@@ -243,7 +245,7 @@ func TestCodeCacheEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke("App", "vecsum", argsV); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "vecsum", argsV); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats.Evictions == 0 {
@@ -251,7 +253,7 @@ func TestCodeCacheEviction(t *testing.T) {
 	}
 	// Re-running work must recompile what was evicted (same
 	// execution, so without a cache it would have stayed linked).
-	if _, err := c.Invoke("App", "work", argsW); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", argsW); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats.LocalCompiles <= compiles1+2 {
@@ -260,11 +262,11 @@ func TestCodeCacheEviction(t *testing.T) {
 
 	// An unlimited cache never evicts.
 	c2 := newTestClient(t, p, StrategyL2, radio.Fixed{Cls: radio.Class4}, workTarget(), vecsumTarget())
-	if _, err := c2.Invoke("App", "work", argsW); err != nil {
+	if _, err := c2.Invoke(context.Background(), "App", "work", argsW); err != nil {
 		t.Fatal(err)
 	}
 	argsV2, _ := vecsumTarget().MakeArgs(c2.VM, 64, rng.New(2))
-	if _, err := c2.Invoke("App", "vecsum", argsV2); err != nil {
+	if _, err := c2.Invoke(context.Background(), "App", "vecsum", argsV2); err != nil {
 		t.Fatal(err)
 	}
 	if c2.Stats.Evictions != 0 {
@@ -287,13 +289,16 @@ func TestConcurrentClientsOneServer(t *testing.T) {
 	for i := 0; i < n; i++ {
 		i := i
 		go func() {
-			c := NewClient(fmt.Sprintf("pda-%d", i), p, server, radio.Fixed{Cls: radio.Class4}, StrategyR, uint64(i))
+			c := New(ClientConfig{
+				ID: fmt.Sprintf("pda-%d", i), Prog: p, Server: server,
+				Channel: radio.Fixed{Cls: radio.Class4}, Strategy: StrategyR, Seed: uint64(i),
+			})
 			if err := c.Register(workTarget(), prof); err != nil {
 				errs <- err
 				return
 			}
 			for run := 0; run < 5; run++ {
-				res, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(int32(100 + i))})
+				res, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(int32(100 + i))})
 				if err != nil {
 					errs <- err
 					return

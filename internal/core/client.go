@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"greenvm/internal/bytecode"
@@ -81,40 +82,25 @@ type Client struct {
 
 	lastAcctTime energy.Seconds
 	r            *rng.RNG
+
+	// ctx is the context of the in-flight Invoke; the executor's
+	// remote path consults it between attempts and hands it to the
+	// transport.
+	ctx context.Context
+
+	// busyRate is the EWMA estimate of the server shedding load (1 =
+	// every recent exchange came back busy). RemoteEnergy inflates its
+	// price by 1/(1-busyRate), so adaptive policies steer work back to
+	// local execution while the server is overloaded and drift back as
+	// successes decay the estimate.
+	busyRate float64
 }
 
-// NewClient builds a client executing prog under the given strategy,
-// talking to server over a channel process.
+// Deprecated: NewClient is the legacy six-positional-argument
+// constructor; use New with a ClientConfig (and functional options)
+// instead. This shim will be removed in the next release.
 func NewClient(id string, prog *bytecode.Program, server Remote, ch radio.Channel, strategy Strategy, seed uint64) *Client {
-	model := energy.MicroSPARCIIep()
-	v := vm.New(prog, model)
-	r := rng.New(seed)
-	c := &Client{
-		ID:           id,
-		Prog:         prog,
-		VM:           v,
-		Model:        model,
-		Link:         radio.NewLink(radio.WCDMA(), ch, v.Acct, r),
-		Server:       server,
-		Strategy:     strategy,
-		Policy:       NewPolicy(strategy),
-		Events:       &Sinks{},
-		Stats:        &Stats{},
-		Timeout:      0.05,
-		MaxRetries:   2,
-		RetryBackoff: 0.05,
-		Breaker:      NewBreaker(),
-		targets:      map[*bytecode.Method]*Target{},
-		profiles:     map[*bytecode.Method]*Profile{},
-		plans:        map[*bytecode.Method][]*bytecode.Method{},
-		inFlight:     map[*bytecode.Method]bool{},
-		r:            r,
-	}
-	c.Events.Attach(c.Stats)
-	c.Exec = newExecutor(c)
-	v.Hook = c.hook
-	v.Dispatch = vm.DispatchFunc(c.Exec.dispatch)
-	return c
+	return New(ClientConfig{ID: id, Prog: prog, Server: server, Channel: ch, Strategy: strategy, Seed: seed})
 }
 
 // EnableTrace attaches (and returns) a Trace sink recording every
@@ -179,13 +165,27 @@ func (c *Client) syncClock() {
 }
 
 // Invoke runs a registered potential method with the given arguments
-// (already resident in the client VM's heap).
-func (c *Client) Invoke(class, method string, args []vm.Slot) (vm.Slot, error) {
+// (already resident in the client VM's heap). ctx cancels the remote
+// path of the invocation — a cancelled offload surfaces as the
+// context's error instead of falling back locally; nil means
+// context.Background().
+func (c *Client) Invoke(ctx context.Context, class, method string, args []vm.Slot) (vm.Slot, error) {
 	m := c.Prog.FindMethod(class, method)
 	if m == nil {
 		return vm.Slot{}, fmt.Errorf("core: no method %s.%s", class, method)
 	}
+	prev := c.ctx
+	c.ctx = ctx
+	defer func() { c.ctx = prev }()
 	return c.VM.Invoke(m, args)
+}
+
+// invokeCtx is the context of the in-flight invocation.
+func (c *Client) invokeCtx() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // execute asks the policy where and how to run m and has the executor
@@ -304,9 +304,11 @@ func (c *Client) noteRemoteFailure() {
 	}
 }
 
-// noteRemoteSuccess records one successful remote exchange, emitting
-// EvLinkUp when it closes a half-open breaker.
+// noteRemoteSuccess records one successful remote exchange: the busy
+// estimate decays, and the breaker hears the success (emitting
+// EvLinkUp when it closes a half-open breaker).
 func (c *Client) noteRemoteSuccess() {
+	c.busyRate *= busyEWMAWeight
 	if c.Breaker == nil {
 		return
 	}
@@ -314,6 +316,25 @@ func (c *Client) noteRemoteSuccess() {
 		c.Events.Emit(Event{Kind: EvLinkUp, At: c.Clock, Radio: c.Link.Telemetry()})
 	}
 }
+
+// The busy-rate EWMA weight matches the paper's adaptive estimators
+// (§3.4 uses 0.7 for size and power); the cap keeps the 1/(1-rate)
+// price inflation finite under sustained shedding.
+const (
+	busyEWMAWeight = 0.7
+	busyRateCap    = 0.95
+)
+
+// noteServerBusy folds one admission rejection into the busy-rate
+// estimate. Busy is not a link failure: the breaker and loss counters
+// are untouched, only the price of future offloads rises.
+func (c *Client) noteServerBusy() {
+	c.busyRate = busyEWMAWeight*c.busyRate + (1 - busyEWMAWeight)
+}
+
+// BusyRate is the current server-busy EWMA estimate (0 = no recent
+// rejections).
+func (c *Client) BusyRate() float64 { return c.busyRate }
 
 // retryWorthwhile reports whether re-attempting a lost remote
 // exchange is still estimated cheaper than the policy's best local
@@ -432,6 +453,16 @@ func (c *Client) RemoteEnergy(prof *Profile, s, pWatts float64) energy.Joules {
 	words := (txBytes + rxBytes) / 4
 	e += energy.Joules(words) * (c.Model.PerInstr[energy.Load] + c.Model.PerInstr[energy.Store] +
 		2*c.Model.PerInstr[energy.ALUSimple])
+	// Admission-control pricing: when the server has been shedding,
+	// an offload is expected to cost ~1/(1-busyRate) attempts' worth
+	// of shipping before one is admitted, so the estimate inflates and
+	// adaptive policies shift work back to local execution.
+	if r := c.busyRate; r > 0 {
+		if r > busyRateCap {
+			r = busyRateCap
+		}
+		e = energy.Joules(float64(e) / (1 - r))
+	}
 	return e
 }
 

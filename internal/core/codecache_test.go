@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"greenvm/internal/bytecode"
@@ -21,7 +23,7 @@ func TestEvictionRechargesCompileEnergy(t *testing.T) {
 	mW := p.FindMethod("App", "work")
 
 	argsW := []vm.Slot{vm.IntSlot(100)}
-	if _, err := c.Invoke("App", "work", argsW); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", argsW); err != nil {
 		t.Fatal(err)
 	}
 	e1 := c.VM.Acct.Component(energy.CompCompile)
@@ -33,7 +35,7 @@ func TestEvictionRechargesCompileEnergy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke("App", "vecsum", argsV); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "vecsum", argsV); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats.Evictions == 0 {
@@ -45,7 +47,7 @@ func TestEvictionRechargesCompileEnergy(t *testing.T) {
 	}
 	e2 := c.VM.Acct.Component(energy.CompCompile)
 
-	if _, err := c.Invoke("App", "work", argsW); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", argsW); err != nil {
 		t.Fatal(err)
 	}
 	if e3 := c.VM.Acct.Component(energy.CompCompile); e3 <= e2 {

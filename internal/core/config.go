@@ -1,0 +1,135 @@
+package core
+
+import (
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+	"greenvm/internal/radio"
+	"greenvm/internal/rng"
+	"greenvm/internal/vm"
+)
+
+// ClientConfig carries the required identity of a Client: who it is,
+// what it runs, whom it talks to, over what channel, deciding how.
+// Everything optional — fault models, extra sinks, breaker and retry
+// tuning — is applied through functional options, so call sites name
+// what they change instead of threading positional arguments.
+type ClientConfig struct {
+	// ID identifies the client to the server (the mobile status table
+	// and the session layer key on it).
+	ID string
+	// Prog is the application program, shared with the server.
+	Prog *bytecode.Program
+	// Server is the remote end: an in-process Server, a Session, or a
+	// TCP RemoteServer.
+	Server Remote
+	// Channel is the wireless channel process; nil means a fixed
+	// best-condition channel.
+	Channel radio.Channel
+	// Strategy selects the execution/compilation policy (the zero
+	// value is StrategyR, matching the Strategy constants).
+	Strategy Strategy
+	// Seed seeds the client's RNG stream (channel tracking, fault
+	// draws).
+	Seed uint64
+}
+
+// Option tweaks a Client at construction time, after the required
+// configuration is applied.
+type Option func(*Client)
+
+// New builds a client from the config and applies the options in
+// order. The model is the paper's microSPARC-IIep handset; swap fields
+// on the returned client for anything an option does not cover.
+func New(cfg ClientConfig, opts ...Option) *Client {
+	model := energy.MicroSPARCIIep()
+	v := vm.New(cfg.Prog, model)
+	r := rng.New(cfg.Seed)
+	ch := cfg.Channel
+	if ch == nil {
+		ch = radio.Fixed{Cls: radio.Class4}
+	}
+	c := &Client{
+		ID:           cfg.ID,
+		Prog:         cfg.Prog,
+		VM:           v,
+		Model:        model,
+		Link:         radio.NewLink(radio.WCDMA(), ch, v.Acct, r),
+		Server:       cfg.Server,
+		Strategy:     cfg.Strategy,
+		Policy:       NewPolicy(cfg.Strategy),
+		Events:       &Sinks{},
+		Stats:        &Stats{},
+		Timeout:      0.05,
+		MaxRetries:   2,
+		RetryBackoff: 0.05,
+		Breaker:      NewBreaker(),
+		targets:      map[*bytecode.Method]*Target{},
+		profiles:     map[*bytecode.Method]*Profile{},
+		plans:        map[*bytecode.Method][]*bytecode.Method{},
+		inFlight:     map[*bytecode.Method]bool{},
+		r:            r,
+	}
+	c.Events.Attach(c.Stats)
+	c.Exec = newExecutor(c)
+	v.Hook = c.hook
+	v.Dispatch = vm.DispatchFunc(c.Exec.dispatch)
+	for _, opt := range opts {
+		if opt != nil {
+			opt(c)
+		}
+	}
+	return c
+}
+
+// WithFaultModel installs a link fault model (burst outages, response
+// losses, stalls; see internal/radio).
+func WithFaultModel(f radio.FaultModel) Option {
+	return func(c *Client) { c.Link.Fault = f }
+}
+
+// WithLossProb sets the legacy i.i.d. per-exchange loss probability
+// (ignored when a fault model is installed).
+func WithLossProb(p float64) Option {
+	return func(c *Client) { c.Link.LossProb = p }
+}
+
+// WithSink attaches an additional event sink (metrics, auditor,
+// tracer, trace).
+func WithSink(s EventSink) Option {
+	return func(c *Client) {
+		if s != nil {
+			c.Events.Attach(s)
+		}
+	}
+}
+
+// WithBreaker replaces the link circuit breaker; nil disables it.
+func WithBreaker(b *Breaker) Option {
+	return func(c *Client) { c.Breaker = b }
+}
+
+// WithTimeout sets the §3.2 loss-detection listen window.
+func WithTimeout(d energy.Seconds) Option {
+	return func(c *Client) { c.Timeout = d }
+}
+
+// WithRetries shapes the remote retry loop: at most max re-attempts
+// per invocation, starting from the given backoff listen window
+// (doubling per retry).
+func WithRetries(max int, backoff energy.Seconds) Option {
+	return func(c *Client) {
+		c.MaxRetries = max
+		c.RetryBackoff = backoff
+	}
+}
+
+// WithMemo attaches a memo so repeated identical executions replay
+// their recorded deltas; the driver must keep MemoInputKey current.
+func WithMemo(m *Memo) Option {
+	return func(c *Client) { c.Memo = m }
+}
+
+// WithPolicy replaces the strategy-derived policy with a custom one.
+func WithPolicy(p Policy) Option {
+	return func(c *Client) { c.Policy = p }
+}

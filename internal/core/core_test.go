@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"greenvm/internal/bytecode"
@@ -142,7 +144,7 @@ func TestProfileAccuracyWithinTwoPercent(t *testing.T) {
 func newTestClient(t *testing.T, p *bytecode.Program, strategy Strategy, ch radio.Channel, targets ...*Target) *Client {
 	t.Helper()
 	server := NewServer(p)
-	c := NewClient("client-1", p, server, ch, strategy, 7)
+	c := New(ClientConfig{ID: "client-1", Prog: p, Server: server, Channel: ch, Strategy: strategy, Seed: 7})
 	pr := newProfiler(p)
 	for _, tg := range targets {
 		prof, err := pr.ProfileTarget(tg)
@@ -162,7 +164,7 @@ func TestAllStrategiesComputeSameResult(t *testing.T) {
 	for _, s := range Strategies {
 		p := testProgram(t)
 		c := newTestClient(t, p, s, radio.Fixed{Cls: radio.Class4}, workTarget())
-		res, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(200)})
+		res, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(200)})
 		if err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
@@ -196,7 +198,7 @@ func TestRemoteRefArguments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Invoke("App", "vecsum", args)
+	got, err := c.Invoke(context.Background(), "App", "vecsum", args)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +219,7 @@ func TestStaticCompiledStrategiesCompileOnce(t *testing.T) {
 	p := testProgram(t)
 	c := newTestClient(t, p, StrategyL2, radio.Fixed{Cls: radio.Class4}, workTarget())
 	for i := 0; i < 3; i++ {
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(100)}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(100)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -237,7 +239,7 @@ func TestConnectionLossFallsBackLocally(t *testing.T) {
 	p := testProgram(t)
 	c := newTestClient(t, p, StrategyR, radio.Fixed{Cls: radio.Class4}, workTarget())
 	c.Link.LossProb = 1.0
-	res, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(150)})
+	res, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(150)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +263,7 @@ func TestAdaptiveCompilesHotMethod(t *testing.T) {
 	// compilation worthwhile.
 	c := newTestClient(t, p, StrategyAL, radio.Fixed{Cls: radio.Class1}, workTarget())
 	for i := 0; i < 40; i++ {
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(600)}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(600)}); err != nil {
 			t.Fatal(err)
 		}
 		c.StepChannel()
@@ -279,7 +281,7 @@ func TestAdaptiveOffloadsUnderGoodChannel(t *testing.T) {
 	p := testProgram(t)
 	c := newTestClient(t, p, StrategyAL, radio.Fixed{Cls: radio.Class4}, workTarget())
 	for i := 0; i < 10; i++ {
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(800)}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(800)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -295,7 +297,7 @@ func TestAARemoteCompilation(t *testing.T) {
 	// offload configuration: use moderate size where compiled local
 	// execution wins.
 	for i := 0; i < 30; i++ {
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(400)}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(400)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -316,7 +318,7 @@ func TestAAFallsBackToLocalCompileOnLoss(t *testing.T) {
 	c.Link.LossProb = 1.0
 	// Remote execution impossible; remote compile impossible; client
 	// must still make progress locally.
-	res, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(300)})
+	res, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(300)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,7 +339,7 @@ func TestServerStatusTableQueuesEarlyResults(t *testing.T) {
 	m := p.FindMethod("App", "work")
 	args, _ := v.Heap.EncodeArgs(m, []vm.Slot{vm.IntSlot(100)})
 	// Client claims it will sleep for a long time: result gets queued.
-	_, servTime, queued, err := server.Execute("c1", "App", "work", args, 0, 100)
+	_, servTime, queued, err := server.Execute(context.Background(), "c1", "App", "work", args, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +354,7 @@ func TestServerStatusTableQueuesEarlyResults(t *testing.T) {
 		t.Error("status table row not updated")
 	}
 	// Client that wakes immediately: not queued.
-	_, _, queued, err = server.Execute("c1", "App", "work", args, 0, 0)
+	_, _, queued, err = server.Execute(context.Background(), "c1", "App", "work", args, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,11 +366,11 @@ func TestServerStatusTableQueuesEarlyResults(t *testing.T) {
 func TestServerCompiledBodyCache(t *testing.T) {
 	p := testProgram(t)
 	server := NewServer(p)
-	c1, n1, err := server.CompiledBody("App.helper", jit.Level2)
+	c1, n1, err := server.CompiledBody(context.Background(), "App.helper", jit.Level2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, n2, err := server.CompiledBody("App.helper", jit.Level2)
+	c2, n2, err := server.CompiledBody(context.Background(), "App.helper", jit.Level2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +380,7 @@ func TestServerCompiledBodyCache(t *testing.T) {
 	if c1 == c2 {
 		t.Error("server must hand out clones, not shared bodies")
 	}
-	if _, _, err := server.CompiledBody("No.Such", jit.Level1); err == nil {
+	if _, _, err := server.CompiledBody(context.Background(), "No.Such", jit.Level1); err == nil {
 		t.Error("unknown method should error")
 	}
 }
@@ -404,7 +406,7 @@ func TestDeterministicScenario(t *testing.T) {
 		p := testProgram(t)
 		c := newTestClient(t, p, StrategyAA, radio.UniformChannel(rng.New(5)), workTarget())
 		for i := 0; i < 15; i++ {
-			if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(int32(100 + 50*i))}); err != nil {
+			if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(int32(100 + 50*i))}); err != nil {
 				t.Fatal(err)
 			}
 			c.StepChannel()
@@ -430,7 +432,7 @@ func TestMemoReplayMatchesReal(t *testing.T) {
 			args := []vm.Slot{vm.IntSlot(250)}
 			for i := 0; i < 5; i++ {
 				c.VM.Hier.Flush()
-				if _, err := c.Invoke("App", "work", args); err != nil {
+				if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -451,7 +453,7 @@ func TestMemoCountsHits(t *testing.T) {
 	c.MemoInputKey = 7
 	args := []vm.Slot{vm.IntSlot(100)}
 	for i := 0; i < 3; i++ {
-		if _, err := c.Invoke("App", "work", args); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -463,7 +465,7 @@ func TestMemoCountsHits(t *testing.T) {
 	}
 	// A different input key re-measures.
 	c.MemoInputKey = 8
-	if _, err := c.Invoke("App", "work", args); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 		t.Fatal(err)
 	}
 	if c.Memo.Size() != 2 {

@@ -59,6 +59,12 @@ const (
 	// (interpret, native run, ship, listen, download, compile): At is
 	// the span's start, Time its duration.
 	EvPhase
+	// EvShed is one remote exchange the server rejected with a busy
+	// error (its admission queue was full). The client has already
+	// received the busy frame when it is emitted; the invocation falls
+	// back to local execution and the busy-rate estimate inflates
+	// future remote prices.
+	EvShed
 )
 
 // Phase identifies one span kind of the execution timeline.
@@ -219,6 +225,10 @@ type Stats struct {
 	MemoHits int
 	// Retries counts re-attempted remote exchanges after losses.
 	Retries int
+	// Sheds counts remote exchanges the server rejected with a busy
+	// error (admission queue full); each shed invocation fell back to
+	// local execution.
+	Sheds int
 	// Probes counts half-open circuit-breaker probes; LinkDowns and
 	// LinkUps count the breaker's open/close transitions.
 	Probes    int
@@ -245,6 +255,8 @@ func (s *Stats) Emit(e Event) {
 		s.ModeCounts[e.Mode]++
 	case EvRetry:
 		s.Retries++
+	case EvShed:
+		s.Sheds++
 	case EvProbe:
 		s.Probes++
 	case EvLinkDown:

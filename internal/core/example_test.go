@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -53,12 +55,15 @@ class App {
 	}
 
 	server := core.NewServer(prog)
-	client := core.NewClient("pda", prog, server, radio.Fixed{Cls: radio.Class4}, core.StrategyAA, 7)
+	client := core.New(core.ClientConfig{
+		ID: "pda", Prog: prog, Server: server,
+		Channel: radio.Fixed{Cls: radio.Class4}, Strategy: core.StrategyAA, Seed: 7,
+	})
 	if err := client.Register(target, prof); err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := client.Invoke("App", "sumsq", []vm.Slot{vm.IntSlot(1000)})
+	res, err := client.Invoke(context.Background(), "App", "sumsq", []vm.Slot{vm.IntSlot(1000)})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -72,7 +72,7 @@ func (x *Executor) planLinked(m *bytecode.Method, lv jit.Level) bool {
 }
 
 // Run executes m in the given mode, falling back to the policy's best
-// local mode on connection loss.
+// local mode on connection loss or an admission-control rejection.
 func (x *Executor) Run(mode Mode, m *bytecode.Method, t *Target, size float64, args []vm.Slot) (vm.Slot, bool, error) {
 	c := x.c
 	if mode == ModeRemote {
@@ -80,7 +80,7 @@ func (x *Executor) Run(mode Mode, m *bytecode.Method, t *Target, size float64, a
 		if err == nil {
 			return res, false, nil
 		}
-		if !errors.Is(err, radio.ErrConnectionLost) {
+		if !errors.Is(err, radio.ErrConnectionLost) && !errors.Is(err, ErrServerBusy) {
 			return vm.Slot{}, false, err
 		}
 		local := c.Policy.BestLocalMode(&InvokeContext{Method: m, Prof: c.profiles[m], Size: size, Env: c})
@@ -153,11 +153,26 @@ func (x *Executor) remoteWithRetries(m *bytecode.Method, t *Target, size float64
 	if backoff <= 0 {
 		backoff = c.Timeout
 	}
+	ctx := c.invokeCtx()
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return vm.Slot{}, err
+		}
 		res, err := x.remoteExecute(m, t, size, args)
 		if err == nil {
 			c.noteRemoteSuccess()
 			return res, nil
+		}
+		if errors.Is(err, ErrServerBusy) {
+			// The server shed the request at admission: the exchange
+			// is over (arguments shipped, busy frame received). No
+			// timeout listen, no breaker strike, no retry — the caller
+			// falls back locally and the busy estimate raises the
+			// price of the next offload.
+			c.Clock += c.Link.Control(busyFrameBytes)
+			c.noteServerBusy()
+			c.Events.Emit(Event{Kind: EvShed, Method: m, At: c.Clock, Radio: c.Link.Telemetry()})
+			return vm.Slot{}, err
 		}
 		if !errors.Is(err, radio.ErrConnectionLost) {
 			return vm.Slot{}, err
@@ -166,7 +181,7 @@ func (x *Executor) remoteWithRetries(m *bytecode.Method, t *Target, size float64
 		// threshold, connectivity is considered lost.
 		x.listen(m, c.Timeout)
 		c.noteRemoteFailure()
-		if attempt >= c.MaxRetries || !c.retryWorthwhile(m, size) || !c.RemoteAvailable() {
+		if attempt >= c.MaxRetries || !c.retryWorthwhile(m, size) || !c.RemoteAvailable() || ctx.Err() != nil {
 			return vm.Slot{}, err
 		}
 		// Back off before re-attempting, receiver up (the client keeps
@@ -228,7 +243,7 @@ func (x *Executor) remoteExecute(m *bytecode.Method, t *Target, size float64, ar
 		estServ = 0
 	}
 	reqTime := c.Clock
-	resBytes, servTime, _, err := c.Server.Execute(c.ID, t.Class, t.Method, argBytes, reqTime, reqTime+estServ)
+	resBytes, servTime, _, err := c.Server.Execute(c.invokeCtx(), c.ID, t.Class, t.Method, argBytes, reqTime, reqTime+estServ)
 	if err != nil {
 		return vm.Slot{}, err
 	}
@@ -327,12 +342,19 @@ func (x *Executor) ensurePlanCompiled(m *bytecode.Method, lv jit.Level) error {
 			if err := x.downloadBody(mm, lv); err == nil {
 				c.noteRemoteSuccess()
 				continue
+			} else if errors.Is(err, ErrServerBusy) {
+				// The server shed the download; compile locally and
+				// raise the busy estimate.
+				c.Clock += c.Link.Control(busyFrameBytes)
+				c.noteServerBusy()
+				c.Events.Emit(Event{Kind: EvShed, Method: mm, Level: lv, At: c.Clock, Radio: c.Link.Telemetry()})
 			} else if !errors.Is(err, radio.ErrConnectionLost) {
 				return err
+			} else {
+				// Connection lost: fall through to local compilation.
+				c.noteRemoteFailure()
+				c.Events.Emit(Event{Kind: EvFallback, Method: mm, Level: lv, At: c.Clock, Radio: c.Link.Telemetry()})
 			}
-			// Connection lost: fall through to local compilation.
-			c.noteRemoteFailure()
-			c.Events.Emit(Event{Kind: EvFallback, Method: mm, Level: lv, At: c.Clock, Radio: c.Link.Telemetry()})
 		}
 		if err := x.compileLocally(mm, lv); err != nil {
 			return err
@@ -365,7 +387,7 @@ func (x *Executor) downloadBody(mm *bytecode.Method, lv jit.Level) (err error) {
 	if code != nil {
 		size = code.SizeBytes()
 	} else {
-		code, size, err = c.Server.CompiledBody(mm.QName(), lv)
+		code, size, err = c.Server.CompiledBody(c.invokeCtx(), mm.QName(), lv)
 		if err != nil {
 			return err
 		}

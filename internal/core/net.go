@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -24,9 +25,13 @@ import (
 // exchanged byte counts — the transport only moves the execution into
 // another process.
 //
-// Wire format: length-prefixed frames (uint32 big-endian, then
-// payload). The first payload byte is the operation; strings are
-// uint16-length-prefixed; times are float64 seconds.
+// Wire format, protocol version 2: each frame is a one-byte protocol
+// version, a uint32 big-endian payload length, then the payload. The
+// first payload byte is the operation; session IDs are uint32; strings
+// are uint16-length-prefixed; times are float64 seconds. A version
+// mismatch is rejected at the first frame — the receiver answers with
+// a failure frame and closes the connection — because nothing after
+// the version byte can be trusted to parse.
 
 // ErrProtocol reports a malformed or unexpected frame.
 var ErrProtocol = errors.New("core: protocol error")
@@ -42,8 +47,9 @@ type RPCMetrics interface {
 	ConnOpened()
 	ConnClosed()
 	// Request records one completed request: its operation ("exec",
-	// "compile", "unknown"), the frame payload sizes, and whether the
-	// response was a failure frame (or, client-side, the trip errored).
+	// "compile", "hello", "unknown"), the frame payload sizes, and
+	// whether the response was a failure frame (or, client-side, the
+	// trip errored).
 	Request(op string, reqBytes, respBytes int, failed bool)
 	// PanicRecovered counts handler panics converted to failure frames.
 	PanicRecovered()
@@ -83,6 +89,8 @@ func opName(req []byte) string {
 		return "exec"
 	case opCompile:
 		return "compile"
+	case opHello:
+		return "hello"
 	default:
 		return "unknown"
 	}
@@ -91,12 +99,32 @@ func opName(req []byte) string {
 // ErrServerClosed is returned by TCPServer.Serve after Close.
 var ErrServerClosed = errors.New("core: server closed")
 
+// protocolVersion is the wire protocol version this build speaks. v1
+// had no version byte and no session IDs; v2 prefixes every frame with
+// the version, adds the hello handshake, session IDs on exec/compile,
+// and the busy status.
+const protocolVersion = 2
+
 const (
-	opExec     = 1
-	opCompile  = 2
-	maxFrame   = 64 << 20
+	opExec    = 1
+	opCompile = 2
+	// opHello binds the connection's peer to a session: the request
+	// carries the client ID, the response the assigned session ID. An
+	// empty client ID is a pure version/liveness probe (no session is
+	// created; the response carries session ID 0).
+	opHello  = 3
+	maxFrame = 64 << 20
+
 	statusOK   = 0
 	statusFail = 1
+	// statusBusy is an admission-control rejection: the response
+	// carries the queue depth and decodes into a BusyError. The
+	// connection stays usable.
+	statusBusy = 2
+
+	// busyFrameBytes is the modelled on-air size of a busy rejection
+	// (header plus depth), used by clients to charge its reception.
+	busyFrameBytes = 16
 )
 
 // FrameSizeError reports a frame larger than the protocol's maxFrame
@@ -112,14 +140,30 @@ func (e *FrameSizeError) Error() string {
 // Unwrap makes errors.Is(err, ErrProtocol) hold.
 func (e *FrameSizeError) Unwrap() error { return ErrProtocol }
 
+// VersionError reports a frame whose protocol version does not match
+// this build's. It unwraps to ErrProtocol. The peer that detects the
+// mismatch closes the connection after answering: the stream cannot be
+// resynchronized across versions.
+type VersionError struct {
+	Got byte
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("core: protocol version mismatch: peer speaks v%d, this build v%d", e.Got, protocolVersion)
+}
+
+// Unwrap makes errors.Is(err, ErrProtocol) hold.
+func (e *VersionError) Unwrap() error { return ErrProtocol }
+
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
 		// Refuse before anything hits the wire: an oversized write
 		// would desynchronize the stream for both peers.
 		return &FrameSizeError{Size: int64(len(payload))}
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	var hdr [5]byte
+	hdr[0] = protocolVersion
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -128,11 +172,14 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	if hdr[0] != protocolVersion {
+		return nil, &VersionError{Got: hdr[0]}
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
 	if int64(n) > maxFrame {
 		return nil, &FrameSizeError{Size: int64(n)}
 	}
@@ -152,6 +199,12 @@ type wire struct {
 }
 
 func (m *wire) u8(v byte) *wire { m.buf = append(m.buf, v); return m }
+func (m *wire) u32(v uint32) *wire {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	m.buf = append(m.buf, b[:]...)
+	return m
+}
 func (m *wire) str(s string) *wire {
 	var l [2]byte
 	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
@@ -185,6 +238,15 @@ func (m *wire) rdU8() byte {
 	}
 	v := m.buf[m.pos]
 	m.pos++
+	return v
+}
+func (m *wire) rdU32() uint32 {
+	if m.err != nil || m.pos+4 > len(m.buf) {
+		m.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(m.buf[m.pos:])
+	m.pos += 4
 	return v
 }
 func (m *wire) rdStr() string {
@@ -235,15 +297,20 @@ func Serve(l net.Listener, s *Server) error {
 	return NewTCPServer(s).Serve(l)
 }
 
-// TCPServer runs a Server behind one or more listeners and supports
-// graceful shutdown: Close stops accepting, closes every live
-// connection, and waits for in-flight handlers to drain.
+// TCPServer runs a session-multiplexed Server behind one or more
+// listeners and supports graceful shutdown: Close stops accepting,
+// cancels in-flight handlers (including requests waiting in the
+// admission queue), closes every live connection, and waits for
+// handlers to drain.
 type TCPServer struct {
-	s *Server
+	s *SessionServer
 
 	// Metrics, when non-nil, observes served connections and requests.
 	// Set it before the first Serve call.
 	Metrics RPCMetrics
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -252,14 +319,29 @@ type TCPServer struct {
 	wg        sync.WaitGroup
 }
 
-// NewTCPServer wraps a Server for network serving.
+// NewTCPServer wraps a Server for network serving with default
+// admission control; use NewSessionTCPServer to configure the worker
+// pool and queue.
 func NewTCPServer(s *Server) *TCPServer {
+	return NewSessionTCPServer(NewSessionServer(s, SessionConfig{}))
+}
+
+// NewSessionTCPServer wraps a configured session layer for network
+// serving.
+func NewSessionTCPServer(s *SessionServer) *TCPServer {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &TCPServer{
 		s:         s,
+		baseCtx:   ctx,
+		cancel:    cancel,
 		listeners: map[net.Listener]struct{}{},
 		conns:     map[net.Conn]struct{}{},
 	}
 }
+
+// Sessions returns the server's session layer (admission stats, open
+// sessions).
+func (t *TCPServer) Sessions() *SessionServer { return t.s }
 
 // Serve accepts and dispatches until the listener fails or the server
 // is closed; after Close it returns ErrServerClosed.
@@ -309,9 +391,9 @@ func (t *TCPServer) closing() bool {
 	return t.closed
 }
 
-// Close shuts the server down: the listeners and every live connection
-// are closed, and Close blocks until all handler goroutines return.
-// It is idempotent.
+// Close shuts the server down: in-flight handlers are cancelled, the
+// listeners and every live connection are closed, and Close blocks
+// until all handler goroutines return. It is idempotent.
 func (t *TCPServer) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -320,6 +402,7 @@ func (t *TCPServer) Close() error {
 		return nil
 	}
 	t.closed = true
+	t.cancel()
 	for l := range t.listeners {
 		l.Close()
 	}
@@ -337,11 +420,18 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 	defer met.ConnClosed()
 	defer conn.Close()
 	for {
-		var hdr [4]byte
+		var hdr [5]byte
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return // peer closed or broken
 		}
-		n := int64(binary.BigEndian.Uint32(hdr[:]))
+		if hdr[0] != protocolVersion {
+			// Handshake rejection: a peer speaking another version
+			// cannot be parsed past this byte. Tell it why, then drop
+			// the connection.
+			writeFrame(conn, failFrame(&VersionError{Got: hdr[0]})) //nolint:errcheck
+			return
+		}
+		n := int64(binary.BigEndian.Uint32(hdr[1:]))
 		if n > maxFrame {
 			// Drain the oversized payload and answer with a clean
 			// failure frame instead of killing the connection: the
@@ -359,7 +449,7 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 		if _, err := io.ReadFull(conn, req); err != nil {
 			return
 		}
-		resp := safeHandle(req, t.s, met)
+		resp := safeHandle(t.baseCtx, req, t.s, met)
 		met.Request(opName(req), len(req), len(resp), len(resp) > 0 && resp[0] == statusFail)
 		if err := writeFrame(conn, resp); err != nil {
 			return
@@ -369,21 +459,34 @@ func (t *TCPServer) serveConn(conn net.Conn) {
 
 // safeHandle converts a handler panic into a failure frame so one
 // poisoned request cannot take the serving goroutine down.
-func safeHandle(req []byte, s *Server, met RPCMetrics) (resp []byte) {
+func safeHandle(ctx context.Context, req []byte, s *SessionServer, met RPCMetrics) (resp []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			met.PanicRecovered()
 			resp = failFrame(fmt.Errorf("core: server panic: %v", r))
 		}
 	}()
-	return handle(req, s)
+	return handle(ctx, req, s)
 }
 
-func handle(req []byte, s *Server) []byte {
+func handle(ctx context.Context, req []byte, s *SessionServer) []byte {
 	m := &wire{buf: req}
 	op := m.rdU8()
 	switch op {
+	case opHello:
+		clientID := m.rdStr()
+		if m.err != nil {
+			return failFrame(m.err)
+		}
+		out := &wire{}
+		if clientID == "" {
+			// Pure version probe: no session.
+			return out.u8(statusOK).u32(0).buf
+		}
+		sess := s.Open(clientID)
+		return out.u8(statusOK).u32(sess.ID).buf
 	case opExec:
+		sid := m.rdU32()
 		clientID := m.rdStr()
 		class := m.rdStr()
 		method := m.rdStr()
@@ -393,8 +496,23 @@ func handle(req []byte, s *Server) []byte {
 		if m.err != nil {
 			return failFrame(m.err)
 		}
-		res, servTime, queued, err := s.Execute(clientID, class, method, argBytes, reqTime, estEnd)
+		var sess *Session
+		if sid != 0 {
+			if sess = s.Lookup(sid); sess == nil {
+				return failFrame(fmt.Errorf("%w: unknown session %d", ErrProtocol, sid))
+			}
+		} else {
+			// No handshake (or the server restarted under the client):
+			// reattach by client ID.
+			sess = s.Open(clientID)
+		}
+		res, servTime, queued, err := sess.Execute(ctx, clientID, class, method, argBytes, reqTime, estEnd)
 		if err != nil {
+			var busy *BusyError
+			if errors.As(err, &busy) {
+				out := &wire{}
+				return out.u8(statusBusy).u32(uint32(busy.QueueDepth)).buf
+			}
 			return failFrame(err)
 		}
 		out := &wire{}
@@ -406,12 +524,13 @@ func handle(req []byte, s *Server) []byte {
 		}
 		return out.buf
 	case opCompile:
+		m.rdU32() // session ID: body downloads are session-independent
 		qname := m.rdStr()
 		level := m.rdU8()
 		if m.err != nil {
 			return failFrame(m.err)
 		}
-		code, size, err := s.CompiledBody(qname, jit.Level(level))
+		code, size, err := s.Server().CompiledBody(ctx, qname, jit.Level(level))
 		if err != nil {
 			return failFrame(err)
 		}
@@ -433,13 +552,18 @@ func failFrame(err error) []byte {
 }
 
 // RemoteServer is a core.Remote backed by a TCP connection to a
-// process running Serve. Transport failures — connection resets,
-// missed deadlines, desynchronized streams — are classified as
-// radio.ErrConnectionLost so the executor's loss machinery (timeout
-// listen, retries, circuit breaker) handles them like any other
-// outage; the broken connection is dropped and the next call
-// reconnects. Server-reported failures (a failure frame) leave the
-// connection open and propagate as ordinary errors.
+// process running Serve. On (re)connection it performs the hello
+// handshake, verifying the protocol version and binding the client's
+// session; the assigned session ID rides on every subsequent request.
+// Transport failures — connection resets, missed deadlines,
+// desynchronized streams — are classified as radio.ErrConnectionLost
+// so the executor's loss machinery (timeout listen, retries, circuit
+// breaker) handles them like any other outage; the broken connection
+// is dropped and the next call reconnects (and re-binds its session).
+// Server-reported failures (a failure frame) leave the connection open
+// and propagate as ordinary errors; admission rejections decode into
+// BusyError. A cancelled ctx interrupts a blocked round trip and
+// surfaces as the context's error.
 type RemoteServer struct {
 	addr string
 
@@ -456,11 +580,15 @@ type RemoteServer struct {
 	// missed deadlines.
 	Metrics RPCMetrics
 
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	sid     uint32
+	boundTo string
 }
 
-// DialServer connects to a remote compilation/execution server.
+// DialServer connects to a remote compilation/execution server and
+// verifies the protocol version with a hello probe. A *VersionError is
+// returned when the peer speaks a different protocol version.
 func DialServer(addr string) (*RemoteServer, error) {
 	r := &RemoteServer{
 		addr:        addr,
@@ -473,6 +601,18 @@ func DialServer(addr string) (*RemoteServer, error) {
 		return nil, err
 	}
 	r.conn = conn
+	probe := &wire{}
+	probe.u8(opHello).str("")
+	m, err := r.roundTrip(nil, probe.buf)
+	if err != nil {
+		r.Close()
+		var ve *VersionError
+		if errors.As(err, &ve) {
+			return nil, ve
+		}
+		return nil, err
+	}
+	m.rdU32()
 	return r, nil
 }
 
@@ -512,12 +652,46 @@ func (r *RemoteServer) Close() error {
 	return err
 }
 
+// session returns the session ID bound to clientID, performing the
+// hello handshake when the binding is missing or stale (first use, or
+// a reconnect after a broken connection).
+func (r *RemoteServer) session(ctx context.Context, clientID string) (uint32, error) {
+	r.mu.Lock()
+	if r.sid != 0 && r.boundTo == clientID {
+		sid := r.sid
+		r.mu.Unlock()
+		return sid, nil
+	}
+	r.mu.Unlock()
+	req := &wire{}
+	req.u8(opHello).str(clientID)
+	m, err := r.roundTrip(ctx, req.buf)
+	if err != nil {
+		return 0, err
+	}
+	sid := m.rdU32()
+	if m.err != nil {
+		return 0, m.err
+	}
+	r.mu.Lock()
+	r.sid, r.boundTo = sid, clientID
+	r.mu.Unlock()
+	return sid, nil
+}
+
 // roundTrip sends one request frame and reads the response,
-// reconnecting first if a previous trip broke the connection.
-func (r *RemoteServer) roundTrip(req []byte) (*wire, error) {
+// reconnecting first if a previous trip broke the connection. ctx, if
+// non-nil, cancels a blocked trip.
+func (r *RemoteServer) roundTrip(ctx context.Context, req []byte) (*wire, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	met := metricsOrNop(r.Metrics)
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			met.Request(opName(req), len(req), 0, true)
+			return nil, err
+		}
+	}
 	if r.conn == nil {
 		met.Reconnect()
 		conn, err := r.dial()
@@ -530,6 +704,20 @@ func (r *RemoteServer) roundTrip(req []byte) (*wire, error) {
 	if r.RPCTimeout > 0 {
 		r.conn.SetDeadline(time.Now().Add(r.RPCTimeout)) //nolint:errcheck
 	}
+	if ctx != nil {
+		// A cancelled ctx yanks the deadline so a blocked read or
+		// write returns promptly instead of waiting out RPCTimeout.
+		conn := r.conn
+		stop := context.AfterFunc(ctx, func() {
+			conn.SetDeadline(time.Unix(1, 0)) //nolint:errcheck
+		})
+		defer stop()
+		if d, ok := ctx.Deadline(); ok {
+			if r.RPCTimeout <= 0 || d.Before(time.Now().Add(r.RPCTimeout)) {
+				r.conn.SetDeadline(d) //nolint:errcheck
+			}
+		}
+	}
 	if err := writeFrame(r.conn, req); err != nil {
 		if errors.Is(err, ErrProtocol) {
 			// Oversized request: nothing hit the wire, the connection
@@ -538,34 +726,54 @@ func (r *RemoteServer) roundTrip(req []byte) (*wire, error) {
 			return nil, err
 		}
 		met.Request(opName(req), len(req), 0, true)
-		return nil, r.lost("send", err)
+		return nil, r.lost(ctx, "send", err)
 	}
 	resp, err := readFrame(r.conn)
 	if err != nil {
+		met.Request(opName(req), len(req), 0, true)
+		var ve *VersionError
+		if errors.As(err, &ve) {
+			// The peer speaks another protocol version; surface that
+			// as-is (retrying cannot help) and drop the connection.
+			r.conn.Close()
+			r.conn, r.sid = nil, 0
+			return nil, ve
+		}
 		// Either the transport broke or the stream is out of sync
 		// (oversized response header); both poison the connection.
-		met.Request(opName(req), len(req), 0, true)
-		return nil, r.lost("receive", err)
+		return nil, r.lost(ctx, "receive", err)
 	}
 	if r.RPCTimeout > 0 {
 		r.conn.SetDeadline(time.Time{}) //nolint:errcheck
 	}
 	m := &wire{buf: resp}
-	if m.rdU8() != statusOK {
+	switch m.rdU8() {
+	case statusOK:
+		met.Request(opName(req), len(req), len(resp), false)
+		return m, nil
+	case statusBusy:
+		depth := int(m.rdU32())
+		met.Request(opName(req), len(req), len(resp), true)
+		if m.err != nil {
+			return nil, r.lost(ctx, "decode", m.err)
+		}
+		// The server shed the request; the connection stays good.
+		return nil, &BusyError{QueueDepth: depth}
+	default:
 		msg := m.rdStr()
 		met.Request(opName(req), len(req), len(resp), true)
 		if m.err != nil {
-			return nil, r.lost("decode", m.err)
+			return nil, r.lost(ctx, "decode", m.err)
 		}
 		return nil, fmt.Errorf("core: remote server: %s", msg)
 	}
-	met.Request(opName(req), len(req), len(resp), false)
-	return m, nil
 }
 
-// lost drops the broken connection (the next call reconnects) and
-// classifies the transport error as a connection loss.
-func (r *RemoteServer) lost(what string, err error) error {
+// lost drops the broken connection (the next call reconnects and
+// re-binds the session) and classifies the transport error: a
+// cancelled ctx surfaces as the context's error, anything else as a
+// connection loss.
+func (r *RemoteServer) lost(ctx context.Context, what string, err error) error {
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
 		metricsOrNop(r.Metrics).DeadlineHit()
@@ -574,17 +782,27 @@ func (r *RemoteServer) lost(what string, err error) error {
 		r.conn.Close()
 		r.conn = nil
 	}
+	r.sid = 0
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("%s: %w", what, cerr)
+		}
+	}
 	return fmt.Errorf("%w: %s: %v", radio.ErrConnectionLost, what, err)
 }
 
 // Execute implements Remote over the wire.
-func (r *RemoteServer) Execute(clientID, class, method string, argBytes []byte,
+func (r *RemoteServer) Execute(ctx context.Context, clientID, class, method string, argBytes []byte,
 	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, error) {
 
+	sid, err := r.session(ctx, clientID)
+	if err != nil {
+		return nil, 0, false, err
+	}
 	req := &wire{}
-	req.u8(opExec).str(clientID).str(class).str(method).bytes(argBytes).
+	req.u8(opExec).u32(sid).str(clientID).str(class).str(method).bytes(argBytes).
 		f64(float64(reqTime)).f64(float64(estEnd))
-	m, err := r.roundTrip(req.buf)
+	m, err := r.roundTrip(ctx, req.buf)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -598,10 +816,13 @@ func (r *RemoteServer) Execute(clientID, class, method string, argBytes []byte,
 }
 
 // CompiledBody implements Remote over the wire.
-func (r *RemoteServer) CompiledBody(qname string, level jit.Level) (*isa.Code, int, error) {
+func (r *RemoteServer) CompiledBody(ctx context.Context, qname string, level jit.Level) (*isa.Code, int, error) {
+	r.mu.Lock()
+	sid := r.sid
+	r.mu.Unlock()
 	req := &wire{}
-	req.u8(opCompile).str(qname).u8(byte(level))
-	m, err := r.roundTrip(req.buf)
+	req.u8(opCompile).u32(sid).str(qname).u8(byte(level))
+	m, err := r.roundTrip(ctx, req.buf)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"encoding/binary"
 	"errors"
 	"io"
@@ -48,7 +50,7 @@ func TestTCPRemoteExecution(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(200)})
+	res, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(200)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func TestTCPRemoteRefResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Invoke("App", "vecsum", args); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "vecsum", args); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -104,11 +106,11 @@ func TestTCPCompiledBodyMatchesInProcess(t *testing.T) {
 	}
 	defer remote.Close()
 
-	got, gotSize, err := remote.CompiledBody("App.helper", jit.Level2)
+	got, gotSize, err := remote.CompiledBody(context.Background(), "App.helper", jit.Level2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, wantSize, err := server.CompiledBody("App.helper", jit.Level2)
+	want, wantSize, err := server.CompiledBody(context.Background(), "App.helper", jit.Level2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,15 +139,15 @@ func TestTCPErrorsPropagate(t *testing.T) {
 	}
 	defer remote.Close()
 
-	if _, _, _, err := remote.Execute("c", "No", "such", nil, 0, 0); err == nil ||
+	if _, _, _, err := remote.Execute(context.Background(), "c", "No", "such", nil, 0, 0); err == nil ||
 		!strings.Contains(err.Error(), "no method") {
 		t.Errorf("exec error = %v", err)
 	}
 	// The connection must remain usable after a server-side error.
-	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); err != nil {
+	if _, _, err := remote.CompiledBody(context.Background(), "App.helper", jit.Level1); err != nil {
 		t.Errorf("connection broken after error: %v", err)
 	}
-	if _, _, err := remote.CompiledBody("No.Such", jit.Level1); err == nil {
+	if _, _, err := remote.CompiledBody(context.Background(), "No.Such", jit.Level1); err == nil {
 		t.Error("unknown method should error")
 	}
 }
@@ -211,7 +213,7 @@ func TestMalformedFramesGetFailureFrames(t *testing.T) {
 	addr := startTCPServer(t, NewServer(p))
 
 	valid := &wire{}
-	valid.u8(opCompile).str("App.helper").u8(byte(jit.Level1))
+	valid.u8(opCompile).u32(0).str("App.helper").u8(byte(jit.Level1))
 
 	cases := []struct {
 		name    string
@@ -220,15 +222,22 @@ func TestMalformedFramesGetFailureFrames(t *testing.T) {
 	}{
 		{"empty frame", nil, "unknown op"},
 		{"unknown op", []byte{0xEE}, "unknown op"},
-		{"truncated exec strings", []byte{opExec, 0, 5, 'a'}, "truncated"},
+		{"truncated exec session", []byte{opExec, 0, 0}, "truncated"},
+		{"truncated exec strings", []byte{opExec, 0, 0, 0, 0, 0, 5, 'a'}, "truncated"},
 		{"truncated compile", []byte{opCompile}, "truncated"},
-		{"exec huge bytes length", append([]byte{opExec, 0, 1, 'c', 0, 1, 'C', 0, 1, 'm'},
+		{"truncated hello", []byte{opHello, 0, 9}, "truncated"},
+		{"exec huge bytes length", append([]byte{opExec, 0, 0, 0, 0, 0, 1, 'c', 0, 1, 'C', 0, 1, 'm'},
 			0xFF, 0xFF, 0xFF, 0xFF), "truncated"},
 		{"exec missing times", func() []byte {
 			m := &wire{}
-			m.u8(opExec).str("c").str("App").str("work").bytes(nil)
+			m.u8(opExec).u32(0).str("c").str("App").str("work").bytes(nil)
 			return m.buf
 		}(), "truncated"},
+		{"exec unknown session", func() []byte {
+			m := &wire{}
+			m.u8(opExec).u32(999).str("c").str("App").str("work").bytes(nil).f64(0).f64(0)
+			return m.buf
+		}(), "unknown session"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -265,8 +274,9 @@ func TestOversizedInboundFrameDrained(t *testing.T) {
 	defer conn.Close()
 
 	n := int64(maxFrame) + 1
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(n))
+	var hdr [5]byte
+	hdr[0] = protocolVersion
+	binary.BigEndian.PutUint32(hdr[1:], uint32(n))
 	if _, err := conn.Write(hdr[:]); err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +303,7 @@ func TestOversizedInboundFrameDrained(t *testing.T) {
 	}
 	// The connection survives.
 	valid := &wire{}
-	valid.u8(opCompile).str("App.helper").u8(byte(jit.Level1))
+	valid.u8(opCompile).u32(0).str("App.helper").u8(byte(jit.Level1))
 	if status, _ := rawRoundTrip(t, conn, valid.buf); status != statusOK {
 		t.Error("connection unusable after an oversized frame")
 	}
@@ -322,7 +332,7 @@ func TestOversizedRequestRejectedSendSide(t *testing.T) {
 	defer remote.Close()
 
 	big := make([]byte, maxFrame+1)
-	_, _, _, err = remote.Execute("c", "App", "work", big, 0, 0)
+	_, _, _, err = remote.Execute(context.Background(), "c", "App", "work", big, 0, 0)
 	var fse *FrameSizeError
 	if !errors.As(err, &fse) {
 		t.Fatalf("error %v, want FrameSizeError", err)
@@ -333,7 +343,7 @@ func TestOversizedRequestRejectedSendSide(t *testing.T) {
 	if errors.Is(err, radio.ErrConnectionLost) {
 		t.Error("an oversized request is not a connection loss")
 	}
-	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); err != nil {
+	if _, _, err := remote.CompiledBody(context.Background(), "App.helper", jit.Level1); err != nil {
 		t.Errorf("connection unusable after a rejected oversized request: %v", err)
 	}
 }
@@ -350,12 +360,15 @@ func TestMidCallResetReconnects(t *testing.T) {
 	}
 	t.Cleanup(func() { l.Close() })
 	go func() {
-		// First connection: swallow the request, slam the door.
+		// First connection: answer the dial-time hello probe, then
+		// swallow the next request and slam the door.
 		conn, err := l.Accept()
 		if err != nil {
 			return
 		}
-		readFrame(conn) //nolint:errcheck
+		readFrame(conn)                                     //nolint:errcheck
+		writeFrame(conn, (&wire{}).u8(statusOK).u32(0).buf) //nolint:errcheck
+		readFrame(conn)                                     //nolint:errcheck
 		conn.Close()
 		// Later connections reach the real server.
 		for {
@@ -372,11 +385,11 @@ func TestMidCallResetReconnects(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer remote.Close()
-	_, _, err = remote.CompiledBody("App.helper", jit.Level1)
+	_, _, err = remote.CompiledBody(context.Background(), "App.helper", jit.Level1)
 	if !errors.Is(err, radio.ErrConnectionLost) {
 		t.Fatalf("mid-call reset classified as %v, want connection loss", err)
 	}
-	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); err != nil {
+	if _, _, err := remote.CompiledBody(context.Background(), "App.helper", jit.Level1); err != nil {
 		t.Fatalf("reconnect after reset failed: %v", err)
 	}
 }
@@ -395,7 +408,13 @@ func TestRPCDeadlineOnStalledServer(t *testing.T) {
 			if err != nil {
 				return
 			}
-			go io.Copy(io.Discard, conn) //nolint:errcheck // stall: read forever, answer never
+			go func(conn net.Conn) {
+				// Answer the dial-time hello probe, then stall: read
+				// forever, answer never.
+				readFrame(conn)                                     //nolint:errcheck
+				writeFrame(conn, (&wire{}).u8(statusOK).u32(0).buf) //nolint:errcheck
+				io.Copy(io.Discard, conn)                           //nolint:errcheck
+			}(conn)
 		}
 	}()
 
@@ -406,7 +425,7 @@ func TestRPCDeadlineOnStalledServer(t *testing.T) {
 	defer remote.Close()
 	remote.RPCTimeout = 100 * time.Millisecond
 	start := time.Now()
-	_, _, err = remote.CompiledBody("App.helper", jit.Level1)
+	_, _, err = remote.CompiledBody(context.Background(), "App.helper", jit.Level1)
 	if !errors.Is(err, radio.ErrConnectionLost) {
 		t.Fatalf("stalled RPC classified as %v, want connection loss", err)
 	}
@@ -432,7 +451,7 @@ func TestTCPServerGracefulShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer remote.Close()
-	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); err != nil {
+	if _, _, err := remote.CompiledBody(context.Background(), "App.helper", jit.Level1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -445,7 +464,7 @@ func TestTCPServerGracefulShutdown(t *testing.T) {
 	// The live connection was shut: the next call is a loss.
 	remote.DialRetries = 0
 	remote.DialBackoff = 0
-	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); !errors.Is(err, radio.ErrConnectionLost) {
+	if _, _, err := remote.CompiledBody(context.Background(), "App.helper", jit.Level1); !errors.Is(err, radio.ErrConnectionLost) {
 		t.Errorf("call after shutdown = %v, want connection loss", err)
 	}
 	// Close is idempotent, and Serve after Close refuses.
@@ -461,8 +480,8 @@ func TestTCPServerGracefulShutdown(t *testing.T) {
 // handler yields a failure frame and the connection survives.
 func TestServerPanicBecomesFailureFrame(t *testing.T) {
 	req := &wire{}
-	req.u8(opExec).str("c").str("App").str("work").bytes(nil).f64(0).f64(0)
-	resp := safeHandle(req.buf, nil, nopRPCMetrics{}) // nil server: the dispatch panics
+	req.u8(opExec).u32(0).str("c").str("App").str("work").bytes(nil).f64(0).f64(0)
+	resp := safeHandle(context.Background(), req.buf, nil, nopRPCMetrics{}) // nil server: the session open panics
 	m := &wire{buf: resp}
 	if m.rdU8() != statusFail {
 		t.Fatal("panic should produce a failure frame")

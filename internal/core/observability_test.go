@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -21,13 +23,13 @@ type failingRemote struct {
 
 var errServerRefused = errors.New("server refused")
 
-func (f failingRemote) Execute(clientID, class, method string, argBytes []byte,
+func (f failingRemote) Execute(ctx context.Context, clientID, class, method string, argBytes []byte,
 	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, error) {
 	return nil, 0, false, errServerRefused
 }
 
-func (f failingRemote) CompiledBody(qname string, level jit.Level) (*isa.Code, int, error) {
-	return f.inner.CompiledBody(qname, level)
+func (f failingRemote) CompiledBody(ctx context.Context, qname string, level jit.Level) (*isa.Code, int, error) {
+	return f.inner.CompiledBody(ctx, qname, level)
 }
 
 // TestStatsRadioSyncedAfterTrailingFailure is the regression test for
@@ -38,7 +40,7 @@ func TestStatsRadioSyncedAfterTrailingFailure(t *testing.T) {
 	p := testProgram(t)
 	c := newTestClient(t, p, StrategyR, radio.Fixed{Cls: radio.Class4}, workTarget())
 	args := []vm.Slot{vm.IntSlot(150)}
-	if _, err := c.Invoke("App", "work", args); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats.Radio != c.Link.Telemetry() {
@@ -50,7 +52,7 @@ func TestStatsRadioSyncedAfterTrailingFailure(t *testing.T) {
 	// server refuses, so the invocation errors with no EvInvoke.
 	c.Server = failingRemote{inner: c.Server}
 	c.NewExecution()
-	if _, err := c.Invoke("App", "work", args); !errors.Is(err, errServerRefused) {
+	if _, err := c.Invoke(context.Background(), "App", "work", args); !errors.Is(err, errServerRefused) {
 		t.Fatalf("invoke error = %v, want the server refusal", err)
 	}
 	if c.Stats.Radio == c.Link.Telemetry() {
@@ -115,7 +117,7 @@ func TestEstimateInvokePairing(t *testing.T) {
 		c.Events.Attach(ps)
 		for i := 0; i < 12; i++ {
 			c.NewExecution()
-			if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(int32(100 + 60*i))}); err != nil {
+			if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(int32(100 + 60*i))}); err != nil {
 				t.Fatalf("%v run %d: %v", s, i, err)
 			}
 			c.StepChannel()
@@ -138,7 +140,7 @@ func TestStaticPoliciesEmitNoEstimates(t *testing.T) {
 				count++
 			}
 		}))
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(200)}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(200)}); err != nil {
 			t.Fatalf("%v: %v", s, err)
 		}
 		if count != 0 {
@@ -164,7 +166,7 @@ func TestPhaseSpansCoverInvocations(t *testing.T) {
 	c.Events.Attach(eventFunc(func(e Event) { events = append(events, e) }))
 	for i := 0; i < 10; i++ {
 		c.NewExecution()
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(int32(120 + 70*i))}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(int32(120 + 70*i))}); err != nil {
 			t.Fatal(err)
 		}
 		c.StepChannel()
@@ -226,13 +228,13 @@ func TestTraceUnderFallbackRetryBreaker(t *testing.T) {
 
 	args := []vm.Slot{vm.IntSlot(150)}
 	for i := 0; i < 3; i++ {
-		if _, err := c.Invoke("App", "work", args); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 			t.Fatal(err)
 		}
 	}
 	c.Clock += 1 // past the cooldown: next invocation probes
 	for i := 0; i < 2; i++ {
-		if _, err := c.Invoke("App", "work", args); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 			t.Fatal(err)
 		}
 	}

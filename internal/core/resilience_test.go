@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"greenvm/internal/energy"
@@ -107,7 +109,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	// Three invocations: each loses its send, falls back locally, and
 	// the third consecutive loss opens the breaker.
 	for i := 0; i < 3; i++ {
-		if _, err := c.Invoke("App", "work", args); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -124,7 +126,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	// While open (cooldown not elapsed) remote attempts cost nothing:
 	// no new exchanges happen on the link.
 	exBefore := c.Link.Exchanges
-	if _, err := c.Invoke("App", "work", args); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 		t.Fatal(err)
 	}
 	if c.Link.Exchanges != exBefore {
@@ -134,7 +136,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	// Walk the clock past the cooldown; the next invocation probes,
 	// the link has healed, and remote execution resumes.
 	c.Clock += 1
-	if _, err := c.Invoke("App", "work", args); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", args); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats.Probes == 0 {
@@ -164,11 +166,11 @@ func TestRetriesChargedAndCounted(t *testing.T) {
 	ref := newTestClient(t, p, StrategyR, radio.Fixed{Cls: radio.Class4}, workTarget())
 	ref.Timeout = 0.001
 	args := []vm.Slot{vm.IntSlot(3000)}
-	res, err := c.Invoke("App", "work", args)
+	res, err := c.Invoke(context.Background(), "App", "work", args)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.Invoke("App", "work", args)
+	want, err := ref.Invoke(context.Background(), "App", "work", args)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +210,7 @@ func TestRetryBudgetExhausted(t *testing.T) {
 	c.Breaker.Threshold = 100 // keep the breaker out of this test
 	c.MaxRetries = 2
 	c.Timeout = 0.001 // keep retries priced below local interpretation
-	if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(3000)}); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(3000)}); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats.Retries != 2 {
@@ -228,7 +230,7 @@ func TestRetrySkippedWhenLocalCheaper(t *testing.T) {
 	c := newTestClient(t, p, StrategyR, radio.Fixed{Cls: radio.Class1}, workTarget())
 	c.Link.Fault = radio.IIDLoss{P: 1}
 	c.Breaker.Threshold = 100
-	if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(60)}); err != nil {
+	if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(60)}); err != nil {
 		t.Fatal(err)
 	}
 	if c.Stats.Retries != 0 {
@@ -251,7 +253,7 @@ func TestAllStrategiesSurviveBurstOutage(t *testing.T) {
 		for i := 0; i < 20; i++ {
 			c.NewExecution()
 			n := int32(100 + 40*i)
-			res, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(n)})
+			res, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(n)})
 			if err != nil {
 				t.Fatalf("%v run %d: %v", s, i, err)
 			}
@@ -285,7 +287,7 @@ func TestFaultsStrictlyIncreaseCost(t *testing.T) {
 			c.Link.Fault = fault
 			for i := 0; i < 10; i++ {
 				c.NewExecution()
-				if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(400)}); err != nil {
+				if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(400)}); err != nil {
 					t.Fatalf("%v: %v", s, err)
 				}
 			}
@@ -310,7 +312,7 @@ func TestStatsCarryRadioTelemetry(t *testing.T) {
 	c.Link.Fault = radio.ResponseLoss{P: 0.5}
 	for i := 0; i < 6; i++ {
 		c.NewExecution()
-		if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(150)}); err != nil {
+		if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(150)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -335,7 +337,7 @@ func TestDeterministicUnderFaults(t *testing.T) {
 		c.Link.Fault = radio.Compose(radio.NewGilbertElliott(0.3, 4), radio.SlowServer{P: 0.1, Stall: 0.05})
 		for i := 0; i < 15; i++ {
 			c.NewExecution()
-			if _, err := c.Invoke("App", "work", []vm.Slot{vm.IntSlot(int32(100 + 50*i))}); err != nil {
+			if _, err := c.Invoke(context.Background(), "App", "work", []vm.Slot{vm.IntSlot(int32(100 + 50*i))}); err != nil {
 				t.Fatal(err)
 			}
 			c.StepChannel()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -13,13 +14,16 @@ import (
 
 // Remote is the server-side interface the client depends on: execute
 // an offloaded method, or hand out a pre-compiled native body. It is
-// implemented by the in-process Server and by the TCP adapter
+// implemented by the in-process Server, by the Session layer that
+// multiplexes many clients onto one Server, and by the TCP adapter
 // (DialServer) that talks to a server in another process, mirroring
-// the paper's two-workstation prototype.
+// the paper's two-workstation prototype. ctx cancels in-flight calls
+// (a nil ctx is tolerated and means context.Background()); an
+// overloaded implementation may reject with a BusyError.
 type Remote interface {
-	Execute(clientID, class, method string, argBytes []byte,
+	Execute(ctx context.Context, clientID, class, method string, argBytes []byte,
 		reqTime, estEnd energy.Seconds) (resBytes []byte, serverTime energy.Seconds, queued bool, err error)
-	CompiledBody(qname string, level jit.Level) (*isa.Code, int, error)
+	CompiledBody(ctx context.Context, qname string, level jit.Level) (*isa.Code, int, error)
 }
 
 // Server is the resource-rich remote host: it executes offloaded
@@ -101,13 +105,41 @@ func (s *Server) Status(clientID string) *MobileStatus {
 	return st
 }
 
+// noteRequest updates the client's mobile status table row for one
+// request and reports whether the result had to be queued (the server
+// finished before the client's estimated wake time). It is shared by
+// Execute and the session layer's cache-hit path.
+func (s *Server) noteRequest(clientID string, reqTime, estEnd, serverTime energy.Seconds, resBytes []byte) bool {
+	st := s.Status(clientID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.RequestTime = reqTime
+	st.EstimatedEnd = estEnd
+	// Mobile status table check: if the computation finished before
+	// the client's estimated wake time, the result is queued until the
+	// client wakes (paper §2).
+	if reqTime+serverTime < estEnd {
+		st.LastResult = resBytes
+		st.Queued = true
+	} else {
+		st.Queued = false
+	}
+	return st.Queued
+}
+
 // Execute reflectively invokes class.method with the serialized
 // arguments and returns the serialized result plus the server
 // computation time. reqTime and estEnd update the mobile status table;
 // queued reports whether the result had to wait for the client to
 // wake.
-func (s *Server) Execute(clientID, class, method string, argBytes []byte,
+func (s *Server) Execute(ctx context.Context, clientID, class, method string, argBytes []byte,
 	reqTime, estEnd energy.Seconds) (resBytes []byte, serverTime energy.Seconds, queued bool, err error) {
+
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, false, err
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -157,7 +189,12 @@ func (s *Server) Execute(clientID, class, method string, argBytes []byte,
 // method at the given level, for download by clients, along with its
 // size in bytes. The body is compiled for the client's ISA — the
 // server "supports a limited number of preferred client types".
-func (s *Server) CompiledBody(qname string, level jit.Level) (*isa.Code, int, error) {
+func (s *Server) CompiledBody(ctx context.Context, qname string, level jit.Level) (*isa.Code, int, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var m *bytecode.Method

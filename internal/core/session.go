@@ -1,0 +1,382 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"greenvm/internal/energy"
+	"greenvm/internal/isa"
+	"greenvm/internal/jit"
+)
+
+// The session layer multiplexes many clients onto one Server. Each
+// client holds a Session (identified by the session ID carried in the
+// wire protocol) with its own serialization cache; the SessionServer
+// in front of them owns admission control — a bounded worker pool plus
+// a bounded waiting queue — so a fleet of handsets contending for
+// offload service degrades by shedding requests with a typed busy
+// error instead of queueing without bound. Clients price that error
+// into their offload decision (see Client.RemoteEnergy), so an
+// overloaded server observably pushes work back to local execution.
+
+// ErrServerBusy is the sentinel for admission-control rejections: the
+// server's worker pool and waiting queue were full. Transports wrap it
+// (see BusyError), so callers must test with errors.Is. A busy
+// rejection is not a connection loss — the link and the connection are
+// fine — so it charges no timeout listen, trips no breaker, and is
+// never retried within the invocation; the client falls back locally
+// and inflates its busy-rate estimate instead.
+var ErrServerBusy = errors.New("core: server busy")
+
+// BusyError is the typed admission rejection. QueueDepth is the length
+// of the waiting queue at rejection time, so clients (and metrics) can
+// see how overloaded the server was. It unwraps to ErrServerBusy.
+type BusyError struct {
+	QueueDepth int
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("core: server busy (queue depth %d)", e.QueueDepth)
+}
+
+// Unwrap makes errors.Is(err, ErrServerBusy) hold.
+func (e *BusyError) Unwrap() error { return ErrServerBusy }
+
+// SessionConfig shapes a SessionServer's admission control.
+type SessionConfig struct {
+	// Workers bounds concurrently executing requests; 0 means
+	// DefaultWorkers.
+	Workers int
+	// QueueCap bounds requests waiting for a worker across all
+	// sessions; a request arriving with the queue full is shed with a
+	// BusyError. 0 means DefaultQueueCap; negative means no waiting at
+	// all (every request beyond the workers is shed).
+	QueueCap int
+}
+
+// The admission defaults: a small worker pool, matching the paper's
+// single resource-rich server, with a short queue in front of it.
+const (
+	DefaultWorkers  = 4
+	DefaultQueueCap = 16
+)
+
+func (cfg SessionConfig) withDefaults() SessionConfig {
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.QueueCap < 0 {
+		cfg.QueueCap = 0
+	}
+	return cfg
+}
+
+// SessionServerStats is a snapshot of a SessionServer's admission
+// counters.
+type SessionServerStats struct {
+	// Sessions is the number of open sessions.
+	Sessions int
+	// Served counts requests that obtained a worker; Shed counts
+	// admission rejections; CacheHits counts requests answered from a
+	// session's serialization cache.
+	Served    int
+	Shed      int
+	CacheHits int
+	// MaxQueueDepth is the high-water mark of the waiting queue.
+	MaxQueueDepth int
+}
+
+// SessionServer fronts a Server with per-client sessions and admission
+// control. It is safe for concurrent use.
+type SessionServer struct {
+	srv *Server
+	cfg SessionConfig
+
+	mu       sync.Mutex
+	nextID   uint32
+	sessions map[uint32]*Session
+	byClient map[string]uint32
+
+	// Admission state: running counts requests holding a worker;
+	// waiters holds the per-session FIFO queues of blocked requests,
+	// and rr the round-robin rotation of session IDs with waiters.
+	running  int
+	waiting  int
+	waiters  map[uint32][]chan struct{}
+	rr       []uint32
+	served   int
+	shed     int
+	maxDepth int
+}
+
+// NewSessionServer wraps a Server with sessions and admission control.
+func NewSessionServer(s *Server, cfg SessionConfig) *SessionServer {
+	return &SessionServer{
+		srv:      s,
+		cfg:      cfg.withDefaults(),
+		sessions: map[uint32]*Session{},
+		byClient: map[string]uint32{},
+		waiters:  map[uint32][]chan struct{}{},
+	}
+}
+
+// Server returns the wrapped Server.
+func (t *SessionServer) Server() *Server { return t.srv }
+
+// Open returns the client's session, creating it on first use.
+// Sessions are keyed by client ID, so a client that reconnects (the
+// TCP transport re-dials after a broken connection) reattaches to its
+// session — and keeps its serialization cache — instead of leaking a
+// new one per connection.
+func (t *SessionServer) Open(clientID string) *Session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byClient[clientID]; ok {
+		return t.sessions[id]
+	}
+	t.nextID++
+	s := &Session{t: t, ID: t.nextID, ClientID: clientID}
+	t.sessions[s.ID] = s
+	t.byClient[clientID] = s.ID
+	return s
+}
+
+// Lookup returns the session with the given ID, or nil.
+func (t *SessionServer) Lookup(id uint32) *Session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sessions[id]
+}
+
+// Stats snapshots the admission counters.
+func (t *SessionServer) Stats() SessionServerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := SessionServerStats{
+		Sessions:      len(t.sessions),
+		Served:        t.served,
+		Shed:          t.shed,
+		MaxQueueDepth: t.maxDepth,
+	}
+	for _, s := range t.sessions {
+		st.CacheHits += s.cacheHitCount()
+	}
+	return st
+}
+
+// acquire admits one request for the session: it grants a worker
+// immediately when one is free and nobody queues ahead, waits in the
+// session's FIFO queue otherwise, and sheds with a BusyError when the
+// queue is full. Waiting respects ctx.
+func (t *SessionServer) acquire(ctx context.Context, sid uint32) error {
+	t.mu.Lock()
+	if t.running < t.cfg.Workers && t.waiting == 0 {
+		t.running++
+		t.mu.Unlock()
+		return nil
+	}
+	if t.waiting >= t.cfg.QueueCap {
+		depth := t.waiting
+		t.shed++
+		t.mu.Unlock()
+		return &BusyError{QueueDepth: depth}
+	}
+	ch := make(chan struct{})
+	t.waiters[sid] = append(t.waiters[sid], ch)
+	if len(t.waiters[sid]) == 1 {
+		t.rr = append(t.rr, sid)
+	}
+	t.waiting++
+	if t.waiting > t.maxDepth {
+		t.maxDepth = t.waiting
+	}
+	t.mu.Unlock()
+
+	if ctx == nil {
+		<-ch
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		t.mu.Lock()
+		q := t.waiters[sid]
+		for i, w := range q {
+			if w == ch {
+				t.waiters[sid] = append(q[:i:i], q[i+1:]...)
+				t.waiting--
+				if len(t.waiters[sid]) == 0 {
+					t.dropRR(sid)
+				}
+				t.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		// The grant raced the cancellation: the worker was already
+		// handed over, so pass it on.
+		t.mu.Unlock()
+		t.release()
+		return ctx.Err()
+	}
+}
+
+// release returns a worker, handing it round-robin to the next waiting
+// session's oldest request (fairness across sessions: one grant per
+// session per rotation, however deep its queue).
+func (t *SessionServer) release() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.rr) > 0 {
+		sid := t.rr[0]
+		t.rr = t.rr[1:]
+		q := t.waiters[sid]
+		ch := q[0]
+		if len(q) == 1 {
+			delete(t.waiters, sid)
+		} else {
+			t.waiters[sid] = q[1:]
+			t.rr = append(t.rr, sid)
+		}
+		t.waiting--
+		close(ch) // the worker transfers; running is unchanged
+		return
+	}
+	t.running--
+}
+
+// dropRR removes sid from the round-robin rotation (its queue emptied
+// through cancellation). Callers hold t.mu.
+func (t *SessionServer) dropRR(sid uint32) {
+	delete(t.waiters, sid)
+	for i, id := range t.rr {
+		if id == sid {
+			t.rr = append(t.rr[:i:i], t.rr[i+1:]...)
+			return
+		}
+	}
+}
+
+// Per-session serialization-cache bounds: identical offloads (same
+// method, same serialized arguments) are frequent in the workload mix,
+// so a small per-session result cache saves the server re-executing
+// them; the bounds keep a fleet of sessions from hoarding memory.
+const (
+	sessionCacheMaxEntries = 64
+	sessionCacheMaxBytes   = 1 << 20
+)
+
+type cachedResult struct {
+	key string
+	res []byte
+}
+
+// Session is one client's server-side state: its identity, its
+// serialization cache, and its request counters. It implements Remote,
+// so a client can talk to its session directly in process.
+type Session struct {
+	t        *SessionServer
+	ID       uint32
+	ClientID string
+
+	mu         sync.Mutex
+	cache      []cachedResult
+	cacheBytes int
+	requests   int
+	cacheHits  int
+}
+
+// SessionStats snapshots one session's counters.
+type SessionStats struct {
+	Requests  int
+	CacheHits int
+}
+
+// Stats snapshots the session's counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{Requests: s.requests, CacheHits: s.cacheHits}
+}
+
+func (s *Session) cacheHitCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cacheHits
+}
+
+// Execute implements Remote: admission control first, then the
+// session-cached execution. A full queue sheds the request with a
+// BusyError before any server work happens.
+func (s *Session) Execute(ctx context.Context, clientID, class, method string, argBytes []byte,
+	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, error) {
+
+	if err := s.t.acquire(ctx, s.ID); err != nil {
+		return nil, 0, false, err
+	}
+	defer s.t.release()
+	s.t.mu.Lock()
+	s.t.served++
+	s.t.mu.Unlock()
+	return s.ExecuteDirect(ctx, clientID, class, method, argBytes, reqTime, estEnd)
+}
+
+// ExecuteDirect runs the request without admission control — the
+// session cache plus the wrapped Server. Simulation harnesses that
+// model admission in virtual time (internal/fleet) call this after
+// their own admission decision; the TCP path always goes through
+// Execute.
+func (s *Session) ExecuteDirect(ctx context.Context, clientID, class, method string, argBytes []byte,
+	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, error) {
+
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	key := class + "\x00" + method + "\x00" + string(argBytes)
+	s.mu.Lock()
+	s.requests++
+	for i := range s.cache {
+		if s.cache[i].key == key {
+			res := s.cache[i].res
+			s.cacheHits++
+			s.mu.Unlock()
+			// A cache hit skips execution: only the dispatch overhead
+			// is spent, and the mobile status table still advances.
+			servTime := s.t.srv.RequestOverhead
+			queued := s.t.srv.noteRequest(clientID, reqTime, estEnd, servTime, res)
+			return res, servTime, queued, nil
+		}
+	}
+	s.mu.Unlock()
+
+	res, servTime, queued, err := s.t.srv.Execute(ctx, clientID, class, method, argBytes, reqTime, estEnd)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	s.mu.Lock()
+	s.cache = append(s.cache, cachedResult{key: key, res: res})
+	s.cacheBytes += len(key) + len(res)
+	for (len(s.cache) > sessionCacheMaxEntries || s.cacheBytes > sessionCacheMaxBytes) && len(s.cache) > 0 {
+		old := s.cache[0]
+		s.cache = s.cache[1:]
+		s.cacheBytes -= len(old.key) + len(old.res)
+	}
+	s.mu.Unlock()
+	return res, servTime, queued, nil
+}
+
+// CompiledBody implements Remote: body downloads are control-plane
+// traffic served from the Server's shared body cache, not subject to
+// execution admission.
+func (s *Session) CompiledBody(ctx context.Context, qname string, level jit.Level) (*isa.Code, int, error) {
+	return s.t.srv.CompiledBody(ctx, qname, level)
+}
+
+var _ Remote = (*Session)(nil)

@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"greenvm/internal/apps"
@@ -86,7 +88,14 @@ func inputSeed(app string, size int, seed uint64) uint64 {
 // newClient wires a fresh client+server for one scenario.
 func (e *Env) newClient(strategy core.Strategy, ch radio.Channel, seed uint64) (*core.Client, error) {
 	server := core.NewServer(e.Prog)
-	c := core.NewClient(fmt.Sprintf("%s-%v", e.App.Name, strategy), e.Prog, server, ch, strategy, seed)
+	c := core.New(core.ClientConfig{
+		ID:       fmt.Sprintf("%s-%v", e.App.Name, strategy),
+		Prog:     e.Prog,
+		Server:   server,
+		Channel:  ch,
+		Strategy: strategy,
+		Seed:     seed,
+	})
 	if err := c.Register(e.Target, e.Prof); err != nil {
 		return nil, err
 	}
@@ -103,7 +112,7 @@ func (e *Env) runOnceOn(c *core.Client, size int, seed uint64) (energy.Joules, e
 	}
 	c.VM.Hier.Flush()
 	e0, t0 := c.Energy(), c.Clock
-	if _, err := c.Invoke(e.App.Class, e.App.Method, args); err != nil {
+	if _, err := c.Invoke(context.Background(), e.App.Class, e.App.Method, args); err != nil {
 		return 0, 0, err
 	}
 	return c.Energy() - e0, c.Clock - t0, nil

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 
@@ -46,7 +48,7 @@ func driveScenario(env *Env, client *core.Client, runs int, seed uint64) (float6
 		}
 		client.NewExecution()
 		client.MemoInputKey = uint64(size)
-		if _, err := client.Invoke(env.App.Class, env.App.Method, args); err != nil {
+		if _, err := client.Invoke(context.Background(), env.App.Class, env.App.Method, args); err != nil {
 			return 0, err
 		}
 		client.StepChannel()

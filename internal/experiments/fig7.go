@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"io"
 
@@ -123,7 +125,7 @@ func runScenarioWith(env *Env, sit Situation, strategy core.Strategy, runs int, 
 		// single execution; Fig 7 scenarios repeat that 300 times).
 		client.NewExecution()
 		client.MemoInputKey = uint64(size)
-		if _, err := client.Invoke(env.App.Class, env.App.Method, args); err != nil {
+		if _, err := client.Invoke(context.Background(), env.App.Class, env.App.Method, args); err != nil {
 			return Fig7Cell{}, fmt.Errorf("%s/%v/%v run %d: %w", env.App.Name, sit, strategy, run, err)
 		}
 		client.StepChannel()

@@ -1,0 +1,311 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+	"greenvm/internal/isa"
+	"greenvm/internal/jit"
+)
+
+// The engine is the fleet's virtual-time admission controller. Each
+// simulated handset advances its own virtual clock; the engine decides,
+// in virtual time, which offload requests obtain one of the server's
+// workers, which wait in the bounded queue, and which are shed with a
+// BusyError — exactly the policy core.SessionServer applies in real
+// time on the TCP path.
+//
+// Determinism is the point. Client goroutines reach the engine in
+// whatever order the Go scheduler produces, so the engine is built as a
+// conservative discrete-event simulator: a request timestamped t may
+// only be admitted once no client still running could produce an
+// earlier request. Every client carries a clock lower bound — the
+// timestamp of its outstanding request while blocked, the virtual time
+// of its last answer while running — and every exchange strictly
+// advances a client's clock (each carries at least one frame of
+// positive airtime). The engine therefore processes the event with the
+// minimal virtual time as soon as that time is at or below every
+// running client's bound, and the admission order, the queue waits and
+// the shed decisions come out identical under any goroutine
+// interleaving — one worker slot or sixteen.
+//
+// Fairness needs no extra machinery here: a handset has at most one
+// outstanding request (its executor blocks on the exchange), so the
+// FIFO queue, filled in (time, client) order, grants each session at
+// most one slot per rotation — the same round-robin the SessionServer
+// implements for pipelined transports.
+
+const (
+	stateRunning = iota
+	stateBlocked
+	stateFinished
+)
+
+// request is one offload exchange in flight through the engine.
+type request struct {
+	sess *session
+	t    energy.Seconds // the client's virtual send time
+
+	clientID      string
+	class, method string
+	argBytes      []byte
+	estEnd        energy.Seconds
+
+	// The answer, valid once done is closed. servTime includes the
+	// virtual queue wait, so the client sleeps through its wait exactly
+	// as it would for a slower server.
+	res      []byte
+	servTime energy.Seconds
+	queued   bool
+	err      error
+	done     chan struct{}
+}
+
+// session is the engine's view of one handset: its server-side
+// core.Session plus the clock bound and admission counters.
+type session struct {
+	idx  int // client index; ties in virtual time break on it
+	core *core.Session
+
+	state int
+	// bound is a lower bound on the virtual time of the session's next
+	// request: the outstanding request's timestamp while blocked, the
+	// time of the last answer while running.
+	bound energy.Seconds
+
+	served, shed     int
+	waitSum, maxWait energy.Seconds
+}
+
+type engine struct {
+	mu       sync.Mutex
+	workers  int
+	queueCap int
+	sessions []*session
+
+	busy    []energy.Seconds // virtual free time of each busy worker
+	queue   []*request       // waiting for a worker, admission order
+	pending []*request       // submitted, not yet ordered into the queue
+
+	served, shed, maxDepth int
+	waits                  []float64 // per-served-request queue waits, admission order
+	depths                 []float64 // queue depth seen by each enqueued request
+}
+
+func newEngine(cfg core.SessionConfig, n int) *engine {
+	// Mirror core.SessionConfig's defaulting: 0 means default,
+	// negative queue capacity means no waiting at all.
+	workers, queueCap := cfg.Workers, cfg.QueueCap
+	if workers <= 0 {
+		workers = core.DefaultWorkers
+	}
+	if queueCap == 0 {
+		queueCap = core.DefaultQueueCap
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	e := &engine{workers: workers, queueCap: queueCap, sessions: make([]*session, 0, n)}
+	return e
+}
+
+func (e *engine) addSession(s *core.Session) *session {
+	fs := &session{idx: len(e.sessions), core: s}
+	e.sessions = append(e.sessions, fs)
+	return fs
+}
+
+// submit hands one request to the engine and blocks until it is
+// answered — served after its virtual wait, or shed. The caller must
+// not hold a compute slot (see muxRemote).
+func (e *engine) submit(s *session, clientID, class, method string, argBytes []byte,
+	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, error) {
+
+	r := &request{
+		sess: s, t: reqTime,
+		clientID: clientID, class: class, method: method,
+		argBytes: argBytes, estEnd: estEnd,
+		done: make(chan struct{}),
+	}
+	e.mu.Lock()
+	s.state = stateBlocked
+	s.bound = reqTime
+	e.pending = append(e.pending, r)
+	e.process()
+	e.mu.Unlock()
+	<-r.done
+	return r.res, r.servTime, r.queued, r.err
+}
+
+// finish retires a session whose client completed its run (or died):
+// its bound no longer constrains the event horizon.
+func (e *engine) finish(s *session) {
+	e.mu.Lock()
+	s.state = stateFinished
+	e.process()
+	e.mu.Unlock()
+}
+
+// horizon is the earliest virtual time at which a running client could
+// still submit a request. Events at or before it are safe to process
+// (every exchange strictly advances a client past its bound).
+func (e *engine) horizon() energy.Seconds {
+	h := energy.Seconds(math.Inf(1))
+	for _, s := range e.sessions {
+		if s.state == stateRunning && s.bound < h {
+			h = s.bound
+		}
+	}
+	return h
+}
+
+// process drains every event whose virtual time has passed the
+// horizon. Callers hold e.mu.
+func (e *engine) process() {
+	for {
+		horizon := e.horizon()
+
+		// The earliest submitted request, ties broken by client index.
+		var arr *request
+		ai := -1
+		for i, r := range e.pending {
+			if arr == nil || r.t < arr.t || (r.t == arr.t && r.sess.idx < arr.sess.idx) {
+				arr, ai = r, i
+			}
+		}
+
+		// A worker completion is an event only while requests wait for
+		// it; completions at or before the next arrival dispatch first,
+		// so a request never overtakes the queue through a free slot.
+		if len(e.queue) > 0 {
+			f, wi := minBusy(e.busy)
+			if (arr == nil || f <= arr.t) && f <= horizon {
+				e.busy = append(e.busy[:wi], e.busy[wi+1:]...)
+				q := e.queue[0]
+				e.queue = e.queue[1:]
+				e.start(q, f)
+				continue
+			}
+		}
+
+		if arr == nil || arr.t > horizon {
+			return
+		}
+		e.pending = append(e.pending[:ai], e.pending[ai+1:]...)
+		t := arr.t
+		if len(e.queue) == 0 {
+			e.retire(t)
+		}
+		switch {
+		case len(e.busy) < e.workers:
+			e.start(arr, t)
+		case len(e.queue) >= e.queueCap:
+			depth := len(e.queue)
+			e.shed++
+			arr.sess.shed++
+			arr.err = &core.BusyError{QueueDepth: depth}
+			e.answer(arr, t)
+		default:
+			e.queue = append(e.queue, arr)
+			e.depths = append(e.depths, float64(len(e.queue)))
+			if len(e.queue) > e.maxDepth {
+				e.maxDepth = len(e.queue)
+			}
+		}
+	}
+}
+
+// retire frees workers whose virtual completion time has passed. Only
+// meaningful with an empty queue — otherwise completions dispatch
+// waiting requests and are handled as events in process.
+func (e *engine) retire(now energy.Seconds) {
+	kept := e.busy[:0]
+	for _, f := range e.busy {
+		if f > now {
+			kept = append(kept, f)
+		}
+	}
+	e.busy = kept
+}
+
+// start runs one admitted request on a worker beginning at the given
+// virtual time. The server work itself executes here, under the engine
+// lock: Server.Execute serializes on its own mutex anyway, and running
+// it at dispatch keeps the request's service time available for the
+// worker's completion event.
+func (e *engine) start(q *request, at energy.Seconds) {
+	wait := at - q.t
+	res, servTime, queued, err := q.sess.core.ExecuteDirect(context.Background(),
+		q.clientID, q.class, q.method, q.argBytes, q.t, q.estEnd)
+	if err != nil {
+		q.err = err
+		e.answer(q, at)
+		return
+	}
+	e.busy = append(e.busy, at+servTime)
+	e.served++
+	q.sess.served++
+	q.sess.waitSum += wait
+	if wait > q.sess.maxWait {
+		q.sess.maxWait = wait
+	}
+	e.waits = append(e.waits, float64(wait))
+	q.res, q.servTime, q.queued = res, wait+servTime, queued
+	e.answer(q, at+servTime)
+}
+
+// answer completes a request: the session is running again from the
+// given virtual time, and the blocked client wakes.
+func (e *engine) answer(q *request, bound energy.Seconds) {
+	q.sess.state = stateRunning
+	q.sess.bound = bound
+	close(q.done)
+}
+
+func minBusy(busy []energy.Seconds) (energy.Seconds, int) {
+	f, wi := busy[0], 0
+	for i, v := range busy[1:] {
+		if v < f {
+			f, wi = v, i+1
+		}
+	}
+	return f, wi
+}
+
+// gate is the compute-slot semaphore bounding how many client
+// goroutines simulate concurrently. The admission order never depends
+// on it — that is what the determinism test checks.
+type gate struct{ ch chan struct{} }
+
+func newGate(n int) *gate { return &gate{ch: make(chan struct{}, n)} }
+
+func (g *gate) acquire() { g.ch <- struct{}{} }
+func (g *gate) release() { <-g.ch }
+
+// muxRemote is the Remote each fleet client talks to: offload
+// executions go through the engine's virtual-time admission (releasing
+// the client's compute slot while blocked, so a single slot cannot
+// deadlock the fleet), while body downloads are control-plane traffic
+// served directly from the session.
+type muxRemote struct {
+	e    *engine
+	s    *session
+	gate *gate
+}
+
+func (m *muxRemote) Execute(ctx context.Context, clientID, class, method string, argBytes []byte,
+	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, error) {
+
+	m.gate.release()
+	defer m.gate.acquire()
+	return m.e.submit(m.s, clientID, class, method, argBytes, reqTime, estEnd)
+}
+
+func (m *muxRemote) CompiledBody(ctx context.Context, qname string, level jit.Level) (*isa.Code, int, error) {
+	return m.s.core.CompiledBody(ctx, qname, level)
+}
+
+var _ core.Remote = (*muxRemote)(nil)

@@ -1,0 +1,417 @@
+// Package fleet simulates many handsets sharing one offload server.
+//
+// The paper evaluates a single mobile device against a resource-rich
+// server; a deployed system serves a fleet. Each simulated client is a
+// full core.Client — its own channel trace, fault model, strategy,
+// workload mix and seeded RNG — attached to a per-client session on a
+// shared core.Server fronted by the session layer's bounded worker
+// pool. Contention is resolved in virtual time by a conservative
+// discrete-event engine (see engine.go), so a fleet run is
+// deterministic for a given Spec: the same seed produces byte-identical
+// results whether the clients simulate on one OS thread or sixteen.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+	"greenvm/internal/experiments"
+	"greenvm/internal/obs"
+	"greenvm/internal/radio"
+	"greenvm/internal/rng"
+)
+
+// Workload is the application every client in the fleet runs: the
+// shared program the server also executes, the profiled target, and
+// the size population clients draw their inputs from.
+type Workload struct {
+	Name   string
+	Prog   *bytecode.Program
+	Target *core.Target
+	Prof   *core.Profile
+	Sizes  []int
+}
+
+// WorkloadOf adapts a prepared experiment environment.
+func WorkloadOf(env *experiments.Env) Workload {
+	return Workload{
+		Name:   env.App.Name,
+		Prog:   env.Prog,
+		Target: env.Target,
+		Prof:   env.Prof,
+		Sizes:  env.App.ScenarioSizes,
+	}
+}
+
+// ChannelKind selects a client's channel process.
+type ChannelKind int
+
+const (
+	// ChannelFixed pins the channel to Class 4 (best bandwidth).
+	ChannelFixed ChannelKind = iota
+	// ChannelUniform redraws the class uniformly each execution.
+	ChannelUniform
+	// ChannelMarkov walks neighbouring classes from Class 3.
+	ChannelMarkov
+)
+
+func (k ChannelKind) String() string {
+	switch k {
+	case ChannelFixed:
+		return "fixed"
+	case ChannelUniform:
+		return "uniform"
+	case ChannelMarkov:
+		return "markov"
+	default:
+		return fmt.Sprintf("ChannelKind(%d)", int(k))
+	}
+}
+
+// ClientSpec describes one simulated handset.
+type ClientSpec struct {
+	ID       string
+	Strategy core.Strategy
+	Channel  ChannelKind
+	// Class pins ChannelFixed's class (zero means Class 4) and seeds
+	// ChannelMarkov's starting class (zero means Class 3).
+	Class radio.Class
+	// Outage > 0 attaches a Gilbert-Elliott fault model with the given
+	// stationary loss fraction and mean burst length.
+	Outage, Burst float64
+	// Executions is how many application executions the client runs;
+	// Sizes, when set, overrides the workload's size population (the
+	// client's personal mix).
+	Executions int
+	Sizes      []int
+	Seed       uint64
+}
+
+// Spec is one fleet run.
+type Spec struct {
+	Workload Workload
+	Clients  []ClientSpec
+	// Server shapes the shared server's admission control (zero values
+	// mean the session-layer defaults).
+	Server core.SessionConfig
+	// Concurrency bounds how many clients simulate in parallel; 0
+	// means GOMAXPROCS. It never changes the results, only the
+	// wall-clock time (the determinism test holds the engine to that).
+	Concurrency int
+}
+
+// MixedFleet builds a fleet of n clients cycling through the given
+// strategies and the three channel kinds, with a lossy link on every
+// fifth client — a representative population for capacity sweeps.
+func MixedFleet(w Workload, n int, strategies []core.Strategy, execs int,
+	server core.SessionConfig, seed uint64) Spec {
+
+	clients := make([]ClientSpec, n)
+	for i := range clients {
+		cs := ClientSpec{
+			ID:         fmt.Sprintf("pda-%02d", i),
+			Strategy:   strategies[i%len(strategies)],
+			Channel:    ChannelKind(i % 3),
+			Executions: execs,
+			Seed:       mix(seed, uint64(i)),
+		}
+		if i%5 == 4 {
+			cs.Outage, cs.Burst = 0.15, 3
+		}
+		clients[i] = cs
+	}
+	return Spec{Workload: w, Clients: clients, Server: server}
+}
+
+// ClientResult is one handset's outcome.
+type ClientResult struct {
+	ID       string
+	Strategy core.Strategy
+	// Energy and Time are the client's totals over all executions.
+	Energy energy.Joules
+	Time   energy.Seconds
+	Stats  core.Stats
+	// Session counts the client's server-side requests and cache hits;
+	// Served/Shed are the engine's admission outcomes for the client.
+	Session      core.SessionStats
+	Served, Shed int
+	// AvgWait and MaxWait summarize the virtual time the client's
+	// served requests spent in the admission queue.
+	AvgWait, MaxWait energy.Seconds
+	// Err is set when the client's run failed; the rest of the fleet
+	// still completes.
+	Err string
+}
+
+// ServerResult aggregates the shared server's admission outcomes.
+type ServerResult struct {
+	Workers, QueueCap           int
+	Served, Shed, MaxQueueDepth int
+	CacheHits                   int
+	// Waits holds per-served-request queue waits and Depths the queue
+	// depth seen by each request that had to wait, both in admission
+	// order (deterministic).
+	Waits, Depths []float64
+}
+
+// Result is a completed fleet run.
+type Result struct {
+	Workload string
+	Clients  []ClientResult
+	Server   ServerResult
+}
+
+// Run simulates the fleet to completion.
+func Run(spec Spec) (*Result, error) {
+	if len(spec.Clients) == 0 {
+		return nil, fmt.Errorf("fleet: no clients in spec")
+	}
+	w := spec.Workload
+	if w.Prog == nil || w.Target == nil || w.Prof == nil {
+		return nil, fmt.Errorf("fleet: incomplete workload %q", w.Name)
+	}
+	server := core.NewServer(w.Prog)
+	sess := core.NewSessionServer(server, spec.Server)
+	eng := newEngine(spec.Server, len(spec.Clients))
+	conc := spec.Concurrency
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	g := newGate(conc)
+
+	// Build every client before launching any: addSession fixes the
+	// deterministic client order the engine breaks ties with.
+	clients := make([]*core.Client, len(spec.Clients))
+	sessions := make([]*session, len(spec.Clients))
+	for i, cs := range spec.Clients {
+		fs := eng.addSession(sess.Open(cs.ID))
+		sessions[i] = fs
+		var opts []core.Option
+		if cs.Outage > 0 {
+			opts = append(opts, core.WithFaultModel(radio.NewGilbertElliott(cs.Outage, cs.Burst)))
+		}
+		clients[i] = core.New(core.ClientConfig{
+			ID:       cs.ID,
+			Prog:     w.Prog,
+			Server:   &muxRemote{e: eng, s: fs, gate: g},
+			Channel:  buildChannel(cs),
+			Strategy: cs.Strategy,
+			Seed:     mix(cs.Seed, 0x11),
+		}, opts...)
+	}
+
+	errs := make([]error, len(clients))
+	var wg sync.WaitGroup
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// The compute slot is held while simulating and released
+			// while blocked in the engine (muxRemote); the session must
+			// retire even when the client errors out, or the engine
+			// would wait on its clock bound forever.
+			g.acquire()
+			defer g.release()
+			defer eng.finish(sessions[i])
+			errs[i] = runClient(clients[i], w, spec.Clients[i])
+		}(i)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Workload: w.Name,
+		Clients:  make([]ClientResult, len(clients)),
+	}
+	for i, c := range clients {
+		fs := sessions[i]
+		cr := ClientResult{
+			ID:       spec.Clients[i].ID,
+			Strategy: spec.Clients[i].Strategy,
+			Energy:   c.Energy(),
+			Time:     c.Clock,
+			Stats:    *c.Stats,
+			Session:  fs.core.Stats(),
+			Served:   fs.served,
+			Shed:     fs.shed,
+			MaxWait:  fs.maxWait,
+		}
+		if fs.served > 0 {
+			cr.AvgWait = fs.waitSum / energy.Seconds(fs.served)
+		}
+		if errs[i] != nil {
+			cr.Err = errs[i].Error()
+		}
+		res.Clients[i] = cr
+	}
+	res.Server = ServerResult{
+		Workers:       eng.workers,
+		QueueCap:      eng.queueCap,
+		Served:        eng.served,
+		Shed:          eng.shed,
+		MaxQueueDepth: eng.maxDepth,
+		Waits:         eng.waits,
+		Depths:        eng.depths,
+	}
+	for _, c := range res.Clients {
+		res.Server.CacheHits += c.Session.CacheHits
+	}
+	return res, nil
+}
+
+// runClient simulates one handset to completion.
+func runClient(c *core.Client, w Workload, cs ClientSpec) error {
+	if err := c.Register(w.Target, w.Prof); err != nil {
+		return err
+	}
+	sizes := cs.Sizes
+	if len(sizes) == 0 {
+		sizes = w.Sizes
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("fleet: client %s has no input sizes", cs.ID)
+	}
+	sizeR := rng.New(mix(cs.Seed, 0x51))
+	for run := 0; run < cs.Executions; run++ {
+		c.NewExecution()
+		size := sizes[sizeR.Intn(len(sizes))]
+		// Inputs are fixed per (workload, size): identical offloads
+		// from repeated sizes exercise the session caches.
+		args, err := w.Target.MakeArgs(c.VM, size, rng.New(inputSeed(w.Name, size)))
+		if err != nil {
+			return err
+		}
+		if _, err := c.Invoke(context.Background(), w.Target.Class, w.Target.Method, args); err != nil {
+			return err
+		}
+		c.StepChannel()
+	}
+	c.SyncStats()
+	return nil
+}
+
+func buildChannel(cs ClientSpec) radio.Channel {
+	switch cs.Channel {
+	case ChannelUniform:
+		return radio.UniformChannel(rng.New(mix(cs.Seed, 0x21)))
+	case ChannelMarkov:
+		start := cs.Class
+		if start == 0 {
+			start = radio.Class3
+		}
+		return radio.NewMarkov(start, 0.55, rng.New(mix(cs.Seed, 0x31)))
+	default:
+		cls := cs.Class
+		if cls == 0 {
+			cls = radio.Class4
+		}
+		return radio.Fixed{Cls: cls}
+	}
+}
+
+// mix derives independent sub-seeds (splitmix64 finalizer).
+func mix(seed, salt uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15*(salt+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// inputSeed fixes input content per (workload, size), as the
+// experiment drivers do.
+func inputSeed(name string, size int) uint64 {
+	h := uint64(0xCBF29CE484222325)
+	for _, c := range name {
+		h = h*1099511628211 ^ uint64(c)
+	}
+	return h*2654435761 + uint64(size)
+}
+
+// Histogram buckets for the observability registry: queue waits in
+// virtual seconds, queue depths in requests.
+var (
+	waitBuckets  = []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1}
+	depthBuckets = []float64{1, 2, 4, 8, 16, 32}
+)
+
+// Registry renders the run through the observability seam: per-client
+// energy/time gauges, admission counters, and the server's queue
+// wait/depth histograms. Built post-run in client order, so its
+// snapshot is deterministic.
+func (r *Result) Registry() *obs.Registry {
+	reg := obs.NewRegistry()
+	eGauge := reg.Gauge("fleet_client_energy_joules", "total energy per simulated handset")
+	tGauge := reg.Gauge("fleet_client_time_seconds", "virtual completion time per handset")
+	served := reg.Counter("fleet_served_total", "requests that obtained a server worker")
+	sheds := reg.Counter("fleet_sheds_total", "requests shed by server admission control")
+	hits := reg.Counter("fleet_session_cache_hits_total", "requests answered from a session's serialization cache")
+	waitH := reg.Histogram("fleet_queue_wait_seconds", "virtual queue wait of served requests", waitBuckets)
+	depthH := reg.Histogram("fleet_queue_depth", "queue depth seen by requests that waited", depthBuckets)
+	for _, c := range r.Clients {
+		labels := []string{"client", c.ID, "strategy", c.Strategy.String()}
+		eGauge.Set(float64(c.Energy), labels...)
+		tGauge.Set(float64(c.Time), labels...)
+		if c.Served > 0 {
+			served.Add(float64(c.Served), labels...)
+		}
+		if c.Shed > 0 {
+			sheds.Add(float64(c.Shed), labels...)
+		}
+		if c.Session.CacheHits > 0 {
+			hits.Add(float64(c.Session.CacheHits), labels...)
+		}
+	}
+	for _, v := range r.Server.Waits {
+		waitH.Observe(v)
+	}
+	for _, v := range r.Server.Depths {
+		depthH.Observe(v)
+	}
+	return reg
+}
+
+// TotalEnergy sums the fleet's client energies.
+func (r *Result) TotalEnergy() energy.Joules {
+	var e energy.Joules
+	for _, c := range r.Clients {
+		e += c.Energy
+	}
+	return e
+}
+
+// ShedRate is the fraction of admission decisions that shed.
+func (r *Result) ShedRate() float64 {
+	total := r.Server.Served + r.Server.Shed
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Server.Shed) / float64(total)
+}
+
+// WriteSummary renders the per-client table and the server aggregate.
+func (r *Result) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "fleet of %d clients on %s — server workers=%d queue=%d\n\n",
+		len(r.Clients), r.Workload, r.Server.Workers, r.Server.QueueCap)
+	fmt.Fprintf(w, "%-8s %-5s %12s %10s | %5s %5s %5s %5s | %10s  %s\n",
+		"client", "strat", "energy", "time", "reqs", "shed", "hits", "fall", "avg wait", "modes [I L1 L2 L3 R]")
+	for _, c := range r.Clients {
+		fmt.Fprintf(w, "%-8s %-5v %12v %9.2fs | %5d %5d %5d %5d | %9.2fms  %v",
+			c.ID, c.Strategy, c.Energy, float64(c.Time),
+			c.Served, c.Shed, c.Session.CacheHits, c.Stats.Fallbacks,
+			float64(c.AvgWait)*1e3, c.Stats.ModeCounts)
+		if c.Err != "" {
+			fmt.Fprintf(w, "  ERROR: %s", c.Err)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\ntotal energy %v; server served %d, shed %d (rate %.1f%%), max queue depth %d, cache hits %d\n",
+		r.TotalEnergy(), r.Server.Served, r.Server.Shed, 100*r.ShedRate(),
+		r.Server.MaxQueueDepth, r.Server.CacheHits)
+}

@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"greenvm/internal/apps"
+	"greenvm/internal/core"
+	"greenvm/internal/experiments"
+	"greenvm/internal/radio"
+)
+
+// Profiling the workloads dominates test time, so the tests share one
+// prepared environment per app: MF exercises contention cheaply, FE is
+// the app whose adaptive clients actually prefer offloading.
+var (
+	envOnce  sync.Once
+	envMF    *experiments.Env
+	envFE    *experiments.Env
+	envErrMF error
+	envErrFE error
+)
+
+func prepare(t *testing.T) {
+	t.Helper()
+	envOnce.Do(func() {
+		envMF, envErrMF = experiments.Prepare(apps.MF(), 3)
+		envFE, envErrFE = experiments.Prepare(apps.FE(), 3)
+	})
+}
+
+func testWorkload(t *testing.T) Workload {
+	t.Helper()
+	prepare(t)
+	if envErrMF != nil {
+		t.Fatal(envErrMF)
+	}
+	return WorkloadOf(envMF)
+}
+
+func offloadWorkload(t *testing.T) Workload {
+	t.Helper()
+	prepare(t)
+	if envErrFE != nil {
+		t.Fatal(envErrFE)
+	}
+	return WorkloadOf(envFE)
+}
+
+// render serializes everything a fleet run produces — the summary
+// table, the per-client structs and the observability snapshot — so
+// two runs can be compared byte for byte.
+func render(t *testing.T, r *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	r.WriteSummary(&buf)
+	for _, c := range r.Clients {
+		fmt.Fprintf(&buf, "%s|%v|%v|%v|%+v|%+v|%d|%d|%v|%v|%s\n",
+			c.ID, c.Strategy, c.Energy, c.Time, c.Stats, c.Session,
+			c.Served, c.Shed, c.AvgWait, c.MaxWait, c.Err)
+	}
+	fmt.Fprintf(&buf, "server %+v\n", r.Server)
+	if err := r.Registry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFleetDeterministicAcrossConcurrency is the tentpole's core
+// claim: a 32-client mixed-strategy fleet produces byte-identical
+// results whether the clients simulate serially or on eight slots.
+func TestFleetDeterministicAcrossConcurrency(t *testing.T) {
+	w := testWorkload(t)
+	build := func(conc int) Spec {
+		spec := MixedFleet(w, 32,
+			[]core.Strategy{core.StrategyR, core.StrategyI, core.StrategyL2, core.StrategyAL, core.StrategyAA},
+			3, core.SessionConfig{Workers: 2, QueueCap: 4}, 77)
+		for i := range spec.Clients {
+			spec.Clients[i].Sizes = []int{16, 32}
+		}
+		spec.Concurrency = conc
+		return spec
+	}
+
+	serial, err := Run(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range serial.Clients {
+		if c.Err != "" {
+			t.Fatalf("client %s failed: %s", c.ID, c.Err)
+		}
+	}
+	parallel, err := Run(build(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sb, pb := render(t, serial), render(t, parallel)
+	if !bytes.Equal(sb, pb) {
+		t.Fatalf("serial and parallel fleets diverge:\n--- serial ---\n%s\n--- parallel ---\n%s", sb, pb)
+	}
+
+	// The run must have exercised contention, or the determinism claim
+	// is vacuous.
+	if serial.Server.MaxQueueDepth == 0 {
+		t.Error("fleet never queued: the spec does not exercise admission control")
+	}
+	if serial.Server.Served == 0 {
+		t.Error("fleet never offloaded")
+	}
+}
+
+// TestFleetOverloadShedsAndShiftsLocal drives an adaptive fleet into a
+// deliberately undersized server: admission control must shed, and the
+// clients must price the busy errors into their decisions — work that
+// would have gone remote observably shifts to local execution.
+func TestFleetOverloadShedsAndShiftsLocal(t *testing.T) {
+	w := offloadWorkload(t)
+	spec := MixedFleet(w, 16, []core.Strategy{core.StrategyAA}, 4,
+		core.SessionConfig{Workers: 1, QueueCap: -1}, 5)
+	for i := range spec.Clients {
+		// A narrow channel keeps the remote advantage small enough
+		// that a few priced-in busy errors flip the estimate; unloaded,
+		// AA still offloads FE here (the control run checks that).
+		spec.Clients[i].Channel = ChannelFixed
+		spec.Clients[i].Class = radio.Class1
+		spec.Clients[i].Outage = 0
+		spec.Clients[i].Sizes = []int{56000}
+	}
+
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clients {
+		if c.Err != "" {
+			t.Fatalf("client %s failed: %s", c.ID, c.Err)
+		}
+	}
+
+	if res.Server.Shed == 0 {
+		t.Fatal("an undersized server with no queue never shed")
+	}
+	var local, shedClients int
+	for _, c := range res.Clients {
+		local += localModes(c.Stats)
+		if c.Shed > 0 {
+			shedClients++
+			if c.Stats.Sheds != c.Shed {
+				t.Errorf("client %s: engine shed %d requests but its stats say %d",
+					c.ID, c.Shed, c.Stats.Sheds)
+			}
+		}
+	}
+	if shedClients == 0 {
+		t.Fatal("server shed requests but no client recorded one")
+	}
+	if local == 0 {
+		t.Error("overload never shifted an adaptive client to local execution")
+	}
+
+	// Control: the same fleet against an adequately sized server sheds
+	// nothing and keeps every decision remote — the local shift above
+	// is the overload's doing, not the channel's.
+	roomy := spec
+	roomy.Server = core.SessionConfig{Workers: 16, QueueCap: 32}
+	ctrl, err := Run(roomy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Server.Shed != 0 {
+		t.Fatalf("control fleet shed %d requests on a 16-worker server", ctrl.Server.Shed)
+	}
+	for _, c := range ctrl.Clients {
+		if c.Err != "" {
+			t.Fatalf("control client %s failed: %s", c.ID, c.Err)
+		}
+		if localModes(c.Stats) != 0 {
+			t.Fatalf("control client %s went local without overload: %v", c.ID, c.Stats.ModeCounts)
+		}
+	}
+}
+
+func localModes(s core.Stats) int {
+	return s.ModeCounts[core.ModeInterp] + s.ModeCounts[core.ModeL1] +
+		s.ModeCounts[core.ModeL2] + s.ModeCounts[core.ModeL3]
+}
+
+// TestFleetSessionCacheServesRepeats: clients drawing a single input
+// size resend identical serialized requests, which the per-session
+// caches answer without re-executing.
+func TestFleetSessionCacheServesRepeats(t *testing.T) {
+	w := testWorkload(t)
+	spec := MixedFleet(w, 4, []core.Strategy{core.StrategyR}, 5,
+		core.SessionConfig{Workers: 4, QueueCap: 16}, 9)
+	for i := range spec.Clients {
+		spec.Clients[i].Channel = ChannelFixed
+		spec.Clients[i].Outage = 0
+		spec.Clients[i].Sizes = []int{32}
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Clients {
+		if c.Err != "" {
+			t.Fatalf("client %s failed: %s", c.ID, c.Err)
+		}
+	}
+	if res.Server.CacheHits == 0 {
+		t.Error("repeated identical offloads produced no session cache hits")
+	}
+}

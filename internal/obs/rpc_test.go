@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+
 	"encoding/json"
 	"io"
 	"net"
@@ -59,10 +61,10 @@ func TestRPCMetricsEndToEnd(t *testing.T) {
 
 	// One successful compile RPC and one failing exec RPC (unknown
 	// method → failure frame; the connection stays up).
-	if _, _, err := remote.CompiledBody("App.helper", jit.Level1); err != nil {
+	if _, _, err := remote.CompiledBody(context.Background(), "App.helper", jit.Level1); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := remote.Execute("c", "App", "nope", nil, 0, 0); err == nil {
+	if _, _, _, err := remote.Execute(context.Background(), "c", "App", "nope", nil, 0, 0); err == nil {
 		t.Fatal("exec of an unknown method should fail")
 	}
 	remote.Close()

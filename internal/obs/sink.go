@@ -35,6 +35,7 @@ type MetricsSink struct {
 	evictions    *Counter
 	memoHits     *Counter
 	retries      *Counter
+	sheds        *Counter
 	probes       *Counter
 	transitions  *Counter
 	linkUp       *Gauge
@@ -73,6 +74,7 @@ func NewMetricsSink(reg *Registry) *MetricsSink {
 		evictions:    reg.Counter("evictions_total", "bodies unlinked by the code cache's LRU policy"),
 		memoHits:     reg.Counter("memo_hits_total", "invocations replayed from the memo"),
 		retries:      reg.Counter("retries_total", "re-attempted remote exchanges after losses"),
+		sheds:        reg.Counter("sheds_total", "remote exchanges rejected by server admission control"),
 		probes:       reg.Counter("probes_total", "half-open circuit-breaker probes by outcome"),
 		transitions:  reg.Counter("link_transitions_total", "circuit-breaker open/close transitions by direction"),
 		linkUp:       reg.Gauge("link_up", "1 while the circuit breaker admits remote options"),
@@ -128,6 +130,8 @@ func (s *MetricsSink) Emit(e core.Event) {
 		s.memoHits.Inc()
 	case core.EvRetry:
 		s.retries.Inc("method", method)
+	case core.EvShed:
+		s.sheds.Inc("method", method)
 	case core.EvProbe:
 		outcome := "ok"
 		if e.FellBack {

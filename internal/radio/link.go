@@ -139,6 +139,18 @@ func (l *Link) Listen(t energy.Seconds) {
 	l.acct.AddRadio(false, energy.Energy(l.Chip.RxPower(), t))
 }
 
+// Control receives a small control frame (a server busy rejection, a
+// handshake reply) at the true channel condition, charging receive
+// energy and returning the air time. The fault model is not consulted:
+// the frame itself is the signal the caller is reacting to, so judging
+// it lost again would double-count the failure.
+func (l *Link) Control(payloadBytes int) energy.Seconds {
+	cls := l.Ch.Current()
+	l.acct.AddRadio(false, l.Chip.RxEnergy(payloadBytes, cls))
+	l.BytesReceived += payloadBytes
+	return l.Chip.AirTime(payloadBytes, cls)
+}
+
 // StepChannel advances the channel process between invocations.
 func (l *Link) StepChannel() {
 	l.Ch.Step()
