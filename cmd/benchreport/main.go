@@ -1,0 +1,181 @@
+// Command benchreport runs the repo's headline benchmarks in-process
+// and writes a machine-readable JSON report — the diffable perf
+// trajectory artifact (BENCH_<n>.json) CI records per PR.
+//
+// The report carries the FigureGrid and Fleet timings (ns/op plus
+// their reported metrics) and the fleet placement sweep: shed rate,
+// total energy and queue high-water mark per (fleet size, server
+// count, placement) at equal aggregate server capacity. The sweep
+// numbers are deterministic — only the timings vary run to run.
+//
+// Usage:
+//
+//	benchreport -out BENCH_6.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"greenvm/internal/apps"
+	"greenvm/internal/core"
+	"greenvm/internal/experiments"
+	"greenvm/internal/fleet"
+)
+
+type benchEntry struct {
+	Name    string             `json:"name"`
+	N       int                `json:"n"`
+	NsPerOp int64              `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type sweepRow struct {
+	Clients   int     `json:"clients"`
+	Servers   int     `json:"servers"`
+	Placement string  `json:"placement"`
+	Served    int     `json:"served"`
+	Shed      int     `json:"shed"`
+	ShedPct   float64 `json:"shed_pct"`
+	EnergyJ   float64 `json:"total_energy_j"`
+	MaxDepth  int     `json:"max_queue_depth"`
+}
+
+type report struct {
+	Schema         int          `json:"schema"`
+	GoVersion      string       `json:"go_version"`
+	GOMAXPROCS     int          `json:"gomaxprocs"`
+	Benches        []benchEntry `json:"benches"`
+	PlacementSweep []sweepRow   `json:"placement_sweep"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_6.json", "report file; '-' for stdout")
+	execs := flag.Int("execs", 4, "executions per client in the placement sweep")
+	flag.Parse()
+	if err := run(*out, *execs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, execs int) error {
+	fmt.Fprintln(os.Stderr, "profiling workloads...")
+	feEnv, err := experiments.Prepare(apps.FE(), 42)
+	if err != nil {
+		return err
+	}
+	sortEnv, err := experiments.Prepare(apps.Sort(), 42)
+	if err != nil {
+		return err
+	}
+	envs := []*experiments.Env{feEnv, sortEnv}
+	w := fleet.WorkloadOf(feEnv)
+
+	rep := &report{Schema: 6, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	// FigureGrid: the Fig 7 scenario grid, serial and parallel — the
+	// same shape as BenchmarkFigureGrid.
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		var norm float64
+		r := testing.Benchmark(func(b *testing.B) {
+			runner := experiments.NewRunner(workers)
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFig7On(runner, envs, 20, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				norm = res.Strategy(experiments.SitUniform, core.StrategyAL)
+			}
+		})
+		rep.Benches = append(rep.Benches, benchEntry{
+			Name: fmt.Sprintf("FigureGrid/workers=%d", workers),
+			N:    r.N, NsPerOp: r.NsPerOp(),
+			Metrics: map[string]float64{"AL_over_L1": norm},
+		})
+		fmt.Fprintf(os.Stderr, "FigureGrid/workers=%d: %d ns/op\n", workers, r.NsPerOp())
+	}
+
+	// Fleet: the 16-client mixed fleet, one and four simulation slots —
+	// the same shape as BenchmarkFleet.
+	for _, conc := range []int{1, 4} {
+		conc := conc
+		var rate float64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := fleet.MixedFleet(w, 16,
+					[]core.Strategy{core.StrategyR, core.StrategyAL, core.StrategyAA},
+					3, core.SessionConfig{Workers: 2, QueueCap: 4}, 42)
+				spec.Concurrency = conc
+				res, err := fleet.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range res.Clients {
+					if c.Err != "" {
+						b.Fatalf("client %s: %s", c.ID, c.Err)
+					}
+				}
+				rate = res.ShedRate()
+			}
+		})
+		rep.Benches = append(rep.Benches, benchEntry{
+			Name: fmt.Sprintf("Fleet/slots=%d", conc),
+			N:    r.N, NsPerOp: r.NsPerOp(),
+			Metrics: map[string]float64{"shed_pct": 100 * rate},
+		})
+		fmt.Fprintf(os.Stderr, "Fleet/slots=%d: %d ns/op\n", conc, r.NsPerOp())
+	}
+
+	// Placement sweep at equal aggregate capacity: 4 workers total,
+	// split across the pool; queue capacity 4 per backend.
+	const aggregateWorkers, queuePerBackend = 4, 4
+	for _, n := range []int{16, 32} {
+		for _, servers := range []int{1, 2, 4} {
+			placements := fleet.Placements
+			if servers == 1 {
+				placements = []fleet.Placement{fleet.PlaceCheapest}
+			}
+			for _, pl := range placements {
+				spec := fleet.MixedFleet(w, n,
+					[]core.Strategy{core.StrategyR, core.StrategyAL, core.StrategyAA},
+					execs, core.SessionConfig{Workers: aggregateWorkers / servers, QueueCap: queuePerBackend}, 42)
+				spec.Servers = servers
+				spec.Placement = pl
+				res, err := fleet.Run(spec)
+				if err != nil {
+					return err
+				}
+				for _, c := range res.Clients {
+					if c.Err != "" {
+						return fmt.Errorf("sweep client %s: %s", c.ID, c.Err)
+					}
+				}
+				rep.PlacementSweep = append(rep.PlacementSweep, sweepRow{
+					Clients: n, Servers: servers, Placement: pl.String(),
+					Served: res.Server.Served, Shed: res.Server.Shed,
+					ShedPct:  100 * res.ShedRate(),
+					EnergyJ:  float64(res.TotalEnergy()),
+					MaxDepth: res.Server.MaxQueueDepth,
+				})
+			}
+		}
+	}
+
+	f := os.Stdout
+	if out != "-" {
+		f, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,16 +1,24 @@
 // Command fleetsim simulates a fleet of Java-enabled handsets sharing
-// one offload server, sweeping fleet size against offload strategy to
-// show how the server's admission control (bounded worker pool plus a
-// bounded queue) degrades: queue waits grow, requests are shed with
-// busy errors, and the adaptive strategies price those errors into
-// their decisions and shift work back to local execution.
+// a pool of offload servers, sweeping fleet size against server count
+// and placement policy to show how admission control (bounded worker
+// pools plus bounded queues) degrades — queue waits grow, requests are
+// shed with busy errors, the adaptive strategies price those errors
+// into their decisions and shift work back to local execution — and
+// how spreading the same aggregate capacity across more backends
+// changes the picture placement policy by placement policy.
 //
 // Usage:
 //
-//	fleetsim -app fe                          # default 32-client fleet
-//	fleetsim -app fe -clients 8,16,32,64 -sweep
+//	fleetsim -app fe                          # default 32-client fleet, one server
+//	fleetsim -app fe -clients 16 -servers 4 -placement p2c
+//	fleetsim -app fe -clients 8,16,32,64 -servers 1,2,4 -placement all -sweep
 //	fleetsim -app fe -clients 16 -strategies AA,AL,R -server-workers 2 -queue 4
 //	fleetsim -app fe -clients 32 -metrics fleet.json
+//
+// -server-workers is the pool's aggregate worker budget: it is split
+// evenly across the backends (-servers must divide it), so sweeping
+// the server count compares placements at equal total capacity.
+// -queue stays per backend.
 //
 // Every run is deterministic for a given -seed: the engine resolves
 // the fleet's contention in virtual time, so the concurrency level
@@ -36,22 +44,87 @@ func main() {
 	clients := flag.String("clients", "32", "fleet size, or a comma-separated list for -sweep")
 	execs := flag.Int("execs", 4, "application executions per client")
 	strategies := flag.String("strategies", "R,AL,AA", "comma-separated strategy mix cycled across clients")
-	workers := flag.Int("server-workers", core.DefaultWorkers, "server execution worker pool size")
-	queue := flag.Int("queue", core.DefaultQueueCap, "server admission queue capacity (negative: no waiting)")
+	servers := flag.String("servers", "1", "backend server count, or a comma-separated list for -sweep")
+	placement := flag.String("placement", "cheapest", "placement policy (cheapest, hash, p2c), a comma-separated list for -sweep, or 'all'")
+	workers := flag.Int("server-workers", core.DefaultWorkers, "aggregate worker budget, split evenly across the backend servers")
+	queue := flag.Int("queue", core.DefaultQueueCap, "per-backend admission queue capacity (-1: no waiting)")
 	seed := flag.Uint64("seed", 42, "base seed; same seed, same results")
 	concurrency := flag.Int("concurrency", 0, "client goroutines simulated in parallel (0 = GOMAXPROCS)")
-	sweep := flag.Bool("sweep", false, "print the fleet-size x strategy aggregate table instead of one run's detail")
+	sweep := flag.Bool("sweep", false, "print the fleet-size x server-count x placement aggregate table instead of one run's detail")
 	metrics := flag.String("metrics", "", "write the run's observability snapshot (JSON) to this file; '-' for stdout")
 	flag.Parse()
 
-	if err := run(*app, *clients, *execs, *strategies, *workers, *queue,
-		*seed, *concurrency, *sweep, *metrics); err != nil {
+	if err := run(*app, *clients, *execs, *strategies, *servers, *placement,
+		*workers, *queue, *seed, *concurrency, *sweep, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appName, clientList string, execs int, strategyList string,
+// fleetConfig is the validated shape of one invocation.
+type fleetConfig struct {
+	sizes      []int
+	serverNs   []int
+	placements []fleet.Placement
+	workers    int // aggregate budget
+	queue      int // per backend
+}
+
+// parseConfig validates the flag combinations that describe the fleet
+// and the pool, so nonsense fails with a clear message instead of a
+// silent default or a confusing run.
+func parseConfig(clientList, serverList, placementList string,
+	workers, queue int, sweep bool) (*fleetConfig, error) {
+
+	sizes, err := parsePositiveInts(clientList)
+	if err != nil {
+		return nil, fmt.Errorf("-clients: %w", err)
+	}
+	serverNs, err := parsePositiveInts(serverList)
+	if err != nil {
+		return nil, fmt.Errorf("-servers: %w", err)
+	}
+	placements, err := parsePlacements(placementList)
+	if err != nil {
+		return nil, err
+	}
+	if !sweep {
+		if len(sizes) > 1 {
+			return nil, fmt.Errorf("-clients lists several fleet sizes; add -sweep, or pick one")
+		}
+		if len(serverNs) > 1 {
+			return nil, fmt.Errorf("-servers lists several server counts; add -sweep, or pick one")
+		}
+		if len(placements) > 1 {
+			return nil, fmt.Errorf("-placement lists several policies; add -sweep, or pick one")
+		}
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("-server-workers %d: the pool needs at least one worker", workers)
+	}
+	if queue == 0 {
+		return nil, fmt.Errorf("-queue 0 is ambiguous: use -queue -1 to disable waiting, or omit the flag for the default (%d)", core.DefaultQueueCap)
+	}
+	if queue < -1 {
+		return nil, fmt.Errorf("-queue %d: negative capacities other than -1 (no waiting) are meaningless", queue)
+	}
+	for _, n := range serverNs {
+		if workers%n != 0 {
+			return nil, fmt.Errorf("-server-workers %d does not split evenly across %d servers; the sweep compares placements at equal aggregate capacity", workers, n)
+		}
+	}
+	return &fleetConfig{sizes: sizes, serverNs: serverNs, placements: placements,
+		workers: workers, queue: queue}, nil
+}
+
+// serverConfig shapes one backend for a pool of n: the aggregate
+// worker budget splits evenly (parseConfig enforced divisibility), the
+// queue capacity is per backend.
+func (c *fleetConfig) serverConfig(n int) core.SessionConfig {
+	return core.SessionConfig{Workers: c.workers / n, QueueCap: c.queue}
+}
+
+func run(appName, clientList string, execs int, strategyList, serverList, placementList string,
 	workers, queue int, seed uint64, concurrency int, sweep bool, metrics string) error {
 
 	a := apps.ByName(appName)
@@ -66,9 +139,9 @@ func run(appName, clientList string, execs int, strategyList string,
 	if err != nil {
 		return err
 	}
-	sizes, err := parseInts(clientList)
+	cfg, err := parseConfig(clientList, serverList, placementList, workers, queue, sweep)
 	if err != nil {
-		return fmt.Errorf("-clients: %w", err)
+		return err
 	}
 
 	fmt.Printf("profiling %s...\n", a.Name)
@@ -77,13 +150,15 @@ func run(appName, clientList string, execs int, strategyList string,
 		return err
 	}
 	w := fleet.WorkloadOf(env)
-	server := core.SessionConfig{Workers: workers, QueueCap: queue}
 
 	if sweep {
-		return runSweep(w, sizes, strats, execs, server, seed, concurrency)
+		return runSweep(w, cfg, strats, execs, seed, concurrency)
 	}
 
-	spec := fleet.MixedFleet(w, sizes[0], strats, execs, server, seed)
+	n := cfg.serverNs[0]
+	spec := fleet.MixedFleet(w, cfg.sizes[0], strats, execs, cfg.serverConfig(n), seed)
+	spec.Servers = n
+	spec.Placement = cfg.placements[0]
 	spec.Concurrency = concurrency
 	res, err := fleet.Run(spec)
 	if err != nil {
@@ -110,38 +185,44 @@ func run(appName, clientList string, execs int, strategyList string,
 	return nil
 }
 
-// runSweep prints the aggregate table: one row per (fleet size,
-// strategy), each a homogeneous fleet, so the capacity cliff and the
-// adaptive strategies' response to it line up column by column.
-func runSweep(w fleet.Workload, sizes []int, strats []core.Strategy, execs int,
-	server core.SessionConfig, seed uint64, concurrency int) error {
+// runSweep prints the aggregate table: one row per (fleet size, server
+// count, placement), each a mixed-strategy fleet against the same
+// aggregate worker budget, so the capacity cliff — and how each
+// placement policy spends the same capacity — lines up column by
+// column.
+func runSweep(w fleet.Workload, cfg *fleetConfig, strats []core.Strategy, execs int,
+	seed uint64, concurrency int) error {
 
-	fmt.Printf("\nfleet sweep on %s — server workers=%d queue=%d, %d executions/client\n\n",
-		w.Name, server.Workers, server.QueueCap, execs)
-	fmt.Printf("%7s %-5s | %12s %12s | %6s %6s %6s | %9s %6s\n",
-		"clients", "strat", "energy/cli", "total", "served", "shed", "shed%", "max wait", "depth")
-	for _, n := range sizes {
-		for _, s := range strats {
-			spec := fleet.MixedFleet(w, n, []core.Strategy{s}, execs, server, seed)
-			spec.Concurrency = concurrency
-			res, err := fleet.Run(spec)
-			if err != nil {
-				return err
-			}
-			if err := clientErrors(res); err != nil {
-				return err
-			}
-			var maxWait float64
-			for _, v := range res.Server.Waits {
-				if v > maxWait {
-					maxWait = v
+	fmt.Printf("\nfleet sweep on %s — aggregate workers=%d, queue/backend=%d, %d executions/client, strategies %v\n\n",
+		w.Name, cfg.workers, cfg.queue, execs, strats)
+	fmt.Printf("%7s %7s %-8s | %12s %12s | %6s %6s %6s | %9s %6s\n",
+		"clients", "servers", "place", "energy/cli", "total", "served", "shed", "shed%", "max wait", "depth")
+	for _, n := range cfg.sizes {
+		for _, ns := range cfg.serverNs {
+			for _, pl := range cfg.placements {
+				spec := fleet.MixedFleet(w, n, strats, execs, cfg.serverConfig(ns), seed)
+				spec.Servers = ns
+				spec.Placement = pl
+				spec.Concurrency = concurrency
+				res, err := fleet.Run(spec)
+				if err != nil {
+					return err
 				}
+				if err := clientErrors(res); err != nil {
+					return err
+				}
+				var maxWait float64
+				for _, v := range res.Server.Waits {
+					if v > maxWait {
+						maxWait = v
+					}
+				}
+				total := res.TotalEnergy()
+				fmt.Printf("%7d %7d %-8s | %12v %12v | %6d %6d %5.1f%% | %7.2fms %6d\n",
+					n, ns, pl, total/energy.Joules(n), total,
+					res.Server.Served, res.Server.Shed, 100*res.ShedRate(),
+					maxWait*1e3, res.Server.MaxQueueDepth)
 			}
-			total := res.TotalEnergy()
-			fmt.Printf("%7d %-5v | %12v %12v | %6d %6d %5.1f%% | %7.2fms %6d\n",
-				n, s, total/energy.Joules(n), total,
-				res.Server.Served, res.Server.Shed, 100*res.ShedRate(),
-				maxWait*1e3, res.Server.MaxQueueDepth)
 		}
 	}
 	return nil
@@ -181,7 +262,30 @@ func parseStrategies(list string) ([]core.Strategy, error) {
 	return out, nil
 }
 
-func parseInts(list string) ([]int, error) {
+// parsePlacements parses the -placement flag: one policy, a comma
+// list, or "all" for every policy in sweep order.
+func parsePlacements(list string) ([]fleet.Placement, error) {
+	if strings.EqualFold(strings.TrimSpace(list), "all") {
+		return fleet.Placements, nil
+	}
+	var out []fleet.Placement
+	for _, name := range strings.Split(list, ",") {
+		if strings.TrimSpace(name) == "" {
+			continue
+		}
+		p, err := fleet.ParsePlacement(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no placements in %q", list)
+	}
+	return out, nil
+}
+
+func parsePositiveInts(list string) ([]int, error) {
 	var out []int
 	for _, f := range strings.Split(list, ",") {
 		f = strings.TrimSpace(f)
@@ -193,7 +297,7 @@ func parseInts(list string) ([]int, error) {
 			return nil, err
 		}
 		if n <= 0 {
-			return nil, fmt.Errorf("fleet size %d must be positive", n)
+			return nil, fmt.Errorf("%d must be positive", n)
 		}
 		out = append(out, n)
 	}

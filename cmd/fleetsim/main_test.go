@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"greenvm/internal/fleet"
+)
+
+func TestParseConfigValidCombos(t *testing.T) {
+	cases := []struct {
+		name                     string
+		clients, servers, places string
+		workers, queue           int
+		sweep                    bool
+		wantServers              []int
+		wantPlaces               []fleet.Placement
+	}{
+		{"defaults", "32", "1", "cheapest", 4, 16, false, []int{1}, []fleet.Placement{fleet.PlaceCheapest}},
+		{"multi server single run", "16", "4", "p2c", 8, 4, false, []int{4}, []fleet.Placement{fleet.PlaceP2C}},
+		{"no waiting", "8", "2", "hash", 2, -1, false, []int{2}, []fleet.Placement{fleet.PlaceHash}},
+		{"sweep lists", "8,16", "1,2,4", "cheapest,p2c", 4, 16, true,
+			[]int{1, 2, 4}, []fleet.Placement{fleet.PlaceCheapest, fleet.PlaceP2C}},
+		{"sweep all placements", "8", "2", "all", 4, 16, true,
+			[]int{2}, []fleet.Placement{fleet.PlaceCheapest, fleet.PlaceHash, fleet.PlaceP2C}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := parseConfig(tc.clients, tc.servers, tc.places, tc.workers, tc.queue, tc.sweep)
+			if err != nil {
+				t.Fatalf("parseConfig: %v", err)
+			}
+			if len(cfg.serverNs) != len(tc.wantServers) {
+				t.Fatalf("server counts %v, want %v", cfg.serverNs, tc.wantServers)
+			}
+			for i, n := range tc.wantServers {
+				if cfg.serverNs[i] != n {
+					t.Errorf("serverNs[%d] = %d, want %d", i, cfg.serverNs[i], n)
+				}
+			}
+			if len(cfg.placements) != len(tc.wantPlaces) {
+				t.Fatalf("placements %v, want %v", cfg.placements, tc.wantPlaces)
+			}
+			for i, p := range tc.wantPlaces {
+				if cfg.placements[i] != p {
+					t.Errorf("placements[%d] = %v, want %v", i, cfg.placements[i], p)
+				}
+			}
+		})
+	}
+}
+
+func TestParseConfigRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name                     string
+		clients, servers, places string
+		workers, queue           int
+		sweep                    bool
+		wantErr                  string
+	}{
+		{"zero servers", "8", "0", "cheapest", 4, 16, false, "-servers"},
+		{"negative servers", "8", "-2", "cheapest", 4, 16, false, "-servers"},
+		{"zero clients", "0", "1", "cheapest", 4, 16, false, "-clients"},
+		{"garbage servers", "8", "two", "cheapest", 4, 16, false, "-servers"},
+		{"zero workers", "8", "1", "cheapest", 0, 16, false, "at least one worker"},
+		{"negative workers", "8", "1", "cheapest", -3, 16, false, "at least one worker"},
+		{"ambiguous queue zero", "8", "1", "cheapest", 4, 0, false, "-queue 0 is ambiguous"},
+		{"deep negative queue", "8", "1", "cheapest", 4, -5, false, "meaningless"},
+		{"workers do not split", "8", "3", "cheapest", 4, 16, false, "split evenly"},
+		{"sweep split check covers every count", "8", "2,3", "cheapest", 4, 16, true, "split evenly"},
+		{"client list without sweep", "8,16", "1", "cheapest", 4, 16, false, "add -sweep"},
+		{"server list without sweep", "8", "1,2", "cheapest", 4, 16, false, "add -sweep"},
+		{"placement list without sweep", "8", "1", "cheapest,p2c", 4, 16, false, "add -sweep"},
+		{"unknown placement", "8", "1", "round-robin", 4, 16, false, "unknown placement"},
+		{"empty placement", "8", "1", ",", 4, 16, false, "no placements"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseConfig(tc.clients, tc.servers, tc.places, tc.workers, tc.queue, tc.sweep)
+			if err == nil {
+				t.Fatal("parseConfig accepted a nonsensical combination")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestServerConfigSplitsAggregateBudget(t *testing.T) {
+	cfg, err := parseConfig("8", "1,2,4", "all", 8, 4, true)
+	if err != nil {
+		t.Fatalf("parseConfig: %v", err)
+	}
+	for _, n := range cfg.serverNs {
+		sc := cfg.serverConfig(n)
+		if sc.Workers*n != 8 {
+			t.Errorf("%d servers x %d workers != aggregate 8", n, sc.Workers)
+		}
+		if sc.QueueCap != 4 {
+			t.Errorf("queue capacity %d is not per backend", sc.QueueCap)
+		}
+	}
+}

@@ -36,9 +36,9 @@ type Client struct {
 	Server   Remote
 	Strategy Strategy
 
-	// Policy decides execution mode and compilation site; NewClient
-	// installs the paper policy for the strategy, and callers may swap
-	// in their own before invoking.
+	// Policy decides execution mode and compilation site; New installs
+	// the paper policy for the strategy, and callers may swap in their
+	// own before invoking.
 	Policy Policy
 
 	// Exec owns the execution paths and the compiled-code cache.
@@ -88,19 +88,19 @@ type Client struct {
 	// transport.
 	ctx context.Context
 
-	// busyRate is the EWMA estimate of the server shedding load (1 =
-	// every recent exchange came back busy). RemoteEnergy inflates its
-	// price by 1/(1-busyRate), so adaptive policies steer work back to
-	// local execution while the server is overloaded and drift back as
-	// successes decay the estimate.
-	busyRate float64
-}
+	// busyRates holds one EWMA estimate per backend of that backend
+	// shedding load (1 = every recent exchange came back busy). A
+	// single anonymous server lives under key "". RemoteEnergy
+	// inflates the cheapest backend's price by 1/(1-rate), so adaptive
+	// policies steer work back to local execution while the pool is
+	// overloaded and drift back as successes decay the estimates.
+	busyRates map[string]float64
 
-// Deprecated: NewClient is the legacy six-positional-argument
-// constructor; use New with a ClientConfig (and functional options)
-// instead. This shim will be removed in the next release.
-func NewClient(id string, prog *bytecode.Program, server Remote, ch radio.Channel, strategy Strategy, seed uint64) *Client {
-	return New(ClientConfig{ID: id, Prog: prog, Server: server, Channel: ch, Strategy: strategy, Seed: seed})
+	// lastServed and lastHint record, for the most recent remote
+	// exchange, the backend that answered and the placement hint the
+	// client sent — the attribution keys for success/busy accounting.
+	lastServed string
+	lastHint   string
 }
 
 // EnableTrace attaches (and returns) a Trace sink recording every
@@ -304,11 +304,24 @@ func (c *Client) noteRemoteFailure() {
 	}
 }
 
-// noteRemoteSuccess records one successful remote exchange: the busy
-// estimate decays, and the breaker hears the success (emitting
-// EvLinkUp when it closes a half-open breaker).
-func (c *Client) noteRemoteSuccess() {
-	c.busyRate *= busyEWMAWeight
+// noteRemoteSuccess records one successful remote exchange against an
+// anonymous backend: every busy estimate decays, and the breaker
+// hears the success (emitting EvLinkUp when it closes a half-open
+// breaker). Attributed exchanges go through noteRemoteSuccessOn.
+func (c *Client) noteRemoteSuccess() { c.noteRemoteSuccessOn("") }
+
+// noteRemoteSuccessOn records one successful remote exchange with the
+// named backend: its busy estimate decays ("" decays all — a probe or
+// single-server exchange says nothing about one backend in
+// particular), and the breaker hears the success.
+func (c *Client) noteRemoteSuccessOn(backend string) {
+	if backend == "" {
+		for id := range c.busyRates {
+			c.busyRates[id] *= busyEWMAWeight
+		}
+	} else if r, ok := c.busyRates[backend]; ok {
+		c.busyRates[backend] = r * busyEWMAWeight
+	}
 	if c.Breaker == nil {
 		return
 	}
@@ -325,16 +338,74 @@ const (
 	busyRateCap    = 0.95
 )
 
-// noteServerBusy folds one admission rejection into the busy-rate
-// estimate. Busy is not a link failure: the breaker and loss counters
-// are untouched, only the price of future offloads rises.
-func (c *Client) noteServerBusy() {
-	c.busyRate = busyEWMAWeight*c.busyRate + (1 - busyEWMAWeight)
+// noteServerBusy folds one admission rejection from an anonymous
+// backend into the busy-rate estimate. Busy is not a link failure:
+// the breaker and loss counters are untouched, only the price of
+// future offloads rises.
+func (c *Client) noteServerBusy() { c.noteServerBusyOn("") }
+
+// noteServerBusyOn folds one admission rejection from the named
+// backend into that backend's busy-rate estimate.
+func (c *Client) noteServerBusyOn(backend string) {
+	if c.busyRates == nil {
+		c.busyRates = map[string]float64{}
+	}
+	c.busyRates[backend] = busyEWMAWeight*c.busyRates[backend] + (1 - busyEWMAWeight)
 }
 
-// BusyRate is the current server-busy EWMA estimate (0 = no recent
-// rejections).
-func (c *Client) BusyRate() float64 { return c.busyRate }
+// busyRateOf is the busy estimate for one backend (0 when never shed
+// on).
+func (c *Client) busyRateOf(backend string) float64 { return c.busyRates[backend] }
+
+// BusyRate is the busy estimate of the client's cheapest offload
+// option: for a single server, its EWMA; across a pool, the minimum —
+// the rate the client's next offload is actually priced at.
+func (c *Client) BusyRate() float64 {
+	ids := c.backendIDs()
+	if len(ids) == 0 {
+		return c.busyRateOf("")
+	}
+	min := c.busyRateOf(ids[0])
+	for _, id := range ids[1:] {
+		if r := c.busyRateOf(id); r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// backendIDs lists the backends behind c.Server, nil for a plain
+// single Remote. Resolved per call: tests and drivers swap c.Server
+// after construction.
+func (c *Client) backendIDs() []string {
+	if mr, ok := c.Server.(MultiRemote); ok {
+		return mr.Backends()
+	}
+	return nil
+}
+
+// placementHint is the client-side pick-cheapest hint the executor
+// sends with each offload: the backend with the lowest busy
+// inflation. The base offload cost is identical across backends (one
+// radio, one channel), so the cheapest candidate is the least-busy
+// one — found by the same circular scan from the client's home
+// backend as RemoteCandidates, strictly lower wins. "" when c.Server
+// is not a pool.
+func (c *Client) placementHint() string {
+	ids := c.backendIDs()
+	if len(ids) == 0 {
+		return ""
+	}
+	home := int(fnvHash(c.ID) % uint64(len(ids)))
+	best := home
+	for off := 1; off < len(ids); off++ {
+		i := (home + off) % len(ids)
+		if c.busyRateOf(ids[i]) < c.busyRateOf(ids[best]) {
+			best = i
+		}
+	}
+	return ids[best]
+}
 
 // retryWorthwhile reports whether re-attempting a lost remote
 // exchange is still estimated cheaper than the policy's best local
@@ -428,10 +499,53 @@ func (c *Client) BodyDownloadCost(mm *bytecode.Method, lv jit.Level) (energy.Jou
 	return c.Link.Chip.TxEnergy(64, cls) + c.Link.Chip.RxEnergy(int(codeBytes), cls), true
 }
 
-// RemoteEnergy implements PolicyEnv: E”(m, s, p) — transmit the
-// serialized arguments at predicted power p, sleep (leakage) while
-// the server computes, and receive the result.
+// RemoteEnergy implements PolicyEnv: E”(m, s, p) — the cheapest
+// backend's estimate of transmitting the serialized arguments at
+// predicted power p, sleeping (leakage) while the server computes,
+// and receiving the result.
 func (c *Client) RemoteEnergy(prof *Profile, s, pWatts float64) energy.Joules {
+	cands, best := c.RemoteCandidates(prof, s, pWatts)
+	return energy.Joules(cands[best].Cost)
+}
+
+// RemoteCandidates implements PolicyEnv: one priced remote candidate
+// per backend behind c.Server (a single entry with ID "" for a plain
+// Remote), plus the index of the cheapest — the client's placement
+// hint. The physical-layer base cost is identical across backends
+// (one radio, one channel); what separates them is admission-control
+// pricing: each backend's estimate inflates by 1/(1-rate) of its own
+// busy EWMA, the expected number of shipping attempts before one is
+// admitted there.
+func (c *Client) RemoteCandidates(prof *Profile, s, pWatts float64) ([]BackendCandidate, int) {
+	base := float64(c.remoteEnergyBase(prof, s, pWatts))
+	ids := c.backendIDs()
+	if len(ids) == 0 {
+		r := c.busyRateOf("")
+		return []BackendCandidate{{ID: "", Busy: r, Cost: inflateBusy(base, r)}}, 0
+	}
+	cands := make([]BackendCandidate, len(ids))
+	for i, id := range ids {
+		r := c.busyRateOf(id)
+		cands[i] = BackendCandidate{ID: id, Busy: r, Cost: inflateBusy(base, r)}
+	}
+	// The cheapest backend, scanning circularly from the client's home
+	// backend (hash of its ID) and moving only on strictly lower cost:
+	// a fleet of fresh clients with identical estimates spreads across
+	// the pool instead of herding onto backend 0.
+	home := int(fnvHash(c.ID) % uint64(len(ids)))
+	best := home
+	for off := 1; off < len(ids); off++ {
+		i := (home + off) % len(ids)
+		if cands[i].Cost < cands[best].Cost {
+			best = i
+		}
+	}
+	return cands, best
+}
+
+// remoteEnergyBase is the un-inflated offload estimate: pure
+// physical-layer and CPU cost, independent of which backend serves.
+func (c *Client) remoteEnergyBase(prof *Profile, s, pWatts float64) energy.Joules {
 	chip := c.Link.Chip
 	txBytes := prof.TxBytes.Eval(s)
 	rxBytes := prof.RxBytes.Eval(s)
@@ -453,17 +567,30 @@ func (c *Client) RemoteEnergy(prof *Profile, s, pWatts float64) energy.Joules {
 	words := (txBytes + rxBytes) / 4
 	e += energy.Joules(words) * (c.Model.PerInstr[energy.Load] + c.Model.PerInstr[energy.Store] +
 		2*c.Model.PerInstr[energy.ALUSimple])
-	// Admission-control pricing: when the server has been shedding,
-	// an offload is expected to cost ~1/(1-busyRate) attempts' worth
-	// of shipping before one is admitted, so the estimate inflates and
-	// adaptive policies shift work back to local execution.
-	if r := c.busyRate; r > 0 {
-		if r > busyRateCap {
-			r = busyRateCap
-		}
-		e = energy.Joules(float64(e) / (1 - r))
-	}
 	return e
+}
+
+// inflateBusy applies admission-control pricing: a backend shedding
+// at rate r costs ~1/(1-r) shipping attempts per admitted offload.
+func inflateBusy(base, r float64) float64 {
+	if r <= 0 {
+		return base
+	}
+	if r > busyRateCap {
+		r = busyRateCap
+	}
+	return base / (1 - r)
+}
+
+// fnvHash is FNV-1a over a string — the stable client-to-home-backend
+// spreading hash.
+func fnvHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // classForPower returns the power class whose transmit-chain power is

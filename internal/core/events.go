@@ -63,8 +63,13 @@ const (
 	// error (its admission queue was full). The client has already
 	// received the busy frame when it is emitted; the invocation falls
 	// back to local execution and the busy-rate estimate inflates
-	// future remote prices.
+	// future remote prices. Backend names the shedding backend when
+	// the client talks to a pool.
 	EvShed
+	// EvPlace is one multi-backend placement outcome: Backend names
+	// the backend that served the exchange. Emitted only when the
+	// client's Server is a pool — single-server streams are unchanged.
+	EvPlace
 )
 
 // Phase identifies one span kind of the execution timeline.
@@ -136,6 +141,11 @@ type Estimate struct {
 	Considered [NumModes]bool
 	// Chosen is the decided mode (the argmin over considered costs).
 	Chosen Mode
+	// Backends carries the per-backend remote candidates the ModeRemote
+	// cost was ranked from (nil for a single anonymous server), and
+	// Backend the cheapest backend's ID — the client's placement hint.
+	Backends []BackendCandidate
+	Backend  string
 }
 
 // BestCost returns the cheapest considered per-invocation estimate —
@@ -178,6 +188,10 @@ type Event struct {
 	// re-ran locally (also an EvProbe that failed, and a PhaseShip
 	// span that was lost mid-flight).
 	FellBack bool
+	// Backend names the backend involved in a multi-backend event: the
+	// server that answered an EvPlace, the one that shed an EvShed.
+	// Empty on single-server streams.
+	Backend string
 	// Radio is a snapshot of the link's counters, carried by EvInvoke
 	// and the link-touching events (retries, probes, breaker
 	// transitions, fallbacks) so sinks can observe outage behaviour

@@ -160,7 +160,7 @@ func (x *Executor) remoteWithRetries(m *bytecode.Method, t *Target, size float64
 		}
 		res, err := x.remoteExecute(m, t, size, args)
 		if err == nil {
-			c.noteRemoteSuccess()
+			c.noteRemoteSuccessOn(c.lastServed)
 			return res, nil
 		}
 		if errors.Is(err, ErrServerBusy) {
@@ -168,10 +168,17 @@ func (x *Executor) remoteWithRetries(m *bytecode.Method, t *Target, size float64
 			// is over (arguments shipped, busy frame received). No
 			// timeout listen, no breaker strike, no retry — the caller
 			// falls back locally and the busy estimate raises the
-			// price of the next offload.
+			// price of the next offload. The shed is attributed to the
+			// backend named in the busy frame, falling back to the
+			// placement hint the request carried.
+			backend := c.lastHint
+			var busy *BusyError
+			if errors.As(err, &busy) && busy.Backend != "" {
+				backend = busy.Backend
+			}
 			c.Clock += c.Link.Control(busyFrameBytes)
-			c.noteServerBusy()
-			c.Events.Emit(Event{Kind: EvShed, Method: m, At: c.Clock, Radio: c.Link.Telemetry()})
+			c.noteServerBusyOn(backend)
+			c.Events.Emit(Event{Kind: EvShed, Method: m, At: c.Clock, Backend: backend, Radio: c.Link.Telemetry()})
 			return vm.Slot{}, err
 		}
 		if !errors.Is(err, radio.ErrConnectionLost) {
@@ -243,7 +250,25 @@ func (x *Executor) remoteExecute(m *bytecode.Method, t *Target, size float64, ar
 		estServ = 0
 	}
 	reqTime := c.Clock
-	resBytes, servTime, _, err := c.Server.Execute(c.invokeCtx(), c.ID, t.Class, t.Method, argBytes, reqTime, reqTime+estServ)
+	var resBytes []byte
+	var servTime energy.Seconds
+	c.lastHint, c.lastServed = "", ""
+	if mr, ok := c.Server.(MultiRemote); ok {
+		// Multi-backend: send the pick-cheapest hint, learn who
+		// actually served (the pool's placement policy may override).
+		hint := c.placementHint()
+		c.lastHint = hint
+		var servedBy string
+		resBytes, servTime, _, servedBy, err = mr.ExecuteOn(c.invokeCtx(), hint, c.ID,
+			t.Class, t.Method, argBytes, reqTime, reqTime+estServ)
+		c.lastServed = servedBy
+		if err == nil && servedBy != "" {
+			c.Events.Emit(Event{Kind: EvPlace, Method: m, At: reqTime, Backend: servedBy})
+		}
+	} else {
+		resBytes, servTime, _, err = c.Server.Execute(c.invokeCtx(), c.ID,
+			t.Class, t.Method, argBytes, reqTime, reqTime+estServ)
+	}
 	if err != nil {
 		return vm.Slot{}, err
 	}
@@ -345,9 +370,14 @@ func (x *Executor) ensurePlanCompiled(m *bytecode.Method, lv jit.Level) error {
 			} else if errors.Is(err, ErrServerBusy) {
 				// The server shed the download; compile locally and
 				// raise the busy estimate.
+				backend := ""
+				var busy *BusyError
+				if errors.As(err, &busy) {
+					backend = busy.Backend
+				}
 				c.Clock += c.Link.Control(busyFrameBytes)
-				c.noteServerBusy()
-				c.Events.Emit(Event{Kind: EvShed, Method: mm, Level: lv, At: c.Clock, Radio: c.Link.Telemetry()})
+				c.noteServerBusyOn(backend)
+				c.Events.Emit(Event{Kind: EvShed, Method: mm, Level: lv, At: c.Clock, Backend: backend, Radio: c.Link.Telemetry()})
 			} else if !errors.Is(err, radio.ErrConnectionLost) {
 				return err
 			} else {

@@ -478,13 +478,18 @@ func handle(ctx context.Context, req []byte, s *SessionServer) []byte {
 		if m.err != nil {
 			return failFrame(m.err)
 		}
+		// The hello response advertises the server's current admission
+		// queue depth and its pool backend name — the load signal
+		// power-of-two-choices placement samples. Older v2 peers stop
+		// decoding after the session ID; the trailing fields are
+		// optional on the read side.
 		out := &wire{}
 		if clientID == "" {
 			// Pure version probe: no session.
-			return out.u8(statusOK).u32(0).buf
+			return out.u8(statusOK).u32(0).u32(uint32(s.QueueDepth())).str(s.Backend()).buf
 		}
 		sess := s.Open(clientID)
-		return out.u8(statusOK).u32(sess.ID).buf
+		return out.u8(statusOK).u32(sess.ID).u32(uint32(s.QueueDepth())).str(s.Backend()).buf
 	case opExec:
 		sid := m.rdU32()
 		clientID := m.rdStr()
@@ -510,8 +515,11 @@ func handle(ctx context.Context, req []byte, s *SessionServer) []byte {
 		if err != nil {
 			var busy *BusyError
 			if errors.As(err, &busy) {
+				// The busy frame names the rejecting backend so pooled
+				// clients attribute the shed to the right busy EWMA;
+				// older v2 peers stop after the depth.
 				out := &wire{}
-				return out.u8(statusBusy).u32(uint32(busy.QueueDepth)).buf
+				return out.u8(statusBusy).u32(uint32(busy.QueueDepth)).str(busy.Backend).buf
 			}
 			return failFrame(err)
 		}
@@ -584,6 +592,15 @@ type RemoteServer struct {
 	conn    net.Conn
 	sid     uint32
 	boundTo string
+
+	// The server's most recent queue-depth advertisement (hello
+	// responses and busy frames carry it); advOK is false until the
+	// first advertisement decodes.
+	advDepth int
+	advOK    bool
+	// backendID is the server's pool backend name from its hello
+	// response ("" for a standalone server).
+	backendID string
 }
 
 // DialServer connects to a remote compilation/execution server and
@@ -613,7 +630,45 @@ func DialServer(addr string) (*RemoteServer, error) {
 		return nil, err
 	}
 	m.rdU32()
+	r.noteAdvert(m)
 	return r, nil
+}
+
+// noteAdvert decodes the optional queue-depth/backend advertisement
+// trailing a hello response and caches it. Older v2 peers send
+// nothing after the session ID; absence (or a garbled tail) leaves
+// the cache untouched.
+func (r *RemoteServer) noteAdvert(m *wire) {
+	if m.err != nil || m.pos+4 > len(m.buf) {
+		return
+	}
+	depth := int(m.rdU32())
+	backend := ""
+	if m.pos+2 <= len(m.buf) {
+		backend = m.rdStr()
+	}
+	if m.err != nil {
+		return
+	}
+	r.mu.Lock()
+	r.advDepth, r.advOK, r.backendID = depth, true, backend
+	r.mu.Unlock()
+}
+
+// AdvertisedDepth implements DepthAdvertiser: the queue depth from
+// the most recent hello response or busy frame.
+func (r *RemoteServer) AdvertisedDepth() (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.advDepth, r.advOK
+}
+
+// BackendID is the server's pool backend name from its hello response
+// ("" for a standalone server, or before any handshake).
+func (r *RemoteServer) BackendID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.backendID
 }
 
 // dial attempts the connection with capped exponential backoff.
@@ -673,6 +728,7 @@ func (r *RemoteServer) session(ctx context.Context, clientID string) (uint32, er
 	if m.err != nil {
 		return 0, m.err
 	}
+	r.noteAdvert(m)
 	r.mu.Lock()
 	r.sid, r.boundTo = sid, clientID
 	r.mu.Unlock()
@@ -753,12 +809,20 @@ func (r *RemoteServer) roundTrip(ctx context.Context, req []byte) (*wire, error)
 		return m, nil
 	case statusBusy:
 		depth := int(m.rdU32())
+		backend := ""
+		if m.err == nil && m.pos+2 <= len(m.buf) {
+			// Optional tail: the rejecting backend's name (older v2
+			// peers omit it).
+			backend = m.rdStr()
+		}
 		met.Request(opName(req), len(req), len(resp), true)
 		if m.err != nil {
 			return nil, r.lost(ctx, "decode", m.err)
 		}
-		// The server shed the request; the connection stays good.
-		return nil, &BusyError{QueueDepth: depth}
+		// The server shed the request; the connection stays good. The
+		// rejection depth is also the freshest load advertisement.
+		r.advDepth, r.advOK = depth, true
+		return nil, &BusyError{QueueDepth: depth, Backend: backend}
 	default:
 		msg := m.rdStr()
 		met.Request(opName(req), len(req), len(resp), true)
@@ -842,4 +906,5 @@ func (r *RemoteServer) CompiledBody(ctx context.Context, qname string, level jit
 }
 
 var _ Remote = (*RemoteServer)(nil)
+var _ DepthAdvertiser = (*RemoteServer)(nil)
 var _ Remote = (*Server)(nil)

@@ -40,7 +40,7 @@ func TestTCPRemoteExecution(t *testing.T) {
 	}
 	defer remote.Close()
 
-	c := NewClient("tcp-client", p, remote, radio.Fixed{Cls: radio.Class4}, StrategyR, 7)
+	c := New(ClientConfig{ID: "tcp-client", Prog: p, Server: remote, Channel: radio.Fixed{Cls: radio.Class4}, Strategy: StrategyR, Seed: 7})
 	pr := newProfiler(p)
 	prof, err := pr.ProfileTarget(workTarget())
 	if err != nil {
@@ -77,7 +77,7 @@ func TestTCPRemoteRefResult(t *testing.T) {
 	}
 	defer remote.Close()
 
-	c := NewClient("tcp-client", p, remote, radio.Fixed{Cls: radio.Class4}, StrategyR, 7)
+	c := New(ClientConfig{ID: "tcp-client", Prog: p, Server: remote, Channel: radio.Fixed{Cls: radio.Class4}, Strategy: StrategyR, Seed: 7})
 	pr := newProfiler(p)
 	tg := vecsumTarget()
 	prof, err := pr.ProfileTarget(tg)

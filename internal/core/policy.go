@@ -63,8 +63,14 @@ type PolicyEnv interface {
 	// channel estimate.
 	TxPowerEstimate() float64
 	// RemoteEnergy is E''(m, s, p): the estimated energy to offload
-	// one invocation of size s at predicted transmit power p.
+	// one invocation of size s at predicted transmit power p — the
+	// cheapest backend's candidate.
 	RemoteEnergy(prof *Profile, s, p float64) energy.Joules
+	// RemoteCandidates prices one offload candidate per backend (a
+	// single ID-"" entry for one anonymous server) and returns the
+	// index of the cheapest — the placement hint the client will send
+	// if the policy decides ModeRemote.
+	RemoteCandidates(prof *Profile, s, p float64) ([]BackendCandidate, int)
 	// PlanCompileCost estimates making m's whole compilation plan
 	// executable at the level: zero when already linked; otherwise
 	// the profiled local compile cost (plus the once-per-execution
@@ -194,9 +200,14 @@ func (p *AdaptivePolicy) Decide(ctx *InvokeContext) Decision {
 	// circuit breaker's graceful degradation); the half-open probe
 	// inside RemoteAvailable is what re-admits it.
 	if ctx.Env.RemoteAvailable() {
-		eR := k * float64(ctx.Env.RemoteEnergy(prof, st.sBar, st.pBar))
+		cands, ci := ctx.Env.RemoteCandidates(prof, st.sBar, st.pBar)
+		eR := k * cands[ci].Cost
 		est.Cost[ModeRemote] = eR / k
 		est.Considered[ModeRemote] = true
+		if len(cands) > 1 || cands[0].ID != "" {
+			est.Backends = cands
+			est.Backend = cands[ci].ID
+		}
 		if eR < bestE {
 			best, bestE = ModeRemote, eR
 		}

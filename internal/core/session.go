@@ -32,12 +32,19 @@ var ErrServerBusy = errors.New("core: server busy")
 
 // BusyError is the typed admission rejection. QueueDepth is the length
 // of the waiting queue at rejection time, so clients (and metrics) can
-// see how overloaded the server was. It unwraps to ErrServerBusy.
+// see how overloaded the server was; Backend names the rejecting
+// backend when the client talks to a pool ("" for a single anonymous
+// server), so the client inflates the right busy-rate EWMA. It unwraps
+// to ErrServerBusy.
 type BusyError struct {
 	QueueDepth int
+	Backend    string
 }
 
 func (e *BusyError) Error() string {
+	if e.Backend != "" {
+		return fmt.Sprintf("core: server %s busy (queue depth %d)", e.Backend, e.QueueDepth)
+	}
 	return fmt.Sprintf("core: server busy (queue depth %d)", e.QueueDepth)
 }
 
@@ -54,6 +61,10 @@ type SessionConfig struct {
 	// BusyError. 0 means DefaultQueueCap; negative means no waiting at
 	// all (every request beyond the workers is shed).
 	QueueCap int
+	// Backend names this server within a pool; "" for a standalone
+	// server. Carried on busy rejections (BusyError.Backend) and wire
+	// busy frames so clients attribute sheds to the right backend.
+	Backend string
 }
 
 // The admission defaults: a small worker pool, matching the paper's
@@ -128,6 +139,18 @@ func NewSessionServer(s *Server, cfg SessionConfig) *SessionServer {
 // Server returns the wrapped Server.
 func (t *SessionServer) Server() *Server { return t.srv }
 
+// Backend returns the server's pool name ("" when standalone).
+func (t *SessionServer) Backend() string { return t.cfg.Backend }
+
+// QueueDepth is the current number of requests waiting for a worker —
+// the load signal the wire protocol advertises on hello and busy
+// frames for power-of-two-choices placement.
+func (t *SessionServer) QueueDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.waiting
+}
+
 // Open returns the client's session, creating it on first use.
 // Sessions are keyed by client ID, so a client that reconnects (the
 // TCP transport re-dials after a broken connection) reattaches to its
@@ -184,7 +207,7 @@ func (t *SessionServer) acquire(ctx context.Context, sid uint32) error {
 		depth := t.waiting
 		t.shed++
 		t.mu.Unlock()
-		return &BusyError{QueueDepth: depth}
+		return &BusyError{QueueDepth: depth, Backend: t.cfg.Backend}
 	}
 	ch := make(chan struct{})
 	t.waiters[sid] = append(t.waiters[sid], ch)

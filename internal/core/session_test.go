@@ -172,6 +172,58 @@ func TestBusyOverTCP(t *testing.T) {
 	}
 }
 
+// TestWireAdvertisesDepthAndBackend: the v2 hello response carries the
+// server's queue depth and pool backend name — the client caches both
+// after the dial-time probe — and a busy rejection names the backend
+// that shed, so multi-backend clients attribute the busy signal to the
+// right EWMA.
+func TestWireAdvertisesDepthAndBackend(t *testing.T) {
+	p := testProgram(t)
+	srv := NewSessionTCPServer(NewSessionServer(NewServer(p),
+		SessionConfig{Workers: 1, QueueCap: -1, Backend: "s7"}))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck
+	defer srv.Close()
+
+	remote, err := DialServer(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// The dial-time hello probe already advertised.
+	if depth, ok := remote.AdvertisedDepth(); !ok || depth != 0 {
+		t.Errorf("AdvertisedDepth = (%d, %v) after dial, want (0, true)", depth, ok)
+	}
+	if id := remote.BackendID(); id != "s7" {
+		t.Errorf("BackendID = %q, want s7", id)
+	}
+
+	// A shed RPC carries the backend name in its busy frame.
+	m := p.FindMethod("App", "work")
+	v := vm.New(p, energy.MicroSPARCIIep())
+	argBytes, err := v.Heap.EncodeArgs(m, []vm.Slot{vm.IntSlot(150)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := srv.Sessions()
+	if err := ss.acquire(nil, 999); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = remote.Execute(context.Background(), "c", "App", "work", argBytes, 0, 0)
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("shed RPC returned %v, want a BusyError", err)
+	}
+	if busy.Backend != "s7" {
+		t.Errorf("busy frame carried backend %q, want s7", busy.Backend)
+	}
+	ss.release()
+}
+
 // TestProtocolVersionMismatch is the table-driven handshake check:
 // frames stamped with a foreign protocol version are rejected with a
 // failure frame naming both versions, and the connection is closed.

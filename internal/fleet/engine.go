@@ -1,7 +1,9 @@
 package fleet
 
 import (
+	"container/heap"
 	"context"
+	"fmt"
 	"math"
 	"sync"
 
@@ -9,32 +11,51 @@ import (
 	"greenvm/internal/energy"
 	"greenvm/internal/isa"
 	"greenvm/internal/jit"
+	"greenvm/internal/radio"
 )
 
-// The engine is the fleet's virtual-time admission controller. Each
-// simulated handset advances its own virtual clock; the engine decides,
-// in virtual time, which offload requests obtain one of the server's
-// workers, which wait in the bounded queue, and which are shed with a
-// BusyError — exactly the policy core.SessionServer applies in real
-// time on the TCP path.
+// The engine is the fleet's virtual-time scheduler: a conservative
+// discrete-event simulator over a pool of backend servers. Each
+// simulated handset advances its own virtual clock; the engine
+// decides, in virtual time, which backend each offload request is
+// placed on (the pool's placement policy), which requests obtain one
+// of that backend's workers, which wait in its bounded queue, and
+// which are shed with a BusyError — the same admission policy
+// core.SessionServer applies in real time on the TCP path, per
+// backend.
 //
-// Determinism is the point. Client goroutines reach the engine in
-// whatever order the Go scheduler produces, so the engine is built as a
-// conservative discrete-event simulator: a request timestamped t may
+// Determinism is the point, and it is carried by the event heap.
+// Client goroutines reach the engine in whatever order the Go
+// scheduler produces; every occurrence becomes an event on one
+// priority queue ordered by
+//
+//	(virtual time, kind, tie-break)
+//
+// where kind orders backend failures before worker completions before
+// arrivals at the same instant (a completion at t frees its worker
+// for the arrival at t — a request never overtakes the queue through
+// a free slot), and the tie-break is the client index for arrivals (a
+// client has at most one outstanding request), the backend index for
+// failures, and a dispatch-order sequence number for completions
+// (dispatch order is itself deterministic). Every key is unique, so
+// the pop order is a pure function of the events — never of insertion
+// order.
+//
+// The heap may only pop while it is safe: a request timestamped t may
 // only be admitted once no client still running could produce an
-// earlier request. Every client carries a clock lower bound — the
-// timestamp of its outstanding request while blocked, the virtual time
-// of its last answer while running — and every exchange strictly
+// earlier one. Every client carries a clock lower bound — the
+// timestamp of its outstanding request while blocked, the virtual
+// time of its last answer while running — and every exchange strictly
 // advances a client's clock (each carries at least one frame of
-// positive airtime). The engine therefore processes the event with the
-// minimal virtual time as soon as that time is at or below every
-// running client's bound, and the admission order, the queue waits and
-// the shed decisions come out identical under any goroutine
-// interleaving — one worker slot or sixteen.
+// positive airtime). The engine therefore processes events up to the
+// horizon (the minimal bound over running clients), and the placement
+// decisions, admission order, queue waits and shed decisions come out
+// identical under any goroutine interleaving — one worker slot or
+// sixteen.
 //
 // Fairness needs no extra machinery here: a handset has at most one
-// outstanding request (its executor blocks on the exchange), so the
-// FIFO queue, filled in (time, client) order, grants each session at
+// outstanding request (its executor blocks on the exchange), so each
+// backend's FIFO queue, filled in event order, grants each session at
 // most one slot per rotation — the same round-robin the SessionServer
 // implements for pipelined transports.
 
@@ -44,31 +65,83 @@ const (
 	stateFinished
 )
 
+// Event kinds, in same-instant processing order.
+const (
+	evFail   = iota // a backend goes down at its failAt time
+	evDone          // a worker completes on some backend
+	evArrive        // a client's offload request arrives
+)
+
+// event is one entry on the engine's priority queue.
+type event struct {
+	t    energy.Seconds
+	kind int
+	// tie breaks same-(t, kind) events: client index for arrivals,
+	// backend index for failures, dispatch sequence for completions.
+	tie int
+	// req is the arriving request (evArrive) or the completing one
+	// (evDone); bidx the backend completing (evDone) or failing
+	// (evFail).
+	req  *request
+	bidx int
+}
+
+// eventHeap implements container/heap over the (t, kind, tie) key.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].tie < h[j].tie
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
 // request is one offload exchange in flight through the engine.
 type request struct {
 	sess *session
 	t    energy.Seconds // the client's virtual send time
+	seq  int            // the client's request sequence number
+	hint string         // the client's pick-cheapest placement hint
 
 	clientID      string
 	class, method string
 	argBytes      []byte
 	estEnd        energy.Seconds
 
+	// backend is the placement outcome, set when the arrival event
+	// processes.
+	backend int
+
 	// The answer, valid once done is closed. servTime includes the
 	// virtual queue wait, so the client sleeps through its wait exactly
-	// as it would for a slower server.
+	// as it would for a slower server; servedBy names the backend that
+	// ran the request.
 	res      []byte
 	servTime energy.Seconds
 	queued   bool
+	servedBy string
 	err      error
 	done     chan struct{}
 }
 
-// session is the engine's view of one handset: its server-side
-// core.Session plus the clock bound and admission counters.
+// session is the engine's view of one handset: its clock bound and
+// admission counters. (Server-side per-backend sessions live on the
+// pool.)
 type session struct {
-	idx  int // client index; ties in virtual time break on it
-	core *core.Session
+	idx int // client index; ties in virtual time break on it
 
 	state int
 	// bound is a lower bound on the virtual time of the session's next
@@ -76,68 +149,78 @@ type session struct {
 	// time of the last answer while running.
 	bound energy.Seconds
 
+	reqSeq int // requests submitted so far (the p2c randomness source)
+
 	served, shed     int
 	waitSum, maxWait energy.Seconds
 }
 
 type engine struct {
-	mu       sync.Mutex
-	workers  int
-	queueCap int
-	sessions []*session
+	mu        sync.Mutex
+	pool      *ServerPool
+	placement Placement
+	byID      map[string]int // backend ID -> index
+	ring      []ringPoint    // consistent-hash ring (PlaceHash)
+	sessions  []*session
 
-	busy    []energy.Seconds // virtual free time of each busy worker
-	queue   []*request       // waiting for a worker, admission order
-	pending []*request       // submitted, not yet ordered into the queue
+	events  eventHeap
+	doneSeq int // deterministic completion-event tie-break
 
 	served, shed, maxDepth int
 	waits                  []float64 // per-served-request queue waits, admission order
 	depths                 []float64 // queue depth seen by each enqueued request
 }
 
-func newEngine(cfg core.SessionConfig, n int) *engine {
-	// Mirror core.SessionConfig's defaulting: 0 means default,
-	// negative queue capacity means no waiting at all.
-	workers, queueCap := cfg.Workers, cfg.QueueCap
-	if workers <= 0 {
-		workers = core.DefaultWorkers
+func newEngine(pool *ServerPool, placement Placement, n int) *engine {
+	e := &engine{
+		pool:      pool,
+		placement: placement,
+		byID:      make(map[string]int, len(pool.backends)),
+		sessions:  make([]*session, 0, n),
 	}
-	if queueCap == 0 {
-		queueCap = core.DefaultQueueCap
+	for i, id := range pool.ids {
+		e.byID[id] = i
 	}
-	if queueCap < 0 {
-		queueCap = 0
+	if placement == PlaceHash {
+		e.ring = buildRing(pool.ids)
 	}
-	e := &engine{workers: workers, queueCap: queueCap, sessions: make([]*session, 0, n)}
+	for _, b := range pool.backends {
+		if b.failAt > 0 {
+			heap.Push(&e.events, event{t: b.failAt, kind: evFail, tie: b.idx, bidx: b.idx})
+		}
+	}
 	return e
 }
 
-func (e *engine) addSession(s *core.Session) *session {
-	fs := &session{idx: len(e.sessions), core: s}
+func (e *engine) addSession() *session {
+	fs := &session{idx: len(e.sessions)}
 	e.sessions = append(e.sessions, fs)
 	return fs
 }
 
 // submit hands one request to the engine and blocks until it is
-// answered — served after its virtual wait, or shed. The caller must
-// not hold a compute slot (see muxRemote).
-func (e *engine) submit(s *session, clientID, class, method string, argBytes []byte,
-	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, error) {
+// answered — served after its virtual wait, shed, or failed over. The
+// caller must not hold a compute slot (see muxRemote).
+func (e *engine) submit(s *session, hint, clientID, class, method string, argBytes []byte,
+	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, string, error) {
 
 	r := &request{
-		sess: s, t: reqTime,
+		sess: s, t: reqTime, hint: hint,
 		clientID: clientID, class: class, method: method,
 		argBytes: argBytes, estEnd: estEnd,
-		done: make(chan struct{}),
+		backend: -1,
+		done:    make(chan struct{}),
 	}
 	e.mu.Lock()
+	s.reqSeq++
+	r.seq = s.reqSeq
 	s.state = stateBlocked
 	s.bound = reqTime
-	e.pending = append(e.pending, r)
+	heap.Push(&e.events, event{t: reqTime, kind: evArrive, tie: s.idx, req: r})
 	e.process()
 	e.mu.Unlock()
 	<-r.done
-	return r.res, r.servTime, r.queued, r.err
+	return r.res, r.servTime, r.queued, r.servedBy, r.err
 }
 
 // finish retires a session whose client completed its run (or died):
@@ -163,97 +246,117 @@ func (e *engine) horizon() energy.Seconds {
 }
 
 // process drains every event whose virtual time has passed the
-// horizon. Callers hold e.mu.
+// horizon, in heap order. Callers hold e.mu.
 func (e *engine) process() {
-	for {
-		horizon := e.horizon()
-
-		// The earliest submitted request, ties broken by client index.
-		var arr *request
-		ai := -1
-		for i, r := range e.pending {
-			if arr == nil || r.t < arr.t || (r.t == arr.t && r.sess.idx < arr.sess.idx) {
-				arr, ai = r, i
-			}
-		}
-
-		// A worker completion is an event only while requests wait for
-		// it; completions at or before the next arrival dispatch first,
-		// so a request never overtakes the queue through a free slot.
-		if len(e.queue) > 0 {
-			f, wi := minBusy(e.busy)
-			if (arr == nil || f <= arr.t) && f <= horizon {
-				e.busy = append(e.busy[:wi], e.busy[wi+1:]...)
-				q := e.queue[0]
-				e.queue = e.queue[1:]
-				e.start(q, f)
-				continue
-			}
-		}
-
-		if arr == nil || arr.t > horizon {
+	for len(e.events) > 0 {
+		if e.events[0].t > e.horizon() {
 			return
 		}
-		e.pending = append(e.pending[:ai], e.pending[ai+1:]...)
-		t := arr.t
-		if len(e.queue) == 0 {
-			e.retire(t)
-		}
-		switch {
-		case len(e.busy) < e.workers:
-			e.start(arr, t)
-		case len(e.queue) >= e.queueCap:
-			depth := len(e.queue)
-			e.shed++
-			arr.sess.shed++
-			arr.err = &core.BusyError{QueueDepth: depth}
-			e.answer(arr, t)
-		default:
-			e.queue = append(e.queue, arr)
-			e.depths = append(e.depths, float64(len(e.queue)))
-			if len(e.queue) > e.maxDepth {
-				e.maxDepth = len(e.queue)
-			}
+		ev := heap.Pop(&e.events).(event)
+		switch ev.kind {
+		case evFail:
+			e.failBackend(ev)
+		case evDone:
+			e.complete(ev)
+		case evArrive:
+			e.arrive(ev)
 		}
 	}
 }
 
-// retire frees workers whose virtual completion time has passed. Only
-// meaningful with an empty queue — otherwise completions dispatch
-// waiting requests and are handled as events in process.
-func (e *engine) retire(now energy.Seconds) {
-	kept := e.busy[:0]
-	for _, f := range e.busy {
-		if f > now {
-			kept = append(kept, f)
+// arrive places one request on a backend and runs its admission:
+// grant a worker, wait in the backend's queue, or shed.
+func (e *engine) arrive(ev event) {
+	r := ev.req
+	bidx := e.pickBackend(r)
+	if bidx < 0 {
+		// Every backend is down: the pool is unreachable, which the
+		// client's executor handles like any outage (timeout listen,
+		// breaker, local fallback).
+		r.err = fmt.Errorf("%w: fleet: every backend is down", radio.ErrConnectionLost)
+		e.answer(r, r.t)
+		return
+	}
+	r.backend = bidx
+	b := e.pool.backends[bidx]
+	switch {
+	case b.busy < b.workers:
+		e.start(r, b, r.t)
+	case len(b.queue) >= b.queueCap:
+		depth := len(b.queue)
+		e.shed++
+		b.shed++
+		r.sess.shed++
+		r.err = &core.BusyError{QueueDepth: depth, Backend: b.id}
+		e.answer(r, r.t)
+	default:
+		b.queue = append(b.queue, r)
+		e.depths = append(e.depths, float64(len(b.queue)))
+		if len(b.queue) > b.maxDepth {
+			b.maxDepth = len(b.queue)
+		}
+		if len(b.queue) > e.maxDepth {
+			e.maxDepth = len(b.queue)
 		}
 	}
-	e.busy = kept
 }
 
-// start runs one admitted request on a worker beginning at the given
-// virtual time. The server work itself executes here, under the engine
-// lock: Server.Execute serializes on its own mutex anyway, and running
-// it at dispatch keeps the request's service time available for the
-// worker's completion event.
-func (e *engine) start(q *request, at energy.Seconds) {
+// complete frees the worker a finished request held and dispatches
+// the backend's next waiting request at the completion time.
+func (e *engine) complete(ev event) {
+	b := e.pool.backends[ev.bidx]
+	b.busy--
+	if b.down || len(b.queue) == 0 {
+		return
+	}
+	q := b.queue[0]
+	b.queue = b.queue[1:]
+	e.start(q, b, ev.t)
+}
+
+// failBackend takes a backend down at its failure time: every queued
+// request is flushed with a connection-lost error (the blocked
+// clients wake into their executors' loss machinery and re-place on
+// the survivors), running requests complete, and placement stops
+// considering the backend.
+func (e *engine) failBackend(ev event) {
+	b := e.pool.backends[ev.bidx]
+	b.down = true
+	queued := b.queue
+	b.queue = nil
+	for _, q := range queued {
+		q.err = fmt.Errorf("%w: fleet: backend %s failed", radio.ErrConnectionLost, b.id)
+		e.answer(q, ev.t)
+	}
+}
+
+// start runs one admitted request on a worker of backend b beginning
+// at the given virtual time. The server work itself executes here,
+// under the engine lock: Server.Execute serializes on its own mutex
+// anyway, and running it at dispatch keeps the request's service time
+// available for the completion event.
+func (e *engine) start(q *request, b *poolBackend, at energy.Seconds) {
 	wait := at - q.t
-	res, servTime, queued, err := q.sess.core.ExecuteDirect(context.Background(),
+	res, servTime, queued, err := b.clients[q.sess.idx].ExecuteDirect(context.Background(),
 		q.clientID, q.class, q.method, q.argBytes, q.t, q.estEnd)
 	if err != nil {
 		q.err = err
 		e.answer(q, at)
 		return
 	}
-	e.busy = append(e.busy, at+servTime)
+	b.busy++
 	e.served++
+	b.served++
+	b.waitSum += wait
 	q.sess.served++
 	q.sess.waitSum += wait
 	if wait > q.sess.maxWait {
 		q.sess.maxWait = wait
 	}
 	e.waits = append(e.waits, float64(wait))
-	q.res, q.servTime, q.queued = res, wait+servTime, queued
+	q.res, q.servTime, q.queued, q.servedBy = res, wait+servTime, queued, b.id
+	e.doneSeq++
+	heap.Push(&e.events, event{t: at + servTime, kind: evDone, tie: e.doneSeq, req: q, bidx: b.idx})
 	e.answer(q, at+servTime)
 }
 
@@ -263,16 +366,6 @@ func (e *engine) answer(q *request, bound energy.Seconds) {
 	q.sess.state = stateRunning
 	q.sess.bound = bound
 	close(q.done)
-}
-
-func minBusy(busy []energy.Seconds) (energy.Seconds, int) {
-	f, wi := busy[0], 0
-	for i, v := range busy[1:] {
-		if v < f {
-			f, wi = v, i+1
-		}
-	}
-	return f, wi
 }
 
 // gate is the compute-slot semaphore bounding how many client
@@ -285,27 +378,42 @@ func newGate(n int) *gate { return &gate{ch: make(chan struct{}, n)} }
 func (g *gate) acquire() { g.ch <- struct{}{} }
 func (g *gate) release() { <-g.ch }
 
-// muxRemote is the Remote each fleet client talks to: offload
-// executions go through the engine's virtual-time admission (releasing
-// the client's compute slot while blocked, so a single slot cannot
+// muxRemote is the Remote each fleet client talks to: a MultiRemote
+// over the pool, so the client prices one candidate per backend and
+// sends its pick-cheapest hint. Offload executions go through the
+// engine's virtual-time placement and admission (releasing the
+// client's compute slot while blocked, so a single slot cannot
 // deadlock the fleet), while body downloads are control-plane traffic
-// served directly from the session.
+// served directly from the client's session on backend 0.
 type muxRemote struct {
 	e    *engine
 	s    *session
 	gate *gate
 }
 
+// Backends implements core.MultiRemote.
+func (m *muxRemote) Backends() []string { return m.e.pool.ids }
+
+// Execute implements core.Remote (no placement hint).
 func (m *muxRemote) Execute(ctx context.Context, clientID, class, method string, argBytes []byte,
 	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, error) {
 
+	res, servTime, queued, _, err := m.ExecuteOn(ctx, "", clientID, class, method, argBytes, reqTime, estEnd)
+	return res, servTime, queued, err
+}
+
+// ExecuteOn implements core.MultiRemote: the hint rides to the
+// engine, whose placement policy decides.
+func (m *muxRemote) ExecuteOn(ctx context.Context, backend, clientID, class, method string, argBytes []byte,
+	reqTime, estEnd energy.Seconds) ([]byte, energy.Seconds, bool, string, error) {
+
 	m.gate.release()
 	defer m.gate.acquire()
-	return m.e.submit(m.s, clientID, class, method, argBytes, reqTime, estEnd)
+	return m.e.submit(m.s, backend, clientID, class, method, argBytes, reqTime, estEnd)
 }
 
 func (m *muxRemote) CompiledBody(ctx context.Context, qname string, level jit.Level) (*isa.Code, int, error) {
-	return m.s.core.CompiledBody(ctx, qname, level)
+	return m.e.pool.backends[0].clients[m.s.idx].CompiledBody(ctx, qname, level)
 }
 
-var _ core.Remote = (*muxRemote)(nil)
+var _ core.MultiRemote = (*muxRemote)(nil)

@@ -1,14 +1,19 @@
-// Package fleet simulates many handsets sharing one offload server.
+// Package fleet simulates many handsets sharing a pool of offload
+// servers.
 //
 // The paper evaluates a single mobile device against a resource-rich
-// server; a deployed system serves a fleet. Each simulated client is a
-// full core.Client — its own channel trace, fault model, strategy,
-// workload mix and seeded RNG — attached to a per-client session on a
-// shared core.Server fronted by the session layer's bounded worker
-// pool. Contention is resolved in virtual time by a conservative
+// server; a deployed system serves a fleet against a pool of them.
+// Each simulated client is a full core.Client — its own channel
+// trace, fault model, strategy, workload mix and seeded RNG —
+// attached to per-client sessions on every backend of a ServerPool
+// (see pool.go), each backend a core.Server fronted by the session
+// layer's bounded worker pool. Requests map to backends through a
+// pluggable placement policy (see placement.go) and contention is
+// resolved in virtual time by an event-driven conservative
 // discrete-event engine (see engine.go), so a fleet run is
-// deterministic for a given Spec: the same seed produces byte-identical
-// results whether the clients simulate on one OS thread or sixteen.
+// deterministic for a given Spec: the same seed produces
+// byte-identical results whether the clients simulate on one OS
+// thread or sixteen, for any server count and placement.
 package fleet
 
 import (
@@ -97,9 +102,20 @@ type ClientSpec struct {
 type Spec struct {
 	Workload Workload
 	Clients  []ClientSpec
-	// Server shapes the shared server's admission control (zero values
-	// mean the session-layer defaults).
+	// Server shapes each backend server's admission control (zero
+	// values mean the session-layer defaults). With Servers > 1 every
+	// backend gets this worker/queue budget.
 	Server core.SessionConfig
+	// Servers is how many backend servers the pool runs; 0 or 1 means
+	// a single server (the paper's shape).
+	Servers int
+	// Placement selects how requests map to backends (default
+	// PlaceCheapest — honour the clients' per-backend pricing hints).
+	Placement Placement
+	// FailAt, when non-nil, takes backend i down at virtual time
+	// FailAt[i] (0 = never): its queued requests flush with
+	// connection-lost errors and placement stops considering it.
+	FailAt []energy.Seconds
 	// Concurrency bounds how many clients simulate in parallel; 0
 	// means GOMAXPROCS. It never changes the results, only the
 	// wall-clock time (the determinism test holds the engine to that).
@@ -149,7 +165,10 @@ type ClientResult struct {
 	Err string
 }
 
-// ServerResult aggregates the shared server's admission outcomes.
+// ServerResult aggregates admission outcomes across the whole pool.
+// Workers and QueueCap are per backend (every backend gets the same
+// budget); Served/Shed sum over backends and MaxQueueDepth is the
+// worst single backend queue.
 type ServerResult struct {
 	Workers, QueueCap           int
 	Served, Shed, MaxQueueDepth int
@@ -160,11 +179,28 @@ type ServerResult struct {
 	Waits, Depths []float64
 }
 
+// BackendResult is one backend server's admission outcomes.
+type BackendResult struct {
+	ID                          string
+	Served, Shed, MaxQueueDepth int
+	CacheHits                   int
+	// AvgWait is the mean virtual queue wait of the backend's served
+	// requests.
+	AvgWait energy.Seconds
+	// Down reports whether the backend failed during the run (a
+	// scheduled FailAt fired).
+	Down bool
+}
+
 // Result is a completed fleet run.
 type Result struct {
-	Workload string
-	Clients  []ClientResult
-	Server   ServerResult
+	Workload  string
+	Placement Placement
+	Clients   []ClientResult
+	Server    ServerResult
+	// Backends holds per-backend outcomes, in placement order (one
+	// entry even for a single-server run).
+	Backends []BackendResult
 }
 
 // Run simulates the fleet to completion.
@@ -176,9 +212,8 @@ func Run(spec Spec) (*Result, error) {
 	if w.Prog == nil || w.Target == nil || w.Prof == nil {
 		return nil, fmt.Errorf("fleet: incomplete workload %q", w.Name)
 	}
-	server := core.NewServer(w.Prog)
-	sess := core.NewSessionServer(server, spec.Server)
-	eng := newEngine(spec.Server, len(spec.Clients))
+	pool := NewServerPool(w.Prog, spec.Servers, spec.Server, spec.FailAt)
+	eng := newEngine(pool, spec.Placement, len(spec.Clients))
 	conc := spec.Concurrency
 	if conc <= 0 {
 		conc = runtime.GOMAXPROCS(0)
@@ -186,11 +221,14 @@ func Run(spec Spec) (*Result, error) {
 	g := newGate(conc)
 
 	// Build every client before launching any: addSession fixes the
-	// deterministic client order the engine breaks ties with.
+	// deterministic client order the engine breaks ties with, and
+	// every (client, backend) session opens here so session IDs never
+	// depend on placement order.
 	clients := make([]*core.Client, len(spec.Clients))
 	sessions := make([]*session, len(spec.Clients))
 	for i, cs := range spec.Clients {
-		fs := eng.addSession(sess.Open(cs.ID))
+		fs := eng.addSession()
+		pool.open(cs.ID)
 		sessions[i] = fs
 		var opts []core.Option
 		if cs.Outage > 0 {
@@ -225,8 +263,9 @@ func Run(spec Spec) (*Result, error) {
 	wg.Wait()
 
 	res := &Result{
-		Workload: w.Name,
-		Clients:  make([]ClientResult, len(clients)),
+		Workload:  w.Name,
+		Placement: spec.Placement,
+		Clients:   make([]ClientResult, len(clients)),
 	}
 	for i, c := range clients {
 		fs := sessions[i]
@@ -236,7 +275,7 @@ func Run(spec Spec) (*Result, error) {
 			Energy:   c.Energy(),
 			Time:     c.Clock,
 			Stats:    *c.Stats,
-			Session:  fs.core.Stats(),
+			Session:  pool.sessionStats(i),
 			Served:   fs.served,
 			Shed:     fs.shed,
 			MaxWait:  fs.maxWait,
@@ -250,16 +289,28 @@ func Run(spec Spec) (*Result, error) {
 		res.Clients[i] = cr
 	}
 	res.Server = ServerResult{
-		Workers:       eng.workers,
-		QueueCap:      eng.queueCap,
+		Workers:       pool.backends[0].workers,
+		QueueCap:      pool.backends[0].queueCap,
 		Served:        eng.served,
 		Shed:          eng.shed,
 		MaxQueueDepth: eng.maxDepth,
+		CacheHits:     pool.cacheHits(),
 		Waits:         eng.waits,
 		Depths:        eng.depths,
 	}
-	for _, c := range res.Clients {
-		res.Server.CacheHits += c.Session.CacheHits
+	for _, b := range pool.backends {
+		br := BackendResult{
+			ID:            b.id,
+			Served:        b.served,
+			Shed:          b.shed,
+			MaxQueueDepth: b.maxDepth,
+			CacheHits:     b.sess.Stats().CacheHits,
+			Down:          b.down,
+		}
+		if b.served > 0 {
+			br.AvgWait = b.waitSum / energy.Seconds(b.served)
+		}
+		res.Backends = append(res.Backends, br)
 	}
 	return res, nil
 }
@@ -374,6 +425,23 @@ func (r *Result) Registry() *obs.Registry {
 	for _, v := range r.Server.Depths {
 		depthH.Observe(v)
 	}
+	bServed := reg.Counter("fleet_backend_served_total", "requests served per backend")
+	bSheds := reg.Counter("fleet_backend_sheds_total", "requests shed per backend")
+	bDepth := reg.Gauge("fleet_backend_queue_depth_max", "queue high-water mark per backend")
+	bDown := reg.Gauge("fleet_backend_down", "1 when the backend failed during the run")
+	for _, b := range r.Backends {
+		labels := []string{"backend", b.ID, "placement", r.Placement.String()}
+		if b.Served > 0 {
+			bServed.Add(float64(b.Served), labels...)
+		}
+		if b.Shed > 0 {
+			bSheds.Add(float64(b.Shed), labels...)
+		}
+		bDepth.Set(float64(b.MaxQueueDepth), labels...)
+		if b.Down {
+			bDown.Set(1, labels...)
+		}
+	}
 	return reg
 }
 
@@ -395,10 +463,15 @@ func (r *Result) ShedRate() float64 {
 	return float64(r.Server.Shed) / float64(total)
 }
 
-// WriteSummary renders the per-client table and the server aggregate.
+// WriteSummary renders the per-client table, the pool aggregate and —
+// for multi-server runs — the per-backend breakdown.
 func (r *Result) WriteSummary(w io.Writer) {
-	fmt.Fprintf(w, "fleet of %d clients on %s — server workers=%d queue=%d\n\n",
+	fmt.Fprintf(w, "fleet of %d clients on %s — server workers=%d queue=%d",
 		len(r.Clients), r.Workload, r.Server.Workers, r.Server.QueueCap)
+	if len(r.Backends) > 1 {
+		fmt.Fprintf(w, " servers=%d placement=%s", len(r.Backends), r.Placement)
+	}
+	fmt.Fprintf(w, "\n\n")
 	fmt.Fprintf(w, "%-8s %-5s %12s %10s | %5s %5s %5s %5s | %10s  %s\n",
 		"client", "strat", "energy", "time", "reqs", "shed", "hits", "fall", "avg wait", "modes [I L1 L2 L3 R]")
 	for _, c := range r.Clients {
@@ -414,4 +487,14 @@ func (r *Result) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "\ntotal energy %v; server served %d, shed %d (rate %.1f%%), max queue depth %d, cache hits %d\n",
 		r.TotalEnergy(), r.Server.Served, r.Server.Shed, 100*r.ShedRate(),
 		r.Server.MaxQueueDepth, r.Server.CacheHits)
+	if len(r.Backends) > 1 {
+		for _, b := range r.Backends {
+			fmt.Fprintf(w, "  backend %s: served %d, shed %d, max depth %d, avg wait %.2fms, cache hits %d",
+				b.ID, b.Served, b.Shed, b.MaxQueueDepth, float64(b.AvgWait)*1e3, b.CacheHits)
+			if b.Down {
+				fmt.Fprintf(w, "  DOWN")
+			}
+			fmt.Fprintln(w)
+		}
+	}
 }

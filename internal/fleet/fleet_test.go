@@ -8,6 +8,7 @@ import (
 
 	"greenvm/internal/apps"
 	"greenvm/internal/core"
+	"greenvm/internal/energy"
 	"greenvm/internal/experiments"
 	"greenvm/internal/radio"
 )
@@ -62,6 +63,10 @@ func render(t *testing.T, r *Result) []byte {
 			c.Served, c.Shed, c.AvgWait, c.MaxWait, c.Err)
 	}
 	fmt.Fprintf(&buf, "server %+v\n", r.Server)
+	fmt.Fprintf(&buf, "placement %v\n", r.Placement)
+	for _, b := range r.Backends {
+		fmt.Fprintf(&buf, "backend %+v\n", b)
+	}
 	if err := r.Registry().WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
@@ -110,6 +115,119 @@ func TestFleetDeterministicAcrossConcurrency(t *testing.T) {
 	}
 	if serial.Server.Served == 0 {
 		t.Error("fleet never offloaded")
+	}
+}
+
+// TestFleetMultiServerDeterministic extends the determinism claim to
+// the pool: for every placement policy and several server counts, a
+// mixed-strategy fleet produces byte-identical results — placement
+// decisions, per-backend admission, queue waits — whether the clients
+// simulate serially or on eight slots.
+func TestFleetMultiServerDeterministic(t *testing.T) {
+	w := testWorkload(t)
+	for _, servers := range []int{2, 3} {
+		for _, pl := range Placements {
+			servers, pl := servers, pl
+			t.Run(fmt.Sprintf("%dservers_%s", servers, pl), func(t *testing.T) {
+				build := func(conc int) Spec {
+					spec := MixedFleet(w, 18,
+						[]core.Strategy{core.StrategyR, core.StrategyAL, core.StrategyAA},
+						3, core.SessionConfig{Workers: 1, QueueCap: 2}, 123)
+					for i := range spec.Clients {
+						spec.Clients[i].Sizes = []int{16, 32}
+					}
+					spec.Servers = servers
+					spec.Placement = pl
+					spec.Concurrency = conc
+					return spec
+				}
+
+				serial, err := Run(build(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, c := range serial.Clients {
+					if c.Err != "" {
+						t.Fatalf("client %s failed: %s", c.ID, c.Err)
+					}
+				}
+				parallel, err := Run(build(8))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				sb, pb := render(t, serial), render(t, parallel)
+				if !bytes.Equal(sb, pb) {
+					t.Fatalf("serial and parallel fleets diverge:\n--- serial ---\n%s\n--- parallel ---\n%s", sb, pb)
+				}
+
+				// Non-vacuous: the pool is real and placement spread load.
+				if len(serial.Backends) != servers {
+					t.Fatalf("got %d backends, want %d", len(serial.Backends), servers)
+				}
+				serving := 0
+				for _, b := range serial.Backends {
+					if b.Served > 0 {
+						serving++
+					}
+				}
+				if serving < 2 {
+					t.Errorf("placement %v left all traffic on one backend: %+v", pl, serial.Backends)
+				}
+			})
+		}
+	}
+}
+
+// TestFleetBackendFailover schedules one backend of a two-server pool
+// to fail mid-run: queued requests flush as connection losses, the
+// clients' loss machinery re-places on the survivor, and the whole
+// thing stays byte-deterministic across concurrency.
+func TestFleetBackendFailover(t *testing.T) {
+	w := testWorkload(t)
+	build := func(conc int) Spec {
+		spec := MixedFleet(w, 8, []core.Strategy{core.StrategyR}, 3,
+			core.SessionConfig{Workers: 2, QueueCap: 4}, 21)
+		for i := range spec.Clients {
+			spec.Clients[i].Channel = ChannelFixed
+			spec.Clients[i].Outage = 0
+			spec.Clients[i].Sizes = []int{32}
+		}
+		spec.Servers = 2
+		spec.Placement = PlaceHash
+		spec.FailAt = []energy.Seconds{0.002, 0} // s0 dies two virtual ms in
+		spec.Concurrency = conc
+		return spec
+	}
+
+	serial, err := Run(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(build(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, pb := render(t, serial), render(t, parallel)
+	if !bytes.Equal(sb, pb) {
+		t.Fatalf("failover fleets diverge:\n--- serial ---\n%s\n--- parallel ---\n%s", sb, pb)
+	}
+
+	// Every client survives the failure: losses fall back or re-place,
+	// they never surface as client errors.
+	for _, c := range serial.Clients {
+		if c.Err != "" {
+			t.Fatalf("client %s failed: %s", c.ID, c.Err)
+		}
+	}
+	if !serial.Backends[0].Down {
+		t.Fatal("backend s0 never went down")
+	}
+	if serial.Backends[1].Down {
+		t.Fatal("backend s1 went down without a scheduled failure")
+	}
+	if serial.Backends[1].Served == 0 {
+		t.Error("surviving backend served nothing — sessions never re-placed")
 	}
 }
 

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"fmt"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+)
+
+// ServerPool runs N independent backend servers — each a full
+// core.Server fronted by its own core.SessionServer (own admission
+// queue, own session caches) — behind one placement policy. The
+// paper's deployment has one resource-rich server; the pool is the
+// fleet-scale shape, where which backend serves a request matters as
+// much as whether one does. Backends are named "s0".."sN-1"; those
+// IDs ride the wire-model busy errors and the clients' per-backend
+// busy EWMAs.
+type ServerPool struct {
+	backends []*poolBackend
+	ids      []string
+}
+
+// poolBackend is one backend server plus the engine's virtual-time
+// admission state for it: the engine decides, in virtual time, which
+// requests hold one of the backend's workers, which wait in its
+// bounded queue, and which are shed — per backend, so load imbalance
+// between backends is visible and placement policies have something
+// to optimize.
+type poolBackend struct {
+	idx  int
+	id   string
+	sess *core.SessionServer
+	// clients holds one server-side session per fleet client, in
+	// client order — opened eagerly at build time so session IDs never
+	// depend on placement order.
+	clients []*core.Session
+
+	workers  int
+	queueCap int
+
+	// Virtual admission state, owned by the engine (under its lock).
+	busy  int        // requests holding a worker
+	queue []*request // waiting, admission order
+
+	// failAt > 0 takes the backend down at that virtual time: its
+	// queue flushes with connection-lost errors and placement stops
+	// considering it. down flips when the failure event processes.
+	failAt energy.Seconds
+	down   bool
+
+	served, shed, maxDepth int
+	waitSum                energy.Seconds
+}
+
+// NewServerPool builds n backends sharing one program, each shaped by
+// cfg (the same worker/queue budget per backend). failAt, when
+// non-nil, schedules backend i to fail at failAt[i] (0 = never).
+func NewServerPool(prog *bytecode.Program, n int, cfg core.SessionConfig, failAt []energy.Seconds) *ServerPool {
+	if n < 1 {
+		n = 1
+	}
+	// Mirror core.SessionConfig's defaulting: 0 means default,
+	// negative queue capacity means no waiting at all.
+	workers, queueCap := cfg.Workers, cfg.QueueCap
+	if workers <= 0 {
+		workers = core.DefaultWorkers
+	}
+	if queueCap == 0 {
+		queueCap = core.DefaultQueueCap
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	p := &ServerPool{}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("s%d", i)
+		sess := core.NewSessionServer(core.NewServer(prog), core.SessionConfig{
+			Workers: cfg.Workers, QueueCap: cfg.QueueCap, Backend: id,
+		})
+		b := &poolBackend{idx: i, id: id, sess: sess, workers: workers, queueCap: queueCap}
+		if i < len(failAt) {
+			b.failAt = failAt[i]
+		}
+		p.backends = append(p.backends, b)
+		p.ids = append(p.ids, id)
+	}
+	return p
+}
+
+// IDs lists the backend names in placement order. Callers must not
+// mutate the returned slice.
+func (p *ServerPool) IDs() []string { return p.ids }
+
+// open creates the client's session on every backend (client order =
+// session order on each backend, so IDs are deterministic).
+func (p *ServerPool) open(clientID string) {
+	for _, b := range p.backends {
+		b.clients = append(b.clients, b.sess.Open(clientID))
+	}
+}
+
+// sessionStats aggregates one client's server-side counters across
+// all backends.
+func (p *ServerPool) sessionStats(clientIdx int) core.SessionStats {
+	var st core.SessionStats
+	for _, b := range p.backends {
+		s := b.clients[clientIdx].Stats()
+		st.Requests += s.Requests
+		st.CacheHits += s.CacheHits
+	}
+	return st
+}
+
+// cacheHits sums serialization-cache hits across all backends.
+func (p *ServerPool) cacheHits() int {
+	total := 0
+	for _, b := range p.backends {
+		total += b.sess.Stats().CacheHits
+	}
+	return total
+}

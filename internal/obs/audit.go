@@ -14,13 +14,22 @@ import (
 // EvInvoke that follows it for the same method, and accumulates the
 // prediction-error distribution and the regret — energy actually
 // spent minus the cheapest considered estimate — per method.
+// When the client runs against a multi-backend pool the auditor also
+// tallies, per backend, how often placement landed there and how often
+// that backend shed — the placement-quality view of the same stream.
 type Auditor struct {
-	pending map[string]*core.Estimate
-	methods map[string]*methodAudit
+	pending  map[string]*core.Estimate
+	methods  map[string]*methodAudit
+	backends map[string]*backendAudit
 	// Unpaired counts invocations that errored out between estimate
 	// and outcome (the estimate is dropped, not matched to the next
 	// invocation).
 	Unpaired int
+}
+
+type backendAudit struct {
+	placed int
+	shed   int
 }
 
 type methodAudit struct {
@@ -36,8 +45,9 @@ type methodAudit struct {
 // NewAuditor returns an empty auditor; attach it to a client's sinks.
 func NewAuditor() *Auditor {
 	return &Auditor{
-		pending: map[string]*core.Estimate{},
-		methods: map[string]*methodAudit{},
+		pending:  map[string]*core.Estimate{},
+		methods:  map[string]*methodAudit{},
+		backends: map[string]*backendAudit{},
 	}
 }
 
@@ -48,6 +58,14 @@ func (a *Auditor) Emit(e core.Event) {
 	}
 	name := e.Method.QName()
 	switch e.Kind {
+	case core.EvPlace:
+		a.backendFor(e.Backend).placed++
+	case core.EvShed:
+		// Single-server sheds name no backend; only pool runs feed the
+		// per-backend table.
+		if e.Backend != "" {
+			a.backendFor(e.Backend).shed++
+		}
 	case core.EvEstimate:
 		if a.pending[name] != nil {
 			a.Unpaired++
@@ -81,6 +99,15 @@ func (a *Auditor) Emit(e core.Event) {
 	}
 }
 
+func (a *Auditor) backendFor(id string) *backendAudit {
+	b := a.backends[id]
+	if b == nil {
+		b = &backendAudit{}
+		a.backends[id] = b
+	}
+	return b
+}
+
 // MethodAudit is the per-method summary of a Report.
 type MethodAudit struct {
 	Method string
@@ -102,9 +129,20 @@ type MethodAudit struct {
 	PredictedJ float64
 }
 
+// BackendAudit is the per-backend placement summary of a Report: how
+// many requests placement landed on the backend and how many it shed.
+type BackendAudit struct {
+	Backend string
+	Placed  int
+	Shed    int
+}
+
 // AuditReport is the auditor's summary, one row per method.
 type AuditReport struct {
 	Methods []MethodAudit
+	// Backends holds the per-backend placement tallies, sorted by
+	// backend name; empty for single-server runs.
+	Backends []BackendAudit
 	// Unpaired counts estimates that never met their invocation.
 	Unpaired int
 }
@@ -135,6 +173,10 @@ func (a *Auditor) Report() *AuditReport {
 		})
 	}
 	sort.Slice(r.Methods, func(i, j int) bool { return r.Methods[i].Method < r.Methods[j].Method })
+	for id, b := range a.backends {
+		r.Backends = append(r.Backends, BackendAudit{Backend: id, Placed: b.placed, Shed: b.shed})
+	}
+	sort.Slice(r.Backends, func(i, j int) bool { return r.Backends[i].Backend < r.Backends[j].Backend })
 	return r
 }
 
@@ -170,6 +212,9 @@ func RenderAuditReport(w io.Writer, title string, r *AuditReport) {
 		fmt.Fprintf(w, "   (%d unpaired estimates)", r.Unpaired)
 	}
 	fmt.Fprintln(w)
+	for _, b := range r.Backends {
+		fmt.Fprintf(w, "  backend %-8s placed %6d   shed %6d\n", b.Backend, b.Placed, b.Shed)
+	}
 }
 
 var _ core.EventSink = (*Auditor)(nil)

@@ -36,6 +36,7 @@ type MetricsSink struct {
 	memoHits     *Counter
 	retries      *Counter
 	sheds        *Counter
+	placements   *Counter
 	probes       *Counter
 	transitions  *Counter
 	linkUp       *Gauge
@@ -75,6 +76,7 @@ func NewMetricsSink(reg *Registry) *MetricsSink {
 		memoHits:     reg.Counter("memo_hits_total", "invocations replayed from the memo"),
 		retries:      reg.Counter("retries_total", "re-attempted remote exchanges after losses"),
 		sheds:        reg.Counter("sheds_total", "remote exchanges rejected by server admission control"),
+		placements:   reg.Counter("placements_total", "multi-backend requests served, by method and backend"),
 		probes:       reg.Counter("probes_total", "half-open circuit-breaker probes by outcome"),
 		transitions:  reg.Counter("link_transitions_total", "circuit-breaker open/close transitions by direction"),
 		linkUp:       reg.Gauge("link_up", "1 while the circuit breaker admits remote options"),
@@ -131,7 +133,15 @@ func (s *MetricsSink) Emit(e core.Event) {
 	case core.EvRetry:
 		s.retries.Inc("method", method)
 	case core.EvShed:
-		s.sheds.Inc("method", method)
+		// Single-server sheds carry no backend name; keep their series
+		// unchanged and split per backend only when a pool names one.
+		if e.Backend != "" {
+			s.sheds.Inc("method", method, "backend", e.Backend)
+		} else {
+			s.sheds.Inc("method", method)
+		}
+	case core.EvPlace:
+		s.placements.Inc("method", method, "backend", e.Backend)
 	case core.EvProbe:
 		outcome := "ok"
 		if e.FellBack {
