@@ -3,14 +3,17 @@
 // trajectory artifact (BENCH_<n>.json) CI records per PR.
 //
 // The report carries the FigureGrid and Fleet timings (ns/op plus
-// their reported metrics) and the fleet placement sweep: shed rate,
+// their reported metrics), the fleet placement sweep — shed rate,
 // total energy and queue high-water mark per (fleet size, server
-// count, placement) at equal aggregate server capacity. The sweep
-// numbers are deterministic — only the timings vary run to run.
+// count, placement) at equal aggregate server capacity — and the
+// chaos sweep: fallbacks, served work and failovers per (fault shape,
+// placement, breaker scope) with the fault injected on backend s0.
+// The sweep numbers are deterministic — only the timings vary run to
+// run.
 //
 // Usage:
 //
-//	benchreport -out BENCH_6.json
+//	benchreport -out BENCH_7.json
 package main
 
 import (
@@ -45,16 +48,29 @@ type sweepRow struct {
 	MaxDepth  int     `json:"max_queue_depth"`
 }
 
+type chaosRow struct {
+	Fault     string  `json:"fault"`
+	Placement string  `json:"placement"`
+	Breakers  string  `json:"breakers"`
+	Served    int     `json:"served"`
+	Shed      int     `json:"shed"`
+	Fallbacks int     `json:"fallbacks"`
+	Failovers int     `json:"failovers"`
+	Warmups   int     `json:"warmups"`
+	EnergyJ   float64 `json:"total_energy_j"`
+}
+
 type report struct {
 	Schema         int          `json:"schema"`
 	GoVersion      string       `json:"go_version"`
 	GOMAXPROCS     int          `json:"gomaxprocs"`
 	Benches        []benchEntry `json:"benches"`
 	PlacementSweep []sweepRow   `json:"placement_sweep"`
+	ChaosSweep     []chaosRow   `json:"chaos_sweep"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "report file; '-' for stdout")
+	out := flag.String("out", "BENCH_7.json", "report file; '-' for stdout")
 	execs := flag.Int("execs", 4, "executions per client in the placement sweep")
 	flag.Parse()
 	if err := run(*out, *execs); err != nil {
@@ -76,7 +92,7 @@ func run(out string, execs int) error {
 	envs := []*experiments.Env{feEnv, sortEnv}
 	w := fleet.WorkloadOf(feEnv)
 
-	rep := &report{Schema: 6, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := &report{Schema: 7, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	// FigureGrid: the Fig 7 scenario grid, serial and parallel — the
 	// same shape as BenchmarkFigureGrid.
@@ -162,6 +178,45 @@ func run(out string, execs int) error {
 					ShedPct:  100 * res.ShedRate(),
 					EnergyJ:  float64(res.TotalEnergy()),
 					MaxDepth: res.Server.MaxQueueDepth,
+				})
+			}
+		}
+	}
+
+	// Chaos sweep: every canonical fault shape on backend s0 of a
+	// two-backend pool, crossed with placement and breaker scope. 12
+	// executions per client give an opened breaker invocations left to
+	// shape; the breaker prototype's cooldown outlives the
+	// inter-invocation gap for the same reason.
+	for _, shape := range fleet.SweepChaosShapes() {
+		for _, pl := range fleet.Placements {
+			for _, mode := range fleet.BreakerModes {
+				chaos := make([]fleet.BackendChaos, 2)
+				chaos[0] = shape.Chaos
+				spec := fleet.MixedFleet(w, 16,
+					[]core.Strategy{core.StrategyR, core.StrategyAL, core.StrategyAA},
+					12, core.SessionConfig{Workers: 2, QueueCap: 16}, 42)
+				spec.Servers = 2
+				spec.Placement = pl
+				spec.Chaos = chaos
+				spec.Breakers = mode
+				spec.Breaker = &core.Breaker{Threshold: 2, Cooldown: 0.05, MaxCooldown: 0.4, ProbeBytes: 16}
+				res, err := fleet.Run(spec)
+				if err != nil {
+					return err
+				}
+				fallbacks := 0
+				for _, c := range res.Clients {
+					if c.Err != "" {
+						return fmt.Errorf("chaos client %s: %s", c.ID, c.Err)
+					}
+					fallbacks += c.Stats.Fallbacks
+				}
+				rep.ChaosSweep = append(rep.ChaosSweep, chaosRow{
+					Fault: shape.Name, Placement: pl.String(), Breakers: mode.String(),
+					Served: res.Server.Served, Shed: res.Server.Shed,
+					Fallbacks: fallbacks, Failovers: res.TotalFailovers(),
+					Warmups: res.TotalWarmups(), EnergyJ: float64(res.TotalEnergy()),
 				})
 			}
 		}

@@ -15,6 +15,15 @@
 //	fleetsim -app fe -clients 16 -strategies AA,AL,R -server-workers 2 -queue 4
 //	fleetsim -app fe -clients 32 -metrics fleet.json
 //
+// Backend chaos injection (single runs only, not -sweep):
+//
+//	fleetsim -app fe -servers 2 -fail s0@0.002              # hard crash at t=2ms
+//	fleetsim -app fe -servers 2 -flap s0@0.001/0.002/0.004  # crash at 1ms, down 2ms, every 4ms
+//	fleetsim -app fe -servers 2 -brownout s0@0.0005x8       # 8x service time from 0.5ms on
+//	fleetsim -app fe -servers 2 -loss s0:0.35/4             # bursty per-backend loss
+//	fleetsim -app fe -servers 2 -flap s0@0.001/0.002/0.004 -breakers global
+//	fleetsim -app fe -clients 16 -servers 2 -chaos-sweep    # fault shape x placement x breakers grid
+//
 // -server-workers is the pool's aggregate worker budget: it is split
 // evenly across the backends (-servers must divide it), so sweeping
 // the server count compares placements at equal total capacity.
@@ -52,13 +61,32 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "client goroutines simulated in parallel (0 = GOMAXPROCS)")
 	sweep := flag.Bool("sweep", false, "print the fleet-size x server-count x placement aggregate table instead of one run's detail")
 	metrics := flag.String("metrics", "", "write the run's observability snapshot (JSON) to this file; '-' for stdout")
+	fail := flag.String("fail", "", "hard-crash backends: comma-separated name@time entries, e.g. s0@0.002")
+	flap := flag.String("flap", "", "flap backends: name@at/down/every entries, e.g. s0@0.001/0.002/0.004")
+	brownout := flag.String("brownout", "", "brown out backends: name@at[+for]xfactor entries, e.g. s0@0.0005x8")
+	loss := flag.String("loss", "", "attach bursty loss to backends: name:rate[/burst] entries, e.g. s0:0.35/4")
+	breakers := flag.String("breakers", "backend", "circuit-breaker scope: backend (one per backend), global (one per link), off")
+	chaosSweep := flag.Bool("chaos-sweep", false, "print the fault-shape x placement x breaker-mode grid (chaos on backend s0)")
 	flag.Parse()
 
 	if err := run(*app, *clients, *execs, *strategies, *servers, *placement,
-		*workers, *queue, *seed, *concurrency, *sweep, *metrics); err != nil {
+		*workers, *queue, *seed, *concurrency, *sweep, *metrics,
+		chaosFlags{fail: *fail, flap: *flap, brownout: *brownout, loss: *loss,
+			breakers: *breakers, sweep: *chaosSweep}); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
+}
+
+// chaosFlags carries the raw chaos-injection flag values into run.
+type chaosFlags struct {
+	fail, flap, brownout, loss string
+	breakers                   string
+	sweep                      bool
+}
+
+func (c chaosFlags) any() bool {
+	return c.fail != "" || c.flap != "" || c.brownout != "" || c.loss != ""
 }
 
 // fleetConfig is the validated shape of one invocation.
@@ -125,7 +153,7 @@ func (c *fleetConfig) serverConfig(n int) core.SessionConfig {
 }
 
 func run(appName, clientList string, execs int, strategyList, serverList, placementList string,
-	workers, queue int, seed uint64, concurrency int, sweep bool, metrics string) error {
+	workers, queue int, seed uint64, concurrency int, sweep bool, metrics string, cf chaosFlags) error {
 
 	a := apps.ByName(appName)
 	if a == nil {
@@ -143,6 +171,20 @@ func run(appName, clientList string, execs int, strategyList, serverList, placem
 	if err != nil {
 		return err
 	}
+	mode, err := fleet.ParseBreakerMode(cf.breakers)
+	if err != nil {
+		return err
+	}
+	if sweep && (cf.any() || cf.sweep) {
+		return fmt.Errorf("chaos flags and -sweep are mutually exclusive; chaos runs are single configurations (or -chaos-sweep)")
+	}
+	if cf.sweep && cf.any() {
+		return fmt.Errorf("-chaos-sweep injects its own fault shapes; drop -fail/-flap/-brownout/-loss")
+	}
+	chaos, err := parseChaos(cf.fail, cf.flap, cf.brownout, cf.loss, cfg.serverNs[0])
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("profiling %s...\n", a.Name)
 	env, err := experiments.Prepare(a, seed)
@@ -154,12 +196,17 @@ func run(appName, clientList string, execs int, strategyList, serverList, placem
 	if sweep {
 		return runSweep(w, cfg, strats, execs, seed, concurrency)
 	}
+	if cf.sweep {
+		return runChaosSweep(w, cfg, strats, execs, seed, concurrency)
+	}
 
 	n := cfg.serverNs[0]
 	spec := fleet.MixedFleet(w, cfg.sizes[0], strats, execs, cfg.serverConfig(n), seed)
 	spec.Servers = n
 	spec.Placement = cfg.placements[0]
 	spec.Concurrency = concurrency
+	spec.Chaos = chaos
+	spec.Breakers = mode
 	res, err := fleet.Run(spec)
 	if err != nil {
 		return err
@@ -226,6 +273,200 @@ func runSweep(w fleet.Workload, cfg *fleetConfig, strats []core.Strategy, execs 
 		}
 	}
 	return nil
+}
+
+// sweepBreaker is the breaker prototype chaos-sweep clients run with.
+// Two consecutive attributed losses open a breaker; the cooldown is
+// long relative to the inter-invocation gap (tenths of a virtual
+// second vs. milliseconds), so an open breaker actually shapes the
+// following decisions instead of silently healing between them.
+func sweepBreaker() *core.Breaker {
+	return &core.Breaker{Threshold: 2, Cooldown: 0.05, MaxCooldown: 0.4, ProbeBytes: 16}
+}
+
+// runChaosSweep prints the resilience grid: every canonical fault
+// shape injected on backend s0, crossed with every placement policy
+// and every breaker scope, at one fleet size and server count. The
+// interesting comparison is down the breakers column: per-backend
+// breakers should shed and fall back strictly less than a global
+// breaker under a single-backend fault, because only the faulty
+// backend goes dark.
+func runChaosSweep(w fleet.Workload, cfg *fleetConfig, strats []core.Strategy, execs int,
+	seed uint64, concurrency int) error {
+
+	ns := cfg.serverNs[0]
+	if ns < 2 {
+		return fmt.Errorf("-chaos-sweep needs -servers >= 2: a single-backend fault is only survivable when another backend exists")
+	}
+	n := cfg.sizes[0]
+	fmt.Printf("\nchaos sweep on %s — %d clients, %d servers, fault on s0, aggregate workers=%d, queue/backend=%d\n\n",
+		w.Name, n, ns, cfg.workers, cfg.queue)
+	fmt.Printf("%-9s %-8s %-8s | %12s | %6s %6s %6s %6s %6s %7s\n",
+		"fault", "place", "breakers", "energy/cli", "served", "shed", "fellbk", "failov", "warmup", "crashes")
+	for _, shape := range fleet.SweepChaosShapes() {
+		for _, pl := range fleet.Placements {
+			for _, mode := range fleet.BreakerModes {
+				chaos := make([]fleet.BackendChaos, ns)
+				chaos[0] = shape.Chaos
+				spec := fleet.MixedFleet(w, n, strats, execs, cfg.serverConfig(ns), seed)
+				spec.Servers = ns
+				spec.Placement = pl
+				spec.Concurrency = concurrency
+				spec.Chaos = chaos
+				spec.Breakers = mode
+				spec.Breaker = sweepBreaker()
+				res, err := fleet.Run(spec)
+				if err != nil {
+					return err
+				}
+				if err := clientErrors(res); err != nil {
+					return err
+				}
+				flaps := 0
+				for _, b := range res.Backends {
+					flaps += b.Flaps
+				}
+				fmt.Printf("%-9s %-8s %-8s | %12v | %6d %6d %6d %6d %6d %7d\n",
+					shape.Name, pl, mode,
+					res.TotalEnergy()/energy.Joules(n),
+					res.Server.Served, res.Server.Shed, res.TotalFallbacks(),
+					res.TotalFailovers(), res.TotalWarmups(), flaps)
+			}
+		}
+	}
+	return nil
+}
+
+// parseChaos folds the four chaos flags into per-backend fault specs
+// (nil when no flag is set). Backend names must exist in a pool of
+// `servers` backends, so typos fail before a run silently injects
+// nothing.
+func parseChaos(fail, flap, brownout, loss string, servers int) ([]fleet.BackendChaos, error) {
+	if fail == "" && flap == "" && brownout == "" && loss == "" {
+		return nil, nil
+	}
+	chaos := make([]fleet.BackendChaos, servers)
+	idx := func(flag, name string) (int, error) {
+		name = strings.TrimSpace(name)
+		for i := 0; i < servers; i++ {
+			if name == fmt.Sprintf("s%d", i) {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("%s: unknown backend %q (the pool has s0..s%d)", flag, name, servers-1)
+	}
+	secs := func(flag, s string) (energy.Seconds, error) {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("%s: %q is not a positive duration in virtual seconds", flag, s)
+		}
+		return energy.Seconds(v), nil
+	}
+	for _, ent := range splitEntries(fail) {
+		name, rest, ok := strings.Cut(ent, "@")
+		if !ok {
+			return nil, fmt.Errorf("-fail %q: want name@time, e.g. s0@0.002", ent)
+		}
+		i, err := idx("-fail", name)
+		if err != nil {
+			return nil, err
+		}
+		t, err := secs("-fail", rest)
+		if err != nil {
+			return nil, err
+		}
+		chaos[i].FailAt = t
+	}
+	for _, ent := range splitEntries(flap) {
+		name, rest, ok := strings.Cut(ent, "@")
+		if !ok {
+			return nil, fmt.Errorf("-flap %q: want name@at[/down[/every]], e.g. s0@0.001/0.002/0.004", ent)
+		}
+		i, err := idx("-flap", name)
+		if err != nil {
+			return nil, err
+		}
+		parts := strings.Split(rest, "/")
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("-flap %q: want at most at/down/every", ent)
+		}
+		if chaos[i].FlapAt, err = secs("-flap", parts[0]); err != nil {
+			return nil, err
+		}
+		if len(parts) > 1 {
+			if chaos[i].FlapDown, err = secs("-flap", parts[1]); err != nil {
+				return nil, err
+			}
+		}
+		if len(parts) > 2 {
+			if chaos[i].FlapEvery, err = secs("-flap", parts[2]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, ent := range splitEntries(brownout) {
+		name, rest, ok := strings.Cut(ent, "@")
+		if !ok {
+			return nil, fmt.Errorf("-brownout %q: want name@at[+for]xfactor, e.g. s0@0.0005x8", ent)
+		}
+		i, err := idx("-brownout", name)
+		if err != nil {
+			return nil, err
+		}
+		times, factor, ok := strings.Cut(rest, "x")
+		if !ok {
+			return nil, fmt.Errorf("-brownout %q: missing the xfactor suffix, e.g. s0@0.0005x8", ent)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(factor), 64)
+		if err != nil || f <= 1 {
+			return nil, fmt.Errorf("-brownout %q: factor %q must be > 1", ent, factor)
+		}
+		chaos[i].BrownoutFactor = f
+		at, dur, hasDur := strings.Cut(times, "+")
+		if chaos[i].BrownoutAt, err = secs("-brownout", at); err != nil {
+			return nil, err
+		}
+		if hasDur {
+			if chaos[i].BrownoutFor, err = secs("-brownout", dur); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, ent := range splitEntries(loss) {
+		name, rest, ok := strings.Cut(ent, ":")
+		if !ok {
+			return nil, fmt.Errorf("-loss %q: want name:rate[/burst], e.g. s0:0.35/4", ent)
+		}
+		i, err := idx("-loss", name)
+		if err != nil {
+			return nil, err
+		}
+		rate, burst, hasBurst := strings.Cut(rest, "/")
+		r, err := strconv.ParseFloat(strings.TrimSpace(rate), 64)
+		if err != nil || r <= 0 || r >= 1 {
+			return nil, fmt.Errorf("-loss %q: rate %q must be in (0, 1)", ent, rate)
+		}
+		chaos[i].LossRate = r
+		if hasBurst {
+			b, err := strconv.ParseFloat(strings.TrimSpace(burst), 64)
+			if err != nil || b < 1 {
+				return nil, fmt.Errorf("-loss %q: burst %q must be >= 1", ent, burst)
+			}
+			chaos[i].LossBurst = b
+		}
+	}
+	return chaos, nil
+}
+
+// splitEntries splits a comma-separated flag value, dropping empties.
+func splitEntries(list string) []string {
+	var out []string
+	for _, f := range strings.Split(list, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func clientErrors(res *fleet.Result) error {

@@ -102,3 +102,80 @@ func TestServerConfigSplitsAggregateBudget(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePlacementSuggestsOnTypo(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"chepest", `did you mean "cheapest"`},
+		{"hsah", `did you mean "hash"`},
+		{"p2", `did you mean "p2c"`},
+		{"round-robin", "valid: cheapest, hash, p2c"},
+	}
+	for _, tc := range cases {
+		_, err := fleet.ParsePlacement(tc.in)
+		if err == nil {
+			t.Fatalf("ParsePlacement(%q) accepted a bad value", tc.in)
+		}
+		if !strings.Contains(err.Error(), "unknown placement") {
+			t.Errorf("ParsePlacement(%q) error %q does not say unknown placement", tc.in, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParsePlacement(%q) error %q does not contain %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestParseChaosValid(t *testing.T) {
+	chaos, err := parseChaos("s1@0.002", "s0@0.001/0.002/0.004", "s0@0.0005+0.01x8", "s1:0.35/4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chaos) != 2 {
+		t.Fatalf("chaos specs for %d backends, want 2", len(chaos))
+	}
+	if chaos[0].FlapAt != 0.001 || chaos[0].FlapDown != 0.002 || chaos[0].FlapEvery != 0.004 {
+		t.Errorf("s0 flap = %+v", chaos[0])
+	}
+	if chaos[0].BrownoutAt != 0.0005 || chaos[0].BrownoutFor != 0.01 || chaos[0].BrownoutFactor != 8 {
+		t.Errorf("s0 brownout = %+v", chaos[0])
+	}
+	if chaos[1].FailAt != 0.002 {
+		t.Errorf("s1 fail = %+v", chaos[1])
+	}
+	if chaos[1].LossRate != 0.35 || chaos[1].LossBurst != 4 {
+		t.Errorf("s1 loss = %+v", chaos[1])
+	}
+	if c, err := parseChaos("", "", "", "", 4); err != nil || c != nil {
+		t.Errorf("empty chaos flags = (%v, %v), want (nil, nil)", c, err)
+	}
+}
+
+func TestParseChaosRejectsNonsense(t *testing.T) {
+	cases := []struct {
+		name                       string
+		fail, flap, brownout, loss string
+		wantErr                    string
+	}{
+		{"unknown backend", "s7@0.002", "", "", "", "unknown backend"},
+		{"fail missing time", "s0", "", "", "", "want name@time"},
+		{"fail negative time", "s0@-1", "", "", "", "positive duration"},
+		{"flap too many fields", "", "s0@0.1/0.2/0.3/0.4", "", "", "at most"},
+		{"brownout missing factor", "", "", "s0@0.0005", "", "xfactor"},
+		{"brownout factor too small", "", "", "s0@0.0005x1", "", "must be > 1"},
+		{"loss missing rate", "", "", "", "s0", "want name:rate"},
+		{"loss rate out of range", "", "", "", "s0:1.5", "must be in (0, 1)"},
+		{"loss burst too small", "", "", "", "s0:0.3/0.5", "must be >= 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseChaos(tc.fail, tc.flap, tc.brownout, tc.loss, 2)
+			if err == nil {
+				t.Fatal("parseChaos accepted nonsense")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

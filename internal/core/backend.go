@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"greenvm/internal/energy"
 	"greenvm/internal/isa"
 	"greenvm/internal/jit"
+	"greenvm/internal/radio"
 )
 
 // Multi-backend offloading: the paper prices *whether* to offload to
@@ -34,6 +36,42 @@ type BackendCandidate struct {
 	// Cost is the estimated per-invocation offload energy (J), the
 	// base remote energy inflated by 1/(1-Busy).
 	Cost float64
+	// Open marks a backend whose per-backend circuit breaker currently
+	// holds it down: it is priced for observability but excluded from
+	// the cheapest-candidate pick (unless every backend is open).
+	Open bool
+}
+
+// BackendError attributes a failed remote exchange to one backend of a
+// pool, so the client strikes that backend's circuit breaker instead
+// of blinding itself to the N-1 healthy ones. It unwraps to the
+// underlying error (typically radio.ErrConnectionLost).
+type BackendError struct {
+	// Backend names the backend the exchange was attributed to.
+	Backend string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *BackendError) Error() string {
+	return fmt.Sprintf("core: backend %s: %v", e.Backend, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *BackendError) Unwrap() error { return e.Err }
+
+// BackendProber is implemented by MultiRemotes that can answer a
+// per-backend liveness question — the half-open probe of a
+// per-backend circuit breaker. The probe is charged to the client's
+// radio account by the caller; at is the client's virtual time, so
+// simulated pools (internal/fleet) answer from the backend's state at
+// exactly that instant. A MultiRemote without this interface gets
+// link-level probes only (the round trip proves the radio path, and
+// the backend breaker closes on it).
+type BackendProber interface {
+	// ProbeBackend reports nil when the named backend is up and
+	// reachable at the given virtual time.
+	ProbeBackend(ctx context.Context, backend string, at energy.Seconds) error
 }
 
 // MultiRemote is a Remote that fans the client out to a pool of named
@@ -148,10 +186,28 @@ func (p *RemotePool) ExecuteOn(ctx context.Context, backend, clientID, class, me
 			// An in-process backend has no wire advertisement; stamp
 			// the pool's name so the client inflates the right EWMA.
 			err = &BusyError{QueueDepth: busy.QueueDepth, Backend: id}
+		} else if errors.Is(err, radio.ErrConnectionLost) {
+			// Attribute the loss: one dead backend must strike its own
+			// breaker, not blind the client to the whole pool.
+			err = &BackendError{Backend: id, Err: err}
 		}
 		return nil, 0, false, id, err
 	}
 	return res, servTime, queued, id, nil
+}
+
+// ProbeBackend implements BackendProber: a real transport has no
+// virtual-time liveness oracle, so a pool backend is assumed up — the
+// link-level probe round trip that precedes this call already proved
+// the radio path, and the next real exchange re-strikes the breaker if
+// the backend is still failing.
+func (p *RemotePool) ProbeBackend(ctx context.Context, backend string, at energy.Seconds) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.backends[backend]; !ok {
+		return fmt.Errorf("core: remote pool has no backend %q", backend)
+	}
+	return nil
 }
 
 // CompiledBody implements Remote: body downloads are control-plane

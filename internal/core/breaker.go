@@ -78,6 +78,19 @@ func NewBreaker() *Breaker {
 	}
 }
 
+// cloneConfig returns a fresh Closed breaker with the same tuning
+// (threshold, cooldowns, probe size) and no accumulated state — the
+// per-backend breakers a pooled client derives from its link breaker
+// prototype.
+func (b *Breaker) cloneConfig() *Breaker {
+	return &Breaker{
+		Threshold:   b.Threshold,
+		Cooldown:    b.Cooldown,
+		MaxCooldown: b.MaxCooldown,
+		ProbeBytes:  b.ProbeBytes,
+	}
+}
+
 // State returns the current state without advancing it.
 func (b *Breaker) State() BreakerState { return b.state }
 

@@ -63,8 +63,18 @@ type Client struct {
 
 	// Breaker is the link circuit breaker: after consecutive losses
 	// the policies stop considering remote options until a half-open
-	// probe succeeds. Nil disables it.
+	// probe succeeds. Nil disables it (and per-backend breakers with
+	// it). When the client talks to a pool it also serves as the
+	// prototype the per-backend breakers clone their tuning from.
 	Breaker *Breaker
+
+	// BackendBreakers enables one independent circuit breaker per
+	// backend when Server is a MultiRemote: losses attributed to a
+	// backend (BackendError) strike only that backend's breaker, and
+	// placement hints and remote candidates exclude backends whose
+	// breaker is open. Off, every loss strikes the single link breaker
+	// — one brown-out backend can blind the client to the whole pool.
+	BackendBreakers bool
 
 	// Clock is the client's virtual wall time.
 	Clock energy.Seconds
@@ -101,6 +111,11 @@ type Client struct {
 	// client sent — the attribution keys for success/busy accounting.
 	lastServed string
 	lastHint   string
+
+	// breakers holds the per-backend circuit breakers, cloned lazily
+	// from the Breaker prototype on the first failure attributed to
+	// each backend.
+	breakers map[string]*Breaker
 }
 
 // EnableTrace attaches (and returns) a Trace sink recording every
@@ -251,11 +266,35 @@ func (c *Client) ResetRun() {
 // --- Circuit breaker integration ---
 
 // RemoteAvailable implements PolicyEnv: it reports whether remote
-// options may be considered right now. While the breaker is open it
-// returns false at no cost; once the cooldown elapses it sends the
-// half-open probe (charged to the radio account and the clock) and
-// reports the link's actual state.
+// options may be considered right now. The shared link breaker is
+// consulted first (an Open link costs nothing; a HalfOpen one sends a
+// charged probe); with per-backend breakers enabled, at least one
+// backend must be up too — HalfOpen backend breakers each send their
+// own charged probe, so the answer reflects the pool's actual state,
+// not a stale verdict.
 func (c *Client) RemoteAvailable() bool {
+	if !c.linkAvailable() {
+		return false
+	}
+	if c.Breaker == nil || !c.BackendBreakers {
+		return true
+	}
+	ids := c.backendIDs()
+	if len(ids) == 0 {
+		return true
+	}
+	up := false
+	for _, id := range ids {
+		if c.backendAvailable(id) {
+			up = true
+		}
+	}
+	return up
+}
+
+// linkAvailable consults only the shared link breaker (probing it when
+// half-open) — the pool-wide availability gate.
+func (c *Client) linkAvailable() bool {
 	if c.Breaker == nil {
 		return true
 	}
@@ -264,6 +303,33 @@ func (c *Client) RemoteAvailable() bool {
 		return false
 	case BreakerHalfOpen:
 		return c.probeLink()
+	default:
+		return true
+	}
+}
+
+// backendOpen reports whether the named backend's breaker currently
+// holds it down, without probing: Open and cooling down. A HalfOpen
+// breaker reads as up here — the probe is paid in backendAvailable
+// when availability is actually asked.
+func (c *Client) backendOpen(id string) bool {
+	b := c.breakers[id]
+	return b != nil && b.Next(c.Clock) == BreakerOpen
+}
+
+// backendAvailable reports whether the named backend may serve right
+// now, running the charged half-open probe when its breaker's cooldown
+// has elapsed.
+func (c *Client) backendAvailable(id string) bool {
+	b := c.breakers[id]
+	if b == nil {
+		return true
+	}
+	switch b.Next(c.Clock) {
+	case BreakerOpen:
+		return false
+	case BreakerHalfOpen:
+		return c.probeBackend(id, b)
 	default:
 		return true
 	}
@@ -293,9 +359,91 @@ func (c *Client) probeLink() bool {
 	return true
 }
 
-// noteRemoteFailure records one lost remote exchange with the
-// breaker, emitting EvLinkDown when it opens.
-func (c *Client) noteRemoteFailure() {
+// probeBackend runs one charged half-open probe against a single
+// backend: the radio round trip (same price as a link probe) plus the
+// backend liveness question when the pool can answer one
+// (BackendProber). Success closes the backend's breaker and counts as
+// a link success too — the round trip proved the radio path; failure
+// re-opens the backend's breaker with a doubled cooldown and leaves
+// the other backends untouched.
+func (c *Client) probeBackend(id string, b *Breaker) bool {
+	n := b.ProbeBytes
+	if n <= 0 {
+		n = 16
+	}
+	tTx, err := c.Link.Send(n)
+	c.Clock += tTx
+	if err == nil {
+		if pr, ok := c.Server.(BackendProber); ok {
+			err = pr.ProbeBackend(c.invokeCtx(), id, c.Clock)
+		}
+	}
+	if err == nil {
+		var tRx energy.Seconds
+		tRx, err = c.Link.Recv(n)
+		c.Clock += tRx
+	}
+	c.Events.Emit(Event{Kind: EvProbe, At: c.Clock, FellBack: err != nil, Backend: id, Radio: c.Link.Telemetry()})
+	if err != nil {
+		if b.RecordFailure(c.Clock) {
+			c.Events.Emit(Event{Kind: EvLinkDown, At: c.Clock, Backend: id, Radio: c.Link.Telemetry()})
+		}
+		return false
+	}
+	if b.RecordSuccess() {
+		c.Events.Emit(Event{Kind: EvLinkUp, At: c.Clock, Backend: id, Radio: c.Link.Telemetry()})
+	}
+	if c.Breaker != nil && c.Breaker.RecordSuccess() {
+		c.Events.Emit(Event{Kind: EvLinkUp, At: c.Clock, Radio: c.Link.Telemetry()})
+	}
+	return true
+}
+
+// backendBreaker returns the named backend's breaker, cloning one from
+// the link-breaker prototype on first use; nil when breakers are off.
+func (c *Client) backendBreaker(id string) *Breaker {
+	if c.Breaker == nil || id == "" {
+		return nil
+	}
+	b := c.breakers[id]
+	if b == nil {
+		b = c.Breaker.cloneConfig()
+		if c.breakers == nil {
+			c.breakers = map[string]*Breaker{}
+		}
+		c.breakers[id] = b
+	}
+	return b
+}
+
+// BackendBreakerState reports the named backend's breaker state
+// (BreakerClosed when it has never failed or breakers are off) without
+// advancing it — the observability view.
+func (c *Client) BackendBreakerState(id string) BreakerState {
+	if b := c.breakers[id]; b != nil {
+		return b.State()
+	}
+	return BreakerClosed
+}
+
+// noteRemoteFailure records one lost remote exchange that cannot be
+// attributed to a backend: it strikes the shared link breaker.
+func (c *Client) noteRemoteFailure() { c.noteRemoteFailureOn("") }
+
+// noteRemoteFailureOn records one lost remote exchange. A loss
+// attributed to a backend strikes that backend's breaker only (the
+// radio path demonstrably works — the loss verdict came back over it);
+// an unattributed loss strikes the shared link breaker. Either breaker
+// opening emits EvLinkDown, carrying the backend name when scoped.
+func (c *Client) noteRemoteFailureOn(backend string) {
+	if backend != "" && c.BackendBreakers {
+		if b := c.backendBreaker(backend); b != nil {
+			if b.RecordFailure(c.Clock) {
+				c.Events.Emit(Event{Kind: EvLinkDown, At: c.Clock, Backend: backend, Radio: c.Link.Telemetry()})
+			}
+			return
+		}
+	}
 	if c.Breaker == nil {
 		return
 	}
@@ -313,7 +461,8 @@ func (c *Client) noteRemoteSuccess() { c.noteRemoteSuccessOn("") }
 // noteRemoteSuccessOn records one successful remote exchange with the
 // named backend: its busy estimate decays ("" decays all — a probe or
 // single-server exchange says nothing about one backend in
-// particular), and the breaker hears the success.
+// particular), its per-backend breaker hears the success (resetting
+// its loss run), and the link breaker hears it too.
 func (c *Client) noteRemoteSuccessOn(backend string) {
 	if backend == "" {
 		for id := range c.busyRates {
@@ -321,6 +470,11 @@ func (c *Client) noteRemoteSuccessOn(backend string) {
 		}
 	} else if r, ok := c.busyRates[backend]; ok {
 		c.busyRates[backend] = r * busyEWMAWeight
+	}
+	if backend != "" && c.BackendBreakers {
+		if b := c.breakers[backend]; b != nil && b.RecordSuccess() {
+			c.Events.Emit(Event{Kind: EvLinkUp, At: c.Clock, Backend: backend, Radio: c.Link.Telemetry()})
+		}
 	}
 	if c.Breaker == nil {
 		return
@@ -389,19 +543,33 @@ func (c *Client) backendIDs() []string {
 // inflation. The base offload cost is identical across backends (one
 // radio, one channel), so the cheapest candidate is the least-busy
 // one — found by the same circular scan from the client's home
-// backend as RemoteCandidates, strictly lower wins. "" when c.Server
-// is not a pool.
+// backend as RemoteCandidates, strictly lower wins. Backends whose
+// per-backend breaker is open are skipped (unless every backend is
+// open, when the scan degrades to the breaker-blind pick). "" when
+// c.Server is not a pool.
 func (c *Client) placementHint() string {
 	ids := c.backendIDs()
 	if len(ids) == 0 {
 		return ""
 	}
 	home := int(fnvHash(c.ID) % uint64(len(ids)))
-	best := home
-	for off := 1; off < len(ids); off++ {
+	best := -1
+	for off := 0; off < len(ids); off++ {
 		i := (home + off) % len(ids)
-		if c.busyRateOf(ids[i]) < c.busyRateOf(ids[best]) {
+		if c.BackendBreakers && c.backendOpen(ids[i]) {
+			continue
+		}
+		if best < 0 || c.busyRateOf(ids[i]) < c.busyRateOf(ids[best]) {
 			best = i
+		}
+	}
+	if best < 0 {
+		best = home
+		for off := 1; off < len(ids); off++ {
+			i := (home + off) % len(ids)
+			if c.busyRateOf(ids[i]) < c.busyRateOf(ids[best]) {
+				best = i
+			}
 		}
 	}
 	return ids[best]
@@ -526,18 +694,34 @@ func (c *Client) RemoteCandidates(prof *Profile, s, pWatts float64) ([]BackendCa
 	cands := make([]BackendCandidate, len(ids))
 	for i, id := range ids {
 		r := c.busyRateOf(id)
-		cands[i] = BackendCandidate{ID: id, Busy: r, Cost: inflateBusy(base, r)}
+		cands[i] = BackendCandidate{ID: id, Busy: r, Cost: inflateBusy(base, r),
+			Open: c.BackendBreakers && c.backendOpen(id)}
 	}
 	// The cheapest backend, scanning circularly from the client's home
 	// backend (hash of its ID) and moving only on strictly lower cost:
 	// a fleet of fresh clients with identical estimates spreads across
-	// the pool instead of herding onto backend 0.
+	// the pool instead of herding onto backend 0. Backends held down by
+	// their breaker are priced (for observability) but not picked —
+	// unless every backend is open, when the scan degrades to the
+	// breaker-blind pick so the estimate stays finite.
 	home := int(fnvHash(c.ID) % uint64(len(ids)))
-	best := home
-	for off := 1; off < len(ids); off++ {
+	best := -1
+	for off := 0; off < len(ids); off++ {
 		i := (home + off) % len(ids)
-		if cands[i].Cost < cands[best].Cost {
+		if cands[i].Open {
+			continue
+		}
+		if best < 0 || cands[i].Cost < cands[best].Cost {
 			best = i
+		}
+	}
+	if best < 0 {
+		best = home
+		for off := 1; off < len(ids); off++ {
+			i := (home + off) % len(ids)
+			if cands[i].Cost < cands[best].Cost {
+				best = i
+			}
 		}
 	}
 	return cands, best

@@ -59,10 +59,11 @@ func New(cfg ClientConfig, opts ...Option) *Client {
 		Policy:       NewPolicy(cfg.Strategy),
 		Events:       &Sinks{},
 		Stats:        &Stats{},
-		Timeout:      0.05,
-		MaxRetries:   2,
-		RetryBackoff: 0.05,
-		Breaker:      NewBreaker(),
+		Timeout:         0.05,
+		MaxRetries:      2,
+		RetryBackoff:    0.05,
+		Breaker:         NewBreaker(),
+		BackendBreakers: true,
 		targets:      map[*bytecode.Method]*Target{},
 		profiles:     map[*bytecode.Method]*Profile{},
 		plans:        map[*bytecode.Method][]*bytecode.Method{},
@@ -103,9 +104,19 @@ func WithSink(s EventSink) Option {
 	}
 }
 
-// WithBreaker replaces the link circuit breaker; nil disables it.
+// WithBreaker replaces the link circuit breaker (also the prototype
+// the per-backend breakers clone their tuning from); nil disables all
+// breakers.
 func WithBreaker(b *Breaker) Option {
 	return func(c *Client) { c.Breaker = b }
+}
+
+// WithBackendBreakers toggles per-backend circuit breakers (on by
+// default). Off, a pooled client falls back to PR 6 behaviour: one
+// link-scoped breaker, so losses on any backend count against the
+// whole pool.
+func WithBackendBreakers(on bool) Option {
+	return func(c *Client) { c.BackendBreakers = on }
 }
 
 // WithTimeout sets the §3.2 loss-detection listen window.

@@ -70,6 +70,12 @@ const (
 	// the backend that served the exchange. Emitted only when the
 	// client's Server is a pool — single-server streams are unchanged.
 	EvPlace
+	// EvFailover is one in-flight invocation re-placed onto a surviving
+	// backend after a loss attributed to another: From names the backend
+	// the exchange was lost on, Backend the one the retry is hinted at.
+	// Emitted after the EvRetry that pays the backoff, so failover work
+	// stays inside the invocation's existing retry budget.
+	EvFailover
 )
 
 // Phase identifies one span kind of the execution timeline.
@@ -189,9 +195,15 @@ type Event struct {
 	// span that was lost mid-flight).
 	FellBack bool
 	// Backend names the backend involved in a multi-backend event: the
-	// server that answered an EvPlace, the one that shed an EvShed.
-	// Empty on single-server streams.
+	// server that answered an EvPlace, the one that shed an EvShed, the
+	// one whose per-backend breaker transitioned on an
+	// EvLinkDown/EvLinkUp or was probed by an EvProbe, the failover
+	// target of an EvFailover. Empty on single-server (link-scoped)
+	// streams.
 	Backend string
+	// From names the backend a failed exchange was attributed to — the
+	// backend an EvFailover moved away from. Empty on other kinds.
+	From string
 	// Radio is a snapshot of the link's counters, carried by EvInvoke
 	// and the link-touching events (retries, probes, breaker
 	// transitions, fallbacks) so sinks can observe outage behaviour
@@ -244,10 +256,21 @@ type Stats struct {
 	// local execution.
 	Sheds int
 	// Probes counts half-open circuit-breaker probes; LinkDowns and
-	// LinkUps count the breaker's open/close transitions.
+	// LinkUps count breaker open/close transitions (link-scoped and
+	// per-backend alike).
 	Probes    int
 	LinkDowns int
 	LinkUps   int
+	// Failovers counts in-flight invocations re-placed onto a surviving
+	// backend after a loss attributed to another backend.
+	Failovers int
+	// ShedsBy, LinkDownsBy and LinkUpsBy split the corresponding
+	// counters by backend, for events that carried an attribution; they
+	// stay nil on single-server streams, so pool-wide and per-backend
+	// outages are distinguishable.
+	ShedsBy     map[string]int
+	LinkDownsBy map[string]int
+	LinkUpsBy   map[string]int
 	// Radio is the link-telemetry snapshot carried by the most recent
 	// radio-touching event (losses, retransmits, stalls, exchanged
 	// bytes). A trailing failed exchange can still leave it behind the
@@ -269,14 +292,19 @@ func (s *Stats) Emit(e Event) {
 		s.ModeCounts[e.Mode]++
 	case EvRetry:
 		s.Retries++
+	case EvFailover:
+		s.Failovers++
 	case EvShed:
 		s.Sheds++
+		incBy(&s.ShedsBy, e.Backend)
 	case EvProbe:
 		s.Probes++
 	case EvLinkDown:
 		s.LinkDowns++
+		incBy(&s.LinkDownsBy, e.Backend)
 	case EvLinkUp:
 		s.LinkUps++
+		incBy(&s.LinkUpsBy, e.Backend)
 	case EvFallback:
 		s.Fallbacks++
 	case EvLocalCompile:
@@ -288,6 +316,18 @@ func (s *Stats) Emit(e Event) {
 	case EvMemoHit:
 		s.MemoHits++
 	}
+}
+
+// incBy bumps a lazily allocated per-backend split counter; events
+// without an attribution leave the split untouched.
+func incBy(m *map[string]int, backend string) {
+	if backend == "" {
+		return
+	}
+	if *m == nil {
+		*m = map[string]int{}
+	}
+	(*m)[backend]++
 }
 
 // InvokeRecord describes one potential-method invocation, as recorded

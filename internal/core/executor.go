@@ -185,9 +185,19 @@ func (x *Executor) remoteWithRetries(m *bytecode.Method, t *Target, size float64
 			return vm.Slot{}, err
 		}
 		// Paper §3.2: when the result is not obtained within the time
-		// threshold, connectivity is considered lost.
+		// threshold, connectivity is considered lost. A loss the pool
+		// attributed to one backend (BackendError) strikes only that
+		// backend's breaker, so the availability check below still sees
+		// the surviving backends — and the retry re-places the
+		// invocation on one of them (failover) instead of falling
+		// straight back to local.
+		failed := ""
+		var be *BackendError
+		if errors.As(err, &be) {
+			failed = be.Backend
+		}
 		x.listen(m, c.Timeout)
-		c.noteRemoteFailure()
+		c.noteRemoteFailureOn(failed)
 		if attempt >= c.MaxRetries || !c.retryWorthwhile(m, size) || !c.RemoteAvailable() || ctx.Err() != nil {
 			return vm.Slot{}, err
 		}
@@ -197,6 +207,11 @@ func (x *Executor) remoteWithRetries(m *bytecode.Method, t *Target, size float64
 		x.listen(m, backoff)
 		backoff *= 2
 		c.Events.Emit(Event{Kind: EvRetry, Method: m, At: c.Clock, Radio: c.Link.Telemetry()})
+		if failed != "" {
+			if hint := c.placementHint(); hint != "" && hint != failed {
+				c.Events.Emit(Event{Kind: EvFailover, Method: m, At: c.Clock, From: failed, Backend: hint})
+			}
+		}
 	}
 }
 

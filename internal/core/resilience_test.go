@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-
+	"fmt"
 	"testing"
 
 	"greenvm/internal/energy"
@@ -349,7 +349,7 @@ func TestDeterministicUnderFaults(t *testing.T) {
 	if e1 != e2 || t1 != t2 {
 		t.Errorf("energy/time diverged: (%v, %v) vs (%v, %v)", e1, t1, e2, t2)
 	}
-	if s1 != s2 {
+	if fmt.Sprintf("%+v", s1) != fmt.Sprintf("%+v", s2) {
 		t.Errorf("stats diverged: %+v vs %+v", s1, s2)
 	}
 }

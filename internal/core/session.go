@@ -395,6 +395,45 @@ func (s *Session) ExecuteDirect(ctx context.Context, clientID, class, method str
 	return res, servTime, queued, nil
 }
 
+// WarmFrom copies the other session's serialization-cache entries into
+// s (skipping keys s already holds), respecting s's cache bounds, and
+// returns how many entries were copied. This is placement-aware warmup
+// after failover: when a client's home backend dies and its work
+// re-homes, the surviving backend pre-loads the client's hot results
+// from the dead backend's session so re-homed repeats answer from
+// cache instead of re-paying full execution.
+func (s *Session) WarmFrom(o *Session) int {
+	if o == nil || o == s {
+		return 0
+	}
+	o.mu.Lock()
+	entries := append([]cachedResult(nil), o.cache...)
+	o.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	have := make(map[string]bool, len(s.cache))
+	for i := range s.cache {
+		have[s.cache[i].key] = true
+	}
+	copied := 0
+	for _, ent := range entries {
+		if have[ent.key] {
+			continue
+		}
+		s.cache = append(s.cache, ent)
+		s.cacheBytes += len(ent.key) + len(ent.res)
+		have[ent.key] = true
+		copied++
+	}
+	for (len(s.cache) > sessionCacheMaxEntries || s.cacheBytes > sessionCacheMaxBytes) && len(s.cache) > 0 {
+		old := s.cache[0]
+		s.cache = s.cache[1:]
+		s.cacheBytes -= len(old.key) + len(old.res)
+	}
+	return copied
+}
+
 // CompiledBody implements Remote: body downloads are control-plane
 // traffic served from the Server's shared body cache, not subject to
 // execution admission.

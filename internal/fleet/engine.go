@@ -65,11 +65,15 @@ const (
 	stateFinished
 )
 
-// Event kinds, in same-instant processing order.
+// Event kinds, in same-instant processing order. Failures order before
+// recoveries so a zero-downtime flap is still observed down for the
+// instant; recoveries order before completions and arrivals so a
+// request arriving exactly at restart time sees the backend up.
 const (
-	evFail   = iota // a backend goes down at its failAt time
-	evDone          // a worker completes on some backend
-	evArrive        // a client's offload request arrives
+	evFail    = iota // a backend goes down (FailAt, or a flap cycle's crash)
+	evRecover        // a flapped backend restarts
+	evDone           // a worker completes on some backend
+	evArrive         // a client's offload request (or breaker probe) arrives
 )
 
 // event is one entry on the engine's priority queue.
@@ -116,6 +120,11 @@ type request struct {
 	seq  int            // the client's request sequence number
 	hint string         // the client's pick-cheapest placement hint
 
+	// probe marks a per-backend breaker probe: hint names the probed
+	// backend, and the answer is liveness only — no admission, no
+	// worker, no service time.
+	probe bool
+
 	clientID      string
 	class, method string
 	argBytes      []byte
@@ -151,6 +160,12 @@ type session struct {
 
 	reqSeq int // requests submitted so far (the p2c randomness source)
 
+	// home is the backend index that last served this session (-1
+	// before the first service) — the warmup key: when service re-homes
+	// away from a now-down backend, the new backend pre-loads the
+	// session's cache from the dead one.
+	home int
+
 	served, shed     int
 	waitSum, maxWait energy.Seconds
 }
@@ -185,15 +200,18 @@ func newEngine(pool *ServerPool, placement Placement, n int) *engine {
 		e.ring = buildRing(pool.ids)
 	}
 	for _, b := range pool.backends {
-		if b.failAt > 0 {
-			heap.Push(&e.events, event{t: b.failAt, kind: evFail, tie: b.idx, bidx: b.idx})
+		switch {
+		case b.chaos.FlapAt > 0:
+			heap.Push(&e.events, event{t: b.chaos.FlapAt, kind: evFail, tie: b.idx, bidx: b.idx})
+		case b.chaos.FailAt > 0:
+			heap.Push(&e.events, event{t: b.chaos.FailAt, kind: evFail, tie: b.idx, bidx: b.idx})
 		}
 	}
 	return e
 }
 
 func (e *engine) addSession() *session {
-	fs := &session{idx: len(e.sessions)}
+	fs := &session{idx: len(e.sessions), home: -1}
 	e.sessions = append(e.sessions, fs)
 	return fs
 }
@@ -221,6 +239,24 @@ func (e *engine) submit(s *session, hint, clientID, class, method string, argByt
 	e.mu.Unlock()
 	<-r.done
 	return r.res, r.servTime, r.queued, r.servedBy, r.err
+}
+
+// probe asks whether the named backend is up at the given virtual
+// time, for a client's half-open breaker probe. The question rides the
+// event heap like an arrival (same client-index tie-break — a client
+// has at most one outstanding exchange, probe or request), so the
+// answer reflects exactly the crashes, recoveries and loss bursts that
+// precede it in virtual time, under any goroutine interleaving.
+func (e *engine) probe(s *session, backend string, at energy.Seconds) error {
+	r := &request{sess: s, t: at, hint: backend, probe: true, backend: -1, done: make(chan struct{})}
+	e.mu.Lock()
+	s.state = stateBlocked
+	s.bound = at
+	heap.Push(&e.events, event{t: at, kind: evArrive, tie: s.idx, req: r})
+	e.process()
+	e.mu.Unlock()
+	<-r.done
+	return r.err
 }
 
 // finish retires a session whose client completed its run (or died):
@@ -256,6 +292,8 @@ func (e *engine) process() {
 		switch ev.kind {
 		case evFail:
 			e.failBackend(ev)
+		case evRecover:
+			e.pool.backends[ev.bidx].down = false
 		case evDone:
 			e.complete(ev)
 		case evArrive:
@@ -265,9 +303,14 @@ func (e *engine) process() {
 }
 
 // arrive places one request on a backend and runs its admission:
-// grant a worker, wait in the backend's queue, or shed.
+// grant a worker, wait in the backend's queue, or shed. Probe
+// requests answer liveness only.
 func (e *engine) arrive(ev event) {
 	r := ev.req
+	if r.probe {
+		e.probeArrive(r)
+		return
+	}
 	bidx := e.pickBackend(r)
 	if bidx < 0 {
 		// Every backend is down: the pool is unreachable, which the
@@ -279,6 +322,15 @@ func (e *engine) arrive(ev event) {
 	}
 	r.backend = bidx
 	b := e.pool.backends[bidx]
+	if b.judgeLoss() {
+		// The backend's own loss process ate the exchange; attribute
+		// it so the client strikes that backend's breaker only.
+		b.chaosLosses++
+		r.err = &core.BackendError{Backend: b.id,
+			Err: fmt.Errorf("%w: fleet: exchange lost on backend %s", radio.ErrConnectionLost, b.id)}
+		e.answer(r, r.t)
+		return
+	}
 	switch {
 	case b.busy < b.workers:
 		e.start(r, b, r.t)
@@ -301,6 +353,31 @@ func (e *engine) arrive(ev event) {
 	}
 }
 
+// probeArrive answers a per-backend breaker probe from the backend's
+// state at the probe's virtual time: down or mid-loss-burst reads as
+// failure. The probe consumes a loss draw like any exchange — a probe
+// into a loss burst fails, which is exactly the signal the half-open
+// breaker wants.
+func (e *engine) probeArrive(r *request) {
+	bidx, ok := e.byID[r.hint]
+	if !ok {
+		r.err = fmt.Errorf("fleet: probe for unknown backend %q", r.hint)
+		e.answer(r, r.t)
+		return
+	}
+	b := e.pool.backends[bidx]
+	switch {
+	case b.down:
+		r.err = &core.BackendError{Backend: b.id,
+			Err: fmt.Errorf("%w: fleet: backend %s down", radio.ErrConnectionLost, b.id)}
+	case b.judgeLoss():
+		b.chaosLosses++
+		r.err = &core.BackendError{Backend: b.id,
+			Err: fmt.Errorf("%w: fleet: probe lost on backend %s", radio.ErrConnectionLost, b.id)}
+	}
+	e.answer(r, r.t)
+}
+
 // complete frees the worker a finished request held and dispatches
 // the backend's next waiting request at the completion time.
 func (e *engine) complete(ev event) {
@@ -315,19 +392,41 @@ func (e *engine) complete(ev event) {
 }
 
 // failBackend takes a backend down at its failure time: every queued
-// request is flushed with a connection-lost error (the blocked
-// clients wake into their executors' loss machinery and re-place on
-// the survivors), running requests complete, and placement stops
-// considering the backend.
+// request is flushed with a connection-lost error attributed to the
+// backend (the blocked clients wake into their executors' loss
+// machinery, strike that backend's breaker, and re-place on the
+// survivors), running requests complete, and placement stops
+// considering the backend. A flapping backend also schedules its
+// restart and — while any session still runs — its next crash, so the
+// cycle cannot outlive the fleet and spin the event loop forever.
 func (e *engine) failBackend(ev event) {
 	b := e.pool.backends[ev.bidx]
 	b.down = true
+	b.flaps++
 	queued := b.queue
 	b.queue = nil
 	for _, q := range queued {
-		q.err = fmt.Errorf("%w: fleet: backend %s failed", radio.ErrConnectionLost, b.id)
+		q.err = &core.BackendError{Backend: b.id,
+			Err: fmt.Errorf("%w: fleet: backend %s failed", radio.ErrConnectionLost, b.id)}
 		e.answer(q, ev.t)
 	}
+	if b.chaos.FlapAt > 0 && b.chaos.FlapDown > 0 {
+		heap.Push(&e.events, event{t: ev.t + b.chaos.FlapDown, kind: evRecover, tie: b.idx, bidx: b.idx})
+		if b.chaos.FlapEvery > 0 && e.liveSessions() {
+			heap.Push(&e.events, event{t: ev.t + b.chaos.FlapEvery, kind: evFail, tie: b.idx, bidx: b.idx})
+		}
+	}
+}
+
+// liveSessions reports whether any session has not finished — the
+// gate on re-scheduling flap cycles.
+func (e *engine) liveSessions() bool {
+	for _, s := range e.sessions {
+		if s.state != stateFinished {
+			return true
+		}
+	}
+	return false
 }
 
 // start runs one admitted request on a worker of backend b beginning
@@ -337,12 +436,29 @@ func (e *engine) failBackend(ev event) {
 // available for the completion event.
 func (e *engine) start(q *request, b *poolBackend, at energy.Seconds) {
 	wait := at - q.t
+	// Placement-aware warmup: when the session's work re-homes away
+	// from a backend that is now down, pre-load this backend's session
+	// cache from the dead one before serving — re-homed repeats answer
+	// from cache instead of re-paying full execution.
+	if prev := q.sess.home; prev >= 0 && prev != b.idx && e.pool.backends[prev].down {
+		if n := b.clients[q.sess.idx].WarmFrom(e.pool.backends[prev].clients[q.sess.idx]); n > 0 {
+			b.warmups++
+		}
+	}
+	q.sess.home = b.idx
 	res, servTime, queued, err := b.clients[q.sess.idx].ExecuteDirect(context.Background(),
 		q.clientID, q.class, q.method, q.argBytes, q.t, q.estEnd)
 	if err != nil {
 		q.err = err
 		e.answer(q, at)
 		return
+	}
+	// Brown-out: inside the window the backend serves at a degraded
+	// rate, so the same work holds its worker longer.
+	if f := b.chaos.BrownoutFactor; f > 1 && at >= b.chaos.BrownoutAt &&
+		(b.chaos.BrownoutFor <= 0 || at < b.chaos.BrownoutAt+b.chaos.BrownoutFor) {
+		servTime = energy.Seconds(float64(servTime) * f)
+		b.slowed++
 	}
 	b.busy++
 	e.served++
@@ -416,4 +532,14 @@ func (m *muxRemote) CompiledBody(ctx context.Context, qname string, level jit.Le
 	return m.e.pool.backends[0].clients[m.s.idx].CompiledBody(ctx, qname, level)
 }
 
+// ProbeBackend implements core.BackendProber: the client's half-open
+// per-backend breaker probe, answered from the engine's virtual-time
+// state (releasing the compute slot while blocked, like any exchange).
+func (m *muxRemote) ProbeBackend(ctx context.Context, backend string, at energy.Seconds) error {
+	m.gate.release()
+	defer m.gate.acquire()
+	return m.e.probe(m.s, backend, at)
+}
+
 var _ core.MultiRemote = (*muxRemote)(nil)
+var _ core.BackendProber = (*muxRemote)(nil)

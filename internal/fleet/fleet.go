@@ -115,7 +115,25 @@ type Spec struct {
 	// FailAt, when non-nil, takes backend i down at virtual time
 	// FailAt[i] (0 = never): its queued requests flush with
 	// connection-lost errors and placement stops considering it.
+	// Shorthand for Chaos[i].FailAt; a Chaos entry for the same
+	// backend takes precedence.
 	FailAt []energy.Seconds
+	// Chaos, when non-nil, injects backend i's fault shapes from
+	// Chaos[i]: hard crashes, flapping crash/restart cycles, brown-out
+	// service-rate degradation, and per-backend Gilbert–Elliott loss
+	// (see BackendChaos). All faults are scheduled and judged inside
+	// the engine's event heap, so runs stay byte-identical under any
+	// Concurrency.
+	Chaos []BackendChaos
+	// Breakers selects the clients' resilience scope: per-backend
+	// breakers (default), one global link breaker (PR 6's shape), or
+	// none.
+	Breakers BreakerMode
+	// Breaker, when non-nil, is the prototype circuit breaker every
+	// client starts from (threshold, cooldowns, probe size); nil keeps
+	// core's defaults. Each client gets its own copy. Ignored with
+	// BreakersOff.
+	Breaker *core.Breaker
 	// Concurrency bounds how many clients simulate in parallel; 0
 	// means GOMAXPROCS. It never changes the results, only the
 	// wall-clock time (the determinism test holds the engine to that).
@@ -187,9 +205,16 @@ type BackendResult struct {
 	// AvgWait is the mean virtual queue wait of the backend's served
 	// requests.
 	AvgWait energy.Seconds
-	// Down reports whether the backend failed during the run (a
-	// scheduled FailAt fired).
+	// Down reports whether the backend was down when the run ended (a
+	// scheduled failure fired and no restart followed).
 	Down bool
+	// Chaos names the fault shapes injected on the backend ("none"
+	// without injection). Flaps counts its crash events, ChaosLosses
+	// exchanges eaten by its loss process, Slowed requests served at
+	// the brown-out rate, and Warmups sessions whose cache was
+	// pre-loaded here from a dead backend after re-homing.
+	Chaos                            string
+	Flaps, ChaosLosses, Slowed, Warmups int
 }
 
 // Result is a completed fleet run.
@@ -212,7 +237,11 @@ func Run(spec Spec) (*Result, error) {
 	if w.Prog == nil || w.Target == nil || w.Prof == nil {
 		return nil, fmt.Errorf("fleet: incomplete workload %q", w.Name)
 	}
-	pool := NewServerPool(w.Prog, spec.Servers, spec.Server, spec.FailAt)
+	chaos, err := mergeChaos(spec)
+	if err != nil {
+		return nil, err
+	}
+	pool := NewServerPool(w.Prog, spec.Servers, spec.Server, chaos)
 	eng := newEngine(pool, spec.Placement, len(spec.Clients))
 	conc := spec.Concurrency
 	if conc <= 0 {
@@ -233,6 +262,22 @@ func Run(spec Spec) (*Result, error) {
 		var opts []core.Option
 		if cs.Outage > 0 {
 			opts = append(opts, core.WithFaultModel(radio.NewGilbertElliott(cs.Outage, cs.Burst)))
+		}
+		switch spec.Breakers {
+		case BreakersGlobal:
+			opts = append(opts, core.WithBackendBreakers(false))
+		case BreakersOff:
+			opts = append(opts, core.WithBreaker(nil))
+		}
+		if spec.Breaker != nil && spec.Breakers != BreakersOff {
+			// Each client owns its copy of the prototype's tuning.
+			proto := *spec.Breaker
+			opts = append(opts, core.WithBreaker(&core.Breaker{
+				Threshold:   proto.Threshold,
+				Cooldown:    proto.Cooldown,
+				MaxCooldown: proto.MaxCooldown,
+				ProbeBytes:  proto.ProbeBytes,
+			}))
 		}
 		clients[i] = core.New(core.ClientConfig{
 			ID:       cs.ID,
@@ -306,6 +351,11 @@ func Run(spec Spec) (*Result, error) {
 			MaxQueueDepth: b.maxDepth,
 			CacheHits:     b.sess.Stats().CacheHits,
 			Down:          b.down,
+			Chaos:         b.chaos.String(),
+			Flaps:         b.flaps,
+			ChaosLosses:   b.chaosLosses,
+			Slowed:        b.slowed,
+			Warmups:       b.warmups,
 		}
 		if b.served > 0 {
 			br.AvgWait = b.waitSum / energy.Seconds(b.served)
@@ -313,6 +363,30 @@ func Run(spec Spec) (*Result, error) {
 		res.Backends = append(res.Backends, br)
 	}
 	return res, nil
+}
+
+// mergeChaos folds the legacy FailAt shorthand into the per-backend
+// chaos specs and validates them against the pool size.
+func mergeChaos(spec Spec) ([]BackendChaos, error) {
+	servers := spec.Servers
+	if servers < 1 {
+		servers = 1
+	}
+	if len(spec.FailAt) > servers || len(spec.Chaos) > servers {
+		return nil, fmt.Errorf("fleet: chaos specs for %d backends but pool has %d",
+			max(len(spec.FailAt), len(spec.Chaos)), servers)
+	}
+	if len(spec.FailAt) == 0 {
+		return spec.Chaos, nil
+	}
+	chaos := make([]BackendChaos, servers)
+	copy(chaos, spec.Chaos)
+	for i, t := range spec.FailAt {
+		if t > 0 && !chaos[i].active() {
+			chaos[i].FailAt = t
+		}
+	}
+	return chaos, nil
 }
 
 // runClient simulates one handset to completion.
@@ -425,10 +499,20 @@ func (r *Result) Registry() *obs.Registry {
 	for _, v := range r.Server.Depths {
 		depthH.Observe(v)
 	}
+	failovers := reg.Counter("fleet_failovers_total", "invocations re-placed on a surviving backend after an attributed loss")
+	for _, c := range r.Clients {
+		if c.Stats.Failovers > 0 {
+			failovers.Add(float64(c.Stats.Failovers), "client", c.ID, "strategy", c.Strategy.String())
+		}
+	}
 	bServed := reg.Counter("fleet_backend_served_total", "requests served per backend")
 	bSheds := reg.Counter("fleet_backend_sheds_total", "requests shed per backend")
 	bDepth := reg.Gauge("fleet_backend_queue_depth_max", "queue high-water mark per backend")
 	bDown := reg.Gauge("fleet_backend_down", "1 when the backend failed during the run")
+	bFlaps := reg.Counter("fleet_backend_flaps_total", "chaos crash events per backend")
+	bLosses := reg.Counter("fleet_backend_chaos_losses_total", "exchanges eaten by the backend's loss process")
+	bSlowed := reg.Counter("fleet_backend_slowed_total", "requests served at the brown-out service rate")
+	bWarm := reg.Counter("fleet_backend_warmups_total", "session caches pre-loaded after failover re-homing")
 	for _, b := range r.Backends {
 		labels := []string{"backend", b.ID, "placement", r.Placement.String()}
 		if b.Served > 0 {
@@ -441,8 +525,49 @@ func (r *Result) Registry() *obs.Registry {
 		if b.Down {
 			bDown.Set(1, labels...)
 		}
+		if b.Flaps > 0 {
+			bFlaps.Add(float64(b.Flaps), labels...)
+		}
+		if b.ChaosLosses > 0 {
+			bLosses.Add(float64(b.ChaosLosses), labels...)
+		}
+		if b.Slowed > 0 {
+			bSlowed.Add(float64(b.Slowed), labels...)
+		}
+		if b.Warmups > 0 {
+			bWarm.Add(float64(b.Warmups), labels...)
+		}
 	}
 	return reg
+}
+
+// TotalFailovers sums in-flight re-placements after attributed losses
+// across the fleet's clients.
+func (r *Result) TotalFailovers() int {
+	total := 0
+	for _, c := range r.Clients {
+		total += c.Stats.Failovers
+	}
+	return total
+}
+
+// TotalFallbacks sums connection-loss local fallbacks across the
+// fleet's clients — the work the pool pushed back to the handsets.
+func (r *Result) TotalFallbacks() int {
+	total := 0
+	for _, c := range r.Clients {
+		total += c.Stats.Fallbacks
+	}
+	return total
+}
+
+// TotalWarmups sums failover cache warmups across backends.
+func (r *Result) TotalWarmups() int {
+	total := 0
+	for _, b := range r.Backends {
+		total += b.Warmups
+	}
+	return total
 }
 
 // TotalEnergy sums the fleet's client energies.
@@ -484,13 +609,35 @@ func (r *Result) WriteSummary(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "\ntotal energy %v; server served %d, shed %d (rate %.1f%%), max queue depth %d, cache hits %d\n",
+	fmt.Fprintf(w, "\ntotal energy %v; server served %d, shed %d (rate %.1f%%), max queue depth %d, cache hits %d",
 		r.TotalEnergy(), r.Server.Served, r.Server.Shed, 100*r.ShedRate(),
 		r.Server.MaxQueueDepth, r.Server.CacheHits)
+	if f := r.TotalFailovers(); f > 0 {
+		fmt.Fprintf(w, ", failovers %d", f)
+	}
+	if wu := r.TotalWarmups(); wu > 0 {
+		fmt.Fprintf(w, ", warmups %d", wu)
+	}
+	fmt.Fprintln(w)
 	if len(r.Backends) > 1 {
 		for _, b := range r.Backends {
 			fmt.Fprintf(w, "  backend %s: served %d, shed %d, max depth %d, avg wait %.2fms, cache hits %d",
 				b.ID, b.Served, b.Shed, b.MaxQueueDepth, float64(b.AvgWait)*1e3, b.CacheHits)
+			if b.Chaos != "none" {
+				fmt.Fprintf(w, ", chaos %s", b.Chaos)
+				if b.Flaps > 0 {
+					fmt.Fprintf(w, " (crashes %d)", b.Flaps)
+				}
+				if b.ChaosLosses > 0 {
+					fmt.Fprintf(w, " (losses %d)", b.ChaosLosses)
+				}
+				if b.Slowed > 0 {
+					fmt.Fprintf(w, " (slowed %d)", b.Slowed)
+				}
+			}
+			if b.Warmups > 0 {
+				fmt.Fprintf(w, ", warmups %d", b.Warmups)
+			}
 			if b.Down {
 				fmt.Fprintf(w, "  DOWN")
 			}

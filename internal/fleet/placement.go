@@ -50,7 +50,10 @@ func (p Placement) String() string {
 	}
 }
 
-// ParsePlacement parses a -placement flag value.
+// ParsePlacement parses a -placement flag value. An unknown value
+// fails fast with the valid names — and a "did you mean" suggestion
+// when it looks like a typo of one — instead of surfacing late from
+// the pool.
 func ParsePlacement(s string) (Placement, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "cheapest", "":
@@ -60,8 +63,51 @@ func ParsePlacement(s string) (Placement, error) {
 	case "p2c":
 		return PlaceP2C, nil
 	default:
-		return 0, fmt.Errorf("fleet: unknown placement %q (want cheapest, hash or p2c)", s)
+		names := make([]string, len(Placements))
+		for i, p := range Placements {
+			names[i] = p.String()
+		}
+		valid := strings.Join(names, ", ")
+		if sug := closestName(strings.ToLower(strings.TrimSpace(s)), names); sug != "" {
+			return 0, fmt.Errorf("fleet: unknown placement %q — did you mean %q? (valid: %s)", s, sug, valid)
+		}
+		return 0, fmt.Errorf("fleet: unknown placement %q (valid: %s)", s, valid)
 	}
+}
+
+// closestName returns the candidate within edit distance 2 of s (the
+// typo radius), "" when none is close enough; ties go to the earlier
+// candidate.
+func closestName(s string, candidates []string) string {
+	best, bestD := "", 3
+	for _, c := range candidates {
+		if d := editDistance(s, c); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short flag
+// values.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // strHash is FNV-1a — the stable string hash placement decisions key

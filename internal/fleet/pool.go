@@ -6,6 +6,8 @@ import (
 	"greenvm/internal/bytecode"
 	"greenvm/internal/core"
 	"greenvm/internal/energy"
+	"greenvm/internal/radio"
+	"greenvm/internal/rng"
 )
 
 // ServerPool runs N independent backend servers — each a full
@@ -43,20 +45,40 @@ type poolBackend struct {
 	busy  int        // requests holding a worker
 	queue []*request // waiting, admission order
 
-	// failAt > 0 takes the backend down at that virtual time: its
-	// queue flushes with connection-lost errors and placement stops
-	// considering it. down flips when the failure event processes.
-	failAt energy.Seconds
-	down   bool
+	// chaos is the backend's normalized fault injection spec; down
+	// flips as its crash/recover events process. loss/lossRNG drive the
+	// per-backend Gilbert–Elliott chain — judged in heap order in
+	// arrive(), so loss verdicts are deterministic.
+	chaos   BackendChaos
+	down    bool
+	loss    *radio.GilbertElliott
+	lossRNG *rng.RNG
 
 	served, shed, maxDepth int
 	waitSum                energy.Seconds
+
+	// Chaos outcome counters: flaps counts crash events, chaosLosses
+	// exchanges lost to the backend's loss chain (probes included),
+	// slowed requests served at the brown-out service rate, and warmups
+	// sessions pre-loaded from a dead backend's cache after re-homing.
+	flaps, chaosLosses, slowed, warmups int
+}
+
+// judgeLoss advances the backend's loss chain one exchange and reports
+// whether that exchange is lost. Callers hold the engine lock and call
+// in heap order, so the chain's draw sequence is deterministic.
+func (b *poolBackend) judgeLoss() bool {
+	if b.loss == nil {
+		return false
+	}
+	return b.loss.Judge(radio.DirSend, b.lossRNG).Lost
 }
 
 // NewServerPool builds n backends sharing one program, each shaped by
-// cfg (the same worker/queue budget per backend). failAt, when
-// non-nil, schedules backend i to fail at failAt[i] (0 = never).
-func NewServerPool(prog *bytecode.Program, n int, cfg core.SessionConfig, failAt []energy.Seconds) *ServerPool {
+// cfg (the same worker/queue budget per backend). chaos, when
+// non-nil, injects backend i's fault shapes from chaos[i] (crashes,
+// flapping, brown-out, loss — see BackendChaos).
+func NewServerPool(prog *bytecode.Program, n int, cfg core.SessionConfig, chaos []BackendChaos) *ServerPool {
 	if n < 1 {
 		n = 1
 	}
@@ -79,8 +101,12 @@ func NewServerPool(prog *bytecode.Program, n int, cfg core.SessionConfig, failAt
 			Workers: cfg.Workers, QueueCap: cfg.QueueCap, Backend: id,
 		})
 		b := &poolBackend{idx: i, id: id, sess: sess, workers: workers, queueCap: queueCap}
-		if i < len(failAt) {
-			b.failAt = failAt[i]
+		if i < len(chaos) {
+			b.chaos = chaos[i].normalized(i)
+			if b.chaos.LossRate > 0 {
+				b.loss = radio.NewGilbertElliott(b.chaos.LossRate, b.chaos.LossBurst)
+				b.lossRNG = rng.New(b.chaos.LossSeed)
+			}
 		}
 		p.backends = append(p.backends, b)
 		p.ids = append(p.ids, id)

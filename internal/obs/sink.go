@@ -37,9 +37,11 @@ type MetricsSink struct {
 	retries      *Counter
 	sheds        *Counter
 	placements   *Counter
+	failovers    *Counter
 	probes       *Counter
 	transitions  *Counter
 	linkUp       *Gauge
+	backendUp    *Gauge
 	estimates    *Counter
 	predicted    *Counter
 	phaseTime    *Counter
@@ -77,9 +79,11 @@ func NewMetricsSink(reg *Registry) *MetricsSink {
 		retries:      reg.Counter("retries_total", "re-attempted remote exchanges after losses"),
 		sheds:        reg.Counter("sheds_total", "remote exchanges rejected by server admission control"),
 		placements:   reg.Counter("placements_total", "multi-backend requests served, by method and backend"),
+		failovers:    reg.Counter("failovers_total", "retries re-placed off a breaker-struck backend, by from/to backend"),
 		probes:       reg.Counter("probes_total", "half-open circuit-breaker probes by outcome"),
 		transitions:  reg.Counter("link_transitions_total", "circuit-breaker open/close transitions by direction"),
-		linkUp:       reg.Gauge("link_up", "1 while the circuit breaker admits remote options"),
+		linkUp:       reg.Gauge("link_up", "1 while the link circuit breaker admits remote options"),
+		backendUp:    reg.Gauge("backend_up", "1 while the named backend's circuit breaker is closed"),
 		estimates:    reg.Counter("estimates_total", "adaptive decisions priced, by method and chosen mode"),
 		predicted:    reg.Counter("predicted_energy_joules_total", "estimator-predicted energy of the chosen mode, by method"),
 		phaseTime:    reg.Counter("phase_seconds_total", "simulated time spent per timeline phase"),
@@ -142,18 +146,37 @@ func (s *MetricsSink) Emit(e core.Event) {
 		}
 	case core.EvPlace:
 		s.placements.Inc("method", method, "backend", e.Backend)
+	case core.EvFailover:
+		s.failovers.Inc("from", e.From, "to", e.Backend)
 	case core.EvProbe:
 		outcome := "ok"
 		if e.FellBack {
 			outcome = "lost"
 		}
-		s.probes.Inc("outcome", outcome)
+		if e.Backend != "" {
+			s.probes.Inc("outcome", outcome, "backend", e.Backend)
+		} else {
+			s.probes.Inc("outcome", outcome)
+		}
 	case core.EvLinkDown:
-		s.transitions.Inc("to", "down")
-		s.linkUp.Set(0)
+		// A backend-attributed transition is one backend's breaker
+		// opening, not the whole pool going dark: track it on the
+		// per-backend gauge and keep the link series unlabelled.
+		if e.Backend != "" {
+			s.transitions.Inc("to", "down", "backend", e.Backend)
+			s.backendUp.Set(0, "backend", e.Backend)
+		} else {
+			s.transitions.Inc("to", "down")
+			s.linkUp.Set(0)
+		}
 	case core.EvLinkUp:
-		s.transitions.Inc("to", "up")
-		s.linkUp.Set(1)
+		if e.Backend != "" {
+			s.transitions.Inc("to", "up", "backend", e.Backend)
+			s.backendUp.Set(1, "backend", e.Backend)
+		} else {
+			s.transitions.Inc("to", "up")
+			s.linkUp.Set(1)
+		}
 	case core.EvEstimate:
 		if e.Est != nil {
 			s.estimates.Inc("method", method, "mode", e.Est.Chosen.String())

@@ -36,6 +36,8 @@ type TraceRec struct {
 	Size     float64 `json:"size,omitempty"`
 	EnergyJ  float64 `json:"energyJ,omitempty"`
 	FellBack bool    `json:"fellBack,omitempty"`
+	Backend  string  `json:"backend,omitempty"`
+	From     string  `json:"from,omitempty"`
 }
 
 // NewTracer returns a tracer labelling its rows with the process name
@@ -52,6 +54,9 @@ var kindNames = map[core.EventKind]string{
 	core.EvEvict:         "evict",
 	core.EvMemoHit:       "memo",
 	core.EvRetry:         "retry",
+	core.EvShed:          "shed",
+	core.EvPlace:         "place",
+	core.EvFailover:      "failover",
 	core.EvProbe:         "probe",
 	core.EvLinkDown:      "link.down",
 	core.EvLinkUp:        "link.up",
@@ -66,6 +71,8 @@ func (t *Tracer) Emit(e core.Event) {
 		TS:       float64(e.At),
 		Method:   methodName(e),
 		FellBack: e.FellBack,
+		Backend:  e.Backend,
+		From:     e.From,
 	}
 	switch e.Kind {
 	case core.EvInvoke:
@@ -163,6 +170,12 @@ func (t *Tracer) events() []traceEvent {
 			args := map[string]any{}
 			if r.Method != "" {
 				args["method"] = r.Method
+			}
+			if r.Backend != "" {
+				args["backend"] = r.Backend
+			}
+			if r.From != "" {
+				args["from"] = r.From
 			}
 			evs = append(evs, traceEvent{
 				Name: r.Kind,
