@@ -11,17 +11,26 @@
 // The sweep numbers are deterministic — only the timings vary run to
 // run.
 //
+// benchreport is also the trajectory's regression gate: -compare
+// diffs ns_per_op against a previous report and exits non-zero when
+// any benchmark regressed past -threshold (default 15%), unless the
+// benchmark is named in -allow.
+//
 // Usage:
 //
-//	benchreport -out BENCH_7.json
+//	benchreport -out BENCH_8.json
+//	benchreport -out /tmp/bench.json -compare BENCH_8.json
+//	benchreport -compare BENCH_8.json -against /tmp/bench.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"greenvm/internal/apps"
@@ -70,29 +79,131 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "report file; '-' for stdout")
+	out := flag.String("out", "BENCH_8.json", "report file; '-' for stdout")
 	execs := flag.Int("execs", 4, "executions per client in the placement sweep")
+	compare := flag.String("compare", "", "baseline report to diff ns_per_op against; non-zero exit on regression")
+	against := flag.String("against", "", "with -compare: diff this report file instead of running the benchmarks")
+	threshold := flag.Float64("threshold", 0.15, "with -compare: fractional ns_per_op growth that counts as a regression")
+	allow := flag.String("allow", "", "with -compare: comma-separated benchmark names exempt from the gate")
 	flag.Parse()
-	if err := run(*out, *execs); err != nil {
+	if err := run(*out, *execs, *compare, *against, *threshold, allowSet(*allow)); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, execs int) error {
-	fmt.Fprintln(os.Stderr, "profiling workloads...")
-	feEnv, err := experiments.Prepare(apps.FE(), 42)
+func allowSet(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			set[name] = true
+		}
+	}
+	return set
+}
+
+func run(out string, execs int, compare, against string, threshold float64, allow map[string]bool) error {
+	if compare != "" && against != "" {
+		// Pure file-vs-file mode: gate a previously produced report
+		// without re-running the benchmarks.
+		cur, err := loadReport(against)
+		if err != nil {
+			return err
+		}
+		return gate(os.Stderr, compare, cur, threshold, allow)
+	}
+	rep, err := produce(out, execs)
 	if err != nil {
 		return err
 	}
-	sortEnv, err := experiments.Prepare(apps.Sort(), 42)
+	if compare != "" {
+		return gate(os.Stderr, compare, rep, threshold, allow)
+	}
+	return nil
+}
+
+func loadReport(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// gate diffs cur against the baseline report at basePath and returns
+// an error when any non-allowlisted benchmark regressed past the
+// threshold.
+func gate(w io.Writer, basePath string, cur *report, threshold float64, allow map[string]bool) error {
+	base, err := loadReport(basePath)
 	if err != nil {
 		return err
+	}
+	diffs, failed := compareReports(base, cur, threshold, allow)
+	fmt.Fprintf(w, "bench comparison vs %s (threshold %+.0f%%):\n", basePath, 100*threshold)
+	for _, d := range diffs {
+		fmt.Fprintln(w, d)
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression past %.0f%% threshold", 100*threshold)
+	}
+	return nil
+}
+
+// compareReports diffs ns_per_op per benchmark name. A benchmark
+// regresses when its time grew by more than threshold; allowlisted
+// names are reported but never fail the gate. Benchmarks present in
+// only one report are informational.
+func compareReports(base, cur *report, threshold float64, allow map[string]bool) (lines []string, failed bool) {
+	old := map[string]benchEntry{}
+	for _, b := range base.Benches {
+		old[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, b := range cur.Benches {
+		seen[b.Name] = true
+		o, ok := old[b.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  %-24s %12d ns/op  (new benchmark)", b.Name, b.NsPerOp))
+			continue
+		}
+		delta := float64(b.NsPerOp-o.NsPerOp) / float64(o.NsPerOp)
+		tag := ""
+		switch {
+		case delta > threshold && allow[b.Name]:
+			tag = "  REGRESSION (allowed)"
+		case delta > threshold:
+			tag = "  REGRESSION"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("  %-24s %12d -> %12d ns/op  %+6.1f%%%s",
+			b.Name, o.NsPerOp, b.NsPerOp, 100*delta, tag))
+	}
+	for _, b := range base.Benches {
+		if !seen[b.Name] {
+			lines = append(lines, fmt.Sprintf("  %-24s missing from current report", b.Name))
+		}
+	}
+	return lines, failed
+}
+
+func produce(out string, execs int) (*report, error) {
+	fmt.Fprintln(os.Stderr, "profiling workloads...")
+	feEnv, err := experiments.Prepare(apps.FE(), 42)
+	if err != nil {
+		return nil, err
+	}
+	sortEnv, err := experiments.Prepare(apps.Sort(), 42)
+	if err != nil {
+		return nil, err
 	}
 	envs := []*experiments.Env{feEnv, sortEnv}
 	w := fleet.WorkloadOf(feEnv)
 
-	rep := &report{Schema: 7, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := &report{Schema: 8, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	// FigureGrid: the Fig 7 scenario grid, serial and parallel — the
 	// same shape as BenchmarkFigureGrid.
@@ -165,11 +276,11 @@ func run(out string, execs int) error {
 				spec.Placement = pl
 				res, err := fleet.Run(spec)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				for _, c := range res.Clients {
 					if c.Err != "" {
-						return fmt.Errorf("sweep client %s: %s", c.ID, c.Err)
+						return nil, fmt.Errorf("sweep client %s: %s", c.ID, c.Err)
 					}
 				}
 				rep.PlacementSweep = append(rep.PlacementSweep, sweepRow{
@@ -203,12 +314,12 @@ func run(out string, execs int) error {
 				spec.Breaker = &core.Breaker{Threshold: 2, Cooldown: 0.05, MaxCooldown: 0.4, ProbeBytes: 16}
 				res, err := fleet.Run(spec)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				fallbacks := 0
 				for _, c := range res.Clients {
 					if c.Err != "" {
-						return fmt.Errorf("chaos client %s: %s", c.ID, c.Err)
+						return nil, fmt.Errorf("chaos client %s: %s", c.ID, c.Err)
 					}
 					fallbacks += c.Stats.Fallbacks
 				}
@@ -226,11 +337,14 @@ func run(out string, execs int) error {
 	if out != "-" {
 		f, err = os.Create(out)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }

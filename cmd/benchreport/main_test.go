@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rep(benches ...benchEntry) *report {
+	return &report{Schema: 8, Benches: benches}
+}
+
+func TestCompareReportsPassesWithinThreshold(t *testing.T) {
+	base := rep(benchEntry{Name: "FigureGrid/workers=1", NsPerOp: 1000})
+	cur := rep(benchEntry{Name: "FigureGrid/workers=1", NsPerOp: 1140})
+	lines, failed := compareReports(base, cur, 0.15, nil)
+	if failed {
+		t.Fatalf("+14%% flagged as regression: %v", lines)
+	}
+}
+
+func TestCompareReportsFailsPastThreshold(t *testing.T) {
+	base := rep(
+		benchEntry{Name: "FigureGrid/workers=1", NsPerOp: 1000},
+		benchEntry{Name: "Fleet/slots=1", NsPerOp: 500},
+	)
+	cur := rep(
+		benchEntry{Name: "FigureGrid/workers=1", NsPerOp: 1200}, // +20%: regression
+		benchEntry{Name: "Fleet/slots=1", NsPerOp: 400},         // improvement
+	)
+	lines, failed := compareReports(base, cur, 0.15, nil)
+	if !failed {
+		t.Fatalf("injected +20%% regression not flagged: %v", lines)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "REGRESSION") {
+		t.Fatalf("diff lines missing REGRESSION marker:\n%s", joined)
+	}
+}
+
+func TestCompareReportsAllowlist(t *testing.T) {
+	base := rep(benchEntry{Name: "Fleet/slots=4", NsPerOp: 1000})
+	cur := rep(benchEntry{Name: "Fleet/slots=4", NsPerOp: 2000})
+	lines, failed := compareReports(base, cur, 0.15, map[string]bool{"Fleet/slots=4": true})
+	if failed {
+		t.Fatalf("allowlisted regression failed the gate: %v", lines)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "(allowed)") {
+		t.Fatalf("allowlisted regression not reported: %v", lines)
+	}
+}
+
+func TestCompareReportsNewAndMissingBenches(t *testing.T) {
+	base := rep(benchEntry{Name: "Old", NsPerOp: 100})
+	cur := rep(benchEntry{Name: "New", NsPerOp: 100})
+	lines, failed := compareReports(base, cur, 0.15, nil)
+	if failed {
+		t.Fatalf("disjoint bench sets should be informational, got failure: %v", lines)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "new benchmark") || !strings.Contains(joined, "missing") {
+		t.Fatalf("expected new/missing notes:\n%s", joined)
+	}
+}
+
+// TestGateFileMode exercises the -compare/-against file-vs-file path
+// end to end, the mode CI uses after producing the temp artifact.
+func TestGateFileMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	basePath := write("base.json", `{"schema":8,"benches":[{"name":"FigureGrid/workers=1","n":1,"ns_per_op":1000}]}`)
+	okPath := write("ok.json", `{"schema":8,"benches":[{"name":"FigureGrid/workers=1","n":1,"ns_per_op":1100}]}`)
+	badPath := write("bad.json", `{"schema":8,"benches":[{"name":"FigureGrid/workers=1","n":1,"ns_per_op":2000}]}`)
+
+	if err := run("", 0, basePath, okPath, 0.15, nil); err != nil {
+		t.Fatalf("within-threshold compare failed: %v", err)
+	}
+	if err := run("", 0, basePath, badPath, 0.15, nil); err == nil {
+		t.Fatal("2x regression passed the gate")
+	}
+	if err := run("", 0, basePath, badPath, 0.15, allowSet("FigureGrid/workers=1")); err != nil {
+		t.Fatalf("allowlisted regression failed the gate: %v", err)
+	}
+}

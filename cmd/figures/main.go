@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"greenvm/internal/apps"
 	"greenvm/internal/core"
@@ -42,20 +43,42 @@ func main() {
 	detail := flag.Bool("detail", false, "print per-app Fig 7 tables")
 	seed := flag.Uint64("seed", 2003, "experiment seed")
 	workers := flag.Int("workers", 0, "parallel experiment workers (0 = GOMAXPROCS)")
+	appsFlag := flag.String("apps", "", "comma-separated app names to run (default: all)")
 	var obs obsFlags
 	flag.BoolVar(&obs.Audit, "audit", false, "print per-method estimator prediction error and regret for AL and AA")
 	flag.StringVar(&obs.MetricsOut, "metrics", "", "write per-cell Prometheus metrics of the observed AL/AA grid to FILE (\"-\" = stdout)")
 	flag.StringVar(&obs.TraceOut, "trace-out", "", "write the observed AL/AA grid's Chrome trace-event JSON to FILE")
 	flag.Parse()
 
-	if err := run(*fig, *claims, *ext, *runs, *detail, *seed, *workers, obs); err != nil {
+	if err := run(os.Stdout, *fig, *claims, *ext, *runs, *detail, *seed, *workers, *appsFlag, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64, workers int, obs obsFlags) error {
-	w := os.Stdout
+// selectApps filters the app set by the -apps flag value.
+func selectApps(names string) ([]*apps.App, error) {
+	all := apps.All()
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*apps.App{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*apps.App
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a := byName[n]
+		if a == nil {
+			return nil, fmt.Errorf("unknown app %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func run(w io.Writer, fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64, workers int, appNames string, obs obsFlags) error {
 	switch fig {
 	case 0, 1, 2, 3, 5, 6, 7, 8:
 	default:
@@ -85,8 +108,12 @@ func run(fig int, claimsOnly, ext bool, runs int, detail bool, seed uint64, work
 	if !needEnvs {
 		return nil
 	}
+	list, err := selectApps(appNames)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "preparing applications (compile + profile)...")
-	envs, err := experiments.PrepareAllOn(runner, apps.All(), seed)
+	envs, err := experiments.PrepareAllOn(runner, list, seed)
 	if err != nil {
 		return err
 	}

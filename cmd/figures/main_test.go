@@ -1,13 +1,94 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden figure output")
 
 // The parameter tables render without preparing applications; the
 // heavier figures are covered by internal/experiments tests.
 func TestStaticTables(t *testing.T) {
 	for _, fig := range []int{1, 2, 3, 5} {
-		if err := run(fig, false, false, 10, false, 1, 1, obsFlags{}); err != nil {
+		var buf bytes.Buffer
+		if err := run(&buf, fig, false, false, 10, false, 1, 1, "", obsFlags{}); err != nil {
 			t.Errorf("fig %d: %v", fig, err)
 		}
 	}
+}
+
+func TestSelectApps(t *testing.T) {
+	all, err := selectApps("")
+	if err != nil || len(all) == 0 {
+		t.Fatalf("selectApps(\"\") = %v, %v", all, err)
+	}
+	two, err := selectApps("fe, mf")
+	if err != nil || len(two) != 2 || two[0].Name != "fe" || two[1].Name != "mf" {
+		t.Fatalf("selectApps(\"fe, mf\") = %v, %v", two, err)
+	}
+	if _, err := selectApps("nosuch"); err == nil {
+		t.Fatal("selectApps(\"nosuch\") should fail")
+	}
+}
+
+// TestGoldenFigures locks the complete figure/claims output of a
+// scaled-down configuration (2 apps, 10 executions per scenario).
+// Performance work on the simulation hot path — interpreter dispatch,
+// batched energy accounting, compile memoization — must leave this
+// output byte-identical. Regenerate deliberately with:
+//
+//	go test ./cmd/figures -run TestGoldenFigures -update-golden
+func TestGoldenFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden figure grid is slow; skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	// Fixed workers: the output is identical for any worker count (the
+	// determinism tests assert that); 4 keeps the test fast.
+	if err := run(&buf, 0, false, false, 10, false, 2003, 4, "fe,mf", obsFlags{}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "figures_fe_mf_r10.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("figure output diverged from golden file %s.\ngot %d bytes, want %d bytes.\nIf the change is intentional, regenerate with -update-golden.\n--- got ---\n%s",
+			golden, buf.Len(), len(want), diffHint(buf.Bytes(), want))
+	}
+}
+
+// diffHint returns the first diverging region of got vs want.
+func diffHint(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	i := 0
+	for i < n && got[i] == want[i] {
+		i++
+	}
+	start := i - 200
+	if start < 0 {
+		start = 0
+	}
+	end := i + 200
+	if end > len(got) {
+		end = len(got)
+	}
+	return string(got[start:end])
 }

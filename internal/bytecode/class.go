@@ -55,6 +55,10 @@ type Method struct {
 	// Overridden reports whether any linked subclass redefines this
 	// method; the JIT uses it for devirtualization.
 	Overridden bool
+
+	// argKinds caches ArgKinds(); populated eagerly by Link so that
+	// concurrent executions never write it.
+	argKinds []Kind
 }
 
 // NumArgs returns the number of argument slots including the receiver.
@@ -67,7 +71,12 @@ func (m *Method) NumArgs() int {
 }
 
 // ArgKinds returns the kinds of all argument slots, receiver first.
+// After Link the result is a shared cached slice; callers must not
+// modify it.
 func (m *Method) ArgKinds() []Kind {
+	if m.argKinds != nil {
+		return m.argKinds
+	}
 	ks := make([]Kind, 0, m.NumArgs())
 	if !m.Static {
 		ks = append(ks, KRef)
@@ -330,13 +339,17 @@ func (p *Program) Link() error {
 			return err
 		}
 	}
-	// Assign ids and the global method table.
+	// Assign ids and the global method table; precompute the argument
+	// kind vectors so hot call paths (and concurrent executions) never
+	// rebuild them.
 	p.Methods = p.Methods[:0]
 	for i, c := range p.Classes {
 		c.ID = i
 		for _, m := range c.Methods {
 			m.ID = len(p.Methods)
 			p.Methods = append(p.Methods, m)
+			m.argKinds = nil
+			m.argKinds = m.ArgKinds()
 		}
 	}
 	// Override analysis for devirtualization.

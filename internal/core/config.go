@@ -49,26 +49,26 @@ func New(cfg ClientConfig, opts ...Option) *Client {
 		ch = radio.Fixed{Cls: radio.Class4}
 	}
 	c := &Client{
-		ID:           cfg.ID,
-		Prog:         cfg.Prog,
-		VM:           v,
-		Model:        model,
-		Link:         radio.NewLink(radio.WCDMA(), ch, v.Acct, r),
-		Server:       cfg.Server,
-		Strategy:     cfg.Strategy,
-		Policy:       NewPolicy(cfg.Strategy),
-		Events:       &Sinks{},
-		Stats:        &Stats{},
+		ID:              cfg.ID,
+		Prog:            cfg.Prog,
+		VM:              v,
+		Model:           model,
+		Link:            radio.NewLink(radio.WCDMA(), ch, v.Acct, r),
+		Server:          cfg.Server,
+		Strategy:        cfg.Strategy,
+		Policy:          NewPolicy(cfg.Strategy),
+		Events:          &Sinks{},
+		Stats:           &Stats{},
 		Timeout:         0.05,
 		MaxRetries:      2,
 		RetryBackoff:    0.05,
 		Breaker:         NewBreaker(),
 		BackendBreakers: true,
-		targets:      map[*bytecode.Method]*Target{},
-		profiles:     map[*bytecode.Method]*Profile{},
-		plans:        map[*bytecode.Method][]*bytecode.Method{},
-		inFlight:     map[*bytecode.Method]bool{},
-		r:            r,
+		targets:         map[*bytecode.Method]*Target{},
+		profiles:        map[*bytecode.Method]*Profile{},
+		plans:           map[*bytecode.Method][]*bytecode.Method{},
+		inFlight:        map[*bytecode.Method]bool{},
+		r:               r,
 	}
 	c.Events.Attach(c.Stats)
 	c.Exec = newExecutor(c)

@@ -468,7 +468,7 @@ func (x *Executor) compileLocally(mm *bytecode.Method, lv jit.Level) error {
 		c.VM.Acct.Apply(d)
 	} else {
 		snap := c.VM.Acct.Snapshot()
-		code, st, err := jit.Compile(c.Prog, mm, lv)
+		code, st, err := jit.CompileCached(c.Prog, mm, lv)
 		if err != nil {
 			return err
 		}

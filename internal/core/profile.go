@@ -164,7 +164,7 @@ func (p *Profiler) ProfileTarget(t *Target) (*Profile, error) {
 		acct := energy.NewAccount(p.ClientModel)
 		total := 0
 		for _, mm := range plan {
-			code, st, err := jit.Compile(p.Prog, mm, lv)
+			code, st, err := jit.CompileCached(p.Prog, mm, lv)
 			if err != nil {
 				return nil, err
 			}
@@ -295,7 +295,7 @@ func (p *Profiler) ValidateProfile(t *Target, prof *Profile, sizes []int) (float
 	for lv := jit.Level1; lv <= jit.Level3; lv++ {
 		bodies := map[*bytecode.Method]*isa.Code{}
 		for _, mm := range plan {
-			code, _, err := jit.Compile(p.Prog, mm, lv)
+			code, _, err := jit.CompileCached(p.Prog, mm, lv)
 			if err != nil {
 				return 0, err
 			}
@@ -351,7 +351,7 @@ func (p *Profiler) ValidateProfileDetail(t *Target, prof *Profile, size int) ([4
 		if mode.IsCompiled() {
 			bodies = map[*bytecode.Method]*isa.Code{}
 			for _, mm := range plan {
-				code, _, err := jit.Compile(p.Prog, mm, mode.Level())
+				code, _, err := jit.CompileCached(p.Prog, mm, mode.Level())
 				if err != nil {
 					return out, err
 				}
@@ -378,7 +378,7 @@ func MeasureOnceMode(prog *bytecode.Program, t *Target, size int, seed uint64, m
 		m := prog.FindMethod(t.Class, t.Method)
 		bodies = map[*bytecode.Method]*isa.Code{}
 		for _, mm := range compilePlan(prog, m) {
-			code, _, err := jit.Compile(prog, mm, mode.Level())
+			code, _, err := jit.CompileCached(prog, mm, mode.Level())
 			if err != nil {
 				return 0, err
 			}

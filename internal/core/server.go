@@ -80,7 +80,7 @@ func (s *Server) dispatch(m *bytecode.Method) *isa.Code {
 	if c := s.bodies[m][jit.Level3-1]; c != nil {
 		return c
 	}
-	code, _, err := jit.Compile(s.Prog, m, jit.Level3)
+	code, _, err := jit.CompileCached(s.Prog, m, jit.Level3)
 	if err != nil {
 		// Fall back to interpretation for uncompilable methods.
 		return nil
@@ -210,7 +210,7 @@ func (s *Server) CompiledBody(ctx context.Context, qname string, level jit.Level
 	if c := s.bodies[m][level-1]; c != nil {
 		return cloneCode(c), c.SizeBytes(), nil
 	}
-	code, st, err := jit.Compile(s.Prog, m, level)
+	code, st, err := jit.CompileCached(s.Prog, m, level)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -220,10 +220,10 @@ func (s *Server) CompiledBody(ctx context.Context, qname string, level jit.Level
 	return cloneCode(code), st.CodeBytes(), nil
 }
 
-// cloneCode copies a body so each client installs it at its own code
-// address without racing on Base.
+// cloneCode copies a body's header so each client installs it at its
+// own code address without racing on Base. The instruction slice is
+// immutable after compilation and is shared.
 func cloneCode(c *isa.Code) *isa.Code {
 	cp := *c
-	cp.Instrs = append([]isa.Instr(nil), c.Instrs...)
 	return &cp
 }

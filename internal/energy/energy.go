@@ -227,6 +227,41 @@ func (a *Account) AddInstr(c InstrClass, n uint64) {
 	a.Cycles += n
 }
 
+// InstrCounts is a batch of pending instruction counts by class.
+// Execution loops accumulate into one (plain array increments, no
+// float work per instruction) and commit it with AddInstrCounts once
+// per straight-line segment, instead of calling AddInstr per
+// instruction.
+type InstrCounts [NumInstrClasses]uint64
+
+// Add records n instructions of class c.
+func (n *InstrCounts) Add(c InstrClass, k uint64) { n[c] += k }
+
+// Total returns the number of instructions in the batch.
+func (n *InstrCounts) Total() uint64 {
+	var t uint64
+	for _, k := range n {
+		t += k
+	}
+	return t
+}
+
+// AddInstrCounts commits a batch of pending counts and zeroes it.
+// Equivalent to calling AddInstr once per class with the accumulated
+// count: per-class totals, cycle counts and component sums match the
+// per-instruction path exactly (energy is charged as count x
+// per-class energy, the same product AddInstr computes).
+func (a *Account) AddInstrCounts(n *InstrCounts) {
+	for c := InstrClass(0); c < NumInstrClasses; c++ {
+		if k := n[c]; k != 0 {
+			a.instrCount[c] += k
+			a.byComponent[CompCore] += Joules(k) * a.model.PerInstr[c]
+			a.Cycles += k
+			n[c] = 0
+		}
+	}
+}
+
 // AddMemAccess charges n DRAM word transfers to the memory component.
 // Stall cycles are added separately by the cache hierarchy.
 func (a *Account) AddMemAccess(n uint64) {

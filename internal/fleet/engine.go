@@ -103,8 +103,8 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].tie < h[j].tie
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)

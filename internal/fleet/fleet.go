@@ -213,7 +213,7 @@ type BackendResult struct {
 	// exchanges eaten by its loss process, Slowed requests served at
 	// the brown-out rate, and Warmups sessions whose cache was
 	// pre-loaded here from a dead backend after re-homing.
-	Chaos                            string
+	Chaos                               string
 	Flaps, ChaosLosses, Slowed, Warmups int
 }
 

@@ -324,6 +324,32 @@ type Code struct {
 	FrameWords int
 	// OptLevel records which optimization level produced the body.
 	OptLevel int
+	// UsedRegs bounds the register indices the body names (count =
+	// highest index + 1). Callers use it to save and restore only the
+	// registers a call can disturb. 0 means unknown: assume the full
+	// architectural files.
+	UsedRegs uint8
+}
+
+// ComputeUsedRegs scans the body and records the register bound.
+func (c *Code) ComputeUsedRegs() {
+	maxIdx := ABIArgBase // the ABI result registers are always fair game
+	for i := range c.Instrs {
+		in := &c.Instrs[i]
+		if int(in.Rd) > maxIdx {
+			maxIdx = int(in.Rd)
+		}
+		if int(in.Ra) > maxIdx {
+			maxIdx = int(in.Ra)
+		}
+		if int(in.Rb) > maxIdx {
+			maxIdx = int(in.Rb)
+		}
+	}
+	if maxIdx >= 255 {
+		maxIdx = 254
+	}
+	c.UsedRegs = uint8(maxIdx + 1)
 }
 
 // SizeBytes is the encoded size of the body, which is what remote

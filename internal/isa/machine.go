@@ -52,9 +52,13 @@ type Bridge interface {
 type Machine struct {
 	// R and F are the integer and float register files. R[0] and F[0]
 	// are hardwired to zero and restored after every instruction that
-	// names them as a destination.
-	R [NumIntRegs]int64
-	F [NumFloatRegs]float64
+	// names them as a destination. Only the first NumIntRegs/
+	// NumFloatRegs entries are architecturally meaningful; the arrays
+	// are sized so the ISA's 8-bit register fields can never index out
+	// of bounds, which keeps bounds checks out of the execute loop
+	// (verified codegen only emits architectural registers).
+	R [256]int64
+	F [256]float64
 
 	Bridge Bridge
 	Hier   *mem.Hierarchy
@@ -72,6 +76,12 @@ type Machine struct {
 	// traffic of one call; charged at every CALLVM.
 	CallOverheadLoads  uint64
 	CallOverheadStores uint64
+
+	// Spill-frame pool: nested Run calls carve [frameTop, frameTop+n)
+	// out of these buffers instead of allocating per call.
+	intFrames []int64
+	fltFrames []float64
+	frameTop  int
 }
 
 // NewMachine returns a machine with the paper's call-overhead model.
@@ -86,42 +96,126 @@ func NewMachine(bridge Bridge, hier *mem.Hierarchy, acct *energy.Account) *Machi
 	}
 }
 
-// SaveRegs returns a snapshot of both register files.
-func (m *Machine) SaveRegs() ([NumIntRegs]int64, [NumFloatRegs]float64) {
-	return m.R, m.F
+// SaveRegs returns a snapshot of the architectural register files.
+func (m *Machine) SaveRegs() (r [NumIntRegs]int64, f [NumFloatRegs]float64) {
+	copy(r[:], m.R[:NumIntRegs])
+	copy(f[:], m.F[:NumFloatRegs])
+	return r, f
 }
 
 // RestoreRegs restores a snapshot taken by SaveRegs, preserving the
 // ABI return registers R1 and F1 (which carry the callee's result).
 func (m *Machine) RestoreRegs(r [NumIntRegs]int64, f [NumFloatRegs]float64) {
 	r1, f1 := m.R[1], m.F[1]
-	m.R, m.F = r, f
+	copy(m.R[:NumIntRegs], r[:])
+	copy(m.F[:NumFloatRegs], f[:])
 	m.R[1], m.F[1] = r1, f1
 }
 
 // Run executes the body until RET. On entry the caller must have
 // placed arguments in the ABI registers. The return value, if any, is
 // left in R1/F1.
+//
+// The loop batches its bookkeeping: per-class instruction counts
+// accumulate in a local array and are committed to the account once
+// per straight-line segment (at CALLVM boundaries and on exit) rather
+// than per instruction, and consecutive fetches from the same I-cache
+// line are counted locally and credited as hits in one batch — the
+// line the previous fetch installed is necessarily still resident,
+// since only instruction fetches of this machine touch the I-cache
+// and nested bodies run behind a flush. Observable state (account
+// totals, cache counters, Steps) is exact at every VM re-entry point
+// and at exit; only the float association of the core-energy sum
+// within a segment differs from the per-instruction path.
 func (m *Machine) Run(c *Code) error {
 	frameBytes := uint64(c.FrameWords) * 4
 	savedSP := m.SP
 	if frameBytes > 0 {
 		m.SP -= frameBytes
 	}
-	frame := make([]int64, c.FrameWords)
-	fframe := make([]float64, c.FrameWords)
-	defer func() { m.SP = savedSP }()
+	// Carve the spill frame out of the machine's pool. Nested calls
+	// stack above us; growth reallocates the pool but outer frames keep
+	// their (still valid) slices into the old backing array.
+	frameBase := m.frameTop
+	if need := frameBase + c.FrameWords; need > len(m.intFrames) {
+		m.intFrames = append(m.intFrames, make([]int64, need-len(m.intFrames))...)
+		m.fltFrames = append(m.fltFrames, make([]float64, need-len(m.fltFrames))...)
+	}
+	frame := m.intFrames[frameBase : frameBase+c.FrameWords : frameBase+c.FrameWords]
+	fframe := m.fltFrames[frameBase : frameBase+c.FrameWords : frameBase+c.FrameWords]
+	clear(frame)
+	clear(fframe)
+	m.frameTop = frameBase + c.FrameWords
+
+	var st runState
+	st.steps = m.Steps
+	err := m.runLoop(c, frame, fframe, &st)
+	m.commit(&st)
+	m.SP = savedSP
+	m.frameTop = frameBase
+	return err
+}
+
+// runState is the execute loop's pending bookkeeping: per-class
+// instruction counts, fetch hits proven by the straight-line elision,
+// and the step counter. commit folds it into the observable state.
+type runState struct {
+	counts    energy.InstrCounts
+	pendIHits uint64
+	steps     uint64
+}
+
+func (m *Machine) commit(st *runState) {
+	m.Acct.AddInstrCounts(&st.counts)
+	if st.pendIHits != 0 {
+		m.Hier.ICache.AddHits(st.pendIHits)
+		st.pendIHits = 0
+	}
+	m.Steps = st.steps
+}
+
+// runLoop is the execute loop proper. It is free of defers and
+// closures, keeps its bookkeeping in locals (written back to st on
+// every exit through the done label), and Run commits st and unwinds
+// the frame on every exit path.
+func (m *Machine) runLoop(c *Code, frame []int64, fframe []float64, st *runState) error {
+	hier := m.Hier
+	dcache := hier.DCache
+	counts := &st.counts
+	var retErr error
+	var spT mem.LineTracker
+	pend := st.pendIHits
+	steps := st.steps
+	limit := m.MaxSteps
+	if limit == 0 {
+		limit = ^uint64(0)
+	}
+
+	// The current fetch line expressed as a pc window [fetchLo, fetchHi):
+	// while pc stays inside it the fetch hits the line the window's
+	// first fetch left resident, so the hot path is two integer
+	// compares with no address arithmetic. (0,0) is the empty window.
+	ilineMask := uint64(hier.ICache.Config().LineBytes - 1)
+	fetchLo, fetchHi := int64(0), int64(0)
 
 	code := c.Instrs
 	n := int64(len(code))
 	var pc int64
 	for pc >= 0 && pc < n {
 		in := &code[pc]
-		m.Hier.FetchInstr(c.Base + uint64(pc)*BytesPerInstr)
-		m.Acct.AddInstr(in.Op.Class(), 1)
-		m.Steps++
-		if m.MaxSteps != 0 && m.Steps > m.MaxSteps {
-			return ErrStepLimit
+		if pc >= fetchLo && pc < fetchHi {
+			pend++
+		} else {
+			addr := c.Base + uint64(pc)*BytesPerInstr
+			hier.FetchInstr(addr)
+			fetchLo = pc
+			fetchHi = pc + int64((ilineMask+1-(addr&ilineMask))/BytesPerInstr)
+		}
+		counts[opTable[in.Op].class]++
+		steps++
+		if steps > limit {
+			retErr = ErrStepLimit
+			goto done
 		}
 		pc++
 
@@ -143,12 +237,14 @@ func (m *Machine) Run(c *Code) error {
 			m.R[in.Rd] = wrap32(m.R[in.Ra] * m.R[in.Rb])
 		case DIV:
 			if m.R[in.Rb] == 0 {
-				return ErrDivideByZero
+				retErr = ErrDivideByZero
+				goto done
 			}
 			m.R[in.Rd] = wrap32(m.R[in.Ra] / m.R[in.Rb])
 		case REM:
 			if m.R[in.Rb] == 0 {
-				return ErrDivideByZero
+				retErr = ErrDivideByZero
+				goto done
 			}
 			m.R[in.Rd] = wrap32(m.R[in.Ra] % m.R[in.Rb])
 		case AND:
@@ -238,101 +334,145 @@ func (m *Machine) Run(c *Code) error {
 		case LDF:
 			v, err := m.Bridge.FieldI(m.R[in.Ra], int(in.Imm))
 			if err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 			m.R[in.Rd] = v
 		case STF:
 			if err := m.Bridge.SetFieldI(m.R[in.Ra], int(in.Imm), m.R[in.Rb]); err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 		case LDFF:
 			v, err := m.Bridge.FieldF(m.R[in.Ra], int(in.Imm))
 			if err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 			m.F[in.Rd] = v
 		case STFF:
 			if err := m.Bridge.SetFieldF(m.R[in.Ra], int(in.Imm), m.F[in.Rb]); err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 		case LDE:
 			v, err := m.Bridge.ElemI(m.R[in.Ra], m.R[in.Rb])
 			if err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 			m.R[in.Rd] = v
 		case STE:
 			if err := m.Bridge.SetElemI(m.R[in.Ra], m.R[in.Rb], m.R[in.Rd]); err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 		case LDEF:
 			v, err := m.Bridge.ElemF(m.R[in.Ra], m.R[in.Rb])
 			if err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 			m.F[in.Rd] = v
 		case STEF:
 			if err := m.Bridge.SetElemF(m.R[in.Ra], m.R[in.Rb], m.F[in.Rd]); err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 		case ARRLEN:
 			v, err := m.Bridge.ArrayLen(m.R[in.Ra])
 			if err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 			m.R[in.Rd] = v
 		case LDSP:
-			m.Hier.Data(m.SP+uint64(in.Imm)*4, 1)
+			if a := m.SP + uint64(in.Imm)*4; !dcache.TrackedHit(a, &spT) {
+				hier.Data1(a)
+				spT.Note(dcache, a)
+			}
 			m.R[in.Rd] = frame[in.Imm]
 		case STSP:
-			m.Hier.Data(m.SP+uint64(in.Imm)*4, 1)
+			if a := m.SP + uint64(in.Imm)*4; !dcache.TrackedHit(a, &spT) {
+				hier.Data1(a)
+				spT.Note(dcache, a)
+			}
 			frame[in.Imm] = m.R[in.Ra]
 		case LDSPF:
-			m.Hier.Data(m.SP+uint64(in.Imm)*4, 1)
+			if a := m.SP + uint64(in.Imm)*4; !dcache.TrackedHit(a, &spT) {
+				hier.Data1(a)
+				spT.Note(dcache, a)
+			}
 			m.F[in.Rd] = fframe[in.Imm]
 		case STSPF:
-			m.Hier.Data(m.SP+uint64(in.Imm)*4, 1)
+			if a := m.SP + uint64(in.Imm)*4; !dcache.TrackedHit(a, &spT) {
+				hier.Data1(a)
+				spT.Note(dcache, a)
+			}
 			fframe[in.Imm] = m.F[in.Ra]
 		case NEWARR:
 			h, err := m.Bridge.NewArray(in.Imm, m.R[in.Ra])
 			if err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 			m.R[in.Rd] = h
 		case NEWOBJ:
 			h, err := m.Bridge.NewObject(in.Imm)
 			if err != nil {
-				return err
+				retErr = err
+				goto done
 			}
 			m.R[in.Rd] = h
 		case CALLVM:
-			m.Acct.AddInstr(energy.Load, m.CallOverheadLoads)
-			m.Acct.AddInstr(energy.Store, m.CallOverheadStores)
+			counts[energy.Load] += m.CallOverheadLoads
+			counts[energy.Store] += m.CallOverheadStores
+			// Re-entering the VM: commit pending bookkeeping so the
+			// callee observes an up-to-date account, and drop the cached
+			// fetch line (a nested native body may evict it).
+			st.steps, st.pendIHits = steps, pend
+			m.commit(st)
+			pend = 0
+			fetchLo, fetchHi = 0, 0
 			if err := m.Bridge.Call(in.Imm, m); err != nil {
-				return err
+				retErr = err
+				goto done
+			}
+			steps = m.Steps
+			limit = m.MaxSteps
+			if limit == 0 {
+				limit = ^uint64(0)
 			}
 		case RET:
-			return nil
+			goto done
 		case TRAP:
 			switch in.Imm {
 			case TrapBounds:
-				return ErrBounds
+				retErr = ErrBounds
 			case TrapNull:
-				return ErrNullRef
+				retErr = ErrNullRef
 			case TrapDivZero:
-				return ErrDivideByZero
+				retErr = ErrDivideByZero
 			default:
-				return fmt.Errorf("%w: trap %d in %s", ErrBadInstr, in.Imm, c.Name)
+				retErr = fmt.Errorf("%w: trap %d in %s", ErrBadInstr, in.Imm, c.Name)
 			}
+			goto done
 		default:
-			return fmt.Errorf("%w: opcode %d in %s at %d", ErrBadInstr, in.Op, c.Name, pc-1)
+			retErr = fmt.Errorf("%w: opcode %d in %s at %d", ErrBadInstr, in.Op, c.Name, pc-1)
+			goto done
 		}
 
-		// Keep the hardwired zero registers at zero.
-		m.R[0] = 0
-		m.F[0] = 0
+		// Keep the hardwired zero registers at zero. Only an
+		// instruction naming them as destination can dirty them.
+		if in.Rd == 0 {
+			m.R[0] = 0
+			m.F[0] = 0
+		}
 	}
-	return fmt.Errorf("%w: fell off end of %s", ErrBadInstr, c.Name)
+	retErr = fmt.Errorf("%w: fell off end of %s", ErrBadInstr, c.Name)
+done:
+	st.steps, st.pendIHits = steps, pend
+	return retErr
 }
 
 // wrap32 truncates to 32-bit two's-complement, matching the bytecode

@@ -77,5 +77,6 @@ func Compile(prog *bytecode.Program, m *bytecode.Method, level Level) (*isa.Code
 		FrameWords: alloc.frameWords,
 		OptLevel:   int(level),
 	}
+	code.ComputeUsedRegs()
 	return code, st, nil
 }

@@ -28,16 +28,45 @@ func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // Cache is a direct-mapped cache with valid/tag state and hit/miss
 // counters. It models placement only; data contents live in the VM.
+// Each entry stores line+1 (0 = invalid) so a lookup touches a single
+// word — this sits on the simulator's hottest path.
 type Cache struct {
 	cfg       CacheConfig
 	lineShift uint
 	indexMask uint64
-	tags      []uint64
-	valid     []bool
+	lines     []uint64
+
+	// lastLine is the most recently accessed line. It is resident by
+	// construction — every access either hits it or installs it — so a
+	// single compare short-circuits the array lookup for the highly
+	// repetitive line-local traffic simulators generate (operand
+	// stacks, straight-line fetch). noLine after Flush.
+	lastLine uint64
+
+	// gen counts installs (and flushes). A line proven resident at
+	// generation g is still resident while gen == g: installs are the
+	// only writes to the placement array. LineTrackers rely on this to
+	// prove hits without touching the array. Starts at 1 so a
+	// zero-valued tracker can never validate.
+	gen uint64
 
 	Hits   uint64
 	Misses uint64
 }
+
+// LineTracker caches residency of a single line for one traffic
+// source (an operand stack, a spill frame, a bytecode stream, an
+// array being walked). Distinct sources interleave in the simulated
+// loops, so the cache-global lastLine ping-pongs; a per-source tracker
+// keeps its locality. The zero value is empty.
+type LineTracker struct {
+	line uint64
+	gen  uint64
+}
+
+// noLine is a sentinel no real address maps to (lines are addr>>shift,
+// so the top bits are always zero).
+const noLine = ^uint64(0)
 
 // NewCache returns an empty cache. It panics if the configuration is
 // not a power-of-two geometry, which indicates a programming error in
@@ -55,34 +84,50 @@ func NewCache(cfg CacheConfig) *Cache {
 		cfg:       cfg,
 		lineShift: shift,
 		indexMask: uint64(n - 1),
-		tags:      make([]uint64, n),
-		valid:     make([]bool, n),
+		lines:     make([]uint64, n),
+		lastLine:  noLine,
+		gen:       1,
 	}
 }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() CacheConfig { return c.cfg }
 
+// LineOf returns the line number addr falls on. Two addresses with
+// equal line numbers always hit or miss together.
+func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineShift }
+
 // Access looks up addr, updating the cache state, and reports whether
 // it hit.
 func (c *Cache) Access(addr uint64) bool {
 	line := addr >> c.lineShift
-	idx := line & c.indexMask
-	if c.valid[idx] && c.tags[idx] == line {
+	if line == c.lastLine {
 		c.Hits++
 		return true
 	}
-	c.valid[idx] = true
-	c.tags[idx] = line
+	idx := line & c.indexMask
+	if c.lines[idx] == line+1 {
+		c.lastLine = line
+		c.Hits++
+		return true
+	}
+	c.lines[idx] = line + 1
+	c.lastLine = line
+	c.gen++
 	c.Misses++
 	return false
 }
 
+// AddHits credits n hits without a lookup. Execution loops use it to
+// batch accesses they can prove resident (e.g. straight-line
+// instruction fetches from the line the previous fetch installed).
+func (c *Cache) AddHits(n uint64) { c.Hits += n }
+
 // Flush invalidates every line. Used between independent simulations.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
-	}
+	clear(c.lines)
+	c.lastLine = noLine
+	c.gen++
 }
 
 // MissRate returns misses / accesses, or 0 before any access.
@@ -139,6 +184,48 @@ func (h *Hierarchy) Data(addr uint64, words int) {
 			h.miss()
 		}
 	}
+}
+
+// Data1 models a single-word data access at addr; it is Data(addr, 1)
+// without the loop, for the interpreter's per-bytecode traffic.
+func (h *Hierarchy) Data1(addr uint64) {
+	if !h.DCache.Access(addr) {
+		h.miss()
+	}
+}
+
+// TrackedHit reports (and counts) a hit proven by the tracker: addr
+// lies on the tracked line and no install has happened since the
+// tracker last validated, so the line is still resident. On false the
+// caller must perform the access normally and then Note it. Small
+// enough to inline into execution loops — the proven-hit path is two
+// compares and an increment, with no placement-array traffic.
+func (c *Cache) TrackedHit(addr uint64, t *LineTracker) bool {
+	if addr>>c.lineShift == t.line && c.gen == t.gen {
+		c.Hits++
+		return true
+	}
+	return false
+}
+
+// Note records that addr was just accessed against c (so its line is
+// resident) and revalidates the tracker.
+func (t *LineTracker) Note(c *Cache, addr uint64) {
+	t.line = addr >> c.lineShift
+	t.gen = c.gen
+}
+
+// Data1T is Data1 with a per-source residency proof via t: counters
+// and energy charges are identical to Data1 for every access, but a
+// proven hit skips the placement lookup. Execution loops hold one
+// tracker per traffic source, which keeps the fast path effective
+// even when sources interleave.
+func (h *Hierarchy) Data1T(addr uint64, t *LineTracker) {
+	if h.DCache.TrackedHit(addr, t) {
+		return
+	}
+	h.Data1(addr)
+	t.Note(h.DCache, addr)
 }
 
 // Flush invalidates both caches.

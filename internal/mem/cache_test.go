@@ -142,3 +142,57 @@ func TestAllocator(t *testing.T) {
 		t.Error("Reset should zero usage")
 	}
 }
+
+// TestTrackedAccessEquivalence drives two identical caches with the
+// same pseudo-random access sequence — one through plain Access, one
+// through the TrackedHit/Note fast path with several interleaved
+// trackers (as the execution loops use them) — and requires identical
+// hit/miss counters and placement state afterwards. This is the
+// correctness contract of the tracked fast path: proven hits are real
+// hits, and everything else falls back to the ordinary access.
+func TestTrackedAccessEquivalence(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 1024, LineBytes: 32}
+	plain := NewCache(cfg)
+	tracked := NewCache(cfg)
+	trackers := make([]LineTracker, 3)
+
+	// xorshift so the walk mixes line-local runs (stack-like), strides
+	// (array-like) and far jumps (aliasing installs).
+	seed := uint64(0x9e3779b97f4a7c15)
+	rnd := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	addr := uint64(0x4000)
+	for i := 0; i < 20000; i++ {
+		switch rnd() % 8 {
+		case 0: // far jump, likely conflict-miss
+			addr = 0x4000 + rnd()%(1<<16)
+		case 1: // stride
+			addr += 32 * (rnd() % 4)
+		default: // line-local wiggle
+			addr = addr&^31 | rnd()%32
+		}
+		plain.Access(addr)
+		tr := &trackers[rnd()%3]
+		if !tracked.TrackedHit(addr, tr) {
+			tracked.Access(addr)
+			tr.Note(tracked, addr)
+		}
+		if rnd()%512 == 0 {
+			plain.Flush()
+			tracked.Flush()
+		}
+	}
+	if plain.Hits != tracked.Hits || plain.Misses != tracked.Misses {
+		t.Fatalf("diverged: plain %d/%d, tracked %d/%d hits/misses",
+			plain.Hits, plain.Misses, tracked.Hits, tracked.Misses)
+	}
+	for i := range plain.lines {
+		if plain.lines[i] != tracked.lines[i] {
+			t.Fatalf("placement state diverged at line %d", i)
+		}
+	}
+}

@@ -70,6 +70,10 @@ type Heap struct {
 	hier    *mem.Hierarchy
 	alloc   *mem.Allocator
 	objects []*Object
+
+	// dt tracks the last heap line touched, so sequential array walks
+	// and repeated field accesses prove their hits cheaply.
+	dt mem.LineTracker
 }
 
 // NewHeap returns an empty heap for the linked program.
@@ -175,7 +179,7 @@ func (h *Heap) FieldI(handle int64, slot int) (int64, error) {
 	if o.IsArr || slot < 0 || slot >= len(o.I) {
 		return 0, fmt.Errorf("%w: int field slot %d", ErrBounds, slot)
 	}
-	h.hier.Data(o.intSlotAddr(slot), 1)
+	h.hier.Data1T(o.intSlotAddr(slot), &h.dt)
 	return o.I[slot], nil
 }
 
@@ -188,7 +192,7 @@ func (h *Heap) SetFieldI(handle int64, slot int, v int64) error {
 	if o.IsArr || slot < 0 || slot >= len(o.I) {
 		return fmt.Errorf("%w: int field slot %d", ErrBounds, slot)
 	}
-	h.hier.Data(o.intSlotAddr(slot), 1)
+	h.hier.Data1T(o.intSlotAddr(slot), &h.dt)
 	o.I[slot] = v
 	return nil
 }
@@ -235,7 +239,7 @@ func (h *Heap) ElemI(handle, i int64) (int64, error) {
 	if i < 0 || i >= int64(o.Len) {
 		return 0, ErrBounds
 	}
-	h.hier.Data(o.intSlotAddr(int(i)), 1)
+	h.hier.Data1T(o.intSlotAddr(int(i)), &h.dt)
 	return o.I[i], nil
 }
 
@@ -254,7 +258,7 @@ func (h *Heap) SetElemI(handle, i, v int64) error {
 	if i < 0 || i >= int64(o.Len) {
 		return ErrBounds
 	}
-	h.hier.Data(o.intSlotAddr(int(i)), 1)
+	h.hier.Data1T(o.intSlotAddr(int(i)), &h.dt)
 	o.I[i] = v
 	return nil
 }

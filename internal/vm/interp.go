@@ -5,6 +5,7 @@ import (
 
 	"greenvm/internal/bytecode"
 	"greenvm/internal/energy"
+	"greenvm/internal/mem"
 )
 
 // Interpreter energy model. Each bytecode costs a dispatch overhead
@@ -22,259 +23,366 @@ const (
 
 // interpret executes the method's bytecode. Arguments are already in
 // slots; verified code guarantees stack and local discipline.
+//
+// The dispatch loop is a single flat switch over the dense opcode
+// space — the compiler lowers it to one indirect jump per bytecode —
+// with the frame's stack pointer, operand stack and locals held in
+// loop-local variables. Energy bookkeeping is batched: per-class
+// instruction counts accumulate in a local array and are committed
+// once per straight-line segment (before any nested invocation and on
+// every exit path), so the account does one multiply per class per
+// segment instead of float work per bytecode. Observable account
+// state is exact at every VM re-entry point; only the float
+// association of the core-energy sum within a segment differs from
+// the per-bytecode path.
 func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 	lay := v.layoutOf(m)
-	acct, hier, heap := v.Acct, v.Hier, v.Heap
+	hier, heap := v.Hier, v.Heap
 
 	frameBytes := uint64(m.MaxLocals+m.MaxStack) * 4
 	savedSP := v.sp
 	v.sp -= frameBytes
 	localsAddr := v.sp
 	stackAddr := v.sp + uint64(m.MaxLocals)*4
-	defer func() { v.sp = savedSP }()
 
-	locals := make([]Slot, m.MaxLocals)
+	// Carve locals and operand stack out of the VM's slot arena.
+	// Nested interpreted frames stack above this one; growth
+	// reallocates the arena, but outer frames keep their (still valid)
+	// slices into the old backing array.
+	slotBase := v.slotTop
+	need := m.MaxLocals + m.MaxStack + 1
+	if top := slotBase + need; top > len(v.slotArena) {
+		v.slotArena = append(v.slotArena, make([]Slot, top-len(v.slotArena))...)
+	}
+	locals := v.slotArena[slotBase : slotBase+m.MaxLocals : slotBase+m.MaxLocals]
+	stack := v.slotArena[slotBase+m.MaxLocals : slotBase+need : slotBase+need]
+	clear(locals)
+	clear(stack)
 	copy(locals, args)
-	stack := make([]Slot, m.MaxStack+1)
 	sp := 0
+	v.slotTop = slotBase + need
+
+	var counts energy.InstrCounts
+	steps := v.steps
+	maxSteps := v.MaxSteps
+
+	// flush commits pending bookkeeping; called before nested
+	// invocations and, via defer, on every exit path.
+	flush := func() {
+		v.Acct.AddInstrCounts(&counts)
+		v.steps = steps
+	}
+	defer func() {
+		flush()
+		v.sp = savedSP
+		v.slotTop = slotBase
+	}()
 
 	fail := func(pc int, err error) (Slot, error) {
 		return Slot{}, fmt.Errorf("%s@%d: %w", m.QName(), pc, err)
 	}
 
+	// One residency tracker per traffic source — bytecode stream,
+	// operand stack, locals — so the sources' interleaved accesses
+	// don't evict each other's fast path.
+	var codeT, stkT, locT mem.LineTracker
+
 	push := func(s Slot) {
 		stack[sp] = s
-		hier.Data(stackAddr+uint64(sp)*4, 1)
-		acct.AddInstr(energy.Store, 1)
+		hier.Data1T(stackAddr+uint64(sp)*4, &stkT)
+		counts[energy.Store]++
 		sp++
 	}
 	pop := func() Slot {
 		sp--
-		hier.Data(stackAddr+uint64(sp)*4, 1)
-		acct.AddInstr(energy.Load, 1)
+		hier.Data1T(stackAddr+uint64(sp)*4, &stkT)
+		counts[energy.Load]++
 		return stack[sp]
 	}
 	loadLocal := func(idx int32) Slot {
-		hier.Data(localsAddr+uint64(idx)*4, 1)
-		acct.AddInstr(energy.Load, 1)
+		hier.Data1T(localsAddr+uint64(idx)*4, &locT)
+		counts[energy.Load]++
 		return locals[idx]
 	}
 	storeLocal := func(idx int32, s Slot) {
-		hier.Data(localsAddr+uint64(idx)*4, 1)
-		acct.AddInstr(energy.Store, 1)
+		hier.Data1T(localsAddr+uint64(idx)*4, &locT)
+		counts[energy.Store]++
 		locals[idx] = s
 	}
 
 	code := m.Code
+	base := lay.base
+	offsets := lay.offsets
 	pc := 0
 	for {
 		if pc < 0 || pc >= len(code) {
 			return fail(pc, fmt.Errorf("pc out of bounds"))
 		}
-		in := code[pc]
+		in := &code[pc]
 
 		// Dispatch overhead + bytecode stream fetch.
-		hier.Data(lay.base+uint64(lay.offsets[pc]), 1)
-		acct.AddInstr(energy.Load, dispatchLoads)
-		acct.AddInstr(energy.Branch, dispatchBranches)
-		acct.AddInstr(energy.ALUSimple, dispatchALU)
-		v.steps++
-		if v.MaxSteps != 0 && v.steps > v.MaxSteps {
+		hier.Data1T(base+uint64(offsets[pc]), &codeT)
+		counts[energy.Load] += dispatchLoads
+		counts[energy.Branch] += dispatchBranches
+		counts[energy.ALUSimple] += dispatchALU
+		steps++
+		if maxSteps != 0 && steps > maxSteps {
 			return fail(pc, ErrStepLimit)
 		}
 		next := pc + 1
 
 		switch in.Op {
 		case bytecode.NOP:
-			acct.AddInstr(energy.Nop, 1)
+			counts[energy.Nop]++
 
 		case bytecode.ACONSTNULL:
-			acct.AddInstr(energy.ALUSimple, 1)
+			counts[energy.ALUSimple]++
 			push(Slot{})
 		case bytecode.ICONST:
-			acct.AddInstr(energy.ALUSimple, 1)
+			counts[energy.ALUSimple]++
 			push(Slot{I: int64(in.A)})
 		case bytecode.FCONST:
-			acct.AddInstr(energy.ALUSimple, 1)
+			counts[energy.ALUSimple]++
 			push(Slot{F: in.F})
 
-		case bytecode.ILOAD, bytecode.FLOAD, bytecode.ALOAD:
+		case bytecode.ILOAD:
 			push(loadLocal(in.A))
-		case bytecode.ISTORE, bytecode.FSTORE, bytecode.ASTORE:
+		case bytecode.FLOAD:
+			push(loadLocal(in.A))
+		case bytecode.ALOAD:
+			push(loadLocal(in.A))
+		case bytecode.ISTORE:
+			storeLocal(in.A, pop())
+		case bytecode.FSTORE:
+			storeLocal(in.A, pop())
+		case bytecode.ASTORE:
 			storeLocal(in.A, pop())
 
 		case bytecode.DUP:
-			acct.AddInstr(energy.Load, 1)
+			counts[energy.Load]++
 			push(stack[sp-1])
 		case bytecode.POP:
 			pop()
 		case bytecode.SWAP:
-			acct.AddInstr(energy.Load, 2)
-			acct.AddInstr(energy.Store, 2)
+			counts[energy.Load] += 2
+			counts[energy.Store] += 2
 			stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
 
-		case bytecode.IADD, bytecode.ISUB, bytecode.ISHL, bytecode.ISHR,
-			bytecode.IAND, bytecode.IOR, bytecode.IXOR:
+		case bytecode.IADD:
 			b, a := pop().I, pop().I
-			var r int64
-			switch in.Op {
-			case bytecode.IADD:
-				r = a + b
-			case bytecode.ISUB:
-				r = a - b
-			case bytecode.ISHL:
-				r = a << uint(b&31)
-			case bytecode.ISHR:
-				r = a >> uint(b&31)
-			case bytecode.IAND:
-				r = a & b
-			case bytecode.IOR:
-				r = a | b
-			case bytecode.IXOR:
-				r = a ^ b
-			}
-			acct.AddInstr(energy.ALUSimple, 1)
-			push(Slot{I: int64(int32(r))})
+			counts[energy.ALUSimple]++
+			push(Slot{I: int64(int32(a + b))})
+		case bytecode.ISUB:
+			b, a := pop().I, pop().I
+			counts[energy.ALUSimple]++
+			push(Slot{I: int64(int32(a - b))})
+		case bytecode.ISHL:
+			b, a := pop().I, pop().I
+			counts[energy.ALUSimple]++
+			push(Slot{I: int64(int32(a << uint(b&31)))})
+		case bytecode.ISHR:
+			b, a := pop().I, pop().I
+			counts[energy.ALUSimple]++
+			push(Slot{I: int64(int32(a >> uint(b&31)))})
+		case bytecode.IAND:
+			b, a := pop().I, pop().I
+			counts[energy.ALUSimple]++
+			push(Slot{I: int64(int32(a & b))})
+		case bytecode.IOR:
+			b, a := pop().I, pop().I
+			counts[energy.ALUSimple]++
+			push(Slot{I: int64(int32(a | b))})
+		case bytecode.IXOR:
+			b, a := pop().I, pop().I
+			counts[energy.ALUSimple]++
+			push(Slot{I: int64(int32(a ^ b))})
 
-		case bytecode.IMUL, bytecode.IDIV, bytecode.IREM:
+		case bytecode.IMUL:
 			b, a := pop().I, pop().I
-			var r int64
-			switch in.Op {
-			case bytecode.IMUL:
-				r = a * b
-			case bytecode.IDIV:
-				if b == 0 {
-					return fail(pc, ErrDivideByZero)
-				}
-				r = a / b
-			case bytecode.IREM:
-				if b == 0 {
-					return fail(pc, ErrDivideByZero)
-				}
-				r = a % b
+			counts[energy.ALUComplex]++
+			push(Slot{I: int64(int32(a * b))})
+		case bytecode.IDIV:
+			b, a := pop().I, pop().I
+			if b == 0 {
+				return fail(pc, ErrDivideByZero)
 			}
-			acct.AddInstr(energy.ALUComplex, 1)
-			push(Slot{I: int64(int32(r))})
+			counts[energy.ALUComplex]++
+			push(Slot{I: int64(int32(a / b))})
+		case bytecode.IREM:
+			b, a := pop().I, pop().I
+			if b == 0 {
+				return fail(pc, ErrDivideByZero)
+			}
+			counts[energy.ALUComplex]++
+			push(Slot{I: int64(int32(a % b))})
 
 		case bytecode.INEG:
 			a := pop().I
-			acct.AddInstr(energy.ALUSimple, 1)
+			counts[energy.ALUSimple]++
 			push(Slot{I: int64(int32(-a))})
 
-		case bytecode.FADD, bytecode.FSUB, bytecode.FMUL, bytecode.FDIV:
+		case bytecode.FADD:
 			b, a := pop().F, pop().F
-			var r float64
-			switch in.Op {
-			case bytecode.FADD:
-				r = a + b
-			case bytecode.FSUB:
-				r = a - b
-			case bytecode.FMUL:
-				r = a * b
-			case bytecode.FDIV:
-				r = a / b
-			}
-			acct.AddInstr(energy.ALUComplex, 1)
-			push(Slot{F: r})
+			counts[energy.ALUComplex]++
+			push(Slot{F: a + b})
+		case bytecode.FSUB:
+			b, a := pop().F, pop().F
+			counts[energy.ALUComplex]++
+			push(Slot{F: a - b})
+		case bytecode.FMUL:
+			b, a := pop().F, pop().F
+			counts[energy.ALUComplex]++
+			push(Slot{F: a * b})
+		case bytecode.FDIV:
+			b, a := pop().F, pop().F
+			counts[energy.ALUComplex]++
+			push(Slot{F: a / b})
 
 		case bytecode.FNEG:
 			a := pop().F
-			acct.AddInstr(energy.ALUSimple, 1)
+			counts[energy.ALUSimple]++
 			push(Slot{F: -a})
 
 		case bytecode.I2F:
 			a := pop().I
-			acct.AddInstr(energy.ALUComplex, 1)
+			counts[energy.ALUComplex]++
 			push(Slot{F: float64(a)})
 		case bytecode.F2I:
 			a := pop().F
-			acct.AddInstr(energy.ALUComplex, 1)
+			counts[energy.ALUComplex]++
 			push(Slot{I: int64(int32(int64(a)))})
 
 		case bytecode.GOTO:
-			acct.AddInstr(energy.Branch, 1)
+			counts[energy.Branch]++
 			next = int(in.A)
 
-		case bytecode.IFEQ, bytecode.IFNE, bytecode.IFLT,
-			bytecode.IFGE, bytecode.IFGT, bytecode.IFLE:
+		case bytecode.IFEQ:
 			a := pop().I
-			acct.AddInstr(energy.Branch, 1)
-			var taken bool
-			switch in.Op {
-			case bytecode.IFEQ:
-				taken = a == 0
-			case bytecode.IFNE:
-				taken = a != 0
-			case bytecode.IFLT:
-				taken = a < 0
-			case bytecode.IFGE:
-				taken = a >= 0
-			case bytecode.IFGT:
-				taken = a > 0
-			case bytecode.IFLE:
-				taken = a <= 0
+			counts[energy.Branch]++
+			if a == 0 {
+				next = int(in.A)
 			}
-			if taken {
+		case bytecode.IFNE:
+			a := pop().I
+			counts[energy.Branch]++
+			if a != 0 {
+				next = int(in.A)
+			}
+		case bytecode.IFLT:
+			a := pop().I
+			counts[energy.Branch]++
+			if a < 0 {
+				next = int(in.A)
+			}
+		case bytecode.IFGE:
+			a := pop().I
+			counts[energy.Branch]++
+			if a >= 0 {
+				next = int(in.A)
+			}
+		case bytecode.IFGT:
+			a := pop().I
+			counts[energy.Branch]++
+			if a > 0 {
+				next = int(in.A)
+			}
+		case bytecode.IFLE:
+			a := pop().I
+			counts[energy.Branch]++
+			if a <= 0 {
 				next = int(in.A)
 			}
 
-		case bytecode.IFICMPEQ, bytecode.IFICMPNE, bytecode.IFICMPLT,
-			bytecode.IFICMPGE, bytecode.IFICMPGT, bytecode.IFICMPLE:
+		case bytecode.IFICMPEQ:
 			b, a := pop().I, pop().I
-			acct.AddInstr(energy.Branch, 1)
-			var taken bool
-			switch in.Op {
-			case bytecode.IFICMPEQ:
-				taken = a == b
-			case bytecode.IFICMPNE:
-				taken = a != b
-			case bytecode.IFICMPLT:
-				taken = a < b
-			case bytecode.IFICMPGE:
-				taken = a >= b
-			case bytecode.IFICMPGT:
-				taken = a > b
-			case bytecode.IFICMPLE:
-				taken = a <= b
+			counts[energy.Branch]++
+			if a == b {
+				next = int(in.A)
 			}
-			if taken {
+		case bytecode.IFICMPNE:
+			b, a := pop().I, pop().I
+			counts[energy.Branch]++
+			if a != b {
+				next = int(in.A)
+			}
+		case bytecode.IFICMPLT:
+			b, a := pop().I, pop().I
+			counts[energy.Branch]++
+			if a < b {
+				next = int(in.A)
+			}
+		case bytecode.IFICMPGE:
+			b, a := pop().I, pop().I
+			counts[energy.Branch]++
+			if a >= b {
+				next = int(in.A)
+			}
+		case bytecode.IFICMPGT:
+			b, a := pop().I, pop().I
+			counts[energy.Branch]++
+			if a > b {
+				next = int(in.A)
+			}
+		case bytecode.IFICMPLE:
+			b, a := pop().I, pop().I
+			counts[energy.Branch]++
+			if a <= b {
 				next = int(in.A)
 			}
 
-		case bytecode.IFFCMPEQ, bytecode.IFFCMPNE, bytecode.IFFCMPLT, bytecode.IFFCMPGE:
+		case bytecode.IFFCMPEQ:
 			b, a := pop().F, pop().F
-			acct.AddInstr(energy.Branch, 1)
-			var taken bool
-			switch in.Op {
-			case bytecode.IFFCMPEQ:
-				taken = a == b
-			case bytecode.IFFCMPNE:
-				taken = a != b
-			case bytecode.IFFCMPLT:
-				taken = a < b
-			case bytecode.IFFCMPGE:
-				taken = a >= b
+			counts[energy.Branch]++
+			if a == b {
+				next = int(in.A)
 			}
-			if taken {
+		case bytecode.IFFCMPNE:
+			b, a := pop().F, pop().F
+			counts[energy.Branch]++
+			if a != b {
+				next = int(in.A)
+			}
+		case bytecode.IFFCMPLT:
+			b, a := pop().F, pop().F
+			counts[energy.Branch]++
+			if a < b {
+				next = int(in.A)
+			}
+		case bytecode.IFFCMPGE:
+			b, a := pop().F, pop().F
+			counts[energy.Branch]++
+			if a >= b {
 				next = int(in.A)
 			}
 
-		case bytecode.IFACMPEQ, bytecode.IFACMPNE:
+		case bytecode.IFACMPEQ:
 			b, a := pop().I, pop().I
-			acct.AddInstr(energy.Branch, 1)
-			if (in.Op == bytecode.IFACMPEQ) == (a == b) {
+			counts[energy.Branch]++
+			if a == b {
 				next = int(in.A)
 			}
-		case bytecode.IFNULL, bytecode.IFNONNULL:
+		case bytecode.IFACMPNE:
+			b, a := pop().I, pop().I
+			counts[energy.Branch]++
+			if a != b {
+				next = int(in.A)
+			}
+		case bytecode.IFNULL:
 			a := pop().I
-			acct.AddInstr(energy.Branch, 1)
-			if (in.Op == bytecode.IFNULL) == (a == 0) {
+			counts[energy.Branch]++
+			if a == 0 {
+				next = int(in.A)
+			}
+		case bytecode.IFNONNULL:
+			a := pop().I
+			counts[energy.Branch]++
+			if a != 0 {
 				next = int(in.A)
 			}
 
 		case bytecode.NEWARRAY:
 			n := pop().I
-			acct.AddInstr(energy.ALUComplex, 1)
+			counts[energy.ALUComplex]++
 			h, err := heap.NewArray(bytecode.ElemKind(in.A), n)
 			if err != nil {
 				return fail(pc, err)
@@ -284,7 +392,7 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 		case bytecode.IALOAD, bytecode.AALOAD:
 			i := pop().I
 			a := pop().I
-			acct.AddInstr(energy.Load, 1)
+			counts[energy.Load]++
 			x, err := heap.ElemI(a, i)
 			if err != nil {
 				return fail(pc, err)
@@ -293,7 +401,7 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 		case bytecode.FALOAD:
 			i := pop().I
 			a := pop().I
-			acct.AddInstr(energy.Load, 1)
+			counts[energy.Load]++
 			x, err := heap.ElemF(a, i)
 			if err != nil {
 				return fail(pc, err)
@@ -303,7 +411,7 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 			x := pop().I
 			i := pop().I
 			a := pop().I
-			acct.AddInstr(energy.Store, 1)
+			counts[energy.Store]++
 			if err := heap.SetElemI(a, i, x); err != nil {
 				return fail(pc, err)
 			}
@@ -311,13 +419,13 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 			x := pop().F
 			i := pop().I
 			a := pop().I
-			acct.AddInstr(energy.Store, 1)
+			counts[energy.Store]++
 			if err := heap.SetElemF(a, i, x); err != nil {
 				return fail(pc, err)
 			}
 		case bytecode.ARRAYLENGTH:
 			a := pop().I
-			acct.AddInstr(energy.Load, 1)
+			counts[energy.Load]++
 			n, err := heap.ArrayLen(a)
 			if err != nil {
 				return fail(pc, err)
@@ -325,7 +433,7 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 			push(Slot{I: n})
 
 		case bytecode.NEW:
-			acct.AddInstr(energy.ALUComplex, 1)
+			counts[energy.ALUComplex]++
 			h, err := heap.NewObject(in.A)
 			if err != nil {
 				return fail(pc, err)
@@ -334,7 +442,7 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 
 		case bytecode.GETFI:
 			o := pop().I
-			acct.AddInstr(energy.Load, 1)
+			counts[energy.Load]++
 			x, err := heap.FieldI(o, int(in.A))
 			if err != nil {
 				return fail(pc, err)
@@ -342,7 +450,7 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 			push(Slot{I: x})
 		case bytecode.GETFF:
 			o := pop().I
-			acct.AddInstr(energy.Load, 1)
+			counts[energy.Load]++
 			x, err := heap.FieldF(o, int(in.A))
 			if err != nil {
 				return fail(pc, err)
@@ -350,7 +458,7 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 			push(Slot{F: x})
 		case bytecode.GETFA:
 			o := pop().I
-			acct.AddInstr(energy.Load, 1)
+			counts[energy.Load]++
 			x, err := heap.FieldI(o, int(in.A))
 			if err != nil {
 				return fail(pc, err)
@@ -359,14 +467,14 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 		case bytecode.PUTFI, bytecode.PUTFA:
 			x := pop().I
 			o := pop().I
-			acct.AddInstr(energy.Store, 1)
+			counts[energy.Store]++
 			if err := heap.SetFieldI(o, int(in.A), x); err != nil {
 				return fail(pc, err)
 			}
 		case bytecode.PUTFF:
 			x := pop().F
 			o := pop().I
-			acct.AddInstr(energy.Store, 1)
+			counts[energy.Store]++
 			if err := heap.SetFieldF(o, int(in.A), x); err != nil {
 				return fail(pc, err)
 			}
@@ -376,9 +484,10 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 			if target == nil {
 				return fail(pc, fmt.Errorf("bad method id %d", in.A))
 			}
-			kinds := target.ArgKinds()
-			cargs := make([]Slot, len(kinds))
-			for i := len(kinds) - 1; i >= 0; i-- {
+			nargs := target.NumArgs()
+			argMark := v.argTop
+			cargs := v.argSlots(nargs)
+			for i := nargs - 1; i >= 0; i-- {
 				cargs[i] = pop()
 			}
 			callee := target
@@ -392,29 +501,35 @@ func (v *VM) interpret(m *bytecode.Method, args []Slot) (Slot, error) {
 						callee = actual
 					}
 				}
-				acct.AddInstr(energy.Load, 2) // vtable lookup
+				counts[energy.Load] += 2 // vtable lookup
 			}
 			// Register-window save/fill, as for native calls.
-			acct.AddInstr(energy.Load, v.Mach.CallOverheadLoads)
-			acct.AddInstr(energy.Store, v.Mach.CallOverheadStores)
+			counts[energy.Load] += v.Mach.CallOverheadLoads
+			counts[energy.Store] += v.Mach.CallOverheadStores
+			// Re-entering the VM: commit pending bookkeeping so the
+			// callee observes an up-to-date account.
+			flush()
 			res, err := v.invoke(callee, cargs)
+			v.argTop = argMark
 			if err != nil {
 				return Slot{}, err
 			}
+			steps = v.steps
+			maxSteps = v.MaxSteps
 			if callee.Ret.Kind != bytecode.KVoid {
 				push(res)
 			}
 
 		case bytecode.RETURN:
-			acct.AddInstr(energy.Branch, 1)
+			counts[energy.Branch]++
 			return Slot{}, nil
 		case bytecode.IRETURN, bytecode.ARETURN:
 			r := pop()
-			acct.AddInstr(energy.Branch, 1)
+			counts[energy.Branch]++
 			return r, nil
 		case bytecode.FRETURN:
 			r := pop()
-			acct.AddInstr(energy.Branch, 1)
+			counts[energy.Branch]++
 			return r, nil
 
 		default:

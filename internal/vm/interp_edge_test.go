@@ -1,0 +1,150 @@
+package vm
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+)
+
+// Edge coverage for the flat dispatch loop: operands at the int32
+// extremes, branch targets outside the code, and opcodes the verifier
+// would reject — the dispatcher must fail cleanly on all of them, not
+// trust its input.
+
+// runUnverified links a single static method and interprets it
+// WITHOUT running the verifier, so tests can exercise code the
+// verifier rejects. maxStack substitutes for the bound Verify would
+// have computed.
+func runUnverified(t *testing.T, maxLocals, maxStack int, code []bytecode.Insn, args []Slot) (Slot, error) {
+	t.Helper()
+	m := &bytecode.Method{Name: "f", Static: true, Ret: bytecode.TInt,
+		MaxLocals: maxLocals, Code: code}
+	for range args {
+		m.Params = append(m.Params, bytecode.TInt)
+	}
+	p := &bytecode.Program{Classes: []*bytecode.Class{
+		{Name: "T", Methods: []*bytecode.Method{m}},
+	}}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	m.MaxStack = maxStack
+	v := New(p, energy.MicroSPARCIIep())
+	return v.Invoke(m, args)
+}
+
+func TestDispatchWideOperands(t *testing.T) {
+	B := bytecode.NewAsm
+	// Immediates at the int32 extremes flow through the Insn operand
+	// unclipped, and 32-bit wraparound applies on the way back out.
+	code := B().
+		Iconst(math.MaxInt32).
+		Iconst(1).
+		Op(bytecode.IADD).
+		Op(bytecode.IRETURN).
+		MustFinish()
+	res, err := runAsm(t, nil, bytecode.TInt, 0, code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(math.MinInt32); res.I != want {
+		t.Errorf("MaxInt32+1 = %d, want %d (wrap)", res.I, want)
+	}
+
+	code = B().
+		Iconst(math.MinInt32).
+		Op(bytecode.INEG).
+		Op(bytecode.IRETURN).
+		MustFinish()
+	res, err = runAsm(t, nil, bytecode.TInt, 0, code, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(math.MinInt32); res.I != want {
+		t.Errorf("-MinInt32 = %d, want %d (wrap)", res.I, want)
+	}
+}
+
+func TestDispatchBranchTargetOutOfBounds(t *testing.T) {
+	for _, target := range []int32{9999, -5} {
+		code := []bytecode.Insn{
+			{Op: bytecode.GOTO, A: target},
+			{Op: bytecode.ICONST, A: 1},
+			{Op: bytecode.IRETURN},
+		}
+		_, err := runUnverified(t, 0, 2, code, nil)
+		if err == nil || !strings.Contains(err.Error(), "pc out of bounds") {
+			t.Errorf("GOTO %d: err = %v, want pc out of bounds", target, err)
+		}
+	}
+}
+
+func TestDispatchConditionalBranchOutOfBounds(t *testing.T) {
+	// The taken edge of a conditional lands outside the code; the
+	// fall-through edge must still work.
+	code := []bytecode.Insn{
+		{Op: bytecode.ILOAD, A: 0},
+		{Op: bytecode.IFNE, A: 1000},
+		{Op: bytecode.ICONST, A: 7},
+		{Op: bytecode.IRETURN},
+	}
+	res, err := runUnverified(t, 1, 2, code, []Slot{IntSlot(0)})
+	if err != nil || res.I != 7 {
+		t.Errorf("fall-through: res=%d err=%v, want 7/nil", res.I, err)
+	}
+	_, err = runUnverified(t, 1, 2, code, []Slot{IntSlot(1)})
+	if err == nil || !strings.Contains(err.Error(), "pc out of bounds") {
+		t.Errorf("taken: err = %v, want pc out of bounds", err)
+	}
+}
+
+func TestDispatchFallOffEnd(t *testing.T) {
+	code := []bytecode.Insn{{Op: bytecode.ICONST, A: 1}}
+	_, err := runUnverified(t, 0, 2, code, nil)
+	if err == nil || !strings.Contains(err.Error(), "pc out of bounds") {
+		t.Errorf("err = %v, want pc out of bounds", err)
+	}
+}
+
+func TestDispatchUnhandledOpcode(t *testing.T) {
+	code := []bytecode.Insn{{Op: bytecode.Opcode(250)}}
+	_, err := runUnverified(t, 0, 2, code, nil)
+	if err == nil || !strings.Contains(err.Error(), "opcode") {
+		t.Errorf("err = %v, want unhandled-opcode error", err)
+	}
+}
+
+func TestDispatchDivByZeroChargesNoALU(t *testing.T) {
+	// The div-by-zero trap fires before the ALUComplex charge: the
+	// failing IDIV contributes only its dispatch overhead and the two
+	// operand pops.
+	B := bytecode.NewAsm
+	code := B().
+		Iconst(1).
+		Iconst(0).
+		Op(bytecode.IDIV).
+		Op(bytecode.IRETURN).
+		MustFinish()
+	m := &bytecode.Method{Name: "f", Static: true, Ret: bytecode.TInt, Code: code}
+	p := &bytecode.Program{Classes: []*bytecode.Class{
+		{Name: "T", Methods: []*bytecode.Method{m}},
+	}}
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	v := New(p, energy.MicroSPARCIIep())
+	before := v.Acct.InstrCount(energy.ALUComplex)
+	if _, err := v.Invoke(m, nil); !errors.Is(err, ErrDivideByZero) {
+		t.Fatalf("err = %v, want ErrDivideByZero", err)
+	}
+	if got := v.Acct.InstrCount(energy.ALUComplex); got != before {
+		t.Errorf("failing IDIV charged ALUComplex: %d -> %d", before, got)
+	}
+}

@@ -55,6 +55,33 @@ type VM struct {
 	codeAlloc *mem.Allocator
 	bcInfo    map[*bytecode.Method]*bcLayout
 	depth     int
+
+	// slotArena backs interpreter frames (locals + operand stack).
+	// Frames are carved off at slotTop with stack discipline, so one
+	// growable buffer serves the whole call tree without per-invocation
+	// allocation. Slots hold no pointers, so retaining the arena
+	// between runs keeps nothing alive. argArena does the same for
+	// call-argument vectors, and the reg pools back the bounded
+	// register saves native calls perform.
+	slotArena []Slot
+	slotTop   int
+	argArena  []Slot
+	argTop    int
+	regIPool  []int64
+	regFPool  []float64
+	regITop   int
+	regFTop   int
+}
+
+// argSlots carves an n-slot argument vector off the arena. The caller
+// releases it by restoring argTop after the invocation returns.
+func (v *VM) argSlots(n int) []Slot {
+	if top := v.argTop + n; top > len(v.argArena) {
+		v.argArena = append(v.argArena, make([]Slot, top-len(v.argArena))...)
+	}
+	s := v.argArena[v.argTop : v.argTop+n : v.argTop+n]
+	v.argTop += n
+	return s
 }
 
 // bcLayout caches the simulated placement of a method's bytecode
@@ -97,6 +124,9 @@ func (v *VM) ResetRun(flushCaches bool) {
 	v.sp = mem.StackBase
 	v.Mach.SP = mem.StackBase
 	v.depth = 0
+	v.slotTop = 0
+	v.argTop = 0
+	v.regITop, v.regFTop = 0, 0
 	if flushCaches {
 		v.Hier.Flush()
 	}
@@ -150,7 +180,11 @@ func (v *VM) invoke(m *bytecode.Method, args []Slot) (Slot, error) {
 		return Slot{}, fmt.Errorf("vm: call depth limit in %s", m.QName())
 	}
 	if m.Potential && v.Hook != nil {
-		res, handled, err := v.Hook(m, args)
+		// Hooks may retain the argument vector (e.g. marshalling it for
+		// remote execution), and args may live in a pooled arena — hand
+		// the hook a private copy.
+		hargs := append([]Slot(nil), args...)
+		res, handled, err := v.Hook(m, hargs)
 		if handled || err != nil {
 			return res, err
 		}
@@ -169,9 +203,42 @@ func (v *VM) invoke(m *bytecode.Method, args []Slot) (Slot, error) {
 
 // runNative executes a compiled body on the machine, marshalling
 // arguments into the ABI registers.
+//
+// Only the registers the call can disturb are saved and restored: the
+// body's recorded register bound, the ABI argument registers
+// marshalled below, and the R1/F1 result registers any nested call
+// writes. Registers beyond that bound are untouched by construction.
 func (v *VM) runNative(m *bytecode.Method, body *isa.Code, args []Slot) (Slot, error) {
 	mach := v.Mach
-	savedR, savedF := mach.SaveRegs()
+	nInt, nFlt := isa.NumIntRegs, isa.NumFloatRegs
+	if body.UsedRegs != 0 {
+		bound := int(body.UsedRegs)
+		if na := isa.ABIArgBase + len(args); na > bound {
+			bound = na
+		}
+		if bound <= isa.ABIArgBase {
+			bound = isa.ABIArgBase + 1
+		}
+		if bound < nInt {
+			nInt = bound
+		}
+		if bound < nFlt {
+			nFlt = bound
+		}
+	}
+	iMark, fMark := v.regITop, v.regFTop
+	if top := iMark + nInt; top > len(v.regIPool) {
+		v.regIPool = append(v.regIPool, make([]int64, top-len(v.regIPool))...)
+	}
+	if top := fMark + nFlt; top > len(v.regFPool) {
+		v.regFPool = append(v.regFPool, make([]float64, top-len(v.regFPool))...)
+	}
+	savedR := v.regIPool[iMark : iMark+nInt : iMark+nInt]
+	savedF := v.regFPool[fMark : fMark+nFlt : fMark+nFlt]
+	copy(savedR, mach.R[:nInt])
+	copy(savedF, mach.F[:nFlt])
+	v.regITop, v.regFTop = iMark+nInt, fMark+nFlt
+
 	ir, fr := isa.ABIArgBase, isa.ABIArgBase
 	for i, k := range m.ArgKinds() {
 		if k == bytecode.KFloat {
@@ -195,7 +262,12 @@ func (v *VM) runNative(m *bytecode.Method, body *isa.Code, args []Slot) (Slot, e
 			ret = Slot{I: mach.R[isa.ABIArgBase]}
 		}
 	}
-	mach.RestoreRegs(savedR, savedF)
+	// Restore, preserving the ABI result registers as RestoreRegs does.
+	r1, f1 := mach.R[1], mach.F[1]
+	copy(mach.R[:nInt], savedR)
+	copy(mach.F[:nFlt], savedF)
+	mach.R[1], mach.F[1] = r1, f1
+	v.regITop, v.regFTop = iMark, fMark
 	if err != nil {
 		return Slot{}, fmt.Errorf("%s (native L%d): %w", m.QName(), body.OptLevel, err)
 	}
@@ -236,7 +308,8 @@ func (b *bridge) Call(idx int64, mach *isa.Machine) error {
 		return fmt.Errorf("vm: CALLVM to bad method id %d", idx)
 	}
 	kinds := target.ArgKinds()
-	args := make([]Slot, len(kinds))
+	argMark := v.argTop
+	args := v.argSlots(len(kinds))
 	ir, fr := isa.ABIArgBase, isa.ABIArgBase
 	for i, k := range kinds {
 		if k == bytecode.KFloat {
@@ -262,6 +335,7 @@ func (b *bridge) Call(idx int64, mach *isa.Machine) error {
 		v.Acct.AddInstr(energy.Load, 2) // vtable lookup
 	}
 	res, err := v.invoke(m, args)
+	v.argTop = argMark
 	if err != nil {
 		return err
 	}
