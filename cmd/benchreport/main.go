@@ -3,24 +3,35 @@
 // trajectory artifact (BENCH_<n>.json) CI records per PR.
 //
 // The report carries the FigureGrid and Fleet timings (ns/op plus
-// their reported metrics), the fleet placement sweep — shed rate,
-// total energy and queue high-water mark per (fleet size, server
-// count, placement) at equal aggregate server capacity — and the
-// chaos sweep: fallbacks, served work and failovers per (fault shape,
-// placement, breaker scope) with the fault injected on backend s0.
-// The sweep numbers are deterministic — only the timings vary run to
-// run.
+// their reported metrics), the observability micro-benchmarks (P²
+// sketch observation, cached registry child handles, windowed
+// time-series writes — the telemetry hot path), the fleet placement
+// sweep — shed rate, total energy and queue high-water mark per
+// (fleet size, server count, placement) at equal aggregate server
+// capacity — and the chaos sweep: fallbacks, served work and
+// failovers per (fault shape, placement, breaker scope) with the
+// fault injected on backend s0. The sweep numbers are deterministic —
+// only the timings vary run to run.
 //
 // benchreport is also the trajectory's regression gate: -compare
 // diffs ns_per_op against a previous report and exits non-zero when
 // any benchmark regressed past -threshold (default 15%), unless the
 // benchmark is named in -allow.
 //
+// Finally it is the schema checker for the telemetry artifacts:
+// -validate-ts checks a fleetsim -timeseries JSONL file (header
+// schema/tick, contiguous tick-aligned windows, finite non-negative
+// counters), and -validate-prom checks a Prometheus text exposition
+// (parseable samples; every family declared `# TYPE ... summary`
+// carries quantile samples plus _sum and _count).
+//
 // Usage:
 //
-//	benchreport -out BENCH_8.json
-//	benchreport -out /tmp/bench.json -compare BENCH_8.json
-//	benchreport -compare BENCH_8.json -against /tmp/bench.json
+//	benchreport -out BENCH_9.json
+//	benchreport -out /tmp/bench.json -compare BENCH_9.json
+//	benchreport -compare BENCH_9.json -against /tmp/bench.json
+//	benchreport -validate-ts ts.jsonl
+//	benchreport -validate-prom metrics.txt
 package main
 
 import (
@@ -37,6 +48,8 @@ import (
 	"greenvm/internal/core"
 	"greenvm/internal/experiments"
 	"greenvm/internal/fleet"
+	"greenvm/internal/obs"
+	"greenvm/internal/rng"
 )
 
 type benchEntry struct {
@@ -79,13 +92,22 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "report file; '-' for stdout")
+	out := flag.String("out", "BENCH_9.json", "report file; '-' for stdout")
 	execs := flag.Int("execs", 4, "executions per client in the placement sweep")
 	compare := flag.String("compare", "", "baseline report to diff ns_per_op against; non-zero exit on regression")
 	against := flag.String("against", "", "with -compare: diff this report file instead of running the benchmarks")
 	threshold := flag.Float64("threshold", 0.15, "with -compare: fractional ns_per_op growth that counts as a regression")
 	allow := flag.String("allow", "", "with -compare: comma-separated benchmark names exempt from the gate")
+	validateTS := flag.String("validate-ts", "", "validate a timeseries JSONL file ('-' for stdin) and exit; no benchmarks run")
+	validateProm := flag.String("validate-prom", "", "validate a Prometheus text exposition file ('-' for stdin) and exit; no benchmarks run")
 	flag.Parse()
+	if *validateTS != "" || *validateProm != "" {
+		if err := runValidate(os.Stdout, *validateTS, *validateProm); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *execs, *compare, *against, *threshold, allowSet(*allow)); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
@@ -203,7 +225,7 @@ func produce(out string, execs int) (*report, error) {
 	envs := []*experiments.Env{feEnv, sortEnv}
 	w := fleet.WorkloadOf(feEnv)
 
-	rep := &report{Schema: 8, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := &report{Schema: 9, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	// FigureGrid: the Fig 7 scenario grid, serial and parallel — the
 	// same shape as BenchmarkFigureGrid.
@@ -257,6 +279,49 @@ func produce(out string, execs int) (*report, error) {
 			Metrics: map[string]float64{"shed_pct": 100 * rate},
 		})
 		fmt.Fprintf(os.Stderr, "Fleet/slots=%d: %d ns/op\n", conc, r.NsPerOp())
+	}
+
+	// Observability micro-benchmarks: the per-event costs of the
+	// telemetry hot path. P2Observe is one streaming-quantile update,
+	// the child benchmarks are one counter/summary write through a
+	// cached registry handle (label set resolved once, so the cost is a
+	// mutex acquisition), and TimeSeriesAdd is one windowed counter
+	// accumulation including amortized window materialization.
+	for _, ob := range []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"P2Observe", func(b *testing.B) {
+			p := obs.NewP2(0.95)
+			r := rng.New(7)
+			for i := 0; i < b.N; i++ {
+				p.Observe(r.Float64())
+			}
+		}},
+		{"CounterChildAdd", func(b *testing.B) {
+			c := obs.NewRegistry().Counter("bench_events_total", "bench").WithLabels("backend", "s0")
+			for i := 0; i < b.N; i++ {
+				c.Add(1)
+			}
+		}},
+		{"SummaryChildObserve", func(b *testing.B) {
+			s := obs.NewRegistry().Summary("bench_wait_seconds", "bench").WithLabels("backend", "s0")
+			r := rng.New(7)
+			for i := 0; i < b.N; i++ {
+				s.Observe(r.Float64())
+			}
+		}},
+		{"TimeSeriesAdd", func(b *testing.B) {
+			ts := obs.NewTimeSeries(0.0005, 512)
+			name := obs.SeriesName("served", "backend", "s0")
+			for i := 0; i < b.N; i++ {
+				ts.AddIdx(int64(i>>4), name, 1)
+			}
+		}},
+	} {
+		r := testing.Benchmark(ob.fn)
+		rep.Benches = append(rep.Benches, benchEntry{Name: ob.name, N: r.N, NsPerOp: r.NsPerOp()})
+		fmt.Fprintf(os.Stderr, "%s: %d ns/op\n", ob.name, r.NsPerOp())
 	}
 
 	// Placement sweep at equal aggregate capacity: 4 workers total,

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"greenvm/internal/obs"
+)
+
+// TestValidateTimeSeriesRoundTrip: what obs.TimeSeries writes, the
+// validator accepts — the contract CI relies on.
+func TestValidateTimeSeriesRoundTrip(t *testing.T) {
+	ts := obs.NewTimeSeries(0.0005, 0)
+	for i := 0; i < 40; i++ {
+		at := float64(i) * 0.0003
+		ts.Add(at, "served", 1)
+		ts.Add(at, obs.SeriesName("served", "backend", "s0"), 1)
+		ts.Set(at, obs.SeriesName("depth", "backend", "s0"), float64(i%3))
+	}
+	var b bytes.Buffer
+	if err := ts.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	n, err := validateTimeSeries(&b)
+	if err != nil {
+		t.Fatalf("round-trip rejected: %v", err)
+	}
+	if n != len(ts.Windows()) {
+		t.Errorf("validated %d windows, recorder has %d", n, len(ts.Windows()))
+	}
+}
+
+func TestValidateTimeSeriesRejects(t *testing.T) {
+	hdr := `{"schema":"greenvm-timeseries/1","tick":0.5,"windows":2}`
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty", "", "missing header"},
+		{"bad schema", `{"schema":"nope/9","tick":0.5,"windows":0}`, "schema"},
+		{"zero tick", `{"schema":"greenvm-timeseries/1","tick":0,"windows":0}`, "tick"},
+		{"negative windows", `{"schema":"greenvm-timeseries/1","tick":0.5,"windows":-1}`, "non-negative"},
+		{"count mismatch", hdr + "\n" + `{"i":0,"t0":0,"t1":0.5}`, "found 1"},
+		{"gap", hdr + "\n" + `{"i":0,"t0":0,"t1":0.5}` + "\n" + `{"i":2,"t0":1,"t1":1.5}`, "not contiguous"},
+		{"misaligned", hdr + "\n" + `{"i":0,"t0":0,"t1":0.5}` + "\n" + `{"i":1,"t0":0.6,"t1":1}`, "not aligned"},
+		{"negative counter", hdr + "\n" + `{"i":0,"t0":0,"t1":0.5,"c":{"served":-1}}` + "\n" + `{"i":1,"t0":0.5,"t1":1}`, "non-negative"},
+		{"unknown field", hdr + "\n" + `{"i":0,"t0":0,"t1":0.5,"zz":1}` + "\n" + `{"i":1,"t0":0.5,"t1":1}`, "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := validateTimeSeries(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+// TestValidatePromRoundTrip: the registry's Prometheus exposition —
+// including a summary with streaming quantiles — passes the
+// validator's summary contract.
+func TestValidatePromRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("rt_requests_total", "requests").WithLabels("backend", "s0").Add(3)
+	reg.Gauge("rt_depth", "queue depth").WithLabels().Set(2)
+	h := reg.Histogram("rt_bytes", "payload bytes", []float64{16, 64, 256})
+	h.Observe(40)
+	s := reg.Summary("rt_wait_seconds", "queue wait").WithLabels("backend", "s0")
+	for i := 0; i < 100; i++ {
+		s.Observe(float64(i) / 100)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	n, err := validateProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round-trip rejected: %v\n%s", err, b.String())
+	}
+	if n == 0 {
+		t.Error("no samples validated")
+	}
+}
+
+func TestValidatePromRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"malformed line", "what even is this\n", "malformed sample"},
+		{"bad value", "x_total 1.2.3\n", "unparseable value"},
+		{"summary missing sum",
+			"# TYPE w summary\nw{quantile=\"0.5\"} 1\nw_count 2\n", "incomplete"},
+		{"summary without quantile label",
+			"# TYPE w summary\nw 1\n", "lacks a quantile"},
+		{"quantile out of range",
+			"# TYPE w summary\nw{quantile=\"1.5\"} 1\nw_sum 1\nw_count 1\n", "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := validateProm(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+// TestRunValidateFiles drives the -validate-ts/-validate-prom file
+// mode end to end the way CI invokes it.
+func TestRunValidateFiles(t *testing.T) {
+	ts := obs.NewTimeSeries(0.001, 0)
+	ts.Add(0.0004, "served", 1)
+	ts.Add(0.0023, "served", 2)
+	var jb bytes.Buffer
+	if err := ts.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tsPath := dir + "/ts.jsonl"
+	if err := os.WriteFile(tsPath, jb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	reg.Summary("w_seconds", "w").WithLabels().Observe(1)
+	var pb strings.Builder
+	if err := reg.WritePrometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	promPath := dir + "/metrics.txt"
+	if err := os.WriteFile(promPath, []byte(pb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runValidate(&out, tsPath, promPath); err != nil {
+		t.Fatalf("runValidate: %v", err)
+	}
+	if !strings.Contains(out.String(), "3 windows") || !strings.Contains(out.String(), "samples") {
+		t.Errorf("unexpected validate output:\n%s", out.String())
+	}
+}

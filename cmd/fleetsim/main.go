@@ -14,6 +14,8 @@
 //	fleetsim -app fe -clients 8,16,32,64 -servers 1,2,4 -placement all -sweep
 //	fleetsim -app fe -clients 16 -strategies AA,AL,R -server-workers 2 -queue 4
 //	fleetsim -app fe -clients 32 -metrics fleet.json
+//	fleetsim -app fe -clients 32 -timeseries ts.jsonl -tick 0.0005
+//	fleetsim -app fe -clients 64 -serve-metrics :9090    # curl :9090/metrics while it runs
 //
 // Backend chaos injection (single runs only, not -sweep):
 //
@@ -37,6 +39,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -46,6 +50,7 @@ import (
 	"greenvm/internal/energy"
 	"greenvm/internal/experiments"
 	"greenvm/internal/fleet"
+	"greenvm/internal/obs"
 )
 
 func main() {
@@ -67,15 +72,44 @@ func main() {
 	loss := flag.String("loss", "", "attach bursty loss to backends: name:rate[/burst] entries, e.g. s0:0.35/4")
 	breakers := flag.String("breakers", "backend", "circuit-breaker scope: backend (one per backend), global (one per link), off")
 	chaosSweep := flag.Bool("chaos-sweep", false, "print the fault-shape x placement x breaker-mode grid (chaos on backend s0)")
+	timeseries := flag.String("timeseries", "", "write the run's windowed virtual-time telemetry (JSONL) to this file; '-' for stdout")
+	tick := flag.Float64("tick", 0.0005, "telemetry window width in virtual seconds (with -timeseries/-serve-metrics)")
+	serveMetrics := flag.String("serve-metrics", "", "serve a live Prometheus scrape of the run (plus /debug/pprof) on this address, e.g. :9090")
 	flag.Parse()
 
 	if err := run(*app, *clients, *execs, *strategies, *servers, *placement,
 		*workers, *queue, *seed, *concurrency, *sweep, *metrics,
 		chaosFlags{fail: *fail, flap: *flap, brownout: *brownout, loss: *loss,
-			breakers: *breakers, sweep: *chaosSweep}); err != nil {
+			breakers: *breakers, sweep: *chaosSweep},
+		telemetryFlags{path: *timeseries, tick: *tick, serve: *serveMetrics}); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
+}
+
+// telemetryFlags carries the raw telemetry flag values into run.
+type telemetryFlags struct {
+	path  string  // -timeseries destination ('' = off, '-' = stdout)
+	tick  float64 // window width in virtual seconds
+	serve string  // -serve-metrics listen address ('' = off)
+}
+
+func (tf telemetryFlags) any() bool { return tf.path != "" || tf.serve != "" }
+
+// validate rejects flag combinations telemetry cannot honour: sweeps
+// run many specs (whose windows would overwrite each other), and a
+// non-positive tick makes no windows at all.
+func (tf telemetryFlags) validate(sweep, chaosSweep bool) error {
+	if !tf.any() {
+		return nil
+	}
+	if sweep || chaosSweep {
+		return fmt.Errorf("-timeseries/-serve-metrics record a single run; drop -sweep/-chaos-sweep or the telemetry flags")
+	}
+	if tf.tick <= 0 {
+		return fmt.Errorf("-tick %g: the telemetry window width must be positive", tf.tick)
+	}
+	return nil
 }
 
 // chaosFlags carries the raw chaos-injection flag values into run.
@@ -153,7 +187,8 @@ func (c *fleetConfig) serverConfig(n int) core.SessionConfig {
 }
 
 func run(appName, clientList string, execs int, strategyList, serverList, placementList string,
-	workers, queue int, seed uint64, concurrency int, sweep bool, metrics string, cf chaosFlags) error {
+	workers, queue int, seed uint64, concurrency int, sweep bool, metrics string, cf chaosFlags,
+	tf telemetryFlags) error {
 
 	a := apps.ByName(appName)
 	if a == nil {
@@ -181,6 +216,9 @@ func run(appName, clientList string, execs int, strategyList, serverList, placem
 	if cf.sweep && cf.any() {
 		return fmt.Errorf("-chaos-sweep injects its own fault shapes; drop -fail/-flap/-brownout/-loss")
 	}
+	if err := tf.validate(sweep, cf.sweep); err != nil {
+		return err
+	}
 	chaos, err := parseChaos(cf.fail, cf.flap, cf.brownout, cf.loss, cfg.serverNs[0])
 	if err != nil {
 		return err
@@ -207,11 +245,41 @@ func run(appName, clientList string, execs int, strategyList, serverList, placem
 	spec.Concurrency = concurrency
 	spec.Chaos = chaos
 	spec.Breakers = mode
+	if tf.any() {
+		spec.Telemetry = &fleet.TelemetrySpec{Tick: energy.Seconds(tf.tick)}
+	}
+	if tf.serve != "" {
+		reg := obs.NewRegistry()
+		spec.Telemetry.Live = reg
+		ln, err := net.Listen("tcp", tf.serve)
+		if err != nil {
+			return fmt.Errorf("-serve-metrics: %w", err)
+		}
+		defer ln.Close()
+		fmt.Printf("serving live metrics on http://%s/metrics (pprof on /debug/pprof/)\n", ln.Addr())
+		srv := &http.Server{Handler: obs.HTTPHandler(reg, obs.WithPprof())}
+		defer srv.Close()
+		go srv.Serve(ln) //nolint:errcheck
+	}
 	res, err := fleet.Run(spec)
 	if err != nil {
 		return err
 	}
 	res.WriteSummary(os.Stdout)
+	if tf.path != "" {
+		out := os.Stdout
+		if tf.path != "-" {
+			f, err := os.Create(tf.path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := res.Series.WriteJSONL(out); err != nil {
+			return err
+		}
+	}
 	if err := clientErrors(res); err != nil {
 		return err
 	}
@@ -258,12 +326,7 @@ func runSweep(w fleet.Workload, cfg *fleetConfig, strats []core.Strategy, execs 
 				if err := clientErrors(res); err != nil {
 					return err
 				}
-				var maxWait float64
-				for _, v := range res.Server.Waits {
-					if v > maxWait {
-						maxWait = v
-					}
-				}
+				maxWait := res.Server.WaitDist.Max
 				total := res.TotalEnergy()
 				fmt.Printf("%7d %7d %-8s | %12v %12v | %6d %6d %5.1f%% | %7.2fms %6d\n",
 					n, ns, pl, total/energy.Joules(n), total,

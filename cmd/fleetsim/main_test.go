@@ -179,3 +179,35 @@ func TestParseChaosRejectsNonsense(t *testing.T) {
 		})
 	}
 }
+
+func TestTelemetryFlagsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		tf      telemetryFlags
+		sweep   bool
+		chaos   bool
+		wantErr string
+	}{
+		{"off ignores everything", telemetryFlags{}, true, true, ""},
+		{"timeseries alone", telemetryFlags{path: "ts.jsonl", tick: 0.0005}, false, false, ""},
+		{"serve alone", telemetryFlags{serve: ":0", tick: 0.0005}, false, false, ""},
+		{"timeseries with sweep", telemetryFlags{path: "ts.jsonl", tick: 0.0005}, true, false, "single run"},
+		{"serve with chaos sweep", telemetryFlags{serve: ":0", tick: 0.0005}, false, true, "single run"},
+		{"zero tick", telemetryFlags{path: "ts.jsonl"}, false, false, "must be positive"},
+		{"negative tick", telemetryFlags{path: "ts.jsonl", tick: -1}, false, false, "must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.tf.validate(tc.sweep, tc.chaos)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %v does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

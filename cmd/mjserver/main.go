@@ -16,8 +16,10 @@
 // clients price into their offload decisions.
 //
 // With -metrics the server additionally exposes its RPC metrics
-// (requests, bytes, connections, recovered panics) over HTTP:
-// Prometheus text at /metrics and a JSON snapshot at /metrics.json.
+// (requests, bytes, connections, recovered panics) over HTTP on the
+// shared obs mux: Prometheus text at /metrics, a JSON snapshot at
+// /metrics.json, and Go profiling under /debug/pprof/ — the same
+// surface fleetsim -serve-metrics exposes.
 package main
 
 import (
@@ -106,7 +108,7 @@ func run(listen, app, metrics string, cfg core.SessionConfig, args []string) err
 			return err
 		}
 		fmt.Printf("mjserver: metrics on http://%s/metrics\n", ml.Addr())
-		go http.Serve(ml, obs.Handler(collector.Registry())) //nolint:errcheck
+		go http.Serve(ml, obs.HTTPHandler(collector.Registry(), obs.WithPprof())) //nolint:errcheck
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

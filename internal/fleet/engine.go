@@ -11,6 +11,7 @@ import (
 	"greenvm/internal/energy"
 	"greenvm/internal/isa"
 	"greenvm/internal/jit"
+	"greenvm/internal/obs"
 	"greenvm/internal/radio"
 )
 
@@ -31,8 +32,10 @@ import (
 //
 //	(virtual time, kind, tie-break)
 //
-// where kind orders backend failures before worker completions before
-// arrivals at the same instant (a completion at t frees its worker
+// where kind orders telemetry tick boundaries before backend failures
+// before worker completions before arrivals at the same instant (a
+// boundary at t samples window gauges before any time-t mutation, and
+// a completion at t frees its worker
 // for the arrival at t — a request never overtakes the queue through
 // a free slot), and the tie-break is the client index for arrivals (a
 // client has at most one outstanding request), the backend index for
@@ -65,12 +68,17 @@ const (
 	stateFinished
 )
 
-// Event kinds, in same-instant processing order. Failures order before
-// recoveries so a zero-downtime flap is still observed down for the
-// instant; recoveries order before completions and arrivals so a
-// request arriving exactly at restart time sees the backend up.
+// Event kinds, in same-instant processing order. Tick boundaries order
+// before everything else so the telemetry gauges sampled at boundary t
+// describe the state strictly before any time-t mutation (a window is
+// [start, end), so time-t events belong to the next window). Failures
+// order before recoveries so a zero-downtime flap is still observed
+// down for the instant; recoveries order before completions and
+// arrivals so a request arriving exactly at restart time sees the
+// backend up.
 const (
-	evFail    = iota // a backend goes down (FailAt, or a flap cycle's crash)
+	evTick    = iota // a telemetry window boundary (tie = the tick count)
+	evFail           // a backend goes down (FailAt, or a flap cycle's crash)
 	evRecover        // a flapped backend restarts
 	evDone           // a worker completes on some backend
 	evArrive         // a client's offload request (or breaker probe) arrives
@@ -182,16 +190,30 @@ type engine struct {
 	doneSeq int // deterministic completion-event tie-break
 
 	served, shed, maxDepth int
-	waits                  []float64 // per-served-request queue waits, admission order
-	depths                 []float64 // queue depth seen by each enqueued request
+	// waitSketch and depthSketch stream the per-served-request queue
+	// waits and the queue depths seen by enqueued requests through
+	// fixed-size P² sketches (they replaced unbounded []float64 slices
+	// — O(1) memory per run regardless of request count). Fed in heap
+	// order, so the estimates are deterministic.
+	waitSketch, depthSketch *obs.QuantileSketch
+
+	// rec is the windowed virtual-time telemetry recorder; nil when
+	// the spec asked for none.
+	rec *tsRec
 }
 
-func newEngine(pool *ServerPool, placement Placement, n int) *engine {
+func newEngine(pool *ServerPool, placement Placement, n int, rec *tsRec) *engine {
 	e := &engine{
-		pool:      pool,
-		placement: placement,
-		byID:      make(map[string]int, len(pool.backends)),
-		sessions:  make([]*session, 0, n),
+		pool:        pool,
+		placement:   placement,
+		byID:        make(map[string]int, len(pool.backends)),
+		sessions:    make([]*session, 0, n),
+		waitSketch:  obs.NewQuantileSketch(),
+		depthSketch: obs.NewQuantileSketch(),
+		rec:         rec,
+	}
+	if rec != nil {
+		heap.Push(&e.events, event{t: rec.tickAt(1), kind: evTick, tie: 1})
 	}
 	for i, id := range pool.ids {
 		e.byID[id] = i
@@ -290,10 +312,22 @@ func (e *engine) process() {
 		}
 		ev := heap.Pop(&e.events).(event)
 		switch ev.kind {
+		case evTick:
+			e.rec.boundary(int64(ev.tie), e.pool)
+			// The next boundary is tick*(k+1), a product — accumulated
+			// tick times would drift and break cross-run byte equality.
+			// The liveSessions gate bounds the cycle exactly like flap
+			// rescheduling: the final in-flight tick drains at the end.
+			if e.liveSessions() {
+				heap.Push(&e.events, event{t: e.rec.tickAt(int64(ev.tie) + 1), kind: evTick, tie: ev.tie + 1})
+			}
 		case evFail:
 			e.failBackend(ev)
 		case evRecover:
 			e.pool.backends[ev.bidx].down = false
+			if e.rec != nil {
+				e.rec.backendUp(ev.t, ev.bidx)
+			}
 		case evDone:
 			e.complete(ev)
 		case evArrive:
@@ -311,12 +345,18 @@ func (e *engine) arrive(ev event) {
 		e.probeArrive(r)
 		return
 	}
+	if e.rec != nil {
+		e.rec.arrival(r.t)
+	}
 	bidx := e.pickBackend(r)
 	if bidx < 0 {
 		// Every backend is down: the pool is unreachable, which the
 		// client's executor handles like any outage (timeout listen,
 		// breaker, local fallback).
 		r.err = fmt.Errorf("%w: fleet: every backend is down", radio.ErrConnectionLost)
+		if e.rec != nil {
+			e.rec.unreachable(r.t)
+		}
 		e.answer(r, r.t)
 		return
 	}
@@ -328,6 +368,9 @@ func (e *engine) arrive(ev event) {
 		b.chaosLosses++
 		r.err = &core.BackendError{Backend: b.id,
 			Err: fmt.Errorf("%w: fleet: exchange lost on backend %s", radio.ErrConnectionLost, b.id)}
+		if e.rec != nil {
+			e.rec.chaosLoss(r.t, bidx)
+		}
 		e.answer(r, r.t)
 		return
 	}
@@ -339,11 +382,14 @@ func (e *engine) arrive(ev event) {
 		e.shed++
 		b.shed++
 		r.sess.shed++
+		if e.rec != nil {
+			e.rec.shed(r.t, bidx)
+		}
 		r.err = &core.BusyError{QueueDepth: depth, Backend: b.id}
 		e.answer(r, r.t)
 	default:
 		b.queue = append(b.queue, r)
-		e.depths = append(e.depths, float64(len(b.queue)))
+		e.depthSketch.Observe(float64(len(b.queue)))
 		if len(b.queue) > b.maxDepth {
 			b.maxDepth = len(b.queue)
 		}
@@ -405,6 +451,9 @@ func (e *engine) failBackend(ev event) {
 	b.flaps++
 	queued := b.queue
 	b.queue = nil
+	if e.rec != nil {
+		e.rec.backendDown(ev.t, ev.bidx, len(queued))
+	}
 	for _, q := range queued {
 		q.err = &core.BackendError{Backend: b.id,
 			Err: fmt.Errorf("%w: fleet: backend %s failed", radio.ErrConnectionLost, b.id)}
@@ -469,7 +518,10 @@ func (e *engine) start(q *request, b *poolBackend, at energy.Seconds) {
 	if wait > q.sess.maxWait {
 		q.sess.maxWait = wait
 	}
-	e.waits = append(e.waits, float64(wait))
+	e.waitSketch.Observe(float64(wait))
+	if e.rec != nil {
+		e.rec.served(at, b.idx, wait)
+	}
 	q.res, q.servTime, q.queued, q.servedBy = res, wait+servTime, queued, b.id
 	e.doneSeq++
 	heap.Push(&e.events, event{t: at + servTime, kind: evDone, tie: e.doneSeq, req: q, bidx: b.idx})

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"greenvm/internal/bytecode"
@@ -138,6 +139,11 @@ type Spec struct {
 	// means GOMAXPROCS. It never changes the results, only the
 	// wall-clock time (the determinism test holds the engine to that).
 	Concurrency int
+	// Telemetry, when non-nil, records a windowed virtual-time series
+	// of the run (see TelemetrySpec and telemetry.go); the result's
+	// Series field carries it. Like everything else, byte-identical
+	// under any Concurrency.
+	Telemetry *TelemetrySpec
 }
 
 // MixedFleet builds a fleet of n clients cycling through the given
@@ -191,10 +197,11 @@ type ServerResult struct {
 	Workers, QueueCap           int
 	Served, Shed, MaxQueueDepth int
 	CacheHits                   int
-	// Waits holds per-served-request queue waits and Depths the queue
-	// depth seen by each request that had to wait, both in admission
-	// order (deterministic).
-	Waits, Depths []float64
+	// WaitDist summarizes the per-served-request queue waits and
+	// DepthDist the queue depths seen by requests that had to wait,
+	// both as streaming-quantile snapshots fed in admission order
+	// (deterministic, fixed-size — these replaced unbounded slices).
+	WaitDist, DepthDist obs.SketchSnapshot
 }
 
 // BackendResult is one backend server's admission outcomes.
@@ -226,6 +233,9 @@ type Result struct {
 	// Backends holds per-backend outcomes, in placement order (one
 	// entry even for a single-server run).
 	Backends []BackendResult
+	// Series is the windowed virtual-time telemetry of the run; nil
+	// unless the spec set Telemetry.
+	Series *obs.TimeSeries
 }
 
 // Run simulates the fleet to completion.
@@ -242,7 +252,14 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	pool := NewServerPool(w.Prog, spec.Servers, spec.Server, chaos)
-	eng := newEngine(pool, spec.Placement, len(spec.Clients))
+	var rec *tsRec
+	if spec.Telemetry != nil {
+		if spec.Telemetry.Tick <= 0 {
+			return nil, fmt.Errorf("fleet: telemetry tick %v must be positive", spec.Telemetry.Tick)
+		}
+		rec = newTSRec(spec.Telemetry, pool)
+	}
+	eng := newEngine(pool, spec.Placement, len(spec.Clients), rec)
 	conc := spec.Concurrency
 	if conc <= 0 {
 		conc = runtime.GOMAXPROCS(0)
@@ -255,11 +272,19 @@ func Run(spec Spec) (*Result, error) {
 	// depend on placement order.
 	clients := make([]*core.Client, len(spec.Clients))
 	sessions := make([]*session, len(spec.Clients))
+	var logs []*clientLog
+	if rec != nil {
+		logs = make([]*clientLog, len(spec.Clients))
+	}
 	for i, cs := range spec.Clients {
 		fs := eng.addSession()
 		pool.open(cs.ID)
 		sessions[i] = fs
 		var opts []core.Option
+		if rec != nil {
+			logs[i] = &clientLog{}
+			opts = append(opts, core.WithSink(logs[i]))
+		}
 		if cs.Outage > 0 {
 			opts = append(opts, core.WithFaultModel(radio.NewGilbertElliott(cs.Outage, cs.Burst)))
 		}
@@ -340,8 +365,12 @@ func Run(spec Spec) (*Result, error) {
 		Shed:          eng.shed,
 		MaxQueueDepth: eng.maxDepth,
 		CacheHits:     pool.cacheHits(),
-		Waits:         eng.waits,
-		Depths:        eng.depths,
+		WaitDist:      eng.waitSketch.Snapshot(),
+		DepthDist:     eng.depthSketch.Snapshot(),
+	}
+	if rec != nil {
+		foldClientLogs(rec.ts, logs)
+		res.Series = rec.ts
 	}
 	for _, b := range pool.backends {
 		br := BackendResult{
@@ -459,17 +488,10 @@ func inputSeed(name string, size int) uint64 {
 	return h*2654435761 + uint64(size)
 }
 
-// Histogram buckets for the observability registry: queue waits in
-// virtual seconds, queue depths in requests.
-var (
-	waitBuckets  = []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1}
-	depthBuckets = []float64{1, 2, 4, 8, 16, 32}
-)
-
 // Registry renders the run through the observability seam: per-client
 // energy/time gauges, admission counters, and the server's queue
-// wait/depth histograms. Built post-run in client order, so its
-// snapshot is deterministic.
+// wait/depth quantiles (from the engine's streaming P² sketches).
+// Built post-run in client order, so its snapshot is deterministic.
 func (r *Result) Registry() *obs.Registry {
 	reg := obs.NewRegistry()
 	eGauge := reg.Gauge("fleet_client_energy_joules", "total energy per simulated handset")
@@ -477,8 +499,6 @@ func (r *Result) Registry() *obs.Registry {
 	served := reg.Counter("fleet_served_total", "requests that obtained a server worker")
 	sheds := reg.Counter("fleet_sheds_total", "requests shed by server admission control")
 	hits := reg.Counter("fleet_session_cache_hits_total", "requests answered from a session's serialization cache")
-	waitH := reg.Histogram("fleet_queue_wait_seconds", "virtual queue wait of served requests", waitBuckets)
-	depthH := reg.Histogram("fleet_queue_depth", "queue depth seen by requests that waited", depthBuckets)
 	for _, c := range r.Clients {
 		labels := []string{"client", c.ID, "strategy", c.Strategy.String()}
 		eGauge.Set(float64(c.Energy), labels...)
@@ -493,12 +513,8 @@ func (r *Result) Registry() *obs.Registry {
 			hits.Add(float64(c.Session.CacheHits), labels...)
 		}
 	}
-	for _, v := range r.Server.Waits {
-		waitH.Observe(v)
-	}
-	for _, v := range r.Server.Depths {
-		depthH.Observe(v)
-	}
+	exportDist(reg, "fleet_queue_wait_seconds", "virtual queue wait quantiles of served requests", r.Server.WaitDist)
+	exportDist(reg, "fleet_queue_depth", "queue depth quantiles seen by requests that waited", r.Server.DepthDist)
 	failovers := reg.Counter("fleet_failovers_total", "invocations re-placed on a surviving backend after an attributed loss")
 	for _, c := range r.Clients {
 		if c.Stats.Failovers > 0 {
@@ -539,6 +555,18 @@ func (r *Result) Registry() *obs.Registry {
 		}
 	}
 	return reg
+}
+
+// exportDist renders a sketch snapshot as quantile-labeled gauges
+// plus _count/_max companions — the post-run view of a distribution
+// whose samples were never retained.
+func exportDist(reg *obs.Registry, name, help string, d obs.SketchSnapshot) {
+	g := reg.Gauge(name, help)
+	for _, qv := range d.Quantiles {
+		g.Set(qv.Value, "quantile", strconv.FormatFloat(qv.Quantile, 'g', -1, 64))
+	}
+	reg.Gauge(name+"_count", "samples behind "+name).Set(float64(d.Count))
+	reg.Gauge(name+"_max", "largest sample behind "+name).Set(d.Max)
 }
 
 // TotalFailovers sums in-flight re-placements after attributed losses

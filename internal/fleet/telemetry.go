@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"sort"
+
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+	"greenvm/internal/obs"
+)
+
+// Virtual-time telemetry: the engine cuts the simulated clock into
+// fixed ticks and records, per window, what the admission layer did
+// (served/shed/flushed/losses, queue waits) and what each backend
+// looked like at the tick boundary (up, busy workers, queue depth).
+// Client-side series — per-invocation energy, failovers, breaker
+// transitions — are folded in after the run from per-client event
+// logs, in client order, so every float accumulates in a fixed order
+// and the exported JSONL is byte-identical across -workers.
+//
+// The engine-side half streams: every write happens inside the event
+// heap under the engine lock, in heap order, which is the same
+// determinism argument the engine itself makes (see engine.go). Tick
+// boundaries are events on that heap — kind evTick, ordered before
+// every other kind at the same instant — so the gauges sampled at
+// boundary t describe the state strictly before any time-t mutation,
+// and tick times are computed as tick*k (never accumulated), so they
+// are bit-identical however long the run gets.
+
+// TelemetrySpec switches a fleet run's windowed telemetry on.
+type TelemetrySpec struct {
+	// Tick is the window width in virtual seconds (required > 0).
+	Tick energy.Seconds
+	// Windows caps how many windows are retained (oldest evicted
+	// first); 0 keeps the whole run.
+	Windows int
+	// Live, when non-nil, is a registry the engine also updates as it
+	// simulates — the scrape target behind fleetsim -serve-metrics.
+	// Updates go through cached child handles, so the per-event cost is
+	// one mutex acquisition, no allocation.
+	Live *obs.Registry
+}
+
+// tsRec is the engine's recorder: the window store plus pre-built
+// series names (building them per event would allocate under the
+// engine lock) and optional live-registry child handles.
+type tsRec struct {
+	ts   *obs.TimeSeries
+	tick energy.Seconds
+
+	// Per-backend series names, indexed by backend index.
+	servedB, shedB, flushedB, lossB, downB, upB []string // window counters
+	depthB, busyB, upGB                         []string // tick-boundary gauges
+
+	live *liveHandles
+}
+
+// liveHandles caches one child handle per (metric, backend) for the
+// live registry, resolved once at engine construction.
+type liveHandles struct {
+	served, shed []*obs.CounterChild
+	up           []*obs.GaugeChild
+	depth        []*obs.GaugeChild
+	wait         *obs.SummaryChild
+	window       *obs.GaugeChild
+}
+
+func newTSRec(spec *TelemetrySpec, pool *ServerPool) *tsRec {
+	r := &tsRec{
+		ts:   obs.NewTimeSeries(float64(spec.Tick), spec.Windows),
+		tick: spec.Tick,
+	}
+	for _, id := range pool.ids {
+		r.servedB = append(r.servedB, obs.SeriesName("served", "backend", id))
+		r.shedB = append(r.shedB, obs.SeriesName("shed", "backend", id))
+		r.flushedB = append(r.flushedB, obs.SeriesName("flushed", "backend", id))
+		r.lossB = append(r.lossB, obs.SeriesName("chaos_loss", "backend", id))
+		r.downB = append(r.downB, obs.SeriesName("backend_down", "backend", id))
+		r.upB = append(r.upB, obs.SeriesName("backend_up", "backend", id))
+		r.depthB = append(r.depthB, obs.SeriesName("depth", "backend", id))
+		r.busyB = append(r.busyB, obs.SeriesName("busy", "backend", id))
+		r.upGB = append(r.upGB, obs.SeriesName("up", "backend", id))
+	}
+	if spec.Live != nil {
+		reg := spec.Live
+		lh := &liveHandles{
+			wait:   reg.Summary("fleet_live_queue_wait_seconds", "virtual queue wait of served requests (streaming quantiles)").WithLabels(),
+			window: reg.Gauge("fleet_live_window", "index of the last completed telemetry window").WithLabels(),
+		}
+		served := reg.Counter("fleet_live_served_total", "requests served, by backend")
+		shed := reg.Counter("fleet_live_sheds_total", "requests shed, by backend")
+		up := reg.Gauge("fleet_live_backend_up", "1 while the backend is up")
+		depth := reg.Gauge("fleet_live_backend_queue_depth", "queue depth at the last tick boundary")
+		for _, id := range pool.ids {
+			lh.served = append(lh.served, served.WithLabels("backend", id))
+			lh.shed = append(lh.shed, shed.WithLabels("backend", id))
+			lh.up = append(lh.up, up.WithLabels("backend", id))
+			lh.depth = append(lh.depth, depth.WithLabels("backend", id))
+			lh.up[len(lh.up)-1].Set(1)
+		}
+		r.live = lh
+	}
+	return r
+}
+
+// tickAt returns the virtual time of tick boundary k, as a product so
+// boundary times never accumulate floating-point drift.
+func (r *tsRec) tickAt(k int64) energy.Seconds {
+	return energy.Seconds(float64(k) * float64(r.tick))
+}
+
+// boundary samples every backend's state into the window that just
+// ended (tick k closes window k-1) and updates the live gauges.
+func (r *tsRec) boundary(k int64, pool *ServerPool) {
+	win := k - 1
+	for i, b := range pool.backends {
+		upv := 1.0
+		if b.down {
+			upv = 0
+		}
+		r.ts.SetIdx(win, r.upGB[i], upv)
+		r.ts.SetIdx(win, r.busyB[i], float64(b.busy))
+		r.ts.SetIdx(win, r.depthB[i], float64(len(b.queue)))
+		if r.live != nil {
+			r.live.up[i].Set(upv)
+			r.live.depth[i].Set(float64(len(b.queue)))
+		}
+	}
+	if r.live != nil {
+		r.live.window.Set(float64(win))
+	}
+}
+
+func (r *tsRec) arrival(t energy.Seconds) {
+	r.ts.Add(float64(t), "arrivals", 1)
+}
+
+func (r *tsRec) served(t energy.Seconds, bidx int, wait energy.Seconds) {
+	ft := float64(t)
+	r.ts.Add(ft, "served", 1)
+	r.ts.Add(ft, r.servedB[bidx], 1)
+	r.ts.Add(ft, "queue_wait_sum", float64(wait))
+	if r.live != nil {
+		r.live.served[bidx].Add(1)
+		r.live.wait.Observe(float64(wait))
+	}
+}
+
+func (r *tsRec) shed(t energy.Seconds, bidx int) {
+	ft := float64(t)
+	r.ts.Add(ft, "shed", 1)
+	r.ts.Add(ft, r.shedB[bidx], 1)
+	if r.live != nil {
+		r.live.shed[bidx].Add(1)
+	}
+}
+
+func (r *tsRec) chaosLoss(t energy.Seconds, bidx int) {
+	r.ts.Add(float64(t), r.lossB[bidx], 1)
+}
+
+func (r *tsRec) unreachable(t energy.Seconds) {
+	r.ts.Add(float64(t), "unreachable", 1)
+}
+
+func (r *tsRec) backendDown(t energy.Seconds, bidx, flushed int) {
+	ft := float64(t)
+	r.ts.Add(ft, r.downB[bidx], 1)
+	if flushed > 0 {
+		r.ts.Add(ft, r.flushedB[bidx], float64(flushed))
+	}
+	if r.live != nil {
+		r.live.up[bidx].Set(0)
+	}
+}
+
+func (r *tsRec) backendUp(t energy.Seconds, bidx int) {
+	r.ts.Add(float64(t), r.upB[bidx], 1)
+	if r.live != nil {
+		r.live.up[bidx].Set(1)
+	}
+}
+
+// clientLog is the per-client event sink feeding the post-run fold.
+// Each client owns one and its Emit runs on that client's goroutine,
+// so there is no sharing; determinism comes from folding the logs in
+// client order after the run.
+type clientLog struct {
+	events []logEvent
+}
+
+type logEvent struct {
+	kind    core.EventKind
+	at      energy.Seconds
+	energy  float64
+	backend string
+}
+
+// Emit implements core.EventSink, keeping only the kinds the windows
+// chart.
+func (l *clientLog) Emit(e core.Event) {
+	switch e.Kind {
+	case core.EvInvoke:
+		l.events = append(l.events, logEvent{kind: e.Kind, at: e.At, energy: float64(e.Energy)})
+	case core.EvFallback, core.EvFailover, core.EvProbe, core.EvLinkDown, core.EvLinkUp:
+		l.events = append(l.events, logEvent{kind: e.Kind, at: e.At, backend: e.Backend})
+	}
+}
+
+var _ core.EventSink = (*clientLog)(nil)
+
+// breakerBackend names the breaker's scope in series labels: the
+// backend for per-backend breakers, "link" for the global one.
+func breakerBackend(b string) string {
+	if b == "" {
+		return "link"
+	}
+	return b
+}
+
+// foldClientLogs merges the per-client event logs into the window
+// store: energy and failover/fallback counters per client in client
+// order (fixed float accumulation order), then a time-ordered replay
+// of breaker transitions into a per-window breakers_open gauge. The
+// replay sort key (at, client, seq) is unique, so the fold is a pure
+// function of the logs.
+func foldClientLogs(ts *obs.TimeSeries, logs []*clientLog) {
+	type transition struct {
+		at          energy.Seconds
+		client, seq int
+		backend     string
+		open        bool
+	}
+	var trans []transition
+	for ci, l := range logs {
+		for si, e := range l.events {
+			at := float64(e.at)
+			switch e.kind {
+			case core.EvInvoke:
+				ts.Add(at, "energy_j", e.energy)
+				ts.Add(at, "invocations", 1)
+			case core.EvFallback:
+				ts.Add(at, "fallback", 1)
+			case core.EvFailover:
+				ts.Add(at, "failover", 1)
+			case core.EvProbe:
+				ts.Add(at, obs.SeriesName("probe", "backend", breakerBackend(e.backend)), 1)
+			case core.EvLinkDown, core.EvLinkUp:
+				trans = append(trans, transition{
+					at: e.at, client: ci, seq: si,
+					backend: breakerBackend(e.backend),
+					open:    e.kind == core.EvLinkDown,
+				})
+				name := "breaker_close"
+				if e.kind == core.EvLinkDown {
+					name = "breaker_open"
+				}
+				ts.Add(at, obs.SeriesName(name, "backend", breakerBackend(e.backend)), 1)
+			}
+		}
+	}
+
+	sort.Slice(trans, func(i, j int) bool {
+		if trans[i].at != trans[j].at {
+			return trans[i].at < trans[j].at
+		}
+		if trans[i].client != trans[j].client {
+			return trans[i].client < trans[j].client
+		}
+		return trans[i].seq < trans[j].seq
+	})
+
+	// Replay: walk the (now final) windows in order, applying every
+	// transition that happened before a window's end, and record how
+	// many client breakers were open per backend when it closed.
+	wins := ts.Windows()
+	open := map[string]int{}
+	names := map[string]string{}
+	var sorted []string
+	j := 0
+	for wi := range wins {
+		w := wins[wi]
+		for j < len(trans) && trans[j].at < energy.Seconds(w.End) {
+			t := trans[j]
+			if _, ok := open[t.backend]; !ok {
+				names[t.backend] = obs.SeriesName("breakers_open", "backend", t.backend)
+				sorted = append(sorted, t.backend)
+				sort.Strings(sorted)
+			}
+			if t.open {
+				open[t.backend]++
+			} else if open[t.backend] > 0 {
+				open[t.backend]--
+			}
+			j++
+		}
+		for _, b := range sorted {
+			ts.SetIdx(w.Index, names[b], float64(open[b]))
+		}
+	}
+}

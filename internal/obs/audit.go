@@ -33,10 +33,13 @@ type backendAudit struct {
 }
 
 type methodAudit struct {
-	n           int
-	sumAbsErr   float64
-	sumRelErr   float64
-	relErrs     []float64
+	n         int
+	sumAbsErr float64
+	sumRelErr float64
+	// relErr sketches the relative-error distribution in fixed-size
+	// state; the old []float64 grew without bound per method and was
+	// copied and sorted on every Report.
+	relErr      P2
 	totalRegret float64
 	actual      float64
 	predicted   float64
@@ -80,6 +83,7 @@ func (a *Auditor) Emit(e core.Event) {
 		m := a.methods[name]
 		if m == nil {
 			m = &methodAudit{}
+			m.relErr.Reset(0.95)
 			a.methods[name] = m
 		}
 		actual := float64(e.Energy)
@@ -92,7 +96,7 @@ func (a *Auditor) Emit(e core.Event) {
 		m.n++
 		m.sumAbsErr += absErr
 		m.sumRelErr += relErr
-		m.relErrs = append(m.relErrs, relErr)
+		m.relErr.Observe(relErr)
 		m.totalRegret += actual - est.BestCost()
 		m.actual += actual
 		m.predicted += pred
@@ -117,7 +121,9 @@ type MethodAudit struct {
 	// the chosen mode, in joules and as a fraction of actual.
 	MeanAbsErr float64
 	MeanRelErr float64
-	// P95RelErr is the 95th percentile of the relative error.
+	// P95RelErr is the 95th percentile of the relative error,
+	// estimated by a streaming P² sketch (exact through the first five
+	// paired invocations, approximate after — see quantile.go).
 	P95RelErr float64
 	// TotalRegret is Σ(actual − cheapest considered estimate): the
 	// energy the estimator left on the table versus a clairvoyant
@@ -166,7 +172,7 @@ func (a *Auditor) Report() *AuditReport {
 			N:           m.n,
 			MeanAbsErr:  m.sumAbsErr / float64(m.n),
 			MeanRelErr:  m.sumRelErr / float64(m.n),
-			P95RelErr:   percentile(m.relErrs, 0.95),
+			P95RelErr:   m.relErr.Quantile(),
 			TotalRegret: m.totalRegret,
 			ActualJ:     m.actual,
 			PredictedJ:  m.predicted,
@@ -178,24 +184,6 @@ func (a *Auditor) Report() *AuditReport {
 	}
 	sort.Slice(r.Backends, func(i, j int) bool { return r.Backends[i].Backend < r.Backends[j].Backend })
 	return r
-}
-
-// percentile returns the p-quantile of xs (nearest-rank on a sorted
-// copy); zero when empty.
-func percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	i := int(math.Ceil(p*float64(len(s)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(s) {
-		i = len(s) - 1
-	}
-	return s[i]
 }
 
 // RenderAuditReport writes the report as an aligned text table.

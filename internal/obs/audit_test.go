@@ -88,27 +88,42 @@ func TestAuditorUnpairedEstimates(t *testing.T) {
 	}
 }
 
-// TestAuditorP95: the percentile uses nearest-rank on the sorted
-// relative errors.
+// TestAuditorP95: P95RelErr is now backed by a streaming P² sketch —
+// exact for the first five paired invocations, and within a small
+// tolerance of the exact nearest-rank percentile after.
 func TestAuditorP95(t *testing.T) {
 	a := NewAuditor()
 	m := testMethod("work")
-	// 20 invocations: 19 perfect, one with relErr 0.5 → p95 picks the
-	// 19th of 20 sorted values (still 0), and with two bad ones the
-	// 19th is 0.5.
 	feed := func(pred, actual float64) {
 		a.Emit(core.Event{Kind: core.EvEstimate, Method: m,
 			Est: est(core.ModeInterp, map[core.Mode]float64{core.ModeInterp: pred})})
 		a.Emit(core.Event{Kind: core.EvInvoke, Method: m, Mode: core.ModeInterp, Energy: energy.Joules(actual)})
 	}
-	for i := 0; i < 18; i++ {
-		feed(1, 1)
+
+	// ≤5 samples: exact. relErrs {0, 0, 1/2, 1/3, 3/4} → p95 nearest
+	// rank of 5 is the max, 3/4.
+	feed(1, 1)
+	feed(2, 2)
+	feed(1, 2)   // relErr 1/2
+	feed(2, 3)   // relErr 1/3
+	feed(0.5, 2) // relErr 3/4
+	if got := a.Report().Methods[0].P95RelErr; math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("P95RelErr after 5 samples = %g, want exact 0.75", got)
 	}
-	feed(1, 2)
-	feed(1, 2)
+
+	// Many samples: the sketch must track the exact nearest-rank p95 of
+	// the same stream within 10% relative.
+	relErrs := []float64{0, 0, 0.5, 1.0 / 3, 0.75}
+	for i := 0; i < 200; i++ {
+		actual := 1 + float64(i%7)/10 // 1.0 .. 1.6
+		pred := actual * (1 - float64(i%13)/20)
+		feed(pred, actual)
+		relErrs = append(relErrs, (actual-pred)/actual)
+	}
 	got := a.Report().Methods[0].P95RelErr
-	if math.Abs(got-0.5) > 1e-12 {
-		t.Errorf("P95RelErr = %g, want 0.5", got)
+	exact := ExactQuantile(relErrs, 0.95)
+	if math.Abs(got-exact) > 0.1*exact {
+		t.Errorf("P95RelErr = %g, exact nearest-rank %g (off by more than 10%%)", got, exact)
 	}
 }
 

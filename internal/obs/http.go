@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// HandlerOption configures HTTPHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	pprof bool
+}
+
+// WithPprof registers the net/http/pprof handlers under /debug/pprof/
+// on the same mux, so one -serve-metrics flag yields both a scrape
+// target and a profiling hook while a long sweep runs.
+func WithPprof() HandlerOption {
+	return func(c *handlerConfig) { c.pprof = true }
+}
+
+// HTTPHandler serves reg over HTTP: Prometheus text exposition at
+// /metrics and the root path (so `curl host:port` works), an indented
+// JSON snapshot at /metrics.json, and — with WithPprof — the standard
+// profiling endpoints under /debug/pprof/. This is the one mux both
+// mjserver -metrics and fleetsim -serve-metrics wire up, so
+// content-type and error handling stay in one place.
+func HTTPHandler(reg *Registry, opts ...HandlerOption) http.Handler {
+	var cfg handlerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mux := http.NewServeMux()
+	text := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w) //nolint:errcheck
+	}
+	mux.HandleFunc("/metrics", text)
+	mux.HandleFunc("/", text)
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Snapshot().WriteJSON(w) //nolint:errcheck
+	})
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Handler is HTTPHandler without options, kept for existing callers.
+func Handler(reg *Registry) http.Handler { return HTTPHandler(reg) }

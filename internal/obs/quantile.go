@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Streaming quantiles: the fleet's trajectories are distributions over
+// virtual time, and holding every observation to sort it later costs
+// O(n) memory per metric — exactly what a 100k-handset sweep cannot
+// afford. P2 is the P² algorithm (Jain & Chlamtac, CACM 1985): five
+// markers track one quantile of a stream in fixed-size state, adjusted
+// by piecewise-parabolic interpolation as observations arrive. An
+// Observe costs a handful of float compares and never allocates, and
+// the estimate is a pure function of the observation sequence, so two
+// runs that feed the sketch in the same order read back the same
+// value — the determinism bar every fleet artifact meets.
+//
+// Accuracy: for the first five observations the sketch is exact; past
+// that the estimate is approximate, with error concentrated where the
+// sample density is sparse (extreme quantiles of heavy tails). The
+// property test pins it against exact nearest-rank percentiles on
+// uniform, normal, heavy-tailed and bimodal streams to within
+// max(5% of the interquartile spread, 15% relative) — the bound
+// documented (and enforced) in quantile_test.go.
+
+// P2 estimates a single quantile of a stream in O(1) space.
+type P2 struct {
+	p   float64
+	n   int64
+	q   [5]float64 // marker heights
+	pos [5]float64 // actual marker positions (1-based ranks)
+	des [5]float64 // desired marker positions
+	dn  [5]float64 // desired-position increments per observation
+
+	sum      float64
+	min, max float64
+}
+
+// NewP2 returns a sketch for the p-quantile, 0 < p < 1.
+func NewP2(p float64) *P2 {
+	s := &P2{}
+	s.Reset(p)
+	return s
+}
+
+// Reset re-targets the sketch at quantile p and discards all state.
+func (s *P2) Reset(p float64) {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("obs: P2 quantile %g outside (0, 1)", p))
+	}
+	*s = P2{p: p, dn: [5]float64{0, p / 2, p, (1 + p) / 2, 1}}
+}
+
+// Observe folds one sample into the sketch. It never allocates.
+func (s *P2) Observe(v float64) {
+	s.n++
+	s.sum += v
+	if s.n == 1 || v < s.min {
+		s.min = v
+	}
+	if s.n == 1 || v > s.max {
+		s.max = v
+	}
+	if s.n <= 5 {
+		// Warm-up: keep the first five observations sorted in q.
+		i := int(s.n) - 1
+		for i > 0 && s.q[i-1] > v {
+			s.q[i] = s.q[i-1]
+			i--
+		}
+		s.q[i] = v
+		if s.n == 5 {
+			for j := range s.pos {
+				s.pos[j] = float64(j + 1)
+				s.des[j] = 1 + 4*s.dn[j]
+			}
+		}
+		return
+	}
+
+	// Find the cell the sample lands in, extending the extremes.
+	var k int
+	switch {
+	case v < s.q[0]:
+		s.q[0] = v
+		k = 0
+	case v >= s.q[4]:
+		s.q[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < s.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.des {
+		s.des[i] += s.dn[i]
+	}
+
+	// Nudge the interior markers toward their desired ranks.
+	for i := 1; i <= 3; i++ {
+		d := s.des[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			qn := s.parabolic(i, sign)
+			if !(s.q[i-1] < qn && qn < s.q[i+1]) {
+				qn = s.linear(i, sign)
+			}
+			s.q[i] = qn
+			s.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height adjustment for marker
+// i moved d (±1) ranks.
+func (s *P2) parabolic(i int, d float64) float64 {
+	return s.q[i] + d/(s.pos[i+1]-s.pos[i-1])*
+		((s.pos[i]-s.pos[i-1]+d)*(s.q[i+1]-s.q[i])/(s.pos[i+1]-s.pos[i])+
+			(s.pos[i+1]-s.pos[i]-d)*(s.q[i]-s.q[i-1])/(s.pos[i]-s.pos[i-1]))
+}
+
+// linear is the fallback height adjustment when the parabola would
+// break marker monotonicity.
+func (s *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.q[i] + d*(s.q[j]-s.q[i])/(s.pos[j]-s.pos[i])
+}
+
+// Quantile returns the current estimate: exact nearest-rank while five
+// or fewer samples have been observed, the P² middle marker after.
+func (s *P2) Quantile() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if s.n <= 5 {
+		i := int(math.Ceil(s.p*float64(s.n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s.q[i]
+	}
+	return s.q[2]
+}
+
+// P returns the quantile the sketch targets.
+func (s *P2) P() float64 { return s.p }
+
+// Count returns how many samples have been observed.
+func (s *P2) Count() int64 { return s.n }
+
+// Sum returns the sum of all observed samples.
+func (s *P2) Sum() float64 { return s.sum }
+
+// Min returns the smallest observed sample (0 when empty).
+func (s *P2) Min() float64 { return s.min }
+
+// Max returns the largest observed sample (0 when empty).
+func (s *P2) Max() float64 { return s.max }
+
+// QuantileSketch bundles one P² sketch per tracked quantile with the
+// shared count/sum/min/max — the fixed-size replacement for "append
+// every sample to a slice and sort it at the end". Not safe for
+// concurrent use; the Registry's Summary metric wraps one per series
+// under the registry lock.
+type QuantileSketch struct {
+	qs       []float64
+	sketches []P2
+}
+
+// DefaultQuantiles are the quantiles a Summary tracks unless told
+// otherwise.
+var DefaultQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// NewQuantileSketch builds a sketch tracking the given quantiles
+// (DefaultQuantiles when none are named). Quantiles must be strictly
+// ascending within (0, 1).
+func NewQuantileSketch(quantiles ...float64) *QuantileSketch {
+	if len(quantiles) == 0 {
+		quantiles = DefaultQuantiles
+	}
+	for i, p := range quantiles {
+		if p <= 0 || p >= 1 {
+			panic(fmt.Sprintf("obs: quantile %g outside (0, 1)", p))
+		}
+		if i > 0 && p <= quantiles[i-1] {
+			panic(fmt.Sprintf("obs: quantiles not ascending: %v", quantiles))
+		}
+	}
+	s := &QuantileSketch{
+		qs:       append([]float64(nil), quantiles...),
+		sketches: make([]P2, len(quantiles)),
+	}
+	for i, p := range s.qs {
+		s.sketches[i].Reset(p)
+	}
+	return s
+}
+
+// Observe folds one sample into every tracked quantile. It never
+// allocates.
+func (s *QuantileSketch) Observe(v float64) {
+	for i := range s.sketches {
+		s.sketches[i].Observe(v)
+	}
+}
+
+// Quantiles returns the tracked quantiles, ascending. Callers must not
+// mutate the returned slice.
+func (s *QuantileSketch) Quantiles() []float64 { return s.qs }
+
+// Quantile returns the estimate for tracked quantile p; it panics on a
+// quantile the sketch was not built with.
+func (s *QuantileSketch) Quantile(p float64) float64 {
+	for i, q := range s.qs {
+		if q == p {
+			return s.sketches[i].Quantile()
+		}
+	}
+	panic(fmt.Sprintf("obs: quantile %g not tracked (have %v)", p, s.qs))
+}
+
+// Count returns how many samples have been observed.
+func (s *QuantileSketch) Count() int64 {
+	if len(s.sketches) == 0 {
+		return 0
+	}
+	return s.sketches[0].Count()
+}
+
+// Sum returns the sum of all observed samples.
+func (s *QuantileSketch) Sum() float64 {
+	if len(s.sketches) == 0 {
+		return 0
+	}
+	return s.sketches[0].Sum()
+}
+
+// Min returns the smallest observed sample (0 when empty).
+func (s *QuantileSketch) Min() float64 {
+	if len(s.sketches) == 0 {
+		return 0
+	}
+	return s.sketches[0].Min()
+}
+
+// Max returns the largest observed sample (0 when empty).
+func (s *QuantileSketch) Max() float64 {
+	if len(s.sketches) == 0 {
+		return 0
+	}
+	return s.sketches[0].Max()
+}
+
+// QuantileValue is one (quantile, estimate) pair of a snapshot.
+type QuantileValue struct {
+	Quantile float64 `json:"quantile"`
+	Value    float64 `json:"value"`
+}
+
+// SketchSnapshot is a value copy of a sketch's current summary — safe
+// to embed in result structs that are compared byte-for-byte across
+// runs (no pointers, no slices of samples).
+type SketchSnapshot struct {
+	Count     int64           `json:"count"`
+	Sum       float64         `json:"sum"`
+	Min       float64         `json:"min"`
+	Max       float64         `json:"max"`
+	Quantiles []QuantileValue `json:"quantiles,omitempty"`
+}
+
+// Snapshot copies the sketch's current estimates.
+func (s *QuantileSketch) Snapshot() SketchSnapshot {
+	snap := SketchSnapshot{Count: s.Count(), Sum: s.Sum(), Min: s.Min(), Max: s.Max()}
+	for i, p := range s.qs {
+		snap.Quantiles = append(snap.Quantiles, QuantileValue{Quantile: p, Value: s.sketches[i].Quantile()})
+	}
+	return snap
+}
+
+// Quantile returns the snapshot's estimate for quantile p (zero when p
+// was not tracked).
+func (s SketchSnapshot) Quantile(p float64) float64 {
+	for _, qv := range s.Quantiles {
+		if qv.Quantile == p {
+			return qv.Value
+		}
+	}
+	return 0
+}
+
+// Mean returns the mean of the observed samples (zero when empty).
+func (s SketchSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// ExactQuantile is the reference the sketches are tested against:
+// the nearest-rank p-quantile of xs, computed on a sorted copy. It is
+// O(n log n) time and O(n) space — fine for tests and tiny inputs,
+// exactly what the sketches exist to avoid on hot paths.
+func ExactQuantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(math.Ceil(p*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"greenvm/internal/rng"
+)
+
+// TestP2ExactWarmup: with five or fewer samples the sketch answers the
+// exact nearest-rank percentile.
+func TestP2ExactWarmup(t *testing.T) {
+	for _, p := range []float64{0.5, 0.95} {
+		xs := []float64{7, 3, 11, 5, 2}
+		s := NewP2(p)
+		for i, v := range xs {
+			s.Observe(v)
+			want := ExactQuantile(xs[:i+1], p)
+			if got := s.Quantile(); got != want {
+				t.Errorf("p=%g after %d samples: got %g, want exact %g", p, i+1, got, want)
+			}
+		}
+		if s.Min() != 2 || s.Max() != 11 || s.Count() != 5 || s.Sum() != 28 {
+			t.Errorf("p=%g summary state: min=%g max=%g count=%d sum=%g",
+				p, s.Min(), s.Max(), s.Count(), s.Sum())
+		}
+	}
+}
+
+// TestP2AgainstExact is the documented accuracy bound: on random
+// streams from several distributions, the P² estimate of each tracked
+// quantile stays within max(5% of the interquartile spread, 15%
+// relative) of the exact nearest-rank value. The relative term covers
+// heavy tails, where the sample density near extreme quantiles is so
+// sparse that any five-marker sketch interpolates across wide gaps.
+// Seeds are fixed; the test is deterministic.
+func TestP2AgainstExact(t *testing.T) {
+	dists := []struct {
+		name string
+		gen  func(r *rng.RNG) float64
+	}{
+		{"uniform", func(r *rng.RNG) float64 { return r.Float64() }},
+		{"normal-ish", func(r *rng.RNG) float64 {
+			// Irwin–Hall sum of 8 uniforms: cheap, deterministic, bell-shaped.
+			s := 0.0
+			for i := 0; i < 8; i++ {
+				s += r.Float64()
+			}
+			return s
+		}},
+		{"heavy-tail", func(r *rng.RNG) float64 {
+			u := r.Float64()
+			return 1 / (1 - 0.999*u) // Pareto-ish: most mass near 1, long tail
+		}},
+		{"bimodal", func(r *rng.RNG) float64 {
+			if r.Float64() < 0.7 {
+				return r.Float64() * 0.001 // fast-path cluster
+			}
+			return 0.5 + r.Float64() // slow-path cluster
+		}},
+	}
+	for _, d := range dists {
+		for _, p := range []float64{0.5, 0.9, 0.95, 0.99} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				r := rng.New(seed * 977)
+				const n = 5000
+				xs := make([]float64, n)
+				s := NewP2(p)
+				for i := range xs {
+					xs[i] = d.gen(r)
+					s.Observe(xs[i])
+				}
+				exact := ExactQuantile(xs, p)
+				got := s.Quantile()
+				spread := ExactQuantile(xs, 0.75) - ExactQuantile(xs, 0.25)
+				if spread == 0 {
+					spread = 1
+				}
+				tol := 0.05 * spread
+				if rel := 0.15 * math.Abs(exact); rel > tol {
+					tol = rel
+				}
+				if err := math.Abs(got - exact); err > tol {
+					t.Errorf("%s p=%g seed=%d: sketch %g vs exact %g (err %g > tol %g)",
+						d.name, p, seed, got, exact, err, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestP2Deterministic: the estimate is a pure function of the
+// observation sequence.
+func TestP2Deterministic(t *testing.T) {
+	build := func() float64 {
+		r := rng.New(42)
+		s := NewP2(0.95)
+		for i := 0; i < 1000; i++ {
+			s.Observe(r.Float64())
+		}
+		return s.Quantile()
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("same stream, different estimates: %g vs %g", a, b)
+	}
+}
+
+// TestP2MarkersStayOrdered: marker heights must remain monotone, or
+// estimates can cross each other on adversarial streams.
+func TestP2MarkersStayOrdered(t *testing.T) {
+	s := NewP2(0.5)
+	r := rng.New(7)
+	for i := 0; i < 10000; i++ {
+		// Mix of duplicates, ramps and jumps.
+		switch i % 4 {
+		case 0:
+			s.Observe(1)
+		case 1:
+			s.Observe(float64(i))
+		default:
+			s.Observe(r.Float64() * 100)
+		}
+		if i >= 5 {
+			for j := 1; j < 5; j++ {
+				if s.q[j] < s.q[j-1] {
+					t.Fatalf("after %d samples markers disordered: %v", i+1, s.q)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileSketchSnapshot exercises the multi-quantile bundle and
+// its value snapshot.
+func TestQuantileSketchSnapshot(t *testing.T) {
+	s := NewQuantileSketch() // default 0.5, 0.9, 0.95, 0.99
+	r := rng.New(11)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.Float64()
+		s.Observe(xs[i])
+	}
+	snap := s.Snapshot()
+	if snap.Count != 2000 {
+		t.Fatalf("count %d, want 2000", snap.Count)
+	}
+	if snap.Min < 0 || snap.Max > 1 || snap.Min >= snap.Max {
+		t.Errorf("min/max %g/%g out of range", snap.Min, snap.Max)
+	}
+	for _, p := range []float64{0.5, 0.95} {
+		if err := math.Abs(snap.Quantile(p) - ExactQuantile(xs, p)); err > 0.05 {
+			t.Errorf("q%g: snapshot %g vs exact %g", p, snap.Quantile(p), ExactQuantile(xs, p))
+		}
+	}
+	if snap.Quantile(0.123) != 0 {
+		t.Error("untracked quantile should read 0 from a snapshot")
+	}
+	mean := snap.Mean()
+	if mean < 0.4 || mean > 0.6 {
+		t.Errorf("uniform mean %g suspicious", mean)
+	}
+}
+
+// TestP2ObserveNoAlloc is the fixed-size claim, enforced: an Observe
+// allocates nothing, on both the bare sketch and the multi-quantile
+// bundle.
+func TestP2ObserveNoAlloc(t *testing.T) {
+	s := NewP2(0.95)
+	r := rng.New(3)
+	if n := testing.AllocsPerRun(1000, func() { s.Observe(r.Float64()) }); n != 0 {
+		t.Errorf("P2.Observe allocates %g times per call, want 0", n)
+	}
+	qs := NewQuantileSketch()
+	if n := testing.AllocsPerRun(1000, func() { qs.Observe(r.Float64()) }); n != 0 {
+		t.Errorf("QuantileSketch.Observe allocates %g times per call, want 0", n)
+	}
+}
+
+func BenchmarkP2Observe(b *testing.B) {
+	s := NewP2(0.95)
+	r := rng.New(5)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(xs[i&4095])
+	}
+}
+
+func BenchmarkQuantileSketchObserve(b *testing.B) {
+	s := NewQuantileSketch()
+	r := rng.New(5)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(xs[i&4095])
+	}
+}

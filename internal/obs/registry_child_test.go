@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSummaryPrometheusFormat pins the summary exposition shape:
+// quantile-labeled samples plus _sum and _count.
+func TestSummaryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("rpc_wait_seconds", "queue wait", 0.5, 0.9)
+	for i := 1; i <= 4; i++ {
+		s.Observe(float64(i), "backend", "b0")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP rpc_wait_seconds queue wait
+# TYPE rpc_wait_seconds summary
+rpc_wait_seconds{backend="b0",quantile="0.5"} 2
+rpc_wait_seconds{backend="b0",quantile="0.9"} 4
+rpc_wait_seconds_sum{backend="b0"} 10
+rpc_wait_seconds_count{backend="b0"} 4
+`
+	if got != want {
+		t.Errorf("summary exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSummarySnapshotJSON checks the snapshot carries quantiles and
+// shared count/sum for summaries.
+func TestSummarySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	s := r.Summary("lat", "")
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 1 {
+		t.Fatalf("want 1 metric, got %d", len(snap.Metrics))
+	}
+	m := snap.Metrics[0]
+	if m.Type != "summary" {
+		t.Fatalf("type %q", m.Type)
+	}
+	ss := m.Series[0]
+	if ss.Count != 100 || ss.Sum != 5050 {
+		t.Errorf("count/sum %d/%g, want 100/5050", ss.Count, ss.Sum)
+	}
+	if len(ss.Quantiles) != len(DefaultQuantiles) {
+		t.Fatalf("quantiles %v", ss.Quantiles)
+	}
+	// 1..100 in order: the sketch should land near the true percentiles.
+	for _, qv := range ss.Quantiles {
+		want := qv.Quantile * 100
+		if math.Abs(qv.Value-want) > 5 {
+			t.Errorf("q%g = %g, want ~%g", qv.Quantile, qv.Value, want)
+		}
+	}
+}
+
+// TestSummaryTypeClash: re-registering a name under a different type
+// panics, summaries included.
+func TestSummaryTypeClash(t *testing.T) {
+	r := NewRegistry()
+	r.Summary("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on counter re-registration of a summary name")
+		}
+	}()
+	r.Counter("x", "")
+}
+
+// TestChildHandleEquivalence: observations through a bound child land
+// in the same series as label-pair calls, for every metric family.
+func TestChildHandleEquivalence(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("c", "")
+	c.Add(2, "k", "v")
+	c.WithLabels("k", "v").Add(3)
+	c.WithLabels("k", "v").Inc()
+
+	g := r.Gauge("g", "")
+	g.Set(5, "k", "v")
+	gc := g.WithLabels("k", "v")
+	gc.Add(-2)
+
+	h := r.Histogram("h", "", []float64{1, 10})
+	h.Observe(0.5, "k", "v")
+	h.WithLabels("k", "v").Observe(7)
+
+	s := r.Summary("s", "", 0.5)
+	s.Observe(1, "k", "v")
+	s.WithLabels("k", "v").Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, line := range []string{
+		`c{k="v"} 6`,
+		`g{k="v"} 3`,
+		`h_count{k="v"} 2`,
+		`s{k="v",quantile="0.5"} 1`,
+		`s_count{k="v"} 2`,
+	} {
+		if !strings.Contains(got, line) {
+			t.Errorf("missing %q in:\n%s", line, got)
+		}
+	}
+	// One series per family — the child resolved to the same one.
+	for _, m := range r.Snapshot().Metrics {
+		if len(m.Series) != 1 {
+			t.Errorf("metric %s has %d series, want 1", m.Name, len(m.Series))
+		}
+	}
+}
+
+// TestCounterChildRejectsNegative: the negative-delta panic survives
+// the child fast path.
+func TestCounterChildRejectsNegative(t *testing.T) {
+	r := NewRegistry()
+	ch := r.Counter("c", "").WithLabels("k", "v")
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on negative child Add")
+		}
+	}()
+	ch.Add(-1)
+}
+
+// TestChildObserveNoAlloc enforces the hot-path contract: once the
+// label set is resolved, recording allocates nothing.
+func TestChildObserveNoAlloc(t *testing.T) {
+	r := NewRegistry()
+	cc := r.Counter("c", "").WithLabels("backend", "b0", "kind", "served")
+	gc := r.Gauge("g", "").WithLabels("backend", "b0")
+	hc := r.Histogram("h", "", []float64{1, 10, 100}).WithLabels("backend", "b0")
+	sc := r.Summary("s", "").WithLabels("backend", "b0")
+	if n := testing.AllocsPerRun(1000, func() { cc.Add(1) }); n != 0 {
+		t.Errorf("CounterChild.Add allocates %g/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { gc.Set(3) }); n != 0 {
+		t.Errorf("GaugeChild.Set allocates %g/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { hc.Observe(5) }); n != 0 {
+		t.Errorf("HistogramChild.Observe allocates %g/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { sc.Observe(5) }); n != 0 {
+		t.Errorf("SummaryChild.Observe allocates %g/op, want 0", n)
+	}
+}
+
+// BenchmarkCounterLabelPairs is the slow path the children replace:
+// per-call label sort, key build, map lookup.
+func BenchmarkCounterLabelPairs(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1, "backend", "b0", "kind", "served")
+	}
+}
+
+func BenchmarkCounterChildAdd(b *testing.B) {
+	r := NewRegistry()
+	ch := r.Counter("c", "").WithLabels("backend", "b0", "kind", "served")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Add(1)
+	}
+}
+
+func BenchmarkSummaryChildObserve(b *testing.B) {
+	r := NewRegistry()
+	ch := r.Summary("s", "").WithLabels("backend", "b0")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Observe(float64(i & 1023))
+	}
+}

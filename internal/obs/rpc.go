@@ -1,8 +1,6 @@
 package obs
 
 import (
-	"net/http"
-
 	"greenvm/internal/core"
 )
 
@@ -81,23 +79,5 @@ func (c *RPCCollector) Reconnect() { c.reconnects.Inc() }
 
 // DeadlineHit implements core.RPCMetrics.
 func (c *RPCCollector) DeadlineHit() { c.deadlines.Inc() }
-
-// Handler serves reg over HTTP: Prometheus text exposition at
-// /metrics and an indented JSON snapshot at /metrics.json (the root
-// path answers like /metrics, so `curl host:port` works too).
-func Handler(reg *Registry) http.Handler {
-	mux := http.NewServeMux()
-	text := func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.Snapshot().WritePrometheus(w) //nolint:errcheck
-	}
-	mux.HandleFunc("/metrics", text)
-	mux.HandleFunc("/", text)
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		reg.Snapshot().WriteJSON(w) //nolint:errcheck
-	})
-	return mux
-}
 
 var _ core.RPCMetrics = (*RPCCollector)(nil)
