@@ -3,15 +3,17 @@
 // trajectory artifact (BENCH_<n>.json) CI records per PR.
 //
 // The report carries the FigureGrid and Fleet timings (ns/op plus
-// their reported metrics), the observability micro-benchmarks (P²
-// sketch observation, cached registry child handles, windowed
-// time-series writes — the telemetry hot path), the fleet placement
-// sweep — shed rate, total energy and queue high-water mark per
-// (fleet size, server count, placement) at equal aggregate server
-// capacity — and the chaos sweep: fallbacks, served work and
-// failovers per (fault shape, placement, breaker scope) with the
-// fault injected on backend s0. The sweep numbers are deterministic —
-// only the timings vary run to run.
+// their reported metrics), the FleetScale streamed-population run
+// (ns/op plus bytes_per_client — the mid-run live heap per handset,
+// gating the streaming-results memory claim), the observability
+// micro-benchmarks (P² sketch observation, cached registry child
+// handles, windowed time-series writes — the telemetry hot path), the
+// fleet placement sweep — shed rate, total energy and queue
+// high-water mark per (fleet size, server count, placement) at equal
+// aggregate server capacity — and the chaos sweep: fallbacks, served
+// work and failovers per (fault shape, placement, breaker scope) with
+// the fault injected on backend s0. The sweep numbers are
+// deterministic — only the timings vary run to run.
 //
 // benchreport is also the trajectory's regression gate: -compare
 // diffs ns_per_op against a previous report and exits non-zero when
@@ -27,9 +29,9 @@
 //
 // Usage:
 //
-//	benchreport -out BENCH_9.json
-//	benchreport -out /tmp/bench.json -compare BENCH_9.json
-//	benchreport -compare BENCH_9.json -against /tmp/bench.json
+//	benchreport -out BENCH_10.json
+//	benchreport -out /tmp/bench.json -compare BENCH_10.json
+//	benchreport -compare BENCH_10.json -against /tmp/bench.json
 //	benchreport -validate-ts ts.jsonl
 //	benchreport -validate-prom metrics.txt
 package main
@@ -92,7 +94,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_9.json", "report file; '-' for stdout")
+	out := flag.String("out", "BENCH_10.json", "report file; '-' for stdout")
 	execs := flag.Int("execs", 4, "executions per client in the placement sweep")
 	compare := flag.String("compare", "", "baseline report to diff ns_per_op against; non-zero exit on regression")
 	against := flag.String("against", "", "with -compare: diff this report file instead of running the benchmarks")
@@ -225,7 +227,7 @@ func produce(out string, execs int) (*report, error) {
 	envs := []*experiments.Env{feEnv, sortEnv}
 	w := fleet.WorkloadOf(feEnv)
 
-	rep := &report{Schema: 9, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	rep := &report{Schema: 10, GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	// FigureGrid: the Fig 7 scenario grid, serial and parallel — the
 	// same shape as BenchmarkFigureGrid.
@@ -279,6 +281,67 @@ func produce(out string, execs int) (*report, error) {
 			Metrics: map[string]float64{"shed_pct": 100 * rate},
 		})
 		fmt.Fprintf(os.Stderr, "Fleet/slots=%d: %d ns/op\n", conc, r.NsPerOp())
+	}
+
+	// FleetScale: the city-scale shape at bench size — a 2k-client
+	// streamed population with diurnal arrivals and drifting channels,
+	// records retired through a sink. bytes_per_client samples live
+	// heap (after GC) at the cohort midpoint: it tracks the
+	// launch-ahead window, not the fleet, and gates the streaming
+	// memory claim alongside the wall-clock gate on ns_per_op.
+	{
+		const scaleN = 2000
+		var bytesPerClient float64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				arrival, err := fleet.ParseArrival("diurnal:0.5")
+				if err != nil {
+					b.Fatal(err)
+				}
+				drift, err := fleet.ParseDrift("overnight")
+				if err != nil {
+					b.Fatal(err)
+				}
+				spec := fleet.Spec{
+					Workload: w,
+					Population: fleet.NewPopulation(scaleN,
+						fleet.WithSeed(42),
+						fleet.WithStrategyMix(core.StrategyR, core.StrategyAL, core.StrategyAA),
+						fleet.WithExecutions(1),
+						fleet.WithSizes(16),
+						fleet.WithArrivalCurve(arrival),
+						fleet.WithChannelMix(fleet.ChannelDrifting),
+						fleet.WithChannelDrift(drift),
+					),
+					Server: core.SessionConfig{Workers: 4, QueueCap: 16},
+				}
+				runtime.GC()
+				var before runtime.MemStats
+				runtime.ReadMemStats(&before)
+				seen := 0
+				spec.ResultSink = func(fleet.ClientResult) {
+					if seen++; seen == scaleN/2 {
+						runtime.GC()
+						var m runtime.MemStats
+						runtime.ReadMemStats(&m)
+						bytesPerClient = (float64(m.HeapAlloc) - float64(before.HeapAlloc)) / scaleN
+					}
+				}
+				res, err := fleet.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Totals.Errors > 0 {
+					b.Fatalf("%d clients failed", res.Totals.Errors)
+				}
+			}
+		})
+		rep.Benches = append(rep.Benches, benchEntry{
+			Name: "FleetScale/clients=2000",
+			N:    r.N, NsPerOp: r.NsPerOp(),
+			Metrics: map[string]float64{"bytes_per_client": bytesPerClient},
+		})
+		fmt.Fprintf(os.Stderr, "FleetScale/clients=2000: %d ns/op, %.0f bytes/client\n", r.NsPerOp(), bytesPerClient)
 	}
 
 	// Observability micro-benchmarks: the per-event costs of the

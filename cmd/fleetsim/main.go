@@ -17,6 +17,16 @@
 //	fleetsim -app fe -clients 32 -timeseries ts.jsonl -tick 0.0005
 //	fleetsim -app fe -clients 64 -serve-metrics :9090    # curl :9090/metrics while it runs
 //
+// City-scale runs: arrivals spread over a diurnal curve, channels
+// drift through a synthetic day, and per-client records stream to
+// JSONL instead of accumulating in memory:
+//
+//	fleetsim -app mf -clients 100000 -execs 1 -sizes 16 \
+//	    -arrival diurnal:0.5 -drift overnight -clients-out clients.jsonl
+//
+// Beyond 256 clients the per-client detail table switches itself off
+// (aggregates still print); -clients-out keeps the per-client data.
+//
 // Backend chaos injection (single runs only, not -sweep):
 //
 //	fleetsim -app fe -servers 2 -fail s0@0.002              # hard crash at t=2ms
@@ -37,8 +47,11 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -75,16 +88,29 @@ func main() {
 	timeseries := flag.String("timeseries", "", "write the run's windowed virtual-time telemetry (JSONL) to this file; '-' for stdout")
 	tick := flag.Float64("tick", 0.0005, "telemetry window width in virtual seconds (with -timeseries/-serve-metrics)")
 	serveMetrics := flag.String("serve-metrics", "", "serve a live Prometheus scrape of the run (plus /debug/pprof) on this address, e.g. :9090")
+	arrival := flag.String("arrival", "none", "cohort arrival curve: none, uniform:SPAN, diurnal:SPAN[/AMP]")
+	drift := flag.String("drift", "none", "channel drift preset (none, overnight, commute); presets switch every client to a drifting channel")
+	sizes := flag.String("sizes", "", "comma-separated input sizes overriding the app's size population")
+	clientsOut := flag.String("clients-out", "", "stream per-client records (JSONL) to this file; '-' for stdout")
 	flag.Parse()
 
 	if err := run(*app, *clients, *execs, *strategies, *servers, *placement,
 		*workers, *queue, *seed, *concurrency, *sweep, *metrics,
 		chaosFlags{fail: *fail, flap: *flap, brownout: *brownout, loss: *loss,
 			breakers: *breakers, sweep: *chaosSweep},
-		telemetryFlags{path: *timeseries, tick: *tick, serve: *serveMetrics}); err != nil {
+		telemetryFlags{path: *timeseries, tick: *tick, serve: *serveMetrics},
+		popFlags{arrival: *arrival, drift: *drift, sizes: *sizes, clientsOut: *clientsOut}); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetsim:", err)
 		os.Exit(1)
 	}
+}
+
+// popFlags carries the raw cohort-shape flag values into run.
+type popFlags struct {
+	arrival    string // -arrival curve ("none" = everyone at t=0)
+	drift      string // -drift channel preset ("none" = stationary)
+	sizes      string // -sizes override ("" = app default)
+	clientsOut string // -clients-out destination ('' = off, '-' = stdout)
 }
 
 // telemetryFlags carries the raw telemetry flag values into run.
@@ -186,9 +212,44 @@ func (c *fleetConfig) serverConfig(n int) core.SessionConfig {
 	return core.SessionConfig{Workers: c.workers / n, QueueCap: c.queue}
 }
 
+// detailMax is the largest fleet whose per-client table still prints;
+// beyond it a single run streams its records (dropping them unless
+// -clients-out keeps them) and the summary shows aggregates only.
+const detailMax = 256
+
+// popParams is the validated cohort shape every fleet in an
+// invocation shares; population expands it for a given size.
+type popParams struct {
+	strats  []core.Strategy
+	execs   int
+	seed    uint64
+	arrival fleet.ArrivalSpec
+	drift   fleet.DriftSpec
+	sizes   []int
+}
+
+func (pp popParams) population(n int) *fleet.Population {
+	opts := []fleet.PopOption{
+		fleet.WithSeed(pp.seed),
+		fleet.WithStrategyMix(pp.strats...),
+		fleet.WithExecutions(pp.execs),
+	}
+	if pp.arrival.Kind != fleet.ArriveNone {
+		opts = append(opts, fleet.WithArrivalCurve(pp.arrival))
+	}
+	if pp.drift.Name != "" && pp.drift.Name != "none" {
+		// A drift preset makes every handset's channel non-stationary.
+		opts = append(opts, fleet.WithChannelMix(fleet.ChannelDrifting), fleet.WithChannelDrift(pp.drift))
+	}
+	if len(pp.sizes) > 0 {
+		opts = append(opts, fleet.WithSizes(pp.sizes...))
+	}
+	return fleet.NewPopulation(n, opts...)
+}
+
 func run(appName, clientList string, execs int, strategyList, serverList, placementList string,
 	workers, queue int, seed uint64, concurrency int, sweep bool, metrics string, cf chaosFlags,
-	tf telemetryFlags) error {
+	tf telemetryFlags, pf popFlags) error {
 
 	a := apps.ByName(appName)
 	if a == nil {
@@ -219,6 +280,21 @@ func run(appName, clientList string, execs int, strategyList, serverList, placem
 	if err := tf.validate(sweep, cf.sweep); err != nil {
 		return err
 	}
+	pp := popParams{strats: strats, execs: execs, seed: seed}
+	if pp.arrival, err = fleet.ParseArrival(pf.arrival); err != nil {
+		return err
+	}
+	if pp.drift, err = fleet.ParseDrift(pf.drift); err != nil {
+		return err
+	}
+	if pf.sizes != "" {
+		if pp.sizes, err = parsePositiveInts(pf.sizes); err != nil {
+			return fmt.Errorf("-sizes: %w", err)
+		}
+	}
+	if pf.clientsOut != "" && (sweep || cf.sweep) {
+		return fmt.Errorf("-clients-out records a single run; drop -sweep/-chaos-sweep")
+	}
 	chaos, err := parseChaos(cf.fail, cf.flap, cf.brownout, cf.loss, cfg.serverNs[0])
 	if err != nil {
 		return err
@@ -232,15 +308,20 @@ func run(appName, clientList string, execs int, strategyList, serverList, placem
 	w := fleet.WorkloadOf(env)
 
 	if sweep {
-		return runSweep(w, cfg, strats, execs, seed, concurrency)
+		return runSweep(w, cfg, pp, concurrency)
 	}
 	if cf.sweep {
-		return runChaosSweep(w, cfg, strats, execs, seed, concurrency)
+		return runChaosSweep(w, cfg, pp, concurrency)
 	}
 
-	n := cfg.serverNs[0]
-	spec := fleet.MixedFleet(w, cfg.sizes[0], strats, execs, cfg.serverConfig(n), seed)
-	spec.Servers = n
+	n := cfg.sizes[0]
+	ns := cfg.serverNs[0]
+	spec := fleet.Spec{
+		Workload:   w,
+		Population: pp.population(n),
+		Server:     cfg.serverConfig(ns),
+	}
+	spec.Servers = ns
 	spec.Placement = cfg.placements[0]
 	spec.Concurrency = concurrency
 	spec.Chaos = chaos
@@ -261,9 +342,40 @@ func run(appName, clientList string, execs int, strategyList, serverList, placem
 		defer srv.Close()
 		go srv.Serve(ln) //nolint:errcheck
 	}
+
+	// Large fleets and -clients-out both stream: per-client records
+	// retire through the sink instead of accumulating in Result.
+	var catch errCatcher
+	var cw *clientWriter
+	if pf.clientsOut != "" {
+		out := os.Stdout
+		if pf.clientsOut != "-" {
+			f, err := os.Create(pf.clientsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		cw = newClientWriter(out, n, spec)
+		spec.ResultSink = func(cr fleet.ClientResult) {
+			catch.see(cr)
+			cw.write(cr)
+		}
+	} else if n > detailMax {
+		fmt.Printf("fleet of %d exceeds the %d-client detail threshold; streaming aggregates only (-clients-out keeps per-client records)\n",
+			n, detailMax)
+		spec.ResultSink = catch.see
+	}
+
 	res, err := fleet.Run(spec)
 	if err != nil {
 		return err
+	}
+	if cw != nil {
+		if err := cw.finish(); err != nil {
+			return fmt.Errorf("-clients-out: %w", err)
+		}
 	}
 	res.WriteSummary(os.Stdout)
 	if tf.path != "" {
@@ -280,7 +392,7 @@ func run(appName, clientList string, execs int, strategyList, serverList, placem
 			return err
 		}
 	}
-	if err := clientErrors(res); err != nil {
+	if err := clientErrors(res, &catch); err != nil {
 		return err
 	}
 	if metrics != "" {
@@ -305,17 +417,23 @@ func run(appName, clientList string, execs int, strategyList, serverList, placem
 // aggregate worker budget, so the capacity cliff — and how each
 // placement policy spends the same capacity — lines up column by
 // column.
-func runSweep(w fleet.Workload, cfg *fleetConfig, strats []core.Strategy, execs int,
-	seed uint64, concurrency int) error {
-
+func runSweep(w fleet.Workload, cfg *fleetConfig, pp popParams, concurrency int) error {
 	fmt.Printf("\nfleet sweep on %s — aggregate workers=%d, queue/backend=%d, %d executions/client, strategies %v\n\n",
-		w.Name, cfg.workers, cfg.queue, execs, strats)
+		w.Name, cfg.workers, cfg.queue, pp.execs, pp.strats)
 	fmt.Printf("%7s %7s %-8s | %12s %12s | %6s %6s %6s | %9s %6s\n",
 		"clients", "servers", "place", "energy/cli", "total", "served", "shed", "shed%", "max wait", "depth")
 	for _, n := range cfg.sizes {
 		for _, ns := range cfg.serverNs {
 			for _, pl := range cfg.placements {
-				spec := fleet.MixedFleet(w, n, strats, execs, cfg.serverConfig(ns), seed)
+				var catch errCatcher
+				spec := fleet.Spec{
+					Workload:   w,
+					Population: pp.population(n),
+					Server:     cfg.serverConfig(ns),
+					// Sweeps only read aggregates: stream-and-drop the
+					// per-client records so big cells stay flat in memory.
+					ResultSink: catch.see,
+				}
 				spec.Servers = ns
 				spec.Placement = pl
 				spec.Concurrency = concurrency
@@ -323,7 +441,7 @@ func runSweep(w fleet.Workload, cfg *fleetConfig, strats []core.Strategy, execs 
 				if err != nil {
 					return err
 				}
-				if err := clientErrors(res); err != nil {
+				if err := clientErrors(res, &catch); err != nil {
 					return err
 				}
 				maxWait := res.Server.WaitDist.Max
@@ -354,9 +472,7 @@ func sweepBreaker() *core.Breaker {
 // breakers should shed and fall back strictly less than a global
 // breaker under a single-backend fault, because only the faulty
 // backend goes dark.
-func runChaosSweep(w fleet.Workload, cfg *fleetConfig, strats []core.Strategy, execs int,
-	seed uint64, concurrency int) error {
-
+func runChaosSweep(w fleet.Workload, cfg *fleetConfig, pp popParams, concurrency int) error {
 	ns := cfg.serverNs[0]
 	if ns < 2 {
 		return fmt.Errorf("-chaos-sweep needs -servers >= 2: a single-backend fault is only survivable when another backend exists")
@@ -371,7 +487,13 @@ func runChaosSweep(w fleet.Workload, cfg *fleetConfig, strats []core.Strategy, e
 			for _, mode := range fleet.BreakerModes {
 				chaos := make([]fleet.BackendChaos, ns)
 				chaos[0] = shape.Chaos
-				spec := fleet.MixedFleet(w, n, strats, execs, cfg.serverConfig(ns), seed)
+				var catch errCatcher
+				spec := fleet.Spec{
+					Workload:   w,
+					Population: pp.population(n),
+					Server:     cfg.serverConfig(ns),
+					ResultSink: catch.see,
+				}
 				spec.Servers = ns
 				spec.Placement = pl
 				spec.Concurrency = concurrency
@@ -382,7 +504,7 @@ func runChaosSweep(w fleet.Workload, cfg *fleetConfig, strats []core.Strategy, e
 				if err != nil {
 					return err
 				}
-				if err := clientErrors(res); err != nil {
+				if err := clientErrors(res, &catch); err != nil {
 					return err
 				}
 				flaps := 0
@@ -532,13 +654,108 @@ func splitEntries(list string) []string {
 	return out
 }
 
-func clientErrors(res *fleet.Result) error {
+// errCatcher remembers the first failed client of a streamed run,
+// where Result.Clients is nil. see is safe as a ResultSink: the
+// emitter serializes calls.
+type errCatcher struct{ id, msg string }
+
+func (e *errCatcher) see(cr fleet.ClientResult) {
+	if cr.Err != "" && e.msg == "" {
+		e.id, e.msg = cr.ID, cr.Err
+	}
+}
+
+func clientErrors(res *fleet.Result, catch *errCatcher) error {
 	for _, c := range res.Clients {
 		if c.Err != "" {
 			return fmt.Errorf("client %s: %s", c.ID, c.Err)
 		}
 	}
+	if catch != nil && catch.msg != "" {
+		return fmt.Errorf("client %s: %s (%d of %d clients failed)",
+			catch.id, catch.msg, res.Totals.Errors, res.Totals.Clients)
+	}
 	return nil
+}
+
+// clientRecord is one line of a -clients-out JSONL stream.
+type clientRecord struct {
+	Client    string  `json:"client"`
+	Strategy  string  `json:"strategy"`
+	EnergyJ   float64 `json:"energy_j"`
+	TimeS     float64 `json:"time_s"`
+	Served    int     `json:"served"`
+	Shed      int     `json:"shed"`
+	CacheHits int     `json:"cache_hits"`
+	Fallbacks int     `json:"fallbacks"`
+	Failovers int     `json:"failovers"`
+	AvgWaitS  float64 `json:"avg_wait_s"`
+	MaxWaitS  float64 `json:"max_wait_s"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// clientHeader is the first line of the stream: enough to validate a
+// file without parsing every record.
+type clientHeader struct {
+	Schema  string `json:"schema"`
+	Clients int    `json:"clients"`
+	App     string `json:"app"`
+	Arrival string `json:"arrival"`
+	Drift   string `json:"drift"`
+}
+
+// clientWriter streams ClientResult records as JSONL. Records arrive
+// in deterministic arrival order from the emitter (already
+// serialized), so the file is byte-stable for a given spec. The first
+// encode error sticks; finish reports it after the run.
+type clientWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+func newClientWriter(out io.Writer, n int, spec fleet.Spec) *clientWriter {
+	drift := spec.Population.Drift().Name
+	if drift == "" {
+		drift = "none"
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
+	cw := &clientWriter{bw: bw, enc: json.NewEncoder(bw)}
+	cw.err = cw.enc.Encode(clientHeader{
+		Schema:  "greenvm-fleet-clients/1",
+		Clients: n,
+		App:     spec.Workload.Name,
+		Arrival: spec.Population.Arrival().String(),
+		Drift:   drift,
+	})
+	return cw
+}
+
+func (cw *clientWriter) write(cr fleet.ClientResult) {
+	if cw.err != nil {
+		return
+	}
+	cw.err = cw.enc.Encode(clientRecord{
+		Client:    cr.ID,
+		Strategy:  cr.Strategy.String(),
+		EnergyJ:   float64(cr.Energy),
+		TimeS:     float64(cr.Time),
+		Served:    cr.Served,
+		Shed:      cr.Shed,
+		CacheHits: cr.Session.CacheHits,
+		Fallbacks: cr.Stats.Fallbacks,
+		Failovers: cr.Stats.Failovers,
+		AvgWaitS:  float64(cr.AvgWait),
+		MaxWaitS:  float64(cr.MaxWait),
+		Err:       cr.Err,
+	})
+}
+
+func (cw *clientWriter) finish() error {
+	if cw.err != nil {
+		return cw.err
+	}
+	return cw.bw.Flush()
 }
 
 func parseStrategies(list string) ([]core.Strategy, error) {

@@ -31,6 +31,11 @@ type ClientConfig struct {
 	// Seed seeds the client's RNG stream (channel tracking, fault
 	// draws).
 	Seed uint64
+	// Shared, when set, supplies population-wide immutable state (the
+	// program and the handset energy model); Prog may be left nil and
+	// defaults to Shared.Prog. Register the target afterwards with
+	// Client.RegisterShared.
+	Shared *FleetProgram
 }
 
 // Option tweaks a Client at construction time, after the required
@@ -42,6 +47,12 @@ type Option func(*Client)
 // on the returned client for anything an option does not cover.
 func New(cfg ClientConfig, opts ...Option) *Client {
 	model := energy.MicroSPARCIIep()
+	if cfg.Shared != nil {
+		model = cfg.Shared.Model
+		if cfg.Prog == nil {
+			cfg.Prog = cfg.Shared.Prog
+		}
+	}
 	v := vm.New(cfg.Prog, model)
 	r := rng.New(cfg.Seed)
 	ch := cfg.Channel

@@ -90,7 +90,8 @@ func (cfg SessionConfig) withDefaults() SessionConfig {
 // SessionServerStats is a snapshot of a SessionServer's admission
 // counters.
 type SessionServerStats struct {
-	// Sessions is the number of open sessions.
+	// Sessions is the number of sessions the server has opened,
+	// including sessions since retired by Close.
 	Sessions int
 	// Served counts requests that obtained a worker; Shed counts
 	// admission rejections; CacheHits counts requests answered from a
@@ -123,6 +124,12 @@ type SessionServer struct {
 	served   int
 	shed     int
 	maxDepth int
+
+	// Retired-session residue: city-scale fleets close each session as
+	// its client finishes (see Close), so the live maps stay small while
+	// the aggregate counters keep the whole run's history.
+	closed       int
+	retainedHits int
 }
 
 // NewSessionServer wraps a Server with sessions and admission control.
@@ -169,6 +176,26 @@ func (t *SessionServer) Open(clientID string) *Session {
 	return s
 }
 
+// Close retires the client's session: it is removed from the live
+// maps (so a fleet of 100k finished handsets does not stay resident)
+// and its cache-hit count folds into the server's retained aggregate,
+// which Stats keeps reporting. Closing an unknown client is a no-op;
+// a later Open for the same client starts a fresh session with a cold
+// cache.
+func (t *SessionServer) Close(clientID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, ok := t.byClient[clientID]
+	if !ok {
+		return
+	}
+	s := t.sessions[id]
+	delete(t.sessions, id)
+	delete(t.byClient, clientID)
+	t.closed++
+	t.retainedHits += s.cacheHitCount()
+}
+
 // Lookup returns the session with the given ID, or nil.
 func (t *SessionServer) Lookup(id uint32) *Session {
 	t.mu.Lock()
@@ -181,9 +208,10 @@ func (t *SessionServer) Stats() SessionServerStats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	st := SessionServerStats{
-		Sessions:      len(t.sessions),
+		Sessions:      len(t.sessions) + t.closed,
 		Served:        t.served,
 		Shed:          t.shed,
+		CacheHits:     t.retainedHits,
 		MaxQueueDepth: t.maxDepth,
 	}
 	for _, s := range t.sessions {

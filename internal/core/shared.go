@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"greenvm/internal/bytecode"
+	"greenvm/internal/energy"
+)
+
+// FleetProgram is the immutable slice of a client's configuration that
+// an entire simulated population can share: the program, the handset
+// energy model, the registered offload target with its profile, and
+// the precomputed compilation plan for that target. Building one per
+// fleet (instead of per client) removes the per-client energy-table
+// allocation and the per-client compilePlan walk, which at city scale
+// dominates construction cost. Nothing reachable from a FleetProgram
+// is mutated after NewFleetProgram returns.
+type FleetProgram struct {
+	Prog   *bytecode.Program
+	Model  *energy.CPUModel
+	Target *Target
+	Prof   *Profile
+
+	method *bytecode.Method
+	plan   []*bytecode.Method
+}
+
+// NewFleetProgram validates the target against the program, compiles
+// the plan once, and returns the shared state.
+func NewFleetProgram(prog *bytecode.Program, t *Target, prof *Profile) (*FleetProgram, error) {
+	m := prog.FindMethod(t.Class, t.Method)
+	if m == nil {
+		return nil, fmt.Errorf("core: no method %s", t.QName())
+	}
+	if !m.Potential {
+		return nil, fmt.Errorf("core: %s is not marked potential", t.QName())
+	}
+	return &FleetProgram{
+		Prog:   prog,
+		Model:  energy.MicroSPARCIIep(),
+		Target: t,
+		Prof:   prof,
+		method: m,
+		plan:   compilePlan(prog, m),
+	}, nil
+}
+
+// RegisterShared attaches the fleet program's target to the client
+// without recompiling the plan. It is Register with every
+// per-population invariant hoisted out of the per-client path.
+func (c *Client) RegisterShared(fp *FleetProgram) error {
+	if fp.Prog != c.Prog {
+		return fmt.Errorf("core: shared program does not match client program")
+	}
+	c.targets[fp.method] = fp.Target
+	c.profiles[fp.method] = fp.Prof
+	c.plans[fp.method] = fp.plan
+	return nil
+}

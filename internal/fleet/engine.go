@@ -62,8 +62,21 @@ import (
 // most one slot per rotation — the same round-robin the SessionServer
 // implements for pipelined transports.
 
+// Session lifecycle. Sessions are preallocated for the whole cohort
+// (flat struct-of-arrays storage — a 100k fleet costs one slice), but
+// their client goroutines launch on demand: an unstarted session's
+// bound is its arrival time, a conservative lower bound on its first
+// request, so the engine can hold the horizon without the client's
+// ~hundreds-of-KB core.Client existing yet. The engine launches a
+// session when it pins the horizon (an event cannot process until
+// this client speaks) or to keep a bounded pipeline of live clients
+// ahead of the simulation frontier. Launching earlier than strictly
+// necessary never changes results — the preset bound stays valid — it
+// only raises peak memory.
 const (
-	stateRunning = iota
+	stateUnstarted = iota // preallocated, goroutine not yet launched
+	stateLaunching        // goroutine spawned, first submit still pending
+	stateRunning
 	stateBlocked
 	stateFinished
 )
@@ -184,7 +197,27 @@ type engine struct {
 	placement Placement
 	byID      map[string]int // backend ID -> index
 	ring      []ringPoint    // consistent-hash ring (PlaceHash)
-	sessions  []*session
+	sessions  []session      // flat per-client state, indexed by client
+
+	// bheap is an indexed min-heap of the session indices whose bounds
+	// constrain the horizon (states unstarted/launching/running; a
+	// blocked session's wake-up is already an event on the main heap).
+	// Bounds only ever increase, so updates are sift-downs. bpos maps a
+	// session index to its heap position (-1 when absent). This
+	// replaces an O(n) scan per submit — the difference between a 100k
+	// fleet finishing and it spending hours inside horizon().
+	bheap []int32
+	bpos  []int32
+
+	// launchOrder lists session indices by (arrival bound, index);
+	// sessions before nextLaunch have been launched. launch spawns one
+	// client goroutine; Run installs it before kickoff.
+	launchOrder []int32
+	nextLaunch  int
+	launch      func(idx int)
+	live        int // launched and not yet finished
+	ahead       int // launch-ahead pipeline bound
+	finished    int
 
 	events  eventHeap
 	doneSeq int // deterministic completion-event tie-break
@@ -202,15 +235,36 @@ type engine struct {
 	rec *tsRec
 }
 
-func newEngine(pool *ServerPool, placement Placement, n int, rec *tsRec) *engine {
+// newEngine preallocates one session per client with its arrival time
+// as the initial clock bound. order is the launch order — session
+// indices sorted by (arrival, index) — shared with the result
+// emitter.
+func newEngine(pool *ServerPool, placement Placement, starts []energy.Seconds, order []int32, rec *tsRec) *engine {
+	n := len(starts)
 	e := &engine{
 		pool:        pool,
 		placement:   placement,
 		byID:        make(map[string]int, len(pool.backends)),
-		sessions:    make([]*session, 0, n),
+		sessions:    make([]session, n),
+		bheap:       make([]int32, n),
+		bpos:        make([]int32, n),
+		launchOrder: order,
 		waitSketch:  obs.NewQuantileSketch(),
 		depthSketch: obs.NewQuantileSketch(),
 		rec:         rec,
+	}
+	for i := range e.sessions {
+		s := &e.sessions[i]
+		s.idx = i
+		s.home = -1
+		s.state = stateUnstarted
+		s.bound = starts[i]
+	}
+	// Heap-order the launch order directly: it is already sorted by
+	// (bound, index), which satisfies the heap invariant.
+	for i, idx := range order {
+		e.bheap[i] = idx
+		e.bpos[idx] = int32(i)
 	}
 	if rec != nil {
 		heap.Push(&e.events, event{t: rec.tickAt(1), kind: evTick, tie: 1})
@@ -232,10 +286,119 @@ func newEngine(pool *ServerPool, placement Placement, n int, rec *tsRec) *engine
 	return e
 }
 
-func (e *engine) addSession() *session {
-	fs := &session{idx: len(e.sessions), home: -1}
-	e.sessions = append(e.sessions, fs)
-	return fs
+// kickoff launches the initial client pipeline. Run calls it once,
+// after installing e.launch.
+func (e *engine) kickoff() {
+	e.mu.Lock()
+	e.process()
+	e.mu.Unlock()
+}
+
+// The bound heap. Comparison is (bound, index); bounds only increase
+// over a session's life, so after an in-place update only boundDown
+// is needed.
+
+func (e *engine) boundLess(a, b int32) bool {
+	sa, sb := &e.sessions[a], &e.sessions[b]
+	if sa.bound != sb.bound {
+		return sa.bound < sb.bound
+	}
+	return a < b
+}
+
+func (e *engine) boundSwap(i, j int32) {
+	h := e.bheap
+	h[i], h[j] = h[j], h[i]
+	e.bpos[h[i]] = i
+	e.bpos[h[j]] = j
+}
+
+func (e *engine) boundUp(i int32) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.boundLess(e.bheap[i], e.bheap[parent]) {
+			return
+		}
+		e.boundSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *engine) boundDown(i int32) {
+	n := int32(len(e.bheap))
+	for {
+		least := i
+		if l := 2*i + 1; l < n && e.boundLess(e.bheap[l], e.bheap[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && e.boundLess(e.bheap[r], e.bheap[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		e.boundSwap(i, least)
+		i = least
+	}
+}
+
+// boundPush re-inserts a session whose bound again constrains the
+// horizon (a blocked client waking into stateRunning).
+func (e *engine) boundPush(idx int32) {
+	i := int32(len(e.bheap))
+	e.bheap = append(e.bheap, idx)
+	e.bpos[idx] = i
+	e.boundUp(i)
+}
+
+// boundRemove drops a session from the heap (blocking on a request,
+// or finishing).
+func (e *engine) boundRemove(idx int32) {
+	i := e.bpos[idx]
+	if i < 0 {
+		return
+	}
+	last := int32(len(e.bheap) - 1)
+	if i != last {
+		e.boundSwap(i, last)
+	}
+	e.bheap = e.bheap[:last]
+	e.bpos[idx] = -1
+	if i < last {
+		e.boundUp(i)
+		e.boundDown(i)
+	}
+}
+
+// maybeLaunch starts client goroutines for unstarted sessions: every
+// session whose bound pins the horizon below the next event (the
+// event cannot process until that client speaks), plus enough of the
+// arrival-ordered queue to keep a bounded pipeline of live clients
+// running ahead. Callers hold e.mu.
+func (e *engine) maybeLaunch() {
+	if e.launch == nil {
+		return
+	}
+	if len(e.events) > 0 {
+		t := e.events[0].t
+		for e.nextLaunch < len(e.launchOrder) {
+			idx := e.launchOrder[e.nextLaunch]
+			if e.sessions[idx].bound >= t {
+				break
+			}
+			e.launchOne(idx)
+		}
+	}
+	for e.live < e.ahead && e.nextLaunch < len(e.launchOrder) {
+		e.launchOne(e.launchOrder[e.nextLaunch])
+	}
+}
+
+func (e *engine) launchOne(idx int32) {
+	e.sessions[idx].state = stateLaunching
+	e.nextLaunch++
+	e.live++
+	go e.launch(int(idx))
 }
 
 // submit hands one request to the engine and blocks until it is
@@ -254,6 +417,7 @@ func (e *engine) submit(s *session, hint, clientID, class, method string, argByt
 	e.mu.Lock()
 	s.reqSeq++
 	r.seq = s.reqSeq
+	e.boundRemove(int32(s.idx))
 	s.state = stateBlocked
 	s.bound = reqTime
 	heap.Push(&e.events, event{t: reqTime, kind: evArrive, tie: s.idx, req: r})
@@ -272,6 +436,7 @@ func (e *engine) submit(s *session, hint, clientID, class, method string, argByt
 func (e *engine) probe(s *session, backend string, at energy.Seconds) error {
 	r := &request{sess: s, t: at, hint: backend, probe: true, backend: -1, done: make(chan struct{})}
 	e.mu.Lock()
+	e.boundRemove(int32(s.idx))
 	s.state = stateBlocked
 	s.bound = at
 	heap.Push(&e.events, event{t: at, kind: evArrive, tie: s.idx, req: r})
@@ -285,27 +450,35 @@ func (e *engine) probe(s *session, backend string, at energy.Seconds) error {
 // its bound no longer constrains the event horizon.
 func (e *engine) finish(s *session) {
 	e.mu.Lock()
+	e.boundRemove(int32(s.idx))
 	s.state = stateFinished
+	e.finished++
+	e.live--
 	e.process()
 	e.mu.Unlock()
 }
 
-// horizon is the earliest virtual time at which a running client could
-// still submit a request. Events at or before it are safe to process
-// (every exchange strictly advances a client past its bound).
+// horizon is the earliest virtual time at which an unfinished,
+// unblocked client could still submit a request — the root of the
+// bound heap. Events at or before it are safe to process (every
+// exchange strictly advances a client past its bound, and a blocked
+// client's wake-up is itself an event on the main heap).
 func (e *engine) horizon() energy.Seconds {
-	h := energy.Seconds(math.Inf(1))
-	for _, s := range e.sessions {
-		if s.state == stateRunning && s.bound < h {
-			h = s.bound
-		}
+	if len(e.bheap) == 0 {
+		return energy.Seconds(math.Inf(1))
 	}
-	return h
+	return e.sessions[e.bheap[0]].bound
 }
 
 // process drains every event whose virtual time has passed the
-// horizon, in heap order. Callers hold e.mu.
+// horizon, in heap order, then launches any clients the frontier now
+// needs. Callers hold e.mu.
 func (e *engine) process() {
+	e.drain()
+	e.maybeLaunch()
+}
+
+func (e *engine) drain() {
 	for len(e.events) > 0 {
 		if e.events[0].t > e.horizon() {
 			return
@@ -468,14 +641,9 @@ func (e *engine) failBackend(ev event) {
 }
 
 // liveSessions reports whether any session has not finished — the
-// gate on re-scheduling flap cycles.
+// gate on re-scheduling flap cycles and telemetry ticks.
 func (e *engine) liveSessions() bool {
-	for _, s := range e.sessions {
-		if s.state != stateFinished {
-			return true
-		}
-	}
-	return false
+	return e.finished < len(e.sessions)
 }
 
 // start runs one admitted request on a worker of backend b beginning
@@ -529,10 +697,12 @@ func (e *engine) start(q *request, b *poolBackend, at energy.Seconds) {
 }
 
 // answer completes a request: the session is running again from the
-// given virtual time, and the blocked client wakes.
+// given virtual time (its bound re-joins the horizon heap), and the
+// blocked client wakes.
 func (e *engine) answer(q *request, bound energy.Seconds) {
 	q.sess.state = stateRunning
 	q.sess.bound = bound
+	e.boundPush(int32(q.sess.idx))
 	close(q.done)
 }
 

@@ -20,7 +20,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -65,6 +67,10 @@ const (
 	ChannelUniform
 	// ChannelMarkov walks neighbouring classes from Class 3.
 	ChannelMarkov
+	// ChannelDrifting walks neighbouring classes with a sinusoidal
+	// up/down bias over the drift cycle (see DriftSpec) — the Markov
+	// channel made non-stationary.
+	ChannelDrifting
 )
 
 func (k ChannelKind) String() string {
@@ -75,6 +81,8 @@ func (k ChannelKind) String() string {
 		return "uniform"
 	case ChannelMarkov:
 		return "markov"
+	case ChannelDrifting:
+		return "drifting"
 	default:
 		return fmt.Sprintf("ChannelKind(%d)", int(k))
 	}
@@ -102,7 +110,18 @@ type ClientSpec struct {
 // Spec is one fleet run.
 type Spec struct {
 	Workload Workload
-	Clients  []ClientSpec
+	// Clients lists the cohort explicitly; Population describes it
+	// lazily (preferred at scale — client specs, arrival times and
+	// channel drift expand on demand from the population seed). Exactly
+	// one of the two must be set.
+	Clients    []ClientSpec
+	Population *Population
+	// ResultSink, when set, streams each ClientResult as the cohort
+	// retires (in deterministic arrival order) instead of materializing
+	// Result.Clients — the only way a 100k-client run fits in memory.
+	// The sink runs on simulation goroutines under the emitter's lock:
+	// keep it cheap and do not call back into the fleet.
+	ResultSink func(ClientResult)
 	// Server shapes each backend server's admission control (zero
 	// values mean the session-layer defaults). With Servers > 1 every
 	// backend gets this worker/queue budget.
@@ -149,24 +168,16 @@ type Spec struct {
 // MixedFleet builds a fleet of n clients cycling through the given
 // strategies and the three channel kinds, with a lossy link on every
 // fifth client — a representative population for capacity sweeps.
+//
+// Deprecated: MixedFleet materializes every ClientSpec up front. Use
+// NewPopulation (whose default options reproduce exactly this cohort)
+// and set Spec.Population instead; MixedFleet remains as a thin shim
+// over it.
 func MixedFleet(w Workload, n int, strategies []core.Strategy, execs int,
 	server core.SessionConfig, seed uint64) Spec {
 
-	clients := make([]ClientSpec, n)
-	for i := range clients {
-		cs := ClientSpec{
-			ID:         fmt.Sprintf("pda-%02d", i),
-			Strategy:   strategies[i%len(strategies)],
-			Channel:    ChannelKind(i % 3),
-			Executions: execs,
-			Seed:       mix(seed, uint64(i)),
-		}
-		if i%5 == 4 {
-			cs.Outage, cs.Burst = 0.15, 3
-		}
-		clients[i] = cs
-	}
-	return Spec{Workload: w, Clients: clients, Server: server}
+	pop := NewPopulation(n, WithSeed(seed), WithStrategyMix(strategies...), WithExecutions(execs))
+	return Spec{Workload: w, Clients: pop.ClientSpecs(), Server: server}
 }
 
 // ClientResult is one handset's outcome.
@@ -224,12 +235,45 @@ type BackendResult struct {
 	Flaps, ChaosLosses, Slowed, Warmups int
 }
 
+// Totals aggregates a cohort's outcomes without per-client records —
+// what a streamed run keeps in memory. Sums accumulate in
+// deterministic arrival order, so they are byte-stable across
+// concurrency in either mode.
+type Totals struct {
+	// Clients is the cohort size; Errors how many clients failed.
+	Clients, Errors int
+	// Energy sums the fleet's client energies; MaxTime is the cohort
+	// makespan (latest client virtual completion time).
+	Energy  energy.Joules
+	MaxTime energy.Seconds
+	// Failovers and Fallbacks sum the respective client counters.
+	Failovers, Fallbacks int
+}
+
+// add folds one retiring client into the totals.
+func (t *Totals) add(cr *ClientResult) {
+	t.Clients++
+	t.Energy += cr.Energy
+	if cr.Time > t.MaxTime {
+		t.MaxTime = cr.Time
+	}
+	t.Failovers += cr.Stats.Failovers
+	t.Fallbacks += cr.Stats.Fallbacks
+	if cr.Err != "" {
+		t.Errors++
+	}
+}
+
 // Result is a completed fleet run.
 type Result struct {
 	Workload  string
 	Placement Placement
-	Clients   []ClientResult
-	Server    ServerResult
+	// Clients holds per-client outcomes in client-index order. It is
+	// nil when the spec streamed results through ResultSink; Totals
+	// still aggregates the whole cohort then.
+	Clients []ClientResult
+	Totals  Totals
+	Server  ServerResult
 	// Backends holds per-backend outcomes, in placement order (one
 	// entry even for a single-server run).
 	Backends []BackendResult
@@ -238,52 +282,100 @@ type Result struct {
 	Series *obs.TimeSeries
 }
 
-// Run simulates the fleet to completion.
+// Run simulates the fleet to completion. Clients are launched on
+// demand as the simulation frontier needs them (see engine.go) and
+// retired — sessions closed, per-client state folded and released —
+// as they finish, so peak memory tracks the live cohort, not the
+// whole fleet.
 func Run(spec Spec) (*Result, error) {
-	if len(spec.Clients) == 0 {
-		return nil, fmt.Errorf("fleet: no clients in spec")
+	clientAt, n, err := spec.cohort()
+	if err != nil {
+		return nil, err
 	}
 	w := spec.Workload
 	if w.Prog == nil || w.Target == nil || w.Prof == nil {
 		return nil, fmt.Errorf("fleet: incomplete workload %q", w.Name)
 	}
+	fp, err := core.NewFleetProgram(w.Prog, w.Target, w.Prof)
+	if err != nil {
+		return nil, err
+	}
 	chaos, err := mergeChaos(spec)
 	if err != nil {
 		return nil, err
 	}
+	var arrival ArrivalSpec
+	drift := DriftSpec{}.withDefaults()
+	if spec.Population != nil {
+		arrival = spec.Population.arrival
+		if err := arrival.validate(); err != nil {
+			return nil, err
+		}
+		drift = spec.Population.drift.withDefaults()
+	}
 	pool := NewServerPool(w.Prog, spec.Servers, spec.Server, chaos)
+	pool.alloc(n)
 	var rec *tsRec
+	var fold *clientFold
 	if spec.Telemetry != nil {
 		if spec.Telemetry.Tick <= 0 {
 			return nil, fmt.Errorf("fleet: telemetry tick %v must be positive", spec.Telemetry.Tick)
 		}
 		rec = newTSRec(spec.Telemetry, pool)
+		fold = newClientFold(spec.Telemetry.Tick)
 	}
-	eng := newEngine(pool, spec.Placement, len(spec.Clients), rec)
+
+	// Arrival times are pure functions of the curve and each client's
+	// seed, so the engine knows every unlaunched client's clock bound
+	// without constructing it. The (arrival, index) order drives both
+	// launches and result retirement.
+	starts := make([]energy.Seconds, n)
+	if arrival.Kind != ArriveNone {
+		for i := range starts {
+			starts[i] = arrival.startTime(clientAt(i).Seed)
+		}
+	}
+	order := arrivalOrder(starts)
+
+	eng := newEngine(pool, spec.Placement, starts, order, rec)
 	conc := spec.Concurrency
 	if conc <= 0 {
 		conc = runtime.GOMAXPROCS(0)
 	}
 	g := newGate(conc)
-
-	// Build every client before launching any: addSession fixes the
-	// deterministic client order the engine breaks ties with, and
-	// every (client, backend) session opens here so session IDs never
-	// depend on placement order.
-	clients := make([]*core.Client, len(spec.Clients))
-	sessions := make([]*session, len(spec.Clients))
-	var logs []*clientLog
-	if rec != nil {
-		logs = make([]*clientLog, len(spec.Clients))
+	eng.ahead = 4 * conc
+	if eng.ahead < 64 {
+		eng.ahead = 64
 	}
-	for i, cs := range spec.Clients {
-		fs := eng.addSession()
-		pool.open(cs.ID)
-		sessions[i] = fs
+
+	em := &emitter{
+		order:   order,
+		records: make([]ClientResult, n),
+		done:    make([]bool, n),
+		sink:    spec.ResultSink,
+		fold:    fold,
+	}
+	if fold != nil {
+		em.accs = make([]*clientAcc, n)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	eng.launch = func(idx int) {
+		defer wg.Done()
+		cs := clientAt(idx)
+		fs := &eng.sessions[idx]
+		// The compute slot is held while simulating and released while
+		// blocked in the engine (muxRemote); the session must retire
+		// even when the client errors out, or the engine would wait on
+		// its clock bound forever.
+		g.acquire()
+		pool.openAt(idx, cs.ID)
+		var acc *clientAcc
 		var opts []core.Option
 		if rec != nil {
-			logs[i] = &clientLog{}
-			opts = append(opts, core.WithSink(logs[i]))
+			acc = newClientAcc(float64(spec.Telemetry.Tick))
+			opts = append(opts, core.WithSink(acc))
 		}
 		if cs.Outage > 0 {
 			opts = append(opts, core.WithFaultModel(radio.NewGilbertElliott(cs.Outage, cs.Burst)))
@@ -304,48 +396,25 @@ func Run(spec Spec) (*Result, error) {
 				ProbeBytes:  proto.ProbeBytes,
 			}))
 		}
-		clients[i] = core.New(core.ClientConfig{
+		c := core.New(core.ClientConfig{
 			ID:       cs.ID,
-			Prog:     w.Prog,
+			Shared:   fp,
 			Server:   &muxRemote{e: eng, s: fs, gate: g},
-			Channel:  buildChannel(cs),
+			Channel:  buildChannel(cs, drift),
 			Strategy: cs.Strategy,
 			Seed:     mix(cs.Seed, 0x11),
 		}, opts...)
-	}
-
-	errs := make([]error, len(clients))
-	var wg sync.WaitGroup
-	for i := range clients {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			// The compute slot is held while simulating and released
-			// while blocked in the engine (muxRemote); the session must
-			// retire even when the client errors out, or the engine
-			// would wait on its clock bound forever.
-			g.acquire()
-			defer g.release()
-			defer eng.finish(sessions[i])
-			errs[i] = runClient(clients[i], w, spec.Clients[i])
-		}(i)
-	}
-	wg.Wait()
-
-	res := &Result{
-		Workload:  w.Name,
-		Placement: spec.Placement,
-		Clients:   make([]ClientResult, len(clients)),
-	}
-	for i, c := range clients {
-		fs := sessions[i]
+		cerr := runClient(c, w, cs, starts[idx], fp)
+		// Harvest before the sessions close, then retire: the engine
+		// drops the clock bound, the pool releases the per-backend
+		// sessions, and the emitter folds + streams the record.
 		cr := ClientResult{
-			ID:       spec.Clients[i].ID,
-			Strategy: spec.Clients[i].Strategy,
+			ID:       cs.ID,
+			Strategy: cs.Strategy,
 			Energy:   c.Energy(),
 			Time:     c.Clock,
 			Stats:    *c.Stats,
-			Session:  pool.sessionStats(i),
+			Session:  pool.sessionStats(idx),
 			Served:   fs.served,
 			Shed:     fs.shed,
 			MaxWait:  fs.maxWait,
@@ -353,10 +422,24 @@ func Run(spec Spec) (*Result, error) {
 		if fs.served > 0 {
 			cr.AvgWait = fs.waitSum / energy.Seconds(fs.served)
 		}
-		if errs[i] != nil {
-			cr.Err = errs[i].Error()
+		if cerr != nil {
+			cr.Err = cerr.Error()
 		}
-		res.Clients[i] = cr
+		eng.finish(fs)
+		g.release()
+		pool.release(idx, cs.ID)
+		em.emit(idx, cr, acc)
+	}
+	eng.kickoff()
+	wg.Wait()
+
+	res := &Result{
+		Workload:  w.Name,
+		Placement: spec.Placement,
+		Totals:    em.totals,
+	}
+	if spec.ResultSink == nil {
+		res.Clients = em.records
 	}
 	res.Server = ServerResult{
 		Workers:       pool.backends[0].workers,
@@ -369,7 +452,7 @@ func Run(spec Spec) (*Result, error) {
 		DepthDist:     eng.depthSketch.Snapshot(),
 	}
 	if rec != nil {
-		foldClientLogs(rec.ts, logs)
+		fold.mergeInto(rec.ts)
 		res.Series = rec.ts
 	}
 	for _, b := range pool.backends {
@@ -392,6 +475,83 @@ func Run(spec Spec) (*Result, error) {
 		res.Backends = append(res.Backends, br)
 	}
 	return res, nil
+}
+
+// cohort resolves the spec's client source: an explicit slice or a
+// lazy population, never both.
+func (spec *Spec) cohort() (func(int) ClientSpec, int, error) {
+	switch {
+	case len(spec.Clients) > 0 && spec.Population != nil:
+		return nil, 0, fmt.Errorf("fleet: spec sets both Clients and Population")
+	case len(spec.Clients) > 0:
+		cl := spec.Clients
+		return func(i int) ClientSpec { return cl[i] }, len(cl), nil
+	case spec.Population != nil && spec.Population.N() > 0:
+		return spec.Population.ClientAt, spec.Population.N(), nil
+	default:
+		return nil, 0, fmt.Errorf("fleet: no clients in spec")
+	}
+}
+
+// arrivalOrder returns the client indices sorted by (arrival time,
+// index) — the order clients launch and their results retire in.
+func arrivalOrder(starts []energy.Seconds) []int32 {
+	order := make([]int32, len(starts))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if starts[ia] != starts[ib] {
+			return starts[ia] < starts[ib]
+		}
+		return ia < ib
+	})
+	return order
+}
+
+// emitter retires client results in deterministic arrival order,
+// whatever order the goroutines actually finish in: records park in
+// the out-of-order buffer until every earlier client has retired,
+// then fold (telemetry), accumulate (totals) and stream (sink) in
+// order. With a sink attached, emitted records are dropped
+// immediately — nothing accumulates across a 100k run.
+type emitter struct {
+	mu      sync.Mutex
+	order   []int32
+	next    int
+	records []ClientResult
+	accs    []*clientAcc
+	done    []bool
+	sink    func(ClientResult)
+	fold    *clientFold
+	totals  Totals
+}
+
+func (em *emitter) emit(idx int, cr ClientResult, acc *clientAcc) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.records[idx] = cr
+	em.done[idx] = true
+	if em.accs != nil {
+		em.accs[idx] = acc
+	}
+	for em.next < len(em.order) {
+		i := em.order[em.next]
+		if !em.done[i] {
+			break
+		}
+		em.next++
+		if em.fold != nil {
+			em.fold.fold(em.accs[i], int(i))
+			em.accs[i] = nil
+		}
+		em.totals.add(&em.records[i])
+		if em.sink != nil {
+			em.sink(em.records[i])
+			em.records[i] = ClientResult{}
+		}
+	}
 }
 
 // mergeChaos folds the legacy FailAt shorthand into the per-backend
@@ -418,10 +578,15 @@ func mergeChaos(spec Spec) ([]BackendChaos, error) {
 	return chaos, nil
 }
 
-// runClient simulates one handset to completion.
-func runClient(c *core.Client, w Workload, cs ClientSpec) error {
-	if err := c.Register(w.Target, w.Prof); err != nil {
+// runClient simulates one handset to completion. The shared fleet
+// program skips per-client compilation; a positive start offsets the
+// client's clock so it joins the arrival curve's diurnal shape.
+func runClient(c *core.Client, w Workload, cs ClientSpec, start energy.Seconds, fp *core.FleetProgram) error {
+	if err := c.RegisterShared(fp); err != nil {
 		return err
+	}
+	if start > 0 {
+		c.Clock = start
 	}
 	sizes := cs.Sizes
 	if len(sizes) == 0 {
@@ -449,7 +614,7 @@ func runClient(c *core.Client, w Workload, cs ClientSpec) error {
 	return nil
 }
 
-func buildChannel(cs ClientSpec) radio.Channel {
+func buildChannel(cs ClientSpec, drift DriftSpec) radio.Channel {
 	switch cs.Channel {
 	case ChannelUniform:
 		return radio.UniformChannel(rng.New(mix(cs.Seed, 0x21)))
@@ -459,6 +624,16 @@ func buildChannel(cs ClientSpec) radio.Channel {
 			start = radio.Class3
 		}
 		return radio.NewMarkov(start, 0.55, rng.New(mix(cs.Seed, 0x31)))
+	case ChannelDrifting:
+		start := cs.Class
+		if start == 0 {
+			start = radio.Class3
+		}
+		// The per-client phase staggers the diurnal bias so the fleet's
+		// channels do not swing in lockstep.
+		r := rng.New(mix(cs.Seed, 0x61))
+		phase := 2 * math.Pi * r.Float64()
+		return radio.NewDriftingMarkov(start, drift.Stay, drift.Period, drift.Depth, phase, r)
 	default:
 		cls := cs.Class
 		if cls == 0 {
@@ -571,23 +746,11 @@ func exportDist(reg *obs.Registry, name, help string, d obs.SketchSnapshot) {
 
 // TotalFailovers sums in-flight re-placements after attributed losses
 // across the fleet's clients.
-func (r *Result) TotalFailovers() int {
-	total := 0
-	for _, c := range r.Clients {
-		total += c.Stats.Failovers
-	}
-	return total
-}
+func (r *Result) TotalFailovers() int { return r.Totals.Failovers }
 
 // TotalFallbacks sums connection-loss local fallbacks across the
 // fleet's clients — the work the pool pushed back to the handsets.
-func (r *Result) TotalFallbacks() int {
-	total := 0
-	for _, c := range r.Clients {
-		total += c.Stats.Fallbacks
-	}
-	return total
-}
+func (r *Result) TotalFallbacks() int { return r.Totals.Fallbacks }
 
 // TotalWarmups sums failover cache warmups across backends.
 func (r *Result) TotalWarmups() int {
@@ -599,13 +762,7 @@ func (r *Result) TotalWarmups() int {
 }
 
 // TotalEnergy sums the fleet's client energies.
-func (r *Result) TotalEnergy() energy.Joules {
-	var e energy.Joules
-	for _, c := range r.Clients {
-		e += c.Energy
-	}
-	return e
-}
+func (r *Result) TotalEnergy() energy.Joules { return r.Totals.Energy }
 
 // ShedRate is the fraction of admission decisions that shed.
 func (r *Result) ShedRate() float64 {
@@ -616,29 +773,35 @@ func (r *Result) ShedRate() float64 {
 	return float64(r.Server.Shed) / float64(total)
 }
 
-// WriteSummary renders the per-client table, the pool aggregate and —
-// for multi-server runs — the per-backend breakdown.
+// WriteSummary renders the per-client table (when per-client records
+// were retained), the pool aggregate and — for multi-server runs —
+// the per-backend breakdown. Streamed runs (ResultSink set) print the
+// aggregates only.
 func (r *Result) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "fleet of %d clients on %s — server workers=%d queue=%d",
-		len(r.Clients), r.Workload, r.Server.Workers, r.Server.QueueCap)
+		r.Totals.Clients, r.Workload, r.Server.Workers, r.Server.QueueCap)
 	if len(r.Backends) > 1 {
 		fmt.Fprintf(w, " servers=%d placement=%s", len(r.Backends), r.Placement)
 	}
 	fmt.Fprintf(w, "\n\n")
-	fmt.Fprintf(w, "%-8s %-5s %12s %10s | %5s %5s %5s %5s | %10s  %s\n",
-		"client", "strat", "energy", "time", "reqs", "shed", "hits", "fall", "avg wait", "modes [I L1 L2 L3 R]")
-	for _, c := range r.Clients {
-		fmt.Fprintf(w, "%-8s %-5v %12v %9.2fs | %5d %5d %5d %5d | %9.2fms  %v",
-			c.ID, c.Strategy, c.Energy, float64(c.Time),
-			c.Served, c.Shed, c.Session.CacheHits, c.Stats.Fallbacks,
-			float64(c.AvgWait)*1e3, c.Stats.ModeCounts)
-		if c.Err != "" {
-			fmt.Fprintf(w, "  ERROR: %s", c.Err)
+	if r.Clients == nil {
+		fmt.Fprintf(w, "(per-client records streamed; aggregates only)\n")
+	} else {
+		fmt.Fprintf(w, "%-8s %-5s %12s %10s | %5s %5s %5s %5s | %10s  %s\n",
+			"client", "strat", "energy", "time", "reqs", "shed", "hits", "fall", "avg wait", "modes [I L1 L2 L3 R]")
+		for _, c := range r.Clients {
+			fmt.Fprintf(w, "%-8s %-5v %12v %9.2fs | %5d %5d %5d %5d | %9.2fms  %v",
+				c.ID, c.Strategy, c.Energy, float64(c.Time),
+				c.Served, c.Shed, c.Session.CacheHits, c.Stats.Fallbacks,
+				float64(c.AvgWait)*1e3, c.Stats.ModeCounts)
+			if c.Err != "" {
+				fmt.Fprintf(w, "  ERROR: %s", c.Err)
+			}
+			fmt.Fprintln(w)
 		}
-		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "\ntotal energy %v; server served %d, shed %d (rate %.1f%%), max queue depth %d, cache hits %d",
-		r.TotalEnergy(), r.Server.Served, r.Server.Shed, 100*r.ShedRate(),
+	fmt.Fprintf(w, "\ntotal energy %v; makespan %.4fs; server served %d, shed %d (rate %.1f%%), max queue depth %d, cache hits %d",
+		r.TotalEnergy(), float64(r.Totals.MaxTime), r.Server.Served, r.Server.Shed, 100*r.ShedRate(),
 		r.Server.MaxQueueDepth, r.Server.CacheHits)
 	if f := r.TotalFailovers(); f > 0 {
 		fmt.Fprintf(w, ", failovers %d", f)

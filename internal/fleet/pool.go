@@ -33,9 +33,12 @@ type poolBackend struct {
 	idx  int
 	id   string
 	sess *core.SessionServer
-	// clients holds one server-side session per fleet client, in
-	// client order — opened eagerly at build time so session IDs never
-	// depend on placement order.
+	// clients holds one server-side session slot per fleet client,
+	// indexed by client. Slots fill when a client launches (openAt) and
+	// empty when it retires (release), so only live clients hold
+	// server-side state. Session IDs follow launch order, which is not
+	// deterministic — nothing observable derives from them (requests
+	// key on client ID).
 	clients []*core.Session
 
 	workers  int
@@ -118,11 +121,27 @@ func NewServerPool(prog *bytecode.Program, n int, cfg core.SessionConfig, chaos 
 // mutate the returned slice.
 func (p *ServerPool) IDs() []string { return p.ids }
 
-// open creates the client's session on every backend (client order =
-// session order on each backend, so IDs are deterministic).
-func (p *ServerPool) open(clientID string) {
+// alloc sizes every backend's client-session table for a cohort of n.
+func (p *ServerPool) alloc(n int) {
 	for _, b := range p.backends {
-		b.clients = append(b.clients, b.sess.Open(clientID))
+		b.clients = make([]*core.Session, n)
+	}
+}
+
+// openAt creates client i's session on every backend, at launch time.
+func (p *ServerPool) openAt(i int, clientID string) {
+	for _, b := range p.backends {
+		b.clients[i] = b.sess.Open(clientID)
+	}
+}
+
+// release retires client i's sessions: the slots empty and each
+// backend folds the session's counters into its retained aggregates,
+// so a finished handset stops costing memory.
+func (p *ServerPool) release(i int, clientID string) {
+	for _, b := range p.backends {
+		b.clients[i] = nil
+		b.sess.Close(clientID)
 	}
 }
 

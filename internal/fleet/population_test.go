@@ -1,0 +1,408 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"greenvm/internal/core"
+	"greenvm/internal/energy"
+)
+
+// TestMixedFleetByteCompat pins the deprecated MixedFleet shim to the
+// historical cohort shape: ID format, strategy and channel rotation,
+// outage cadence and per-client seeds must come out exactly as the
+// pre-Population constructor built them, or old callers' runs change
+// under them.
+func TestMixedFleetByteCompat(t *testing.T) {
+	strats := []core.Strategy{core.StrategyR, core.StrategyAL}
+	spec := MixedFleet(Workload{Name: "x"}, 7, strats, 3, core.SessionConfig{}, 42)
+	if len(spec.Clients) != 7 {
+		t.Fatalf("%d clients, want 7", len(spec.Clients))
+	}
+	channels := []ChannelKind{ChannelFixed, ChannelUniform, ChannelMarkov}
+	for i, c := range spec.Clients {
+		if want := fmt.Sprintf("pda-%02d", i); c.ID != want {
+			t.Errorf("client %d ID = %q, want %q", i, c.ID, want)
+		}
+		if want := strats[i%len(strats)]; c.Strategy != want {
+			t.Errorf("client %d strategy = %v, want %v", i, c.Strategy, want)
+		}
+		if want := channels[i%len(channels)]; c.Channel != want {
+			t.Errorf("client %d channel = %v, want %v", i, c.Channel, want)
+		}
+		if c.Executions != 3 {
+			t.Errorf("client %d executions = %d, want 3", i, c.Executions)
+		}
+		if want := mix(42, uint64(i)); c.Seed != want {
+			t.Errorf("client %d seed = %d, want %d", i, c.Seed, want)
+		}
+		wantOutage := i%5 == 4
+		if (c.Outage > 0) != wantOutage {
+			t.Errorf("client %d outage = %g, want outage: %v", i, c.Outage, wantOutage)
+		}
+	}
+}
+
+// TestPopulationClientAtMatchesSpecs checks the lazy accessor against
+// the materialized slice: a streamed run and a Clients-slice run must
+// see identical cohorts.
+func TestPopulationClientAtMatchesSpecs(t *testing.T) {
+	pop := NewPopulation(40,
+		WithSeed(9),
+		WithStrategyMix(core.StrategyAA, core.StrategyR),
+		WithChannelMix(ChannelMarkov, ChannelDrifting),
+		WithOutage(0.3, 4, 3),
+		WithExecutions(2),
+		WithSizes(16, 64),
+	)
+	specs := pop.ClientSpecs()
+	if len(specs) != pop.N() {
+		t.Fatalf("ClientSpecs len %d, want %d", len(specs), pop.N())
+	}
+	for i, want := range specs {
+		got := pop.ClientAt(i)
+		if got.ID != want.ID || got.Strategy != want.Strategy || got.Channel != want.Channel ||
+			got.Outage != want.Outage || got.Burst != want.Burst ||
+			got.Executions != want.Executions || got.Seed != want.Seed ||
+			len(got.Sizes) != len(want.Sizes) {
+			t.Errorf("ClientAt(%d) = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	good := []struct {
+		in   string
+		want ArrivalSpec
+	}{
+		{"none", ArrivalSpec{Kind: ArriveNone}},
+		{"uniform:0.5", ArrivalSpec{Kind: ArriveUniform, Span: 0.5}},
+		{"diurnal:2", ArrivalSpec{Kind: ArriveDiurnal, Span: 2, Amplitude: 0.9}},
+		{"diurnal:2/0.4", ArrivalSpec{Kind: ArriveDiurnal, Span: 2, Amplitude: 0.4}},
+	}
+	for _, tc := range good {
+		got, err := ParseArrival(tc.in)
+		if err != nil {
+			t.Errorf("ParseArrival(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseArrival(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	bad := []struct {
+		in, want string
+	}{
+		{"diurnl:0.5", `did you mean "diurnal"`},
+		{"unifrom:1", `did you mean "uniform"`},
+		{"poisson:1", "valid: none, uniform, diurnal"},
+		{"uniform", "needs a span"},
+		{"uniform:-1", "must be a positive"},
+		{"uniform:0.5/0.3", "takes no amplitude"},
+		{"diurnal:1/1.5", "must be in [0, 1]"},
+		{"none:0.5", "takes no parameters"},
+	}
+	for _, tc := range bad {
+		_, err := ParseArrival(tc.in)
+		if err == nil {
+			t.Errorf("ParseArrival(%q) accepted a bad value", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseArrival(%q) error %q does not contain %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+func TestParseDrift(t *testing.T) {
+	d, err := ParseDrift("overnight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "overnight" || d.Period != 64 || d.Depth != 0.4 || d.Stay != 0.55 {
+		t.Errorf("overnight preset = %+v", d)
+	}
+	if d, err = ParseDrift("none"); err != nil || d.Name != "none" {
+		t.Errorf("ParseDrift(none) = (%+v, %v)", d, err)
+	}
+	_, err = ParseDrift("comute")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "commute"`) {
+		t.Errorf("ParseDrift(comute) error %v lacks suggestion", err)
+	}
+	_, err = ParseDrift("sinusoid")
+	if err == nil || !strings.Contains(err.Error(), "valid: none, overnight, commute") {
+		t.Errorf("ParseDrift(sinusoid) error %v lacks the valid set", err)
+	}
+}
+
+// TestArrivalCurves checks the inverse-CDF draws: deterministic per
+// seed, bounded by the span, and — for the diurnal curve — actually
+// shaped (the middle half of one synthetic day holds most arrivals,
+// which a uniform spread cannot produce).
+func TestArrivalCurves(t *testing.T) {
+	const n = 4000
+	for _, tc := range []struct {
+		name string
+		a    ArrivalSpec
+	}{
+		{"uniform", ArrivalSpec{Kind: ArriveUniform, Span: 2}},
+		{"diurnal", ArrivalSpec{Kind: ArriveDiurnal, Span: 2, Amplitude: 0.9}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mid := 0
+			for i := 0; i < n; i++ {
+				seed := mix(5, uint64(i))
+				at := tc.a.startTime(seed)
+				if at < 0 || at > tc.a.Span {
+					t.Fatalf("arrival %d at %v outside [0, %v]", i, at, tc.a.Span)
+				}
+				if again := tc.a.startTime(seed); again != at {
+					t.Fatalf("arrival %d not deterministic: %v then %v", i, at, again)
+				}
+				if at > tc.a.Span/4 && at < 3*tc.a.Span/4 {
+					mid++
+				}
+			}
+			frac := float64(mid) / n
+			switch tc.name {
+			case "uniform":
+				if frac < 0.45 || frac > 0.55 {
+					t.Errorf("uniform middle-half fraction %.3f, want ~0.5", frac)
+				}
+			case "diurnal":
+				// At amplitude 0.9 the middle half carries ~79% of the mass.
+				if frac < 0.7 {
+					t.Errorf("diurnal middle-half fraction %.3f, want > 0.7 (curve not shaped)", frac)
+				}
+			}
+		})
+	}
+}
+
+// TestPopulationRunMatchesClientSpecs is the API-migration guarantee:
+// the same cohort through the lazy Spec.Population and through the
+// materialized Spec.Clients slice produces byte-identical results.
+// (Arrival curves ride only on the population, so the comparable
+// cohort uses none; the drifting channels compare because the default
+// DriftSpec equals the overnight preset.)
+func TestPopulationRunMatchesClientSpecs(t *testing.T) {
+	w := testWorkload(t)
+	pop := func() *Population {
+		return NewPopulation(24,
+			WithSeed(11),
+			WithStrategyMix(core.StrategyR, core.StrategyAL, core.StrategyAA),
+			WithExecutions(2),
+			WithSizes(16, 32),
+			WithChannelMix(ChannelMarkov, ChannelDrifting),
+		)
+	}
+	lazy := Spec{Workload: w, Population: pop(), Server: core.SessionConfig{Workers: 2, QueueCap: 4}}
+	lazy.Concurrency = 4
+	eager := Spec{Workload: w, Clients: pop().ClientSpecs(), Server: core.SessionConfig{Workers: 2, QueueCap: 4}}
+	eager.Concurrency = 4
+
+	lr, err := Run(lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := Run(eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, eb := render(t, lr), render(t, er)
+	if !bytes.Equal(lb, eb) {
+		t.Fatalf("lazy and materialized cohorts diverge:\n--- lazy ---\n%s\n--- eager ---\n%s", lb, eb)
+	}
+}
+
+// TestSpecRejectsAmbiguousCohort: Clients and Population are
+// exclusive, and an empty spec is an error, not an empty run.
+func TestSpecRejectsAmbiguousCohort(t *testing.T) {
+	w := testWorkload(t)
+	both := Spec{Workload: w, Clients: []ClientSpec{{ID: "a", Executions: 1}},
+		Population: NewPopulation(2)}
+	if _, err := Run(both); err == nil || !strings.Contains(err.Error(), "both Clients and Population") {
+		t.Errorf("Run with both cohort sources: %v", err)
+	}
+	if _, err := Run(Spec{Workload: w}); err == nil || !strings.Contains(err.Error(), "no clients") {
+		t.Errorf("Run with no cohort: %v", err)
+	}
+}
+
+// TestStreamedRunMatchesRetained: a ResultSink must see exactly the
+// records a retained run materializes, in arrival order, while the
+// streamed Result keeps Clients nil and the same totals.
+func TestStreamedRunMatchesRetained(t *testing.T) {
+	w := testWorkload(t)
+	build := func() Spec {
+		spec := Spec{Workload: w, Population: NewPopulation(30,
+			WithSeed(6),
+			WithStrategyMix(core.StrategyR, core.StrategyAA),
+			WithExecutions(2),
+			WithSizes(16),
+			WithArrivalCurve(ArrivalSpec{Kind: ArriveUniform, Span: 0.02}),
+		), Server: core.SessionConfig{Workers: 2, QueueCap: 4}}
+		spec.Concurrency = 4
+		return spec
+	}
+	retained, err := Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed []ClientResult
+	spec := build()
+	spec.ResultSink = func(cr ClientResult) { streamed = append(streamed, cr) }
+	sr, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Clients != nil {
+		t.Errorf("streamed Result retained %d client records", len(sr.Clients))
+	}
+	if sr.Totals != retained.Totals {
+		t.Errorf("totals diverge: %+v vs %+v", sr.Totals, retained.Totals)
+	}
+	if len(streamed) != len(retained.Clients) {
+		t.Fatalf("sink saw %d records, retained run %d", len(streamed), len(retained.Clients))
+	}
+	// The sink sees arrival order; the retained slice is in client
+	// order. Compare as sets keyed by ID, and check the sink's order
+	// is the arrival order.
+	byID := map[string]ClientResult{}
+	for _, c := range retained.Clients {
+		byID[c.ID] = c
+	}
+	pop := spec.Population
+	var lastStart energy.Seconds = -1
+	for i, c := range streamed {
+		want, ok := byID[c.ID]
+		if !ok {
+			t.Fatalf("sink record %d (%s) not in retained run", i, c.ID)
+		}
+		if fmt.Sprintf("%+v", c) != fmt.Sprintf("%+v", want) {
+			t.Errorf("record %s diverges:\nstream %+v\nretain %+v", c.ID, c, want)
+		}
+		var idx int
+		if _, err := fmt.Sscanf(c.ID, "pda-%d", &idx); err != nil {
+			t.Fatalf("unparseable client ID %q: %v", c.ID, err)
+		}
+		at := pop.StartAt(idx)
+		if at < lastStart {
+			t.Errorf("sink order broke arrival order at %s (%v after %v)", c.ID, at, lastStart)
+		}
+		lastStart = at
+	}
+}
+
+// TestStreamedFleetMemoryPerClient pins the memory claim behind the
+// Population + ResultSink redesign: mid-run live heap grows with the
+// launch-ahead window, not the cohort. The all-resident design held
+// every finished client (~hundreds of KB each) until the run ended —
+// ~200 KB/client live at the midpoint of a 2k fleet; the streamed
+// design must stay far below that.
+func TestStreamedFleetMemoryPerClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2k-client memory probe; skipped under -short")
+	}
+	w := testWorkload(t)
+	const n = 2000
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var midHeap uint64
+	seen := 0
+	spec := Spec{Workload: w, Population: NewPopulation(n,
+		WithSeed(13),
+		WithStrategyMix(core.StrategyR, core.StrategyAL, core.StrategyAA),
+		WithExecutions(1),
+		WithSizes(16),
+		WithArrivalCurve(ArrivalSpec{Kind: ArriveDiurnal, Span: 0.5, Amplitude: 0.9}),
+	), Server: core.SessionConfig{Workers: 4, QueueCap: 16}}
+	spec.ResultSink = func(cr ClientResult) {
+		if seen++; seen == n/2 {
+			// Half the cohort has retired; with streaming their state is
+			// garbage. Collect it so the reading counts live bytes only.
+			runtime.GC()
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			midHeap = m.HeapAlloc
+		}
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.Errors > 0 {
+		t.Fatalf("%d clients failed", res.Totals.Errors)
+	}
+	if midHeap == 0 {
+		t.Fatal("midpoint sample never taken")
+	}
+	grown := float64(midHeap) - float64(before.HeapAlloc)
+	perClient := grown / n
+	t.Logf("mid-run live heap growth: %.0f KB total, %.1f KB/client", grown/1024, perClient/1024)
+	if perClient > 50*1024 {
+		t.Errorf("live heap %.1f KB/client at the midpoint; streaming should keep only the launch-ahead window resident", perClient/1024)
+	}
+}
+
+// TestFleetScaleDeterministicStreamed is the city-scale determinism
+// claim: a 10k-client diurnal cohort with drifting channels produces
+// byte-identical streamed client records AND byte-identical telemetry
+// JSONL whether it simulates serially or on eight slots.
+func TestFleetScaleDeterministicStreamed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-client sweep is seconds of work; skipped under -short")
+	}
+	w := testWorkload(t)
+	run := func(conc int) (clientBytes, tsBytes []byte) {
+		t.Helper()
+		var cl bytes.Buffer
+		spec := Spec{Workload: w, Population: NewPopulation(10000,
+			WithSeed(20260807),
+			WithStrategyMix(core.StrategyR, core.StrategyAL, core.StrategyAA),
+			WithExecutions(1),
+			WithSizes(16),
+			WithArrivalCurve(ArrivalSpec{Kind: ArriveDiurnal, Span: 0.5, Amplitude: 0.9}),
+			WithChannelMix(ChannelDrifting),
+			WithChannelDrift(DriftSpec{Period: 64, Depth: 0.4, Stay: 0.55}),
+		), Server: core.SessionConfig{Workers: 4, QueueCap: 16}}
+		spec.Servers = 2
+		spec.Placement = PlaceP2C
+		spec.Concurrency = conc
+		spec.Telemetry = &TelemetrySpec{Tick: 0.005}
+		spec.ResultSink = func(cr ClientResult) {
+			fmt.Fprintf(&cl, "%s|%v|%v|%v|%+v|%d|%d|%v|%v|%s\n",
+				cr.ID, cr.Strategy, cr.Energy, cr.Time, cr.Stats,
+				cr.Served, cr.Shed, cr.AvgWait, cr.MaxWait, cr.Err)
+		}
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Totals.Errors > 0 {
+			t.Fatalf("%d clients failed", res.Totals.Errors)
+		}
+		var ts bytes.Buffer
+		if err := res.Series.WriteJSONL(&ts); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Bytes(), ts.Bytes()
+	}
+	serialCl, serialTS := run(1)
+	parCl, parTS := run(8)
+	if !bytes.Equal(serialCl, parCl) {
+		t.Error("serial and 8-way client streams diverge")
+	}
+	if !bytes.Equal(serialTS, parTS) {
+		t.Error("serial and 8-way telemetry JSONL diverge")
+	}
+	if len(serialCl) == 0 || len(serialTS) == 0 {
+		t.Error("scale run produced empty streams")
+	}
+}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"math"
 	"sort"
 
 	"greenvm/internal/core"
@@ -13,9 +14,12 @@ import (
 // (served/shed/flushed/losses, queue waits) and what each backend
 // looked like at the tick boundary (up, busy workers, queue depth).
 // Client-side series — per-invocation energy, failovers, breaker
-// transitions — are folded in after the run from per-client event
-// logs, in client order, so every float accumulates in a fixed order
-// and the exported JSONL is byte-identical across -workers.
+// transitions — accumulate in per-client windowed accumulators
+// (clientAcc) that fold, in deterministic arrival order, into a
+// separate aggregate store as each client retires, and merge into the
+// engine's series once after the run — so every float accumulates in
+// a fixed order, the exported JSONL is byte-identical across
+// -workers, and no per-event history is ever retained.
 //
 // The engine-side half streams: every write happens inside the event
 // heap under the engine lock, in heap order, which is the same
@@ -180,34 +184,6 @@ func (r *tsRec) backendUp(t energy.Seconds, bidx int) {
 	}
 }
 
-// clientLog is the per-client event sink feeding the post-run fold.
-// Each client owns one and its Emit runs on that client's goroutine,
-// so there is no sharing; determinism comes from folding the logs in
-// client order after the run.
-type clientLog struct {
-	events []logEvent
-}
-
-type logEvent struct {
-	kind    core.EventKind
-	at      energy.Seconds
-	energy  float64
-	backend string
-}
-
-// Emit implements core.EventSink, keeping only the kinds the windows
-// chart.
-func (l *clientLog) Emit(e core.Event) {
-	switch e.Kind {
-	case core.EvInvoke:
-		l.events = append(l.events, logEvent{kind: e.Kind, at: e.At, energy: float64(e.Energy)})
-	case core.EvFallback, core.EvFailover, core.EvProbe, core.EvLinkDown, core.EvLinkUp:
-		l.events = append(l.events, logEvent{kind: e.Kind, at: e.At, backend: e.Backend})
-	}
-}
-
-var _ core.EventSink = (*clientLog)(nil)
-
 // breakerBackend names the breaker's scope in series labels: the
 // backend for per-backend breakers, "link" for the global one.
 func breakerBackend(b string) string {
@@ -217,48 +193,202 @@ func breakerBackend(b string) string {
 	return b
 }
 
-// foldClientLogs merges the per-client event logs into the window
-// store: energy and failover/fallback counters per client in client
-// order (fixed float accumulation order), then a time-ordered replay
-// of breaker transitions into a per-window breakers_open gauge. The
-// replay sort key (at, client, seq) is unique, so the fold is a pure
-// function of the logs.
-func foldClientLogs(ts *obs.TimeSeries, logs []*clientLog) {
-	type transition struct {
-		at          energy.Seconds
-		client, seq int
-		backend     string
-		open        bool
+// clientAcc is the per-client telemetry sink: instead of buffering
+// every event (which held the whole fleet's event history in memory),
+// it accumulates per-window deltas while the client runs and is
+// folded — then dropped — the moment the client's result emits. A
+// 100k fleet's client telemetry therefore costs O(live clients x
+// active windows), not O(total events). Each client owns one and its
+// Emit runs on that client's goroutine only.
+type clientAcc struct {
+	tick  float64
+	wins  map[int64]*accWin
+	trans []accTransition
+	seq   int
+}
+
+// accWin is one client's deltas inside one telemetry window.
+type accWin struct {
+	energy      float64
+	invocations float64
+	fallback    float64
+	failover    float64
+	// Keyed by breakerBackend label; nil until first use.
+	probes                    map[string]float64
+	breakerOpen, breakerClose map[string]float64
+}
+
+// accTransition is one breaker open/close edge, kept exactly (not
+// windowed) for the post-run breakers_open gauge replay.
+type accTransition struct {
+	at      energy.Seconds
+	seq     int
+	backend string
+	open    bool
+}
+
+func newClientAcc(tick float64) *clientAcc {
+	return &clientAcc{tick: tick, wins: map[int64]*accWin{}}
+}
+
+// winAt returns the accumulator window covering virtual time at. The
+// index formula matches obs.TimeSeries.IndexOf, so folds land in the
+// same windows direct Adds would have.
+func (a *clientAcc) winAt(at energy.Seconds) *accWin {
+	i := int64(math.Floor(float64(at) / a.tick))
+	w := a.wins[i]
+	if w == nil {
+		w = &accWin{}
+		a.wins[i] = w
 	}
-	var trans []transition
-	for ci, l := range logs {
-		for si, e := range l.events {
-			at := float64(e.at)
-			switch e.kind {
-			case core.EvInvoke:
-				ts.Add(at, "energy_j", e.energy)
-				ts.Add(at, "invocations", 1)
-			case core.EvFallback:
-				ts.Add(at, "fallback", 1)
-			case core.EvFailover:
-				ts.Add(at, "failover", 1)
-			case core.EvProbe:
-				ts.Add(at, obs.SeriesName("probe", "backend", breakerBackend(e.backend)), 1)
-			case core.EvLinkDown, core.EvLinkUp:
-				trans = append(trans, transition{
-					at: e.at, client: ci, seq: si,
-					backend: breakerBackend(e.backend),
-					open:    e.kind == core.EvLinkDown,
-				})
-				name := "breaker_close"
-				if e.kind == core.EvLinkDown {
-					name = "breaker_open"
-				}
-				ts.Add(at, obs.SeriesName(name, "backend", breakerBackend(e.backend)), 1)
+	return w
+}
+
+// Emit implements core.EventSink, keeping only the kinds the windows
+// chart.
+func (a *clientAcc) Emit(e core.Event) {
+	switch e.Kind {
+	case core.EvInvoke:
+		w := a.winAt(e.At)
+		w.energy += float64(e.Energy)
+		w.invocations++
+	case core.EvFallback:
+		a.winAt(e.At).fallback++
+	case core.EvFailover:
+		a.winAt(e.At).failover++
+	case core.EvProbe:
+		w := a.winAt(e.At)
+		if w.probes == nil {
+			w.probes = map[string]float64{}
+		}
+		w.probes[breakerBackend(e.Backend)]++
+	case core.EvLinkDown, core.EvLinkUp:
+		a.seq++
+		open := e.Kind == core.EvLinkDown
+		a.trans = append(a.trans, accTransition{at: e.At, seq: a.seq, backend: breakerBackend(e.Backend), open: open})
+		w := a.winAt(e.At)
+		if open {
+			if w.breakerOpen == nil {
+				w.breakerOpen = map[string]float64{}
 			}
+			w.breakerOpen[breakerBackend(e.Backend)]++
+		} else {
+			if w.breakerClose == nil {
+				w.breakerClose = map[string]float64{}
+			}
+			w.breakerClose[breakerBackend(e.Backend)]++
+		}
+	}
+}
+
+var _ core.EventSink = (*clientAcc)(nil)
+
+// clientFold aggregates client accumulators as their results emit.
+// It writes into its own uncapped window store — never the engine's
+// (which the engine mutates concurrently, and which may evict under a
+// retention cap in a wall-clock-dependent order if folds raced it) —
+// and merges into the engine's series once, post-run. Folds happen in
+// arrival order under the emitter's lock, so every float accumulates
+// in a fixed order and the merged JSONL stays byte-identical across
+// concurrency.
+type clientFold struct {
+	ts    *obs.TimeSeries
+	trans []foldTransition
+	names map[string]string // label -> SeriesName cache, per metric kind
+}
+
+type foldTransition struct {
+	at          energy.Seconds
+	client, seq int
+	backend     string
+	open        bool
+}
+
+func newClientFold(tick energy.Seconds) *clientFold {
+	return &clientFold{
+		ts:    obs.NewTimeSeries(float64(tick), 0),
+		names: map[string]string{},
+	}
+}
+
+func (f *clientFold) name(kind, backend string) string {
+	key := kind + "\x00" + backend
+	n, ok := f.names[key]
+	if !ok {
+		n = obs.SeriesName(kind, "backend", backend)
+		f.names[key] = n
+	}
+	return n
+}
+
+// fold drains one client's accumulator: windows in index order, and
+// within each window a fixed series order, so the accumulation order
+// is a pure function of the emission order.
+func (f *clientFold) fold(a *clientAcc, clientIdx int) {
+	if a == nil {
+		return
+	}
+	idxs := make([]int64, 0, len(a.wins))
+	for i := range a.wins {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, i := range idxs {
+		w := a.wins[i]
+		if w.energy != 0 {
+			f.ts.AddIdx(i, "energy_j", w.energy)
+		}
+		if w.invocations != 0 {
+			f.ts.AddIdx(i, "invocations", w.invocations)
+		}
+		if w.fallback != 0 {
+			f.ts.AddIdx(i, "fallback", w.fallback)
+		}
+		if w.failover != 0 {
+			f.ts.AddIdx(i, "failover", w.failover)
+		}
+		f.foldLabeled(i, "probe", w.probes)
+		f.foldLabeled(i, "breaker_open", w.breakerOpen)
+		f.foldLabeled(i, "breaker_close", w.breakerClose)
+	}
+	for _, t := range a.trans {
+		f.trans = append(f.trans, foldTransition{at: t.at, client: clientIdx, seq: t.seq, backend: t.backend, open: t.open})
+	}
+}
+
+func (f *clientFold) foldLabeled(win int64, kind string, m map[string]float64) {
+	if len(m) == 0 {
+		return
+	}
+	labels := make([]string, 0, len(m))
+	for b := range m {
+		labels = append(labels, b)
+	}
+	sort.Strings(labels)
+	for _, b := range labels {
+		f.ts.AddIdx(win, f.name(kind, b), m[b])
+	}
+}
+
+// mergeInto folds the aggregated client series into the engine's
+// window store (post-run, single-threaded): per-window counters in
+// index order with sorted names, then the time-ordered breaker
+// transition replay into per-window breakers_open gauges. The replay
+// sort key (at, client, seq) is unique, so the merge is a pure
+// function of the folds.
+func (f *clientFold) mergeInto(ts *obs.TimeSeries) {
+	for _, w := range f.ts.Windows() {
+		names := make([]string, 0, len(w.Counters))
+		for n := range w.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ts.AddIdx(w.Index, n, w.Counters[n])
 		}
 	}
 
+	trans := f.trans
 	sort.Slice(trans, func(i, j int) bool {
 		if trans[i].at != trans[j].at {
 			return trans[i].at < trans[j].at

@@ -8,6 +8,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 
 	"greenvm/internal/energy"
 	"greenvm/internal/rng"
@@ -219,6 +220,76 @@ func (ch *Markov) Step() {
 			ch.cur++
 		} else {
 			ch.cur--
+		}
+	}
+}
+
+// DriftingMarkov is a 4-state Markov channel whose up/down bias
+// drifts sinusoidally with the number of steps taken: a handset
+// moving through coverage over an overnight cycle spends half the
+// cycle trending toward worse classes and half trending back. Phase
+// offsets the cycle per client so a population does not drift in
+// lockstep. The trace depends only on the RNG stream, the phase and
+// the step counter — never on wall-clock time — so runs with equal
+// seeds are byte-identical regardless of concurrency.
+type DriftingMarkov struct {
+	// StayProb is the probability of remaining in the current state
+	// at each step; the remainder moves to an adjacent state.
+	StayProb float64
+	// Period is the number of steps in one full drift cycle.
+	Period float64
+	// Depth in [0, 0.5] is how far the toward-better bias swings away
+	// from the balanced 1/2 at the cycle extremes.
+	Depth float64
+	phase float64
+	r     *rng.RNG
+	cur   Class
+	steps int
+}
+
+// NewDriftingMarkov returns a drifting Markov channel starting at the
+// given class with the given per-client phase (radians).
+func NewDriftingMarkov(start Class, stayProb, period, depth, phase float64, r *rng.RNG) *DriftingMarkov {
+	if !start.Valid() {
+		panic("radio: invalid start class")
+	}
+	if period <= 0 {
+		panic("radio: drift period must be positive")
+	}
+	if depth < 0 || depth > 0.5 {
+		panic("radio: drift depth must be in [0, 0.5]")
+	}
+	return &DriftingMarkov{StayProb: stayProb, Period: period, Depth: depth, phase: phase, r: r, cur: start}
+}
+
+// Current returns the present condition.
+func (ch *DriftingMarkov) Current() Class { return ch.cur }
+
+// Bias reports the probability that the next non-stay move goes
+// toward a better class, at the channel's current point in the cycle.
+func (ch *DriftingMarkov) Bias() float64 {
+	return 0.5 + ch.Depth*math.Sin(2*math.Pi*float64(ch.steps)/ch.Period+ch.phase)
+}
+
+// Step advances the drift cycle and moves to a neighbouring state
+// with probability 1-StayProb, biased by the cycle position.
+func (ch *DriftingMarkov) Step() {
+	up := ch.Bias()
+	ch.steps++
+	if ch.r.Float64() < ch.StayProb {
+		return
+	}
+	if ch.r.Float64() < up {
+		if ch.cur < Class4 {
+			ch.cur++
+		} else {
+			ch.cur--
+		}
+	} else {
+		if ch.cur > Class1 {
+			ch.cur--
+		} else {
+			ch.cur++
 		}
 	}
 }
